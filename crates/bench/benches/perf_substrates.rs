@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks for the substrates: frontend throughput,
+//! skeletonization, embedding, vector search, and VM+detector overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use govm::{compile_sources, CompileOptions, Vm, VmOptions};
+use skeleton::{skeletonize, SkeletonOptions};
+
+const PROGRAM: &str = r#"package bench
+
+import "sync"
+
+func Hot() int {
+	total := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			mu.Lock()
+			total = total + n
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	return total
+}
+"#;
+
+fn bench_frontend(c: &mut Criterion) {
+    c.bench_function("golite_parse", |b| {
+        b.iter(|| golite::parse_file(std::hint::black_box(PROGRAM)).unwrap())
+    });
+    let file = golite::parse_file(PROGRAM).unwrap();
+    c.bench_function("golite_print", |b| {
+        b.iter(|| golite::print_file(std::hint::black_box(&file)))
+    });
+}
+
+fn bench_pipeline_parts(c: &mut Criterion) {
+    c.bench_function("skeletonize", |b| {
+        b.iter(|| {
+            skeletonize(
+                std::hint::black_box(PROGRAM),
+                &[14],
+                &SkeletonOptions::default(),
+            )
+            .unwrap()
+        })
+    });
+    let sk = skeletonize(PROGRAM, &[14], &SkeletonOptions::default()).unwrap();
+    c.bench_function("embed_384d", |b| {
+        b.iter(|| embed::embed(std::hint::black_box(&sk.text)))
+    });
+    let mut store = vecdb::VectorStore::new(embed::DIM);
+    for i in 0..272 {
+        store
+            .insert(embed::embed(&format!("{} variant {}", sk.text, i)), i)
+            .unwrap();
+    }
+    let q = embed::embed(&sk.text);
+    c.bench_function("vecdb_query_272", |b| {
+        b.iter(|| store.query(std::hint::black_box(&q), 1))
+    });
+}
+
+fn bench_vm(c: &mut Criterion) {
+    let prog = compile_sources(
+        &[("hot.go".into(), PROGRAM.into())],
+        &CompileOptions::default(),
+    )
+    .unwrap();
+    c.bench_function("compile", |b| {
+        b.iter(|| {
+            compile_sources(
+                &[("hot.go".into(), PROGRAM.into())],
+                &CompileOptions::default(),
+            )
+            .unwrap()
+        })
+    });
+    c.bench_function("vm_run_with_race_detection", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut vm = Vm::new(
+                &prog,
+                VmOptions {
+                    seed,
+                    ..VmOptions::default()
+                },
+            );
+            vm.run("Hot", vec![])
+        })
+    });
+}
+
+criterion_group!(benches, bench_frontend, bench_pipeline_parts, bench_vm);
+criterion_main!(benches);

@@ -1,0 +1,168 @@
+//! Shared experiment harness for the table/figure benches.
+//!
+//! Every bench target regenerates one table or figure of the paper by
+//! running the real pipeline over the seeded corpus. Environment knobs
+//! keep `cargo bench` runtimes reasonable:
+//!
+//! - `DRFIX_CASES` — evaluation corpus size (default 120; the paper's
+//!   403 reproduces the same shapes, just slower);
+//! - `DRFIX_DB_PAIRS` — example-database size (default 272);
+//! - `DRFIX_VALIDATION_RUNS` — schedules per validation (default 12;
+//!   the paper runs 1000).
+
+use corpus::{CorpusConfig, RaceCase};
+use drfix::{DrFix, ExampleDb, FixOutcome, PipelineConfig, RagMode};
+use std::sync::OnceLock;
+use synthllm::ModelTier;
+
+/// Experiment-scale configuration, read from the environment once.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Evaluation corpus size.
+    pub cases: usize,
+    /// Example-database size.
+    pub db_pairs: usize,
+    /// Schedules per validation campaign.
+    pub validation_runs: u32,
+}
+
+impl Scale {
+    /// Reads the scale from `DRFIX_*` env vars.
+    pub fn from_env() -> Self {
+        let get = |k: &str, d: usize| {
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(d)
+        };
+        Scale {
+            cases: get("DRFIX_CASES", 120),
+            db_pairs: get("DRFIX_DB_PAIRS", 272),
+            validation_runs: get("DRFIX_VALIDATION_RUNS", 12) as u32,
+        }
+    }
+}
+
+static CORPUS: OnceLock<Vec<RaceCase>> = OnceLock::new();
+static DB: OnceLock<ExampleDb> = OnceLock::new();
+
+/// The shared evaluation corpus (built once per process).
+pub fn eval_corpus(scale: &Scale) -> &'static [RaceCase] {
+    CORPUS.get_or_init(|| {
+        corpus::generate_eval_corpus(&CorpusConfig {
+            eval_cases: scale.cases,
+            db_pairs: 0,
+            seed: 0xD0F1,
+        })
+    })
+}
+
+/// The shared example database.
+pub fn example_db(scale: &Scale) -> &'static ExampleDb {
+    DB.get_or_init(|| {
+        let pairs = corpus::generate_example_db(&CorpusConfig {
+            eval_cases: 0,
+            db_pairs: scale.db_pairs,
+            seed: 0xD0F1,
+        });
+        ExampleDb::build(&pairs)
+    })
+}
+
+/// A standard pipeline config for one ablation arm.
+pub fn base_config(scale: &Scale, tier: ModelTier, rag: RagMode) -> PipelineConfig {
+    PipelineConfig {
+        tier,
+        rag,
+        validation_runs: scale.validation_runs,
+        detect_runs: 32,
+        seed: 0xFEED,
+        ..PipelineConfig::default()
+    }
+}
+
+/// One arm's aggregate results.
+#[derive(Debug, Clone)]
+pub struct ArmResult {
+    /// Arm label.
+    pub label: String,
+    /// Per-case outcomes, aligned with the corpus order.
+    pub outcomes: Vec<FixOutcome>,
+}
+
+impl ArmResult {
+    /// Number of validated fixes.
+    pub fn fixed(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.fixed).count()
+    }
+
+    /// Fix rate over the corpus.
+    pub fn rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            0.0
+        } else {
+            self.fixed() as f64 / self.outcomes.len() as f64
+        }
+    }
+}
+
+/// Runs one configuration over the corpus.
+pub fn run_arm(label: &str, cfg: PipelineConfig, cases: &[RaceCase], db: Option<&ExampleDb>) -> ArmResult {
+    let pipeline = DrFix::new(cfg, db);
+    let outcomes = cases
+        .iter()
+        .map(|c| pipeline.fix_case(&c.files, &c.test))
+        .collect();
+    ArmResult {
+        label: label.to_owned(),
+        outcomes,
+    }
+}
+
+/// Formats a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Prints a standard experiment header.
+pub fn header(title: &str, paper: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("paper reference: {paper}");
+    println!("================================================================");
+}
+
+/// Percentile over a sorted-copy of the data (nearest-rank).
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((p / 100.0) * v.len() as f64).ceil().max(1.0) as usize - 1;
+    v[rank.min(v.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        assert_eq!(percentile(&xs, 1.0), 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn scale_defaults() {
+        let s = Scale {
+            cases: 10,
+            db_pairs: 20,
+            validation_runs: 4,
+        };
+        assert_eq!(s.cases, 10);
+    }
+}

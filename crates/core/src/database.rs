@@ -1,0 +1,201 @@
+//! Step 0 (§3.1/§4.1): the example database.
+//!
+//! Each curated `(racy, fixed)` pair is stored twice: keyed by the
+//! embedding of its concurrency *skeleton* (Dr.Fix's design) and keyed by
+//! the embedding of its *raw* source (the "RAG without skeleton"
+//! ablation arm of Fig. 3).
+
+use serde::{Deserialize, Serialize};
+use skeleton::{skeletonize, SkeletonOptions};
+use synthllm::Example;
+use vecdb::VectorStore;
+
+/// How examples are retrieved (Fig. 3's three arms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RagMode {
+    /// No example: the LLM's inherent capability only.
+    None,
+    /// Retrieval over raw source text.
+    Raw,
+    /// Retrieval over concurrency skeletons (the paper's design).
+    Skeleton,
+}
+
+/// A stored example with provenance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DbEntry {
+    /// The racy code.
+    pub buggy: String,
+    /// The accepted fix.
+    pub fixed: String,
+    /// Category label (for retrieval-accuracy accounting).
+    pub category: synthllm::RaceCategory,
+}
+
+/// The example database: one vector store per retrieval mode.
+pub struct ExampleDb {
+    skeleton_store: VectorStore<DbEntry>,
+    raw_store: VectorStore<DbEntry>,
+}
+
+impl ExampleDb {
+    /// Builds the database from curated pairs (populating it is the
+    /// "one-time activity" of §4.1).
+    pub fn build(pairs: &[corpus::DbPair]) -> Self {
+        let mut skeleton_store = VectorStore::new(embed::DIM);
+        let mut raw_store = VectorStore::new(embed::DIM);
+        for p in pairs {
+            let entry = DbEntry {
+                buggy: p.buggy.clone(),
+                fixed: p.fixed.clone(),
+                category: p.category,
+            };
+            let sk_text = skeletonize(
+                &p.buggy,
+                &[],
+                &SkeletonOptions {
+                    extra_racy_vars: vec![p.racy_var.clone()],
+                    no_slicing: false,
+                },
+            )
+            .map(|s| s.text)
+            .unwrap_or_else(|_| p.buggy.clone());
+            let _ = skeleton_store.insert(embed::embed(&sk_text), entry.clone());
+            let _ = raw_store.insert(embed::embed(&p.buggy), entry);
+        }
+        ExampleDb {
+            skeleton_store,
+            raw_store,
+        }
+    }
+
+    /// Number of stored pairs.
+    pub fn len(&self) -> usize {
+        self.skeleton_store.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.skeleton_store.is_empty()
+    }
+
+    /// Retrieves the best example for the query code, per mode. Returns
+    /// the example and its stored category (for accounting).
+    pub fn retrieve(
+        &self,
+        mode: RagMode,
+        code: &str,
+        racy_var: &str,
+        racy_lines: &[u32],
+    ) -> Option<(Example, synthllm::RaceCategory, f32)> {
+        match mode {
+            RagMode::None => None,
+            RagMode::Raw => {
+                let q = embed::embed(code);
+                let hit = self.raw_store.query(&q, 1).into_iter().next()?;
+                Some((
+                    Example {
+                        buggy: hit.item.buggy.clone(),
+                        fixed: hit.item.fixed.clone(),
+                    },
+                    hit.item.category,
+                    hit.score,
+                ))
+            }
+            RagMode::Skeleton => {
+                let sk = skeletonize(
+                    code,
+                    racy_lines,
+                    &SkeletonOptions {
+                        extra_racy_vars: vec![racy_var.to_owned()],
+                        no_slicing: false,
+                    },
+                )
+                .map(|s| s.text)
+                .unwrap_or_else(|_| code.to_owned());
+                let q = embed::embed(&sk);
+                let hit = self.skeleton_store.query(&q, 1).into_iter().next()?;
+                Some((
+                    Example {
+                        buggy: hit.item.buggy.clone(),
+                        fixed: hit.item.fixed.clone(),
+                    },
+                    hit.item.category,
+                    hit.score,
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corpus::CorpusConfig;
+
+    fn small_db() -> ExampleDb {
+        let pairs = corpus::generate_example_db(&CorpusConfig {
+            eval_cases: 0,
+            db_pairs: 60,
+            seed: 42,
+        });
+        ExampleDb::build(&pairs)
+    }
+
+    #[test]
+    fn builds_both_stores() {
+        let db = small_db();
+        assert_eq!(db.len(), 60);
+        assert!(!db.is_empty());
+    }
+
+    #[test]
+    fn skeleton_retrieval_beats_raw_on_category_accuracy() {
+        let db = small_db();
+        // Fresh queries from the same generator (different seed): measure
+        // how often the retrieved example has the query's category.
+        let queries = corpus::generate_eval_corpus(&CorpusConfig {
+            eval_cases: 60,
+            db_pairs: 0,
+            seed: 4242,
+        });
+        let mut skel_hits = 0usize;
+        let mut raw_hits = 0usize;
+        let mut total = 0usize;
+        for q in queries.iter().filter(|c| c.fixable) {
+            let code = &q.files[0].1;
+            // The pipeline passes the report's racy variable; the
+            // templates record it in a `// racy:` comment.
+            let var = code
+                .lines()
+                .find_map(|l| l.trim().strip_prefix("// racy:").map(|v| v.trim().to_owned()))
+                .unwrap_or_else(|| "x".to_owned());
+            total += 1;
+            if let Some((_, cat, _)) = db.retrieve(RagMode::Skeleton, code, &var, &[]) {
+                if cat == q.category {
+                    skel_hits += 1;
+                }
+            }
+            if let Some((_, cat, _)) = db.retrieve(RagMode::Raw, code, &var, &[]) {
+                if cat == q.category {
+                    raw_hits += 1;
+                }
+            }
+        }
+        assert!(total > 10);
+        assert!(
+            skel_hits > raw_hits,
+            "skeleton retrieval ({skel_hits}/{total}) must beat raw ({raw_hits}/{total})"
+        );
+        assert!(
+            skel_hits * 10 >= total * 7,
+            "skeleton retrieval should be mostly right: {skel_hits}/{total}"
+        );
+    }
+
+    #[test]
+    fn none_mode_returns_nothing() {
+        let db = small_db();
+        assert!(db.retrieve(RagMode::None, "package p", "x", &[]).is_none());
+    }
+}

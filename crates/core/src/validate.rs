@@ -1,0 +1,169 @@
+//! Fix validation (§4.4.1): build the patched package, run the test
+//! under many schedules, and confirm the reported race is gone.
+
+use govm::{compile_sources, CompileOptions, TestConfig};
+
+/// Validation verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The patch builds, the race is gone, and all tests pass.
+    Ok,
+    /// The patch failed; the message feeds the retry loop (§4.4.2).
+    Fail(String),
+}
+
+impl Verdict {
+    /// `true` for [`Verdict::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Verdict::Ok)
+    }
+
+    /// The failure message, if any.
+    pub fn message(&self) -> Option<&str> {
+        match self {
+            Verdict::Ok => None,
+            Verdict::Fail(m) => Some(m),
+        }
+    }
+}
+
+/// Validates a patched codebase against the targeted bug hash.
+///
+/// Mirrors §4.4.1: build, then run the package tests `runs` times; the
+/// fix validates only if no schedule reproduces the targeted race (the
+/// stable bug hash distinguishes it from unrelated pre-existing races),
+/// no new panic/deadlock appears, and the tests pass.
+pub fn validate_patch(
+    files: &[(String, String)],
+    test: &str,
+    bug_hash: &str,
+    runs: u32,
+    seed: u64,
+) -> Verdict {
+    let prog = match compile_sources(files, &CompileOptions::default()) {
+        Ok(p) => p,
+        Err(e) => return Verdict::Fail(format!("build failed: {e}")),
+    };
+    if prog.find_func(test).is_none() {
+        return Verdict::Fail(format!("build failed: test `{test}` disappeared"));
+    }
+    let cfg = TestConfig {
+        runs,
+        seed,
+        stop_on_race: false,
+        ..TestConfig::default()
+    };
+    let out = govm::run_test_many(&prog, test, &cfg);
+    if out.has_bug(bug_hash) {
+        return Verdict::Fail(
+            "validation failed: the reported data race is still detected".into(),
+        );
+    }
+    if let Some(r) = out.races.first() {
+        return Verdict::Fail(format!(
+            "validation failed: a data race is still detected on `{}`",
+            r.var_name
+        ));
+    }
+    if let Some(e) = out.error {
+        return Verdict::Fail(format!("test run failed: {e}"));
+    }
+    if !out.test_failures.is_empty() {
+        return Verdict::Fail(format!(
+            "test assertions failed: {}",
+            out.test_failures.join("; ")
+        ));
+    }
+    Verdict::Ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLEAN: &str = r#"package app
+
+import "testing"
+
+func Work() int {
+	return 2
+}
+
+func TestWork(t *testing.T) {
+	if Work() != 2 {
+		t.Errorf("bad")
+	}
+}
+"#;
+
+    const RACY: &str = r#"package app
+
+import (
+	"sync"
+	"testing"
+)
+
+func Work() int {
+	n := 0
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		n = n + 1
+	}()
+	go func() {
+		defer wg.Done()
+		n = n + 2
+	}()
+	wg.Wait()
+	return n
+}
+
+func TestWork(t *testing.T) {
+	Work()
+}
+"#;
+
+    #[test]
+    fn clean_code_validates() {
+        let v = validate_patch(
+            &[("a.go".into(), CLEAN.into())],
+            "TestWork",
+            "0000000000000000",
+            12,
+            0,
+        );
+        assert!(v.is_ok(), "{:?}", v.message());
+    }
+
+    #[test]
+    fn racy_code_fails_with_race_message() {
+        let v = validate_patch(
+            &[("a.go".into(), RACY.into())],
+            "TestWork",
+            "0000000000000000",
+            24,
+            0,
+        );
+        let msg = v.message().expect("must fail");
+        assert!(msg.contains("data race"), "{msg}");
+    }
+
+    #[test]
+    fn broken_code_reports_build_failure() {
+        let v = validate_patch(
+            &[("a.go".into(), "package app\n\nfunc Broken() {\n\tmystery()\n}\n".into())],
+            "TestWork",
+            "x",
+            4,
+            0,
+        );
+        assert!(v.message().unwrap().contains("build failed"));
+    }
+
+    #[test]
+    fn missing_test_reports_build_failure() {
+        let v = validate_patch(&[("a.go".into(), "package app\n".into())], "TestGone", "x", 4, 0);
+        assert!(v.message().unwrap().contains("build failed"));
+    }
+}

@@ -1,0 +1,408 @@
+//! `corpus` — the workload generator of the Dr.Fix reproduction.
+//!
+//! The paper evaluates on 403 reproducible data races from Uber's
+//! monorepo (plus 404 in deployment) and retrieves examples from a
+//! curated database of 272 past fixes. This crate synthesises both
+//! populations: seeded racy Go-subset programs in exactly the Table 3
+//! race categories, wrapped in randomized business-logic noise, plus the
+//! Table 5 "hard" cases the tool cannot fix (races spanning a third
+//! file, fixes that would remove parallelism, …). Every fixable case
+//! ships with its ground-truth human fix, used to build the example
+//! database and to compare fix sizes (Table 7).
+//!
+//! # Example
+//!
+//! ```
+//! use corpus::{generate_eval_corpus, CorpusConfig};
+//!
+//! let cases = generate_eval_corpus(&CorpusConfig { eval_cases: 10, ..CorpusConfig::default() });
+//! assert_eq!(cases.len(), 10);
+//! assert!(cases.iter().any(|c| c.fixable));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod noise;
+pub mod templates;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+pub use synthllm::RaceCategory;
+
+/// The unfixed-race categories of Table 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HardCategory {
+    /// Requires changes across more than two files (21%).
+    MoreThanTwoFiles,
+    /// The only fix changes/removes parallelism (19%).
+    RemoveParallelism,
+    /// Needs business-logic changes (15%).
+    BusinessLogic,
+    /// The failing test cannot be isolated (10%).
+    IsolateTest,
+    /// The race is in external code (10%).
+    External,
+    /// Requires a large refactoring (6%).
+    LargeRefactoring,
+    /// Miscellaneous unique challenges (6%).
+    Others,
+    /// Requires deep copies (5%).
+    DeepCopy,
+    /// A singleton needs redesign (4%).
+    Singleton,
+    /// Non-trivial even for experts (4%).
+    NonTrivialExpert,
+}
+
+impl HardCategory {
+    /// Display name matching Table 5.
+    pub fn display(&self) -> &'static str {
+        match self {
+            HardCategory::MoreThanTwoFiles => "More than 2 File Changes",
+            HardCategory::RemoveParallelism => "Change/Reduce/Remove Parallelism",
+            HardCategory::BusinessLogic => "Change the Business Logic",
+            HardCategory::IsolateTest => "Unable to Isolate the Failing Test",
+            HardCategory::External => "External",
+            HardCategory::LargeRefactoring => "Large Code Refactoring",
+            HardCategory::Others => "Others",
+            HardCategory::DeepCopy => "Using Deep Copy",
+            HardCategory::Singleton => "Singleton Pattern",
+            HardCategory::NonTrivialExpert => "Non-trivial Even for Experts",
+        }
+    }
+
+    /// Table 5 order.
+    pub fn all() -> &'static [HardCategory] {
+        &[
+            HardCategory::MoreThanTwoFiles,
+            HardCategory::RemoveParallelism,
+            HardCategory::BusinessLogic,
+            HardCategory::IsolateTest,
+            HardCategory::External,
+            HardCategory::LargeRefactoring,
+            HardCategory::Others,
+            HardCategory::DeepCopy,
+            HardCategory::Singleton,
+            HardCategory::NonTrivialExpert,
+        ]
+    }
+}
+
+/// One synthetic race case.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RaceCase {
+    /// Stable id, e.g. `race-0042`.
+    pub id: String,
+    /// Table 3 category of the planted race.
+    pub category: RaceCategory,
+    /// Set for Table 5 cases the pipeline is not expected to fix.
+    pub hard: Option<HardCategory>,
+    /// Whether the pipeline is expected to be able to fix this
+    /// (hard-but-strategy-fixable cases are `true` with `hard` set).
+    pub fixable: bool,
+    /// Whether the fix is only reachable from the LCA location (RQ2.5).
+    pub lca_only: bool,
+    /// The racy source files `(name, content)` — at most 2 visible to the
+    /// pipeline; hard multi-file cases carry a third.
+    pub files: Vec<(String, String)>,
+    /// The test function exercising the race.
+    pub test: String,
+    /// The ground-truth (human) fix, when one exists.
+    pub human_fix: Option<Vec<(String, String)>>,
+}
+
+impl RaceCase {
+    /// Lines of code across all racy files.
+    pub fn loc(&self) -> usize {
+        self.files.iter().map(|(_, s)| s.lines().count()).sum()
+    }
+
+    /// Unified-diff-style changed-line count between racy and fixed
+    /// versions (Table 7's LoC metric).
+    pub fn human_fix_loc(&self) -> Option<usize> {
+        let fix = self.human_fix.as_ref()?;
+        let mut changed = 0;
+        for (name, fixed) in fix {
+            let orig = self
+                .files
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, s)| s.as_str())
+                .unwrap_or("");
+            changed += diff_lines(orig, fixed);
+        }
+        Some(changed)
+    }
+}
+
+/// Counts changed lines between two texts (symmetric difference of line
+/// multisets — a cheap but stable proxy for diff size).
+pub fn diff_lines(a: &str, b: &str) -> usize {
+    use std::collections::HashMap;
+    let mut counts: HashMap<&str, i64> = HashMap::new();
+    for l in a.lines() {
+        *counts.entry(l).or_default() += 1;
+    }
+    for l in b.lines() {
+        *counts.entry(l).or_default() -= 1;
+    }
+    counts.values().map(|v| v.unsigned_abs() as usize).sum()
+}
+
+/// Corpus-generation configuration.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Number of evaluation cases (the paper reproduces 403).
+    pub eval_cases: usize,
+    /// Number of curated example-database pairs (the paper uses 272).
+    pub db_pairs: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            eval_cases: 403,
+            db_pairs: 272,
+            seed: 0xD0F1,
+        }
+    }
+}
+
+/// A curated example-database pair (§4.1): the racy code and its
+/// accepted fix, labelled with its category for bookkeeping.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DbPair {
+    /// The racy code (single file).
+    pub buggy: String,
+    /// The accepted fix.
+    pub fixed: String,
+    /// The racy variable (used for skeletonization).
+    pub racy_var: String,
+    /// Category label (Table 3's VectorDB column).
+    pub category: RaceCategory,
+}
+
+/// Builds the evaluation corpus: `eval_cases` races distributed so that
+/// the *fixable* population follows Table 3 and the *hard* population
+/// follows Table 5 (roughly 34% of the total, matching the paper's 66%
+/// ceiling).
+pub fn generate_eval_corpus(cfg: &CorpusConfig) -> Vec<RaceCase> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let total = cfg.eval_cases;
+    // 34.2% hard (138/403 in the paper).
+    let hard_total = (total as f64 * 0.342).round() as usize;
+    let fixable_total = total - hard_total;
+
+    // Table 3 proportions over the fixable pool.
+    let fixable_quota: Vec<(RaceCategory, usize)> = distribute(
+        fixable_total,
+        &[
+            (RaceCategory::CaptureByReference, 0.41),
+            (RaceCategory::MissingSync, 0.26),
+            (RaceCategory::ParallelTest, 0.13),
+            (RaceCategory::LoopVarCapture, 0.06),
+            (RaceCategory::ConcurrentMap, 0.05),
+            (RaceCategory::ConcurrentSlice, 0.05),
+            (RaceCategory::Other, 0.04),
+        ],
+    );
+
+    // Table 5 proportions over the hard pool.
+    let hard_quota: Vec<(HardCategory, usize)> = distribute(
+        hard_total,
+        &[
+            (HardCategory::MoreThanTwoFiles, 0.21),
+            (HardCategory::RemoveParallelism, 0.19),
+            (HardCategory::BusinessLogic, 0.15),
+            (HardCategory::IsolateTest, 0.10),
+            (HardCategory::External, 0.10),
+            (HardCategory::LargeRefactoring, 0.06),
+            (HardCategory::Others, 0.06),
+            (HardCategory::DeepCopy, 0.05),
+            (HardCategory::Singleton, 0.04),
+            (HardCategory::NonTrivialExpert, 0.04),
+        ],
+    );
+
+    let mut cases = Vec::with_capacity(total);
+    let mut idx = 0;
+    for (cat, n) in fixable_quota {
+        for _ in 0..n {
+            let mut case = templates::fixable_case(&mut rng, cat, idx);
+            case.id = format!("race-{idx:04}");
+            cases.push(case);
+            idx += 1;
+        }
+    }
+    for (hcat, n) in hard_quota {
+        for _ in 0..n {
+            let mut case = templates::hard_case(&mut rng, hcat, idx);
+            case.id = format!("race-{idx:04}");
+            cases.push(case);
+            idx += 1;
+        }
+    }
+    cases
+}
+
+/// Builds the curated example database (Table 3's VectorDB column:
+/// capture-by-reference 37.5%, missing-sync 14.7%, parallel-test 11.8%,
+/// loop-var 2.6%, map 5.2%, slice 2.6%, others 25.7%).
+pub fn generate_example_db(cfg: &CorpusConfig) -> Vec<DbPair> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xDB);
+    let quota = distribute(
+        cfg.db_pairs,
+        &[
+            (RaceCategory::CaptureByReference, 0.375),
+            (RaceCategory::MissingSync, 0.147),
+            (RaceCategory::ParallelTest, 0.118),
+            (RaceCategory::LoopVarCapture, 0.026),
+            (RaceCategory::ConcurrentMap, 0.052),
+            (RaceCategory::ConcurrentSlice, 0.026),
+            (RaceCategory::Other, 0.257),
+        ],
+    );
+    let mut out = Vec::with_capacity(cfg.db_pairs);
+    for (cat, n) in quota {
+        for i in 0..n {
+            out.push(templates::db_pair(&mut rng, cat, i));
+        }
+    }
+    out
+}
+
+/// Splits `total` across weighted buckets, largest remainders last.
+fn distribute<T: Copy>(total: usize, weights: &[(T, f64)]) -> Vec<(T, usize)> {
+    let mut out: Vec<(T, usize)> = weights
+        .iter()
+        .map(|(t, w)| (*t, (total as f64 * w).floor() as usize))
+        .collect();
+    let mut assigned: usize = out.iter().map(|(_, n)| n).sum();
+    let len = out.len();
+    let mut i = 0;
+    while assigned < total {
+        out[i % len].1 += 1;
+        assigned += 1;
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_requested_size_and_mix() {
+        let cases = generate_eval_corpus(&CorpusConfig {
+            eval_cases: 100,
+            db_pairs: 0,
+            seed: 1,
+        });
+        assert_eq!(cases.len(), 100);
+        let hard = cases.iter().filter(|c| c.hard.is_some()).count();
+        assert!((30..40).contains(&hard), "hard cases: {hard}");
+        // Every Table 3 category appears.
+        for cat in RaceCategory::all() {
+            assert!(
+                cases.iter().any(|c| c.category == *cat),
+                "missing {cat:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cases_parse_and_carry_tests() {
+        let cases = generate_eval_corpus(&CorpusConfig {
+            eval_cases: 30,
+            db_pairs: 0,
+            seed: 2,
+        });
+        for c in &cases {
+            assert!(!c.files.is_empty(), "{}", c.id);
+            for (name, src) in &c.files {
+                golite::parse_file(src)
+                    .unwrap_or_else(|e| panic!("{} {name}: {e}\n{src}", c.id));
+            }
+            assert!(c.test.starts_with("Test"), "{}", c.id);
+        }
+    }
+
+    #[test]
+    fn fixable_cases_have_human_fixes_that_parse() {
+        let cases = generate_eval_corpus(&CorpusConfig {
+            eval_cases: 40,
+            db_pairs: 0,
+            seed: 3,
+        });
+        for c in cases.iter().filter(|c| c.fixable) {
+            let fix = c.human_fix.as_ref().unwrap_or_else(|| panic!("{} lacks fix", c.id));
+            for (name, src) in fix {
+                golite::parse_file(src)
+                    .unwrap_or_else(|e| panic!("{} {name} fix: {e}\n{src}", c.id));
+            }
+            assert!(c.human_fix_loc().unwrap() > 0, "{}", c.id);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = CorpusConfig {
+            eval_cases: 20,
+            db_pairs: 10,
+            seed: 7,
+        };
+        let a = generate_eval_corpus(&cfg);
+        let b = generate_eval_corpus(&cfg);
+        assert_eq!(
+            a.iter().map(|c| &c.files).collect::<Vec<_>>(),
+            b.iter().map(|c| &c.files).collect::<Vec<_>>()
+        );
+        let da = generate_example_db(&cfg);
+        let db = generate_example_db(&cfg);
+        assert_eq!(
+            da.iter().map(|p| &p.buggy).collect::<Vec<_>>(),
+            db.iter().map(|p| &p.buggy).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn db_pairs_parse_and_differ() {
+        let db = generate_example_db(&CorpusConfig {
+            eval_cases: 0,
+            db_pairs: 40,
+            seed: 4,
+        });
+        assert_eq!(db.len(), 40);
+        for p in &db {
+            golite::parse_file(&p.buggy).unwrap_or_else(|e| panic!("buggy: {e}\n{}", p.buggy));
+            golite::parse_file(&p.fixed).unwrap_or_else(|e| panic!("fixed: {e}\n{}", p.fixed));
+            assert_ne!(p.buggy, p.fixed);
+        }
+    }
+
+    #[test]
+    fn diff_lines_counts_changes() {
+        assert_eq!(diff_lines("a\nb\nc", "a\nb\nc"), 0);
+        assert_eq!(diff_lines("a\nb", "a\nc"), 2);
+        assert!(diff_lines("x", "x\ny\nz") >= 2);
+    }
+
+    #[test]
+    fn identifier_noise_varies_across_cases() {
+        let cases = generate_eval_corpus(&CorpusConfig {
+            eval_cases: 12,
+            db_pairs: 0,
+            seed: 9,
+        });
+        let same_cat: Vec<&RaceCase> = cases
+            .iter()
+            .filter(|c| c.category == RaceCategory::CaptureByReference && c.fixable)
+            .collect();
+        assert!(same_cat.len() >= 2);
+        assert_ne!(same_cat[0].files[0].1, same_cat[1].files[0].1);
+    }
+}

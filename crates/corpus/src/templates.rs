@@ -1,0 +1,1402 @@
+//! Race-case templates: one generator per Table 3 category (with
+//! variants) and per Table 5 hard category.
+//!
+//! Every fixable template emits both the racy program and its
+//! ground-truth human fix; the racy pattern is one of the shapes the
+//! `govm` integration suite verifies the detector catches, and the fix
+//! is one it verifies comes back clean.
+
+use crate::noise::NameGen;
+use crate::{HardCategory, RaceCase, RaceCategory};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Generates one fixable case of `cat`, then buries it in unique
+/// business-logic noise ("industrial codebases are dense with
+/// domain-specific logic and terminology", §1). The noise is identical in
+/// the racy and fixed renditions, never executes, and is exactly what the
+/// skeleton abstraction strips — raw-text retrieval drowns in it.
+pub fn fixable_case(rng: &mut StdRng, cat: RaceCategory, idx: usize) -> RaceCase {
+    let mut case = fixable_case_inner(rng, cat, idx);
+    let noise = business_noise(rng);
+    for (_, src) in &mut case.files {
+        src.push_str(&noise);
+    }
+    if let Some(fix) = &mut case.human_fix {
+        for (_, src) in fix {
+            src.push_str(&noise);
+        }
+    }
+    case
+}
+
+/// Renders a few never-called helper functions full of unique
+/// identifiers and string literals.
+fn business_noise(rng: &mut StdRng) -> String {
+    let mut n = NameGen::new(rng);
+    let mut out = String::new();
+    let funcs = n.small(4, 7);
+    for _ in 0..funcs {
+        let fname = n.helper();
+        let lines = n.small(8, 18) as usize;
+        let body = n.filler(lines, "\t");
+        out.push_str(&format!("\nfunc {fname}() {{\n{body}}}\n"));
+    }
+    out
+}
+
+fn fixable_case_inner(rng: &mut StdRng, cat: RaceCategory, idx: usize) -> RaceCase {
+    match cat {
+        RaceCategory::CaptureByReference => {
+            // Variant mix inside the category: redeclare-style races
+            // dominate; channel-result (Listing 10) is the hard tail.
+            let roll = rng.gen_range(0..100);
+            if roll < 45 {
+                err_capture(rng, idx)
+            } else if roll < 65 {
+                local_copy(rng, idx)
+            } else if roll < 78 {
+                pass_param(rng, idx)
+            } else if roll < 90 {
+                lca_capture(rng, idx)
+            } else {
+                channel_result(rng, idx)
+            }
+        }
+        RaceCategory::MissingSync => {
+            let roll = rng.gen_range(0..100);
+            if roll < 40 {
+                wg_add_inside(rng, idx)
+            } else if roll < 70 {
+                counter_unprotected(rng, idx)
+            } else {
+                partial_lock(rng, idx)
+            }
+        }
+        RaceCategory::ParallelTest => table_test(rng, idx),
+        RaceCategory::LoopVarCapture => loop_var(rng, idx),
+        RaceCategory::ConcurrentMap => {
+            if rng.gen_bool(0.5) {
+                local_map(rng, idx)
+            } else {
+                field_map(rng, idx)
+            }
+        }
+        RaceCategory::ConcurrentSlice => slice_append(rng, idx),
+        RaceCategory::Other => {
+            if rng.gen_bool(0.5) {
+                rand_source(rng, idx)
+            } else {
+                struct_copy(rng, idx)
+            }
+        }
+    }
+}
+
+/// Generates one Table 5 hard case.
+pub fn hard_case(rng: &mut StdRng, hcat: HardCategory, idx: usize) -> RaceCase {
+    match hcat {
+        HardCategory::MoreThanTwoFiles => third_file_global(rng, idx, hcat),
+        HardCategory::RemoveParallelism => alias_return_race(rng, idx, hcat),
+        HardCategory::BusinessLogic => alias_return_race(rng, idx, hcat),
+        HardCategory::IsolateTest => third_file_global(rng, idx, hcat),
+        HardCategory::External => vendor_race(rng, idx),
+        HardCategory::LargeRefactoring => third_file_global(rng, idx, hcat),
+        HardCategory::Others => alias_return_race(rng, idx, hcat),
+        HardCategory::DeepCopy => hard_struct_copy(rng, idx),
+        HardCategory::Singleton => third_file_global(rng, idx, HardCategory::Singleton),
+        HardCategory::NonTrivialExpert => hard_channel_result(rng, idx),
+    }
+}
+
+/// Generates one example-database pair of `cat` (§4.1).
+pub fn db_pair(rng: &mut StdRng, cat: RaceCategory, _i: usize) -> crate::DbPair {
+    // Reuse the fixable templates: the DB holds single-file
+    // (racy, fixed) pairs; for multi-file templates the file carrying
+    // the fix is stored.
+    let case = fixable_case(rng, cat, usize::MAX / 2);
+    let (mut buggy, mut fixed) = (case.files[0].1.clone(), case.files[0].1.clone());
+    if let Some(fix) = &case.human_fix {
+        for (name, fixed_src) in fix {
+            let orig = case
+                .files
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, s)| s.clone())
+                .unwrap_or_default();
+            if &orig != fixed_src {
+                buggy = orig;
+                fixed = fixed_src.clone();
+                break;
+            }
+        }
+    }
+    let racy_var = case_racy_var(&case);
+    crate::DbPair {
+        buggy,
+        fixed,
+        racy_var,
+        category: cat,
+    }
+}
+
+/// Best-effort racy-variable name recovery (templates encode it in the
+/// case id slot; used only for DB skeletonization).
+fn case_racy_var(case: &RaceCase) -> String {
+    // The templates embed the racy variable as the first `// racy:` line.
+    for (_, src) in &case.files {
+        for line in src.lines() {
+            if let Some(rest) = line.trim().strip_prefix("// racy:") {
+                return rest.trim().to_owned();
+            }
+        }
+    }
+    "x".to_owned()
+}
+
+fn case(
+    idx: usize,
+    cat: RaceCategory,
+    files: Vec<(String, String)>,
+    test: String,
+    fix: Option<Vec<(String, String)>>,
+) -> RaceCase {
+    RaceCase {
+        id: format!("race-{idx:04}"),
+        category: cat,
+        hard: None,
+        fixable: fix.is_some(),
+        lca_only: false,
+        files,
+        test,
+        human_fix: fix,
+    }
+}
+
+// ===================================================================
+// Fixable templates
+// ===================================================================
+
+/// Listing 1: `err` captured by reference in a WaitGroup goroutine.
+fn err_capture(rng: &mut StdRng, idx: usize) -> RaceCase {
+    let mut n = NameGen::new(rng);
+    let func = n.func();
+    let test = n.test();
+    let (h1, h2, h3) = (n.helper(), n.helper(), n.helper());
+    let filler_n = n.small(1, 3) as usize;
+    let filler = n.filler(filler_n, "\t");
+    let make = |racy: bool| {
+        let inner = if racy {
+            format!("\t\tif err = {h2}(); err != nil {{\n\t\t\trecordIssue()\n\t\t}}\n")
+        } else {
+            format!("\t\tif err := {h2}(); err != nil {{\n\t\t\trecordIssue()\n\t\t}}\n")
+        };
+        format!(
+            r#"package app
+
+import (
+	"sync"
+	"testing"
+)
+
+// racy: err
+func {func}() error {{
+	err := {h1}()
+	if err != nil {{
+		return err
+	}}
+{filler}	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {{
+		defer wg.Done()
+{inner}	}}()
+	if err = {h3}(); err != nil {{
+		recordIssue()
+	}}
+	wg.Wait()
+	return err
+}}
+
+func {h1}() error {{ return nil }}
+func {h2}() error {{ return nil }}
+func {h3}() error {{ return nil }}
+func recordIssue() {{}}
+
+func {test}(t *testing.T) {{
+	if err := {func}(); err != nil {{
+		t.Errorf("unexpected: %v", err)
+	}}
+}}
+"#
+        )
+    };
+    let file = ("service.go".to_owned(), make(true));
+    let fix = vec![("service.go".to_owned(), make(false))];
+    case(idx, RaceCategory::CaptureByReference, vec![file], test, Some(fix))
+}
+
+/// Listing 5: the `limit` local-copy pattern.
+fn local_copy(rng: &mut StdRng, idx: usize) -> RaceCase {
+    let mut n = NameGen::new(rng);
+    let func = n.func();
+    let test = n.test();
+    let var = n.var();
+    let iters = n.small(3, 5);
+    let filler_n = n.small(1, 2) as usize;
+    let filler = n.filler(filler_n, "\t");
+    let make = |racy: bool| {
+        let body = if racy {
+            format!(
+                "\t\t\tif pos%2 == 0 {{\n\t\t\t\t{var} = {var} + 5\n\t\t\t}}\n\t\t\tconsume({var})\n"
+            )
+        } else {
+            format!(
+                "\t\t\tlocal{cap} := {var}\n\t\t\tif pos%2 == 0 {{\n\t\t\t\tlocal{cap} = local{cap} + 5\n\t\t\t}}\n\t\t\tconsume(local{cap})\n",
+                cap = capitalize(&var)
+            )
+        };
+        format!(
+            r#"package app
+
+import (
+	"sync"
+	"testing"
+)
+
+// racy: {var}
+func {func}() {{
+	{var} := 10
+{filler}	var wg sync.WaitGroup
+	for i := 0; i < {iters}; i++ {{
+		wg.Add(1)
+		go func(pos int) {{
+			defer wg.Done()
+{body}		}}(i)
+	}}
+	wg.Wait()
+}}
+
+func consume(v int) {{}}
+
+func {test}(t *testing.T) {{
+	{func}()
+}}
+"#
+        )
+    };
+    let file = ("limits.go".to_owned(), make(true));
+    let fix = vec![("limits.go".to_owned(), make(false))];
+    case(idx, RaceCategory::CaptureByReference, vec![file], test, Some(fix))
+}
+
+/// A goroutine reads a captured variable the parent keeps writing.
+fn pass_param(rng: &mut StdRng, idx: usize) -> RaceCase {
+    let mut n = NameGen::new(rng);
+    let func = n.func();
+    let test = n.test();
+    let var = n.var();
+    let filler_n = n.small(0, 2) as usize;
+    let filler = n.filler(filler_n, "\t");
+    let make = |racy: bool| {
+        let (sig, arg) = if racy {
+            ("func() {".to_owned(), "}()".to_owned())
+        } else {
+            (
+                format!("func({var} interface{{}}) {{"),
+                format!("}}({var})"),
+            )
+        };
+        format!(
+            r#"package app
+
+import (
+	"sync"
+	"testing"
+)
+
+// racy: {var}
+func {func}() {{
+	{var} := 1
+{filler}	var wg sync.WaitGroup
+	wg.Add(1)
+	go {sig}
+		defer wg.Done()
+		consume2({var})
+	{arg}
+	{var} = 2
+	consume2({var})
+	wg.Wait()
+}}
+
+func consume2(v interface{{}}) {{}}
+
+func {test}(t *testing.T) {{
+	{func}()
+}}
+"#
+        )
+    };
+    let file = ("params.go".to_owned(), make(true));
+    let fix = vec![("params.go".to_owned(), make(false))];
+    case(idx, RaceCategory::CaptureByReference, vec![file], test, Some(fix))
+}
+
+/// A three-file case where the fix is only reachable from the LCA: the
+/// racy writes live in helper functions (leaf), the test merely calls
+/// the parent, and only the parent (LCA) can privatise the shared object.
+fn lca_capture(rng: &mut StdRng, idx: usize) -> RaceCase {
+    let mut n = NameGen::new(rng);
+    let ty = n.ty();
+    let parent = n.func();
+    let test = n.test();
+    let (h1, h2) = (n.helper(), n.helper());
+    let helpers = format!(
+        r#"package app
+
+// racy: load
+func {h1}(c *{ty}) {{
+	c.load = c.load + 1
+}}
+
+func {h2}(c *{ty}) {{
+	c.load = c.load + 2
+}}
+"#
+    );
+    let make_parent = |racy: bool| {{
+        let spawn = if racy {
+            format!(
+                "\tgo func() {{\n\t\tdefer wg.Done()\n\t\t{h1}(c)\n\t}}()\n\tgo func() {{\n\t\tdefer wg.Done()\n\t\t{h2}(c)\n\t}}()\n"
+            )
+        } else {
+            format!(
+                "\tgo func() {{\n\t\tdefer wg.Done()\n\t\tlocalC := *c\n\t\t{h1}(&localC)\n\t}}()\n\tgo func() {{\n\t\tdefer wg.Done()\n\t\tlocalC := *c\n\t\t{h2}(&localC)\n\t}}()\n"
+            )
+        };
+        format!(
+            r#"package app
+
+import "sync"
+
+type {ty} struct {{
+	load int
+}}
+
+func {parent}() {{
+	c := &{ty}{{load: 1}}
+	var wg sync.WaitGroup
+	wg.Add(2)
+{spawn}	wg.Wait()
+}}
+"#
+        )
+    }};
+    let driver = format!(
+        r#"package app
+
+import "testing"
+
+func {test}(t *testing.T) {{
+	{parent}()
+}}
+"#
+    );
+    let files = vec![
+        ("workers.go".to_owned(), helpers.clone()),
+        ("parent.go".to_owned(), make_parent(true)),
+        ("driver_test.go".to_owned(), driver.clone()),
+    ];
+    let fix = vec![
+        ("workers.go".to_owned(), helpers),
+        ("parent.go".to_owned(), make_parent(false)),
+        ("driver_test.go".to_owned(), driver),
+    ];
+    let mut c = case(idx, RaceCategory::CaptureByReference, files, test, Some(fix));
+    c.lca_only = true;
+    c
+}
+
+/// Listing 10: err captured across a ctx.Done select.
+fn channel_result(rng: &mut StdRng, idx: usize) -> RaceCase {
+    let mut n = NameGen::new(rng);
+    let func = n.func();
+    let test = n.test();
+    let eval = n.helper();
+    let make = |racy: bool| {
+        if racy {
+            format!(
+                r#"package app
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// racy: err
+func {func}() error {{
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	resultChan := make(chan int, 1)
+	var err error
+	go func() {{
+		var result int
+		result, err = {eval}()
+		resultChan <- result
+	}}()
+	select {{
+	case r := <-resultChan:
+		consumeRisk(r)
+	case <-ctx.Done():
+		consumeRisk(0)
+	}}
+	cancel()
+	return err
+}}
+
+func {eval}() (int, error) {{
+	total := 0
+	for i := 0; i < 25; i++ {{
+		total += i
+	}}
+	return total, nil
+}}
+
+func consumeRisk(v int) {{}}
+
+func {test}(t *testing.T) {{
+	{func}()
+}}
+"#
+            )
+        } else {
+            format!(
+                r#"package app
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func {func}() error {{
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	resultChan := make(chan int, 1)
+	errChan := make(chan error, 1)
+	var err error
+	go func() {{
+		result, err := {eval}()
+		resultChan <- result
+		errChan <- err
+	}}()
+	select {{
+	case r := <-resultChan:
+		err = <-errChan
+		consumeRisk(r)
+	case <-ctx.Done():
+		consumeRisk(0)
+	}}
+	cancel()
+	return err
+}}
+
+func {eval}() (int, error) {{
+	total := 0
+	for i := 0; i < 25; i++ {{
+		total += i
+	}}
+	return total, nil
+}}
+
+func consumeRisk(v int) {{}}
+
+func {test}(t *testing.T) {{
+	{func}()
+}}
+"#
+            )
+        }
+    };
+    let file = ("risk.go".to_owned(), make(true));
+    let fix = vec![("risk.go".to_owned(), make(false))];
+    case(idx, RaceCategory::CaptureByReference, vec![file], test, Some(fix))
+}
+
+/// Listing 6: wg.Add inside the goroutine.
+fn wg_add_inside(rng: &mut StdRng, idx: usize) -> RaceCase {
+    let mut n = NameGen::new(rng);
+    let func = n.func();
+    let test = n.test();
+    let var = n.var();
+    let workers = n.small(3, 5);
+    let make = |racy: bool| {
+        let (before, inside) = if racy {
+            ("", "\t\t\twg.Add(1)\n")
+        } else {
+            ("\t\twg.Add(1)\n", "")
+        };
+        format!(
+            r#"package app
+
+import (
+	"sync"
+	"testing"
+)
+
+// racy: {var}
+func {func}() int {{
+	{var} := make(map[int]int)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < {workers}; i++ {{
+{before}		go func(pod int) {{
+{inside}			defer wg.Done()
+			mu.Lock()
+			{var}[pod] = pod
+			mu.Unlock()
+		}}(i)
+	}}
+	wg.Wait()
+	total := 0
+	for k := range {var} {{
+		total += k
+	}}
+	return total
+}}
+
+func {test}(t *testing.T) {{
+	{func}()
+}}
+"#
+        )
+    };
+    let file = ("replicas.go".to_owned(), make(true));
+    let fix = vec![("replicas.go".to_owned(), make(false))];
+    case(idx, RaceCategory::MissingSync, vec![file], test, Some(fix))
+}
+
+/// An unprotected shared counter behind struct methods: the fix (an
+/// atomic or a mutex field) needs the type declaration — file scope.
+fn counter_unprotected(rng: &mut StdRng, idx: usize) -> RaceCase {
+    let mut n = NameGen::new(rng);
+    let ty = n.ty();
+    let test = n.test();
+    let workers = n.small(3, 5);
+    let make = |racy: bool| {
+        let (fields, inc, read) = if racy {
+            (
+                "\ttally int".to_owned(),
+                "\tc.tally = c.tally + by\n".to_owned(),
+                "\treturn c.tally\n".to_owned(),
+            )
+        } else {
+            (
+                "\ttally int\n\tmuTally sync.Mutex".to_owned(),
+                "\tc.muTally.Lock()\n\tc.tally = c.tally + by\n\tc.muTally.Unlock()\n".to_owned(),
+                "\tc.muTally.Lock()\n\tv := c.tally\n\tc.muTally.Unlock()\n\treturn v\n".to_owned(),
+            )
+        };
+        format!(
+            r#"package app
+
+import (
+	"sync"
+	"testing"
+)
+
+// racy: tally
+type {ty} struct {{
+{fields}
+}}
+
+func (c *{ty}) bump(by int) {{
+{inc}}}
+
+func (c *{ty}) total() int {{
+{read}}}
+
+func {test}(t *testing.T) {{
+	c := &{ty}{{}}
+	var wg sync.WaitGroup
+	for i := 0; i < {workers}; i++ {{
+		wg.Add(1)
+		go func(by int) {{
+			defer wg.Done()
+			c.bump(by)
+		}}(i)
+	}}
+	wg.Wait()
+	if c.total() < 0 {{
+		t.Errorf("impossible total")
+	}}
+}}
+"#
+        )
+    };
+    let file = ("counter.go".to_owned(), make(true));
+    let fix = vec![("counter.go".to_owned(), make(false))];
+    case(idx, RaceCategory::MissingSync, vec![file], test, Some(fix))
+}
+
+/// A struct-field gauge written by methods where one method forgot the
+/// lock — the repair adds a guarding mutex field (file scope).
+fn partial_lock(rng: &mut StdRng, idx: usize) -> RaceCase {
+    let mut n = NameGen::new(rng);
+    let ty = n.ty();
+    let test = n.test();
+    let make = |racy: bool| {
+        let (fields, hot) = if racy {
+            (
+                "\tgauge int\n\tmu sync.Mutex".to_owned(),
+                "\tc.gauge = c.gauge * 2\n".to_owned(),
+            )
+        } else {
+            (
+                "\tgauge int\n\tmu sync.Mutex".to_owned(),
+                "\tc.mu.Lock()\n\tc.gauge = c.gauge * 2\n\tc.mu.Unlock()\n".to_owned(),
+            )
+        };
+        format!(
+            r#"package app
+
+import (
+	"sync"
+	"testing"
+)
+
+// racy: gauge
+type {ty} struct {{
+{fields}
+}}
+
+func (c *{ty}) slowPath() {{
+	c.mu.Lock()
+	c.gauge = c.gauge + 3
+	c.mu.Unlock()
+}}
+
+func (c *{ty}) hotPath() {{
+{hot}}}
+
+func {test}(t *testing.T) {{
+	c := &{ty}{{}}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {{
+		defer wg.Done()
+		c.slowPath()
+	}}()
+	go func() {{
+		defer wg.Done()
+		c.hotPath()
+	}}()
+	wg.Wait()
+}}
+"#
+        )
+    };
+    let file = ("ledger.go".to_owned(), make(true));
+    let fix = vec![("ledger.go".to_owned(), make(false))];
+    case(idx, RaceCategory::MissingSync, vec![file], test, Some(fix))
+}
+
+/// Listing 7: parallel table test sharing one hash object.
+fn table_test(rng: &mut StdRng, idx: usize) -> RaceCase {
+    let mut n = NameGen::new(rng);
+    let test = n.test();
+    let var = n.var();
+    let make = |racy: bool| {
+        let (decl, use1, use2) = if racy {
+            (
+                format!("\t{var} := md5.New()\n"),
+                var.clone(),
+                var.clone(),
+            )
+        } else {
+            (String::new(), "md5.New()".to_owned(), "md5.New()".to_owned())
+        };
+        format!(
+            r#"package app
+
+import (
+	"crypto/md5"
+	"testing"
+)
+
+// racy: {var}
+func {test}(t *testing.T) {{
+{decl}	tests := []struct {{
+		name string
+		hash interface{{}}
+	}}{{
+		{{name: "first", hash: {use1}}},
+		{{name: "second", hash: {use2}}},
+	}}
+	for _, tt := range tests {{
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {{
+			t.Parallel()
+			digestCase(tt.hash, tt.name)
+		}})
+	}}
+}}
+
+func digestCase(h interface{{}}, name string) {{
+	w := h.(interface{{}})
+	_ = w
+	hashWrite(h, name)
+}}
+
+func hashWrite(h interface{{}}, s string) {{
+	hw := h
+	_ = hw
+	writeTo(h, s)
+}}
+"#
+        ) + &format!(
+            "\nfunc writeTo(h interface{{}}, s string) {{\n\thh := h.(hash.Hash)\n\t_ = hh\n}}\n"
+        )
+    };
+    // The type-assertion helper chain above is noise; the real write goes
+    // through the md5 native. Simplify: direct Write call.
+    let make2 = |racy: bool| {
+        let (decl, use1, use2) = if racy {
+            (format!("\t{var} := md5.New()\n"), var.clone(), var.clone())
+        } else {
+            (String::new(), "md5.New()".to_owned(), "md5.New()".to_owned())
+        };
+        format!(
+            r#"package app
+
+import (
+	"crypto/md5"
+	"testing"
+)
+
+// racy: {var}
+func {test}(t *testing.T) {{
+{decl}	tests := []struct {{
+		name string
+		hash interface{{}}
+	}}{{
+		{{name: "first", hash: {use1}}},
+		{{name: "second", hash: {use2}}},
+	}}
+	for _, tt := range tests {{
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {{
+			t.Parallel()
+			tt.hash.Write(tt.name)
+		}})
+	}}
+}}
+"#
+        )
+    };
+    let _ = make;
+    let file = ("upload_test.go".to_owned(), make2(true));
+    let fix = vec![("upload_test.go".to_owned(), make2(false))];
+    case(idx, RaceCategory::ParallelTest, vec![file], test, Some(fix))
+}
+
+/// Listing 11: the classic loop-variable capture.
+fn loop_var(rng: &mut StdRng, idx: usize) -> RaceCase {
+    let mut n = NameGen::new(rng);
+    let func = n.func();
+    let test = n.test();
+    let var = "item".to_owned();
+    let count = n.small(3, 6);
+    let filler_n = n.small(0, 2) as usize;
+    let filler = n.filler(filler_n, "\t");
+    let make = |racy: bool| {
+        let rebind = if racy {
+            String::new()
+        } else {
+            format!("\t\t{var} := {var}\n")
+        };
+        format!(
+            r#"package app
+
+import (
+	"sync"
+	"testing"
+)
+
+// racy: {var}
+func {func}() {{
+	rows := make([]int, {count})
+{filler}	var wg sync.WaitGroup
+	for _, {var} := range rows {{
+{rebind}		wg.Add(1)
+		go func() {{
+			defer wg.Done()
+			consumeRow({var})
+		}}()
+	}}
+	wg.Wait()
+}}
+
+func consumeRow(v int) {{}}
+
+func {test}(t *testing.T) {{
+	{func}()
+}}
+"#
+        )
+    };
+    let file = ("rows.go".to_owned(), make(true));
+    let fix = vec![("rows.go".to_owned(), make(false))];
+    case(idx, RaceCategory::LoopVarCapture, vec![file], test, Some(fix))
+}
+
+/// Concurrent writes to a local built-in map.
+fn local_map(rng: &mut StdRng, idx: usize) -> RaceCase {
+    let mut n = NameGen::new(rng);
+    let func = n.func();
+    let test = n.test();
+    let var = n.var();
+    let workers = n.small(3, 4);
+    let make = |racy: bool| {
+        if racy {
+            format!(
+                r#"package app
+
+import (
+	"sync"
+	"testing"
+)
+
+// racy: {var}
+func {func}() {{
+	{var} := make(map[int]int)
+	var wg sync.WaitGroup
+	for i := 0; i < {workers}; i++ {{
+		wg.Add(1)
+		go func(pod int) {{
+			defer wg.Done()
+			{var}[pod] = pod
+		}}(i)
+	}}
+	wg.Wait()
+}}
+
+func {test}(t *testing.T) {{
+	{func}()
+}}
+"#
+            )
+        } else {
+            format!(
+                r#"package app
+
+import (
+	"sync"
+	"testing"
+)
+
+func {func}() {{
+	var {var} sync.Map
+	var wg sync.WaitGroup
+	for i := 0; i < {workers}; i++ {{
+		wg.Add(1)
+		go func(pod int) {{
+			defer wg.Done()
+			{var}.Store(pod, pod)
+		}}(i)
+	}}
+	wg.Wait()
+}}
+
+func {test}(t *testing.T) {{
+	{func}()
+}}
+"#
+            )
+        }
+    };
+    let file = ("shards.go".to_owned(), make(true));
+    let fix = vec![("shards.go".to_owned(), make(false))];
+    case(idx, RaceCategory::ConcurrentMap, vec![file], test, Some(fix))
+}
+
+/// Listing 8 shape: a struct-field map mutated by concurrent methods.
+fn field_map(rng: &mut StdRng, idx: usize) -> RaceCase {
+    let mut n = NameGen::new(rng);
+    let ty = n.ty();
+    let test = n.test();
+    let field = "lockMap".to_owned();
+    let make = |racy: bool| {
+        if racy {
+            format!(
+                r#"package app
+
+import (
+	"sync"
+	"testing"
+)
+
+// racy: {field}
+type {ty} struct {{
+	{field} map[int]int
+}}
+
+func (t *{ty}) refresh(keys []int) {{
+	for _, k := range keys {{
+		t.{field}[k] = k
+	}}
+}}
+
+func (t *{ty}) cleanup(keep int) {{
+	for k := range t.{field} {{
+		if k > keep {{
+			delete(t.{field}, k)
+		}}
+	}}
+}}
+
+func {test}(t *testing.T) {{
+	s := &{ty}{{{field}: map[int]int{{1: 1, 9: 9}}}}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {{
+		defer wg.Done()
+		s.refresh([]int{{2, 3}})
+	}}()
+	go func() {{
+		defer wg.Done()
+		s.cleanup(5)
+	}}()
+	wg.Wait()
+}}
+"#
+            )
+        } else {
+            format!(
+                r#"package app
+
+import (
+	"sync"
+	"testing"
+)
+
+type {ty} struct {{
+	{field} sync.Map
+}}
+
+func (t *{ty}) refresh(keys []int) {{
+	for _, k := range keys {{
+		t.{field}.Store(k, k)
+	}}
+}}
+
+func (t *{ty}) cleanup(keep int) {{
+	t.{field}.Range(func(key, value interface{{}}) bool {{
+		if key.(int) > keep {{
+			t.{field}.Delete(key)
+		}}
+		return true
+	}})
+}}
+
+func {test}(t *testing.T) {{
+	s := &{ty}{{}}
+	s.refresh([]int{{1, 9}})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {{
+		defer wg.Done()
+		s.refresh([]int{{2, 3}})
+	}}()
+	go func() {{
+		defer wg.Done()
+		s.cleanup(5)
+	}}()
+	wg.Wait()
+}}
+"#
+            )
+        }
+    };
+    let file = ("scanner.go".to_owned(), make(true));
+    let fix = vec![("scanner.go".to_owned(), make(false))];
+    case(idx, RaceCategory::ConcurrentMap, vec![file], test, Some(fix))
+}
+
+/// Listing 9 shape: append racing with indexing.
+fn slice_append(rng: &mut StdRng, idx: usize) -> RaceCase {
+    let mut n = NameGen::new(rng);
+    let func = n.func();
+    let test = n.test();
+    let var = n.var();
+    let make = |racy: bool| {
+        let (decl, w, r) = if racy {
+            (
+                String::new(),
+                format!("\t\t{var} = append({var}, 4)\n"),
+                format!("\t\tconsumeSlice({var}[0])\n"),
+            )
+        } else {
+            (
+                format!("\tvar mu{cap} sync.Mutex\n", cap = capitalize(&var)),
+                format!(
+                    "\t\tmu{cap}.Lock()\n\t\t{var} = append({var}, 4)\n\t\tmu{cap}.Unlock()\n",
+                    cap = capitalize(&var)
+                ),
+                format!(
+                    "\t\tmu{cap}.Lock()\n\t\tconsumeSlice({var}[0])\n\t\tmu{cap}.Unlock()\n",
+                    cap = capitalize(&var)
+                ),
+            )
+        };
+        format!(
+            r#"package app
+
+import (
+	"sync"
+	"testing"
+)
+
+// racy: {var}
+func {func}() {{
+	{var} := []int{{1, 2, 3}}
+{decl}	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {{
+		defer wg.Done()
+{w}	}}()
+	go func() {{
+		defer wg.Done()
+{r}	}}()
+	wg.Wait()
+}}
+
+func consumeSlice(v int) {{}}
+
+func {test}(t *testing.T) {{
+	{func}()
+}}
+"#
+        )
+    };
+    let file = ("channels.go".to_owned(), make(true));
+    let fix = vec![("channels.go".to_owned(), make(false))];
+    case(idx, RaceCategory::ConcurrentSlice, vec![file], test, Some(fix))
+}
+
+/// Listing 12: a shared global rand.Source.
+fn rand_source(rng: &mut StdRng, idx: usize) -> RaceCase {
+    let mut n = NameGen::new(rng);
+    let func = n.func();
+    let test = n.test();
+    let seed = n.small(100, 9999);
+    let workers = n.small(2, 4);
+    let make = |racy: bool| {
+        let (global, new) = if racy {
+            (
+                format!("var responseSource = rand.NewSource({seed})\n\n"),
+                "rand.New(responseSource)".to_owned(),
+            )
+        } else {
+            (
+                String::new(),
+                format!("rand.New(rand.NewSource({seed}))"),
+            )
+        };
+        format!(
+            r#"package app
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// racy: responseSource
+{global}func {func}() {{
+	var wg sync.WaitGroup
+	for i := 0; i < {workers}; i++ {{
+		wg.Add(1)
+		go func() {{
+			defer wg.Done()
+			random := {new}
+			consumeRand(random.Intn(10))
+		}}()
+	}}
+	wg.Wait()
+}}
+
+func consumeRand(v int) {{}}
+
+func {test}(t *testing.T) {{
+	{func}()
+}}
+"#
+        )
+    };
+    let file = ("respond.go".to_owned(), make(true));
+    let fix = vec![("respond.go".to_owned(), make(false))];
+    case(idx, RaceCategory::Other, vec![file], test, Some(fix))
+}
+
+/// Listing 22/24 shape: shared config struct mutated by two goroutines.
+fn struct_copy(rng: &mut StdRng, idx: usize) -> RaceCase {
+    let mut n = NameGen::new(rng);
+    let ty = n.ty();
+    let func = n.func();
+    let test = n.test();
+    let make = |racy: bool| {
+        let (b1, b2) = if racy {
+            (
+                "\t\tcfg.Limit = 5\n\t\tsubmitCfg(cfg)\n".to_owned(),
+                "\t\tcfg.Limit = 9\n\t\tsubmitCfg(cfg)\n".to_owned(),
+            )
+        } else {
+            (
+                "\t\tlocalCfg := *cfg\n\t\tlocalCfg.Limit = 5\n\t\tsubmitCfg(&localCfg)\n"
+                    .to_owned(),
+                "\t\tlocalCfg := *cfg\n\t\tlocalCfg.Limit = 9\n\t\tsubmitCfg(&localCfg)\n"
+                    .to_owned(),
+            )
+        };
+        format!(
+            r#"package app
+
+import (
+	"sync"
+	"testing"
+)
+
+// racy: cfg
+type {ty} struct {{
+	Limit int
+	Name  string
+}}
+
+func {func}() {{
+	cfg := &{ty}{{Limit: 1, Name: "base"}}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {{
+		defer wg.Done()
+{b1}	}}()
+	go func() {{
+		defer wg.Done()
+{b2}	}}()
+	if cfg.Limit > 99 {{
+		wg.Wait()
+		return
+	}}
+	wg.Wait()
+}}
+
+func submitCfg(c interface{{}}) {{}}
+
+func {test}(t *testing.T) {{
+	{func}()
+}}
+"#
+        )
+    };
+    let file = ("config.go".to_owned(), make(true));
+    let fix = vec![("config.go".to_owned(), make(false))];
+    case(idx, RaceCategory::Other, vec![file], test, Some(fix))
+}
+
+// ===================================================================
+// Hard (Table 5) templates
+// ===================================================================
+
+fn hard(
+    idx: usize,
+    cat: RaceCategory,
+    hcat: HardCategory,
+    fixable: bool,
+    files: Vec<(String, String)>,
+    test: String,
+) -> RaceCase {
+    RaceCase {
+        id: format!("race-{idx:04}"),
+        category: cat,
+        hard: Some(hcat),
+        fixable,
+        lca_only: false,
+        files,
+        test,
+        human_fix: None,
+    }
+}
+
+/// The race lives on a global defined in a third file and written from
+/// two other files; the pipeline sees at most two files, so any patch
+/// leaves one access unsynchronised.
+fn third_file_global(rng: &mut StdRng, idx: usize, hcat: HardCategory) -> RaceCase {
+    let mut n = NameGen::new(rng);
+    let test = n.test();
+    let var = n.var();
+    let (f1, f2) = (n.func(), n.func());
+    let writer = |fname: &str, delta: i64| {
+        format!(
+            "package app\n\n// racy: {var}\nfunc {fname}() {{\n\t{var} = {var} + {delta}\n}}\n"
+        )
+    };
+    let state = format!("package app\n\nvar {var} = 0\n");
+    let driver = format!(
+        r#"package app
+
+import (
+	"sync"
+	"testing"
+)
+
+func {test}(t *testing.T) {{
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {{
+		defer wg.Done()
+		{f1}()
+	}}()
+	go func() {{
+		defer wg.Done()
+		{f2}()
+	}}()
+	wg.Wait()
+}}
+"#
+    );
+    hard(
+        idx,
+        RaceCategory::MissingSync,
+        hcat,
+        false,
+        vec![
+            ("writer_a.go".to_owned(), writer(&f1, 1)),
+            ("writer_b.go".to_owned(), writer(&f2, 2)),
+            ("state.go".to_owned(), state),
+            ("driver_test.go".to_owned(), driver),
+        ],
+        test,
+    )
+}
+
+/// Aliased pointers plus a racy read inside a `return` statement: no
+/// strategy in the library covers it (the human fix removes the
+/// parallelism or restructures the logic).
+fn alias_return_race(rng: &mut StdRng, idx: usize, hcat: HardCategory) -> RaceCase {
+    let mut n = NameGen::new(rng);
+    let ty = n.ty();
+    let func = n.func();
+    let test = n.test();
+    let src = format!(
+        r#"package app
+
+import (
+	"sync"
+	"testing"
+)
+
+// racy: n
+type {ty} struct {{
+	n int
+}}
+
+func {func}() int {{
+	p := &{ty}{{n: 1}}
+	q := p
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {{
+		defer wg.Done()
+		p.n = p.n + 1
+	}}()
+	if q.n > 50 {{
+		wg.Wait()
+		return q.n
+	}}
+	wg.Wait()
+	return q.n + 1
+}}
+
+func {test}(t *testing.T) {{
+	{func}()
+}}
+"#
+    );
+    hard(
+        idx,
+        RaceCategory::MissingSync,
+        hcat,
+        false,
+        vec![("alias.go".to_owned(), src)],
+        test,
+    )
+}
+
+/// The racy write sits in a vendor file the pipeline refuses to modify.
+fn vendor_race(rng: &mut StdRng, idx: usize) -> RaceCase {
+    let mut n = NameGen::new(rng);
+    let test = n.test();
+    let var = n.var();
+    let vendor = format!(
+        "package app\n\n// racy: {var}\nvar {var} = 0\n\nfunc VendorTouch(delta int) {{\n\t{var} = {var} + delta\n}}\n"
+    );
+    let driver = format!(
+        r#"package app
+
+import (
+	"sync"
+	"testing"
+)
+
+func {test}(t *testing.T) {{
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {{
+		defer wg.Done()
+		VendorTouch(1)
+	}}()
+	go func() {{
+		defer wg.Done()
+		VendorTouch(2)
+	}}()
+	wg.Wait()
+}}
+"#
+    );
+    hard(
+        idx,
+        RaceCategory::MissingSync,
+        HardCategory::External,
+        false,
+        vec![
+            ("vendor_metrics.go".to_owned(), vendor),
+            ("driver_test.go".to_owned(), driver),
+        ],
+        test,
+    )
+}
+
+/// Hard-but-strategy-fixable: a struct copy that only strong models
+/// assemble (DeepCopy row of Table 5; contributes to the o1 gap, §5.4).
+fn hard_struct_copy(rng: &mut StdRng, idx: usize) -> RaceCase {
+    let mut c = struct_copy(rng, idx);
+    c.hard = Some(HardCategory::DeepCopy);
+    // Keep fixable: the StructCopy strategy covers it, but its skill is
+    // low below o1-preview.
+    c
+}
+
+/// Hard-but-strategy-fixable shared-aggregate case (NonTrivialExpert
+/// row): only the struct-copy idiom applies, and only strong models
+/// assemble it reliably.
+fn hard_channel_result(rng: &mut StdRng, idx: usize) -> RaceCase {
+    let mut c = struct_copy(rng, idx);
+    c.hard = Some(HardCategory::NonTrivialExpert);
+    c
+}
+
+fn capitalize(s: &str) -> String {
+    let mut c = s.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}

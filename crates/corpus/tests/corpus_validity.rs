@@ -1,0 +1,119 @@
+//! Ground-truth validation: every generated racy case must race under
+//! the detector, and every human fix must come back clean.
+
+use corpus::{generate_eval_corpus, CorpusConfig};
+use govm::{compile_sources, CompileOptions, TestConfig};
+
+fn compile(files: &[(String, String)]) -> Result<govm::Program, golite::Diag> {
+    compile_sources(files, &CompileOptions::default())
+}
+
+#[test]
+fn racy_cases_race_and_fixes_are_clean() {
+    let cases = generate_eval_corpus(&CorpusConfig {
+        eval_cases: 60,
+        db_pairs: 0,
+        seed: 0xBEEF,
+    });
+    let cfg = TestConfig {
+        runs: 40,
+        seed: 0,
+        stop_on_race: true,
+        ..TestConfig::default()
+    };
+    for case in &cases {
+        let prog = compile(&case.files)
+            .unwrap_or_else(|e| panic!("{} failed to build: {e}\n{}", case.id, dump(case)));
+        let out = govm::run_test_many(&prog, &case.test, &cfg);
+        assert!(
+            out.error.is_none(),
+            "{} ({:?}) errored: {:?}\n{}",
+            case.id,
+            case.category,
+            out.error,
+            dump(case)
+        );
+        assert!(
+            !out.races.is_empty(),
+            "{} ({:?} hard={:?}) never raced\n{}",
+            case.id,
+            case.category,
+            case.hard,
+            dump(case)
+        );
+
+        if let Some(fix) = &case.human_fix {
+            let prog = compile(fix)
+                .unwrap_or_else(|e| panic!("{} fix failed to build: {e}", case.id));
+            let clean_cfg = TestConfig {
+                runs: 24,
+                seed: 7,
+                stop_on_race: true,
+                ..TestConfig::default()
+            };
+            let out = govm::run_test_many(&prog, &case.test, &clean_cfg);
+            assert!(
+                out.races.is_empty(),
+                "{} human fix still races:\n{}",
+                case.id,
+                out.races[0].render()
+            );
+            assert!(
+                out.error.is_none(),
+                "{} human fix errored: {:?}",
+                case.id,
+                out.error
+            );
+        }
+    }
+}
+
+#[test]
+fn race_reports_name_the_planted_variable() {
+    let cases = generate_eval_corpus(&CorpusConfig {
+        eval_cases: 20,
+        db_pairs: 0,
+        seed: 0xFACE,
+    });
+    let cfg = TestConfig {
+        runs: 40,
+        seed: 0,
+        stop_on_race: true,
+        ..TestConfig::default()
+    };
+    let mut named = 0;
+    let mut total = 0;
+    for case in &cases {
+        let Ok(prog) = compile(&case.files) else { continue };
+        let out = govm::run_test_many(&prog, &case.test, &cfg);
+        if let Some(r) = out.races.first() {
+            total += 1;
+            // The planted racy variable is recorded as a comment.
+            let planted = case
+                .files
+                .iter()
+                .flat_map(|(_, s)| s.lines())
+                .find_map(|l| l.trim().strip_prefix("// racy:").map(|v| v.trim().to_owned()));
+            if let Some(v) = planted {
+                if r.var_name == v || r.var_name.contains(&v) || v.contains(&r.var_name) {
+                    named += 1;
+                }
+            }
+        }
+    }
+    assert!(total > 0);
+    // Most reports should point at the planted variable (some point at a
+    // derived cell like a map header with the same name).
+    assert!(
+        named * 3 >= total * 2,
+        "only {named}/{total} reports named the planted variable"
+    );
+}
+
+fn dump(case: &corpus::RaceCase) -> String {
+    case.files
+        .iter()
+        .map(|(n, s)| format!("--- {n}\n{s}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}

@@ -1,0 +1,29 @@
+//! Property test: every seed yields parseable programs with the promised
+//! invariants.
+
+use corpus::{generate_eval_corpus, CorpusConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn all_generated_cases_are_well_formed(seed in 0u64..100_000) {
+        let cases = generate_eval_corpus(&CorpusConfig {
+            eval_cases: 12,
+            db_pairs: 0,
+            seed,
+        });
+        prop_assert_eq!(cases.len(), 12);
+        for c in &cases {
+            prop_assert!(c.test.starts_with("Test"));
+            for (name, src) in &c.files {
+                let parsed = golite::parse_file(src);
+                prop_assert!(parsed.is_ok(), "{name}: {:?}", parsed.err());
+            }
+            if c.fixable {
+                prop_assert!(c.human_fix.is_some());
+                prop_assert!(c.human_fix_loc().unwrap_or(0) > 0);
+            }
+        }
+    }
+}

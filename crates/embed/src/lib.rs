@@ -1,0 +1,226 @@
+//! `embed` — a deterministic sentence-embedding substitute for
+//! `all-MiniLM-L6-v2` (the paper's embedding model, Table 2).
+//!
+//! The reproduction needs the *relative* behaviour of the embedding: code
+//! with the same concurrency structure must land close in vector space,
+//! and business-identifier noise must push raw (non-skeletonized) sources
+//! apart. Feature hashing over token unigrams and bigrams reproduces
+//! exactly that mechanism: shared structural tokens contribute shared
+//! coordinates, unique identifiers contribute noise coordinates. Vectors
+//! are 384-dimensional (matching MiniLM) and L2-normalised, so cosine
+//! similarity is a dot product.
+//!
+//! # Example
+//!
+//! ```
+//! use embed::{embed, cosine};
+//!
+//! let a = embed("go func() { racyVar1 = 1 }()");
+//! let b = embed("go func() { racyVar1 = 2 }()");
+//! let c = embed("for i := range orders { total += price(i) }");
+//! assert!(cosine(&a, &b) > cosine(&a, &c));
+//! ```
+
+#![warn(missing_docs)]
+
+/// Embedding dimensionality (matches all-MiniLM-L6-v2).
+pub const DIM: usize = 384;
+
+/// Tokens that carry concurrency structure get boosted weight, mirroring
+/// how a code-tuned sentence transformer attends to salient tokens.
+const BOOSTED: &[&str] = &[
+    "go",
+    "chan",
+    "select",
+    "sync",
+    "atomic",
+    "Lock",
+    "Unlock",
+    "RLock",
+    "RUnlock",
+    "Add",
+    "Done",
+    "Wait",
+    "Range",
+    "Load",
+    "Store",
+    "Delete",
+    "racyVar1",
+    "racyVar2",
+    "racyVar3",
+    "Mutex",
+    "RWMutex",
+    "WaitGroup",
+    "Map",
+    "Parallel",
+    "Run",
+    "defer",
+    "<-",
+];
+
+const BOOST: f32 = 3.0;
+
+/// Splits source text into identifier / punctuation tokens.
+pub fn tokenize(text: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b.is_ascii_alphanumeric() || b == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            out.push(&text[start..i]);
+        } else if b == b'<' && i + 1 < bytes.len() && bytes[i + 1] == b'-' {
+            out.push("<-");
+            i += 2;
+        } else if b.is_ascii_whitespace() {
+            i += 1;
+        } else if b < 0x80 {
+            out.push(&text[i..i + 1]);
+            i += 1;
+        } else {
+            // Skip multi-byte characters (rare in code).
+            let n = text[i..].chars().next().map(char::len_utf8).unwrap_or(1);
+            i += n;
+        }
+    }
+    out
+}
+
+fn fnv(bytes: &[u8], seed: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn add_feature(v: &mut [f32; DIM], token: &str, weight: f32) {
+    let h = fnv(token.as_bytes(), 0x5eed);
+    let idx = (h % DIM as u64) as usize;
+    // Signed hashing halves collision bias.
+    let sign = if (h >> 63) == 0 { 1.0 } else { -1.0 };
+    v[idx] += sign * weight;
+    // A second projection improves separability at this dimensionality.
+    let h2 = fnv(token.as_bytes(), 0xfeed);
+    let idx2 = (h2 % DIM as u64) as usize;
+    let sign2 = if (h2 >> 63) == 0 { 1.0 } else { -1.0 };
+    v[idx2] += sign2 * weight * 0.5;
+}
+
+/// Embeds `text` into a 384-dimensional L2-normalised vector.
+pub fn embed(text: &str) -> Vec<f32> {
+    let mut v = [0f32; DIM];
+    let tokens = tokenize(text);
+    for (i, tok) in tokens.iter().enumerate() {
+        let w = if BOOSTED.contains(tok) { BOOST } else { 1.0 };
+        add_feature(&mut v, tok, w);
+        if i + 1 < tokens.len() {
+            let bigram = format!("{}\u{1}{}", tok, tokens[i + 1]);
+            let wb = if BOOSTED.contains(tok) || BOOSTED.contains(&tokens[i + 1]) {
+                BOOST * 0.7
+            } else {
+                0.7
+            };
+            add_feature(&mut v, &bigram, wb);
+        }
+    }
+    let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    v.to_vec()
+}
+
+/// Cosine similarity of two embeddings.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "embedding dimensionality mismatch");
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embedding_is_deterministic_and_normalised() {
+        let a = embed("go func() { x = 1 }()");
+        let b = embed("go func() { x = 1 }()");
+        assert_eq!(a, b);
+        assert_eq!(a.len(), DIM);
+        let norm: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn identical_text_has_cosine_one() {
+        let a = embed("var wg sync.WaitGroup");
+        assert!((cosine(&a, &a) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn structure_dominates_identifier_noise_in_skeletons() {
+        let s1 = embed("func func1() {\n\tracyVar1 := 0\n\tgo func() {\n\t\tracyVar1 = func2()\n\t}()\n\tracyVar1 = func3()\n}");
+        let s2 = embed("func func1() {\n\tracyVar1 := 0\n\tgo func() {\n\t\tracyVar1 = func2()\n\t}()\n\tracyVar1 = func3()\n}");
+        let other = embed("func makeReport(rows []Row) int {\n\tsum := 0\n\tfor _, r := range rows {\n\t\tsum += r.Total\n\t}\n\treturn sum\n}");
+        assert!(cosine(&s1, &s2) > 0.99);
+        assert!(cosine(&s1, &other) < 0.9);
+    }
+
+    #[test]
+    fn raw_sources_with_heavy_noise_diverge() {
+        // Same concurrency pattern buried under different business text:
+        // raw embeddings drift apart, which is precisely why Dr.Fix
+        // skeletonizes before retrieval (Fig. 3).
+        let raw1 = embed(
+            "func SyncCustomerLedger() { ledgerTotal := fetchLedgerSnapshot(); go func() { ledgerTotal = recomputeOutstandingInvoices(ledgerTotal) }(); ledgerTotal = reconcileBankFeed() }",
+        );
+        let raw2 = embed(
+            "func RefreshFleetTelemetry() { fleetHealth := pollVehicleGateway(); go func() { fleetHealth = aggregateSensorWindows(fleetHealth) }(); fleetHealth = applyDriverOverrides() }",
+        );
+        let raw_sim = cosine(&raw1, &raw2);
+        assert!(raw_sim < 0.9, "raw noise should keep sources apart, got {raw_sim}");
+    }
+
+    #[test]
+    fn tokenizer_handles_arrows_and_punct() {
+        let toks = tokenize("ch <- v; x := <-done");
+        assert!(toks.contains(&"<-"));
+        assert!(toks.contains(&"ch"));
+        assert!(toks.contains(&";"));
+    }
+
+    #[test]
+    fn empty_text_embeds_to_zero_vector() {
+        let v = embed("");
+        assert!(v.iter().all(|&x| x == 0.0));
+        assert_eq!(cosine(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn boosted_tokens_move_vectors_more() {
+        let base = embed("x y z w");
+        let with_plain = embed("x y z w q");
+        let with_boost = embed("x y z w go");
+        // Adding a boosted token changes the direction more than a plain
+        // token does.
+        assert!(cosine(&base, &with_boost) < cosine(&base, &with_plain));
+    }
+}

@@ -1,0 +1,47 @@
+//! Property tests: the embedder is total, deterministic, and normalised.
+
+use embed::{cosine, embed, tokenize, DIM};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn embed_is_total_and_deterministic(s in ".{0,300}") {
+        let a = embed(&s);
+        let b = embed(&s);
+        prop_assert_eq!(a.clone(), b);
+        prop_assert_eq!(a.len(), DIM);
+    }
+
+    #[test]
+    fn embed_is_unit_norm_or_zero(s in ".{0,300}") {
+        let v = embed(&s);
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        prop_assert!(norm < 1e-6 || (norm - 1.0).abs() < 1e-4, "norm {norm}");
+    }
+
+    #[test]
+    fn cosine_is_bounded_and_symmetric(a in ".{1,200}", b in ".{1,200}") {
+        let va = embed(&a);
+        let vb = embed(&b);
+        let ab = cosine(&va, &vb);
+        let ba = cosine(&vb, &va);
+        prop_assert!((-1.001..=1.001).contains(&(ab as f64)));
+        prop_assert!((ab - ba).abs() < 1e-6);
+    }
+
+    #[test]
+    fn self_similarity_is_one(s in "[a-z ]{1,200}") {
+        let v = embed(&s);
+        if v.iter().any(|&x| x != 0.0) {
+            prop_assert!((cosine(&v, &v) - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn tokenizer_never_panics(s in ".{0,300}") {
+        let toks = tokenize(&s);
+        for t in toks {
+            prop_assert!(!t.is_empty());
+        }
+    }
+}

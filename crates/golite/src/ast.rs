@@ -1,0 +1,1071 @@
+//! Abstract syntax tree for the Go subset.
+//!
+//! Nodes derive `Clone`/`PartialEq`/`Serialize` so they can be rewritten
+//! by fix strategies, compared in golden tests, and persisted in the
+//! example database. Every node carries a [`Span`] into its source file;
+//! synthesized nodes use [`Span::DUMMY`].
+
+use crate::span::Span;
+use serde::{Deserialize, Serialize};
+
+/// A parsed source file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct File {
+    /// Package clause name.
+    pub package: String,
+    /// Import declarations, in source order.
+    pub imports: Vec<Import>,
+    /// Top-level declarations, in source order.
+    pub decls: Vec<Decl>,
+    /// Span of the whole file.
+    pub span: Span,
+}
+
+impl File {
+    /// Finds the first function declaration named `name` (ignoring receivers).
+    pub fn find_func(&self, name: &str) -> Option<&FuncDecl> {
+        self.decls.iter().find_map(|d| match d {
+            Decl::Func(f) if f.name == name => Some(f),
+            _ => None,
+        })
+    }
+
+    /// Mutable variant of [`File::find_func`].
+    pub fn find_func_mut(&mut self, name: &str) -> Option<&mut FuncDecl> {
+        self.decls.iter_mut().find_map(|d| match d {
+            Decl::Func(f) if f.name == name => Some(f),
+            _ => None,
+        })
+    }
+
+    /// Iterates over all function declarations.
+    pub fn funcs(&self) -> impl Iterator<Item = &FuncDecl> {
+        self.decls.iter().filter_map(|d| match d {
+            Decl::Func(f) => Some(f),
+            _ => None,
+        })
+    }
+
+    /// Finds the first type declaration named `name`.
+    pub fn find_type(&self, name: &str) -> Option<&TypeDecl> {
+        self.decls.iter().find_map(|d| match d {
+            Decl::Type(t) if t.name == name => Some(t),
+            _ => None,
+        })
+    }
+
+    /// Mutable variant of [`File::find_type`].
+    pub fn find_type_mut(&mut self, name: &str) -> Option<&mut TypeDecl> {
+        self.decls.iter_mut().find_map(|d| match d {
+            Decl::Type(t) if t.name == name => Some(t),
+            _ => None,
+        })
+    }
+}
+
+/// An import declaration such as `import foo "bar/foo"`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Import {
+    /// Optional local alias.
+    pub alias: Option<String>,
+    /// Quoted import path with quotes removed.
+    pub path: String,
+    /// Source span.
+    pub span: Span,
+}
+
+/// A top-level declaration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Decl {
+    /// A function or method declaration.
+    Func(FuncDecl),
+    /// A named type declaration.
+    Type(TypeDecl),
+    /// A package-level `var` declaration.
+    Var(VarDecl),
+    /// A package-level `const` declaration.
+    Const(VarDecl),
+}
+
+impl Decl {
+    /// Span of the declaration.
+    pub fn span(&self) -> Span {
+        match self {
+            Decl::Func(f) => f.span,
+            Decl::Type(t) => t.span,
+            Decl::Var(v) | Decl::Const(v) => v.span,
+        }
+    }
+}
+
+/// A type parameter such as `ROW any`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TypeParam {
+    /// Parameter name.
+    pub name: String,
+    /// Constraint identifier (`any` in the subset).
+    pub constraint: String,
+}
+
+/// A function or method declaration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FuncDecl {
+    /// Method receiver, if any.
+    pub receiver: Option<Receiver>,
+    /// Function name.
+    pub name: String,
+    /// Generic type parameters (parsed, semantically erased).
+    pub type_params: Vec<TypeParam>,
+    /// Parameter and result signature.
+    pub sig: FuncSig,
+    /// Body; `None` for declarations without bodies.
+    pub body: Option<Block>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// A method receiver such as `(s *storeObject)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Receiver {
+    /// Receiver binding name (may be `_`).
+    pub name: String,
+    /// Receiver type.
+    pub ty: Type,
+    /// Source span.
+    pub span: Span,
+}
+
+/// A function signature: parameters and results.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FuncSig {
+    /// Parameter groups.
+    pub params: Vec<Param>,
+    /// Result groups (names usually empty).
+    pub results: Vec<Param>,
+}
+
+impl FuncSig {
+    /// Iterates over `(name, type)` pairs of all parameters, flattened.
+    pub fn param_names(&self) -> impl Iterator<Item = (&str, &Type)> {
+        self.params
+            .iter()
+            .flat_map(|p| p.names.iter().map(move |n| (n.as_str(), &p.ty)))
+    }
+}
+
+/// One parameter group: `a, b int`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    /// Names in the group; empty for unnamed results/params.
+    pub names: Vec<String>,
+    /// The shared type.
+    pub ty: Type,
+    /// Whether this parameter is variadic (`...T`).
+    pub variadic: bool,
+    /// Source span.
+    pub span: Span,
+}
+
+/// A named type declaration `type Name = T` / `type Name T`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TypeDecl {
+    /// Declared name.
+    pub name: String,
+    /// Generic type parameters.
+    pub type_params: Vec<TypeParam>,
+    /// Underlying type.
+    pub ty: Type,
+    /// Source span.
+    pub span: Span,
+}
+
+/// A `var`/`const` declaration (also used as a statement).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VarDecl {
+    /// Declared names.
+    pub names: Vec<String>,
+    /// Declared type, if present.
+    pub ty: Option<Type>,
+    /// Initializer expressions (may be empty).
+    pub values: Vec<Expr>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// Channel direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChanDir {
+    /// Bidirectional `chan T`.
+    Both,
+    /// Send-only `chan<- T`.
+    Send,
+    /// Receive-only `<-chan T`.
+    Recv,
+}
+
+/// A struct field group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Field {
+    /// Field names; a single empty-name group models embedding.
+    pub names: Vec<String>,
+    /// Field type.
+    pub ty: Type,
+    /// Source span.
+    pub span: Span,
+}
+
+/// A type in the subset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Type {
+    /// A (possibly qualified, possibly instantiated) named type:
+    /// `int`, `sync.Mutex`, `Scanner[ROW]`.
+    Named {
+        /// Path segments, e.g. `["sync", "Mutex"]`.
+        path: Vec<String>,
+        /// Generic arguments, usually empty.
+        args: Vec<Type>,
+    },
+    /// `*T`.
+    Pointer(Box<Type>),
+    /// `[]T`.
+    Slice(Box<Type>),
+    /// `[N]T`.
+    Array {
+        /// Length expression.
+        len: Box<Expr>,
+        /// Element type.
+        elem: Box<Type>,
+    },
+    /// `map[K]V`.
+    Map {
+        /// Key type.
+        key: Box<Type>,
+        /// Value type.
+        value: Box<Type>,
+    },
+    /// `chan T`, `chan<- T`, `<-chan T`.
+    Chan {
+        /// Direction.
+        dir: ChanDir,
+        /// Element type.
+        elem: Box<Type>,
+    },
+    /// `func(...) ...`.
+    Func(Box<FuncSig>),
+    /// `struct { ... }`.
+    Struct(Vec<Field>),
+    /// `interface{}` (method sets are not modelled; names recorded only).
+    Interface(Vec<String>),
+}
+
+impl Type {
+    /// Builds a named type from a dotted path like `"sync.Mutex"`.
+    pub fn named(path: &str) -> Type {
+        Type::Named {
+            path: path.split('.').map(str::to_owned).collect(),
+            args: Vec::new(),
+        }
+    }
+
+    /// Returns the dotted path if this is a named type.
+    pub fn as_named_path(&self) -> Option<String> {
+        match self {
+            Type::Named { path, .. } => Some(path.join(".")),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this type is (or points to) the named path `p`.
+    pub fn is_named(&self, p: &str) -> bool {
+        match self {
+            Type::Named { path, .. } => path.join(".") == p,
+            Type::Pointer(inner) => inner.is_named(p),
+            _ => false,
+        }
+    }
+}
+
+/// A block of statements.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// Assignment operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AssignOp {
+    /// `=`
+    Assign,
+    /// `+=`
+    Add,
+    /// `-=`
+    Sub,
+    /// `*=`
+    Mul,
+    /// `/=`
+    Div,
+    /// `%=`
+    Rem,
+    /// `&=`
+    And,
+    /// `|=`
+    Or,
+}
+
+impl AssignOp {
+    /// The surface syntax for the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            AssignOp::Assign => "=",
+            AssignOp::Add => "+=",
+            AssignOp::Sub => "-=",
+            AssignOp::Mul => "*=",
+            AssignOp::Div => "/=",
+            AssignOp::Rem => "%=",
+            AssignOp::And => "&=",
+            AssignOp::Or => "|=",
+        }
+    }
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// `var`/`const` declaration statement.
+    Decl(VarDecl),
+    /// Short variable declaration `a, b := ...`.
+    ShortVar {
+        /// Declared names.
+        names: Vec<String>,
+        /// Right-hand sides.
+        values: Vec<Expr>,
+        /// Source span.
+        span: Span,
+    },
+    /// Assignment `lhs op rhs`.
+    Assign {
+        /// Assignment targets.
+        lhs: Vec<Expr>,
+        /// Operator.
+        op: AssignOp,
+        /// Right-hand sides.
+        rhs: Vec<Expr>,
+        /// Source span.
+        span: Span,
+    },
+    /// `x++` / `x--`.
+    IncDec {
+        /// Target expression.
+        expr: Expr,
+        /// `true` for `++`.
+        inc: bool,
+        /// Source span.
+        span: Span,
+    },
+    /// Expression statement.
+    Expr(Expr),
+    /// Channel send `ch <- v`.
+    Send {
+        /// Channel expression.
+        chan: Expr,
+        /// Sent value.
+        value: Expr,
+        /// Source span.
+        span: Span,
+    },
+    /// `go call(...)`.
+    Go {
+        /// The spawned call (must be a call expression).
+        call: Expr,
+        /// Source span.
+        span: Span,
+    },
+    /// `defer call(...)`.
+    Defer {
+        /// The deferred call.
+        call: Expr,
+        /// Source span.
+        span: Span,
+    },
+    /// `return a, b`.
+    Return {
+        /// Returned values.
+        values: Vec<Expr>,
+        /// Source span.
+        span: Span,
+    },
+    /// `if` statement.
+    If(IfStmt),
+    /// Three-clause / conditional / infinite `for`.
+    For(ForStmt),
+    /// `for ... range` statement.
+    Range(RangeStmt),
+    /// `switch` statement.
+    Switch(SwitchStmt),
+    /// `select` statement.
+    Select(SelectStmt),
+    /// Nested block.
+    Block(Block),
+    /// `break [label]`.
+    Break {
+        /// Optional label.
+        label: Option<String>,
+        /// Source span.
+        span: Span,
+    },
+    /// `continue [label]`.
+    Continue {
+        /// Optional label.
+        label: Option<String>,
+        /// Source span.
+        span: Span,
+    },
+    /// `label: stmt`.
+    Labeled {
+        /// Label name.
+        label: String,
+        /// Labeled statement.
+        stmt: Box<Stmt>,
+        /// Source span.
+        span: Span,
+    },
+    /// Empty statement.
+    Empty {
+        /// Source span.
+        span: Span,
+    },
+}
+
+impl Stmt {
+    /// Span of the statement.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Decl(d) => d.span,
+            Stmt::ShortVar { span, .. }
+            | Stmt::Assign { span, .. }
+            | Stmt::IncDec { span, .. }
+            | Stmt::Send { span, .. }
+            | Stmt::Go { span, .. }
+            | Stmt::Defer { span, .. }
+            | Stmt::Return { span, .. }
+            | Stmt::Break { span, .. }
+            | Stmt::Continue { span, .. }
+            | Stmt::Labeled { span, .. }
+            | Stmt::Empty { span } => *span,
+            Stmt::Expr(e) => e.span(),
+            Stmt::If(s) => s.span,
+            Stmt::For(s) => s.span,
+            Stmt::Range(s) => s.span,
+            Stmt::Switch(s) => s.span,
+            Stmt::Select(s) => s.span,
+            Stmt::Block(b) => b.span,
+        }
+    }
+}
+
+/// An `if` statement with optional init and else arm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IfStmt {
+    /// Optional init statement (`if x := f(); cond`).
+    pub init: Option<Box<Stmt>>,
+    /// Condition.
+    pub cond: Expr,
+    /// Then block.
+    pub then: Block,
+    /// Else arm: a `Block` or another `If`.
+    pub else_: Option<Box<Stmt>>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// A three-clause `for` (any clause optional).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForStmt {
+    /// Optional init statement.
+    pub init: Option<Box<Stmt>>,
+    /// Optional condition (absent = infinite loop).
+    pub cond: Option<Expr>,
+    /// Optional post statement.
+    pub post: Option<Box<Stmt>>,
+    /// Loop body.
+    pub body: Block,
+    /// Source span.
+    pub span: Span,
+}
+
+/// A `for key, value := range expr` statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RangeStmt {
+    /// Key binding (may be `_`, may be absent for bare `range expr`).
+    pub key: Option<Expr>,
+    /// Value binding.
+    pub value: Option<Expr>,
+    /// `true` when declared with `:=`.
+    pub define: bool,
+    /// The ranged expression.
+    pub expr: Expr,
+    /// Loop body.
+    pub body: Block,
+    /// Source span.
+    pub span: Span,
+}
+
+/// An expression `switch` statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwitchStmt {
+    /// Optional init statement.
+    pub init: Option<Box<Stmt>>,
+    /// Optional tag expression.
+    pub tag: Option<Expr>,
+    /// Cases in order (`exprs` empty = `default`).
+    pub cases: Vec<SwitchCase>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// One `case`/`default` clause of a switch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwitchCase {
+    /// Case expressions; empty means `default`.
+    pub exprs: Vec<Expr>,
+    /// Clause body.
+    pub body: Vec<Stmt>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// A `select` statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectStmt {
+    /// Communication cases.
+    pub cases: Vec<SelectCase>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// One `case`/`default` clause of a select.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectCase {
+    /// The communication operation.
+    pub comm: CommClause,
+    /// Clause body.
+    pub body: Vec<Stmt>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// The communication operation of a select case.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CommClause {
+    /// `case ch <- v:`.
+    Send {
+        /// Channel expression.
+        chan: Expr,
+        /// Sent value.
+        value: Expr,
+    },
+    /// `case x := <-ch:` / `case <-ch:`.
+    Recv {
+        /// Receive targets (empty for bare receive).
+        lhs: Vec<Expr>,
+        /// `true` when declared with `:=`.
+        define: bool,
+        /// Channel expression.
+        chan: Expr,
+    },
+    /// `default:`.
+    Default,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Arithmetic negation `-x`.
+    Neg,
+    /// Logical not `!x`.
+    Not,
+    /// Address-of `&x`.
+    Addr,
+    /// Dereference `*x`.
+    Deref,
+    /// Channel receive `<-ch`.
+    Recv,
+    /// Bitwise complement `^x`.
+    BitNot,
+}
+
+impl UnOp {
+    /// Surface syntax for the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "!",
+            UnOp::Addr => "&",
+            UnOp::Deref => "*",
+            UnOp::Recv => "<-",
+            UnOp::BitNot => "^",
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `==`
+    Eq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+impl BinOp {
+    /// Surface syntax for the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::AndAnd => "&&",
+            BinOp::OrOr => "||",
+            BinOp::Eq => "==",
+            BinOp::NotEq => "!=",
+            BinOp::Lt => "<",
+            BinOp::LtEq => "<=",
+            BinOp::Gt => ">",
+            BinOp::GtEq => ">=",
+            BinOp::BitAnd => "&",
+            BinOp::BitOr => "|",
+            BinOp::BitXor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+        }
+    }
+
+    /// Go operator precedence (higher binds tighter).
+    pub fn precedence(self) -> u8 {
+        use BinOp::*;
+        match self {
+            OrOr => 1,
+            AndAnd => 2,
+            Eq | NotEq | Lt | LtEq | Gt | GtEq => 3,
+            Add | Sub | BitOr | BitXor => 4,
+            Mul | Div | Rem | BitAnd | Shl | Shr => 5,
+        }
+    }
+}
+
+/// One element of a composite literal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompositeElem {
+    /// Optional key (field name or map key expression).
+    pub key: Option<Expr>,
+    /// The element value.
+    pub value: Expr,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// An identifier reference.
+    Ident {
+        /// Name.
+        name: String,
+        /// Source span.
+        span: Span,
+    },
+    /// Integer literal.
+    IntLit {
+        /// Value.
+        value: i64,
+        /// Source span.
+        span: Span,
+    },
+    /// Float literal.
+    FloatLit {
+        /// Value.
+        value: f64,
+        /// Source span.
+        span: Span,
+    },
+    /// String literal (unescaped).
+    StrLit {
+        /// Value.
+        value: String,
+        /// Source span.
+        span: Span,
+    },
+    /// Rune literal.
+    RuneLit {
+        /// Value.
+        value: char,
+        /// Source span.
+        span: Span,
+    },
+    /// Composite literal `T{...}` / untyped `{...}` inside another literal.
+    CompositeLit {
+        /// Literal type; `None` when elided.
+        ty: Option<Type>,
+        /// Elements.
+        elems: Vec<CompositeElem>,
+        /// Source span.
+        span: Span,
+    },
+    /// Function literal (closure).
+    FuncLit {
+        /// Signature.
+        sig: FuncSig,
+        /// Body.
+        body: Block,
+        /// Source span.
+        span: Span,
+    },
+    /// Field/method selection `x.name`.
+    Selector {
+        /// Receiver expression.
+        expr: Box<Expr>,
+        /// Selected name.
+        name: String,
+        /// Source span.
+        span: Span,
+    },
+    /// Indexing `x[i]`.
+    Index {
+        /// Indexed expression.
+        expr: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+        /// Source span.
+        span: Span,
+    },
+    /// Slicing `x[lo:hi]`.
+    SliceExpr {
+        /// Sliced expression.
+        expr: Box<Expr>,
+        /// Lower bound.
+        lo: Option<Box<Expr>>,
+        /// Upper bound.
+        hi: Option<Box<Expr>>,
+        /// Source span.
+        span: Span,
+    },
+    /// Call `f(args...)`.
+    Call {
+        /// Callee.
+        fun: Box<Expr>,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// `true` if the final argument is spread with `...`.
+        variadic: bool,
+        /// Source span.
+        span: Span,
+    },
+    /// `make(T, args...)`.
+    Make {
+        /// Constructed type.
+        ty: Type,
+        /// Size/capacity arguments.
+        args: Vec<Expr>,
+        /// Source span.
+        span: Span,
+    },
+    /// `new(T)`.
+    New {
+        /// Pointee type.
+        ty: Type,
+        /// Source span.
+        span: Span,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+        /// Source span.
+        span: Span,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source span.
+        span: Span,
+    },
+    /// Parenthesized expression.
+    Paren {
+        /// Inner expression.
+        expr: Box<Expr>,
+        /// Source span.
+        span: Span,
+    },
+    /// Type assertion `x.(T)`.
+    TypeAssert {
+        /// Asserted expression.
+        expr: Box<Expr>,
+        /// Target type.
+        ty: Type,
+        /// Source span.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// Span of the expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Ident { span, .. }
+            | Expr::IntLit { span, .. }
+            | Expr::FloatLit { span, .. }
+            | Expr::StrLit { span, .. }
+            | Expr::RuneLit { span, .. }
+            | Expr::CompositeLit { span, .. }
+            | Expr::FuncLit { span, .. }
+            | Expr::Selector { span, .. }
+            | Expr::Index { span, .. }
+            | Expr::SliceExpr { span, .. }
+            | Expr::Call { span, .. }
+            | Expr::Make { span, .. }
+            | Expr::New { span, .. }
+            | Expr::Unary { span, .. }
+            | Expr::Binary { span, .. }
+            | Expr::Paren { span, .. }
+            | Expr::TypeAssert { span, .. } => *span,
+        }
+    }
+
+    /// Creates an identifier expression with a dummy span.
+    pub fn ident(name: impl Into<String>) -> Expr {
+        Expr::Ident {
+            name: name.into(),
+            span: Span::DUMMY,
+        }
+    }
+
+    /// Creates an integer literal with a dummy span.
+    pub fn int(value: i64) -> Expr {
+        Expr::IntLit {
+            value,
+            span: Span::DUMMY,
+        }
+    }
+
+    /// Creates a string literal with a dummy span.
+    pub fn str(value: impl Into<String>) -> Expr {
+        Expr::StrLit {
+            value: value.into(),
+            span: Span::DUMMY,
+        }
+    }
+
+    /// Creates `recv.name` with a dummy span.
+    pub fn select(recv: Expr, name: impl Into<String>) -> Expr {
+        Expr::Selector {
+            expr: Box::new(recv),
+            name: name.into(),
+            span: Span::DUMMY,
+        }
+    }
+
+    /// Creates a dotted path expression like `sync.Mutex` from `"sync.Mutex"`.
+    pub fn path(dotted: &str) -> Expr {
+        let mut parts = dotted.split('.');
+        let mut e = Expr::ident(parts.next().unwrap_or_default());
+        for p in parts {
+            e = Expr::select(e, p);
+        }
+        e
+    }
+
+    /// Creates a call `fun(args...)` with a dummy span.
+    pub fn call(fun: Expr, args: Vec<Expr>) -> Expr {
+        Expr::Call {
+            fun: Box::new(fun),
+            args,
+            variadic: false,
+            span: Span::DUMMY,
+        }
+    }
+
+    /// Creates a method call `recv.name(args...)` with a dummy span.
+    pub fn method(recv: Expr, name: &str, args: Vec<Expr>) -> Expr {
+        Expr::call(Expr::select(recv, name), args)
+    }
+
+    /// If this is a (possibly parenthesized) identifier, returns its name.
+    pub fn as_ident(&self) -> Option<&str> {
+        match self {
+            Expr::Ident { name, .. } => Some(name),
+            Expr::Paren { expr, .. } => expr.as_ident(),
+            _ => None,
+        }
+    }
+
+    /// Renders the "root" variable of an lvalue chain, e.g. `a` in `a.b[i]`.
+    pub fn root_ident(&self) -> Option<&str> {
+        match self {
+            Expr::Ident { name, .. } => Some(name),
+            Expr::Selector { expr, .. }
+            | Expr::Index { expr, .. }
+            | Expr::SliceExpr { expr, .. }
+            | Expr::Paren { expr, .. }
+            | Expr::TypeAssert { expr, .. } => expr.root_ident(),
+            Expr::Unary {
+                op: UnOp::Deref | UnOp::Addr,
+                expr,
+                ..
+            } => expr.root_ident(),
+            _ => None,
+        }
+    }
+}
+
+impl Stmt {
+    /// Creates an expression statement.
+    pub fn expr(e: Expr) -> Stmt {
+        Stmt::Expr(e)
+    }
+
+    /// Creates a single-target `=` assignment with a dummy span.
+    pub fn assign(lhs: Expr, rhs: Expr) -> Stmt {
+        Stmt::Assign {
+            lhs: vec![lhs],
+            op: AssignOp::Assign,
+            rhs: vec![rhs],
+            span: Span::DUMMY,
+        }
+    }
+
+    /// Creates a single-name `:=` declaration with a dummy span.
+    pub fn short_var(name: impl Into<String>, value: Expr) -> Stmt {
+        Stmt::ShortVar {
+            names: vec![name.into()],
+            values: vec![value],
+            span: Span::DUMMY,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_builders_compose() {
+        let e = Expr::method(Expr::ident("wg"), "Add", vec![Expr::int(1)]);
+        match &e {
+            Expr::Call { fun, args, .. } => {
+                assert_eq!(args.len(), 1);
+                match fun.as_ref() {
+                    Expr::Selector { expr, name, .. } => {
+                        assert_eq!(name, "Add");
+                        assert_eq!(expr.as_ident(), Some("wg"));
+                    }
+                    other => panic!("expected selector, got {other:?}"),
+                }
+            }
+            other => panic!("expected call, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn root_ident_traverses_chains() {
+        // a.b[0].c
+        let e = Expr::select(
+            Expr::Index {
+                expr: Box::new(Expr::select(Expr::ident("a"), "b")),
+                index: Box::new(Expr::int(0)),
+                span: Span::DUMMY,
+            },
+            "c",
+        );
+        assert_eq!(e.root_ident(), Some("a"));
+        assert_eq!(Expr::int(3).root_ident(), None);
+    }
+
+    #[test]
+    fn path_builder() {
+        let e = Expr::path("a.b.c");
+        assert_eq!(e.root_ident(), Some("a"));
+        match e {
+            Expr::Selector { name, .. } => assert_eq!(name, "c"),
+            other => panic!("expected selector, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn type_helpers() {
+        let t = Type::named("sync.Mutex");
+        assert!(t.is_named("sync.Mutex"));
+        assert!(Type::Pointer(Box::new(t.clone())).is_named("sync.Mutex"));
+        assert_eq!(t.as_named_path().as_deref(), Some("sync.Mutex"));
+        assert!(!Type::Slice(Box::new(Type::named("int"))).is_named("int"));
+    }
+
+    #[test]
+    fn binop_precedence_ordering() {
+        assert!(BinOp::Mul.precedence() > BinOp::Add.precedence());
+        assert!(BinOp::Add.precedence() > BinOp::Eq.precedence());
+        assert!(BinOp::Eq.precedence() > BinOp::AndAnd.precedence());
+        assert!(BinOp::AndAnd.precedence() > BinOp::OrOr.precedence());
+    }
+
+    #[test]
+    fn find_func_on_file() {
+        let f = File {
+            package: "p".into(),
+            imports: vec![],
+            decls: vec![Decl::Func(FuncDecl {
+                receiver: None,
+                name: "Main".into(),
+                type_params: vec![],
+                sig: FuncSig::default(),
+                body: Some(Block::default()),
+                span: Span::DUMMY,
+            })],
+            span: Span::DUMMY,
+        };
+        assert!(f.find_func("Main").is_some());
+        assert!(f.find_func("Other").is_none());
+        assert_eq!(f.funcs().count(), 1);
+    }
+}

@@ -1,0 +1,59 @@
+//! Diagnostics shared by the lexer and parser.
+
+use crate::span::{LineMap, Span};
+use std::fmt;
+
+/// A parse/lex diagnostic with a message and source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diag {
+    /// Human-readable message (lowercase, no trailing punctuation).
+    pub message: String,
+    /// Location the diagnostic points at.
+    pub span: Span,
+}
+
+impl Diag {
+    /// Creates a diagnostic at `span`.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        Diag {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Renders the diagnostic with line/column resolved against `src`.
+    pub fn render(&self, file: &str, src: &str) -> String {
+        let lm = LineMap::new(src);
+        let lc = lm.line_col(self.span.lo);
+        format!("{file}:{lc}: error: {}", self.message)
+    }
+}
+
+impl fmt::Display for Diag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for Diag {}
+
+/// Convenience alias used throughout the frontend.
+pub type Result<T> = std::result::Result<T, Diag>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_with_line_col() {
+        let d = Diag::new("unexpected token", Span::new(4, 5));
+        let rendered = d.render("main.go", "ab\ncde");
+        assert_eq!(rendered, "main.go:2:2: error: unexpected token");
+    }
+
+    #[test]
+    fn display_is_meaningful() {
+        let d = Diag::new("boom", Span::new(1, 2));
+        assert_eq!(d.to_string(), "error at 1..2: boom");
+    }
+}

@@ -1,0 +1,580 @@
+//! Hand-written lexer with Go-style automatic semicolon insertion.
+
+use crate::diag::{Diag, Result};
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Streaming lexer over a source string.
+///
+/// Implements the two Go semicolon-insertion rules that matter for this
+/// subset: a `;` token is synthesized at a newline when the previous token
+/// can end a statement, and before `)`/`}` the parser tolerates a missing
+/// semicolon.
+pub struct Lexer<'src> {
+    src: &'src str,
+    bytes: &'src [u8],
+    pos: usize,
+    /// Kind of the last real (non-synthesized) token, for semicolon insertion.
+    last: Option<TokenKind>,
+    /// Pending synthesized semicolon.
+    pending_semi: Option<Span>,
+}
+
+impl<'src> Lexer<'src> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'src str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            last: None,
+            pending_semi: None,
+        }
+    }
+
+    /// Lexes the whole input into a token vector (terminated by `Eof`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Diag`] on unterminated strings/comments or stray bytes.
+    pub fn tokenize(src: &'src str) -> Result<Vec<Token>> {
+        let mut lx = Lexer::new(src);
+        let mut out = Vec::new();
+        loop {
+            let t = lx.next_token()?;
+            let done = t.kind == TokenKind::Eof;
+            out.push(t);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    /// Returns the source text of a span.
+    pub fn text(&self, span: Span) -> &'src str {
+        &self.src[span.lo as usize..span.hi as usize]
+    }
+
+    fn peek(&self) -> u8 {
+        self.bytes.get(self.pos).copied().unwrap_or(0)
+    }
+
+    fn peek2(&self) -> u8 {
+        self.bytes.get(self.pos + 1).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.peek();
+        self.pos += 1;
+        b
+    }
+
+    /// Skips whitespace and comments; returns `true` if a newline (or a
+    /// comment containing one) was crossed.
+    fn skip_trivia(&mut self) -> Result<bool> {
+        let mut saw_newline = false;
+        loop {
+            match self.peek() {
+                b' ' | b'\t' | b'\r' => {
+                    self.pos += 1;
+                }
+                b'\n' => {
+                    saw_newline = true;
+                    self.pos += 1;
+                }
+                b'/' if self.peek2() == b'/' => {
+                    while self.pos < self.bytes.len() && self.peek() != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                b'/' if self.peek2() == b'*' => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    loop {
+                        if self.pos + 1 >= self.bytes.len() {
+                            return Err(Diag::new(
+                                "unterminated block comment",
+                                Span::new(start as u32, self.bytes.len() as u32),
+                            ));
+                        }
+                        if self.peek() == b'*' && self.peek2() == b'/' {
+                            self.pos += 2;
+                            break;
+                        }
+                        if self.peek() == b'\n' {
+                            saw_newline = true;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                _ => return Ok(saw_newline),
+            }
+        }
+    }
+
+    /// Produces the next token, synthesizing semicolons per Go's rules.
+    pub fn next_token(&mut self) -> Result<Token> {
+        if let Some(span) = self.pending_semi.take() {
+            self.last = Some(TokenKind::Semi);
+            return Ok(Token {
+                kind: TokenKind::Semi,
+                span,
+            });
+        }
+
+        let newline = self.skip_trivia()?;
+        if newline {
+            if let Some(prev) = self.last {
+                if prev.ends_statement() {
+                    self.last = Some(TokenKind::Semi);
+                    let here = self.pos as u32;
+                    return Ok(Token {
+                        kind: TokenKind::Semi,
+                        span: Span::new(here, here),
+                    });
+                }
+            }
+        }
+
+        let start = self.pos as u32;
+        if self.pos >= self.bytes.len() {
+            // EOF also triggers semicolon insertion once.
+            if let Some(prev) = self.last {
+                if prev.ends_statement() {
+                    self.last = Some(TokenKind::Semi);
+                    return Ok(Token {
+                        kind: TokenKind::Semi,
+                        span: Span::new(start, start),
+                    });
+                }
+            }
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                span: Span::new(start, start),
+            });
+        }
+
+        let b = self.peek();
+        let kind = match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => return self.lex_ident(start),
+            b'0'..=b'9' => return self.lex_number(start),
+            b'.' if self.peek2().is_ascii_digit() => return self.lex_number(start),
+            b'"' => return self.lex_string(start, b'"'),
+            b'`' => return self.lex_raw_string(start),
+            b'\'' => return self.lex_rune(start),
+            _ => self.lex_operator(start)?,
+        };
+        let span = Span::new(start, self.pos as u32);
+        self.last = Some(kind);
+        Ok(Token { kind, span })
+    }
+
+    fn lex_ident(&mut self, start: u32) -> Result<Token> {
+        while matches!(self.peek(), b'a'..=b'z' | b'A'..=b'Z' | b'_' | b'0'..=b'9') {
+            self.pos += 1;
+        }
+        let span = Span::new(start, self.pos as u32);
+        let text = self.text(span);
+        let kind = TokenKind::keyword(text).unwrap_or(TokenKind::Ident);
+        self.last = Some(kind);
+        Ok(Token { kind, span })
+    }
+
+    fn lex_number(&mut self, start: u32) -> Result<Token> {
+        let mut is_float = false;
+        if self.peek() == b'0' && matches!(self.peek2(), b'x' | b'X') {
+            self.pos += 2;
+            while self.peek().is_ascii_hexdigit() || self.peek() == b'_' {
+                self.pos += 1;
+            }
+        } else {
+            while self.peek().is_ascii_digit() || self.peek() == b'_' {
+                self.pos += 1;
+            }
+            if self.peek() == b'.' && self.peek2().is_ascii_digit() {
+                is_float = true;
+                self.pos += 1;
+                while self.peek().is_ascii_digit() || self.peek() == b'_' {
+                    self.pos += 1;
+                }
+            } else if self.peek() == b'.' && !matches!(self.peek2(), b'a'..=b'z' | b'A'..=b'Z' | b'_' | b'.') {
+                // `1.` style float (but not `1..` or `1.method`).
+                is_float = true;
+                self.pos += 1;
+            }
+            if matches!(self.peek(), b'e' | b'E') {
+                let save = self.pos;
+                self.pos += 1;
+                if matches!(self.peek(), b'+' | b'-') {
+                    self.pos += 1;
+                }
+                if self.peek().is_ascii_digit() {
+                    is_float = true;
+                    while self.peek().is_ascii_digit() {
+                        self.pos += 1;
+                    }
+                } else {
+                    self.pos = save;
+                }
+            }
+        }
+        let span = Span::new(start, self.pos as u32);
+        let kind = if is_float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        };
+        self.last = Some(kind);
+        Ok(Token { kind, span })
+    }
+
+    fn lex_string(&mut self, start: u32, quote: u8) -> Result<Token> {
+        self.pos += 1; // opening quote
+        loop {
+            match self.peek() {
+                0 | b'\n' => {
+                    return Err(Diag::new(
+                        "unterminated string literal",
+                        Span::new(start, self.pos as u32),
+                    ))
+                }
+                b'\\' => {
+                    self.pos += 2;
+                }
+                b if b == quote => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => {
+                    self.pos += 1;
+                }
+            }
+        }
+        let span = Span::new(start, self.pos as u32);
+        self.last = Some(TokenKind::Str);
+        Ok(Token {
+            kind: TokenKind::Str,
+            span,
+        })
+    }
+
+    fn lex_raw_string(&mut self, start: u32) -> Result<Token> {
+        self.pos += 1;
+        while self.peek() != b'`' {
+            if self.pos >= self.bytes.len() {
+                return Err(Diag::new(
+                    "unterminated raw string literal",
+                    Span::new(start, self.pos as u32),
+                ));
+            }
+            self.pos += 1;
+        }
+        self.pos += 1;
+        let span = Span::new(start, self.pos as u32);
+        self.last = Some(TokenKind::Str);
+        Ok(Token {
+            kind: TokenKind::Str,
+            span,
+        })
+    }
+
+    fn lex_rune(&mut self, start: u32) -> Result<Token> {
+        self.pos += 1;
+        if self.peek() == b'\\' {
+            self.pos += 2;
+        } else {
+            // Skip one (possibly multi-byte) character.
+            let rest = &self.src[self.pos..];
+            let n = rest.chars().next().map(char::len_utf8).unwrap_or(1);
+            self.pos += n;
+        }
+        if self.peek() != b'\'' {
+            return Err(Diag::new(
+                "unterminated rune literal",
+                Span::new(start, self.pos as u32),
+            ));
+        }
+        self.pos += 1;
+        let span = Span::new(start, self.pos as u32);
+        self.last = Some(TokenKind::Rune);
+        Ok(Token {
+            kind: TokenKind::Rune,
+            span,
+        })
+    }
+
+    fn lex_operator(&mut self, start: u32) -> Result<TokenKind> {
+        use TokenKind::*;
+        let b = self.bump();
+        let kind = match b {
+            b'+' => match self.peek() {
+                b'+' => {
+                    self.pos += 1;
+                    PlusPlus
+                }
+                b'=' => {
+                    self.pos += 1;
+                    PlusAssign
+                }
+                _ => Plus,
+            },
+            b'-' => match self.peek() {
+                b'-' => {
+                    self.pos += 1;
+                    MinusMinus
+                }
+                b'=' => {
+                    self.pos += 1;
+                    MinusAssign
+                }
+                _ => Minus,
+            },
+            b'*' => {
+                if self.peek() == b'=' {
+                    self.pos += 1;
+                    StarAssign
+                } else {
+                    Star
+                }
+            }
+            b'/' => {
+                if self.peek() == b'=' {
+                    self.pos += 1;
+                    SlashAssign
+                } else {
+                    Slash
+                }
+            }
+            b'%' => {
+                if self.peek() == b'=' {
+                    self.pos += 1;
+                    PercentAssign
+                } else {
+                    Percent
+                }
+            }
+            b'&' => match self.peek() {
+                b'&' => {
+                    self.pos += 1;
+                    AndAnd
+                }
+                b'=' => {
+                    self.pos += 1;
+                    AmpAssign
+                }
+                _ => Amp,
+            },
+            b'|' => match self.peek() {
+                b'|' => {
+                    self.pos += 1;
+                    OrOr
+                }
+                b'=' => {
+                    self.pos += 1;
+                    PipeAssign
+                }
+                _ => Pipe,
+            },
+            b'^' => Caret,
+            b'<' => match self.peek() {
+                b'-' => {
+                    self.pos += 1;
+                    Arrow
+                }
+                b'=' => {
+                    self.pos += 1;
+                    LtEq
+                }
+                b'<' => {
+                    self.pos += 1;
+                    Shl
+                }
+                _ => Lt,
+            },
+            b'>' => match self.peek() {
+                b'=' => {
+                    self.pos += 1;
+                    GtEq
+                }
+                b'>' => {
+                    self.pos += 1;
+                    Shr
+                }
+                _ => Gt,
+            },
+            b'=' => {
+                if self.peek() == b'=' {
+                    self.pos += 1;
+                    EqEq
+                } else {
+                    Assign
+                }
+            }
+            b'!' => {
+                if self.peek() == b'=' {
+                    self.pos += 1;
+                    NotEq
+                } else {
+                    Not
+                }
+            }
+            b':' => {
+                if self.peek() == b'=' {
+                    self.pos += 1;
+                    Define
+                } else {
+                    Colon
+                }
+            }
+            b'.' => {
+                if self.peek() == b'.' && self.peek2() == b'.' {
+                    self.pos += 2;
+                    Ellipsis
+                } else {
+                    Dot
+                }
+            }
+            b'(' => LParen,
+            b'[' => LBracket,
+            b'{' => LBrace,
+            b',' => Comma,
+            b')' => RParen,
+            b']' => RBracket,
+            b'}' => RBrace,
+            b';' => Semi,
+            _ => {
+                return Err(Diag::new(
+                    format!("unexpected character `{}`", b as char),
+                    Span::new(start, self.pos as u32),
+                ))
+            }
+        };
+        Ok(kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_simple_declaration() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("var x = 42"),
+            vec![Var, Ident, Assign, Int, Semi, Eof]
+        );
+    }
+
+    #[test]
+    fn auto_semicolon_after_ident_at_newline() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("x := 1\ny := 2"),
+            vec![Ident, Define, Int, Semi, Ident, Define, Int, Semi, Eof]
+        );
+    }
+
+    #[test]
+    fn no_semicolon_after_binary_op() {
+        use TokenKind::*;
+        assert_eq!(kinds("x +\ny"), vec![Ident, Plus, Ident, Semi, Eof]);
+    }
+
+    #[test]
+    fn lexes_channel_arrow() {
+        use TokenKind::*;
+        assert_eq!(kinds("ch <- 1"), vec![Ident, Arrow, Int, Semi, Eof]);
+        assert_eq!(kinds("<-ch"), vec![Arrow, Ident, Semi, Eof]);
+    }
+
+    #[test]
+    fn distinguishes_define_and_colon() {
+        use TokenKind::*;
+        assert_eq!(kinds("x := 1"), vec![Ident, Define, Int, Semi, Eof]);
+        assert_eq!(
+            kinds("case 1:"),
+            vec![Case, Int, Colon, Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_comments_and_preserves_newline_semicolons() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("x // trailing\ny"),
+            vec![Ident, Semi, Ident, Semi, Eof]
+        );
+        assert_eq!(kinds("/* block */ x"), vec![Ident, Semi, Eof]);
+    }
+
+    #[test]
+    fn lexes_strings_and_escapes() {
+        use TokenKind::*;
+        assert_eq!(kinds(r#""hi \"there\"""#), vec![Str, Semi, Eof]);
+        assert_eq!(kinds("`raw\nstring`"), vec![Str, Semi, Eof]);
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        use TokenKind::*;
+        assert_eq!(kinds("1 2.5 1e3 0xff"), vec![Int, Float, Float, Int, Semi, Eof]);
+    }
+
+    #[test]
+    fn float_dot_method_not_confused() {
+        use TokenKind::*;
+        // `1e3` float, but `x.Add` keeps Dot.
+        assert_eq!(kinds("x.Add(1)"), vec![Ident, Dot, Ident, LParen, Int, RParen, Semi, Eof]);
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(Lexer::tokenize("\"oops").is_err());
+        assert!(Lexer::tokenize("`oops").is_err());
+    }
+
+    #[test]
+    fn compound_assignment_operators() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("x += 1; y -= 2"),
+            vec![Ident, PlusAssign, Int, Semi, Ident, MinusAssign, Int, Semi, Eof]
+        );
+    }
+
+    #[test]
+    fn ellipsis_and_dots() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("f(xs...)"),
+            vec![Ident, LParen, Ident, Ellipsis, RParen, Semi, Eof]
+        );
+    }
+
+    #[test]
+    fn rune_literals() {
+        use TokenKind::*;
+        assert_eq!(kinds("'a' '\\n'"), vec![Rune, Rune, Semi, Eof]);
+    }
+
+    #[test]
+    fn semicolon_inserted_at_eof() {
+        use TokenKind::*;
+        assert_eq!(kinds("return x"), vec![Return, Ident, Semi, Eof]);
+    }
+
+    #[test]
+    fn shift_operators() {
+        use TokenKind::*;
+        assert_eq!(kinds("a << 2 >> 1"), vec![Ident, Shl, Int, Shr, Int, Semi, Eof]);
+    }
+}

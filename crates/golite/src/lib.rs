@@ -1,0 +1,42 @@
+//! `golite` — a from-scratch frontend for a substantial Go subset.
+//!
+//! This crate is the language substrate of the Dr.Fix reproduction
+//! (PLDI 2025). It provides:
+//!
+//! - a [`lexer`] with Go-style automatic semicolon insertion,
+//! - a recursive-descent [`parser`] covering goroutines, closures,
+//!   channels, `select`, `sync`/`atomic` vocabulary, maps, slices,
+//!   structs/methods, `defer`, and table-driven tests,
+//! - a gofmt-flavoured [`printer`] whose output re-parses to the same
+//!   tree (round-trip tested), and
+//! - [`visit`] utilities used by the skeletonizer and fix strategies.
+//!
+//! # Example
+//!
+//! ```
+//! use golite::parse_file;
+//!
+//! let file = parse_file(
+//!     "package main\n\nfunc main() {\n\tgo work()\n}\n",
+//! )?;
+//! assert_eq!(file.package, "main");
+//! assert!(file.find_func("main").is_some());
+//! # Ok::<(), golite::Diag>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod diag;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod span;
+pub mod token;
+pub mod visit;
+
+pub use ast::{Block, Decl, Expr, File, FuncDecl, Stmt, Type};
+pub use diag::{Diag, Result};
+pub use parser::{parse_expr, parse_file, parse_stmts};
+pub use printer::{print_expr, print_file, print_func, print_stmt};
+pub use span::{LineCol, LineMap, Span};

@@ -1,0 +1,190 @@
+//! Source positions and spans.
+//!
+//! Every AST node carries a [`Span`] identifying the byte range it was
+//! parsed from. Line/column information is recovered lazily through a
+//! [`LineMap`] so the lexer stays allocation-free on the hot path.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open byte range `[lo, hi)` into a single source file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub lo: u32,
+    /// Byte offset one past the last character.
+    pub hi: u32,
+}
+
+impl Span {
+    /// Creates a span covering `[lo, hi)`.
+    pub fn new(lo: u32, hi: u32) -> Self {
+        Span { lo, hi }
+    }
+
+    /// The empty span at offset zero, used for synthesized nodes.
+    pub const DUMMY: Span = Span { lo: 0, hi: 0 };
+
+    /// Returns the smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Returns `true` if this is the dummy/synthesized span.
+    pub fn is_dummy(self) -> bool {
+        self == Span::DUMMY
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(self) -> usize {
+        (self.hi - self.lo) as usize
+    }
+
+    /// Returns `true` when the span covers no bytes.
+    pub fn is_empty(self) -> bool {
+        self.lo == self.hi
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.lo, self.hi)
+    }
+}
+
+/// A 1-based line/column pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column (byte) number.
+    pub col: u32,
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Maps byte offsets to line/column pairs for one source file.
+#[derive(Debug, Clone)]
+pub struct LineMap {
+    /// Byte offsets at which each line starts; `line_starts[0] == 0`.
+    line_starts: Vec<u32>,
+    len: u32,
+}
+
+impl LineMap {
+    /// Builds a line map by scanning `src` once.
+    pub fn new(src: &str) -> Self {
+        let mut line_starts = vec![0u32];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        LineMap {
+            line_starts,
+            len: src.len() as u32,
+        }
+    }
+
+    /// Number of lines in the file (at least 1).
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+
+    /// Converts a byte offset to a 1-based line/column pair.
+    ///
+    /// Offsets past the end of the file are clamped to the last position.
+    pub fn line_col(&self, offset: u32) -> LineCol {
+        let offset = offset.min(self.len);
+        let line_idx = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        LineCol {
+            line: line_idx as u32 + 1,
+            col: offset - self.line_starts[line_idx] + 1,
+        }
+    }
+
+    /// Returns the 1-based line number for a byte offset.
+    pub fn line(&self, offset: u32) -> u32 {
+        self.line_col(offset).line
+    }
+
+    /// Returns the byte range `[lo, hi)` covered by a 1-based line number,
+    /// or `None` if the line does not exist.
+    pub fn line_span(&self, line: u32) -> Option<Span> {
+        let idx = line.checked_sub(1)? as usize;
+        let lo = *self.line_starts.get(idx)?;
+        let hi = self
+            .line_starts
+            .get(idx + 1)
+            .copied()
+            .unwrap_or(self.len);
+        Some(Span::new(lo, hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge_covers_both() {
+        let a = Span::new(3, 7);
+        let b = Span::new(10, 12);
+        assert_eq!(a.to(b), Span::new(3, 12));
+        assert_eq!(b.to(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn span_len_and_empty() {
+        assert_eq!(Span::new(2, 5).len(), 3);
+        assert!(Span::new(4, 4).is_empty());
+        assert!(Span::DUMMY.is_dummy());
+    }
+
+    #[test]
+    fn line_map_basic() {
+        let src = "ab\ncd\n\nxyz";
+        let lm = LineMap::new(src);
+        assert_eq!(lm.line_count(), 4);
+        assert_eq!(lm.line_col(0), LineCol { line: 1, col: 1 });
+        assert_eq!(lm.line_col(1), LineCol { line: 1, col: 2 });
+        assert_eq!(lm.line_col(3), LineCol { line: 2, col: 1 });
+        assert_eq!(lm.line_col(6), LineCol { line: 3, col: 1 });
+        assert_eq!(lm.line_col(7), LineCol { line: 4, col: 1 });
+        assert_eq!(lm.line_col(9), LineCol { line: 4, col: 3 });
+    }
+
+    #[test]
+    fn line_map_clamps_past_end() {
+        let lm = LineMap::new("a\nb");
+        assert_eq!(lm.line_col(999), LineCol { line: 2, col: 2 });
+    }
+
+    #[test]
+    fn line_span_lookup() {
+        let src = "ab\ncd\nxyz";
+        let lm = LineMap::new(src);
+        assert_eq!(lm.line_span(1), Some(Span::new(0, 3)));
+        assert_eq!(lm.line_span(2), Some(Span::new(3, 6)));
+        assert_eq!(lm.line_span(3), Some(Span::new(6, 9)));
+        assert_eq!(lm.line_span(4), None);
+        assert_eq!(lm.line_span(0), None);
+    }
+
+    #[test]
+    fn empty_file_has_one_line() {
+        let lm = LineMap::new("");
+        assert_eq!(lm.line_count(), 1);
+        assert_eq!(lm.line_col(0), LineCol { line: 1, col: 1 });
+    }
+}

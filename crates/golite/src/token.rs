@@ -1,0 +1,271 @@
+//! Token kinds for the Go subset.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A lexical token kind.
+#[allow(missing_docs)] // operator/keyword variants are self-describing
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TokenKind {
+    // Literals and identifiers.
+    /// An identifier such as `foo` or `WaitGroup`.
+    Ident,
+    /// An integer literal.
+    Int,
+    /// A floating-point literal.
+    Float,
+    /// An interpreted string literal (double-quoted) or raw (backquoted).
+    Str,
+    /// A rune literal such as `'a'`.
+    Rune,
+
+    // Keywords (Go subset).
+    Break,
+    Case,
+    Chan,
+    Const,
+    Continue,
+    Default,
+    Defer,
+    Else,
+    For,
+    Func,
+    Go,
+    If,
+    Import,
+    Interface,
+    Map,
+    Package,
+    Range,
+    Return,
+    Select,
+    Struct,
+    Switch,
+    Type,
+    Var,
+    Fallthrough,
+    Goto,
+
+    // Operators and delimiters.
+    Plus,       // +
+    Minus,      // -
+    Star,       // *
+    Slash,      // /
+    Percent,    // %
+    Amp,        // &
+    Pipe,       // |
+    Caret,      // ^
+    Shl,        // <<
+    Shr,        // >>
+    AndAnd,     // &&
+    OrOr,       // ||
+    Arrow,      // <-
+    PlusPlus,   // ++
+    MinusMinus, // --
+    EqEq,       // ==
+    Lt,         // <
+    Gt,         // >
+    Assign,     // =
+    Not,        // !
+    NotEq,      // !=
+    LtEq,       // <=
+    GtEq,       // >=
+    Define,     // :=
+    Ellipsis,   // ...
+    LParen,     // (
+    LBracket,   // [
+    LBrace,     // {
+    Comma,      // ,
+    Dot,        // .
+    RParen,     // )
+    RBracket,   // ]
+    RBrace,     // }
+    Semi,       // ; (explicit or auto-inserted)
+    Colon,      // :
+    PlusAssign, // +=
+    MinusAssign,// -=
+    StarAssign, // *=
+    SlashAssign,// /=
+    PercentAssign, // %=
+    AmpAssign,  // &=
+    PipeAssign, // |=
+
+    /// End of file.
+    Eof,
+}
+
+impl TokenKind {
+    /// Returns the keyword kind for `s`, if `s` is a keyword.
+    pub fn keyword(s: &str) -> Option<TokenKind> {
+        use TokenKind::*;
+        Some(match s {
+            "break" => Break,
+            "case" => Case,
+            "chan" => Chan,
+            "const" => Const,
+            "continue" => Continue,
+            "default" => Default,
+            "defer" => Defer,
+            "else" => Else,
+            "for" => For,
+            "func" => Func,
+            "go" => Go,
+            "if" => If,
+            "import" => Import,
+            "interface" => Interface,
+            "map" => Map,
+            "package" => Package,
+            "range" => Range,
+            "return" => Return,
+            "select" => Select,
+            "struct" => Struct,
+            "switch" => Switch,
+            "type" => Type,
+            "var" => Var,
+            "fallthrough" => Fallthrough,
+            "goto" => Goto,
+            _ => return None,
+        })
+    }
+
+    /// Returns `true` if a newline after this token triggers automatic
+    /// semicolon insertion (Go spec rule 1).
+    pub fn ends_statement(self) -> bool {
+        use TokenKind::*;
+        matches!(
+            self,
+            Ident
+                | Int
+                | Float
+                | Str
+                | Rune
+                | Break
+                | Continue
+                | Fallthrough
+                | Return
+                | PlusPlus
+                | MinusMinus
+                | RParen
+                | RBracket
+                | RBrace
+        )
+    }
+
+    /// Human-readable name used in diagnostics.
+    pub fn describe(self) -> &'static str {
+        use TokenKind::*;
+        match self {
+            Ident => "identifier",
+            Int => "integer literal",
+            Float => "float literal",
+            Str => "string literal",
+            Rune => "rune literal",
+            Break => "`break`",
+            Case => "`case`",
+            Chan => "`chan`",
+            Const => "`const`",
+            Continue => "`continue`",
+            Default => "`default`",
+            Defer => "`defer`",
+            Else => "`else`",
+            For => "`for`",
+            Func => "`func`",
+            Go => "`go`",
+            If => "`if`",
+            Import => "`import`",
+            Interface => "`interface`",
+            Map => "`map`",
+            Package => "`package`",
+            Range => "`range`",
+            Return => "`return`",
+            Select => "`select`",
+            Struct => "`struct`",
+            Switch => "`switch`",
+            Type => "`type`",
+            Var => "`var`",
+            Fallthrough => "`fallthrough`",
+            Goto => "`goto`",
+            Plus => "`+`",
+            Minus => "`-`",
+            Star => "`*`",
+            Slash => "`/`",
+            Percent => "`%`",
+            Amp => "`&`",
+            Pipe => "`|`",
+            Caret => "`^`",
+            Shl => "`<<`",
+            Shr => "`>>`",
+            AndAnd => "`&&`",
+            OrOr => "`||`",
+            Arrow => "`<-`",
+            PlusPlus => "`++`",
+            MinusMinus => "`--`",
+            EqEq => "`==`",
+            Lt => "`<`",
+            Gt => "`>`",
+            Assign => "`=`",
+            Not => "`!`",
+            NotEq => "`!=`",
+            LtEq => "`<=`",
+            GtEq => "`>=`",
+            Define => "`:=`",
+            Ellipsis => "`...`",
+            LParen => "`(`",
+            LBracket => "`[`",
+            LBrace => "`{`",
+            Comma => "`,`",
+            Dot => "`.`",
+            RParen => "`)`",
+            RBracket => "`]`",
+            RBrace => "`}`",
+            Semi => "`;`",
+            Colon => "`:`",
+            PlusAssign => "`+=`",
+            MinusAssign => "`-=`",
+            StarAssign => "`*=`",
+            SlashAssign => "`/=`",
+            PercentAssign => "`%=`",
+            AmpAssign => "`&=`",
+            PipeAssign => "`|=`",
+            Eof => "end of file",
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.describe())
+    }
+}
+
+/// A lexed token: kind plus the byte range it occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind.
+    pub kind: TokenKind,
+    /// Source location.
+    pub span: crate::span::Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup() {
+        assert_eq!(TokenKind::keyword("go"), Some(TokenKind::Go));
+        assert_eq!(TokenKind::keyword("select"), Some(TokenKind::Select));
+        assert_eq!(TokenKind::keyword("goroutine"), None);
+        assert_eq!(TokenKind::keyword(""), None);
+    }
+
+    #[test]
+    fn semicolon_insertion_classes() {
+        assert!(TokenKind::Ident.ends_statement());
+        assert!(TokenKind::RParen.ends_statement());
+        assert!(TokenKind::Return.ends_statement());
+        assert!(!TokenKind::Comma.ends_statement());
+        assert!(!TokenKind::LBrace.ends_statement());
+        assert!(!TokenKind::Plus.ends_statement());
+    }
+}

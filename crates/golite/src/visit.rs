@@ -1,0 +1,527 @@
+//! AST walking utilities.
+//!
+//! Two flavours are provided: read-only traversal via callback closures
+//! ([`walk_exprs`], [`walk_stmts`]) used by the skeletonizer and race-
+//! pattern diagnosers, and an in-place [`MutVisitor`] used by the fix
+//! strategies to rewrite trees.
+
+use crate::ast::*;
+
+/// Calls `f` on every expression in the block, pre-order.
+pub fn walk_exprs(block: &Block, f: &mut impl FnMut(&Expr)) {
+    for s in &block.stmts {
+        walk_stmt_exprs(s, f);
+    }
+}
+
+/// Calls `f` on every statement in the block (including nested), pre-order.
+pub fn walk_stmts(block: &Block, f: &mut impl FnMut(&Stmt)) {
+    for s in &block.stmts {
+        walk_stmt(s, f);
+    }
+}
+
+fn walk_stmt(s: &Stmt, f: &mut impl FnMut(&Stmt)) {
+    f(s);
+    match s {
+        Stmt::If(st) => {
+            if let Some(init) = &st.init {
+                walk_stmt(init, f);
+            }
+            walk_stmts(&st.then, f);
+            if let Some(el) = &st.else_ {
+                walk_stmt(el, f);
+            }
+        }
+        Stmt::For(st) => {
+            if let Some(init) = &st.init {
+                walk_stmt(init, f);
+            }
+            if let Some(post) = &st.post {
+                walk_stmt(post, f);
+            }
+            walk_stmts(&st.body, f);
+        }
+        Stmt::Range(st) => walk_stmts(&st.body, f),
+        Stmt::Switch(st) => {
+            if let Some(init) = &st.init {
+                walk_stmt(init, f);
+            }
+            for c in &st.cases {
+                for s in &c.body {
+                    walk_stmt(s, f);
+                }
+            }
+        }
+        Stmt::Select(st) => {
+            for c in &st.cases {
+                for s in &c.body {
+                    walk_stmt(s, f);
+                }
+            }
+        }
+        Stmt::Block(b) => walk_stmts(b, f),
+        Stmt::Labeled { stmt, .. } => walk_stmt(stmt, f),
+        Stmt::Go { call, .. } | Stmt::Defer { call, .. } => {
+            // Function-literal bodies inside go/defer are visited too.
+            walk_expr_stmts(call, f);
+        }
+        Stmt::Expr(e)
+        | Stmt::IncDec { expr: e, .. } => walk_expr_stmts(e, f),
+        Stmt::Assign { lhs, rhs, .. } => {
+            for e in lhs.iter().chain(rhs) {
+                walk_expr_stmts(e, f);
+            }
+        }
+        Stmt::ShortVar { values, .. } | Stmt::Return { values, .. } => {
+            for e in values {
+                walk_expr_stmts(e, f);
+            }
+        }
+        Stmt::Send { chan, value, .. } => {
+            walk_expr_stmts(chan, f);
+            walk_expr_stmts(value, f);
+        }
+        Stmt::Decl(v) => {
+            for e in &v.values {
+                walk_expr_stmts(e, f);
+            }
+        }
+        Stmt::Break { .. } | Stmt::Continue { .. } | Stmt::Empty { .. } => {}
+    }
+}
+
+/// Visits statements nested inside an expression (function literals).
+fn walk_expr_stmts(e: &Expr, f: &mut impl FnMut(&Stmt)) {
+    walk_expr(e, &mut |inner| {
+        if let Expr::FuncLit { body, .. } = inner {
+            walk_stmts(body, f);
+        }
+    });
+}
+
+fn walk_stmt_exprs(s: &Stmt, f: &mut impl FnMut(&Expr)) {
+    match s {
+        Stmt::Decl(v) => {
+            for e in &v.values {
+                walk_expr(e, f);
+            }
+        }
+        Stmt::ShortVar { values, .. } | Stmt::Return { values, .. } => {
+            for e in values {
+                walk_expr(e, f);
+            }
+        }
+        Stmt::Assign { lhs, rhs, .. } => {
+            for e in lhs.iter().chain(rhs) {
+                walk_expr(e, f);
+            }
+        }
+        Stmt::IncDec { expr, .. } => walk_expr(expr, f),
+        Stmt::Expr(e) => walk_expr(e, f),
+        Stmt::Send { chan, value, .. } => {
+            walk_expr(chan, f);
+            walk_expr(value, f);
+        }
+        Stmt::Go { call, .. } | Stmt::Defer { call, .. } => walk_expr(call, f),
+        Stmt::If(st) => {
+            if let Some(init) = &st.init {
+                walk_stmt_exprs(init, f);
+            }
+            walk_expr(&st.cond, f);
+            walk_exprs(&st.then, f);
+            if let Some(el) = &st.else_ {
+                walk_stmt_exprs(el, f);
+            }
+        }
+        Stmt::For(st) => {
+            if let Some(init) = &st.init {
+                walk_stmt_exprs(init, f);
+            }
+            if let Some(c) = &st.cond {
+                walk_expr(c, f);
+            }
+            if let Some(post) = &st.post {
+                walk_stmt_exprs(post, f);
+            }
+            walk_exprs(&st.body, f);
+        }
+        Stmt::Range(st) => {
+            if let Some(k) = &st.key {
+                walk_expr(k, f);
+            }
+            if let Some(v) = &st.value {
+                walk_expr(v, f);
+            }
+            walk_expr(&st.expr, f);
+            walk_exprs(&st.body, f);
+        }
+        Stmt::Switch(st) => {
+            if let Some(init) = &st.init {
+                walk_stmt_exprs(init, f);
+            }
+            if let Some(tag) = &st.tag {
+                walk_expr(tag, f);
+            }
+            for c in &st.cases {
+                for e in &c.exprs {
+                    walk_expr(e, f);
+                }
+                for s in &c.body {
+                    walk_stmt_exprs(s, f);
+                }
+            }
+        }
+        Stmt::Select(st) => {
+            for c in &st.cases {
+                match &c.comm {
+                    CommClause::Send { chan, value } => {
+                        walk_expr(chan, f);
+                        walk_expr(value, f);
+                    }
+                    CommClause::Recv { lhs, chan, .. } => {
+                        for e in lhs {
+                            walk_expr(e, f);
+                        }
+                        walk_expr(chan, f);
+                    }
+                    CommClause::Default => {}
+                }
+                for s in &c.body {
+                    walk_stmt_exprs(s, f);
+                }
+            }
+        }
+        Stmt::Block(b) => walk_exprs(b, f),
+        Stmt::Labeled { stmt, .. } => walk_stmt_exprs(stmt, f),
+        Stmt::Break { .. } | Stmt::Continue { .. } | Stmt::Empty { .. } => {}
+    }
+}
+
+/// Calls `f` on `e` and every sub-expression, pre-order.
+pub fn walk_expr(e: &Expr, f: &mut impl FnMut(&Expr)) {
+    f(e);
+    match e {
+        Expr::CompositeLit { elems, .. } => {
+            for el in elems {
+                if let Some(k) = &el.key {
+                    walk_expr(k, f);
+                }
+                walk_expr(&el.value, f);
+            }
+        }
+        Expr::FuncLit { body, .. } => walk_exprs(body, f),
+        Expr::Selector { expr, .. }
+        | Expr::Paren { expr, .. }
+        | Expr::TypeAssert { expr, .. }
+        | Expr::Unary { expr, .. } => walk_expr(expr, f),
+        Expr::Index { expr, index, .. } => {
+            walk_expr(expr, f);
+            walk_expr(index, f);
+        }
+        Expr::SliceExpr { expr, lo, hi, .. } => {
+            walk_expr(expr, f);
+            if let Some(lo) = lo {
+                walk_expr(lo, f);
+            }
+            if let Some(hi) = hi {
+                walk_expr(hi, f);
+            }
+        }
+        Expr::Call { fun, args, .. } => {
+            walk_expr(fun, f);
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::Make { args, .. } => {
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            walk_expr(lhs, f);
+            walk_expr(rhs, f);
+        }
+        Expr::Ident { .. }
+        | Expr::IntLit { .. }
+        | Expr::FloatLit { .. }
+        | Expr::StrLit { .. }
+        | Expr::RuneLit { .. }
+        | Expr::New { .. } => {}
+    }
+}
+
+/// In-place rewriting visitor. Implement the `visit_*` hooks you need;
+/// the default methods recurse. Call the matching `walk_*` inside an
+/// override to continue recursion below the rewritten node.
+pub trait MutVisitor {
+    /// Visits a statement in place.
+    fn visit_stmt(&mut self, s: &mut Stmt) {
+        self.walk_stmt(s);
+    }
+
+    /// Visits an expression in place.
+    fn visit_expr(&mut self, e: &mut Expr) {
+        self.walk_expr(e);
+    }
+
+    /// Visits a block in place.
+    fn visit_block(&mut self, b: &mut Block) {
+        self.walk_block(b);
+    }
+
+    /// Default recursion through a block.
+    fn walk_block(&mut self, b: &mut Block) {
+        for s in &mut b.stmts {
+            self.visit_stmt(s);
+        }
+    }
+
+    /// Default recursion through a statement.
+    fn walk_stmt(&mut self, s: &mut Stmt) {
+        match s {
+            Stmt::Decl(v) => {
+                for e in &mut v.values {
+                    self.visit_expr(e);
+                }
+            }
+            Stmt::ShortVar { values, .. } | Stmt::Return { values, .. } => {
+                for e in values {
+                    self.visit_expr(e);
+                }
+            }
+            Stmt::Assign { lhs, rhs, .. } => {
+                for e in lhs.iter_mut().chain(rhs.iter_mut()) {
+                    self.visit_expr(e);
+                }
+            }
+            Stmt::IncDec { expr, .. } => self.visit_expr(expr),
+            Stmt::Expr(e) => self.visit_expr(e),
+            Stmt::Send { chan, value, .. } => {
+                self.visit_expr(chan);
+                self.visit_expr(value);
+            }
+            Stmt::Go { call, .. } | Stmt::Defer { call, .. } => self.visit_expr(call),
+            Stmt::If(st) => {
+                if let Some(init) = &mut st.init {
+                    self.visit_stmt(init);
+                }
+                self.visit_expr(&mut st.cond);
+                self.visit_block(&mut st.then);
+                if let Some(el) = &mut st.else_ {
+                    self.visit_stmt(el);
+                }
+            }
+            Stmt::For(st) => {
+                if let Some(init) = &mut st.init {
+                    self.visit_stmt(init);
+                }
+                if let Some(c) = &mut st.cond {
+                    self.visit_expr(c);
+                }
+                if let Some(post) = &mut st.post {
+                    self.visit_stmt(post);
+                }
+                self.visit_block(&mut st.body);
+            }
+            Stmt::Range(st) => {
+                if let Some(k) = &mut st.key {
+                    self.visit_expr(k);
+                }
+                if let Some(v) = &mut st.value {
+                    self.visit_expr(v);
+                }
+                self.visit_expr(&mut st.expr);
+                self.visit_block(&mut st.body);
+            }
+            Stmt::Switch(st) => {
+                if let Some(init) = &mut st.init {
+                    self.visit_stmt(init);
+                }
+                if let Some(tag) = &mut st.tag {
+                    self.visit_expr(tag);
+                }
+                for c in &mut st.cases {
+                    for e in &mut c.exprs {
+                        self.visit_expr(e);
+                    }
+                    for s in &mut c.body {
+                        self.visit_stmt(s);
+                    }
+                }
+            }
+            Stmt::Select(st) => {
+                for c in &mut st.cases {
+                    match &mut c.comm {
+                        CommClause::Send { chan, value } => {
+                            self.visit_expr(chan);
+                            self.visit_expr(value);
+                        }
+                        CommClause::Recv { lhs, chan, .. } => {
+                            for e in lhs {
+                                self.visit_expr(e);
+                            }
+                            self.visit_expr(chan);
+                        }
+                        CommClause::Default => {}
+                    }
+                    for s in &mut c.body {
+                        self.visit_stmt(s);
+                    }
+                }
+            }
+            Stmt::Block(b) => self.visit_block(b),
+            Stmt::Labeled { stmt, .. } => self.visit_stmt(stmt),
+            Stmt::Break { .. } | Stmt::Continue { .. } | Stmt::Empty { .. } => {}
+        }
+    }
+
+    /// Default recursion through an expression.
+    fn walk_expr(&mut self, e: &mut Expr) {
+        match e {
+            Expr::CompositeLit { elems, .. } => {
+                for el in elems {
+                    if let Some(k) = &mut el.key {
+                        self.visit_expr(k);
+                    }
+                    self.visit_expr(&mut el.value);
+                }
+            }
+            Expr::FuncLit { body, .. } => self.visit_block(body),
+            Expr::Selector { expr, .. }
+            | Expr::Paren { expr, .. }
+            | Expr::TypeAssert { expr, .. }
+            | Expr::Unary { expr, .. } => self.visit_expr(expr),
+            Expr::Index { expr, index, .. } => {
+                self.visit_expr(expr);
+                self.visit_expr(index);
+            }
+            Expr::SliceExpr { expr, lo, hi, .. } => {
+                self.visit_expr(expr);
+                if let Some(lo) = lo {
+                    self.visit_expr(lo);
+                }
+                if let Some(hi) = hi {
+                    self.visit_expr(hi);
+                }
+            }
+            Expr::Call { fun, args, .. } => {
+                self.visit_expr(fun);
+                for a in args {
+                    self.visit_expr(a);
+                }
+            }
+            Expr::Make { args, .. } => {
+                for a in args {
+                    self.visit_expr(a);
+                }
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                self.visit_expr(lhs);
+                self.visit_expr(rhs);
+            }
+            Expr::Ident { .. }
+            | Expr::IntLit { .. }
+            | Expr::FloatLit { .. }
+            | Expr::StrLit { .. }
+            | Expr::RuneLit { .. }
+            | Expr::New { .. } => {}
+        }
+    }
+}
+
+/// Renames every occurrence of identifier `from` to `to` within a block
+/// (a syntactic rename; shadowing is the caller's concern).
+pub struct RenameIdent<'a> {
+    /// Name to replace.
+    pub from: &'a str,
+    /// Replacement name.
+    pub to: &'a str,
+}
+
+impl MutVisitor for RenameIdent<'_> {
+    fn visit_expr(&mut self, e: &mut Expr) {
+        if let Expr::Ident { name, .. } = e {
+            if name == self.from {
+                *name = self.to.to_owned();
+            }
+        }
+        self.walk_expr(e);
+    }
+
+    fn visit_stmt(&mut self, s: &mut Stmt) {
+        match s {
+            Stmt::ShortVar { names, .. } => {
+                for n in names {
+                    if n == self.from {
+                        *n = self.to.to_owned();
+                    }
+                }
+            }
+            Stmt::Decl(v) => {
+                for n in &mut v.names {
+                    if n == self.from {
+                        *n = self.to.to_owned();
+                    }
+                }
+            }
+            _ => {}
+        }
+        self.walk_stmt(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+    use crate::printer::print_file;
+
+    #[test]
+    fn walk_exprs_counts_idents() {
+        let f = parse_file("package p\nfunc f() {\n\tx := a + b\n\tuse(x)\n}\n").unwrap();
+        let body = f.find_func("f").unwrap().body.as_ref().unwrap();
+        let mut idents = 0;
+        walk_exprs(body, &mut |e| {
+            if matches!(e, Expr::Ident { .. }) {
+                idents += 1;
+            }
+        });
+        // a, b, use, x
+        assert_eq!(idents, 4);
+    }
+
+    #[test]
+    fn walk_stmts_visits_goroutine_bodies() {
+        let src = "package p\nfunc f() {\n\tgo func() {\n\t\tinner()\n\t}()\n}\n";
+        let f = parse_file(src).unwrap();
+        let body = f.find_func("f").unwrap().body.as_ref().unwrap();
+        let mut exprs = Vec::new();
+        walk_stmts(body, &mut |s| {
+            if let Stmt::Expr(Expr::Call { fun, .. }) = s {
+                if let Some(name) = fun.as_ident() {
+                    exprs.push(name.to_owned());
+                }
+            }
+        });
+        assert_eq!(exprs, vec!["inner"]);
+    }
+
+    #[test]
+    fn rename_ident_rewrites_everywhere() {
+        let src = "package p\nfunc f() {\n\tlimit := 1\n\tgo func() {\n\t\tlimit = 2\n\t\tuse(limit)\n\t}()\n}\n";
+        let mut f = parse_file(src).unwrap();
+        let func = f.find_func_mut("f").unwrap();
+        let body = func.body.as_mut().unwrap();
+        let mut r = RenameIdent {
+            from: "limit",
+            to: "localLimit",
+        };
+        r.visit_block(body);
+        let printed = print_file(&f);
+        assert!(!printed.contains("\tlimit"));
+        assert!(printed.contains("localLimit := 1"));
+        assert!(printed.contains("use(localLimit)"));
+    }
+}

@@ -1,0 +1,46 @@
+//! Property test: generated programs round-trip through print→parse.
+
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-zA-Z0-9]{0,6}".prop_filter("not a keyword", |s| {
+        golite::token::TokenKind::keyword(s).is_none()
+            && !matches!(s.as_str(), "true" | "false" | "nil" | "make" | "new" | "len" | "append" | "delete" | "close" | "panic" | "copy" | "cap" | "int" | "string" | "bool")
+    })
+}
+
+fn stmt() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (ident(), 0i64..100).prop_map(|(v, k)| format!("{v} := {k}\n\t_ = {v}")),
+        (ident(), ident()).prop_map(|(a, b)| format!("{a} := 1\n\t{b} := {a} + 2\n\t_ = {b}")),
+        (ident(), 1i64..5).prop_map(|(v, n)| {
+            format!("{v} := 0\n\tfor i := 0; i < {n}; i++ {{\n\t\t{v} = {v} + i\n\t}}\n\t_ = {v}")
+        }),
+        (ident(), 0i64..10).prop_map(|(v, k)| {
+            format!("{v} := {k}\n\tif {v} > 2 {{\n\t\t{v} = {v} - 1\n\t}} else {{\n\t\t{v} = {v} + 1\n\t}}\n\t_ = {v}")
+        }),
+        ident().prop_map(|v| {
+            format!("{v} := make(chan int, 1)\n\t{v} <- 9\n\t<-{v}")
+        }),
+        ident().prop_map(|v| {
+            format!("{v} := []int{{1, 2, 3}}\n\t{v} = append({v}, 4)\n\t_ = {v}[0]")
+        }),
+        ident().prop_map(|v| {
+            format!("{v} := map[string]int{{\"k\": 1}}\n\tdelete({v}, \"k\")\n\t_ = len({v})")
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn print_parse_is_identity_on_printed_form(stmts in proptest::collection::vec(stmt(), 1..6)) {
+        let body: Vec<String> = stmts.iter().map(|s| format!("\t{s}")).collect();
+        let src = format!("package p\n\nfunc generated() {{\n{}\n}}\n", body.join("\n"));
+        let f1 = golite::parse_file(&src).expect("generated program parses");
+        let printed1 = golite::print_file(&f1);
+        let f2 = golite::parse_file(&printed1).expect("printed program reparses");
+        let printed2 = golite::print_file(&f2);
+        prop_assert_eq!(printed1, printed2, "print∘parse must be idempotent");
+    }
+}

@@ -1,0 +1,476 @@
+//! Bytecode: instruction set, compiled functions, and program container.
+//!
+//! The compiler lowers `golite` ASTs to a compact stack machine. Every
+//! mutable variable lives in a heap cell (see [`crate::value`]), so the
+//! instruction set distinguishes *allocating* a local (binding a fresh
+//! cell to a frame slot) from loading/storing through the slot. Closures
+//! capture cells, matching Go's capture-by-reference semantics.
+
+use serde::{Deserialize, Serialize};
+
+/// Where a closure capture comes from in the enclosing function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UpvalSrc {
+    /// Capture the cell bound to an enclosing local slot.
+    Local(u16),
+    /// Re-capture one of the enclosing function's own upvalues.
+    Upval(u16),
+}
+
+/// Side-table entry describing a closure creation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClosureSpec {
+    /// The compiled function.
+    pub func: u32,
+    /// Captures in upvalue order.
+    pub captures: Vec<UpvalSrc>,
+}
+
+/// Side-table entry describing a struct literal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StructLitSpec {
+    /// Struct type name (string-pool id).
+    pub type_name: u32,
+    /// Field names (string-pool ids) in stack order.
+    pub fields: Vec<u32>,
+}
+
+/// One case of a compiled `select`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SelectCaseSpec {
+    /// `case ch <- v` — stack carries `[chan, value]` for this case.
+    Send {
+        /// pc of the case body.
+        body: u32,
+    },
+    /// `case x := <-ch` — stack carries `[chan]`.
+    Recv {
+        /// pc of the case body.
+        body: u32,
+        /// Push the received value at the body entry.
+        push_value: bool,
+        /// Also push the `ok` flag.
+        push_ok: bool,
+    },
+    /// `default:`.
+    Default {
+        /// pc of the case body.
+        body: u32,
+    },
+}
+
+/// Side-table entry for a `select` statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectSpec {
+    /// Cases in source order.
+    pub cases: Vec<SelectCaseSpec>,
+}
+
+/// A zero-value type hint, used by `MakeZero` and struct field defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TypeHint {
+    /// Integer types.
+    Int,
+    /// Float types.
+    Float,
+    /// `bool`.
+    Bool,
+    /// `string`.
+    Str,
+    /// `error` (zero value `nil`).
+    Error,
+    /// Slice types (zero value `nil`).
+    Slice,
+    /// Map types (zero value `nil`).
+    Map,
+    /// Channel types (zero value `nil`).
+    Chan,
+    /// Named struct type (string-pool id of the name).
+    Struct(u32),
+    /// Pointer types (zero value `nil`).
+    Ptr,
+    /// Function types (zero value `nil`).
+    Func,
+    /// `sync.Mutex` (zero value is a ready-to-use mutex).
+    Mutex,
+    /// `sync.RWMutex`.
+    RwMutex,
+    /// `sync.WaitGroup`.
+    WaitGroup,
+    /// `sync.Map`.
+    SyncMap,
+    /// `interface{}` / unknown named types (zero value `nil`).
+    Unknown,
+}
+
+/// A bytecode instruction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Op {
+    /// Push an integer constant.
+    ConstInt(i64),
+    /// Push a float constant.
+    ConstFloat(f64),
+    /// Push a string from the pool.
+    ConstStr(u32),
+    /// Push a boolean.
+    ConstBool(bool),
+    /// Push `nil`.
+    ConstNil,
+    /// Push a reference to a named top-level function.
+    ConstFunc(u32),
+    /// Push a builtin function (id from [`crate::natives`]).
+    ConstBuiltin(u16),
+    /// Pop and discard.
+    Pop,
+    /// Duplicate the top of stack.
+    Dup,
+    /// Duplicate the top two stack values (`a b → a b a b`).
+    Dup2,
+
+    /// Bind `slot` to a freshly allocated cell named `name`, initialised
+    /// with the popped value.
+    AllocLocal {
+        /// Frame slot.
+        slot: u16,
+        /// Variable name (string-pool id), for race reports.
+        name: u32,
+    },
+    /// Push the value of the cell bound to `slot` (race-tracked read).
+    LoadLocal(u16),
+    /// Pop into the cell bound to `slot` (race-tracked write).
+    StoreLocal(u16),
+    /// Push a pointer to the cell bound to `slot`.
+    RefLocal(u16),
+    /// Push the value of captured cell `idx` (race-tracked read).
+    LoadUpval(u16),
+    /// Pop into captured cell `idx` (race-tracked write).
+    StoreUpval(u16),
+    /// Push a pointer to captured cell `idx`.
+    RefUpval(u16),
+    /// Push the value of global `idx` (race-tracked read).
+    LoadGlobal(u16),
+    /// Pop into global `idx` (race-tracked write).
+    StoreGlobal(u16),
+    /// Push a pointer to global `idx`.
+    RefGlobal(u16),
+    /// Pop a pointer, push the pointee (race-tracked read).
+    LoadPtr,
+    /// Pop value then pointer, store through it (race-tracked write).
+    StorePtr,
+
+    /// Pop `n` values, build a slice literal.
+    MakeSliceLit {
+        /// Element count.
+        n: u16,
+        /// Name for the backing cells.
+        name: u32,
+    },
+    /// Pop `2n` values (k, v pairs), build a map literal.
+    MakeMapLit {
+        /// Entry count.
+        n: u16,
+        /// Name for the backing cells.
+        name: u32,
+    },
+    /// Pop field values per the spec, build a struct.
+    MakeStructLit(u32),
+    /// Push the zero value of a type hint (side-table id).
+    MakeZero(u32),
+    /// Pop a length, make a zeroed slice (element hint id operand).
+    MakeSliceN(u32),
+    /// Allocate a fresh cell holding the zero value of the hint; push a
+    /// pointer to it (`new(T)`).
+    NewPtr(u32),
+    /// Make a channel; pops the capacity if `has_cap`.
+    MakeChan {
+        /// Whether a capacity operand is on the stack.
+        has_cap: bool,
+    },
+    /// Create a closure from a side-table spec.
+    MakeClosure(u32),
+
+    /// Pop object, push field value (race-tracked read of the field cell).
+    GetField(u32),
+    /// Pop value then object, write the field (race-tracked write).
+    SetField(u32),
+    /// Pop object, push pointer to the field cell.
+    RefField(u32),
+    /// Bind a method: pop receiver, push a bound callee.
+    BindMethod(u32),
+
+    /// Pop index/key then container, push element.
+    Index {
+        /// Also push the `ok` flag (map lookups).
+        comma_ok: bool,
+    },
+    /// Pop value, index/key, container; write element.
+    SetIndex,
+    /// Pop index/key then container; push a pointer to the element cell.
+    RefIndex,
+    /// Pop lo/hi per flags then container; push sub-slice.
+    SliceOp {
+        /// Low bound present.
+        has_lo: bool,
+        /// High bound present.
+        has_hi: bool,
+    },
+    /// Pop `n` appended values then the slice; push the (possibly new)
+    /// slice.
+    Append {
+        /// Number of appended values.
+        n: u16,
+    },
+    /// Pop a source slice then the destination slice; append all elements
+    /// (`append(dst, src...)`).
+    AppendSlice,
+    /// Pop `n` values then `n` pointers; store value `i` through pointer
+    /// `i` (multi-assignment).
+    StoreMulti(u8),
+    /// Pop container, push its length.
+    Len,
+    /// Pop container, push its capacity.
+    Cap,
+    /// Pop key then map, delete the entry.
+    DeleteKey,
+
+    /// Pop value then channel, send (may block).
+    Send,
+    /// Pop channel, receive (may block).
+    Recv {
+        /// Also push the `ok` flag.
+        comma_ok: bool,
+    },
+    /// Pop channel, close it.
+    CloseChan,
+
+    /// Pop `argc` args then the callee; push the single (possibly tuple)
+    /// result.
+    Call {
+        /// Argument count.
+        argc: u8,
+    },
+    /// Pop `argc` args then the callee; spawn a goroutine.
+    Go {
+        /// Argument count.
+        argc: u8,
+    },
+    /// Pop `argc` args then the callee; record a deferred call.
+    DeferCall {
+        /// Argument count.
+        argc: u8,
+    },
+    /// Pop `n` values and return (tuple-wrapped if `n != 1`).
+    Return {
+        /// Returned value count.
+        n: u8,
+    },
+    /// Expand a tuple of exactly `n` values onto the stack (no-op for
+    /// `n == 1` on a non-tuple).
+    Expand {
+        /// Expected value count.
+        n: u8,
+    },
+
+    /// Unconditional relative jump.
+    Jump(i32),
+    /// Pop a bool; jump if false.
+    JumpIfFalse(i32),
+    /// Pop a bool; jump if true.
+    JumpIfTrue(i32),
+
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not.
+    Not,
+    /// Bitwise complement.
+    BitNot,
+    /// `+` (numbers and strings).
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/`.
+    Div,
+    /// `%`.
+    Rem,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `&`.
+    BitAnd,
+    /// `|`.
+    BitOr,
+    /// `^`.
+    BitXor,
+    /// `<<`.
+    Shl,
+    /// `>>`.
+    Shr,
+
+    /// Initialise an iterator: pop container, push iterator.
+    IterInit,
+    /// Advance the iterator at top of stack: push `key, value` or jump.
+    IterNext(i32),
+
+    /// Execute a `select` (side-table id); case channels/values are on
+    /// the stack in case order.
+    Select(u32),
+
+    /// Pop a message and panic.
+    Panic,
+    /// No operation.
+    Nop,
+}
+
+/// A compiled function.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompiledFunc {
+    /// Function name (methods are `Type.Method`).
+    pub name: String,
+    /// Source file (index into [`Program::files`]).
+    pub file: u32,
+    /// Number of parameters (including the receiver for methods).
+    pub params: u8,
+    /// Parameter names (string-pool ids), for race reports on param cells.
+    pub param_names: Vec<u32>,
+    /// Number of frame slots.
+    pub n_slots: u16,
+    /// Number of declared results (0 pushes `nil` on fallthrough return).
+    pub results: u8,
+    /// Instructions.
+    pub code: Vec<Op>,
+    /// Source line per instruction (parallel to `code`).
+    pub lines: Vec<u32>,
+}
+
+/// A named struct type (for zero values and positional literals).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StructTypeDef {
+    /// Type name (string-pool id).
+    pub name: u32,
+    /// `(field name id, zero hint id)` in declaration order.
+    pub fields: Vec<(u32, u32)>,
+}
+
+/// A package-level variable.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GlobalDef {
+    /// Variable name (string-pool id).
+    pub name: u32,
+    /// Zero hint (side-table id) used before the initialiser runs.
+    pub hint: u32,
+}
+
+/// A compiled program (one package, possibly many files).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Program {
+    /// String pool (identifiers, literals, type names).
+    pub pool: Vec<String>,
+    /// Source file names.
+    pub files: Vec<String>,
+    /// Compiled functions; `funcs[0]` is the synthesized global
+    /// initialiser when present.
+    pub funcs: Vec<CompiledFunc>,
+    /// `(type name id, method name id) → func` table.
+    pub methods: Vec<(u32, u32, u32)>,
+    /// Struct type registry.
+    pub types: Vec<StructTypeDef>,
+    /// Package-level variables.
+    pub globals: Vec<GlobalDef>,
+    /// Closure side table.
+    pub closures: Vec<ClosureSpec>,
+    /// Struct literal side table.
+    pub struct_lits: Vec<StructLitSpec>,
+    /// Select side table.
+    pub selects: Vec<SelectSpec>,
+    /// Type hint side table.
+    pub hints: Vec<TypeHint>,
+    /// Index of the global initialiser function, if any.
+    pub init_func: Option<u32>,
+}
+
+impl Program {
+    /// Finds a function id by name.
+    pub fn find_func(&self, name: &str) -> Option<u32> {
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| i as u32)
+    }
+
+    /// Resolves a pooled string.
+    pub fn str(&self, id: u32) -> &str {
+        &self.pool[id as usize]
+    }
+
+    /// All function names that look like tests (`TestXxx(t *testing.T)`).
+    pub fn test_funcs(&self) -> Vec<String> {
+        self.funcs
+            .iter()
+            .filter(|f| f.name.starts_with("Test") && !f.name.contains('.') && f.params == 1)
+            .map(|f| f.name.clone())
+            .collect()
+    }
+
+    /// Looks up a method on a struct type.
+    pub fn method_of(&self, type_name: u32, method: u32) -> Option<u32> {
+        self.methods
+            .iter()
+            .find(|(t, m, _)| *t == type_name && *m == method)
+            .map(|(_, _, f)| *f)
+    }
+
+    /// Looks up a struct type definition by name id.
+    pub fn struct_type(&self, name: u32) -> Option<&StructTypeDef> {
+        self.types.iter().find(|t| t.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_lookup_helpers() {
+        let mut p = Program::default();
+        p.pool.push("T".into());
+        p.pool.push("Get".into());
+        p.funcs.push(CompiledFunc {
+            name: "TestFoo".into(),
+            file: 0,
+            params: 1,
+            param_names: vec![],
+            n_slots: 1,
+            results: 0,
+            code: vec![Op::ConstNil, Op::Return { n: 1 }],
+            lines: vec![1, 1],
+        });
+        p.funcs.push(CompiledFunc {
+            name: "T.Get".into(),
+            file: 0,
+            params: 1,
+            param_names: vec![],
+            n_slots: 1,
+            results: 1,
+            code: vec![],
+            lines: vec![],
+        });
+        p.methods.push((0, 1, 1));
+        assert_eq!(p.find_func("TestFoo"), Some(0));
+        assert_eq!(p.find_func("Missing"), None);
+        assert_eq!(p.test_funcs(), vec!["TestFoo"]);
+        assert_eq!(p.method_of(0, 1), Some(1));
+        assert_eq!(p.method_of(1, 1), None);
+        assert_eq!(p.str(0), "T");
+    }
+}

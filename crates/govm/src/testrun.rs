@@ -1,0 +1,144 @@
+//! Test harness: the `go test -race -count=N` substitute.
+//!
+//! Dr.Fix's validator (§4.4.1) builds the patched package and runs each
+//! test many times, checking that the targeted race (identified by its
+//! stable bug hash) no longer appears. [`run_test_many`] is that loop:
+//! one compiled program, N seeded schedules.
+
+use crate::compile::{compile_sources, CompileOptions};
+use crate::value::Value;
+use crate::vm::{RunError, RunResult, Vm, VmOptions};
+use crate::Program;
+use racedet::RaceReport;
+
+/// Configuration for a test campaign.
+#[derive(Debug, Clone)]
+pub struct TestConfig {
+    /// Number of seeded schedules to run.
+    pub runs: u32,
+    /// Base seed; run `i` uses `seed + i`.
+    pub seed: u64,
+    /// Per-run VM options (seed is overridden per run).
+    pub vm: VmOptions,
+    /// Stop after the first run that exposes a race (detection mode) —
+    /// validation mode runs all schedules.
+    pub stop_on_race: bool,
+}
+
+impl Default for TestConfig {
+    fn default() -> Self {
+        TestConfig {
+            runs: 24,
+            seed: 0,
+            vm: VmOptions::default(),
+            stop_on_race: false,
+        }
+    }
+}
+
+/// Aggregate outcome of running one test under many schedules.
+#[derive(Debug, Clone)]
+pub struct TestOutcome {
+    /// Distinct races observed across all runs (deduped by bug hash).
+    pub races: Vec<RaceReport>,
+    /// First abnormal run error, if any.
+    pub error: Option<RunError>,
+    /// Test failures collected across runs (deduped).
+    pub test_failures: Vec<String>,
+    /// Schedules executed.
+    pub runs: u32,
+    /// Total instructions executed.
+    pub steps: u64,
+}
+
+impl TestOutcome {
+    /// `true` when no race, error or test failure was observed.
+    pub fn is_clean(&self) -> bool {
+        self.races.is_empty() && self.error.is_none() && self.test_failures.is_empty()
+    }
+
+    /// `true` when a race with the given stable hash was observed.
+    pub fn has_bug(&self, bug_hash: &str) -> bool {
+        self.races.iter().any(|r| r.bug_hash() == bug_hash)
+    }
+}
+
+/// Runs `test` once under one seed.
+pub fn run_test(prog: &Program, test: &str, seed: u64) -> RunResult {
+    let mut opts = VmOptions::default();
+    opts.seed = seed;
+    let mut vm = Vm::new(prog, opts);
+    let t = make_t(&mut vm, test);
+    vm.run(test, vec![t])
+}
+
+/// Runs `test` under `cfg.runs` seeded schedules, aggregating results.
+pub fn run_test_many(prog: &Program, test: &str, cfg: &TestConfig) -> TestOutcome {
+    let mut races: Vec<RaceReport> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    let mut error = None;
+    let mut failures: Vec<String> = Vec::new();
+    let mut steps = 0;
+    let mut executed = 0;
+    for i in 0..cfg.runs {
+        let mut vmo = cfg.vm.clone();
+        vmo.seed = cfg.seed + i as u64;
+        let mut vm = Vm::new(prog, vmo);
+        let t = make_t(&mut vm, test);
+        let r = vm.run(test, vec![t]);
+        executed += 1;
+        steps += r.steps;
+        for race in r.races {
+            if seen.insert(race.bug_hash()) {
+                races.push(race);
+            }
+        }
+        for f in r.test_failures {
+            if !failures.contains(&f) {
+                failures.push(f);
+            }
+        }
+        if error.is_none() {
+            error = r.error;
+        }
+        if cfg.stop_on_race && !races.is_empty() {
+            break;
+        }
+    }
+    TestOutcome {
+        races,
+        error,
+        test_failures: failures,
+        runs: executed,
+        steps,
+    }
+}
+
+/// Compiles sources and runs every `TestXxx` function under `cfg`.
+///
+/// # Errors
+///
+/// Returns the compile diagnostic if the package does not build.
+pub fn compile_and_test_all(
+    sources: &[(String, String)],
+    copts: &CompileOptions,
+    cfg: &TestConfig,
+) -> Result<Vec<(String, TestOutcome)>, golite::Diag> {
+    let prog = compile_sources(sources, copts)?;
+    let mut out = Vec::new();
+    for test in prog.test_funcs() {
+        let o = run_test_many(&prog, &test, cfg);
+        out.push((test, o));
+    }
+    Ok(out)
+}
+
+fn make_t(vm: &mut Vm, test: &str) -> Value {
+    // A root testing.T with no parent.
+    let fields = vec![
+        ("name".to_owned(), Value::str(test), vm.intern("name")),
+        ("$parent".to_owned(), Value::Int(-1), vm.intern("$parent")),
+        ("$signaled".to_owned(), Value::Bool(true), vm.intern("$signaled")),
+    ];
+    vm.heap.alloc_struct_named("testing.T", fields)
+}

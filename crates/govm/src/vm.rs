@@ -1,0 +1,922 @@
+//! The virtual machine: a deterministic, seeded, preemptive green-thread
+//! interpreter with race-detector hooks on every cell access.
+//!
+//! One OS thread runs everything. Goroutines are interleaved by a seeded
+//! scheduler that preempts after a random quantum, so each seed explores
+//! a different schedule — re-running a test under many seeds reproduces
+//! `go test -race -count=N` (§4.4.1 of the paper).
+
+use crate::bytecode::{Program, TypeHint};
+use crate::natives;
+use crate::value::*;
+use racedet::{Detector, Frame as RFrame, GoroutineInfo, RaceReport, VectorClock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// VM configuration.
+#[derive(Debug, Clone)]
+pub struct VmOptions {
+    /// Scheduler seed — each seed explores one interleaving.
+    pub seed: u64,
+    /// Hard instruction budget (a run exceeding it reports `StepLimit`).
+    pub max_steps: u64,
+    /// Maximum preemption quantum (instructions between forced yields).
+    pub preempt_max: u32,
+    /// Extra budget to drain leftover goroutines after the root finishes.
+    pub drain_steps: u64,
+}
+
+impl Default for VmOptions {
+    fn default() -> Self {
+        VmOptions {
+            seed: 0,
+            max_steps: 2_000_000,
+            preempt_max: 24,
+            drain_steps: 100_000,
+        }
+    }
+}
+
+/// Why a run ended abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// A goroutine panicked.
+    Panic(String),
+    /// All goroutines blocked.
+    Deadlock(String),
+    /// The instruction budget was exhausted.
+    StepLimit,
+    /// An internal interpreter error.
+    Internal(String),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Panic(m) => write!(f, "panic: {m}"),
+            RunError::Deadlock(m) => {
+                write!(f, "fatal error: all goroutines are asleep - deadlock! ({m})")
+            }
+            RunError::StepLimit => write!(f, "step limit exceeded (possible livelock)"),
+            RunError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+/// The result of one program run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Data races detected, in report form.
+    pub races: Vec<RaceReport>,
+    /// Abnormal termination, if any.
+    pub error: Option<RunError>,
+    /// Instructions executed.
+    pub steps: u64,
+    /// Captured `fmt` output.
+    pub output: String,
+    /// Recorded test failures (`t.Errorf`, failed asserts).
+    pub test_failures: Vec<String>,
+}
+
+impl RunResult {
+    /// `true` when the run saw no races, no errors and no test failures.
+    pub fn is_clean(&self) -> bool {
+        self.races.is_empty() && self.error.is_none() && self.test_failures.is_empty()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Status {
+    Runnable,
+    Blocked,
+    Done,
+}
+
+/// What to do when a parked goroutine's blocking operation is completed
+/// by another goroutine.
+#[derive(Debug)]
+pub(crate) struct WakeAction {
+    /// Values to pop from the goroutine's stack first.
+    pub pops: usize,
+    /// Values to push afterwards.
+    pub push: Vec<Value>,
+    /// Clock to acquire.
+    pub acquire: Option<VectorClock>,
+    /// Absolute pc to jump to (`None` = advance past the current op).
+    pub jump_to: Option<usize>,
+}
+
+/// A parked `select`: the evaluated case data, kept until a case is ready.
+#[derive(Debug)]
+pub(crate) struct ParkedSelect {
+    /// Cases in source order.
+    pub cases: Vec<ParkedCase>,
+}
+
+/// One evaluated select case.
+#[derive(Debug)]
+pub(crate) enum ParkedCase {
+    /// A pending send.
+    Send {
+        /// Channel (usize::MAX = nil).
+        chan: ObjRef,
+        /// Value to send.
+        value: Value,
+        /// Body pc.
+        body: usize,
+    },
+    /// A pending receive.
+    Recv {
+        /// Channel (usize::MAX = nil).
+        chan: ObjRef,
+        /// Body pc.
+        body: usize,
+        /// Push the received value at the body.
+        push_value: bool,
+        /// Also push the `ok` flag.
+        push_ok: bool,
+    },
+}
+
+pub(crate) struct CallFrame {
+    pub func: u32,
+    pub pc: usize,
+    pub locals: Vec<Addr>,
+    pub upvals: Vec<Addr>,
+    pub defers: Vec<(Value, Vec<Value>)>,
+    /// Stack height at frame entry (restored on return).
+    pub stack_base: usize,
+    /// Set when the frame is unwinding through its defers.
+    pub returning: Option<Value>,
+}
+
+pub(crate) struct Goroutine {
+    pub frames: Vec<CallFrame>,
+    pub stack: Vec<Value>,
+    pub status: Status,
+    /// Creation stacks (up to two ancestry levels), innermost first.
+    pub creation: Vec<Vec<u32>>,
+    pub wake: Option<WakeAction>,
+    pub select: Option<ParkedSelect>,
+    /// Step at which a `time.Sleep` expires.
+    pub sleep_until: Option<u64>,
+    /// Channel a plain send/receive is parked on.
+    pub parked_on: Option<ObjRef>,
+    /// Whether the parked receive wants the `ok` flag.
+    pub parked_recv_comma_ok: bool,
+    /// What the goroutine is blocked on (for deadlock messages).
+    pub block_reason: &'static str,
+    /// Callback target when this goroutine finishes (subtests).
+    pub on_exit: Option<natives::OnExit>,
+}
+
+const UNBOUND: Addr = Addr::MAX;
+
+/// The virtual machine.
+pub struct Vm<'p> {
+    pub(crate) prog: &'p Program,
+    pub(crate) heap: Heap,
+    pub(crate) det: Detector,
+    pub(crate) gos: Vec<Goroutine>,
+    pub(crate) rng: StdRng,
+    pub(crate) steps: u64,
+    pub(crate) opts: VmOptions,
+    pub(crate) globals: Vec<Addr>,
+    pub(crate) names: Vec<String>,
+    pub(crate) name_map: HashMap<String, u32>,
+    frame_table: Vec<(u32, u32)>,
+    frame_map: HashMap<(u32, u32), u32>,
+    pub(crate) output: String,
+    pub(crate) test_failures: Vec<String>,
+    /// `(fire step, channel)` timers (context deadlines, `time.After`).
+    pub(crate) timers: Vec<(u64, ObjRef)>,
+    /// Lazily allocated never-ready channel for background `ctx.Done()`.
+    pub(crate) never_chan: Option<ObjRef>,
+    /// Lazily allocated global rand source.
+    pub(crate) global_rand: Option<Value>,
+    pub(crate) fatal: Option<RunError>,
+}
+
+/// Internal control-flow signal from one instruction.
+pub(crate) enum Flow {
+    /// Continue with the next instruction.
+    Next,
+    /// Jump to absolute pc.
+    Jump(usize),
+    /// Frame stack changed (call pushed); leave pc management alone.
+    Stay,
+    /// Re-run this instruction later (goroutine parked).
+    Park(&'static str),
+    /// The current frame returned.
+    Returned(Value),
+    /// A panic started unwinding.
+    Panic(String),
+}
+
+impl<'p> Vm<'p> {
+    /// Creates a VM for `prog`.
+    pub fn new(prog: &'p Program, opts: VmOptions) -> Self {
+        let names: Vec<String> = prog.pool.clone();
+        let name_map = names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), i as u32))
+            .collect();
+        let mut vm = Vm {
+            prog,
+            heap: Heap::new(),
+            det: Detector::new(),
+            gos: Vec::new(),
+            rng: StdRng::seed_from_u64(opts.seed),
+            steps: 0,
+            opts,
+            globals: Vec::new(),
+            names,
+            name_map,
+            frame_table: Vec::new(),
+            frame_map: HashMap::new(),
+            output: String::new(),
+            test_failures: Vec::new(),
+            timers: Vec::new(),
+            never_chan: None,
+            global_rand: None,
+            fatal: None,
+        };
+        for g in &prog.globals {
+            let zero = vm.zero_value(prog.hints[g.hint as usize]);
+            let a = vm.heap.alloc_cell(zero, g.name);
+            vm.globals.push(a);
+        }
+        vm
+    }
+
+    /// Interns a runtime string into the name table.
+    pub(crate) fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.name_map.get(s) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(s.to_owned());
+        self.name_map.insert(s.to_owned(), id);
+        id
+    }
+
+    pub(crate) fn zero_value(&mut self, hint: TypeHint) -> Value {
+        match hint {
+            TypeHint::Int => Value::Int(0),
+            TypeHint::Float => Value::Float(0.0),
+            TypeHint::Bool => Value::Bool(false),
+            TypeHint::Str => Value::str(""),
+            TypeHint::Error
+            | TypeHint::Slice
+            | TypeHint::Map
+            | TypeHint::Chan
+            | TypeHint::Ptr
+            | TypeHint::Func
+            | TypeHint::Unknown => Value::Nil,
+            TypeHint::Mutex => self.heap.alloc_mutex(),
+            TypeHint::RwMutex => self.heap.alloc_rwmutex(),
+            TypeHint::WaitGroup => self.heap.alloc_waitgroup(),
+            TypeHint::SyncMap => self.heap.alloc_syncmap(),
+            TypeHint::Struct(name) => {
+                let def = self.prog.struct_type(name).cloned();
+                match def {
+                    Some(def) => {
+                        let mut fields = Vec::new();
+                        for (fname, fhint) in def.fields {
+                            let v = self.zero_value(self.prog.hints[fhint as usize]);
+                            fields.push((self.prog.str(fname).to_owned(), v, fname));
+                        }
+                        self.heap
+                            .alloc_struct_named(self.prog.str(name).to_owned(), fields)
+                    }
+                    None => Value::Nil,
+                }
+            }
+        }
+    }
+
+    // -------------------------------------------------------------- stacks
+
+    fn frame_id(&mut self, func: u32, line: u32) -> u32 {
+        if let Some(&id) = self.frame_map.get(&(func, line)) {
+            return id;
+        }
+        let id = self.frame_table.len() as u32;
+        self.frame_table.push((func, line));
+        self.frame_map.insert((func, line), id);
+        id
+    }
+
+    /// Snapshot of `gid`'s stack as interned frame ids, innermost first.
+    pub(crate) fn stack_snapshot(&mut self, gid: Gid) -> Vec<u32> {
+        let raw: Vec<(u32, u32)> = self.gos[gid]
+            .frames
+            .iter()
+            .rev()
+            .map(|f| {
+                let func = &self.prog.funcs[f.func as usize];
+                let pc = f.pc.min(func.lines.len().saturating_sub(1));
+                let line = func.lines.get(pc).copied().unwrap_or(0);
+                (f.func, line)
+            })
+            .collect();
+        raw.into_iter().map(|(f, l)| self.frame_id(f, l)).collect()
+    }
+
+    fn resolve_frame(&self, id: u32) -> RFrame {
+        let (func, line) = self.frame_table[id as usize];
+        let f = &self.prog.funcs[func as usize];
+        RFrame::new(
+            f.name.clone(),
+            self.prog.files[f.file as usize].clone(),
+            line,
+        )
+    }
+
+    // ------------------------------------------------------- tracked cells
+
+    /// Race-tracked cell read by `gid`.
+    pub(crate) fn read_cell(&mut self, gid: Gid, addr: Addr) -> Value {
+        let stack = self.stack_snapshot(gid);
+        let name = self.heap.cell_name(addr);
+        self.det.read(gid, addr, name, &stack);
+        self.heap.cells[addr as usize].clone()
+    }
+
+    /// Race-tracked cell write by `gid`.
+    pub(crate) fn write_cell(&mut self, gid: Gid, addr: Addr, v: Value) {
+        let stack = self.stack_snapshot(gid);
+        let name = self.heap.cell_name(addr);
+        self.det.write(gid, addr, name, &stack);
+        self.heap.cells[addr as usize] = v;
+    }
+
+    // ----------------------------------------------------------- spawning
+
+    /// Spawns a goroutine calling `callee` with `args`.
+    pub(crate) fn spawn(
+        &mut self,
+        parent: Option<Gid>,
+        callee: Value,
+        args: Vec<Value>,
+    ) -> Result<Gid, String> {
+        let gid = match parent {
+            Some(p) => self.det.fork(p),
+            None if self.gos.is_empty() => 0,
+            None => self.det.fork(0),
+        };
+        let mut creation = Vec::new();
+        if let Some(p) = parent {
+            creation.push(self.stack_snapshot(p));
+            if let Some(first) = self.gos[p].creation.first() {
+                creation.push(first.clone());
+            }
+        }
+        debug_assert_eq!(gid, self.gos.len(), "goroutine ids stay dense");
+        self.gos.push(Goroutine {
+            frames: Vec::new(),
+            stack: Vec::new(),
+            status: Status::Runnable,
+            creation,
+            wake: None,
+            select: None,
+            sleep_until: None,
+            parked_on: None,
+            parked_recv_comma_ok: false,
+            block_reason: "",
+            on_exit: None,
+        });
+        self.push_call(gid, callee, args).map_err(|e| format!("go: {e}"))?;
+        Ok(gid)
+    }
+
+    /// Pushes a call frame for `callee` onto `gid`.
+    pub(crate) fn push_call(
+        &mut self,
+        gid: Gid,
+        callee: Value,
+        mut args: Vec<Value>,
+    ) -> Result<(), String> {
+        match callee {
+            Value::Func(fid) => self.push_frame(gid, fid, Vec::new(), args),
+            Value::Closure(c) => {
+                let clo = self.heap.closures[c].clone();
+                self.push_frame(gid, clo.func, clo.upvals, args)
+            }
+            Value::Method { recv, name } => {
+                let mut all = Vec::with_capacity(args.len() + 1);
+                all.push(*recv);
+                all.append(&mut args);
+                if let Some(fid) = self.method_func(&all[0], name) {
+                    self.push_frame(gid, fid, Vec::new(), all)
+                } else {
+                    Err(format!(
+                        "unknown method `{}` on {}",
+                        self.names[name as usize],
+                        all[0].type_name()
+                    ))
+                }
+            }
+            other => Err(format!("cannot call {}", other.type_name())),
+        }
+    }
+
+    /// Resolves a declared (non-native) method for a receiver value.
+    pub(crate) fn method_func(&self, recv: &Value, name: u32) -> Option<u32> {
+        let tname = match recv {
+            Value::Struct(r) => Some(self.heap.structs[*r].type_name.clone()),
+            Value::Ptr(a) => match &self.heap.cells[*a as usize] {
+                Value::Struct(r) => Some(self.heap.structs[*r].type_name.clone()),
+                _ => None,
+            },
+            _ => None,
+        }?;
+        let tid = *self.name_map.get(&tname)?;
+        self.prog.method_of(tid, name)
+    }
+
+    fn push_frame(
+        &mut self,
+        gid: Gid,
+        fid: u32,
+        upvals: Vec<Addr>,
+        args: Vec<Value>,
+    ) -> Result<(), String> {
+        let func = &self.prog.funcs[fid as usize];
+        if args.len() != func.params as usize {
+            return Err(format!(
+                "{} takes {} arguments, got {}",
+                func.name,
+                func.params,
+                args.len()
+            ));
+        }
+        let n_slots = func.n_slots as usize;
+        let param_names = func.param_names.clone();
+        let mut locals = vec![UNBOUND; n_slots];
+        for (i, v) in args.into_iter().enumerate() {
+            let name = param_names.get(i).copied().unwrap_or(0);
+            let a = self.heap.alloc_cell(v, name);
+            locals[i] = a;
+        }
+        let stack_base = self.gos[gid].stack.len();
+        self.gos[gid].frames.push(CallFrame {
+            func: fid,
+            pc: 0,
+            locals,
+            upvals,
+            defers: Vec::new(),
+            stack_base,
+            returning: None,
+        });
+        Ok(())
+    }
+
+    // ---------------------------------------------------------- scheduler
+
+    /// Runs `entry(args)` to completion (plus drain), returning the result.
+    pub fn run(&mut self, entry: &str, args: Vec<Value>) -> RunResult {
+        if let Some(init) = self.prog.init_func {
+            match self.spawn(None, Value::Func(init), Vec::new()) {
+                Ok(g0) => {
+                    self.drive(Some(g0), self.opts.max_steps);
+                }
+                Err(e) => return self.finish(Some(RunError::Internal(e))),
+            }
+        }
+        if self.fatal.is_some() {
+            let err = self.fatal.take();
+            return self.finish(err);
+        }
+        let entry_id = match self.prog.find_func(entry) {
+            Some(f) => f,
+            None => {
+                return self.finish(Some(RunError::Internal(format!(
+                    "no function `{entry}`"
+                ))))
+            }
+        };
+        let parent = if self.gos.is_empty() { None } else { Some(0) };
+        let root = match self.spawn(parent, Value::Func(entry_id), args) {
+            Ok(g) => g,
+            Err(e) => return self.finish(Some(RunError::Internal(e))),
+        };
+        self.drive(Some(root), self.opts.max_steps);
+        if self.fatal.is_none() {
+            let budget = self
+                .steps
+                .saturating_add(self.opts.drain_steps)
+                .min(self.opts.max_steps.saturating_mul(2));
+            self.drive(None, budget);
+        }
+        let err = self.fatal.take();
+        self.finish(err)
+    }
+
+    fn finish(&mut self, error: Option<RunError>) -> RunResult {
+        let raws: Vec<racedet::RawRace> = self.det.races().to_vec();
+        let races = raws
+            .into_iter()
+            .map(|raw| {
+                let mk = |acc: &racedet::RawAccess, vm: &Vm| racedet::Access {
+                    kind: acc.kind,
+                    stack: acc.stack.iter().map(|&f| vm.resolve_frame(f)).collect(),
+                    goroutine: GoroutineInfo {
+                        id: acc.tid,
+                        creation: vm
+                            .gos
+                            .get(acc.tid)
+                            .map(|g| {
+                                g.creation
+                                    .iter()
+                                    .map(|st| st.iter().map(|&f| vm.resolve_frame(f)).collect())
+                                    .collect()
+                            })
+                            .unwrap_or_default(),
+                    },
+                };
+                RaceReport {
+                    accesses: [mk(&raw.cur, self), mk(&raw.prev, self)],
+                    var_name: self
+                        .names
+                        .get(raw.var as usize)
+                        .cloned()
+                        .unwrap_or_default(),
+                    addr: raw.addr,
+                }
+            })
+            .collect();
+        RunResult {
+            races,
+            error,
+            steps: self.steps,
+            output: std::mem::take(&mut self.output),
+            test_failures: std::mem::take(&mut self.test_failures),
+        }
+    }
+
+    fn drive(&mut self, root: Option<Gid>, budget: u64) {
+        loop {
+            if self.fatal.is_some() {
+                return;
+            }
+            if let Some(r) = root {
+                if self.gos[r].status == Status::Done {
+                    return;
+                }
+            }
+            if self.steps >= budget {
+                if root.is_some() && self.steps >= self.opts.max_steps {
+                    self.fatal = Some(RunError::StepLimit);
+                }
+                return;
+            }
+            self.fire_timers();
+            let runnable: Vec<Gid> = (0..self.gos.len())
+                .filter(|&g| self.gos[g].status == Status::Runnable)
+                .collect();
+            if runnable.is_empty() {
+                let any_blocked = self.gos.iter().any(|g| g.status == Status::Blocked);
+                if !any_blocked {
+                    return;
+                }
+                if self.advance_time() {
+                    continue;
+                }
+                if root.is_some() {
+                    let reasons: Vec<&str> = self
+                        .gos
+                        .iter()
+                        .filter(|g| g.status == Status::Blocked)
+                        .map(|g| g.block_reason)
+                        .collect();
+                    self.fatal = Some(RunError::Deadlock(reasons.join(", ")));
+                }
+                return;
+            }
+            let pick = runnable[self.rng.gen_range(0..runnable.len())];
+            let quantum = self.rng.gen_range(1..=self.opts.preempt_max as u64);
+            self.run_goroutine(pick, quantum, budget);
+        }
+    }
+
+    fn fire_timers(&mut self) {
+        let now = self.steps;
+        let mut fired = Vec::new();
+        self.timers.retain(|&(at, ch)| {
+            if at <= now {
+                fired.push(ch);
+                false
+            } else {
+                true
+            }
+        });
+        for ch in fired {
+            self.close_chan_internal(ch);
+        }
+        for g in &mut self.gos {
+            if let Some(t) = g.sleep_until {
+                if t <= now && g.status == Status::Blocked {
+                    g.sleep_until = None;
+                    g.status = Status::Runnable;
+                }
+            }
+        }
+    }
+
+    /// Jumps the step counter to the next timer/sleeper deadline.
+    fn advance_time(&mut self) -> bool {
+        let mut next = u64::MAX;
+        for &(at, _) in &self.timers {
+            next = next.min(at);
+        }
+        for g in &self.gos {
+            if let Some(t) = g.sleep_until {
+                next = next.min(t);
+            }
+        }
+        if next == u64::MAX {
+            return false;
+        }
+        if next > self.steps {
+            self.steps = next;
+        }
+        self.fire_timers();
+        true
+    }
+
+    fn run_goroutine(&mut self, gid: Gid, quantum: u64, budget: u64) {
+        // Apply a pending completed-op wake action.
+        if let Some(w) = self.gos[gid].wake.take() {
+            for _ in 0..w.pops {
+                self.gos[gid].stack.pop();
+            }
+            for v in w.push {
+                self.gos[gid].stack.push(v);
+            }
+            if let Some(c) = w.acquire {
+                self.det.acquire_clock(gid, &c);
+            }
+            if let Some(f) = self.gos[gid].frames.last_mut() {
+                match w.jump_to {
+                    Some(pc) => f.pc = pc,
+                    None => f.pc += 1,
+                }
+            }
+        }
+        // Retry a parked select.
+        if self.gos[gid].select.is_some() && self.gos[gid].status == Status::Runnable {
+            let sel = self.gos[gid].select.take().expect("parked select");
+            match crate::ops::try_select(self, gid, &sel.cases) {
+                Some(Flow::Jump(t)) => {
+                    if let Some(f) = self.gos[gid].frames.last_mut() {
+                        f.pc = t;
+                    }
+                }
+                Some(Flow::Panic(m)) => {
+                    self.do_panic(gid, m);
+                    return;
+                }
+                Some(_) => unreachable!("select resolves to jump or panic"),
+                None => {
+                    crate::ops::repark_select(self, gid, sel);
+                    self.gos[gid].status = Status::Blocked;
+                    self.gos[gid].block_reason = "select";
+                    return;
+                }
+            }
+        }
+        for _ in 0..quantum {
+            if self.steps >= budget || self.fatal.is_some() {
+                return;
+            }
+            if self.gos[gid].status != Status::Runnable {
+                return;
+            }
+            self.steps += 1;
+
+            // Unwinding frames (defers) take priority over fetch.
+            if self
+                .gos[gid]
+                .frames
+                .last()
+                .map(|f| f.returning.is_some())
+                .unwrap_or(false)
+            {
+                self.proceed_return(gid);
+                continue;
+            }
+
+            let Some((fid, pc)) = self.gos[gid].frames.last().map(|f| (f.func, f.pc)) else {
+                self.gos[gid].status = Status::Done;
+                return;
+            };
+            let code = &self.prog.funcs[fid as usize].code;
+            if pc >= code.len() {
+                // Fallthrough: return nil (compiler normally emits an
+                // explicit return, so this is a safety net).
+                self.start_return(gid, Value::Nil);
+                continue;
+            }
+            let op = code[pc].clone();
+            match crate::ops::exec(self, gid, op) {
+                Flow::Next => {
+                    if let Some(f) = self.gos[gid].frames.last_mut() {
+                        f.pc += 1;
+                    }
+                }
+                Flow::Jump(t) => {
+                    if let Some(f) = self.gos[gid].frames.last_mut() {
+                        f.pc = t;
+                    }
+                }
+                Flow::Stay => {}
+                Flow::Park(reason) => {
+                    let g = &mut self.gos[gid];
+                    g.status = Status::Blocked;
+                    g.block_reason = reason;
+                    return;
+                }
+                Flow::Returned(v) => {
+                    self.start_return(gid, v);
+                }
+                Flow::Panic(msg) => {
+                    self.do_panic(gid, msg);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Marks the current frame as returning `v`; defers run first.
+    fn start_return(&mut self, gid: Gid, v: Value) {
+        if let Some(f) = self.gos[gid].frames.last_mut() {
+            f.returning = Some(v);
+        }
+        self.proceed_return(gid);
+    }
+
+    /// Runs the next deferred call of the returning frame, or finishes
+    /// the return if none remain.
+    fn proceed_return(&mut self, gid: Gid) {
+        let Some(frame) = self.gos[gid].frames.last_mut() else {
+            self.gos[gid].status = Status::Done;
+            return;
+        };
+        let Some(v) = frame.returning.clone() else {
+            return;
+        };
+        if let Some((callee, args)) = frame.defers.pop() {
+            match &callee {
+                Value::Method { recv, name } => {
+                    // Native defers (wg.Done, mu.Unlock) run eagerly.
+                    if self.method_func(recv, *name).is_none() {
+                        let method = self.names[*name as usize].clone();
+                        match natives::dispatch_method(
+                            self,
+                            gid,
+                            (**recv).clone(),
+                            &method,
+                            args,
+                        ) {
+                            natives::MethodOutcome::Done(_) => {}
+                            natives::MethodOutcome::Error(e) => {
+                                self.do_panic(gid, e);
+                            }
+                            _ => {
+                                self.do_panic(
+                                    gid,
+                                    format!("deferred native `{method}` would block"),
+                                );
+                            }
+                        }
+                        return;
+                    }
+                    if let Err(e) = self.push_call(gid, callee, args) {
+                        self.do_panic(gid, e);
+                    }
+                }
+                _ => {
+                    if let Err(e) = self.push_call(gid, callee, args) {
+                        self.do_panic(gid, e);
+                    }
+                }
+            }
+            return;
+        }
+        // No defers left: actually pop the frame.
+        let frame = self.gos[gid].frames.pop().expect("returning frame");
+        self.gos[gid].stack.truncate(frame.stack_base);
+        if self.gos[gid].frames.is_empty() {
+            self.gos[gid].status = Status::Done;
+            natives::on_goroutine_exit(self, gid);
+        } else {
+            self.gos[gid].stack.push(v);
+            if let Some(f) = self.gos[gid].frames.last_mut() {
+                if f.returning.is_none() {
+                    f.pc += 1;
+                }
+            }
+        }
+    }
+
+    /// Crate-internal access to [`Vm::start_return`] (nested calls).
+    pub(crate) fn start_return_public(&mut self, gid: Gid, v: Value) {
+        self.start_return(gid, v);
+    }
+
+    /// Crate-internal access to [`Vm::proceed_return`] (nested calls).
+    pub(crate) fn proceed_return_public(&mut self, gid: Gid) {
+        self.proceed_return(gid);
+    }
+
+    fn do_panic(&mut self, gid: Gid, msg: String) {
+        // Release held synchronisation via native defers, then abort.
+        let frames = std::mem::take(&mut self.gos[gid].frames);
+        for frame in frames.into_iter().rev() {
+            for (callee, args) in frame.defers.into_iter().rev() {
+                if let Value::Method { recv, name } = &callee {
+                    if self.method_func(recv, *name).is_none() {
+                        let method = self.names[*name as usize].clone();
+                        let _ = natives::dispatch_method(
+                            self,
+                            gid,
+                            (**recv).clone(),
+                            &method,
+                            args,
+                        );
+                    }
+                }
+            }
+        }
+        self.gos[gid].status = Status::Done;
+        self.gos[gid].stack.clear();
+        natives::on_goroutine_exit(self, gid);
+        self.fatal = Some(RunError::Panic(msg));
+    }
+
+    // ------------------------------------------------------------ channels
+
+    pub(crate) fn close_chan_internal(&mut self, ch: ObjRef) {
+        if !self.heap.chans[ch].closed {
+            let clock = self.det.release_snapshot(0);
+            self.heap.chans[ch].closed = true;
+            self.heap.chans[ch].close_clock = Some(clock);
+        }
+        self.wake_chan_waiters(ch);
+    }
+
+    /// Wakes every goroutine parked on `ch`; they re-check their
+    /// conditions when scheduled.
+    pub(crate) fn wake_chan_waiters(&mut self, ch: ObjRef) {
+        let recv: Vec<Gid> = std::mem::take(&mut self.heap.chans[ch].recv_waiters);
+        let send: Vec<Gid> = std::mem::take(&mut self.heap.chans[ch].send_waiters);
+        for g in recv.into_iter().chain(send) {
+            if self.gos[g].status == Status::Blocked && self.gos[g].sleep_until.is_none() {
+                self.gos[g].status = Status::Runnable;
+            }
+        }
+    }
+
+    /// Commits a buffered send (capacity known to be available).
+    pub(crate) fn chan_send_commit(&mut self, gid: Gid, ch: ObjRef, v: Value) {
+        let clock = self.det.release_snapshot(gid);
+        let acquire = {
+            let c = &mut self.heap.chans[ch];
+            c.sends += 1;
+            let acq = if c.cap > 0 && c.sends > c.cap {
+                c.slot_clocks.pop_front()
+            } else {
+                None
+            };
+            c.queue.push_back(ChanMsg { value: v, clock });
+            acq
+        };
+        if let Some(a) = acquire {
+            self.det.acquire_clock(gid, &a);
+        }
+        self.wake_chan_waiters(ch);
+    }
+
+    /// Tries to receive a queued message or a closed-channel zero value.
+    pub(crate) fn chan_try_recv(&mut self, gid: Gid, ch: ObjRef) -> Option<(Value, bool)> {
+        let msg = self.heap.chans[ch].queue.pop_front();
+        if let Some(m) = msg {
+            self.det.acquire_clock(gid, &m.clock);
+            let snap = self.det.release_snapshot(gid);
+            self.heap.chans[ch].slot_clocks.push_back(snap);
+            self.wake_chan_waiters(ch);
+            return Some((m.value, true));
+        }
+        if self.heap.chans[ch].closed {
+            let cc = self.heap.chans[ch].close_clock.clone();
+            if let Some(c) = cc {
+                self.det.acquire_clock(gid, &c);
+            }
+            return Some((Value::Nil, false));
+        }
+        None
+    }
+}

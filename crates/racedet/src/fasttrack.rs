@@ -1,0 +1,519 @@
+//! The FastTrack dynamic race-detection algorithm (Flanagan & Freund,
+//! PLDI 2009), as used by ThreadSanitizer-style runtimes.
+//!
+//! The detector is event-driven and VM-agnostic: the host runtime feeds
+//! it reads/writes (with compact interned stacks) and happens-before
+//! edges (fork, mutex acquire/release, merge-release for wait-groups,
+//! sequentially-consistent atomic edges, and raw clock snapshot/join for
+//! per-message channel synchronisation). Races are recorded — never
+//! thrown — so a run reports every distinct race it observes, matching
+//! the Go race detector's behaviour.
+
+use crate::clock::{Epoch, ThreadId, VectorClock};
+use crate::report::{AccessKind, Fnv1a};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Abstract address of a monitored memory cell.
+pub type Addr = u64;
+
+/// Interned id of a variable name (resolved by the host VM).
+pub type NameId = u32;
+
+/// Interned id of a stack frame (resolved by the host VM).
+pub type FrameId = u32;
+
+/// A compact access record: kind, interned stack (innermost first), and
+/// the acting thread.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RawAccess {
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Interned stack, innermost frame first.
+    pub stack: Vec<FrameId>,
+    /// Acting thread.
+    pub tid: ThreadId,
+}
+
+/// A detected race between two compact accesses.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RawRace {
+    /// The earlier (already recorded) access.
+    pub prev: RawAccess,
+    /// The access that triggered detection.
+    pub cur: RawAccess,
+    /// Racy cell address.
+    pub addr: Addr,
+    /// Interned variable name.
+    pub var: NameId,
+}
+
+#[derive(Debug, Clone)]
+enum ReadState {
+    /// Reads by at most one thread since the last write.
+    Epoch(Epoch, Option<RawAccess>),
+    /// Read-shared: full clock plus per-thread access info.
+    Shared(VectorClock, HashMap<ThreadId, RawAccess>),
+}
+
+#[derive(Debug, Clone)]
+struct VarState {
+    w: Epoch,
+    w_access: Option<RawAccess>,
+    r: ReadState,
+}
+
+impl Default for VarState {
+    fn default() -> Self {
+        VarState {
+            w: Epoch::ZERO,
+            w_access: None,
+            r: ReadState::Epoch(Epoch::ZERO, None),
+        }
+    }
+}
+
+/// The FastTrack detector for one program run.
+#[derive(Debug, Default)]
+pub struct Detector {
+    clocks: Vec<VectorClock>,
+    vars: HashMap<Addr, VarState>,
+    syncs: HashMap<u64, VectorClock>,
+    races: Vec<RawRace>,
+    dedup: HashSet<u64>,
+    /// Total read/write events processed (for instrumentation benches).
+    pub events: u64,
+}
+
+impl Detector {
+    /// Creates a detector with the main thread (id 0) registered.
+    pub fn new() -> Self {
+        let mut d = Detector::default();
+        let mut c = VectorClock::new();
+        c.tick(0);
+        d.clocks.push(c);
+        d
+    }
+
+    /// Number of threads registered so far.
+    pub fn thread_count(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Registers a new thread forked by `parent`, returning its id.
+    ///
+    /// Establishes the happens-before edge from the `go` statement to the
+    /// start of the child.
+    pub fn fork(&mut self, parent: ThreadId) -> ThreadId {
+        let child = self.clocks.len();
+        let mut cc = self.clocks[parent].clone();
+        cc.tick(child);
+        self.clocks.push(cc);
+        self.clocks[parent].tick(parent);
+        child
+    }
+
+    /// Establishes `child` happens-before `parent` (a join edge).
+    pub fn join_thread(&mut self, parent: ThreadId, child: ThreadId) {
+        let cc = self.clocks[child].clone();
+        self.clocks[parent].join(&cc);
+    }
+
+    /// Processes a read of `addr` by `t`.
+    pub fn read(&mut self, t: ThreadId, addr: Addr, var: NameId, stack: &[FrameId]) {
+        self.events += 1;
+        let ct = &self.clocks[t];
+        let e = Epoch::new(t, ct.get(t));
+        let vs = self.vars.entry(addr).or_default();
+
+        // Same-epoch fast path.
+        if let ReadState::Epoch(re, _) = &vs.r {
+            if *re == e {
+                return;
+            }
+        }
+
+        let cur = RawAccess {
+            kind: AccessKind::Read,
+            stack: stack.to_vec(),
+            tid: t,
+        };
+
+        // Write-read check.
+        if !vs.w.le(ct) {
+            let prev = vs.w_access.clone().unwrap_or_else(|| RawAccess {
+                kind: AccessKind::Write,
+                stack: Vec::new(),
+                tid: vs.w.tid,
+            });
+            let race = RawRace {
+                prev,
+                cur: cur.clone(),
+                addr,
+                var,
+            };
+            Self::push_race(&mut self.races, &mut self.dedup, race);
+        }
+
+        // Update read state.
+        let ct = &self.clocks[t];
+        match &mut vs.r {
+            ReadState::Epoch(re, acc) => {
+                if re.le(ct) {
+                    *re = e;
+                    *acc = Some(cur);
+                } else {
+                    let mut vc = VectorClock::new();
+                    vc.set(re.tid, re.clock);
+                    vc.set(t, e.clock);
+                    let mut accs = HashMap::new();
+                    if let Some(a) = acc.take() {
+                        accs.insert(re.tid, a);
+                    }
+                    accs.insert(t, cur);
+                    vs.r = ReadState::Shared(vc, accs);
+                }
+            }
+            ReadState::Shared(vc, accs) => {
+                vc.set(t, e.clock);
+                accs.insert(t, cur);
+            }
+        }
+    }
+
+    /// Processes a write of `addr` by `t`.
+    pub fn write(&mut self, t: ThreadId, addr: Addr, var: NameId, stack: &[FrameId]) {
+        self.events += 1;
+        let ct = &self.clocks[t];
+        let e = Epoch::new(t, ct.get(t));
+        let vs = self.vars.entry(addr).or_default();
+
+        // Same-epoch fast path.
+        if vs.w == e {
+            return;
+        }
+
+        let cur = RawAccess {
+            kind: AccessKind::Write,
+            stack: stack.to_vec(),
+            tid: t,
+        };
+
+        // Write-write check.
+        if !vs.w.le(ct) {
+            let prev = vs.w_access.clone().unwrap_or_else(|| RawAccess {
+                kind: AccessKind::Write,
+                stack: Vec::new(),
+                tid: vs.w.tid,
+            });
+            let race = RawRace {
+                prev,
+                cur: cur.clone(),
+                addr,
+                var,
+            };
+            Self::push_race(&mut self.races, &mut self.dedup, race);
+        }
+
+        // Read-write check.
+        match &vs.r {
+            ReadState::Epoch(re, racc) => {
+                if !re.is_zero() && !re.le(ct) {
+                    let prev = racc.clone().unwrap_or_else(|| RawAccess {
+                        kind: AccessKind::Read,
+                        stack: Vec::new(),
+                        tid: re.tid,
+                    });
+                    let race = RawRace {
+                        prev,
+                        cur: cur.clone(),
+                        addr,
+                        var,
+                    };
+                    Self::push_race(&mut self.races, &mut self.dedup, race);
+                }
+            }
+            ReadState::Shared(vc, accs) => {
+                for (tid, val) in vc.iter() {
+                    if val > ct.get(tid) {
+                        let prev = accs.get(&tid).cloned().unwrap_or_else(|| RawAccess {
+                            kind: AccessKind::Read,
+                            stack: Vec::new(),
+                            tid,
+                        });
+                        let race = RawRace {
+                            prev,
+                            cur: cur.clone(),
+                            addr,
+                            var,
+                        };
+                        Self::push_race(&mut self.races, &mut self.dedup, race);
+                    }
+                }
+            }
+        }
+
+        vs.w = e;
+        vs.w_access = Some(cur);
+        // FastTrack WriteShared: collapse the read state after checking.
+        vs.r = ReadState::Epoch(Epoch::ZERO, None);
+    }
+
+    fn push_race(races: &mut Vec<RawRace>, dedup: &mut HashSet<u64>, race: RawRace) {
+        let mut h = Fnv1a::new();
+        h.write(&race.var.to_le_bytes());
+        // Symmetric over the two stacks: hash the sorted pair of leaves
+        // plus full-stack hashes.
+        let mut stack_hashes: Vec<u64> = [&race.prev, &race.cur]
+            .iter()
+            .map(|a| {
+                let mut sh = Fnv1a::new();
+                for fid in &a.stack {
+                    sh.write(&fid.to_le_bytes());
+                }
+                sh.finish()
+            })
+            .collect();
+        stack_hashes.sort_unstable();
+        for s in stack_hashes {
+            h.write(&s.to_le_bytes());
+        }
+        if dedup.insert(h.finish()) {
+            races.push(race);
+        }
+    }
+
+    /// Lock acquire: joins the sync object's release clock into `t`.
+    pub fn acquire(&mut self, t: ThreadId, sync: u64) {
+        if let Some(s) = self.syncs.get(&sync) {
+            let s = s.clone();
+            self.clocks[t].join(&s);
+        }
+    }
+
+    /// Lock release: stores `t`'s clock in the sync object and advances `t`.
+    pub fn release(&mut self, t: ThreadId, sync: u64) {
+        let c = self.clocks[t].clone();
+        self.syncs.insert(sync, c);
+        self.clocks[t].tick(t);
+    }
+
+    /// Merge-release (wait-group `Done`, RWMutex `RUnlock`): joins `t`'s
+    /// clock into the sync object without overwriting other releasers.
+    pub fn release_merge(&mut self, t: ThreadId, sync: u64) {
+        let c = self.clocks[t].clone();
+        self.syncs.entry(sync).or_default().join(&c);
+        self.clocks[t].tick(t);
+    }
+
+    /// Sequentially-consistent atomic edge: total order between all
+    /// atomic operations on `sync` (each op both acquires and releases).
+    pub fn atomic_op(&mut self, t: ThreadId, sync: u64) {
+        if let Some(s) = self.syncs.get(&sync) {
+            let s = s.clone();
+            self.clocks[t].join(&s);
+        }
+        let c = self.clocks[t].clone();
+        self.syncs.insert(sync, c);
+        self.clocks[t].tick(t);
+    }
+
+    /// Snapshots `t`'s clock (release half of a message send) and advances
+    /// `t`. The returned clock travels with the message.
+    pub fn release_snapshot(&mut self, t: ThreadId) -> VectorClock {
+        let c = self.clocks[t].clone();
+        self.clocks[t].tick(t);
+        c
+    }
+
+    /// Joins a message clock into `t` (acquire half of a message receive).
+    pub fn acquire_clock(&mut self, t: ThreadId, vc: &VectorClock) {
+        self.clocks[t].join(vc);
+    }
+
+    /// Forgets a freed cell.
+    pub fn forget(&mut self, addr: Addr) {
+        self.vars.remove(&addr);
+    }
+
+    /// Races recorded so far.
+    pub fn races(&self) -> &[RawRace] {
+        &self.races
+    }
+
+    /// Consumes the detector, returning all recorded races.
+    pub fn into_races(self) -> Vec<RawRace> {
+        self.races
+    }
+
+    /// Current clock of thread `t` (for tests and debugging).
+    pub fn clock(&self, t: ThreadId) -> &VectorClock {
+        &self.clocks[t]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: Addr = 100;
+    const V: NameId = 1;
+
+    fn stack(id: FrameId) -> Vec<FrameId> {
+        vec![id]
+    }
+
+    #[test]
+    fn unsynchronized_write_write_races() {
+        let mut d = Detector::new();
+        let t1 = d.fork(0);
+        d.write(0, A, V, &stack(1));
+        d.write(t1, A, V, &stack(2));
+        assert_eq!(d.races().len(), 1);
+        assert_eq!(d.races()[0].prev.kind, AccessKind::Write);
+        assert_eq!(d.races()[0].cur.kind, AccessKind::Write);
+    }
+
+    #[test]
+    fn fork_edge_orders_parent_prefix() {
+        let mut d = Detector::new();
+        d.write(0, A, V, &stack(1)); // before fork
+        let t1 = d.fork(0);
+        d.write(t1, A, V, &stack(2)); // child sees parent's prefix
+        assert!(d.races().is_empty());
+        // But a parent write AFTER the fork races with the child.
+        d.write(0, A, V, &stack(3));
+        d.read(t1, A, V, &stack(4));
+        assert!(!d.races().is_empty());
+    }
+
+    #[test]
+    fn mutex_orders_critical_sections() {
+        let mut d = Detector::new();
+        let t1 = d.fork(0);
+        let m = 7;
+        d.acquire(0, m);
+        d.write(0, A, V, &stack(1));
+        d.release(0, m);
+        d.acquire(t1, m);
+        d.write(t1, A, V, &stack(2));
+        d.release(t1, m);
+        assert!(d.races().is_empty());
+    }
+
+    #[test]
+    fn mutex_on_different_locks_does_not_order() {
+        let mut d = Detector::new();
+        let t1 = d.fork(0);
+        d.acquire(0, 7);
+        d.write(0, A, V, &stack(1));
+        d.release(0, 7);
+        d.acquire(t1, 8);
+        d.write(t1, A, V, &stack(2));
+        d.release(t1, 8);
+        assert_eq!(d.races().len(), 1);
+    }
+
+    #[test]
+    fn waitgroup_merge_release_orders_all_children() {
+        let mut d = Detector::new();
+        let wg = 9;
+        let t1 = d.fork(0);
+        let t2 = d.fork(0);
+        d.write(t1, A, V, &stack(1));
+        d.release_merge(t1, wg); // Done
+        d.write(t2, 200, V, &stack(2));
+        d.release_merge(t2, wg); // Done
+        d.acquire(0, wg); // Wait
+        d.read(0, A, V, &stack(3));
+        d.read(0, 200, V, &stack(4));
+        assert!(d.races().is_empty());
+    }
+
+    #[test]
+    fn plain_release_would_lose_first_done() {
+        // Demonstrates why Done must merge: with plain release the second
+        // Done overwrites the first child's clock.
+        let mut d = Detector::new();
+        let wg = 9;
+        let t1 = d.fork(0);
+        let t2 = d.fork(0);
+        d.write(t1, A, V, &stack(1));
+        d.release(t1, wg);
+        d.release(t2, wg); // overwrites
+        d.acquire(0, wg);
+        d.read(0, A, V, &stack(2));
+        assert_eq!(d.races().len(), 1);
+    }
+
+    #[test]
+    fn message_clocks_order_send_before_receive() {
+        let mut d = Detector::new();
+        let t1 = d.fork(0);
+        d.write(t1, A, V, &stack(1));
+        let msg = d.release_snapshot(t1); // send
+        d.acquire_clock(0, &msg); // receive
+        d.read(0, A, V, &stack(2));
+        assert!(d.races().is_empty());
+    }
+
+    #[test]
+    fn read_shared_then_unordered_write_races_with_each_reader() {
+        let mut d = Detector::new();
+        let t1 = d.fork(0);
+        let t2 = d.fork(0);
+        d.read(t1, A, V, &stack(1));
+        d.read(t2, A, V, &stack(2));
+        d.write(0, A, V, &stack(3));
+        // Races with both readers (two distinct reports).
+        assert_eq!(d.races().len(), 2);
+        assert!(d
+            .races()
+            .iter()
+            .all(|r| r.prev.kind == AccessKind::Read && r.cur.kind == AccessKind::Write));
+    }
+
+    #[test]
+    fn atomics_totally_order_operations() {
+        let mut d = Detector::new();
+        let t1 = d.fork(0);
+        let flag = 11;
+        d.write(0, A, V, &stack(1));
+        d.atomic_op(0, flag); // store
+        d.atomic_op(t1, flag); // load (later in the serialized run)
+        d.read(t1, A, V, &stack(2));
+        assert!(d.races().is_empty());
+    }
+
+    #[test]
+    fn duplicate_races_are_deduped() {
+        let mut d = Detector::new();
+        let t1 = d.fork(0);
+        d.write(0, A, V, &stack(1));
+        d.write(t1, A, V, &stack(2));
+        d.write(0, A, V, &stack(1));
+        d.write(t1, A, V, &stack(2));
+        assert_eq!(d.races().len(), 1);
+    }
+
+    #[test]
+    fn join_thread_orders_child_suffix() {
+        let mut d = Detector::new();
+        let t1 = d.fork(0);
+        d.write(t1, A, V, &stack(1));
+        d.join_thread(0, t1);
+        d.write(0, A, V, &stack(2));
+        assert!(d.races().is_empty());
+    }
+
+    #[test]
+    fn same_epoch_fast_path_skips_duplicate_work() {
+        let mut d = Detector::new();
+        d.write(0, A, V, &stack(1));
+        let before = d.events;
+        d.write(0, A, V, &stack(1));
+        d.write(0, A, V, &stack(1));
+        assert_eq!(d.events, before + 2);
+        assert!(d.races().is_empty());
+    }
+}

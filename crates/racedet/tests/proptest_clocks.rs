@@ -1,0 +1,107 @@
+//! Property tests: vector-clock laws the FastTrack detector relies on.
+
+use proptest::prelude::*;
+use racedet::VectorClock;
+
+fn clock_strategy() -> impl Strategy<Value = VectorClock> {
+    proptest::collection::vec(0u32..50, 0..8).prop_map(|vals| {
+        let mut c = VectorClock::new();
+        for (i, v) in vals.into_iter().enumerate() {
+            c.set(i, v);
+        }
+        c
+    })
+}
+
+proptest! {
+    #[test]
+    fn join_is_commutative(a in clock_strategy(), b in clock_strategy()) {
+        let mut ab = a.clone();
+        ab.join(&b);
+        let mut ba = b.clone();
+        ba.join(&a);
+        prop_assert!(ab.le(&ba) && ba.le(&ab));
+    }
+
+    #[test]
+    fn join_is_idempotent(a in clock_strategy()) {
+        let mut aa = a.clone();
+        aa.join(&a);
+        prop_assert!(aa.le(&a) && a.le(&aa));
+    }
+
+    #[test]
+    fn join_is_upper_bound(a in clock_strategy(), b in clock_strategy()) {
+        let mut j = a.clone();
+        j.join(&b);
+        prop_assert!(a.le(&j));
+        prop_assert!(b.le(&j));
+    }
+
+    #[test]
+    fn join_is_associative(a in clock_strategy(), b in clock_strategy(), c in clock_strategy()) {
+        let mut left = a.clone();
+        left.join(&b);
+        left.join(&c);
+        let mut bc = b.clone();
+        bc.join(&c);
+        let mut right = a.clone();
+        right.join(&bc);
+        prop_assert!(left.le(&right) && right.le(&left));
+    }
+
+    #[test]
+    fn le_is_reflexive_and_antisymmetric(a in clock_strategy(), b in clock_strategy()) {
+        prop_assert!(a.le(&a));
+        if a.le(&b) && b.le(&a) {
+            for t in 0..8 {
+                prop_assert_eq!(a.get(t), b.get(t));
+            }
+        }
+    }
+
+    #[test]
+    fn tick_strictly_advances_own_component(mut a in clock_strategy(), t in 0usize..8) {
+        let before = a.get(t);
+        let after = a.tick(t);
+        prop_assert_eq!(after, before + 1);
+        prop_assert_eq!(a.get(t), before + 1);
+    }
+
+    #[test]
+    fn detector_never_reports_sequential_races(
+        ops in proptest::collection::vec((0u64..4, any::<bool>()), 1..40)
+    ) {
+        // A single thread can never race with itself.
+        let mut d = racedet::Detector::new();
+        for (addr, is_write) in ops {
+            if is_write {
+                d.write(0, addr, 0, &[1]);
+            } else {
+                d.read(0, addr, 0, &[1]);
+            }
+        }
+        prop_assert!(d.races().is_empty());
+    }
+
+    #[test]
+    fn mutex_discipline_never_races(
+        ops in proptest::collection::vec((0u64..3, any::<bool>()), 1..20)
+    ) {
+        // Two threads alternating under one mutex: never a race.
+        let mut d = racedet::Detector::new();
+        let t1 = d.fork(0);
+        let m = 99;
+        for (i, (addr, is_write)) in ops.iter().enumerate() {
+            let t = if i % 2 == 0 { 0 } else { t1 };
+            d.acquire(t, m);
+            if *is_write {
+                d.write(t, *addr, 0, &[t as u32]);
+            } else {
+                d.read(t, *addr, 0, &[t as u32]);
+            }
+            d.release(t, m);
+        }
+        prop_assert!(d.races().is_empty(), "races: {:?}", d.races().len());
+    }
+}

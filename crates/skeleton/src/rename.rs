@@ -1,0 +1,463 @@
+//! Consistent renaming: racy variables become `racyVarN`, other
+//! identifiers `vN`, called functions `funcN`, and types `typeN`, while
+//! concurrency API names are preserved (§4.3).
+
+use crate::relevance::is_concurrency_call;
+use golite::ast::*;
+use std::collections::HashMap;
+
+/// Names never renamed: keywords-adjacent builtins and the concurrency
+/// vocabulary.
+const PRESERVED: &[&str] = &[
+    "nil", "true", "false", "_", "make", "new", "len", "cap", "append", "delete", "close",
+    "panic", "copy", "int", "int32", "int64", "string", "bool", "float64", "error", "byte",
+    "any", "sync", "atomic", "context", "testing", "chan", "struct", "interface",
+];
+
+/// The renamer: shared across the functions of one skeleton so that the
+/// same original name always maps to the same fresh name.
+#[derive(Debug, Default)]
+pub struct Renamer {
+    vars: HashMap<String, String>,
+    funcs: HashMap<String, String>,
+    types: HashMap<String, String>,
+    racy: Vec<String>,
+    racy_set: Vec<String>,
+    var_count: u32,
+    func_count: u32,
+    type_count: u32,
+}
+
+impl Renamer {
+    /// Creates a renamer with the given racy-variable set.
+    pub fn new(racy_vars: &[String]) -> Self {
+        Renamer {
+            racy_set: racy_vars.to_vec(),
+            ..Renamer::default()
+        }
+    }
+
+    /// Racy variables in the order their `racyVarN` names were assigned.
+    pub fn racy_in_order(&self) -> Vec<String> {
+        self.racy.clone()
+    }
+
+    fn var(&mut self, name: &str) -> String {
+        if PRESERVED.contains(&name) {
+            return name.to_owned();
+        }
+        if let Some(n) = self.vars.get(name) {
+            return n.clone();
+        }
+        let fresh = if self.racy_set.iter().any(|r| r == name) {
+            self.racy.push(name.to_owned());
+            format!("racyVar{}", self.racy.len())
+        } else {
+            self.var_count += 1;
+            format!("v{}", self.var_count)
+        };
+        self.vars.insert(name.to_owned(), fresh.clone());
+        fresh
+    }
+
+    fn func(&mut self, name: &str) -> String {
+        if PRESERVED.contains(&name) || is_concurrency_call(name) {
+            return name.to_owned();
+        }
+        if let Some(n) = self.funcs.get(name) {
+            return n.clone();
+        }
+        self.func_count += 1;
+        let fresh = format!("func{}", self.func_count);
+        self.funcs.insert(name.to_owned(), fresh.clone());
+        fresh
+    }
+
+    fn type_name(&mut self, name: &str) -> String {
+        if PRESERVED.contains(&name) {
+            return name.to_owned();
+        }
+        if let Some(n) = self.types.get(name) {
+            return n.clone();
+        }
+        self.type_count += 1;
+        let fresh = format!("type{}", self.type_count);
+        self.types.insert(name.to_owned(), fresh.clone());
+        fresh
+    }
+
+    /// Renames a whole function declaration.
+    pub fn rename_func(&mut self, f: &FuncDecl) -> FuncDecl {
+        FuncDecl {
+            receiver: f.receiver.as_ref().map(|r| Receiver {
+                name: self.var(&r.name),
+                ty: self.ty(&r.ty),
+                span: r.span,
+            }),
+            name: self.func(&f.name),
+            type_params: f.type_params.clone(),
+            sig: self.sig(&f.sig),
+            body: f.body.as_ref().map(|b| self.block(b)),
+            span: f.span,
+        }
+    }
+
+    /// Renames a type declaration.
+    pub fn rename_typedecl(&mut self, t: &TypeDecl) -> TypeDecl {
+        TypeDecl {
+            name: self.type_name(&t.name),
+            type_params: t.type_params.clone(),
+            ty: self.ty(&t.ty),
+            span: t.span,
+        }
+    }
+
+    fn sig(&mut self, s: &FuncSig) -> FuncSig {
+        FuncSig {
+            params: s.params.iter().map(|p| self.param(p)).collect(),
+            results: s.results.iter().map(|p| self.param(p)).collect(),
+        }
+    }
+
+    fn param(&mut self, p: &Param) -> Param {
+        Param {
+            names: p.names.iter().map(|n| self.var(n)).collect(),
+            ty: self.ty(&p.ty),
+            variadic: p.variadic,
+            span: p.span,
+        }
+    }
+
+    fn ty(&mut self, t: &Type) -> Type {
+        match t {
+            Type::Named { path, args } => {
+                let joined = path.join(".");
+                // sync.* / atomic.* / primitive types preserved.
+                if joined.starts_with("sync.")
+                    || joined.starts_with("atomic.")
+                    || joined.starts_with("testing.")
+                    || joined.starts_with("context.")
+                    || PRESERVED.contains(&joined.as_str())
+                {
+                    return t.clone();
+                }
+                Type::Named {
+                    path: vec![self.type_name(&joined)],
+                    args: args.iter().map(|a| self.ty(a)).collect(),
+                }
+            }
+            Type::Pointer(i) => Type::Pointer(Box::new(self.ty(i))),
+            Type::Slice(i) => Type::Slice(Box::new(self.ty(i))),
+            Type::Array { len, elem } => Type::Array {
+                len: Box::new(self.expr(len)),
+                elem: Box::new(self.ty(elem)),
+            },
+            Type::Map { key, value } => Type::Map {
+                key: Box::new(self.ty(key)),
+                value: Box::new(self.ty(value)),
+            },
+            Type::Chan { dir, elem } => Type::Chan {
+                dir: *dir,
+                elem: Box::new(self.ty(elem)),
+            },
+            Type::Func(sig) => Type::Func(Box::new(self.sig(sig))),
+            Type::Struct(fields) => Type::Struct(
+                fields
+                    .iter()
+                    .map(|f| Field {
+                        names: f.names.iter().map(|n| self.var(n)).collect(),
+                        ty: self.ty(&f.ty),
+                        span: f.span,
+                    })
+                    .collect(),
+            ),
+            Type::Interface(_) => t.clone(),
+        }
+    }
+
+    fn block(&mut self, b: &Block) -> Block {
+        Block {
+            stmts: b.stmts.iter().map(|s| self.stmt(s)).collect(),
+            span: b.span,
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Stmt {
+        match s {
+            Stmt::Decl(v) => Stmt::Decl(VarDecl {
+                names: v.names.iter().map(|n| self.var(n)).collect(),
+                ty: v.ty.as_ref().map(|t| self.ty(t)),
+                values: v.values.iter().map(|e| self.expr(e)).collect(),
+                span: v.span,
+            }),
+            Stmt::ShortVar {
+                names,
+                values,
+                span,
+            } => Stmt::ShortVar {
+                names: names.iter().map(|n| self.var(n)).collect(),
+                values: values.iter().map(|e| self.expr(e)).collect(),
+                span: *span,
+            },
+            Stmt::Assign { lhs, op, rhs, span } => Stmt::Assign {
+                lhs: lhs.iter().map(|e| self.expr(e)).collect(),
+                op: *op,
+                rhs: rhs.iter().map(|e| self.expr(e)).collect(),
+                span: *span,
+            },
+            Stmt::IncDec { expr, inc, span } => Stmt::IncDec {
+                expr: self.expr(expr),
+                inc: *inc,
+                span: *span,
+            },
+            Stmt::Expr(e) => Stmt::Expr(self.expr(e)),
+            Stmt::Send { chan, value, span } => Stmt::Send {
+                chan: self.expr(chan),
+                value: self.expr(value),
+                span: *span,
+            },
+            Stmt::Go { call, span } => Stmt::Go {
+                call: self.expr(call),
+                span: *span,
+            },
+            Stmt::Defer { call, span } => Stmt::Defer {
+                call: self.expr(call),
+                span: *span,
+            },
+            Stmt::Return { values, span } => Stmt::Return {
+                values: values.iter().map(|e| self.expr(e)).collect(),
+                span: *span,
+            },
+            Stmt::If(st) => Stmt::If(IfStmt {
+                init: st.init.as_ref().map(|i| Box::new(self.stmt(i))),
+                cond: self.expr(&st.cond),
+                then: self.block(&st.then),
+                else_: st.else_.as_ref().map(|e| Box::new(self.stmt(e))),
+                span: st.span,
+            }),
+            Stmt::For(st) => Stmt::For(ForStmt {
+                init: st.init.as_ref().map(|i| Box::new(self.stmt(i))),
+                cond: st.cond.as_ref().map(|c| self.expr(c)),
+                post: st.post.as_ref().map(|p| Box::new(self.stmt(p))),
+                body: self.block(&st.body),
+                span: st.span,
+            }),
+            Stmt::Range(st) => Stmt::Range(RangeStmt {
+                key: st.key.as_ref().map(|k| self.expr(k)),
+                value: st.value.as_ref().map(|v| self.expr(v)),
+                define: st.define,
+                expr: self.expr(&st.expr),
+                body: self.block(&st.body),
+                span: st.span,
+            }),
+            Stmt::Switch(st) => Stmt::Switch(SwitchStmt {
+                init: st.init.as_ref().map(|i| Box::new(self.stmt(i))),
+                tag: st.tag.as_ref().map(|t| self.expr(t)),
+                cases: st
+                    .cases
+                    .iter()
+                    .map(|c| SwitchCase {
+                        exprs: c.exprs.iter().map(|e| self.expr(e)).collect(),
+                        body: c.body.iter().map(|s| self.stmt(s)).collect(),
+                        span: c.span,
+                    })
+                    .collect(),
+                span: st.span,
+            }),
+            Stmt::Select(st) => Stmt::Select(SelectStmt {
+                cases: st
+                    .cases
+                    .iter()
+                    .map(|c| SelectCase {
+                        comm: match &c.comm {
+                            CommClause::Send { chan, value } => CommClause::Send {
+                                chan: self.expr(chan),
+                                value: self.expr(value),
+                            },
+                            CommClause::Recv { lhs, define, chan } => CommClause::Recv {
+                                lhs: lhs.iter().map(|e| self.expr(e)).collect(),
+                                define: *define,
+                                chan: self.expr(chan),
+                            },
+                            CommClause::Default => CommClause::Default,
+                        },
+                        body: c.body.iter().map(|s| self.stmt(s)).collect(),
+                        span: c.span,
+                    })
+                    .collect(),
+                span: st.span,
+            }),
+            Stmt::Block(b) => Stmt::Block(self.block(b)),
+            Stmt::Labeled { label, stmt, span } => Stmt::Labeled {
+                label: label.clone(),
+                stmt: Box::new(self.stmt(stmt)),
+                span: *span,
+            },
+            other => other.clone(),
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> Expr {
+        match e {
+            Expr::Ident { name, span } => Expr::Ident {
+                name: self.var(name),
+                span: *span,
+            },
+            Expr::StrLit { span, .. } => Expr::StrLit {
+                // Literal payloads are business noise.
+                value: String::new(),
+                span: *span,
+            },
+            Expr::CompositeLit { ty, elems, span } => Expr::CompositeLit {
+                ty: ty.as_ref().map(|t| self.ty(t)),
+                elems: elems
+                    .iter()
+                    .map(|el| CompositeElem {
+                        key: el.key.as_ref().map(|k| match k {
+                            // Field keys rename as variables.
+                            Expr::Ident { name, span } => Expr::Ident {
+                                name: self.var(name),
+                                span: *span,
+                            },
+                            other => self.expr(other),
+                        }),
+                        value: self.expr(&el.value),
+                    })
+                    .collect(),
+                span: *span,
+            },
+            Expr::FuncLit { sig, body, span } => Expr::FuncLit {
+                sig: self.sig(sig),
+                body: self.block(body),
+                span: *span,
+            },
+            Expr::Selector { expr, name, span } => {
+                let renamed = if is_concurrency_call(name) {
+                    name.clone()
+                } else {
+                    // Field/method selection: treat as function-ish name
+                    // space so `s.Validate` → `v1.func2`.
+                    self.func(name)
+                };
+                Expr::Selector {
+                    expr: Box::new(self.expr(expr)),
+                    name: renamed,
+                    span: *span,
+                }
+            }
+            Expr::Index { expr, index, span } => Expr::Index {
+                expr: Box::new(self.expr(expr)),
+                index: Box::new(self.expr(index)),
+                span: *span,
+            },
+            Expr::SliceExpr { expr, lo, hi, span } => Expr::SliceExpr {
+                expr: Box::new(self.expr(expr)),
+                lo: lo.as_ref().map(|e| Box::new(self.expr(e))),
+                hi: hi.as_ref().map(|e| Box::new(self.expr(e))),
+                span: *span,
+            },
+            Expr::Call {
+                fun,
+                args,
+                variadic,
+                span,
+            } => {
+                let fun = match fun.as_ref() {
+                    // Direct calls rename in the func namespace.
+                    Expr::Ident { name, span } => Expr::Ident {
+                        name: self.func(name),
+                        span: *span,
+                    },
+                    other => self.expr(other),
+                };
+                Expr::Call {
+                    fun: Box::new(fun),
+                    args: args.iter().map(|a| self.expr(a)).collect(),
+                    variadic: *variadic,
+                    span: *span,
+                }
+            }
+            Expr::Make { ty, args, span } => Expr::Make {
+                ty: self.ty(ty),
+                args: args.iter().map(|a| self.expr(a)).collect(),
+                span: *span,
+            },
+            Expr::New { ty, span } => Expr::New {
+                ty: self.ty(ty),
+                span: *span,
+            },
+            Expr::Unary { op, expr, span } => Expr::Unary {
+                op: *op,
+                expr: Box::new(self.expr(expr)),
+                span: *span,
+            },
+            Expr::Binary { op, lhs, rhs, span } => Expr::Binary {
+                op: *op,
+                lhs: Box::new(self.expr(lhs)),
+                rhs: Box::new(self.expr(rhs)),
+                span: *span,
+            },
+            Expr::Paren { expr, span } => Expr::Paren {
+                expr: Box::new(self.expr(expr)),
+                span: *span,
+            },
+            Expr::TypeAssert { expr, ty, span } => Expr::TypeAssert {
+                expr: Box::new(self.expr(expr)),
+                ty: self.ty(ty),
+                span: *span,
+            },
+            other => other.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use golite::parse_file;
+
+    #[test]
+    fn racy_vars_get_racy_names() {
+        let f = parse_file("package p\nfunc f() {\n\terr := g()\n\tuse(err)\n}\n")
+            .unwrap()
+            .find_func("f")
+            .unwrap()
+            .clone();
+        let mut r = Renamer::new(&["err".to_owned()]);
+        let out = r.rename_func(&f);
+        let printed = golite::print_func(&out);
+        assert!(printed.contains("racyVar1 := func2()"), "{printed}");
+        assert!(printed.contains("func3(racyVar1)"), "{printed}");
+        assert_eq!(r.racy_in_order(), vec!["err".to_owned()]);
+    }
+
+    #[test]
+    fn concurrency_names_survive() {
+        let f = parse_file(
+            "package p\nfunc f() {\n\tvar wg sync.WaitGroup\n\twg.Add(1)\n\twg.Done()\n\twg.Wait()\n\tmu.Lock()\n}\n",
+        )
+        .unwrap()
+        .find_func("f")
+        .unwrap()
+        .clone();
+        let mut r = Renamer::new(&[]);
+        let printed = golite::print_func(&r.rename_func(&f));
+        for kept in [".Add(1)", ".Done()", ".Wait()", ".Lock()", "sync.WaitGroup"] {
+            assert!(printed.contains(kept), "missing {kept} in {printed}");
+        }
+        assert!(!printed.contains("wg"), "{printed}");
+    }
+
+    #[test]
+    fn renaming_is_consistent_across_functions() {
+        let file = parse_file(
+            "package p\nfunc a() {\n\tshared = 1\n}\nfunc b() {\n\tuse(shared)\n}\nvar shared int\nfunc use(x int) {}\n",
+        )
+        .unwrap();
+        let mut r = Renamer::new(&["shared".to_owned()]);
+        let fa = golite::print_func(&r.rename_func(file.find_func("a").unwrap()));
+        let fb = golite::print_func(&r.rename_func(file.find_func("b").unwrap()));
+        assert!(fa.contains("racyVar1 = 1"));
+        assert!(fb.contains("(racyVar1)"));
+    }
+}

@@ -1,0 +1,480 @@
+//! The synthetic LLM: prompt in, complete revised source out.
+//!
+//! `generate` mirrors the paper's prompt contract (Appendix E): the
+//! response is the entire revised code, nothing else. Internally the
+//! model (1) diagnoses the racy code, (2) infers the repair idiom of the
+//! retrieved example (if any) from the example's own diff, (3) ranks
+//! candidate strategies by structural confidence × tier prior × example
+//! guidance, (4) rolls deterministic capability dice for mis-localisation
+//! and botching, and (5) applies a *real* AST rewrite.
+
+use crate::capability::{draw, CapabilityModel, ModelTier};
+use crate::diagnose::{diagnose, Diagnosis};
+use crate::strategy::{self, StrategyKind};
+use crate::{FixRequest, FixResponse, RaceCategory, Scope};
+
+/// The synthetic LLM.
+#[derive(Debug, Clone)]
+pub struct SynthLlm {
+    cap: CapabilityModel,
+    seed: u64,
+}
+
+impl SynthLlm {
+    /// Creates a model of the given tier with a sampling seed.
+    pub fn new(tier: ModelTier, seed: u64) -> Self {
+        SynthLlm {
+            cap: CapabilityModel::new(tier),
+            seed,
+        }
+    }
+
+    /// The tier.
+    pub fn tier(&self) -> ModelTier {
+        self.cap.tier()
+    }
+
+    /// Generates a candidate fix for the request.
+    pub fn generate(&self, req: &FixRequest) -> FixResponse {
+        let Ok(file) = golite::parse_file(&req.code) else {
+            return FixResponse {
+                code: None,
+                strategy: None,
+                degraded: false,
+                note: "prompt code does not parse".into(),
+            };
+        };
+
+        let mut candidates = diagnose(&file, &req.racy_var);
+        // The prompt points at one function (leaf/test/LCA location):
+        // function-level diagnoses elsewhere are out of focus. Type- and
+        // global-level repairs stay visible from any location.
+        if let Some(focus) = &req.focus_func {
+            candidates.retain(|d| d.target.func().map(|f| f == focus).unwrap_or(true));
+        }
+        if candidates.is_empty() {
+            return FixResponse {
+                code: None,
+                strategy: None,
+                degraded: false,
+                note: "no plausible repair found".into(),
+            };
+        }
+
+        // Strategies that already failed (feedback loop, §4.4.2).
+        let failed: Vec<StrategyKind> = req
+            .feedback
+            .iter()
+            .filter_map(|f| f.strategy)
+            .collect();
+        candidates.retain(|d| !failed.contains(&d.strategy));
+        if candidates.is_empty() {
+            return FixResponse {
+                code: None,
+                strategy: None,
+                degraded: false,
+                note: "all known repairs already failed".into(),
+            };
+        }
+
+        // Infer the example's idiom from its own before/after diff.
+        let example_idiom = req
+            .example
+            .as_ref()
+            .and_then(|e| classify_example(&e.buggy, &e.fixed));
+
+        // Rank.
+        let mut ranked: Vec<(f64, Diagnosis)> = candidates
+            .into_iter()
+            .map(|d| {
+                let mut score = d.score * (0.4 + 0.6 * self.cap.skill(d.strategy));
+                if let Some(idiom) = example_idiom {
+                    if idiom == d.strategy {
+                        score += 1.0;
+                    } else if category_of(idiom) == d.category {
+                        score += 0.25;
+                    }
+                }
+                (score, d)
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+
+        let attempt_tag = format!("attempt{}", req.feedback.len());
+
+        // Mis-localisation roll (file scope only).
+        let misloc_p = self.cap.mislocalisation(
+            req.scope == Scope::File,
+            req.context_funcs,
+            req.example.is_some(),
+            !req.feedback.is_empty(),
+        );
+        let misloc_roll = draw(
+            self.seed,
+            &[&req.case_key, &req.racy_var, &attempt_tag],
+            "misloc",
+        );
+        if misloc_roll < misloc_p {
+            // Lost in the middle: the model rewrites a plausible-looking
+            // but wrong site; the emitted code changes nothing relevant.
+            let degraded_code = golite::print_file(&file);
+            return FixResponse {
+                code: Some(degraded_code),
+                strategy: ranked.first().map(|(_, d)| d.strategy),
+                degraded: true,
+                note: "long-context attention slipped to the wrong site".into(),
+            };
+        }
+
+        // Per-race comprehension (§5.3): without a matching example some
+        // races are simply misunderstood — every unguided attempt botches.
+        let comprehends = draw(self.seed, &[&req.case_key], "comprehend")
+            < self.cap.comprehension();
+
+        // Try candidates in order; a strategy that structurally does not
+        // apply (e.g. needs the type declaration, invisible at function
+        // scope) is skipped, like an LLM revising its plan.
+        for (i, (_, diag)) in ranked.iter().take(4).enumerate() {
+            // The example guides only when its idiom matches a
+            // structurally plausible candidate; an example from the wrong
+            // pattern *anchors* the model on an inapplicable fix instead
+            // (this is why raw-text retrieval barely helps, Fig. 3).
+            let guided = example_idiom == Some(diag.strategy) && diag.score >= 0.65;
+            let anchored = example_idiom.is_some()
+                && example_idiom != Some(diag.strategy)
+                && !comprehends;
+            let skill = if guided {
+                self.cap.effective_skill(diag.strategy, true)
+            } else if comprehends {
+                let s = self.cap.effective_skill(diag.strategy, false);
+                if example_idiom.is_some() && example_idiom != Some(diag.strategy) {
+                    s * 0.75 // mild distraction
+                } else {
+                    s
+                }
+            } else if anchored {
+                0.0
+            } else {
+                // Misunderstood race: the patch looks plausible but
+                // misses the point.
+                0.0
+            };
+            // Keyed on the race, not the attempt: the model repeats its
+            // own mistake if asked to try the same strategy again.
+            let botch_roll = draw(
+                self.seed,
+                &[&req.case_key, &req.racy_var, diag.strategy.display()],
+                "botch",
+            );
+            let botch = if botch_roll < skill { 0 } else { 1 };
+            match strategy::apply(diag.strategy, &file, &diag.target, botch) {
+                Ok(new_file) => {
+                    return FixResponse {
+                        code: Some(golite::print_file(&new_file)),
+                        strategy: Some(diag.strategy),
+                        degraded: botch != 0,
+                        note: format!(
+                            "applied {} ({}){}",
+                            diag.strategy.display(),
+                            diag.category.display(),
+                            if guided { " guided by example" } else { "" }
+                        ),
+                    };
+                }
+                Err(_) if i + 1 < ranked.len().min(4) => continue,
+                Err(e) => {
+                    return FixResponse {
+                        code: None,
+                        strategy: Some(diag.strategy),
+                        degraded: false,
+                        note: format!("could not realise a fix: {e}"),
+                    };
+                }
+            }
+        }
+        FixResponse {
+            code: None,
+            strategy: None,
+            degraded: false,
+            note: "no applicable strategy".into(),
+        }
+    }
+}
+
+/// Maps a strategy to its home category (for soft example matching).
+pub fn category_of(s: StrategyKind) -> RaceCategory {
+    use StrategyKind::*;
+    match s {
+        RedeclareInGoroutine | LocalCopyInGoroutine | PassParamToGoroutine | ChannelResult => {
+            RaceCategory::CaptureByReference
+        }
+        PrivatizeLoopVar => RaceCategory::LoopVarCapture,
+        MoveWgAddBeforeGo | MutexGuard | RwMutexGuard | AtomicCounter | BlanketMutex => {
+            RaceCategory::MissingSync
+        }
+        MapToSyncMap => RaceCategory::ConcurrentMap,
+        PerCaseInstance => RaceCategory::ParallelTest,
+        StructCopy | FreshSourcePerUse => RaceCategory::Other,
+    }
+}
+
+/// Infers the repair idiom of a `(buggy, fixed)` example from its textual
+/// diff — the mechanism by which a retrieved example "nudges" the model
+/// toward a family of solutions (§5.3).
+pub fn classify_example(buggy: &str, fixed: &str) -> Option<StrategyKind> {
+    let added = |needle: &str| fixed.matches(needle).count() > buggy.matches(needle).count();
+
+    if added("sync.Map") {
+        return Some(StrategyKind::MapToSyncMap);
+    }
+    if added("atomic.") {
+        return Some(StrategyKind::AtomicCounter);
+    }
+    if added("sync.RWMutex") {
+        return Some(StrategyKind::RwMutexGuard);
+    }
+    // Self-shadowing rebind `x := x`.
+    if has_self_rebind(fixed) && !has_self_rebind(buggy) {
+        return Some(StrategyKind::PrivatizeLoopVar);
+    }
+    if added("make(chan") && buggy.contains("select") {
+        return Some(StrategyKind::ChannelResult);
+    }
+    if added("drfixMu") {
+        return Some(StrategyKind::BlanketMutex);
+    }
+    if added("sync.Mutex") || added(".Lock()") {
+        return Some(StrategyKind::MutexGuard);
+    }
+    if added("NewSource") {
+        return Some(StrategyKind::FreshSourcePerUse);
+    }
+    if added(":= *") {
+        return Some(StrategyKind::StructCopy);
+    }
+    if added("local") {
+        return Some(StrategyKind::LocalCopyInGoroutine);
+    }
+    // wg.Add moved before the launch.
+    if wg_add_before_go(fixed) && !wg_add_before_go(buggy) {
+        return Some(StrategyKind::MoveWgAddBeforeGo);
+    }
+    // Parameter added to a goroutine literal.
+    if added("go func(") && fixed.contains("go func(") && !buggy.contains("go func(") {
+        return Some(StrategyKind::PassParamToGoroutine);
+    }
+    // Constructor duplicated per case.
+    for ctor in ["md5.New()", "NewReader(", "New()"] {
+        if fixed.matches(ctor).count() > buggy.matches(ctor).count() + 0 {
+            if fixed.matches(ctor).count() >= 2 && buggy.matches(ctor).count() <= 1 {
+                return Some(StrategyKind::PerCaseInstance);
+            }
+        }
+    }
+    // More `:=` inside goroutines without new sync — redeclaration.
+    if fixed.matches(":=").count() > buggy.matches(":=").count() && buggy.contains("go func") {
+        return Some(StrategyKind::RedeclareInGoroutine);
+    }
+    None
+}
+
+fn has_self_rebind(src: &str) -> bool {
+    src.lines().any(|l| {
+        let l = l.trim();
+        if let Some((lhs, rhs)) = l.split_once(":=") {
+            let lhs = lhs.trim();
+            let rhs = rhs.trim();
+            !lhs.is_empty() && lhs == rhs && lhs.chars().all(|c| c.is_alphanumeric() || c == '_')
+        } else {
+            false
+        }
+    })
+}
+
+fn wg_add_before_go(src: &str) -> bool {
+    let add = src.find(".Add(");
+    let go = src.find("go func");
+    matches!((add, go), (Some(a), Some(g)) if a < g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Example, Feedback};
+
+    const ERR_RACE: &str = r#"package p
+
+import "sync"
+
+func F() error {
+	err := work()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err = task(); err != nil {
+			note()
+		}
+	}()
+	if err = task2(); err != nil {
+		note()
+	}
+	wg.Wait()
+	return err
+}
+
+func work() error  { return nil }
+func task() error  { return nil }
+func task2() error { return nil }
+func note()        {}
+"#;
+
+    fn req(code: &str, var: &str) -> FixRequest {
+        FixRequest {
+            code: code.to_owned(),
+            scope: Scope::File,
+            racy_var: var.to_owned(),
+            racy_lines: vec![],
+            example: None,
+            feedback: vec![],
+            context_funcs: 2,
+            focus_func: None,
+            case_key: format!("case-{var}"),
+        }
+    }
+
+    #[test]
+    fn generates_redeclare_fix_for_err_race() {
+        let llm = SynthLlm::new(ModelTier::O1Preview, 3);
+        let resp = llm.generate(&req(ERR_RACE, "err"));
+        let code = resp.code.expect("fix produced");
+        assert_eq!(resp.strategy, Some(StrategyKind::RedeclareInGoroutine));
+        assert!(code.contains("if err := task()"), "{code}");
+        // The parent assignment stays `=`.
+        assert!(code.contains("if err = task2()"), "{code}");
+    }
+
+    #[test]
+    fn response_reparses() {
+        let llm = SynthLlm::new(ModelTier::O1Preview, 3);
+        let resp = llm.generate(&req(ERR_RACE, "err"));
+        golite::parse_file(&resp.code.unwrap()).expect("model output must be valid code");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let llm = SynthLlm::new(ModelTier::Gpt4o, 11);
+        let a = llm.generate(&req(ERR_RACE, "err"));
+        let b = llm.generate(&req(ERR_RACE, "err"));
+        assert_eq!(a.code, b.code);
+        assert_eq!(a.strategy, b.strategy);
+    }
+
+    #[test]
+    fn feedback_removes_failed_strategy() {
+        let llm = SynthLlm::new(ModelTier::O1Preview, 3);
+        let mut r = req(ERR_RACE, "err");
+        r.feedback.push(Feedback {
+            strategy: Some(StrategyKind::RedeclareInGoroutine),
+            message: "tests still race".into(),
+        });
+        let resp = llm.generate(&r);
+        assert_ne!(resp.strategy, Some(StrategyKind::RedeclareInGoroutine));
+    }
+
+    #[test]
+    fn matching_example_boosts_its_idiom() {
+        // An example whose fix is a mutex guard should steer the model
+        // away from redeclaration.
+        let llm = SynthLlm::new(ModelTier::Gpt4o, 5);
+        let mut r = req(ERR_RACE, "err");
+        r.example = Some(Example {
+            buggy: "package p\nfunc g() {\n\tx := 0\n\tgo func() {\n\t\tx = 1\n\t}()\n}\n".into(),
+            fixed: "package p\nimport \"sync\"\nvar muX sync.Mutex\nfunc g() {\n\tx := 0\n\tgo func() {\n\t\tmuX.Lock()\n\t\tx = 1\n\t\tmuX.Unlock()\n\t}()\n}\n".into(),
+        });
+        let resp = llm.generate(&r);
+        assert_eq!(resp.strategy, Some(StrategyKind::MutexGuard));
+    }
+
+    #[test]
+    fn classify_example_recognises_core_idioms() {
+        assert_eq!(
+            classify_example("m := make(map[int]int)", "var m sync.Map"),
+            Some(StrategyKind::MapToSyncMap)
+        );
+        assert_eq!(
+            classify_example("cnt = cnt + 1", "atomic.AddInt64(&cnt, 1)"),
+            Some(StrategyKind::AtomicCounter)
+        );
+        assert_eq!(
+            classify_example(
+                "for _, v := range xs {\n\tgo use(v)\n}",
+                "for _, v := range xs {\n\tv := v\n\tgo use(v)\n}"
+            ),
+            Some(StrategyKind::PrivatizeLoopVar)
+        );
+        assert_eq!(
+            classify_example(
+                "go func() {\n\twg.Add(1)\n}()",
+                "wg.Add(1)\ngo func() {\n}()"
+            ),
+            Some(StrategyKind::MoveWgAddBeforeGo)
+        );
+        assert_eq!(classify_example("x := 1", "x := 1"), None);
+    }
+
+    #[test]
+    fn unparseable_prompt_declines() {
+        let llm = SynthLlm::new(ModelTier::Gpt4o, 1);
+        let resp = llm.generate(&req("this is not go", "x"));
+        assert!(resp.code.is_none());
+    }
+
+    #[test]
+    fn low_tier_on_hard_strategy_often_degrades() {
+        // ChannelResult is hard for Turbo without guidance: across seeds
+        // a substantial fraction of attempts must be degraded.
+        let src = r#"package p
+
+import "context"
+
+func F(ctx context.Context) error {
+	resultChan := make(chan int, 1)
+	var err error
+	go func() {
+		var result int
+		result, err = evaluate()
+		resultChan <- result
+		use(result)
+	}()
+	select {
+	case r := <-resultChan:
+		use(r)
+	case <-ctx.Done():
+		use(0)
+	}
+	return err
+}
+
+func evaluate() (int, error) { return 1, nil }
+func use(x int)              {}
+"#;
+        let mut degraded = 0;
+        let mut produced = 0;
+        for seed in 0..40 {
+            let llm = SynthLlm::new(ModelTier::Gpt4Turbo, seed);
+            let resp = llm.generate(&req(src, "err"));
+            if resp.code.is_some() {
+                produced += 1;
+                if resp.degraded {
+                    degraded += 1;
+                }
+            }
+        }
+        assert!(produced > 0);
+        assert!(
+            degraded * 5 >= produced,
+            "Turbo should degrade noticeably on hard fixes: {degraded}/{produced}"
+        );
+    }
+}

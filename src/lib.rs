@@ -1,0 +1,15 @@
+//! Umbrella crate for the Dr.Fix reproduction workspace.
+//!
+//! Re-exports every subsystem crate so examples and integration tests can
+//! depend on a single package. See the workspace `README.md` for the
+//! architecture overview and `DESIGN.md` for the per-experiment index.
+
+pub use corpus;
+pub use drfix;
+pub use embed;
+pub use golite;
+pub use govm;
+pub use racedet;
+pub use skeleton;
+pub use synthllm;
+pub use vecdb;
