@@ -1,0 +1,30 @@
+# Tier-1 verification for the Dr.Fix reproduction workspace.
+# Single source of truth for the gates: .github/workflows/ci.yml invokes
+# these targets, and the justfile mirrors them for `just` users.
+
+CARGO ?= cargo
+
+.PHONY: verify build test bench-compile doc bench-smoke clean
+
+## Full tier-1 gate: release build, tests, bench compilation, docs.
+verify: build test bench-compile doc
+	@echo "verify: all gates green"
+
+build:
+	$(CARGO) build --release --workspace --all-targets
+
+test:
+	$(CARGO) test --workspace -q
+
+bench-compile:
+	$(CARGO) bench --no-run --workspace
+
+doc:
+	RUSTDOCFLAGS="-D warnings" $(CARGO) doc --no-deps --workspace
+
+## Fast experiment smoke: headline ablation at reduced scale.
+bench-smoke:
+	DRFIX_CASES=24 DRFIX_VALIDATION_RUNS=4 $(CARGO) bench -q -p bench --bench fig3_rag_ablation
+
+clean:
+	$(CARGO) clean

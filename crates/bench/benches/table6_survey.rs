@@ -16,7 +16,7 @@ fn main() {
     let responses = survey(0x5EED);
     println!("total developers: {}", responses.len());
 
-    let mut count = |f: fn(&drfix::review::SurveyResponse) -> &'static str, title: &str| {
+    let count = |f: fn(&drfix::review::SurveyResponse) -> &'static str, title: &str| {
         let mut m: BTreeMap<&str, usize> = BTreeMap::new();
         for r in &responses {
             *m.entry(f(r)).or_default() += 1;

@@ -89,7 +89,10 @@ pub fn resolution_days(seed: u64, case_key: &str, via_drfix: bool) -> f64 {
 }
 
 /// One survey respondent (Table 6).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Serialize-only: responses are sampled in-process and exported, never
+/// parsed back (the `&'static str` buckets cannot be deserialized).
+#[derive(Debug, Clone, Serialize)]
 pub struct SurveyResponse {
     /// Go experience bucket.
     pub experience: &'static str,

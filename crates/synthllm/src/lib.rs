@@ -5,7 +5,7 @@
 //! failure feedback — into a complete revised source file. This crate
 //! reproduces that interface with three cooperating parts:
 //!
-//! - [`diagnose`]: AST pattern detectors mapping racy code to candidate
+//! - [`mod@diagnose`]: AST pattern detectors mapping racy code to candidate
 //!   race categories and repair strategies;
 //! - [`strategy`]: *real* AST-rewrite fix strategies (variable
 //!   redeclaration, loop-variable privatization, `sync.Map` conversion,

@@ -1,0 +1,29 @@
+# Tier-1 verification for the Dr.Fix reproduction workspace.
+# Convenience mirror of the Makefile (which CI invokes); if the gates
+# change, update both.
+
+default: verify
+
+# Full tier-1 gate: release build, tests, bench compilation, docs.
+verify: build test bench-compile doc
+    @echo "verify: all gates green"
+
+build:
+    cargo build --release --workspace --all-targets
+
+test:
+    cargo test --workspace -q
+
+bench-compile:
+    cargo bench --no-run --workspace
+
+doc:
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+# Fast experiment smoke: headline ablation at reduced scale.
+bench-smoke:
+    DRFIX_CASES=24 DRFIX_VALIDATION_RUNS=4 cargo bench -q -p bench --bench fig3_rag_ablation
+
+# Run every table/figure reproduction at reduced scale.
+bench-all:
+    DRFIX_CASES=60 DRFIX_VALIDATION_RUNS=8 cargo bench -p bench

@@ -1,8 +1,20 @@
 //! Umbrella crate for the Dr.Fix reproduction workspace.
 //!
-//! Re-exports every subsystem crate so examples and integration tests can
-//! depend on a single package. See the workspace `README.md` for the
-//! architecture overview and `DESIGN.md` for the per-experiment index.
+//! Re-exports every subsystem crate so examples and integration tests
+//! can depend on a single package:
+//!
+//! - [`golite`] / [`govm`] / [`racedet`] — the Go-subset substrate:
+//!   frontend, schedule-fuzzing VM, and FastTrack race detector;
+//! - [`skeleton`] / [`embed`] / [`vecdb`] — the retrieval stack:
+//!   concurrency slicing, embeddings, and the vector store;
+//! - [`synthllm`] — the deterministic model substitute;
+//! - [`corpus`] — the synthetic racy-Go workload generator;
+//! - [`drfix`] — the paper's pipeline tying it all together.
+//!
+//! See the workspace `README.md` (repository root) for the
+//! architecture overview and `DESIGN.md` for the per-experiment index
+//! mapping each bench target in `crates/bench/benches/` to the paper
+//! section it reproduces.
 
 pub use corpus;
 pub use drfix;

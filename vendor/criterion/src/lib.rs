@@ -1,0 +1,127 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the surface the workspace's micro-benchmarks use —
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`], and
+//! the [`criterion_group!`]/[`criterion_main!`] macros — as a simple
+//! wall-clock harness: warm up briefly, then time batches until a fixed
+//! measurement budget elapses and report mean ns/iteration. No
+//! statistics beyond min/mean/max, no HTML reports, no comparison to
+//! previous runs.
+//!
+//! Honors `--bench` on the command line (cargo passes it) and treats any
+//! other free argument as a substring filter on benchmark names, like
+//! real criterion.
+
+#![deny(unsafe_code)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Times one benchmark's closure.
+pub struct Bencher {
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records per-iteration wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run for ~50ms to stabilise caches and branch state.
+        let warmup_end = Instant::now() + Duration::from_millis(50);
+        let mut iters_per_batch = 1u64;
+        while Instant::now() < warmup_end {
+            black_box(routine());
+            iters_per_batch += 1;
+        }
+        // Measure: ~500ms budget, batched to amortise timer overhead.
+        let batch = iters_per_batch.clamp(1, 10_000);
+        let deadline = Instant::now() + Duration::from_millis(500);
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples.push(elapsed / batch as f64);
+        }
+    }
+}
+
+/// The benchmark driver (subset of criterion's `Criterion`).
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with("--") && !a.is_empty());
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Runs (or skips, if filtered out) one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher { samples: Vec::new() };
+        f(&mut b);
+        if b.samples.is_empty() {
+            println!("{id:32} (no samples)");
+            return self;
+        }
+        let n = b.samples.len() as f64;
+        let mean = b.samples.iter().sum::<f64>() / n;
+        let min = b.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = b.samples.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "{id:32} time: [{} {} {}]",
+            format_ns(min),
+            format_ns(mean),
+            format_ns(max)
+        );
+        self
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

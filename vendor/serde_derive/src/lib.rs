@@ -1,0 +1,577 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Generates [`Serialize`]/[`Deserialize`] impls over the `Content` data
+//! model for plain structs and enums — named fields, tuple/newtype
+//! structs, unit/tuple/struct enum variants, and simple generics. The
+//! representation is externally tagged, matching what real serde's
+//! derive + `serde_json` produce for the same shapes.
+//!
+//! Written against `proc_macro` directly (no `syn`/`quote`: the build
+//! environment has no crates.io access), so it hand-parses the item's
+//! token stream. Field *types* are never parsed — generated code leans
+//! on inference from struct/variant literals instead.
+//!
+//! [`Serialize`]: ../serde/trait.Serialize.html
+//! [`Deserialize`]: ../serde/trait.Deserialize.html
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Serialize)
+}
+
+/// Derives `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Trait {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, which: Trait) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("::std::compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = match which {
+        Trait::Serialize => gen_serialize(&item),
+        Trait::Deserialize => gen_deserialize(&item),
+    };
+    code.parse().unwrap_or_else(|e| {
+        format!("::std::compile_error!(\"serde_derive generated invalid code: {e:?}\");")
+            .parse()
+            .unwrap()
+    })
+}
+
+// ---------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    /// Type-parameter names, in declaration order (lifetimes/consts are
+    /// rejected — no seed type needs them).
+    type_params: Vec<TypeParam>,
+    body: Body,
+}
+
+struct TypeParam {
+    name: String,
+    /// Declared bounds, rendered back to source (empty if none).
+    bounds: String,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor { toks: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn is_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn is_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    /// Skips any number of `#[...]` attributes (incl. doc comments).
+    fn skip_attrs(&mut self) {
+        while self.is_punct('#') {
+            self.next();
+            self.next(); // the [...] group
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in ...)`, etc.
+    fn skip_visibility(&mut self) {
+        if self.is_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_visibility();
+
+    let kind = c.expect_ident()?;
+    if kind != "struct" && kind != "enum" {
+        return Err(format!("serde derive supports struct/enum, found `{kind}`"));
+    }
+    let name = c.expect_ident()?;
+    let type_params = if c.is_punct('<') { parse_generics(&mut c)? } else { Vec::new() };
+
+    if c.is_ident("where") {
+        return Err("serde derive stub does not support where-clauses".to_owned());
+    }
+
+    let body = if kind == "struct" {
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Fields::Named(parse_named_fields(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Struct(Fields::Unit),
+            other => return Err(format!("unexpected struct body: {other:?}")),
+        }
+    } else {
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unexpected enum body: {other:?}")),
+        }
+    };
+
+    Ok(Item { name, type_params, body })
+}
+
+/// Parses `<...>` after the type name. Cursor is on the opening `<`.
+fn parse_generics(c: &mut Cursor) -> Result<Vec<TypeParam>, String> {
+    c.next(); // consume '<'
+    let mut depth = 1usize;
+    let mut entries: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    loop {
+        let tok = c.next().ok_or("unterminated generics")?;
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                ',' if depth == 1 => {
+                    entries.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        entries.last_mut().unwrap().push(tok);
+    }
+
+    let mut params = Vec::new();
+    for entry in entries.into_iter().filter(|e| !e.is_empty()) {
+        match &entry[0] {
+            TokenTree::Punct(p) if p.as_char() == '\'' => {
+                return Err("serde derive stub does not support lifetime params".to_owned());
+            }
+            TokenTree::Ident(i) if i.to_string() == "const" => {
+                return Err("serde derive stub does not support const params".to_owned());
+            }
+            TokenTree::Ident(i) => {
+                let name = i.to_string();
+                let bounds = if entry.len() > 2 {
+                    // entry[1] is ':'; the rest are the declared bounds.
+                    tokens_to_string(&entry[2..])
+                } else {
+                    String::new()
+                };
+                params.push(TypeParam { name, bounds });
+            }
+            other => return Err(format!("unexpected generic param: {other:?}")),
+        }
+    }
+    Ok(params)
+}
+
+/// Parses `{ name: Ty, ... }` field lists; types are skipped, not parsed.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attrs();
+        c.skip_visibility();
+        if c.peek().is_none() {
+            break;
+        }
+        fields.push(c.expect_ident()?);
+        if !c.is_punct(':') {
+            return Err("expected `:` after field name".to_owned());
+        }
+        c.next();
+        skip_type(&mut c);
+        if c.is_punct(',') {
+            c.next();
+        }
+    }
+    Ok(fields)
+}
+
+/// Advances past one type, stopping at a top-level `,` or end of stream.
+/// Tracks `<`/`>` nesting; `->` (in fn-pointer types) never closes.
+fn skip_type(c: &mut Cursor) {
+    let mut angle = 0usize;
+    let mut prev_dash = false;
+    while let Some(tok) = c.peek() {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                ',' if angle == 0 => return,
+                '<' => angle += 1,
+                '>' if !prev_dash => angle = angle.saturating_sub(1),
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+        c.next();
+    }
+}
+
+/// Counts top-level fields in a tuple-struct/tuple-variant paren group.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    if c.peek().is_none() {
+        return 0;
+    }
+    let mut n = 1;
+    loop {
+        skip_type(&mut c);
+        if c.is_punct(',') {
+            c.next();
+            if c.peek().is_none() {
+                break; // trailing comma
+            }
+            n += 1;
+        } else {
+            break;
+        }
+    }
+    n
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        let name = c.expect_ident()?;
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.next();
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = parse_named_fields(g.stream())?;
+                c.next();
+                Fields::Named(names)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant` expression.
+        if c.is_punct('=') {
+            c.next();
+            skip_type(&mut c);
+        }
+        if c.is_punct(',') {
+            c.next();
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+fn tokens_to_string(toks: &[TokenTree]) -> String {
+    let mut s = String::new();
+    for t in toks {
+        if !s.is_empty() {
+            s.push(' ');
+        }
+        s.push_str(&t.to_string());
+    }
+    s
+}
+
+// ---------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------
+
+/// `impl<T: Bounds + extra> ... for Name<T>` header pieces.
+fn impl_header(item: &Item, trait_path: &str, extra_bound: &str) -> (String, String) {
+    if item.type_params.is_empty() {
+        return (String::new(), String::new());
+    }
+    let params: Vec<String> = item
+        .type_params
+        .iter()
+        .map(|p| {
+            if p.bounds.is_empty() {
+                format!("{}: {extra_bound}", p.name)
+            } else {
+                format!("{}: {} + {extra_bound}", p.name, p.bounds)
+            }
+        })
+        .collect();
+    let args: Vec<&str> = item.type_params.iter().map(|p| p.name.as_str()).collect();
+    let _ = trait_path;
+    (format!("<{}>", params.join(", ")), format!("<{}>", args.join(", ")))
+}
+
+fn string_lit(s: &str) -> String {
+    format!("::std::string::String::from({s:?})")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (gens, args) = impl_header(item, "::serde::Serialize", "::serde::Serialize");
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Fields::Unit) => "::serde::Content::Null".to_owned(),
+        Body::Struct(Fields::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({}, ::serde::Serialize::to_content(&self.{f}))",
+                        string_lit(f)
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Body::Struct(Fields::Tuple(1)) => {
+            "::serde::Serialize::to_content(&self.0)".to_owned()
+        }
+        Body::Struct(Fields::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(::std::vec![{}])", elems.join(", "))
+        }
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => ::serde::Content::Str({}),",
+                            string_lit(vname)
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => ::serde::Content::Map(::std::vec![({}, \
+                             ::serde::Serialize::to_content(f0))]),",
+                            string_lit(vname)
+                        ),
+                        Fields::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_content(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Content::Map(::std::vec![({}, \
+                                 ::serde::Content::Seq(::std::vec![{}]))]),",
+                                binders.join(", "),
+                                string_lit(vname),
+                                elems.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let binders = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("({}, ::serde::Serialize::to_content({f}))", string_lit(f))
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binders} }} => \
+                                 ::serde::Content::Map(::std::vec![({}, \
+                                 ::serde::Content::Map(::std::vec![{}]))]),",
+                                string_lit(vname),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl{gens} ::serde::Serialize for {name}{args} {{ \
+         fn to_content(&self) -> ::serde::Content {{ {body} }} }}"
+    )
+}
+
+/// `field: match map_get(...) {...}` initializer for one named field.
+fn named_field_init(field: &str, map_expr: &str) -> String {
+    format!(
+        "{field}: match ::serde::map_get({map_expr}, {field:?}) {{ \
+         ::std::option::Option::Some(v) => ::serde::Deserialize::from_content(v)?, \
+         ::std::option::Option::None => ::serde::Deserialize::missing_field({field:?})?, }}"
+    )
+}
+
+fn seq_elem_init(i: usize, seq_expr: &str) -> String {
+    format!(
+        "::serde::Deserialize::from_content({seq_expr}.get({i}).ok_or_else(|| \
+         ::serde::DeError::custom(\"sequence too short\"))?)?"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (gens, args) = impl_header(item, "::serde::Deserialize", "::serde::Deserialize");
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Fields::Unit) => format!("::std::result::Result::Ok({name})"),
+        Body::Struct(Fields::Named(fields)) => {
+            let inits: Vec<String> =
+                fields.iter().map(|f| named_field_init(f, "m")).collect();
+            format!(
+                "let m = c.as_map().ok_or_else(|| ::serde::DeError::expected(\"struct {name}\", c))?; \
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Body::Struct(Fields::Tuple(1)) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_content(c)?))"
+        ),
+        Body::Struct(Fields::Tuple(n)) => {
+            let inits: Vec<String> = (0..*n).map(|i| seq_elem_init(i, "s")).collect();
+            format!(
+                "let s = c.as_seq().ok_or_else(|| ::serde::DeError::expected(\"tuple struct {name}\", c))?; \
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    format!(
+                        "{:?} => ::std::result::Result::Ok({name}::{}),",
+                        v.name, v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_content(payload)?)),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let inits: Vec<String> =
+                                (0..*n).map(|i| seq_elem_init(i, "s")).collect();
+                            format!(
+                                "{vname:?} => {{ let s = payload.as_seq().ok_or_else(|| \
+                                 ::serde::DeError::expected(\"variant {vname} payload\", payload))?; \
+                                 ::std::result::Result::Ok({name}::{vname}({})) }}",
+                                inits.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let inits: Vec<String> =
+                                fields.iter().map(|f| named_field_init(f, "pm")).collect();
+                            format!(
+                                "{vname:?} => {{ let pm = payload.as_map().ok_or_else(|| \
+                                 ::serde::DeError::expected(\"variant {vname} payload\", payload))?; \
+                                 ::std::result::Result::Ok({name}::{vname} {{ {} }}) }}",
+                                inits.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match c {{ \
+                   ::serde::Content::Str(s) => match s.as_str() {{ \
+                     {} \
+                     other => ::std::result::Result::Err(::serde::DeError::custom(\
+                       ::std::format!(\"unknown variant `{{other}}` of {name}\"))), \
+                   }}, \
+                   ::serde::Content::Map(m) if m.len() == 1 => {{ \
+                     let (tag, payload) = &m[0]; \
+                     match tag.as_str() {{ \
+                       {} \
+                       other => ::std::result::Result::Err(::serde::DeError::custom(\
+                         ::std::format!(\"unknown variant `{{other}}` of {name}\"))), \
+                     }} \
+                   }}, \
+                   other => ::std::result::Result::Err(::serde::DeError::expected(\"enum {name}\", other)), \
+                 }}",
+                unit_arms.join(" "),
+                data_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl{gens} ::serde::Deserialize for {name}{args} {{ \
+         fn from_content(c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> \
+         {{ {body} }} }}"
+    )
+}
