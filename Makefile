@@ -4,10 +4,10 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test bench-compile doc bench-smoke clean
+.PHONY: verify build test bench-compile doc clippy bench-smoke calibrate-smoke clean
 
-## Full tier-1 gate: release build, tests, bench compilation, docs.
-verify: build test bench-compile doc
+## Full tier-1 gate: release build, tests, bench compilation, lints, docs.
+verify: build test bench-compile clippy doc
 	@echo "verify: all gates green"
 
 build:
@@ -22,9 +22,16 @@ bench-compile:
 doc:
 	RUSTDOCFLAGS="-D warnings" $(CARGO) doc --no-deps --workspace
 
+clippy:
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
 ## Fast experiment smoke: headline ablation at reduced scale.
 bench-smoke:
 	DRFIX_CASES=24 DRFIX_VALIDATION_RUNS=4 $(CARGO) bench -q -p bench --bench fig3_rag_ablation
+
+## Parallel-path smoke: calibrate across a 4-worker fleet at small scale.
+calibrate-smoke:
+	DRFIX_CASES=12 DRFIX_THREADS=4 DRFIX_VALIDATION_RUNS=4 $(CARGO) run --release -q -p bench --bin calibrate
 
 clean:
 	$(CARGO) clean

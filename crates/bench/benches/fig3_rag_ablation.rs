@@ -21,7 +21,10 @@ fn main() {
         scale.db_pairs,
         scale.validation_runs
     );
-    println!("{:<26} {:>10} {:>10} {:>10}", "configuration", "fixed", "rate", "paper");
+    println!(
+        "{:<26} {:>10} {:>10} {:>10}   fleet throughput",
+        "configuration", "fixed", "rate", "paper"
+    );
     for (label, rag, paper) in [
         ("No RAG", RagMode::None, "47%"),
         ("RAG without skeleton", RagMode::Raw, "50%"),
@@ -30,11 +33,12 @@ fn main() {
         let cfg = base_config(&scale, ModelTier::Gpt4o, rag);
         let arm = run_arm(label, cfg, cases, Some(db));
         println!(
-            "{label:<26} {:>6}/{:<3} {:>10} {:>10}",
+            "{label:<26} {:>6}/{:<3} {:>10} {:>10}   {}",
             arm.fixed(),
             cases.len(),
             pct(arm.rate()),
-            paper
+            paper,
+            arm.throughput()
         );
     }
     println!("\nshape check: No RAG < RAG-raw < RAG-skeleton, with the");

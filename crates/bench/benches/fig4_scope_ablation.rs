@@ -16,7 +16,10 @@ fn main() {
         "Figure 4 — fixing scopes, their order, and failure feedback",
         "§5.3, Fig. 4: 39% / 33% / 39% / 66% with RAG+skeleton, GPT-4o",
     );
-    println!("{:<26} {:>10} {:>10} {:>10}", "configuration", "fixed", "rate", "paper");
+    println!(
+        "{:<26} {:>10} {:>10} {:>10}   fleet throughput",
+        "configuration", "fixed", "rate", "paper"
+    );
     for (label, scopes, feedback, paper) in [
         ("Func only", vec![Scope::Func], false, "39%"),
         ("File only", vec![Scope::File], false, "33%"),
@@ -33,11 +36,12 @@ fn main() {
         cfg.feedback = feedback;
         let arm = run_arm(label, cfg, cases, Some(db));
         println!(
-            "{label:<26} {:>6}/{:<3} {:>10} {:>10}",
+            "{label:<26} {:>6}/{:<3} {:>10} {:>10}   {}",
             arm.fixed(),
             cases.len(),
             pct(arm.rate()),
-            paper
+            paper,
+            arm.throughput()
         );
     }
     println!("\nshape check: file-only < func-only (long contexts overwhelm),");

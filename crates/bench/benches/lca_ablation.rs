@@ -14,7 +14,10 @@ fn main() {
         "LCA ablation — impact of the lowest-common-ancestor location",
         "§5.3 (RQ2.5): 62.53% without vs 66.75% with LCA",
     );
-    println!("{:<26} {:>10} {:>10} {:>10}", "configuration", "fixed", "rate", "paper");
+    println!(
+        "{:<26} {:>10} {:>10} {:>10}   fleet throughput",
+        "configuration", "fixed", "rate", "paper"
+    );
     let mut rates = Vec::new();
     for (label, locs, paper) in [
         (
@@ -29,11 +32,12 @@ fn main() {
         let arm = run_arm(label, cfg, cases, Some(db));
         rates.push(arm.rate());
         println!(
-            "{label:<26} {:>6}/{:<3} {:>10} {:>10}",
+            "{label:<26} {:>6}/{:<3} {:>10} {:>10}   {}",
             arm.fixed(),
             cases.len(),
             pct(arm.rate()),
-            paper
+            paper,
+            arm.throughput()
         );
     }
     println!(

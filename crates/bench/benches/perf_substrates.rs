@@ -62,6 +62,35 @@ fn bench_pipeline_parts(c: &mut Criterion) {
     c.bench_function("vecdb_query_272", |b| {
         b.iter(|| store.query(std::hint::black_box(&q), 1))
     });
+    // Partial top-k selection vs the full-sort reference: the spread
+    // between these two is the retrieval win (O(n + k log k) vs
+    // O(n log n)), and it widens with DB size.
+    c.bench_function("vecdb_query_exhaustive_272", |b| {
+        b.iter(|| store.query_exhaustive(std::hint::black_box(&q), 1))
+    });
+    let mut big = vecdb::VectorStore::new(embed::DIM);
+    for i in 0..4096 {
+        big.insert(embed::embed(&format!("{} variant {}", sk.text, i)), i)
+            .unwrap();
+    }
+    c.bench_function("vecdb_query_4096", |b| {
+        b.iter(|| big.query(std::hint::black_box(&q), 1))
+    });
+    c.bench_function("vecdb_query_exhaustive_4096", |b| {
+        b.iter(|| big.query_exhaustive(std::hint::black_box(&q), 1))
+    });
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    use drfix::fleet::{run_indexed, FleetConfig};
+    // Scheduler overhead: the job is trivial, so this measures the
+    // work-queue machinery itself at different widths.
+    for threads in [1usize, 4] {
+        c.bench_function(&format!("fleet_schedule_256_jobs_x{threads}"), |b| {
+            let cfg = FleetConfig::new(threads);
+            b.iter(|| run_indexed(&cfg, 256, |i| std::hint::black_box(i) * 3))
+        });
+    }
 }
 
 fn bench_vm(c: &mut Criterion) {
@@ -95,5 +124,5 @@ fn bench_vm(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_frontend, bench_pipeline_parts, bench_vm);
+criterion_group!(benches, bench_frontend, bench_pipeline_parts, bench_vm, bench_fleet);
 criterion_main!(benches);

@@ -15,7 +15,10 @@ fn main() {
         "RQ3 — model generations",
         "§5.4: GPT-4o 65.76%, o1-preview 73.45% (+7.7 pt); Turbo deployed at 55%",
     );
-    println!("{:<16} {:>10} {:>10} {:>12}", "model", "fixed", "rate", "paper");
+    println!(
+        "{:<16} {:>10} {:>10} {:>12}   fleet throughput",
+        "model", "fixed", "rate", "paper"
+    );
     let mut rates = Vec::new();
     for (label, tier, paper) in [
         ("GPT-4 Turbo", ModelTier::Gpt4Turbo, "55%"),
@@ -26,11 +29,12 @@ fn main() {
         let arm = run_arm(label, cfg, cases, Some(db));
         rates.push(arm.rate());
         println!(
-            "{label:<16} {:>6}/{:<3} {:>10} {:>12}",
+            "{label:<16} {:>6}/{:<3} {:>10} {:>12}   {}",
             arm.fixed(),
             cases.len(),
             pct(arm.rate()),
-            paper
+            paper,
+            arm.throughput()
         );
     }
     println!(

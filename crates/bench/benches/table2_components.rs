@@ -18,7 +18,7 @@ fn main() {
         ("Extra params H", "past context and failure info", "synthllm::Feedback threaded by drfix::pipeline"),
         ("Validator V", "package tests x1000", "drfix::validate_patch (N seeded schedules + bug hash)"),
     ];
-    println!("{:<20} {:<32} {}", "Component", "Paper choice", "This reproduction");
+    println!("{:<20} {:<32} This reproduction", "Component", "Paper choice");
     for (c, p, r) in rows {
         println!("{c:<20} {p:<32} {r}");
     }

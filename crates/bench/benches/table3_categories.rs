@@ -20,6 +20,7 @@ fn main() {
     );
     let cfg = base_config(&scale, ModelTier::Gpt4Turbo, RagMode::Skeleton);
     let arm = run_arm("deploy", cfg, cases, Some(db));
+    println!("fleet: {}\n", arm.stats.summary());
 
     let mut fixes_by_cat = std::collections::HashMap::new();
     let mut total_fixed = 0usize;

@@ -25,6 +25,11 @@ fn main() {
         cases,
         Some(db),
     );
+    println!(
+        "fleet: no-RAG arm {} | RAG arm {}\n",
+        no_rag.throughput(),
+        with_rag.throughput()
+    );
 
     let mut pivotal: std::collections::BTreeMap<String, usize> = Default::default();
     let mut n = 0usize;

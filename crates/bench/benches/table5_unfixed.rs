@@ -19,6 +19,7 @@ fn main() {
     );
     let cfg = base_config(&scale, ModelTier::Gpt4o, RagMode::Skeleton);
     let arm = run_arm("ablate", cfg, cases, Some(db));
+    println!("fleet: {}\n", arm.stats.summary());
 
     let mut unfixed_by_cat: std::collections::HashMap<&str, usize> =
         std::collections::HashMap::new();

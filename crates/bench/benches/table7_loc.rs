@@ -19,6 +19,7 @@ fn main() {
     );
     let cfg = base_config(&scale, ModelTier::Gpt4Turbo, RagMode::Skeleton);
     let arm = run_arm("deploy", cfg, cases, Some(db));
+    println!("fleet: {}\n", arm.stats.summary());
 
     let human: Vec<f64> = cases
         .iter()

@@ -1,21 +1,29 @@
 //! Calibration harness: runs the headline ablation arms over a corpus
 //! slice and prints fix rates next to the paper's numbers. Used while
 //! tuning the capability model; kept as a fast sanity-check binary.
+//!
+//! Every arm runs through the fleet executor (`DRFIX_THREADS` workers,
+//! per-case derived seeds — outcomes are bit-identical at any width),
+//! and the run ends with a measured serial-vs-fleet speedup check.
 
-use bench::{base_config, pct, run_arm, Scale};
+use bench::{base_config, pct, run_arm, run_arm_with, Scale};
+use drfix::fleet::FleetConfig;
 use drfix::{LocationKind, RagMode};
 use synthllm::{ModelTier, Scope};
 
 fn main() {
     let scale = Scale::from_env();
+    let fleet = FleetConfig::from_env();
     let cases = bench::eval_corpus(&scale);
     let db = bench::example_db(&scale);
     println!(
-        "corpus: {} cases ({} fixable), db: {} pairs, {} validation runs",
+        "corpus: {} cases ({} fixable), db: {} pairs, {} validation runs, fleet: {} thread{}",
         cases.len(),
         cases.iter().filter(|c| c.fixable).count(),
         scale.db_pairs,
-        scale.validation_runs
+        scale.validation_runs,
+        fleet.threads,
+        if fleet.threads == 1 { "" } else { "s" },
     );
 
     // Fig. 3 arms (GPT-4o).
@@ -26,7 +34,11 @@ fn main() {
     ] {
         let cfg = base_config(&scale, ModelTier::Gpt4o, rag);
         let arm = run_arm(label, cfg, cases, Some(db));
-        println!("{label:24} measured {:>6}  (paper {paper})", pct(arm.rate()));
+        println!(
+            "{label:24} measured {:>6}  (paper {paper})  [{}]",
+            pct(arm.rate()),
+            arm.throughput()
+        );
     }
 
     // Fig. 4 arms.
@@ -40,7 +52,11 @@ fn main() {
         cfg.scopes = scopes;
         cfg.feedback = feedback;
         let arm = run_arm(label, cfg, cases, Some(db));
-        println!("{label:24} measured {:>6}  (paper {paper})", pct(arm.rate()));
+        println!(
+            "{label:24} measured {:>6}  (paper {paper})  [{}]",
+            pct(arm.rate()),
+            arm.throughput()
+        );
     }
 
     // LCA ablation.
@@ -55,7 +71,11 @@ fn main() {
         let mut cfg = base_config(&scale, ModelTier::Gpt4o, RagMode::Skeleton);
         cfg.locations = locs;
         let arm = run_arm(label, cfg, cases, Some(db));
-        println!("{label:24} measured {:>6}  (paper {paper})", pct(arm.rate()));
+        println!(
+            "{label:24} measured {:>6}  (paper {paper})  [{}]",
+            pct(arm.rate()),
+            arm.throughput()
+        );
     }
 
     if std::env::var("DRFIX_DEBUG").is_ok() {
@@ -80,6 +100,33 @@ fn main() {
     ] {
         let cfg = base_config(&scale, tier, RagMode::Skeleton);
         let arm = run_arm(label, cfg, cases, Some(db));
-        println!("{label:24} measured {:>6}  (paper {paper})", pct(arm.rate()));
+        println!(
+            "{label:24} measured {:>6}  (paper {paper})  [{}]",
+            pct(arm.rate()),
+            arm.throughput()
+        );
     }
+
+    // Fleet speedup check: the skeleton arm, strictly serial vs the
+    // configured fleet. Outcomes must be bit-identical; only wall-clock
+    // may differ. (On a single-core machine expect ~1.0×.)
+    let cfg = base_config(&scale, ModelTier::Gpt4o, RagMode::Skeleton);
+    let serial = run_arm_with("serial", cfg.clone(), &FleetConfig::serial(), cases, Some(db));
+    let parallel = run_arm_with("fleet", cfg, &fleet, cases, Some(db));
+    assert_eq!(
+        serial.outcomes, parallel.outcomes,
+        "fleet outcomes diverged from the serial baseline"
+    );
+    println!(
+        "\nfleet speedup: {:.2}x at {} threads (serial {}; fleet {}) — outcomes bit-identical",
+        serial.stats.wall_seconds / parallel.stats.wall_seconds.max(1e-9),
+        fleet.threads,
+        serial.stats.summary(),
+        parallel.stats.summary(),
+    );
+    let (hits, misses) = db.cache_stats();
+    println!(
+        "query-embedding cache: {hits} hits / {misses} misses ({:.0}% hit rate)",
+        100.0 * hits as f64 / (hits + misses).max(1) as f64
+    );
 }

@@ -8,10 +8,19 @@
 //!   403 reproduces the same shapes, just slower);
 //! - `DRFIX_DB_PAIRS` — example-database size (default 272);
 //! - `DRFIX_VALIDATION_RUNS` — schedules per validation (default 12;
-//!   the paper runs 1000).
+//!   the paper runs 1000);
+//! - `DRFIX_THREADS` — fleet worker threads (default: available
+//!   parallelism). Outcomes are bit-identical at any thread count; only
+//!   wall-clock changes.
+//!
+//! Every arm runs through [`drfix::fleet`]: cases are sharded across a
+//! work-queue of threads, each with a seed derived from
+//! `(cfg.seed, case index)`, and per-arm throughput (cases/s, worker
+//! utilization) is reported next to the paper numbers.
 
 use corpus::{CorpusConfig, RaceCase};
-use drfix::{DrFix, ExampleDb, FixOutcome, PipelineConfig, RagMode};
+use drfix::fleet::{self, FleetConfig, FleetStats};
+use drfix::{ExampleDb, FixOutcome, PipelineConfig, RagMode};
 use std::sync::OnceLock;
 use synthllm::ModelTier;
 
@@ -57,7 +66,9 @@ pub fn eval_corpus(scale: &Scale) -> &'static [RaceCase] {
     })
 }
 
-/// The shared example database.
+/// The shared example database. Skeletonization and embedding of the
+/// pairs is sharded across the fleet; the resulting stores are
+/// bit-identical to a serial build.
 pub fn example_db(scale: &Scale) -> &'static ExampleDb {
     DB.get_or_init(|| {
         let pairs = corpus::generate_example_db(&CorpusConfig {
@@ -65,7 +76,7 @@ pub fn example_db(scale: &Scale) -> &'static ExampleDb {
             db_pairs: scale.db_pairs,
             seed: 0xD0F1,
         });
-        ExampleDb::build(&pairs)
+        ExampleDb::build_with(&pairs, &FleetConfig::from_env())
     })
 }
 
@@ -88,6 +99,8 @@ pub struct ArmResult {
     pub label: String,
     /// Per-case outcomes, aligned with the corpus order.
     pub outcomes: Vec<FixOutcome>,
+    /// Fleet throughput measurements for the arm.
+    pub stats: FleetStats,
 }
 
 impl ArmResult {
@@ -104,18 +117,33 @@ impl ArmResult {
             self.fixed() as f64 / self.outcomes.len() as f64
         }
     }
+
+    /// Compact throughput column (`cases/s × threads util%`).
+    pub fn throughput(&self) -> String {
+        self.stats.brief()
+    }
 }
 
-/// Runs one configuration over the corpus.
+/// Runs one configuration over the corpus, sharded across the fleet
+/// configured by `DRFIX_THREADS` (per-case derived seeds keep the
+/// outcomes bit-identical to a serial run).
 pub fn run_arm(label: &str, cfg: PipelineConfig, cases: &[RaceCase], db: Option<&ExampleDb>) -> ArmResult {
-    let pipeline = DrFix::new(cfg, db);
-    let outcomes = cases
-        .iter()
-        .map(|c| pipeline.fix_case(&c.files, &c.test))
-        .collect();
+    run_arm_with(label, cfg, &FleetConfig::from_env(), cases, db)
+}
+
+/// [`run_arm`] with an explicit fleet configuration.
+pub fn run_arm_with(
+    label: &str,
+    cfg: PipelineConfig,
+    fleet_cfg: &FleetConfig,
+    cases: &[RaceCase],
+    db: Option<&ExampleDb>,
+) -> ArmResult {
+    let run = fleet::run_cases(&cfg, fleet_cfg, cases, db);
     ArmResult {
         label: label.to_owned(),
-        outcomes,
+        outcomes: run.results,
+        stats: run.stats,
     }
 }
 
@@ -154,6 +182,36 @@ mod tests {
         assert_eq!(percentile(&xs, 100.0), 5.0);
         assert_eq!(percentile(&xs, 1.0), 1.0);
         assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn run_arm_is_thread_count_invariant() {
+        let ccfg = CorpusConfig {
+            eval_cases: 8,
+            db_pairs: 20,
+            seed: 0xBEEF,
+        };
+        let cases = corpus::generate_eval_corpus(&ccfg);
+        let db = ExampleDb::build(&corpus::generate_example_db(&ccfg));
+        let cfg = PipelineConfig {
+            rag: RagMode::Skeleton,
+            validation_runs: 4,
+            detect_runs: 16,
+            seed: 0xFEED,
+            ..PipelineConfig::default()
+        };
+        let serial = run_arm_with("s", cfg.clone(), &FleetConfig::serial(), &cases, Some(&db));
+        for threads in [2, 8] {
+            let par = run_arm_with(
+                "p",
+                cfg.clone(),
+                &FleetConfig::new(threads),
+                &cases,
+                Some(&db),
+            );
+            assert_eq!(par.outcomes, serial.outcomes, "threads={threads}");
+            assert_eq!(par.fixed(), serial.fixed());
+        }
     }
 
     #[test]

@@ -5,8 +5,12 @@
 //! the embedding of its *raw* source (the "RAG without skeleton"
 //! ablation arm of Fig. 3).
 
+use crate::fleet::{self, FleetConfig};
 use serde::{Deserialize, Serialize};
 use skeleton::{skeletonize, SkeletonOptions};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::RwLock;
 use synthllm::Example;
 use vecdb::VectorStore;
 
@@ -32,24 +36,36 @@ pub struct DbEntry {
     pub category: synthllm::RaceCategory,
 }
 
-/// The example database: one vector store per retrieval mode.
+/// The example database: one vector store per retrieval mode, plus a
+/// process-wide query-embedding cache.
+///
+/// The cache memoizes the expensive half of [`ExampleDb::retrieve`] —
+/// skeletonizing and embedding the *query* — keyed by the query content,
+/// so a case retried across ablation arms (or scopes) pays for its
+/// embedding once. It is interior-mutable behind an `RwLock`, keeping
+/// the database shareable read-only across fleet workers.
 pub struct ExampleDb {
     skeleton_store: VectorStore<DbEntry>,
     raw_store: VectorStore<DbEntry>,
+    query_cache: RwLock<HashMap<u64, Vec<f32>>>,
+    cache_hits: AtomicUsize,
+    cache_misses: AtomicUsize,
 }
 
 impl ExampleDb {
     /// Builds the database from curated pairs (populating it is the
     /// "one-time activity" of §4.1).
     pub fn build(pairs: &[corpus::DbPair]) -> Self {
-        let mut skeleton_store = VectorStore::new(embed::DIM);
-        let mut raw_store = VectorStore::new(embed::DIM);
-        for p in pairs {
-            let entry = DbEntry {
-                buggy: p.buggy.clone(),
-                fixed: p.fixed.clone(),
-                category: p.category,
-            };
+        Self::build_with(pairs, &FleetConfig::serial())
+    }
+
+    /// Builds the database with per-pair skeletonization and embedding
+    /// sharded across the fleet. The stores are filled in pair order
+    /// afterwards, so the result is bit-identical to [`ExampleDb::build`]
+    /// at any thread count.
+    pub fn build_with(pairs: &[corpus::DbPair], fleet: &FleetConfig) -> Self {
+        let embedded = fleet::run_indexed(fleet, pairs.len(), |i| {
+            let p = &pairs[i];
             let sk_text = skeletonize(
                 &p.buggy,
                 &[],
@@ -60,12 +76,25 @@ impl ExampleDb {
             )
             .map(|s| s.text)
             .unwrap_or_else(|_| p.buggy.clone());
-            let _ = skeleton_store.insert(embed::embed(&sk_text), entry.clone());
-            let _ = raw_store.insert(embed::embed(&p.buggy), entry);
+            (embed::embed(&sk_text), embed::embed(&p.buggy))
+        });
+        let mut skeleton_store = VectorStore::new(embed::DIM);
+        let mut raw_store = VectorStore::new(embed::DIM);
+        for (p, (sk_vec, raw_vec)) in pairs.iter().zip(embedded.results) {
+            let entry = DbEntry {
+                buggy: p.buggy.clone(),
+                fixed: p.fixed.clone(),
+                category: p.category,
+            };
+            let _ = skeleton_store.insert(sk_vec, entry.clone());
+            let _ = raw_store.insert(raw_vec, entry);
         }
         ExampleDb {
             skeleton_store,
             raw_store,
+            query_cache: RwLock::new(HashMap::new()),
+            cache_hits: AtomicUsize::new(0),
+            cache_misses: AtomicUsize::new(0),
         }
     }
 
@@ -81,6 +110,10 @@ impl ExampleDb {
 
     /// Retrieves the best example for the query code, per mode. Returns
     /// the example and its stored category (for accounting).
+    ///
+    /// The query embedding is memoized in the database's cache: repeat
+    /// retrievals for the same case (across ablation arms, locations, or
+    /// retries) skip skeletonization and embedding entirely.
     pub fn retrieve(
         &self,
         mode: RagMode,
@@ -88,20 +121,40 @@ impl ExampleDb {
         racy_var: &str,
         racy_lines: &[u32],
     ) -> Option<(Example, synthllm::RaceCategory, f32)> {
-        match mode {
-            RagMode::None => None,
-            RagMode::Raw => {
-                let q = embed::embed(code);
-                let hit = self.raw_store.query(&q, 1).into_iter().next()?;
-                Some((
-                    Example {
-                        buggy: hit.item.buggy.clone(),
-                        fixed: hit.item.fixed.clone(),
-                    },
-                    hit.item.category,
-                    hit.score,
-                ))
-            }
+        let store = match mode {
+            RagMode::None => return None,
+            RagMode::Raw => &self.raw_store,
+            RagMode::Skeleton => &self.skeleton_store,
+        };
+        let q = self.query_embedding(mode, code, racy_var, racy_lines);
+        let hit = store.query(&q, 1).into_iter().next()?;
+        Some((
+            Example {
+                buggy: hit.item.buggy.clone(),
+                fixed: hit.item.fixed.clone(),
+            },
+            hit.item.category,
+            hit.score,
+        ))
+    }
+
+    /// Computes (or recalls) the embedding for one query.
+    fn query_embedding(
+        &self,
+        mode: RagMode,
+        code: &str,
+        racy_var: &str,
+        racy_lines: &[u32],
+    ) -> Vec<f32> {
+        let key = query_key(mode, code, racy_var, racy_lines);
+        if let Some(v) = self.query_cache.read().expect("cache poisoned").get(&key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return v.clone();
+        }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let v = match mode {
+            RagMode::None => unreachable!("None mode never embeds"),
+            RagMode::Raw => embed::embed(code),
             RagMode::Skeleton => {
                 let sk = skeletonize(
                     code,
@@ -113,19 +166,49 @@ impl ExampleDb {
                 )
                 .map(|s| s.text)
                 .unwrap_or_else(|_| code.to_owned());
-                let q = embed::embed(&sk);
-                let hit = self.skeleton_store.query(&q, 1).into_iter().next()?;
-                Some((
-                    Example {
-                        buggy: hit.item.buggy.clone(),
-                        fixed: hit.item.fixed.clone(),
-                    },
-                    hit.item.category,
-                    hit.score,
-                ))
+                embed::embed(&sk)
             }
+        };
+        self.query_cache
+            .write()
+            .expect("cache poisoned")
+            .insert(key, v.clone());
+        v
+    }
+
+    /// `(hits, misses)` of the query-embedding cache so far.
+    pub fn cache_stats(&self) -> (usize, usize) {
+        (
+            self.cache_hits.load(Ordering::Relaxed),
+            self.cache_misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Content hash of one retrieval query (FNV-1a over every input that
+/// can change the embedding). Keying by content — not merely by case id
+/// — keeps the cache exact: two scopes of the same case embed different
+/// code and must not share an entry. Raw mode embeds the code alone, so
+/// its key deliberately ignores `racy_var`/`racy_lines` — otherwise the
+/// same embedding would be recomputed once per fix location.
+fn query_key(mode: RagMode, code: &str, racy_var: &str, racy_lines: &[u32]) -> u64 {
+    let mut h = fleet::fnv1a64_fold(
+        fleet::FNV1A_OFFSET,
+        &[match mode {
+            RagMode::None => 0,
+            RagMode::Raw => 1,
+            RagMode::Skeleton => 2,
+        }],
+    );
+    h = fleet::fnv1a64_fold(h, code.as_bytes());
+    if mode == RagMode::Skeleton {
+        h = fleet::fnv1a64_fold(h, &[0xFF]);
+        h = fleet::fnv1a64_fold(h, racy_var.as_bytes());
+        for line in racy_lines {
+            h = fleet::fnv1a64_fold(h, &line.to_le_bytes());
         }
     }
+    h
 }
 
 #[cfg(test)]
@@ -197,5 +280,45 @@ mod tests {
     fn none_mode_returns_nothing() {
         let db = small_db();
         assert!(db.retrieve(RagMode::None, "package p", "x", &[]).is_none());
+        assert_eq!(db.cache_stats(), (0, 0), "None mode must not touch the cache");
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_embedding_cache() {
+        let db = small_db();
+        let code = "package p\n\nfunc f() {\n\tx := 0\n\tgo func() {\n\t\tx = 1\n\t}()\n\t_ = x\n}\n";
+        let first = db.retrieve(RagMode::Skeleton, code, "x", &[5]);
+        assert_eq!(db.cache_stats(), (0, 1));
+        let second = db.retrieve(RagMode::Skeleton, code, "x", &[5]);
+        assert_eq!(db.cache_stats(), (1, 1), "identical query must hit");
+        let (e1, c1, s1) = first.unwrap();
+        let (e2, c2, s2) = second.unwrap();
+        assert_eq!((e1.buggy, c1, s1.to_bits()), (e2.buggy, c2, s2.to_bits()));
+        // Different scope code, mode, var, or lines → distinct entries.
+        db.retrieve(RagMode::Raw, code, "x", &[5]);
+        db.retrieve(RagMode::Skeleton, code, "y", &[5]);
+        db.retrieve(RagMode::Skeleton, code, "x", &[6]);
+        assert_eq!(db.cache_stats(), (1, 4));
+        // Raw embeds the code alone: var/lines must not split its key.
+        db.retrieve(RagMode::Raw, code, "other", &[9]);
+        assert_eq!(db.cache_stats(), (2, 4));
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_serial() {
+        let pairs = corpus::generate_example_db(&CorpusConfig {
+            eval_cases: 0,
+            db_pairs: 40,
+            seed: 77,
+        });
+        let serial = ExampleDb::build(&pairs);
+        let parallel = ExampleDb::build_with(&pairs, &crate::fleet::FleetConfig::new(8));
+        assert_eq!(serial.len(), parallel.len());
+        let probe = &pairs[17].buggy;
+        let a = serial.retrieve(RagMode::Skeleton, probe, &pairs[17].racy_var, &[]);
+        let b = parallel.retrieve(RagMode::Skeleton, probe, &pairs[17].racy_var, &[]);
+        let (ea, ca, sa) = a.unwrap();
+        let (eb, cb, sb) = b.unwrap();
+        assert_eq!((ea.buggy, ea.fixed, ca, sa.to_bits()), (eb.buggy, eb.fixed, cb, sb.to_bits()));
     }
 }

@@ -15,7 +15,10 @@
 //! 4. **Fix Validator** ([`validate`]): rebuild and re-run the tests
 //!    under many schedules, checking the stable bug hash;
 //! 5. **Developer validation** ([`review`]): the seeded review/survey
-//!    model behind the RQ1/RQ4 tables.
+//!    model behind the RQ1/RQ4 tables;
+//! 6. **Fleet execution** ([`fleet`]): the deployment-scale work-queue
+//!    executor (§2.2) that shards cases across worker threads with
+//!    per-case derived seeds, bit-identical to the serial path.
 //!
 //! # Example
 //!
@@ -27,28 +30,28 @@
 //!     r#"package app
 //!
 //! import (
-//! 	"sync"
-//! 	"testing"
+//!     "sync"
+//!     "testing"
 //! )
 //!
 //! func Bump() int {
-//! 	n := 0
-//! 	var wg sync.WaitGroup
-//! 	wg.Add(2)
-//! 	go func() {
-//! 		defer wg.Done()
-//! 		n = n + 1
-//! 	}()
-//! 	go func() {
-//! 		defer wg.Done()
-//! 		n = n + 2
-//! 	}()
-//! 	wg.Wait()
-//! 	return n
+//!     n := 0
+//!     var wg sync.WaitGroup
+//!     wg.Add(2)
+//!     go func() {
+//!         defer wg.Done()
+//!         n = n + 1
+//!     }()
+//!     go func() {
+//!         defer wg.Done()
+//!         n = n + 2
+//!     }()
+//!     wg.Wait()
+//!     return n
 //! }
 //!
 //! func TestBump(t *testing.T) {
-//! 	Bump()
+//!     Bump()
 //! }
 //! "#
 //!     .to_string(),
@@ -61,12 +64,14 @@
 #![warn(missing_docs)]
 
 pub mod database;
+pub mod fleet;
 pub mod pipeline;
 pub mod raceinfo;
 pub mod review;
 pub mod validate;
 
 pub use database::{ExampleDb, RagMode};
+pub use fleet::{FleetConfig, FleetRun, FleetStats};
 pub use pipeline::{DrFix, FailureKind, FixOutcome, PipelineConfig};
 pub use raceinfo::{extract, FixLocation, LocationKind, RaceInfo};
 pub use review::{review_fix, survey, ReviewOutcome};

@@ -64,7 +64,7 @@ pub enum FailureKind {
 }
 
 /// The outcome of one `GetAFix` run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FixOutcome {
     /// Whether a validated patch was produced.
     pub fixed: bool,
@@ -213,12 +213,21 @@ impl<'db> DrFix<'db> {
                                 }
                             };
                             out.validations += 1;
+                            // Each validation campaign samples a fresh
+                            // schedule set: deriving the seed from the
+                            // attempt ordinal is what lets feedback
+                            // retries escape schedule-sampling luck.
+                            let validation_seed = crate::fleet::derive_validation_seed(
+                                self.cfg.seed,
+                                &info.bug_hash,
+                                out.validations,
+                            );
                             match validate_patch(
                                 &patched,
                                 test,
                                 &info.bug_hash,
                                 self.cfg.validation_runs,
-                                self.cfg.seed ^ 0x5a5a,
+                                validation_seed,
                             ) {
                                 Verdict::Ok => {
                                     out.fixed = true;
@@ -277,14 +286,7 @@ impl<'db> DrFix<'db> {
         match scope {
             Scope::File => Some((src.clone(), context_funcs)),
             Scope::Func => {
-                let f = parsed.find_func(&loc.function)?;
-                let mut wrapper = String::from("package p\n\n");
-                for imp in &parsed.imports {
-                    wrapper.push_str(&format!("import \"{}\"\n", imp.path));
-                }
-                wrapper.push('\n');
-                wrapper.push_str(&golite::print_func(f));
-                wrapper.push('\n');
+                let wrapper = func_scope_wrapper(&parsed, &loc.function)?;
                 Some((wrapper, 1))
             }
         }
@@ -324,6 +326,24 @@ impl<'db> DrFix<'db> {
     }
 }
 
+/// Builds the `Scope::Func` prompt wrapper: a one-function file carrying
+/// the original file's imports (aliases preserved — the model must see
+/// the same local names the function body uses) plus the focus function.
+pub fn func_scope_wrapper(parsed: &golite::ast::File, func_name: &str) -> Option<String> {
+    let f = parsed.find_func(func_name)?;
+    let mut wrapper = String::from("package p\n\n");
+    for imp in &parsed.imports {
+        match &imp.alias {
+            Some(alias) => wrapper.push_str(&format!("import {alias} \"{}\"\n", imp.path)),
+            None => wrapper.push_str(&format!("import \"{}\"\n", imp.path)),
+        }
+    }
+    wrapper.push('\n');
+    wrapper.push_str(&golite::print_func(f));
+    wrapper.push('\n');
+    Some(wrapper)
+}
+
 /// Splices a function-scope patch (a wrapper file holding the revised
 /// function plus any new imports/globals/types) into the original file.
 pub fn integrate_func_patch(
@@ -357,20 +377,27 @@ pub fn integrate_func_patch(
             orig.imports.push(imp.clone());
         }
     }
-    // Carry over new top-level declarations (mutex globals, helper types).
+    // Carry over new top-level declarations (mutex globals, helper
+    // types) as one block in wrapper order: inserting them one-by-one at
+    // position 0 would reverse them, hoisting a `var` above the `type`
+    // it references.
+    let mut carried: Vec<Decl> = Vec::new();
     for d in &patch.decls {
-        let exists = match d {
-            Decl::Func(f) => orig.funcs().any(|o| o.name == f.name),
-            Decl::Type(t) => orig.find_type(&t.name).is_some(),
-            Decl::Var(v) | Decl::Const(v) => orig.decls.iter().any(|od| match od {
-                Decl::Var(ov) | Decl::Const(ov) => ov.names == v.names,
+        let known = |decls: &[Decl]| {
+            decls.iter().any(|od| match (od, d) {
+                (Decl::Func(of), Decl::Func(f)) => of.name == f.name,
+                (Decl::Type(ot), Decl::Type(t)) => ot.name == t.name,
+                (Decl::Var(ov) | Decl::Const(ov), Decl::Var(v) | Decl::Const(v)) => {
+                    ov.names == v.names
+                }
                 _ => false,
-            }),
+            })
         };
-        if !exists {
-            orig.decls.insert(0, d.clone());
+        if !known(&orig.decls) && !known(&carried) {
+            carried.push(d.clone());
         }
     }
+    orig.decls.splice(0..0, carried);
     Ok(golite::print_file(&orig))
 }
 
@@ -408,6 +435,56 @@ mod tests {
         assert!(merged.contains("mu.Lock()"), "{merged}");
         assert!(merged.contains("func Other()"), "{merged}");
         golite::parse_file(&merged).unwrap();
+    }
+
+    #[test]
+    fn carried_declarations_keep_wrapper_order() {
+        // The wrapper declares a type and then a var of that type: the
+        // merged file must keep the type above the var.
+        let orig = "package app\n\nfunc Work() {\n\tx := 1\n\t_ = x\n}\n";
+        let wrapper = concat!(
+            "package p\n\n",
+            "type Guard struct {\n\tn int\n}\n\n",
+            "var g Guard\n\n",
+            "var mu int\n\n",
+            "func Work() {\n\tx := 2\n\t_ = x\n}\n",
+        );
+        let merged = integrate_func_patch(orig, wrapper, "Work").unwrap();
+        let type_at = merged.find("type Guard").expect("type carried");
+        let var_at = merged.find("var g Guard").expect("var carried");
+        let mu_at = merged.find("var mu").expect("second var carried");
+        assert!(
+            type_at < var_at && var_at < mu_at,
+            "carried decls out of wrapper order:\n{merged}"
+        );
+        golite::parse_file(&merged).unwrap();
+    }
+
+    #[test]
+    fn duplicate_wrapper_declarations_are_carried_once() {
+        let orig = "package app\n\nfunc Work() {\n}\n";
+        let wrapper =
+            "package p\n\nvar mu int\n\nvar mu int\n\nfunc Work() {\n\tmu = 1\n\t_ = mu\n}\n";
+        let merged = integrate_func_patch(orig, wrapper, "Work").unwrap();
+        assert_eq!(merged.matches("var mu").count(), 1, "{merged}");
+    }
+
+    #[test]
+    fn func_wrapper_preserves_import_aliases() {
+        let src = concat!(
+            "package app\n\n",
+            "import (\n\tsy \"sync\"\n\t\"testing\"\n)\n\n",
+            "func Work() {\n\tvar mu sy.Mutex\n\tmu.Lock()\n\tmu.Unlock()\n}\n\n",
+            "func TestWork(t *testing.T) {\n\tWork()\n}\n",
+        );
+        let parsed = golite::parse_file(src).unwrap();
+        let wrapper = func_scope_wrapper(&parsed, "Work").unwrap();
+        assert!(
+            wrapper.contains("import sy \"sync\""),
+            "alias dropped from wrapper:\n{wrapper}"
+        );
+        // The wrapper must itself parse, with the alias bound.
+        golite::parse_file(&wrapper).unwrap();
     }
 
     #[test]

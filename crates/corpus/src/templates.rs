@@ -752,9 +752,7 @@ func hashWrite(h interface{{}}, s string) {{
 	writeTo(h, s)
 }}
 "#
-        ) + &format!(
-            "\nfunc writeTo(h interface{{}}, s string) {{\n\thh := h.(hash.Hash)\n\t_ = hh\n}}\n"
-        )
+        ) + "\nfunc writeTo(h interface{}, s string) {\n\thh := h.(hash.Hash)\n\t_ = hh\n}\n"
     };
     // The type-assertion helper chain above is noise; the real write goes
     // through the md5 native. Simplify: direct Write call.

@@ -358,7 +358,7 @@ pub(crate) fn call_builtin(vm: &mut Vm, gid: Gid, id: u16, args: Vec<Value>) -> 
                 // Deadline jitter models wall-clock nondeterminism: the
                 // deadline may fire before or after dependent work.
                 let d = args.get(1).and_then(|v| v.as_int()).unwrap_or(60).max(2) as u64;
-                let fire = vm.rng.gen_range(2..=d.max(2).min(240));
+                let fire = vm.rng.gen_range(2..=d.clamp(2, 240));
                 vm.timers.push((vm.steps + fire, r));
             }
             let ctx = make_struct(vm, "context.Context", vec![("done", ch.clone())]);

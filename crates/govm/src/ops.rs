@@ -1501,15 +1501,17 @@ pub(crate) fn try_select(vm: &mut Vm, gid: Gid, cases: &[ParkedCase]) -> Option<
 fn park_select(vm: &mut Vm, gid: Gid, cases: Vec<ParkedCase>) {
     for c in &cases {
         match c {
-            ParkedCase::Recv { chan, .. } if *chan != usize::MAX => {
-                if !vm.heap.chans[*chan].recv_waiters.contains(&gid) {
-                    vm.heap.chans[*chan].recv_waiters.push(gid);
-                }
+            ParkedCase::Recv { chan, .. }
+                if *chan != usize::MAX
+                    && !vm.heap.chans[*chan].recv_waiters.contains(&gid) =>
+            {
+                vm.heap.chans[*chan].recv_waiters.push(gid);
             }
-            ParkedCase::Send { chan, .. } if *chan != usize::MAX => {
-                if !vm.heap.chans[*chan].send_waiters.contains(&gid) {
-                    vm.heap.chans[*chan].send_waiters.push(gid);
-                }
+            ParkedCase::Send { chan, .. }
+                if *chan != usize::MAX
+                    && !vm.heap.chans[*chan].send_waiters.contains(&gid) =>
+            {
+                vm.heap.chans[*chan].send_waiters.push(gid);
             }
             _ => {}
         }

@@ -65,8 +65,10 @@ impl TestOutcome {
 
 /// Runs `test` once under one seed.
 pub fn run_test(prog: &Program, test: &str, seed: u64) -> RunResult {
-    let mut opts = VmOptions::default();
-    opts.seed = seed;
+    let opts = VmOptions {
+        seed,
+        ..VmOptions::default()
+    };
     let mut vm = Vm::new(prog, opts);
     let t = make_t(&mut vm, test);
     vm.run(test, vec![t])

@@ -237,10 +237,8 @@ pub fn expr_has_concurrency(e: &Expr) -> bool {
                         }
                     }
                 }
-                Expr::Ident { name, .. } => {
-                    if name == "close" {
-                        found = true;
-                    }
+                Expr::Ident { name, .. } if name == "close" => {
+                    found = true;
                 }
                 _ => {}
             }

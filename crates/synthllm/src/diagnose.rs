@@ -504,11 +504,12 @@ pub fn diagnose(file: &File, racy_var: &str) -> Vec<Diagnosis> {
 pub fn go_closures(body: &Block) -> Vec<Block> {
     let mut out = Vec::new();
     visit::walk_stmts(body, &mut |s| match s {
-        Stmt::Go { call, .. } => {
-            if let Expr::Call { fun, .. } = call {
-                if let Expr::FuncLit { body, .. } = fun.as_ref() {
-                    out.push(body.clone());
-                }
+        Stmt::Go {
+            call: Expr::Call { fun, .. },
+            ..
+        } => {
+            if let Expr::FuncLit { body, .. } = fun.as_ref() {
+                out.push(body.clone());
             }
         }
         Stmt::Expr(Expr::Call { fun, args, .. }) => {
@@ -530,15 +531,11 @@ pub fn go_closures(body: &Block) -> Vec<Block> {
 fn assigns_var(block: &Block, var: &str) -> bool {
     let mut found = false;
     visit::walk_stmts(block, &mut |s| match s {
-        Stmt::Assign { lhs, .. } => {
-            if lhs.iter().any(|e| e.as_ident() == Some(var)) {
-                found = true;
-            }
+        Stmt::Assign { lhs, .. } if lhs.iter().any(|e| e.as_ident() == Some(var)) => {
+            found = true;
         }
-        Stmt::IncDec { expr, .. } => {
-            if expr.as_ident() == Some(var) {
-                found = true;
-            }
+        Stmt::IncDec { expr, .. } if expr.as_ident() == Some(var) => {
+            found = true;
         }
         _ => {}
     });
@@ -564,15 +561,11 @@ fn mentions_var(block: &Block, var: &str) -> bool {
 fn declares_var(block: &Block, var: &str) -> bool {
     let mut found = false;
     visit::walk_stmts(block, &mut |s| match s {
-        Stmt::ShortVar { names, .. } => {
-            if names.iter().any(|n| n == var) {
-                found = true;
-            }
+        Stmt::ShortVar { names, .. } if names.iter().any(|n| n == var) => {
+            found = true;
         }
-        Stmt::Decl(v) => {
-            if v.names.iter().any(|n| n == var) {
-                found = true;
-            }
+        Stmt::Decl(v) if v.names.iter().any(|n| n == var) => {
+            found = true;
         }
         _ => {}
     });
@@ -589,15 +582,13 @@ fn writes_var_outside_closures(body: &Block, var: &str) -> bool {
     fn scan(stmts: &[Stmt], var: &str, found: &mut bool) {
         for s in stmts {
             match s {
-                Stmt::Assign { lhs, .. } => {
-                    if lhs.iter().any(|e| e.as_ident() == Some(var)) {
-                        *found = true;
-                    }
+                Stmt::Assign { lhs, .. }
+                    if lhs.iter().any(|e| e.as_ident() == Some(var)) =>
+                {
+                    *found = true;
                 }
-                Stmt::IncDec { expr, .. } => {
-                    if expr.as_ident() == Some(var) {
-                        *found = true;
-                    }
+                Stmt::IncDec { expr, .. } if expr.as_ident() == Some(var) => {
+                    *found = true;
                 }
                 Stmt::If(st) => {
                     scan(&st.then.stmts, var, found);
@@ -727,19 +718,21 @@ fn range_binding_captured(body: &Block, var: &str) -> Option<()> {
 fn wg_add_inside_goroutine(body: &Block) -> bool {
     let mut found = false;
     visit::walk_stmts(body, &mut |s| {
-        if let Stmt::Go { call, .. } = s {
-            if let Expr::Call { fun, .. } = call {
-                if let Expr::FuncLit { body: cb, .. } = fun.as_ref() {
-                    visit::walk_exprs(cb, &mut |e| {
-                        if let Expr::Call { fun, .. } = e {
-                            if let Expr::Selector { name, .. } = fun.as_ref() {
-                                if name == "Add" {
-                                    found = true;
-                                }
+        if let Stmt::Go {
+            call: Expr::Call { fun, .. },
+            ..
+        } = s
+        {
+            if let Expr::FuncLit { body: cb, .. } = fun.as_ref() {
+                visit::walk_exprs(cb, &mut |e| {
+                    if let Expr::Call { fun, .. } = e {
+                        if let Expr::Selector { name, .. } = fun.as_ref() {
+                            if name == "Add" {
+                                found = true;
                             }
                         }
-                    });
-                }
+                    }
+                });
             }
         }
     });
@@ -769,10 +762,12 @@ fn shared_ctor_decl(body: &Block, var: &str) -> Option<Expr> {
     let mut ctor = None;
     for s in &body.stmts {
         if let Stmt::ShortVar { names, values, .. } = s {
-            if names.len() == 1 && names[0] == var && values.len() == 1 {
-                if matches!(&values[0], Expr::Call { .. }) {
-                    ctor = Some(values[0].clone());
-                }
+            if names.len() == 1
+                && names[0] == var
+                && values.len() == 1
+                && matches!(&values[0], Expr::Call { .. })
+            {
+                ctor = Some(values[0].clone());
             }
         }
     }
@@ -865,20 +860,21 @@ fn field_write_on(block: &Block, var: &str) -> bool {
 fn find_shared_ctor_var(body: &Block) -> Option<String> {
     for s in &body.stmts {
         if let Stmt::ShortVar { names, values, .. } = s {
-            if names.len() == 1 && values.len() == 1 {
-                if matches!(&values[0], Expr::Call { .. }) {
-                    let var = &names[0];
-                    let mut uses = 0;
-                    visit::walk_exprs(body, &mut |e| {
-                        if let Expr::Ident { name, .. } = e {
-                            if name == var {
-                                uses += 1;
-                            }
+            if names.len() == 1
+                && values.len() == 1
+                && matches!(&values[0], Expr::Call { .. })
+            {
+                let var = &names[0];
+                let mut uses = 0;
+                visit::walk_exprs(body, &mut |e| {
+                    if let Expr::Ident { name, .. } = e {
+                        if name == var {
+                            uses += 1;
                         }
-                    });
-                    if uses >= 2 {
-                        return Some(var.clone());
                     }
+                });
+                if uses >= 2 {
+                    return Some(var.clone());
                 }
             }
         }

@@ -265,10 +265,11 @@ pub fn classify_example(buggy: &str, fixed: &str) -> Option<StrategyKind> {
     }
     // Constructor duplicated per case.
     for ctor in ["md5.New()", "NewReader(", "New()"] {
-        if fixed.matches(ctor).count() > buggy.matches(ctor).count() + 0 {
-            if fixed.matches(ctor).count() >= 2 && buggy.matches(ctor).count() <= 1 {
-                return Some(StrategyKind::PerCaseInstance);
-            }
+        if fixed.matches(ctor).count() > buggy.matches(ctor).count()
+            && fixed.matches(ctor).count() >= 2
+            && buggy.matches(ctor).count() <= 1
+        {
+            return Some(StrategyKind::PerCaseInstance);
         }
     }
     // More `:=` inside goroutines without new sync — redeclaration.

@@ -135,11 +135,10 @@ pub fn stmt_uses_var_directly(s: &Stmt, var: &str) -> bool {
 
 fn expr_uses_var_shallow(e: &Expr, var: &str, found: &mut bool) {
     match e {
-        Expr::Ident { name, .. } => {
-            if name == var {
-                *found = true;
-            }
+        Expr::Ident { name, .. } if name == var => {
+            *found = true;
         }
+        Expr::Ident { .. } => {}
         Expr::FuncLit { .. } => {} // do not descend into closures
         Expr::Selector { expr, .. }
         | Expr::Paren { expr, .. }
@@ -242,11 +241,13 @@ pub fn is_go_stmt(s: &Stmt) -> bool {
 
 /// Rebuilds `go func(...) { body }(args)` → pulls out the closure.
 pub fn go_closure_mut(s: &mut Stmt) -> Option<&mut Block> {
-    if let Stmt::Go { call, .. } = s {
-        if let Expr::Call { fun, .. } = call {
-            if let Expr::FuncLit { body, .. } = fun.as_mut() {
-                return Some(body);
-            }
+    if let Stmt::Go {
+        call: Expr::Call { fun, .. },
+        ..
+    } = s
+    {
+        if let Expr::FuncLit { body, .. } = fun.as_mut() {
+            return Some(body);
         }
     }
     None

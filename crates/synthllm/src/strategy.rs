@@ -211,22 +211,20 @@ fn convert_first_assign_to_decl(block: &mut Block, var: &str) -> bool {
                         return true;
                     }
                 }
-                Stmt::For(st) => {
-                    if conv(&mut st.body.stmts, var) {
-                        return true;
+                _ => {
+                    // Descend into the remaining nested-block statements.
+                    let nested = match s {
+                        Stmt::For(st) => Some(&mut st.body.stmts),
+                        Stmt::Range(st) => Some(&mut st.body.stmts),
+                        Stmt::Block(b) => Some(&mut b.stmts),
+                        _ => None,
+                    };
+                    if let Some(stmts) = nested {
+                        if conv(stmts, var) {
+                            return true;
+                        }
                     }
                 }
-                Stmt::Range(st) => {
-                    if conv(&mut st.body.stmts, var) {
-                        return true;
-                    }
-                }
-                Stmt::Block(b) => {
-                    if conv(&mut b.stmts, var) {
-                        return true;
-                    }
-                }
-                _ => {}
             }
         }
         false
@@ -333,33 +331,35 @@ fn pass_param(file: &mut File, target: &Target, botch: u8) -> Result<(), String>
     let mut touched = 0usize;
     if let Some(body) = &mut f.body {
         for s in &mut body.stmts {
-            if let Stmt::Go { call, .. } = s {
-                if let Expr::Call { fun, args, .. } = call {
-                    if let Expr::FuncLit { sig, body: cb, .. } = fun.as_mut() {
-                        let mut uses = false;
-                        golite::visit::walk_exprs(cb, &mut |e| {
-                            if let Expr::Ident { name, .. } = e {
-                                if *name == var {
-                                    uses = true;
-                                }
+            if let Stmt::Go {
+                call: Expr::Call { fun, args, .. },
+                ..
+            } = s
+            {
+                if let Expr::FuncLit { sig, body: cb, .. } = fun.as_mut() {
+                    let mut uses = false;
+                    golite::visit::walk_exprs(cb, &mut |e| {
+                        if let Expr::Ident { name, .. } = e {
+                            if *name == var {
+                                uses = true;
                             }
-                        });
-                        if !uses {
-                            continue;
                         }
-                        touched += 1;
-                        sig.params.push(Param {
-                            names: vec![var.clone()],
-                            ty: Type::Interface(Vec::new()),
-                            variadic: false,
-                            span: Span::DUMMY,
-                        });
-                        if botch != 1 {
-                            args.push(Expr::ident(var.clone()));
-                        }
-                        // Botch 1 forgets the argument → arity error at
-                        // run time ("build failure" feedback).
+                    });
+                    if !uses {
+                        continue;
                     }
+                    touched += 1;
+                    sig.params.push(Param {
+                        names: vec![var.clone()],
+                        ty: Type::Interface(Vec::new()),
+                        variadic: false,
+                        span: Span::DUMMY,
+                    });
+                    if botch != 1 {
+                        args.push(Expr::ident(var.clone()));
+                    }
+                    // Botch 1 forgets the argument → arity error at
+                    // run time ("build failure" feedback).
                 }
             }
         }
@@ -1140,21 +1140,23 @@ fn channel_result(file: &mut File, target: &Target, botch: u8) -> Result<(), Str
     // Find the go statement whose closure assigns the variable.
     let mut go_idx = None;
     for (i, s) in body.stmts.iter().enumerate() {
-        if let Stmt::Go { call, .. } = s {
-            if let Expr::Call { fun, .. } = call {
-                if let Expr::FuncLit { body: cb, .. } = fun.as_ref() {
-                    let mut assigns = false;
-                    golite::visit::walk_stmts(cb, &mut |x| {
-                        if let Stmt::Assign { lhs, .. } = x {
-                            if lhs.iter().any(|e| e.as_ident() == Some(var.as_str())) {
-                                assigns = true;
-                            }
+        if let Stmt::Go {
+            call: Expr::Call { fun, .. },
+            ..
+        } = s
+        {
+            if let Expr::FuncLit { body: cb, .. } = fun.as_ref() {
+                let mut assigns = false;
+                golite::visit::walk_stmts(cb, &mut |x| {
+                    if let Stmt::Assign { lhs, .. } = x {
+                        if lhs.iter().any(|e| e.as_ident() == Some(var.as_str())) {
+                            assigns = true;
                         }
-                    });
-                    if assigns {
-                        go_idx = Some(i);
-                        break;
                     }
+                });
+                if assigns {
+                    go_idx = Some(i);
+                    break;
                 }
             }
         }
@@ -1314,11 +1316,13 @@ fn per_case_instance(file: &mut File, target: &Target, botch: u8) -> Result<(), 
     let mut ctor = None;
     body.stmts.retain(|s| {
         if let Stmt::ShortVar { names, values, .. } = s {
-            if names.len() == 1 && names[0] == var && values.len() == 1 {
-                if matches!(values[0], Expr::Call { .. }) {
-                    ctor = Some(values[0].clone());
-                    return false;
-                }
+            if names.len() == 1
+                && names[0] == var
+                && values.len() == 1
+                && matches!(values[0], Expr::Call { .. })
+            {
+                ctor = Some(values[0].clone());
+                return false;
             }
         }
         true
@@ -1422,10 +1426,7 @@ fn fresh_source(file: &mut File, target: &Target, botch: u8) -> Result<(), Strin
 fn blanket_mutex(file: &mut File, target: &Target, botch: u8) -> Result<(), String> {
     ensure_import(file, "sync");
     let var = target_var(target)?.to_owned();
-    let fname = target
-        .func()
-        .unwrap_or_else(|| "")
-        .to_owned();
+    let fname = target.func().unwrap_or("").to_owned();
     file.decls.insert(
         0,
         Decl::Var(VarDecl {
@@ -1477,11 +1478,12 @@ fn rewrite_go_closures(body: &mut Block, tf: &mut impl FnMut(&mut Block)) {
     fn walk(stmts: &mut [Stmt], tf: &mut impl FnMut(&mut Block)) {
         for s in stmts {
             match s {
-                Stmt::Go { call, .. } => {
-                    if let Expr::Call { fun, .. } = call {
-                        if let Expr::FuncLit { body, .. } = fun.as_mut() {
-                            tf(body);
-                        }
+                Stmt::Go {
+                    call: Expr::Call { fun, .. },
+                    ..
+                } => {
+                    if let Expr::FuncLit { body, .. } = fun.as_mut() {
+                        tf(body);
                     }
                 }
                 Stmt::Expr(Expr::Call { fun, args, .. }) => {

@@ -5,7 +5,11 @@
 //! and retrieves the nearest example by cosine similarity (§3.1, §3.4).
 //! This store keeps vectors in a flat arena and brute-force scans on
 //! query — exact top-k, deterministic ties (lowest insertion id wins),
-//! JSON persistence.
+//! JSON persistence. Queries use partial top-k selection
+//! (`select_nth_unstable` then a sort of the k survivors), so per-query
+//! cost is O(n + k log k) instead of the full O(n log n) sort; the
+//! full-sort reference survives as [`VectorStore::query_exhaustive`] and
+//! a property test pins the two hit-for-hit identical.
 //!
 //! # Example
 //!
@@ -111,21 +115,46 @@ impl<M> VectorStore<M> {
     /// Returns the `k` nearest entries by cosine similarity, best first.
     /// Ties break toward the earliest-inserted entry, so queries are
     /// fully deterministic.
+    ///
+    /// Uses partial selection: only the k best entries are ever sorted,
+    /// so the cost is O(n + k log k) rather than O(n log n). The
+    /// ordering is identical to [`VectorStore::query_exhaustive`] —
+    /// `(score desc, insertion id asc)` is a total order, so the
+    /// selected prefix and its sort are unique.
     pub fn query(&self, vector: &[f32], k: usize) -> Vec<Hit<'_, M>> {
-        let mut scored: Vec<(usize, f32)> = self
-            .vectors
+        if k == 0 || self.items.is_empty() {
+            return Vec::new();
+        }
+        let mut scored = self.score_all(vector);
+        if k < scored.len() {
+            scored.select_nth_unstable_by(k - 1, rank);
+            scored.truncate(k);
+        }
+        scored.sort_unstable_by(rank);
+        self.to_hits(scored)
+    }
+
+    /// The full-sort reference implementation of [`VectorStore::query`],
+    /// kept for differential testing (and for callers that prefer the
+    /// simplest possible code path).
+    pub fn query_exhaustive(&self, vector: &[f32], k: usize) -> Vec<Hit<'_, M>> {
+        let mut scored = self.score_all(vector);
+        scored.sort_by(rank);
+        scored.truncate(k);
+        self.to_hits(scored)
+    }
+
+    fn score_all(&self, vector: &[f32]) -> Vec<(usize, f32)> {
+        self.vectors
             .iter()
             .enumerate()
             .map(|(i, v)| (i, cosine(vector, v)))
-            .collect();
-        scored.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
-        });
+            .collect()
+    }
+
+    fn to_hits(&self, scored: Vec<(usize, f32)>) -> Vec<Hit<'_, M>> {
         scored
             .into_iter()
-            .take(k)
             .map(|(i, score)| Hit {
                 id: i,
                 score,
@@ -165,6 +194,16 @@ impl<M: DeserializeOwned> VectorStore<M> {
     pub fn from_json(json: &str) -> serde_json::Result<Self> {
         serde_json::from_str(json)
     }
+}
+
+/// The query ranking: score descending, then insertion id ascending.
+/// Cosine scores are never NaN (zero norms map to 0.0), and the id
+/// tiebreak makes this a total order — required for `select_nth` and
+/// sort to agree exactly.
+fn rank(a: &(usize, f32), b: &(usize, f32)) -> std::cmp::Ordering {
+    b.1.partial_cmp(&a.1)
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then(a.0.cmp(&b.0))
 }
 
 fn cosine(a: &[f32], b: &[f32]) -> f32 {

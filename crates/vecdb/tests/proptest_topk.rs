@@ -1,0 +1,70 @@
+//! Differential property tests: the partial top-k `query` must be
+//! hit-for-hit identical to the full-sort `query_exhaustive` reference —
+//! same ids, same scores, same order — including tied scores (duplicated
+//! vectors) and zero-norm vectors (which all score 0.0 and tie).
+
+use proptest::prelude::*;
+use vecdb::VectorStore;
+
+/// Builds a store whose entries deliberately include exact duplicates
+/// (score ties) and all-zero vectors (zero-norm ties at 0.0).
+fn build_store(vecs: &[Vec<f32>], dup_every: usize, zero_every: usize) -> VectorStore<usize> {
+    let dim = vecs.first().map(|v| v.len()).unwrap_or(3);
+    let mut store = VectorStore::new(dim);
+    let mut id = 0usize;
+    for (i, v) in vecs.iter().enumerate() {
+        let v = if zero_every > 0 && i % zero_every == 0 {
+            vec![0.0; dim]
+        } else {
+            v.clone()
+        };
+        store.insert(v.clone(), id).unwrap();
+        id += 1;
+        if dup_every > 0 && i % dup_every == 0 {
+            store.insert(v, id).unwrap();
+            id += 1;
+        }
+    }
+    store
+}
+
+proptest! {
+    #[test]
+    fn partial_topk_is_identical_to_full_sort(
+        vecs in proptest::collection::vec(
+            proptest::collection::vec(-4.0f32..4.0, 3), 1..40),
+        q in proptest::collection::vec(-4.0f32..4.0, 3),
+        k in 0usize..45,
+        dup_every in 0usize..4,
+        zero_every in 0usize..5,
+    ) {
+        let store = build_store(&vecs, dup_every, zero_every);
+        let fast = store.query(&q, k);
+        let slow = store.query_exhaustive(&q, k);
+        prop_assert_eq!(fast.len(), slow.len());
+        for (f, s) in fast.iter().zip(slow.iter()) {
+            prop_assert_eq!(f.id, s.id, "ids diverged at k={}", k);
+            // Same entry, same arithmetic: scores must be bitwise equal.
+            prop_assert_eq!(f.score.to_bits(), s.score.to_bits());
+            prop_assert_eq!(*f.item, *s.item);
+        }
+    }
+
+    #[test]
+    fn zero_norm_queries_tie_everywhere_and_still_agree(
+        vecs in proptest::collection::vec(
+            proptest::collection::vec(-4.0f32..4.0, 3), 1..25),
+        k in 1usize..30,
+    ) {
+        // A zero query scores every entry 0.0: the whole store is one
+        // giant tie, so this pins the tie-break path specifically.
+        let store = build_store(&vecs, 2, 3);
+        let fast = store.query(&[0.0, 0.0, 0.0], k);
+        let slow = store.query_exhaustive(&[0.0, 0.0, 0.0], k);
+        let fast_ids: Vec<usize> = fast.iter().map(|h| h.id).collect();
+        let slow_ids: Vec<usize> = slow.iter().map(|h| h.id).collect();
+        prop_assert_eq!(&fast_ids, &slow_ids);
+        // Ties break toward insertion order: ids must be ascending.
+        prop_assert!(fast_ids.windows(2).all(|w| w[0] < w[1]));
+    }
+}

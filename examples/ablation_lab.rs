@@ -2,15 +2,19 @@
 //! slice and inspect per-case outcomes — a command-line version of the
 //! paper's RQ2 experiments.
 //!
+//! Cases are sharded across the fleet executor (`DRFIX_THREADS`
+//! workers; outcomes are bit-identical to a serial run).
+//!
 //! ```bash
 //! cargo run --release --example ablation_lab -- no-rag
 //! cargo run --release --example ablation_lab -- skeleton
 //! cargo run --release --example ablation_lab -- raw
-//! DRFIX_CASES=80 cargo run --release --example ablation_lab -- skeleton
+//! DRFIX_CASES=80 DRFIX_THREADS=4 cargo run --release --example ablation_lab -- skeleton
 //! ```
 
 use corpus::{generate_eval_corpus, generate_example_db, CorpusConfig};
-use drfix::{DrFix, ExampleDb, PipelineConfig, RagMode};
+use drfix::fleet::{self, FleetConfig};
+use drfix::{ExampleDb, PipelineConfig, RagMode};
 use std::collections::BTreeMap;
 
 fn main() {
@@ -34,22 +38,20 @@ fn main() {
         db_pairs: 150,
         seed: 0xD0F1,
     };
+    let fleet_cfg = FleetConfig::from_env();
     let cases = generate_eval_corpus(&cfg);
-    let db = ExampleDb::build(&generate_example_db(&cfg));
-    let pipeline = DrFix::new(
-        PipelineConfig {
-            rag,
-            validation_runs: 10,
-            ..PipelineConfig::default()
-        },
-        Some(&db),
-    );
+    let db = ExampleDb::build_with(&generate_example_db(&cfg), &fleet_cfg);
+    let pipeline_cfg = PipelineConfig {
+        rag,
+        validation_runs: 10,
+        ..PipelineConfig::default()
+    };
 
+    let run = fleet::run_cases(&pipeline_cfg, &fleet_cfg, &cases, Some(&db));
     let mut fixed = 0usize;
     let mut by_strategy: BTreeMap<String, usize> = BTreeMap::new();
     let mut calls = 0u32;
-    for case in &cases {
-        let o = pipeline.fix_case(&case.files, &case.test);
+    for o in &run.results {
         calls += o.llm_calls;
         if o.fixed {
             fixed += 1;
@@ -60,6 +62,7 @@ fn main() {
     }
     println!("mode={mode}  fixed {fixed}/{n} ({:.1}%)", 100.0 * fixed as f64 / n as f64);
     println!("total LLM calls: {calls} (avg {:.1}/case)", calls as f64 / n as f64);
+    println!("fleet: {}", run.stats.summary());
     println!("\nwinning strategies:");
     for (s, k) in by_strategy {
         println!("  {s:28} {k}");

@@ -2,13 +2,18 @@
 //! of incoming race reports triaged through the pipeline, with category
 //! breakdowns, developer-review outcomes, and time-saved accounting.
 //!
+//! The batch is sharded across the fleet executor (`DRFIX_THREADS`
+//! workers; outcomes are bit-identical to a serial run), the way the
+//! production service consumed its race-ticket queue.
+//!
 //! ```bash
 //! cargo run --example fleet_triage            # 30 races
-//! DRFIX_CASES=100 cargo run --example fleet_triage
+//! DRFIX_CASES=100 DRFIX_THREADS=4 cargo run --example fleet_triage
 //! ```
 
 use corpus::{generate_eval_corpus, generate_example_db, CorpusConfig};
-use drfix::{review_fix, DrFix, ExampleDb, PipelineConfig, RagMode};
+use drfix::fleet::{self, FleetConfig};
+use drfix::{review_fix, ExampleDb, PipelineConfig, RagMode};
 use std::collections::BTreeMap;
 
 fn main() {
@@ -21,17 +26,15 @@ fn main() {
         db_pairs: 96,
         seed: 0xF1EE7,
     };
+    let fleet_cfg = FleetConfig::from_env();
     let cases = generate_eval_corpus(&cfg);
-    let db = ExampleDb::build(&generate_example_db(&cfg));
+    let db = ExampleDb::build_with(&generate_example_db(&cfg), &fleet_cfg);
 
-    let pipeline = DrFix::new(
-        PipelineConfig {
-            rag: RagMode::Skeleton,
-            validation_runs: 10,
-            ..PipelineConfig::default()
-        },
-        Some(&db),
-    );
+    let pipeline_cfg = PipelineConfig {
+        rag: RagMode::Skeleton,
+        validation_runs: 10,
+        ..PipelineConfig::default()
+    };
 
     let mut by_category: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
     let mut accepted = 0usize;
@@ -39,9 +42,13 @@ fn main() {
     let mut drfix_days = 0.0;
     let mut manual_days = 0.0;
 
-    println!("triaging {n} incoming race tickets…\n");
-    for case in &cases {
-        let outcome = pipeline.fix_case(&case.files, &case.test);
+    println!(
+        "triaging {n} incoming race tickets across {} worker thread{}…\n",
+        fleet_cfg.threads,
+        if fleet_cfg.threads == 1 { "" } else { "s" }
+    );
+    let run = fleet::run_cases(&pipeline_cfg, &fleet_cfg, &cases, Some(&db));
+    for (case, outcome) in cases.iter().zip(run.results) {
         let slot = by_category.entry(case.category.display()).or_default();
         slot.1 += 1;
         if outcome.fixed {
@@ -74,6 +81,7 @@ fn main() {
     }
 
     println!("\n=== triage summary =========================================");
+    println!("fleet: {}", run.stats.summary());
     println!(
         "fixed {fixed}/{} ({:.0}%), accepted in review {accepted}/{fixed}",
         cases.len(),

@@ -4,8 +4,8 @@
 
 default: verify
 
-# Full tier-1 gate: release build, tests, bench compilation, docs.
-verify: build test bench-compile doc
+# Full tier-1 gate: release build, tests, bench compilation, lints, docs.
+verify: build test bench-compile clippy doc
     @echo "verify: all gates green"
 
 build:
@@ -20,9 +20,16 @@ bench-compile:
 doc:
     RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
 # Fast experiment smoke: headline ablation at reduced scale.
 bench-smoke:
     DRFIX_CASES=24 DRFIX_VALIDATION_RUNS=4 cargo bench -q -p bench --bench fig3_rag_ablation
+
+# Parallel-path smoke: calibrate across a 4-worker fleet at small scale.
+calibrate-smoke:
+    DRFIX_CASES=12 DRFIX_THREADS=4 DRFIX_VALIDATION_RUNS=4 cargo run --release -q -p bench --bin calibrate
 
 # Run every table/figure reproduction at reduced scale.
 bench-all:

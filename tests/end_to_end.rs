@@ -178,6 +178,6 @@ fn fix_durations_fall_in_the_papers_envelope() {
     let min = durations.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = durations.iter().cloned().fold(0.0, f64::max);
     // Paper §5.2: min 6, max 29 minutes.
-    assert!(min >= 4.0 && min <= 12.0, "min {min}");
+    assert!((4.0..=12.0).contains(&min), "min {min}");
     assert!(max <= 45.0, "max {max}");
 }

@@ -167,8 +167,8 @@ macro_rules! impl_signed {
                     // saturate out-of-range floats to i64::MAX silently.
                     Content::F64(v)
                         if v.fract() == 0.0
-                            && v >= -9_223_372_036_854_775_808.0
-                            && v < 9_223_372_036_854_775_808.0 =>
+                            && (-9_223_372_036_854_775_808.0..9_223_372_036_854_775_808.0)
+                                .contains(&v) =>
                     {
                         v as i64
                     }
@@ -199,8 +199,7 @@ macro_rules! impl_unsigned {
                     // Bounds check before the cast, as in the signed macro.
                     Content::F64(v)
                         if v.fract() == 0.0
-                            && v >= 0.0
-                            && v < 18_446_744_073_709_551_616.0 =>
+                            && (0.0..18_446_744_073_709_551_616.0).contains(&v) =>
                     {
                         v as u64
                     }
