@@ -4,7 +4,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test bench-compile doc clippy bench-smoke calibrate-smoke clean
+.PHONY: verify build test bench-compile doc clippy bench-smoke calibrate-smoke exposure-smoke clean
 
 ## Full tier-1 gate: release build, tests, bench compilation, lints, docs.
 verify: build test bench-compile clippy doc
@@ -32,6 +32,13 @@ bench-smoke:
 ## Parallel-path smoke: calibrate across a 4-worker fleet at small scale.
 calibrate-smoke:
 	DRFIX_CASES=12 DRFIX_THREADS=4 DRFIX_VALIDATION_RUNS=4 $(CARGO) run --release -q -p bench --bin calibrate
+
+## Exposure smoke: schedules_to_expose at small scale — the bench
+## asserts its exposure contract (PCT exposes every case within budget,
+## never behind random; early exits stay clean), so regressions exit
+## non-zero here.
+exposure-smoke:
+	DRFIX_STE_CASES=14 DRFIX_STE_MAX_SCHED=64 DRFIX_STE_VALIDATION_RUNS=64 $(CARGO) bench -q -p bench --bench schedules_to_expose
 
 clean:
 	$(CARGO) clean

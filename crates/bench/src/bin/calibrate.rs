@@ -8,7 +8,7 @@
 
 use bench::{base_config, pct, run_arm, run_arm_with, Scale};
 use drfix::fleet::FleetConfig;
-use drfix::{LocationKind, RagMode};
+use drfix::{LocationKind, RagMode, SchedulePolicy};
 use synthllm::{ModelTier, Scope};
 
 fn main() {
@@ -17,11 +17,12 @@ fn main() {
     let cases = bench::eval_corpus(&scale);
     let db = bench::example_db(&scale);
     println!(
-        "corpus: {} cases ({} fixable), db: {} pairs, {} validation runs, fleet: {} thread{}",
+        "corpus: {} cases ({} fixable), db: {} pairs, {} validation runs, policy: {}, fleet: {} thread{}",
         cases.len(),
         cases.iter().filter(|c| c.fixable).count(),
         scale.db_pairs,
         scale.validation_runs,
+        scale.policy.label(),
         fleet.threads,
         if fleet.threads == 1 { "" } else { "s" },
     );
@@ -102,6 +103,26 @@ fn main() {
         let arm = run_arm(label, cfg, cases, Some(db));
         println!(
             "{label:24} measured {:>6}  (paper {paper})  [{}]",
+            pct(arm.rate()),
+            arm.throughput()
+        );
+    }
+
+    // Scheduler policies: the skeleton arm under each exploration
+    // strategy for detection and validation. Fix rates must stay in the
+    // same band — the policies trade schedules-to-exposure (see the
+    // `schedules_to_expose` bench), not correctness.
+    for (label, policy) in [
+        ("sched: random", SchedulePolicy::Random),
+        ("sched: pct", SchedulePolicy::pct()),
+        ("sched: sweep", SchedulePolicy::Sweep),
+    ] {
+        let mut cfg = base_config(&scale, ModelTier::Gpt4o, RagMode::Skeleton);
+        cfg.detect_policy = policy.clone();
+        cfg.validate_policy = policy;
+        let arm = run_arm(label, cfg, cases, Some(db));
+        println!(
+            "{label:24} measured {:>6}  (paper 66%)  [{}]",
             pct(arm.rate()),
             arm.throughput()
         );

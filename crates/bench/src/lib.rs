@@ -12,6 +12,10 @@
 //! - `DRFIX_THREADS` — fleet worker threads (default: available
 //!   parallelism). Outcomes are bit-identical at any thread count; only
 //!   wall-clock changes.
+//! - `DRFIX_POLICY` — schedule-exploration policy for both the
+//!   reproduce and validate steps: `random` (default), `pct`,
+//!   `pct:<depth>`, `pct:<depth>:<budget>`, or `sweep` (see
+//!   [`govm::sched`]).
 //!
 //! Every arm runs through [`drfix::fleet`]: cases are sharded across a
 //! work-queue of threads, each with a seed derived from
@@ -20,7 +24,7 @@
 
 use corpus::{CorpusConfig, RaceCase};
 use drfix::fleet::{self, FleetConfig, FleetStats};
-use drfix::{ExampleDb, FixOutcome, PipelineConfig, RagMode};
+use drfix::{ExampleDb, FixOutcome, PipelineConfig, RagMode, SchedulePolicy};
 use std::sync::OnceLock;
 use synthllm::ModelTier;
 
@@ -33,6 +37,9 @@ pub struct Scale {
     pub db_pairs: usize,
     /// Schedules per validation campaign.
     pub validation_runs: u32,
+    /// Schedule-exploration policy for reproduce and validate
+    /// (`DRFIX_POLICY`).
+    pub policy: SchedulePolicy,
 }
 
 impl Scale {
@@ -48,6 +55,7 @@ impl Scale {
             cases: get("DRFIX_CASES", 120),
             db_pairs: get("DRFIX_DB_PAIRS", 272),
             validation_runs: get("DRFIX_VALIDATION_RUNS", 12) as u32,
+            policy: SchedulePolicy::from_env(),
         }
     }
 }
@@ -80,7 +88,8 @@ pub fn example_db(scale: &Scale) -> &'static ExampleDb {
     })
 }
 
-/// A standard pipeline config for one ablation arm.
+/// A standard pipeline config for one ablation arm. The `DRFIX_POLICY`
+/// schedule-exploration policy applies to both reproduce and validate.
 pub fn base_config(scale: &Scale, tier: ModelTier, rag: RagMode) -> PipelineConfig {
     PipelineConfig {
         tier,
@@ -88,6 +97,8 @@ pub fn base_config(scale: &Scale, tier: ModelTier, rag: RagMode) -> PipelineConf
         validation_runs: scale.validation_runs,
         detect_runs: 32,
         seed: 0xFEED,
+        detect_policy: scale.policy.clone(),
+        validate_policy: scale.policy.clone(),
         ..PipelineConfig::default()
     }
 }
@@ -220,7 +231,9 @@ mod tests {
             cases: 10,
             db_pairs: 20,
             validation_runs: 4,
+            policy: SchedulePolicy::Random,
         };
         assert_eq!(s.cases, 10);
+        assert_eq!(s.policy.label(), "random");
     }
 }

@@ -30,21 +30,21 @@ use std::time::Instant;
 
 /// SplitMix64: the standard 64-bit finalizing mixer (Steele et al.),
 /// used to derive statistically independent per-case seeds from one
-/// base seed.
-pub fn splitmix64(x: u64) -> u64 {
-    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+/// base seed. Re-exported from [`govm::sched`], which uses the same
+/// mixer for per-run campaign seeds ([`govm::sched::SeedStream::Split`])
+/// — one derivation shared by fleet sharding and schedule exploration.
+pub use govm::sched::splitmix64;
 
 /// Derives the seed for case `index` from the arm's base seed.
 ///
 /// The derivation depends only on `(base, index)` — never on thread
 /// count or completion order — which is what makes parallel runs
-/// bit-identical to serial ones.
+/// bit-identical to serial ones. It is intentionally the same
+/// `splitmix64(base ⊕ splitmix64(index))` stream that
+/// [`govm::sched::SeedStream::Split`] uses per run, so case-level and
+/// run-level seed spaces stay uncorrelated by construction.
 pub fn derive_case_seed(base: u64, index: u64) -> u64 {
-    splitmix64(base ^ splitmix64(index))
+    govm::sched::SeedStream::Split.derive(base, index)
 }
 
 /// Derives the seed for one validation campaign from the pipeline seed,

@@ -72,7 +72,8 @@ pub mod validate;
 
 pub use database::{ExampleDb, RagMode};
 pub use fleet::{FleetConfig, FleetRun, FleetStats};
+pub use govm::{SchedulePolicy, SeedStream};
 pub use pipeline::{DrFix, FailureKind, FixOutcome, PipelineConfig};
 pub use raceinfo::{extract, FixLocation, LocationKind, RaceInfo};
 pub use review::{review_fix, survey, ReviewOutcome};
-pub use validate::{validate_patch, Verdict};
+pub use validate::{validate_patch, validate_patch_with, Verdict};

@@ -7,9 +7,9 @@
 
 use crate::database::{ExampleDb, RagMode};
 use crate::raceinfo::{self, FixLocation, LocationKind};
-use crate::validate::{validate_patch, Verdict};
+use crate::validate::{validate_patch_with, Verdict};
 use golite::ast::Decl;
-use govm::{compile_sources, CompileOptions, TestConfig};
+use govm::{compile_sources, CompileOptions, SchedulePolicy, TestConfig};
 use serde::{Deserialize, Serialize};
 use synthllm::{Feedback, FixRequest, ModelTier, Scope, SynthLlm};
 
@@ -36,6 +36,19 @@ pub struct PipelineConfig {
     pub detect_runs: u32,
     /// Deterministic seed.
     pub seed: u64,
+    /// Schedule-exploration policy for the reproduce step. Detection
+    /// profits from an aggressive explorer (e.g. PCT) — a race the
+    /// scheduler never exposes is reported `NotReproduced`.
+    pub detect_policy: SchedulePolicy,
+    /// Schedule-exploration policy for validation campaigns — may differ
+    /// from detection (the paper's 1000-schedule sweep corresponds to a
+    /// broad uniform/sweep exploration).
+    pub validate_policy: SchedulePolicy,
+    /// Campaign-wide instruction budget per validation (off by default).
+    pub validation_step_budget: Option<u64>,
+    /// Validation early-exit after this many consecutive replayed
+    /// schedule signatures (off by default).
+    pub validation_dedup_streak: Option<u32>,
 }
 
 impl Default for PipelineConfig {
@@ -50,6 +63,10 @@ impl Default for PipelineConfig {
             validation_runs: 16,
             detect_runs: 40,
             seed: 0,
+            detect_policy: SchedulePolicy::Random,
+            validate_policy: SchedulePolicy::Random,
+            validation_step_budget: None,
+            validation_dedup_streak: None,
         }
     }
 }
@@ -222,12 +239,20 @@ impl<'db> DrFix<'db> {
                                 &info.bug_hash,
                                 out.validations,
                             );
-                            match validate_patch(
+                            let vcfg = TestConfig {
+                                runs: self.cfg.validation_runs,
+                                seed: validation_seed,
+                                stop_on_race: false,
+                                policy: self.cfg.validate_policy.clone(),
+                                max_total_steps: self.cfg.validation_step_budget,
+                                dedup_streak: self.cfg.validation_dedup_streak,
+                                ..TestConfig::default()
+                            };
+                            match validate_patch_with(
                                 &patched,
                                 test,
                                 &info.bug_hash,
-                                self.cfg.validation_runs,
-                                validation_seed,
+                                &vcfg,
                             ) {
                                 Verdict::Ok => {
                                     out.fixed = true;
@@ -267,6 +292,7 @@ impl<'db> DrFix<'db> {
             runs: self.cfg.detect_runs,
             seed: self.cfg.seed,
             stop_on_race: true,
+            policy: self.cfg.detect_policy.clone(),
             ..TestConfig::default()
         };
         let out = govm::run_test_many(&prog, test, &cfg);

@@ -1,5 +1,11 @@
 //! Fix validation (§4.4.1): build the patched package, run the test
 //! under many schedules, and confirm the reported race is gone.
+//!
+//! The schedule set a campaign explores is controlled by the
+//! [`govm::sched::SchedulePolicy`] carried in the [`TestConfig`]:
+//! [`validate_patch_with`] accepts the full campaign configuration
+//! (policy, per-run seed stream, dedup early-exit, instruction budget),
+//! while [`validate_patch`] keeps the simple runs-plus-seed entry point.
 
 use govm::{compile_sources, CompileOptions, TestConfig};
 
@@ -40,6 +46,24 @@ pub fn validate_patch(
     runs: u32,
     seed: u64,
 ) -> Verdict {
+    let cfg = TestConfig {
+        runs,
+        seed,
+        stop_on_race: false,
+        ..TestConfig::default()
+    };
+    validate_patch_with(files, test, bug_hash, &cfg)
+}
+
+/// [`validate_patch`] with an explicit campaign configuration: the
+/// schedule policy, per-run seed stream, saturation early-exit and
+/// instruction budget all come from `cfg`.
+pub fn validate_patch_with(
+    files: &[(String, String)],
+    test: &str,
+    bug_hash: &str,
+    cfg: &TestConfig,
+) -> Verdict {
     let prog = match compile_sources(files, &CompileOptions::default()) {
         Ok(p) => p,
         Err(e) => return Verdict::Fail(format!("build failed: {e}")),
@@ -47,13 +71,12 @@ pub fn validate_patch(
     if prog.find_func(test).is_none() {
         return Verdict::Fail(format!("build failed: test `{test}` disappeared"));
     }
-    let cfg = TestConfig {
-        runs,
-        seed,
-        stop_on_race: false,
-        ..TestConfig::default()
-    };
-    let out = govm::run_test_many(&prog, test, &cfg);
+    let out = govm::run_test_many(&prog, test, cfg);
+    // A campaign that executed no schedules is vacuously clean — never
+    // let that pass as a validated fix (e.g. `runs: 0` misconfiguration).
+    if out.runs == 0 {
+        return Verdict::Fail("validation failed: no schedules executed".into());
+    }
     if out.has_bug(bug_hash) {
         return Verdict::Fail(
             "validation failed: the reported data race is still detected".into(),
@@ -165,5 +188,51 @@ func TestWork(t *testing.T) {
     fn missing_test_reports_build_failure() {
         let v = validate_patch(&[("a.go".into(), "package app\n".into())], "TestGone", "x", 4, 0);
         assert!(v.message().unwrap().contains("build failed"));
+    }
+
+    #[test]
+    fn explicit_campaigns_support_policies_and_early_exit() {
+        use govm::SchedulePolicy;
+        // The PCT policy still catches the racy version…
+        let cfg = TestConfig {
+            runs: 24,
+            seed: 0,
+            policy: SchedulePolicy::pct(),
+            ..TestConfig::default()
+        };
+        let v = validate_patch_with(&[("a.go".into(), RACY.into())], "TestWork", "x", &cfg);
+        assert!(v.message().unwrap().contains("data race"));
+        // …and clean code validates even with dedup early-exit and a
+        // campaign instruction budget switched on.
+        let cfg = TestConfig {
+            runs: 64,
+            seed: 0,
+            policy: SchedulePolicy::Sweep,
+            dedup_streak: Some(6),
+            max_total_steps: Some(500_000),
+            ..TestConfig::default()
+        };
+        let v = validate_patch_with(&[("a.go".into(), CLEAN.into())], "TestWork", "x", &cfg);
+        assert!(v.is_ok(), "{:?}", v.message());
+    }
+
+    #[test]
+    fn zero_run_campaigns_never_validate() {
+        // `runs: 0` executes nothing — that must not read as "race gone".
+        let cfg = TestConfig {
+            runs: 0,
+            ..TestConfig::default()
+        };
+        let v = validate_patch_with(&[("a.go".into(), RACY.into())], "TestWork", "x", &cfg);
+        assert!(v.message().unwrap().contains("no schedules"), "{v:?}");
+        // A zero instruction budget still runs (at least) one schedule,
+        // so the racy program is caught rather than vacuously passed.
+        let cfg = TestConfig {
+            runs: 24,
+            max_total_steps: Some(0),
+            ..TestConfig::default()
+        };
+        let v = validate_patch_with(&[("a.go".into(), RACY.into())], "TestWork", "x", &cfg);
+        assert!(v.message().unwrap().contains("data race"), "{v:?}");
     }
 }

@@ -248,6 +248,29 @@ pub fn generate_eval_corpus(cfg: &CorpusConfig) -> Vec<RaceCase> {
     cases
 }
 
+/// Builds the ordering-sensitive exposure corpus: `eval_cases` races
+/// distributed round-robin over the fixable Table 3 categories, each
+/// planted so it only manifests when the scheduler starves the worker
+/// goroutine past a computation window (see
+/// [`templates::ordering_sensitive_case`]).
+///
+/// This is the schedule hard tail the Table 3 templates lack — their
+/// races carry no happens-before edge, so any schedule exposes them —
+/// and it is what the `schedules_to_expose` bench and the corpus-wide
+/// exposure test suite measure policies against.
+pub fn generate_exposure_corpus(cfg: &CorpusConfig) -> Vec<RaceCase> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xE590);
+    let cats = RaceCategory::all();
+    let mut cases = Vec::with_capacity(cfg.eval_cases);
+    for idx in 0..cfg.eval_cases {
+        let cat = cats[idx % cats.len()];
+        let mut case = templates::ordering_sensitive_case(&mut rng, cat, idx);
+        case.id = format!("expose-{idx:04}");
+        cases.push(case);
+    }
+    cases
+}
+
 /// Builds the curated example database (Table 3's VectorDB column:
 /// capture-by-reference 37.5%, missing-sync 14.7%, parallel-test 11.8%,
 /// loop-var 2.6%, map 5.2%, slice 2.6%, others 25.7%).
@@ -389,6 +412,41 @@ mod tests {
         assert_eq!(diff_lines("a\nb\nc", "a\nb\nc"), 0);
         assert_eq!(diff_lines("a\nb", "a\nc"), 2);
         assert!(diff_lines("x", "x\ny\nz") >= 2);
+    }
+
+    #[test]
+    fn exposure_corpus_parses_covers_categories_and_is_deterministic() {
+        let cfg = CorpusConfig {
+            eval_cases: 14,
+            db_pairs: 0,
+            seed: 5,
+        };
+        let a = generate_exposure_corpus(&cfg);
+        assert_eq!(a.len(), 14);
+        for c in &a {
+            assert!(c.fixable, "{}", c.id);
+            for (name, src) in &c.files {
+                golite::parse_file(src)
+                    .unwrap_or_else(|e| panic!("{} {name}: {e}\n{src}", c.id));
+            }
+            let fix = c.human_fix.as_ref().unwrap_or_else(|| panic!("{} lacks fix", c.id));
+            for (name, src) in fix {
+                golite::parse_file(src)
+                    .unwrap_or_else(|e| panic!("{} {name} fix: {e}\n{src}", c.id));
+            }
+            // The racy rendition gates the race behind a non-blocking
+            // select; the fix replaces it with a blocking receive.
+            assert!(c.files[0].1.contains("select"), "{}", c.id);
+            assert!(!fix[0].1.contains("select"), "{}", c.id);
+        }
+        for cat in RaceCategory::all() {
+            assert!(a.iter().any(|c| c.category == *cat), "missing {cat:?}");
+        }
+        let b = generate_exposure_corpus(&cfg);
+        assert_eq!(
+            a.iter().map(|c| &c.files).collect::<Vec<_>>(),
+            b.iter().map(|c| &c.files).collect::<Vec<_>>()
+        );
     }
 
     #[test]

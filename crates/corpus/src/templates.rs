@@ -1200,6 +1200,152 @@ func {test}(t *testing.T) {{
 }
 
 // ===================================================================
+// Ordering-sensitive (schedule hard-tail) templates
+// ===================================================================
+
+/// Generates one *ordering-sensitive* fixable case of `cat`.
+///
+/// Unlike the Table 3 templates — whose races carry no happens-before
+/// edge at all, so any schedule exposes them — these races only
+/// manifest in schedules where the worker goroutine is starved past a
+/// computation window: the test body does `window` instructions of
+/// local work and then takes a non-blocking `select`; only when the
+/// worker has *not* yet signalled does the default branch touch the
+/// shared state concurrently. Uniform-random scheduling rarely starves
+/// the short worker that long, which makes these the schedule hard
+/// tail that PCT-style priority exploration is built for.
+pub fn ordering_sensitive_case(rng: &mut StdRng, cat: RaceCategory, idx: usize) -> RaceCase {
+    let mut case = ordering_sensitive_inner(rng, cat, idx);
+    let noise = business_noise(rng);
+    for (_, src) in &mut case.files {
+        src.push_str(&noise);
+    }
+    if let Some(fix) = &mut case.human_fix {
+        for (_, src) in fix {
+            src.push_str(&noise);
+        }
+    }
+    case
+}
+
+fn ordering_sensitive_inner(rng: &mut StdRng, cat: RaceCategory, idx: usize) -> RaceCase {
+    let mut n = NameGen::new(rng);
+    let func = n.func();
+    let test = n.test();
+    let ready = n.var();
+    let acc = n.var();
+    let iv = n.var();
+    // The starvation window, in loop iterations (~10 instructions each).
+    // Short windows let uniform-random scheduling win occasionally (it
+    // must starve the worker for only a few quanta); long windows push
+    // its expected schedules-to-expose into the hundreds while priority
+    // exploration stays flat.
+    let window = n.small(1, 8);
+
+    // Per-category flavour: declaration, worker-side op, synchronized
+    // op (after the happens-before receive), racy default op, and the
+    // return expression.
+    let (racy_var, decl, child_op, sync_op, racy_op, ret) = match cat {
+        RaceCategory::CaptureByReference => {
+            let v = n.var();
+            (
+                v.clone(),
+                format!("\t{v} := 0\n"),
+                format!("\t\t{v} = {v} + 2\n"),
+                format!("\t\t{v} = {v} + {acc}\n"),
+                format!("\t\t{v} = {acc}\n"),
+                v.clone(),
+            )
+        }
+        RaceCategory::ConcurrentMap => {
+            let v = n.var();
+            (
+                v.clone(),
+                format!("\t{v} := make(map[int]int)\n"),
+                format!("\t\t{v}[1] = 2\n"),
+                format!("\t\t{v}[2] = {acc}\n"),
+                format!("\t\t{v}[3] = {acc}\n"),
+                format!("len({v})"),
+            )
+        }
+        RaceCategory::ConcurrentSlice => {
+            let v = n.var();
+            (
+                v.clone(),
+                format!("\t{v} := []int{{}}\n"),
+                format!("\t\t{v} = append({v}, 1)\n"),
+                format!("\t\t{v} = append({v}, {acc})\n"),
+                format!("\t\t{v} = append({v}, {acc})\n"),
+                format!("len({v})"),
+            )
+        }
+        _ => {
+            // MissingSync, ParallelTest, LoopVarCapture and Other share
+            // the plain-counter shape; LoopVarCapture additionally
+            // spawns the worker from a loop (see below).
+            let v = n.var();
+            (
+                v.clone(),
+                format!("\t{v} := 0\n"),
+                format!("\t\t{v} = {v} + 7\n"),
+                format!("\t\t{v} = {v} + {acc}\n"),
+                format!("\t\t{v} = {v} + 1\n"),
+                v.clone(),
+            )
+        }
+    };
+
+    // LoopVarCapture keeps the spawn-in-loop shape (single iteration, so
+    // the loop variable itself stays race-free — the windowed race below
+    // is the one under test).
+    let spawn = if cat == RaceCategory::LoopVarCapture {
+        let w = n.var();
+        format!(
+            "\tfor {w} := 0; {w} < 1; {w}++ {{\n\t\tgo func() {{\n\t{child_op}\t\t\t{ready} <- true\n\t\t}}()\n\t}}\n"
+        )
+    } else {
+        format!("\tgo func() {{\n{child_op}\t\t{ready} <- true\n\t}}()\n")
+    };
+
+    let make = |racy: bool| {
+        let tail = if racy {
+            format!(
+                "\tselect {{\n\tcase <-{ready}:\n{sync_op}\tdefault:\n{racy_op}\t}}\n"
+            )
+        } else {
+            // Human fix: block on the worker's signal — the receive is
+            // the missing happens-before edge.
+            format!("\t<-{ready}\n{sync_op}")
+        };
+        format!(
+            r#"package app
+
+import "testing"
+
+// racy: {racy_var}
+func {func}() int {{
+{decl}	{ready} := make(chan bool, 1)
+{spawn}	{acc} := 0
+	for {iv} := 0; {iv} < {window}; {iv}++ {{
+		{acc} = {acc} + {iv}
+	}}
+{tail}	return {ret}
+}}
+
+func {test}(t *testing.T) {{
+	if {func}() < 0 {{
+		t.Errorf("impossible result")
+	}}
+}}
+"#
+        )
+    };
+    let file = ("window.go".to_owned(), make(true));
+    let fix = vec![("window.go".to_owned(), make(false))];
+    case(idx, cat, vec![file], test, Some(fix))
+}
+
+// ===================================================================
 // Hard (Table 5) templates
 // ===================================================================
 

@@ -27,12 +27,14 @@ pub mod bytecode;
 pub mod compile;
 pub mod natives;
 mod ops;
+pub mod sched;
 pub mod testrun;
 pub mod value;
 pub mod vm;
 
 pub use bytecode::{Op, Program, TypeHint};
 pub use compile::{compile_package, compile_sources, CompileOptions};
-pub use testrun::{run_test, run_test_many, TestConfig, TestOutcome};
+pub use sched::{Decision, SchedulePolicy, Scheduler, SeedStream};
+pub use testrun::{run_test, run_test_many, run_test_with, TestConfig, TestOutcome};
 pub use value::Value;
 pub use vm::{RunError, RunResult, Vm, VmOptions};

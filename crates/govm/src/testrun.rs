@@ -3,26 +3,51 @@
 //! Dr.Fix's validator (§4.4.1) builds the patched package and runs each
 //! test many times, checking that the targeted race (identified by its
 //! stable bug hash) no longer appears. [`run_test_many`] is that loop:
-//! one compiled program, N seeded schedules.
+//! one compiled program, N seeded schedules — explored by the campaign's
+//! [`SchedulePolicy`], deduplicated by schedule signature, and bounded
+//! by an optional campaign-wide instruction budget.
 
 use crate::compile::{compile_sources, CompileOptions};
+use crate::sched::{SchedulePolicy, SeedStream};
 use crate::value::Value;
 use crate::vm::{RunError, RunResult, Vm, VmOptions};
 use crate::Program;
 use racedet::RaceReport;
 
 /// Configuration for a test campaign.
+///
+/// **Default-behaviour note:** per-run seeds default to
+/// [`SeedStream::Split`] — a deliberate fix for the legacy `seed + i`
+/// stream, under which campaigns with nearby base seeds re-explored
+/// almost all of each other's schedules. Campaigns that must replay
+/// historical (pre-`govm::sched`) results bit-for-bit should use
+/// [`TestConfig::legacy`], which restores [`SeedStream::Sequential`]
+/// and is pinned by golden tests.
 #[derive(Debug, Clone)]
 pub struct TestConfig {
     /// Number of seeded schedules to run.
     pub runs: u32,
-    /// Base seed; run `i` uses `seed + i`.
+    /// Base seed; run `i` uses `seed_stream.derive(seed, i)`.
     pub seed: u64,
-    /// Per-run VM options (seed is overridden per run).
+    /// Per-run VM options (seed is overridden per run; the campaign
+    /// [`policy`](TestConfig::policy) overrides `vm.policy`).
     pub vm: VmOptions,
     /// Stop after the first run that exposes a race (detection mode) —
     /// validation mode runs all schedules.
     pub stop_on_race: bool,
+    /// Schedule-exploration policy for every run of the campaign.
+    pub policy: SchedulePolicy,
+    /// Per-run seed derivation. [`SeedStream::Split`] (the default)
+    /// makes nearby base seeds explore disjoint schedule sets;
+    /// [`SeedStream::Sequential`] replays the legacy `seed + i` stream.
+    pub seed_stream: SeedStream,
+    /// Campaign-wide instruction budget: once the summed steps of the
+    /// completed runs reach it, the campaign stops early.
+    pub max_total_steps: Option<u64>,
+    /// Early exit on schedule saturation: stop after this many
+    /// *consecutive* runs whose schedule signature was already explored
+    /// (a replayed interleaving cannot surface anything new).
+    pub dedup_streak: Option<u32>,
 }
 
 impl Default for TestConfig {
@@ -32,6 +57,26 @@ impl Default for TestConfig {
             seed: 0,
             vm: VmOptions::default(),
             stop_on_race: false,
+            policy: SchedulePolicy::Random,
+            seed_stream: SeedStream::Split,
+            max_total_steps: None,
+            dedup_streak: None,
+        }
+    }
+}
+
+impl TestConfig {
+    /// The pre-refactor campaign semantics: uniform-random policy,
+    /// `seed + i` per-run seeds, no dedup and no step budget. A campaign
+    /// built from this replays historical results bit-for-bit.
+    pub fn legacy(runs: u32, seed: u64, stop_on_race: bool) -> Self {
+        TestConfig {
+            runs,
+            seed,
+            stop_on_race,
+            policy: SchedulePolicy::Random,
+            seed_stream: SeedStream::Sequential,
+            ..TestConfig::default()
         }
     }
 }
@@ -49,6 +94,10 @@ pub struct TestOutcome {
     pub runs: u32,
     /// Total instructions executed.
     pub steps: u64,
+    /// Distinct schedule signatures among the executed runs.
+    pub distinct_schedules: u32,
+    /// Runs whose schedule signature had already been explored.
+    pub duplicate_schedules: u32,
 }
 
 impl TestOutcome {
@@ -63,33 +112,67 @@ impl TestOutcome {
     }
 }
 
-/// Runs `test` once under one seed.
+/// Runs `test` once under one seed with the default (uniform-random)
+/// policy.
 pub fn run_test(prog: &Program, test: &str, seed: u64) -> RunResult {
-    let opts = VmOptions {
-        seed,
-        ..VmOptions::default()
-    };
+    run_test_with(
+        prog,
+        test,
+        VmOptions {
+            seed,
+            ..VmOptions::default()
+        },
+    )
+}
+
+/// Runs `test` once under explicit VM options (seed and policy).
+pub fn run_test_with(prog: &Program, test: &str, opts: VmOptions) -> RunResult {
     let mut vm = Vm::new(prog, opts);
     let t = make_t(&mut vm, test);
     vm.run(test, vec![t])
 }
 
 /// Runs `test` under `cfg.runs` seeded schedules, aggregating results.
+///
+/// Each run's schedule signature is tracked: a campaign can stop early
+/// once `cfg.dedup_streak` consecutive runs replay already-explored
+/// interleavings, or once `cfg.max_total_steps` instructions have been
+/// spent — both default to off.
 pub fn run_test_many(prog: &Program, test: &str, cfg: &TestConfig) -> TestOutcome {
     let mut races: Vec<RaceReport> = Vec::new();
     let mut seen = std::collections::HashSet::new();
+    let mut sigs = std::collections::HashSet::new();
     let mut error = None;
     let mut failures: Vec<String> = Vec::new();
     let mut steps = 0;
     let mut executed = 0;
+    let mut distinct = 0u32;
+    let mut duplicates = 0u32;
+    let mut dup_streak = 0u32;
     for i in 0..cfg.runs {
+        // The budget never cancels the first run: a campaign that
+        // executes zero schedules would report vacuously clean, which a
+        // validator would misread as "race gone".
+        if let Some(budget) = cfg.max_total_steps {
+            if executed > 0 && steps >= budget {
+                break;
+            }
+        }
         let mut vmo = cfg.vm.clone();
-        vmo.seed = cfg.seed + i as u64;
+        vmo.seed = cfg.seed_stream.derive(cfg.seed, i as u64);
+        vmo.policy = cfg.policy.clone();
         let mut vm = Vm::new(prog, vmo);
         let t = make_t(&mut vm, test);
         let r = vm.run(test, vec![t]);
         executed += 1;
         steps += r.steps;
+        if sigs.insert(r.schedule_sig) {
+            distinct += 1;
+            dup_streak = 0;
+        } else {
+            duplicates += 1;
+            dup_streak += 1;
+        }
         for race in r.races {
             if seen.insert(race.bug_hash()) {
                 races.push(race);
@@ -106,6 +189,11 @@ pub fn run_test_many(prog: &Program, test: &str, cfg: &TestConfig) -> TestOutcom
         if cfg.stop_on_race && !races.is_empty() {
             break;
         }
+        if let Some(k) = cfg.dedup_streak {
+            if k > 0 && dup_streak >= k {
+                break;
+            }
+        }
     }
     TestOutcome {
         races,
@@ -113,6 +201,8 @@ pub fn run_test_many(prog: &Program, test: &str, cfg: &TestConfig) -> TestOutcom
         test_failures: failures,
         runs: executed,
         steps,
+        distinct_schedules: distinct,
+        duplicate_schedules: duplicates,
     }
 }
 

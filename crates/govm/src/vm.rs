@@ -8,10 +8,11 @@
 
 use crate::bytecode::{Program, TypeHint};
 use crate::natives;
+use crate::sched::{self, SchedulePolicy, Scheduler};
 use crate::value::*;
 use racedet::{Detector, Frame as RFrame, GoroutineInfo, RaceReport, VectorClock};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use std::collections::HashMap;
 
 /// VM configuration.
@@ -25,6 +26,8 @@ pub struct VmOptions {
     pub preempt_max: u32,
     /// Extra budget to drain leftover goroutines after the root finishes.
     pub drain_steps: u64,
+    /// Schedule-exploration policy (see [`crate::sched`]).
+    pub policy: SchedulePolicy,
 }
 
 impl Default for VmOptions {
@@ -34,6 +37,7 @@ impl Default for VmOptions {
             max_steps: 2_000_000,
             preempt_max: 24,
             drain_steps: 100_000,
+            policy: SchedulePolicy::Random,
         }
     }
 }
@@ -77,6 +81,12 @@ pub struct RunResult {
     pub output: String,
     /// Recorded test failures (`t.Errorf`, failed asserts).
     pub test_failures: Vec<String>,
+    /// Hash of the preemption-point sequence this run executed: two runs
+    /// of the same program with equal signatures took the same
+    /// interleaving (see [`crate::sched::fold_signature`]).
+    pub schedule_sig: u64,
+    /// Scheduling decisions made during the run.
+    pub sched_points: u64,
 }
 
 impl RunResult {
@@ -196,6 +206,14 @@ pub struct Vm<'p> {
     /// Lazily allocated global rand source.
     pub(crate) global_rand: Option<Value>,
     pub(crate) fatal: Option<RunError>,
+    /// The pluggable scheduling engine (see [`crate::sched`]).
+    sched: Box<dyn Scheduler>,
+    /// Running schedule-signature fold.
+    sched_sig: u64,
+    /// Scheduling decisions made so far.
+    sched_points: u64,
+    /// The goroutine the previous decision ran (for switch detection).
+    last_running: Option<Gid>,
 }
 
 /// Internal control-flow signal from one instruction.
@@ -215,8 +233,21 @@ pub(crate) enum Flow {
 }
 
 impl<'p> Vm<'p> {
-    /// Creates a VM for `prog`.
+    /// Creates a VM for `prog`, with the scheduling engine built from
+    /// `opts.policy`.
     pub fn new(prog: &'p Program, opts: VmOptions) -> Self {
+        let engine = opts.policy.build(opts.seed, opts.preempt_max);
+        Self::with_scheduler(prog, opts, engine)
+    }
+
+    /// Creates a VM driven by a caller-supplied scheduling engine —
+    /// the extension point for exploration strategies beyond the
+    /// built-in [`SchedulePolicy`] variants.
+    pub fn with_scheduler(
+        prog: &'p Program,
+        opts: VmOptions,
+        sched: Box<dyn Scheduler>,
+    ) -> Self {
         let names: Vec<String> = prog.pool.clone();
         let name_map = names
             .iter()
@@ -242,6 +273,10 @@ impl<'p> Vm<'p> {
             never_chan: None,
             global_rand: None,
             fatal: None,
+            sched,
+            sched_sig: sched::SIGNATURE_SEED,
+            sched_points: 0,
+            last_running: None,
         };
         for g in &prog.globals {
             let zero = vm.zero_value(prog.hints[g.hint as usize]);
@@ -554,6 +589,8 @@ impl<'p> Vm<'p> {
             steps: self.steps,
             output: std::mem::take(&mut self.output),
             test_failures: std::mem::take(&mut self.test_failures),
+            schedule_sig: self.sched_sig,
+            sched_points: self.sched_points,
         }
     }
 
@@ -596,9 +633,23 @@ impl<'p> Vm<'p> {
                 }
                 return;
             }
-            let pick = runnable[self.rng.gen_range(0..runnable.len())];
-            let quantum = self.rng.gen_range(1..=self.opts.preempt_max as u64);
-            self.run_goroutine(pick, quantum, budget);
+            let decision = self.sched.pick(&mut self.rng, &runnable, self.steps);
+            debug_assert!(
+                runnable.contains(&decision.gid),
+                "scheduler picked a non-runnable goroutine"
+            );
+            // The signature records *context switches* only: re-picking
+            // the goroutine that is already running — whatever the
+            // quantum boundaries — leaves the interleaving unchanged, so
+            // folding those decisions would make semantically identical
+            // schedules hash differently and defeat campaign dedup.
+            if self.last_running != Some(decision.gid) {
+                self.sched_sig =
+                    sched::fold_signature(self.sched_sig, decision.gid, self.steps);
+                self.last_running = Some(decision.gid);
+            }
+            self.sched_points += 1;
+            self.run_goroutine(decision.gid, decision.quantum.max(1), budget);
         }
     }
 

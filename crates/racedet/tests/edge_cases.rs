@@ -1,0 +1,212 @@
+//! FastTrack edge cases the inline unit suite leaves uncovered:
+//! fork/join vector-clock transitivity, the epoch → read-shared
+//! promotion machinery, and bug-hash stability across permutations of
+//! the same race.
+
+use racedet::{Access, AccessKind, Detector, Frame, GoroutineInfo, RaceReport};
+
+const A: u64 = 100;
+const B: u64 = 200;
+const V: u32 = 1;
+
+fn stack(id: u32) -> Vec<u32> {
+    vec![id]
+}
+
+// ------------------------------------------------ fork/join transitivity
+
+/// Join edges compose transitively: a grandchild's writes become visible
+/// to the grandparent through a chain of joins.
+#[test]
+fn join_chain_is_transitive() {
+    let mut d = Detector::new();
+    let child = d.fork(0);
+    let grandchild = d.fork(child);
+    d.write(grandchild, A, V, &stack(1));
+    d.join_thread(child, grandchild); // grandchild ⊑ child
+    d.join_thread(0, child); // child ⊑ root
+    d.write(0, A, V, &stack(2));
+    assert!(d.races().is_empty(), "{:?}", d.races());
+}
+
+/// Joining one child does not order a sibling's accesses.
+#[test]
+fn join_does_not_cover_siblings() {
+    let mut d = Detector::new();
+    let t1 = d.fork(0);
+    let t2 = d.fork(0);
+    d.write(t1, A, V, &stack(1));
+    d.write(t2, B, V, &stack(2));
+    d.join_thread(0, t1);
+    d.write(0, A, V, &stack(3)); // ordered after t1's write: fine
+    d.write(0, B, V, &stack(4)); // NOT ordered after t2's write: race
+    assert_eq!(d.races().len(), 1);
+    assert_eq!(d.races()[0].addr, B);
+}
+
+/// A fork after a join sees everything the joined child did: the
+/// fork-snapshot must include joined clocks, not just the parent's own
+/// increments.
+#[test]
+fn fork_after_join_inherits_joined_clock() {
+    let mut d = Detector::new();
+    let t1 = d.fork(0);
+    d.write(t1, A, V, &stack(1));
+    d.join_thread(0, t1);
+    let t2 = d.fork(0); // forked after the join
+    d.write(t2, A, V, &stack(2));
+    assert!(d.races().is_empty(), "{:?}", d.races());
+}
+
+/// The fork tick isolates the parent's *post-fork* accesses from the
+/// child: the child must not appear ordered with writes the parent does
+/// after spawning it.
+#[test]
+fn parent_post_fork_writes_race_with_child() {
+    let mut d = Detector::new();
+    let t1 = d.fork(0);
+    d.write(0, A, V, &stack(1)); // after the fork
+    d.write(t1, A, V, &stack(2));
+    assert_eq!(d.races().len(), 1);
+}
+
+// ---------------------------------------------- read-shared promotion
+
+/// Ordered same-variable reads by different threads do NOT promote to
+/// read-shared: the epoch just advances (FastTrack's exclusive-read fast
+/// path). Observable through the event counter staying on the fast path
+/// and a subsequent ordered write staying race-free.
+#[test]
+fn ordered_reads_keep_exclusive_epoch() {
+    let mut d = Detector::new();
+    d.read(0, A, V, &stack(1));
+    let t1 = d.fork(0); // t1 ⊒ root's read
+    d.read(t1, A, V, &stack(2)); // ordered: replaces the epoch
+    d.write(t1, A, V, &stack(3)); // same thread: no race
+    assert!(d.races().is_empty(), "{:?}", d.races());
+}
+
+/// Unordered reads promote the variable to read-shared, and a later
+/// write unordered with only *some* readers races with exactly those.
+#[test]
+fn shared_promotion_tracks_each_reader_separately() {
+    let mut d = Detector::new();
+    let t1 = d.fork(0);
+    let t2 = d.fork(0);
+    d.read(t1, A, V, &stack(1));
+    d.read(t2, A, V, &stack(2)); // unordered with t1's read: promotes
+    d.join_thread(0, t1); // root now ⊒ t1's read, but not t2's
+    d.write(0, A, V, &stack(3));
+    assert_eq!(d.races().len(), 1, "{:?}", d.races());
+    assert_eq!(d.races()[0].prev.tid, t2, "must race with the unjoined reader only");
+    assert_eq!(d.races()[0].prev.kind, AccessKind::Read);
+}
+
+/// A write collapses read-shared state (FastTrack's WriteShared rule):
+/// after the write, a new exclusive-read epoch begins and old reader
+/// epochs no longer produce duplicate races.
+#[test]
+fn write_collapses_shared_read_state() {
+    let mut d = Detector::new();
+    let t1 = d.fork(0);
+    let t2 = d.fork(0);
+    d.read(t1, A, V, &stack(1));
+    d.read(t2, A, V, &stack(2));
+    d.write(0, A, V, &stack(3)); // races with both readers
+    assert_eq!(d.races().len(), 2);
+    // A later read ordered after the write sees the collapsed state:
+    // same thread, no new race.
+    d.read(0, A, V, &stack(4));
+    assert_eq!(d.races().len(), 2);
+}
+
+/// Re-reading in the same epoch takes the same-epoch fast path even in
+/// shared mode (no duplicate bookkeeping, no spurious races).
+#[test]
+fn shared_mode_rereads_are_idempotent() {
+    let mut d = Detector::new();
+    let t1 = d.fork(0);
+    let t2 = d.fork(0);
+    d.read(t1, A, V, &stack(1));
+    d.read(t2, A, V, &stack(2));
+    d.read(t1, A, V, &stack(1)); // same epoch, shared state
+    d.read(t2, A, V, &stack(2));
+    assert!(d.races().is_empty());
+    d.write(0, A, V, &stack(3));
+    // Still exactly one race per reader, not per read event.
+    assert_eq!(d.races().len(), 2);
+}
+
+// ------------------------------------------------- bug-hash stability
+
+fn access(kind: AccessKind, tid: usize, frames: &[(&str, &str, u32)]) -> Access {
+    Access {
+        kind,
+        stack: frames
+            .iter()
+            .map(|(f, file, line)| Frame::new(*f, *file, *line))
+            .collect(),
+        goroutine: GoroutineInfo {
+            id: tid,
+            creation: Vec::new(),
+        },
+    }
+}
+
+/// The same race detected under two schedule permutations — the write
+/// observed first in one run and second in the other, at shifted line
+/// numbers, with different goroutine ids — hashes identically.
+#[test]
+fn bug_hash_survives_schedule_permutations() {
+    let writer = [("app.Work.func1", "counter.go", 12)];
+    let reader = [("app.total", "counter.go", 20), ("app.TestWork", "counter.go", 31)];
+    // Run 1: the read triggers detection (read seen second).
+    let r1 = RaceReport {
+        accesses: [
+            access(AccessKind::Read, 2, &reader),
+            access(AccessKind::Write, 1, &writer),
+        ],
+        var_name: "tally".into(),
+        addr: 77,
+    };
+    // Run 2 (another schedule): the write triggers detection, the
+    // goroutine got a different id, and the fix moved lines around.
+    let shifted_writer = [("app.Work.func1", "counter.go", 14)];
+    let shifted_reader = [("app.total", "counter.go", 25), ("app.TestWork", "counter.go", 40)];
+    let r2 = RaceReport {
+        accesses: [
+            access(AccessKind::Write, 5, &shifted_writer),
+            access(AccessKind::Read, 3, &shifted_reader),
+        ],
+        var_name: "tally".into(),
+        addr: 4242, // allocation order differs across schedules
+    };
+    assert_eq!(r1.bug_hash(), r2.bug_hash());
+}
+
+/// Hash stability has limits that matter for targeting: a different racy
+/// variable or a different function in either stack is a different bug.
+#[test]
+fn bug_hash_distinguishes_distinct_races() {
+    let base = RaceReport {
+        accesses: [
+            access(AccessKind::Write, 1, &[("app.f", "a.go", 1)]),
+            access(AccessKind::Write, 2, &[("app.g", "a.go", 2)]),
+        ],
+        var_name: "x".into(),
+        addr: 1,
+    };
+    let other_var = RaceReport {
+        var_name: "y".into(),
+        ..base.clone()
+    };
+    let other_func = RaceReport {
+        accesses: [
+            access(AccessKind::Write, 1, &[("app.f", "a.go", 1)]),
+            access(AccessKind::Write, 2, &[("app.h", "a.go", 2)]),
+        ],
+        ..base.clone()
+    };
+    assert_ne!(base.bug_hash(), other_var.bug_hash());
+    assert_ne!(base.bug_hash(), other_func.bug_hash());
+}

@@ -6,7 +6,7 @@
 //! cargo run --example race_detective
 //! ```
 
-use govm::{compile_sources, CompileOptions, Vm, VmOptions};
+use govm::{compile_sources, CompileOptions, SchedulePolicy, Vm, VmOptions};
 use skeleton::{skeletonize, SkeletonOptions};
 
 const PROGRAM: &str = r#"package demo
@@ -89,4 +89,36 @@ fn main() {
     let sibling = sk.text.replace("func1", "func9");
     let sim = embed::cosine(&embed::embed(&sk.text), &embed::embed(&sibling));
     println!("cosine to a same-shape sibling skeleton: {sim:.3}");
+
+    // Schedule policies: the same sweep under each exploration strategy.
+    // Every run also carries a schedule signature — a hash of its
+    // context-switch sequence — so campaigns can spot replayed
+    // interleavings (see `govm::sched`).
+    println!("\npolicy comparison (24 seeds each):");
+    for policy in [
+        SchedulePolicy::Random,
+        SchedulePolicy::pct(),
+        SchedulePolicy::Sweep,
+    ] {
+        let mut races = 0usize;
+        let mut sigs = std::collections::HashSet::new();
+        for seed in 0..24 {
+            let mut vm = Vm::new(
+                &prog,
+                VmOptions {
+                    seed,
+                    policy: policy.clone(),
+                    ..VmOptions::default()
+                },
+            );
+            let result = vm.run("Main", vec![]);
+            races += result.races.len();
+            sigs.insert(result.schedule_sig);
+        }
+        println!(
+            "  {:<16} {races:>2} race observations, {} distinct interleavings",
+            policy.label(),
+            sigs.len()
+        );
+    }
 }

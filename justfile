@@ -31,6 +31,10 @@ bench-smoke:
 calibrate-smoke:
     DRFIX_CASES=12 DRFIX_THREADS=4 DRFIX_VALIDATION_RUNS=4 cargo run --release -q -p bench --bin calibrate
 
+# Exposure smoke: schedules_to_expose at small scale.
+exposure-smoke:
+    DRFIX_STE_CASES=14 DRFIX_STE_MAX_SCHED=64 DRFIX_STE_VALIDATION_RUNS=64 cargo bench -q -p bench --bench schedules_to_expose
+
 # Run every table/figure reproduction at reduced scale.
 bench-all:
     DRFIX_CASES=60 DRFIX_VALIDATION_RUNS=8 cargo bench -p bench
