@@ -4,10 +4,10 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test bench-compile doc clippy bench-smoke calibrate-smoke exposure-smoke clean
+.PHONY: verify build test bench-compile doc clippy fmt fmt-check bench-smoke calibrate-smoke exposure-smoke perf-smoke perf-baseline clean
 
 ## Full tier-1 gate: release build, tests, bench compilation, lints, docs.
-verify: build test bench-compile clippy doc
+verify: build test bench-compile clippy fmt-check doc
 	@echo "verify: all gates green"
 
 build:
@@ -25,6 +25,14 @@ doc:
 clippy:
 	$(CARGO) clippy --workspace --all-targets -- -D warnings
 
+## Formats the whole workspace in place.
+fmt:
+	$(CARGO) fmt --all
+
+## The CI `fmt` job: fails on any unformatted file.
+fmt-check:
+	$(CARGO) fmt --all -- --check
+
 ## Fast experiment smoke: headline ablation at reduced scale.
 bench-smoke:
 	DRFIX_CASES=24 DRFIX_VALIDATION_RUNS=4 $(CARGO) bench -q -p bench --bench fig3_rag_ablation
@@ -39,6 +47,18 @@ calibrate-smoke:
 ## non-zero here.
 exposure-smoke:
 	DRFIX_STE_CASES=14 DRFIX_STE_MAX_SCHED=64 DRFIX_STE_VALIDATION_RUNS=64 $(CARGO) bench -q -p bench --bench schedules_to_expose
+
+## The CI `perf-gate` job: replay the deterministic hot-path counter
+## scan and fail if any counter regresses >10% against the checked-in
+## BENCH_hotpath.json baseline (wall-clock is reported, never gated).
+## The fresh report lands in target/perfscan/ for artifact upload.
+perf-smoke:
+	$(CARGO) run --release -q -p bench --bin perfscan -- --check --out target/perfscan/BENCH_hotpath.json
+
+## Regenerates the checked-in perf baseline (run + commit only when a
+## counter drift is intentional).
+perf-baseline:
+	$(CARGO) run --release -q -p bench --bin perfscan
 
 clean:
 	$(CARGO) clean

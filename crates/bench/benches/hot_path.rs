@@ -1,0 +1,151 @@
+//! `hot_path` — interpreter + detector hot-path microbenchmarks.
+//!
+//! Complements `perfscan` (the deterministic counter scan behind the CI
+//! perf gate) with three focused measurements:
+//!
+//! 1. **Campaign throughput** per exposure-corpus category — the same
+//!    workload as `perfscan` at reduced scale, reporting
+//!    instructions/sec and the same-epoch fast-path hit rate.
+//! 2. **VM construction** — `Vm::new` (re-interning the string pool
+//!    every run) vs `Vm::with_context` (the shared [`govm::ProgContext`]
+//!    campaigns use). Construction used to be 26–47% of a short
+//!    campaign run.
+//! 3. **Detector event cost** — same-epoch repeats (fast path) vs
+//!    epoch-advancing accesses (slow path, stack snapshot + full
+//!    transfer function), in events/sec.
+//!
+//! The bench asserts its contract — fast path dominating the spin-heavy
+//! categories, shared-context construction strictly cheaper, counters
+//! replaying deterministically — so `make perf-smoke`-adjacent CI runs
+//! fail loudly instead of silently reporting nonsense.
+//!
+//! Knobs: `DRFIX_PERF_CASES`, `DRFIX_PERF_RUNS`, `DRFIX_PERF_REPEAT`
+//! (shared with `perfscan`).
+
+use bench::hotpath::{self, HotpathScale};
+use govm::{compile_sources, CompileOptions, ProgContext, Vm, VmOptions};
+use racedet::Detector;
+use std::hint::black_box;
+use std::rc::Rc;
+use std::time::Instant;
+
+fn main() {
+    let scale = HotpathScale {
+        cases: 14,
+        runs: 8,
+        repeat: 3,
+    };
+
+    bench::header(
+        "hot_path — VM + FastTrack hot-path microbenchmarks",
+        "HardRace (per-access overhead budgets); FastTrack (PLDI 2009) same-epoch fast path",
+    );
+
+    // 1. Campaign throughput at reduced scale.
+    let report = hotpath::run_scan(&scale);
+    println!("\n{}", hotpath::render_table(&report));
+    assert!(
+        report.exposure.counters.fast_hit_rate() > 0.4,
+        "fast path must dominate the exposure corpus: {:?}",
+        report.exposure.counters
+    );
+
+    // 2. VM construction: fresh interning vs shared context.
+    let (name, src, test) = hotpath::sync_heavy_cases()
+        .into_iter()
+        .next()
+        .expect("sync-heavy case");
+    let prog = compile_sources(
+        &[(format!("{name}.go"), src.to_owned())],
+        &CompileOptions::default(),
+    )
+    .expect("sync-heavy case compiles");
+    let n = 4000u64;
+    let t0 = Instant::now();
+    for i in 0..n {
+        let vm = Vm::new(
+            &prog,
+            VmOptions {
+                seed: i,
+                ..VmOptions::default()
+            },
+        );
+        black_box(&vm);
+    }
+    let fresh_ns = t0.elapsed().as_secs_f64() * 1e9 / n as f64;
+    let ctx = Rc::new(ProgContext::new(&prog));
+    let t0 = Instant::now();
+    for i in 0..n {
+        let vm = Vm::with_context(
+            &prog,
+            VmOptions {
+                seed: i,
+                ..VmOptions::default()
+            },
+            ctx.clone(),
+        );
+        black_box(&vm);
+    }
+    let shared_ns = t0.elapsed().as_secs_f64() * 1e9 / n as f64;
+    println!(
+        "vm construction ({test}, pool {} names): fresh {:.0}ns vs shared-context {:.0}ns ({:.1}x)",
+        prog.pool.len(),
+        fresh_ns,
+        shared_ns,
+        fresh_ns / shared_ns.max(1e-9),
+    );
+    assert!(
+        shared_ns < fresh_ns,
+        "shared-context construction must be cheaper: {shared_ns:.0}ns vs {fresh_ns:.0}ns"
+    );
+
+    // 3. Detector event cost, fast vs slow path.
+    let events = 200_000u64;
+    let mut det = Detector::new();
+    let stack: Vec<u32> = vec![1, 2, 3];
+    det.write(0, 1, 0, &stack);
+    det.read(0, 1, 0, &stack); // prime the read epoch
+    let hits_before = det.stats().read_fast_hits;
+    let t0 = Instant::now();
+    for _ in 0..events {
+        if !det.read_fast(0, 1) {
+            det.read_slow(0, 1, 0, &stack);
+        }
+    }
+    let fast_ns = t0.elapsed().as_secs_f64() * 1e9 / events as f64;
+    let fast_hits = det.stats().read_fast_hits - hits_before;
+    assert_eq!(fast_hits, events, "same-epoch repeats must all hit");
+
+    let mut det = Detector::new();
+    let sync_id = 7;
+    let t0 = Instant::now();
+    for _ in 0..events {
+        // Epoch advances every iteration: every access takes the slow
+        // path with a (host-side) stack to copy, like a lock-per-write
+        // program.
+        det.acquire(0, sync_id);
+        if !det.write_fast(0, 1) {
+            det.write_slow(0, 1, 0, &stack);
+        }
+        det.release(0, sync_id);
+    }
+    let slow_ns = t0.elapsed().as_secs_f64() * 1e9 / events as f64;
+    assert_eq!(det.stats().write_fast_hits, 0, "epoch advances must miss");
+    println!(
+        "detector event: same-epoch fast path {fast_ns:.1}ns vs lock-stride slow path \
+         {slow_ns:.1}ns per event ({:.1}x)",
+        slow_ns / fast_ns.max(1e-9),
+    );
+    println!(
+        "slow-path clock buffers: {} allocs, {} avoided by reuse",
+        det.stats().clock_allocs,
+        det.stats().clock_allocs_avoided,
+    );
+    assert!(
+        det.stats().clock_allocs_avoided > det.stats().clock_allocs,
+        "steady-state lock handoffs must reuse buffers: {:?}",
+        det.stats()
+    );
+
+    println!("\nhot_path contract checks passed");
+}

@@ -124,5 +124,11 @@ fn bench_vm(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_frontend, bench_pipeline_parts, bench_vm, bench_fleet);
+criterion_group!(
+    benches,
+    bench_frontend,
+    bench_pipeline_parts,
+    bench_vm,
+    bench_fleet
+);
 criterion_main!(benches);

@@ -56,7 +56,10 @@ struct Exposure {
 /// Runs one case under `policy` until the planted race surfaces.
 fn expose(case: &RaceCase, policy: &SchedulePolicy, max_sched: u32, seed: u64) -> Exposure {
     let Ok(prog) = compile_sources(&case.files, &CompileOptions::default()) else {
-        return Exposure { schedules: None, steps: 0 };
+        return Exposure {
+            schedules: None,
+            steps: 0,
+        };
     };
     let cfg = TestConfig {
         runs: max_sched,
@@ -67,7 +70,11 @@ fn expose(case: &RaceCase, policy: &SchedulePolicy, max_sched: u32, seed: u64) -
     };
     let out = run_test_many(&prog, &case.test, &cfg);
     Exposure {
-        schedules: if out.races.is_empty() { None } else { Some(out.runs) },
+        schedules: if out.races.is_empty() {
+            None
+        } else {
+            Some(out.runs)
+        },
         steps: out.steps,
     }
 }
@@ -132,8 +139,7 @@ fn main() {
     });
 
     // Aggregate per (category, policy).
-    let mut table: Vec<Vec<Vec<&Exposure>>> =
-        vec![vec![Vec::new(); policies.len()]; by_cat.len()];
+    let mut table: Vec<Vec<Vec<&Exposure>>> = vec![vec![Vec::new(); policies.len()]; by_cat.len()];
     for (ci, plabel, exp) in &run.results {
         let pi = policies.iter().position(|p| p.label() == *plabel).unwrap();
         table[*ci][pi].push(exp);
@@ -158,7 +164,11 @@ fn main() {
             let exposed = exps.iter().filter(|e| e.schedules.is_some()).count();
             total_steps[pi] += exps.iter().map(|e| e.steps).sum::<u64>();
             let med = median(&all);
-            let marker = if censored && med >= u64::from(max_sched) { ">" } else { "" };
+            let marker = if censored && med >= u64::from(max_sched) {
+                ">"
+            } else {
+                ""
+            };
             cells.push(format!("{marker}{med} ({exposed}/{})", cases.len()));
             medians.push(med);
         }
@@ -188,7 +198,10 @@ fn main() {
     // expose every case within the budget and its per-category median
     // must never fall behind uniform-random.
     for (ci, (cat, cases)) in by_cat.iter().enumerate() {
-        let pct_exposed = table[ci][1].iter().filter(|e| e.schedules.is_some()).count();
+        let pct_exposed = table[ci][1]
+            .iter()
+            .filter(|e| e.schedules.is_some())
+            .count();
         assert_eq!(
             pct_exposed,
             cases.len(),
@@ -279,7 +292,11 @@ fn main() {
         // Regression gate: early exits must save work, never correctness
         // — every ground-truth fix validates clean under every arm, and
         // no arm spends more instructions than the unbounded baseline.
-        assert_eq!(clean, fixes.len(), "{label}: a human fix stopped validating clean");
+        assert_eq!(
+            clean,
+            fixes.len(),
+            "{label}: a human fix stopped validating clean"
+        );
         assert!(
             steps <= baseline_steps,
             "{label}: dedup/early-exit arm spent more instructions than baseline"

@@ -10,15 +10,46 @@ fn main() {
         "§4, Table 2",
     );
     let rows = [
-        ("Data store D", "ChromaDB", "vecdb::VectorStore (exact cosine top-k, JSON persistence)"),
-        ("Skeletonization S", "AST-based program slicing", "skeleton::skeletonize (concurrency constructs + racy vars)"),
-        ("Embedding E", "all-MiniLM-L6-v2 (384-d)", "embed::embed (384-d feature hashing, L2-normalised)"),
-        ("Similarity φ", "cosine similarity", "embed::cosine / vecdb query"),
-        ("Model M", "GPT-4 Turbo / 4o / o1-preview", "synthllm::SynthLlm (diagnosers + real AST rewrites + tier model)"),
-        ("Extra params H", "past context and failure info", "synthllm::Feedback threaded by drfix::pipeline"),
-        ("Validator V", "package tests x1000", "drfix::validate_patch (N seeded schedules + bug hash)"),
+        (
+            "Data store D",
+            "ChromaDB",
+            "vecdb::VectorStore (exact cosine top-k, JSON persistence)",
+        ),
+        (
+            "Skeletonization S",
+            "AST-based program slicing",
+            "skeleton::skeletonize (concurrency constructs + racy vars)",
+        ),
+        (
+            "Embedding E",
+            "all-MiniLM-L6-v2 (384-d)",
+            "embed::embed (384-d feature hashing, L2-normalised)",
+        ),
+        (
+            "Similarity φ",
+            "cosine similarity",
+            "embed::cosine / vecdb query",
+        ),
+        (
+            "Model M",
+            "GPT-4 Turbo / 4o / o1-preview",
+            "synthllm::SynthLlm (diagnosers + real AST rewrites + tier model)",
+        ),
+        (
+            "Extra params H",
+            "past context and failure info",
+            "synthllm::Feedback threaded by drfix::pipeline",
+        ),
+        (
+            "Validator V",
+            "package tests x1000",
+            "drfix::validate_patch (N seeded schedules + bug hash)",
+        ),
     ];
-    println!("{:<20} {:<32} This reproduction", "Component", "Paper choice");
+    println!(
+        "{:<20} {:<32} This reproduction",
+        "Component", "Paper choice"
+    );
     for (c, p, r) in rows {
         println!("{c:<20} {p:<32} {r}");
     }

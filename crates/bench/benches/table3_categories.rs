@@ -60,5 +60,8 @@ fn main() {
             paper_db[i],
         );
     }
-    println!("\ntotal fixes: {total_fixed}/{} — capture-by-reference dominates, as deployed", cases.len());
+    println!(
+        "\ntotal fixes: {total_fixed}/{} — capture-by-reference dominates, as deployed",
+        cases.len()
+    );
 }

@@ -45,7 +45,10 @@ fn main() {
         }
     }
     println!("races fixed only with RAG: {n}\n");
-    println!("{:<34} {:>6}", "repair idiom unlocked by the example", "count");
+    println!(
+        "{:<34} {:>6}",
+        "repair idiom unlocked by the example", "count"
+    );
     for (s, k) in &pivotal {
         println!("{s:<34} {k:>6}");
     }

@@ -27,10 +27,7 @@ fn main() {
     for (case, o) in cases.iter().zip(&arm.outcomes) {
         if !o.fixed {
             unfixed_total += 1;
-            let label = case
-                .hard
-                .map(|h| h.display())
-                .unwrap_or("Others");
+            let label = case.hard.map(|h| h.display()).unwrap_or("Others");
             *unfixed_by_cat.entry(label).or_default() += 1;
         }
     }
@@ -51,6 +48,9 @@ fn main() {
         .filter(|(k, _)| !HardCategory::all().iter().any(|h| h.display() == **k))
         .map(|(_, v)| v)
         .sum::<usize>();
-    println!("{:<40} {:>4} (capability misses on fixable races)", "(plain fixable, model missed)", residual);
+    println!(
+        "{:<40} {:>4} (capability misses on fixable races)",
+        "(plain fixable, model missed)", residual
+    );
     println!("\ntotal unfixed: {unfixed_total}/{}", cases.len());
 }

@@ -23,7 +23,10 @@ fn main() {
         }
         println!("\n{title}:");
         for (k, v) in m {
-            println!("  {k:45} {v:>2} ({:.0}%)", 100.0 * v as f64 / responses.len() as f64);
+            println!(
+                "  {k:45} {v:>2} ({:.0}%)",
+                100.0 * v as f64 / responses.len() as f64
+            );
         }
     };
     count(|r| r.experience, "Go programming experience");
@@ -31,9 +34,22 @@ fn main() {
     count(|r| r.comfort, "Comfort level in fixing data races");
     count(|r| r.time_saved, "Estimated time saved by using Dr.Fix");
 
-    let (q, qs) = mean_std(&responses.iter().map(|r| r.quality as f64).collect::<Vec<_>>());
-    let (c, cs) = mean_std(&responses.iter().map(|r| r.complexity as f64).collect::<Vec<_>>());
+    let (q, qs) = mean_std(
+        &responses
+            .iter()
+            .map(|r| r.quality as f64)
+            .collect::<Vec<_>>(),
+    );
+    let (c, cs) = mean_std(
+        &responses
+            .iter()
+            .map(|r| r.complexity as f64)
+            .collect::<Vec<_>>(),
+    );
     println!("\nQuality of fixes (1-5):      {q:.2} ± {qs:.2}   paper: 3.38 ± 1.24");
     println!("Complexity of races (1-5):   {c:.2} ± {cs:.2}   paper: 3.00 ± 0.89");
-    println!("Satisfaction: {:.1}% positive   paper: 67.6%", q / 5.0 * 100.0);
+    println!(
+        "Satisfaction: {:.1}% positive   paper: 67.6%",
+        q / 5.0 * 100.0
+    );
 }

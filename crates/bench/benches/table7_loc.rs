@@ -42,7 +42,10 @@ fn main() {
         .map(|p| diff_lines(&p.buggy, &p.fixed) as f64)
         .collect();
 
-    println!("{:>6} {:>10} {:>10} {:>10}   (paper H/D: 10/9, 15/15, 46/29, 49/41, 97/46, 98/46)", "%tile", "Human(H)", "Dr.Fix(D)", "VectorDB");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10}   (paper H/D: 10/9, 15/15, 46/29, 49/41, 97/46, 98/46)",
+        "%tile", "Human(H)", "Dr.Fix(D)", "VectorDB"
+    );
     for p in [50.0, 75.0, 90.0, 95.0, 99.0, 100.0] {
         println!(
             "{:>5.0}  {:>10.0} {:>10.0} {:>10.0}",

@@ -47,7 +47,12 @@ fn main() {
         ("Func only", vec![Scope::Func], false, "39%"),
         ("File only", vec![Scope::File], false, "33%"),
         ("File + feedback", vec![Scope::File], true, "39%"),
-        ("Func+file + feedback", vec![Scope::Func, Scope::File], true, "66%"),
+        (
+            "Func+file + feedback",
+            vec![Scope::Func, Scope::File],
+            true,
+            "66%",
+        ),
     ] {
         let mut cfg = base_config(&scale, ModelTier::Gpt4o, RagMode::Skeleton);
         cfg.scopes = scopes;
@@ -86,8 +91,14 @@ fn main() {
             if !o.fixed && (case.fixable || case.hard.is_some()) {
                 println!(
                     "UNFIXED {} cat={:?} hard={:?} fixable={} lca={} var={:?} fail={:?} calls={}",
-                    case.id, case.category, case.hard, case.fixable, case.lca_only,
-                    o.racy_var, o.failure, o.llm_calls
+                    case.id,
+                    case.category,
+                    case.hard,
+                    case.fixable,
+                    case.lca_only,
+                    o.racy_var,
+                    o.failure,
+                    o.llm_calls
                 );
             }
         }
@@ -132,7 +143,13 @@ fn main() {
     // configured fleet. Outcomes must be bit-identical; only wall-clock
     // may differ. (On a single-core machine expect ~1.0×.)
     let cfg = base_config(&scale, ModelTier::Gpt4o, RagMode::Skeleton);
-    let serial = run_arm_with("serial", cfg.clone(), &FleetConfig::serial(), cases, Some(db));
+    let serial = run_arm_with(
+        "serial",
+        cfg.clone(),
+        &FleetConfig::serial(),
+        cases,
+        Some(db),
+    );
     let parallel = run_arm_with("fleet", cfg, &fleet, cases, Some(db));
     assert_eq!(
         serial.outcomes, parallel.outcomes,

@@ -16,11 +16,18 @@
 //!   reproduce and validate steps: `random` (default), `pct`,
 //!   `pct:<depth>`, `pct:<depth>:<budget>`, or `sweep` (see
 //!   [`govm::sched`]).
+//! - `DRFIX_DEDUP_STREAK` — validation early-exit after this many
+//!   consecutive replayed schedule signatures (default 8, the value the
+//!   `schedules_to_expose` savings were measured at; `0` disables).
+//!   Wired into every default arm so the tracked numbers reflect the
+//!   recommended campaign configuration.
 //!
 //! Every arm runs through [`drfix::fleet`]: cases are sharded across a
 //! work-queue of threads, each with a seed derived from
 //! `(cfg.seed, case index)`, and per-arm throughput (cases/s, worker
 //! utilization) is reported next to the paper numbers.
+
+pub mod hotpath;
 
 use corpus::{CorpusConfig, RaceCase};
 use drfix::fleet::{self, FleetConfig, FleetStats};
@@ -40,6 +47,9 @@ pub struct Scale {
     /// Schedule-exploration policy for reproduce and validate
     /// (`DRFIX_POLICY`).
     pub policy: SchedulePolicy,
+    /// Validation early-exit on schedule saturation
+    /// (`DRFIX_DEDUP_STREAK`; `None` = off).
+    pub dedup_streak: Option<u32>,
 }
 
 impl Scale {
@@ -56,6 +66,10 @@ impl Scale {
             db_pairs: get("DRFIX_DB_PAIRS", 272),
             validation_runs: get("DRFIX_VALIDATION_RUNS", 12) as u32,
             policy: SchedulePolicy::from_env(),
+            dedup_streak: match get("DRFIX_DEDUP_STREAK", 8) as u32 {
+                0 => None,
+                k => Some(k),
+            },
         }
     }
 }
@@ -89,7 +103,10 @@ pub fn example_db(scale: &Scale) -> &'static ExampleDb {
 }
 
 /// A standard pipeline config for one ablation arm. The `DRFIX_POLICY`
-/// schedule-exploration policy applies to both reproduce and validate.
+/// schedule-exploration policy applies to both reproduce and validate,
+/// and validation campaigns early-exit on schedule saturation after
+/// `DRFIX_DEDUP_STREAK` replayed signatures (the recommended
+/// configuration the tracked numbers are produced under).
 pub fn base_config(scale: &Scale, tier: ModelTier, rag: RagMode) -> PipelineConfig {
     PipelineConfig {
         tier,
@@ -99,6 +116,7 @@ pub fn base_config(scale: &Scale, tier: ModelTier, rag: RagMode) -> PipelineConf
         seed: 0xFEED,
         detect_policy: scale.policy.clone(),
         validate_policy: scale.policy.clone(),
+        validation_dedup_streak: scale.dedup_streak,
         ..PipelineConfig::default()
     }
 }
@@ -138,7 +156,12 @@ impl ArmResult {
 /// Runs one configuration over the corpus, sharded across the fleet
 /// configured by `DRFIX_THREADS` (per-case derived seeds keep the
 /// outcomes bit-identical to a serial run).
-pub fn run_arm(label: &str, cfg: PipelineConfig, cases: &[RaceCase], db: Option<&ExampleDb>) -> ArmResult {
+pub fn run_arm(
+    label: &str,
+    cfg: PipelineConfig,
+    cases: &[RaceCase],
+    db: Option<&ExampleDb>,
+) -> ArmResult {
     run_arm_with(label, cfg, &FleetConfig::from_env(), cases, db)
 }
 
@@ -232,8 +255,10 @@ mod tests {
             db_pairs: 20,
             validation_runs: 4,
             policy: SchedulePolicy::Random,
+            dedup_streak: Some(8),
         };
         assert_eq!(s.cases, 10);
         assert_eq!(s.policy.label(), "random");
+        assert_eq!(s.dedup_streak, Some(8));
     }
 }

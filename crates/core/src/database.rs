@@ -251,7 +251,11 @@ mod tests {
             // templates record it in a `// racy:` comment.
             let var = code
                 .lines()
-                .find_map(|l| l.trim().strip_prefix("// racy:").map(|v| v.trim().to_owned()))
+                .find_map(|l| {
+                    l.trim()
+                        .strip_prefix("// racy:")
+                        .map(|v| v.trim().to_owned())
+                })
                 .unwrap_or_else(|| "x".to_owned());
             total += 1;
             if let Some((_, cat, _)) = db.retrieve(RagMode::Skeleton, code, &var, &[]) {
@@ -280,13 +284,18 @@ mod tests {
     fn none_mode_returns_nothing() {
         let db = small_db();
         assert!(db.retrieve(RagMode::None, "package p", "x", &[]).is_none());
-        assert_eq!(db.cache_stats(), (0, 0), "None mode must not touch the cache");
+        assert_eq!(
+            db.cache_stats(),
+            (0, 0),
+            "None mode must not touch the cache"
+        );
     }
 
     #[test]
     fn repeat_queries_hit_the_embedding_cache() {
         let db = small_db();
-        let code = "package p\n\nfunc f() {\n\tx := 0\n\tgo func() {\n\t\tx = 1\n\t}()\n\t_ = x\n}\n";
+        let code =
+            "package p\n\nfunc f() {\n\tx := 0\n\tgo func() {\n\t\tx = 1\n\t}()\n\t_ = x\n}\n";
         let first = db.retrieve(RagMode::Skeleton, code, "x", &[5]);
         assert_eq!(db.cache_stats(), (0, 1));
         let second = db.retrieve(RagMode::Skeleton, code, "x", &[5]);
@@ -319,6 +328,9 @@ mod tests {
         let b = parallel.retrieve(RagMode::Skeleton, probe, &pairs[17].racy_var, &[]);
         let (ea, ca, sa) = a.unwrap();
         let (eb, cb, sb) = b.unwrap();
-        assert_eq!((ea.buggy, ea.fixed, ca, sa.to_bits()), (eb.buggy, eb.fixed, cb, sb.to_bits()));
+        assert_eq!(
+            (ea.buggy, ea.fixed, ca, sa.to_bits()),
+            (eb.buggy, eb.fixed, cb, sb.to_bits())
+        );
     }
 }

@@ -290,7 +290,10 @@ mod tests {
     fn splitmix_matches_reference_vectors() {
         // Published SplitMix64 test vectors (seed 1234567 stream).
         assert_eq!(splitmix64(1234567), 6457827717110365317);
-        assert_eq!(splitmix64(1234567 + 0x9E37_79B9_7F4A_7C15), 3203168211198807973);
+        assert_eq!(
+            splitmix64(1234567 + 0x9E37_79B9_7F4A_7C15),
+            3203168211198807973
+        );
     }
 
     #[test]
@@ -304,7 +307,11 @@ mod tests {
         let c = derive_validation_seed(1, "beefdead", 1);
         assert_ne!(a, b, "attempts must re-sample schedules");
         assert_ne!(a, c, "different bugs must get different schedules");
-        assert_eq!(a, derive_validation_seed(1, "deadbeef", 1), "derivation is pure");
+        assert_eq!(
+            a,
+            derive_validation_seed(1, "deadbeef", 1),
+            "derivation is pure"
+        );
     }
 
     #[test]

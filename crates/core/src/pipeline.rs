@@ -174,9 +174,7 @@ impl<'db> DrFix<'db> {
                 .collect();
             for loc in locations {
                 for &scope in &self.cfg.scopes {
-                    let Some((code, context_funcs)) =
-                        self.scope_code(files, loc, scope)
-                    else {
+                    let Some((code, context_funcs)) = self.scope_code(files, loc, scope) else {
                         continue;
                     };
                     // The empty example is always attempted first (§4.4);
@@ -214,12 +212,7 @@ impl<'db> DrFix<'db> {
                             let Some(new_code) = resp.code else {
                                 break; // the model declined this arm
                             };
-                            let patched = match self.integrate(
-                                files,
-                                loc,
-                                scope,
-                                &new_code,
-                            ) {
+                            let patched = match self.integrate(files, loc, scope, &new_code) {
                                 Ok(p) => p,
                                 Err(e) => {
                                     feedback.push(Feedback {
@@ -248,12 +241,7 @@ impl<'db> DrFix<'db> {
                                 dedup_streak: self.cfg.validation_dedup_streak,
                                 ..TestConfig::default()
                             };
-                            match validate_patch_with(
-                                &patched,
-                                test,
-                                &info.bug_hash,
-                                &vcfg,
-                            ) {
+                            match validate_patch_with(&patched, test, &info.bug_hash, &vcfg) {
                                 Verdict::Ok => {
                                     out.fixed = true;
                                     out.patch_loc = Some(patch_loc(files, &patched));
@@ -262,8 +250,7 @@ impl<'db> DrFix<'db> {
                                     out.location = Some(*kind);
                                     out.scope = Some(scope);
                                     out.example_used = arm.is_some();
-                                    out.example_category =
-                                        arm.as_ref().map(|(_, c)| *c);
+                                    out.example_category = arm.as_ref().map(|(_, c)| *c);
                                     out.duration_minutes =
                                         duration_minutes(out.llm_calls, out.validations);
                                     return out;

@@ -234,10 +234,7 @@ mod tests {
         let mut r = report();
         r.accesses[0].stack[0] = frame("ghostFn", 1);
         let info = extract(&r, &codebase());
-        assert!(info
-            .locations
-            .iter()
-            .all(|l| l.function != "ghostFn"));
+        assert!(info.locations.iter().all(|l| l.function != "ghostFn"));
     }
 
     #[test]

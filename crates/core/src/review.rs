@@ -129,8 +129,12 @@ pub fn survey(seed: u64) -> Vec<SurveyResponse> {
         ("1 to 2 weeks", 1),
     ]);
     // Quality 3.38 ± 1.24; complexity 3.00 ± 0.89 on n=21.
-    let quality_scores = [5, 5, 5, 4, 4, 4, 4, 4, 3, 3, 3, 3, 3, 3, 2, 2, 2, 2, 5, 1, 4];
-    let complexity_scores = [3, 3, 3, 3, 3, 3, 3, 4, 4, 4, 2, 2, 2, 4, 3, 3, 2, 3, 4, 2, 3];
+    let quality_scores = [
+        5, 5, 5, 4, 4, 4, 4, 4, 3, 3, 3, 3, 3, 3, 2, 2, 2, 2, 5, 1, 4,
+    ];
+    let complexity_scores = [
+        3, 3, 3, 3, 3, 3, 3, 4, 4, 4, 2, 2, 2, 4, 3, 3, 2, 3, 4, 2, 3,
+    ];
 
     (0..21)
         .map(|i| {
@@ -215,8 +219,7 @@ mod tests {
             if review_fix(1, &format!("a{i}"), &outcome(StrategyKind::MutexGuard, 8)).accepted() {
                 idiomatic += 1;
             }
-            if review_fix(1, &format!("a{i}"), &outcome(StrategyKind::BlanketMutex, 8)).accepted()
-            {
+            if review_fix(1, &format!("a{i}"), &outcome(StrategyKind::BlanketMutex, 8)).accepted() {
                 blanket += 1;
             }
         }

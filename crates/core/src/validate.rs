@@ -78,9 +78,7 @@ pub fn validate_patch_with(
         return Verdict::Fail("validation failed: no schedules executed".into());
     }
     if out.has_bug(bug_hash) {
-        return Verdict::Fail(
-            "validation failed: the reported data race is still detected".into(),
-        );
+        return Verdict::Fail("validation failed: the reported data race is still detected".into());
     }
     if let Some(r) = out.races.first() {
         return Verdict::Fail(format!(
@@ -175,7 +173,10 @@ func TestWork(t *testing.T) {
     #[test]
     fn broken_code_reports_build_failure() {
         let v = validate_patch(
-            &[("a.go".into(), "package app\n\nfunc Broken() {\n\tmystery()\n}\n".into())],
+            &[(
+                "a.go".into(),
+                "package app\n\nfunc Broken() {\n\tmystery()\n}\n".into(),
+            )],
             "TestWork",
             "x",
             4,
@@ -186,7 +187,13 @@ func TestWork(t *testing.T) {
 
     #[test]
     fn missing_test_reports_build_failure() {
-        let v = validate_patch(&[("a.go".into(), "package app\n".into())], "TestGone", "x", 4, 0);
+        let v = validate_patch(
+            &[("a.go".into(), "package app\n".into())],
+            "TestGone",
+            "x",
+            4,
+            0,
+        );
         assert!(v.message().unwrap().contains("build failed"));
     }
 

@@ -330,10 +330,7 @@ mod tests {
         assert!((30..40).contains(&hard), "hard cases: {hard}");
         // Every Table 3 category appears.
         for cat in RaceCategory::all() {
-            assert!(
-                cases.iter().any(|c| c.category == *cat),
-                "missing {cat:?}"
-            );
+            assert!(cases.iter().any(|c| c.category == *cat), "missing {cat:?}");
         }
     }
 
@@ -347,8 +344,7 @@ mod tests {
         for c in &cases {
             assert!(!c.files.is_empty(), "{}", c.id);
             for (name, src) in &c.files {
-                golite::parse_file(src)
-                    .unwrap_or_else(|e| panic!("{} {name}: {e}\n{src}", c.id));
+                golite::parse_file(src).unwrap_or_else(|e| panic!("{} {name}: {e}\n{src}", c.id));
             }
             assert!(c.test.starts_with("Test"), "{}", c.id);
         }
@@ -362,7 +358,10 @@ mod tests {
             seed: 3,
         });
         for c in cases.iter().filter(|c| c.fixable) {
-            let fix = c.human_fix.as_ref().unwrap_or_else(|| panic!("{} lacks fix", c.id));
+            let fix = c
+                .human_fix
+                .as_ref()
+                .unwrap_or_else(|| panic!("{} lacks fix", c.id));
             for (name, src) in fix {
                 golite::parse_file(src)
                     .unwrap_or_else(|e| panic!("{} {name} fix: {e}\n{src}", c.id));
@@ -426,10 +425,12 @@ mod tests {
         for c in &a {
             assert!(c.fixable, "{}", c.id);
             for (name, src) in &c.files {
-                golite::parse_file(src)
-                    .unwrap_or_else(|e| panic!("{} {name}: {e}\n{src}", c.id));
+                golite::parse_file(src).unwrap_or_else(|e| panic!("{} {name}: {e}\n{src}", c.id));
             }
-            let fix = c.human_fix.as_ref().unwrap_or_else(|| panic!("{} lacks fix", c.id));
+            let fix = c
+                .human_fix
+                .as_ref()
+                .unwrap_or_else(|| panic!("{} lacks fix", c.id));
             for (name, src) in fix {
                 golite::parse_file(src)
                     .unwrap_or_else(|e| panic!("{} {name} fix: {e}\n{src}", c.id));

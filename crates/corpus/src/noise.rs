@@ -10,21 +10,58 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 const DOMAINS: &[&str] = &[
-    "Order", "Ledger", "Fleet", "Rider", "Invoice", "Shipment", "Catalog", "Session",
-    "Payment", "Voucher", "Driver", "Route", "Quote", "Freight", "Billing", "Dispatch",
-    "Inventory", "Pricing", "Loyalty", "Refund", "Courier", "Receipt", "Matching", "Surge",
+    "Order",
+    "Ledger",
+    "Fleet",
+    "Rider",
+    "Invoice",
+    "Shipment",
+    "Catalog",
+    "Session",
+    "Payment",
+    "Voucher",
+    "Driver",
+    "Route",
+    "Quote",
+    "Freight",
+    "Billing",
+    "Dispatch",
+    "Inventory",
+    "Pricing",
+    "Loyalty",
+    "Refund",
+    "Courier",
+    "Receipt",
+    "Matching",
+    "Surge",
 ];
 
 const ACTIONS: &[&str] = &[
-    "Process", "Reconcile", "Aggregate", "Refresh", "Publish", "Validate", "Enrich",
-    "Hydrate", "Resolve", "Compute", "Snapshot", "Batch", "Merge", "Stage", "Audit",
-    "Backfill", "Rollup", "Throttle", "Index", "Sample",
+    "Process",
+    "Reconcile",
+    "Aggregate",
+    "Refresh",
+    "Publish",
+    "Validate",
+    "Enrich",
+    "Hydrate",
+    "Resolve",
+    "Compute",
+    "Snapshot",
+    "Batch",
+    "Merge",
+    "Stage",
+    "Audit",
+    "Backfill",
+    "Rollup",
+    "Throttle",
+    "Index",
+    "Sample",
 ];
 
 const NOUNS: &[&str] = &[
-    "total", "count", "window", "bucket", "cursor", "token", "score", "budget", "quota",
-    "limit", "offset", "weight", "margin", "delta", "epoch", "shard", "region", "tier",
-    "grade", "streak",
+    "total", "count", "window", "bucket", "cursor", "token", "score", "budget", "quota", "limit",
+    "offset", "weight", "margin", "delta", "epoch", "shard", "region", "tier", "grade", "streak",
 ];
 
 /// A deterministic identifier factory for one generated case.
@@ -69,7 +106,11 @@ impl<'r> NameGen<'r> {
 
     /// A type name like `FreightQuota`.
     pub fn ty(&mut self) -> String {
-        format!("{}{}", pick(self.rng, DOMAINS), capitalize(pick(self.rng, NOUNS)))
+        format!(
+            "{}{}",
+            pick(self.rng, DOMAINS),
+            capitalize(pick(self.rng, NOUNS))
+        )
     }
 
     /// A test name.

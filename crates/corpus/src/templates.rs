@@ -232,7 +232,13 @@ func {test}(t *testing.T) {{
     };
     let file = ("service.go".to_owned(), make(true));
     let fix = vec![("service.go".to_owned(), make(false))];
-    case(idx, RaceCategory::CaptureByReference, vec![file], test, Some(fix))
+    case(
+        idx,
+        RaceCategory::CaptureByReference,
+        vec![file],
+        test,
+        Some(fix),
+    )
 }
 
 /// Listing 5: the `limit` local-copy pattern.
@@ -286,7 +292,13 @@ func {test}(t *testing.T) {{
     };
     let file = ("limits.go".to_owned(), make(true));
     let fix = vec![("limits.go".to_owned(), make(false))];
-    case(idx, RaceCategory::CaptureByReference, vec![file], test, Some(fix))
+    case(
+        idx,
+        RaceCategory::CaptureByReference,
+        vec![file],
+        test,
+        Some(fix),
+    )
 }
 
 /// A goroutine reads a captured variable the parent keeps writing.
@@ -338,7 +350,13 @@ func {test}(t *testing.T) {{
     };
     let file = ("params.go".to_owned(), make(true));
     let fix = vec![("params.go".to_owned(), make(false))];
-    case(idx, RaceCategory::CaptureByReference, vec![file], test, Some(fix))
+    case(
+        idx,
+        RaceCategory::CaptureByReference,
+        vec![file],
+        test,
+        Some(fix),
+    )
 }
 
 /// A three-file case where the fix is only reachable from the LCA: the
@@ -363,7 +381,7 @@ func {h2}(c *{ty}) {{
 }}
 "#
     );
-    let make_parent = |racy: bool| {{
+    let make_parent = |racy: bool| {
         let spawn = if racy {
             format!(
                 "\tgo func() {{\n\t\tdefer wg.Done()\n\t\t{h1}(c)\n\t}}()\n\tgo func() {{\n\t\tdefer wg.Done()\n\t\t{h2}(c)\n\t}}()\n"
@@ -390,7 +408,7 @@ func {parent}() {{
 }}
 "#
         )
-    }};
+    };
     let driver = format!(
         r#"package app
 
@@ -411,7 +429,13 @@ func {test}(t *testing.T) {{
         ("parent.go".to_owned(), make_parent(false)),
         ("driver_test.go".to_owned(), driver),
     ];
-    let mut c = case(idx, RaceCategory::CaptureByReference, files, test, Some(fix));
+    let mut c = case(
+        idx,
+        RaceCategory::CaptureByReference,
+        files,
+        test,
+        Some(fix),
+    );
     c.lca_only = true;
     c
 }
@@ -518,7 +542,13 @@ func {test}(t *testing.T) {{
     };
     let file = ("risk.go".to_owned(), make(true));
     let fix = vec![("risk.go".to_owned(), make(false))];
-    case(idx, RaceCategory::CaptureByReference, vec![file], test, Some(fix))
+    case(
+        idx,
+        RaceCategory::CaptureByReference,
+        vec![file],
+        test,
+        Some(fix),
+    )
 }
 
 /// Listing 6: wg.Add inside the goroutine.
@@ -706,13 +736,13 @@ fn table_test(rng: &mut StdRng, idx: usize) -> RaceCase {
     let var = n.var();
     let make = |racy: bool| {
         let (decl, use1, use2) = if racy {
-            (
-                format!("\t{var} := md5.New()\n"),
-                var.clone(),
-                var.clone(),
-            )
+            (format!("\t{var} := md5.New()\n"), var.clone(), var.clone())
         } else {
-            (String::new(), "md5.New()".to_owned(), "md5.New()".to_owned())
+            (
+                String::new(),
+                "md5.New()".to_owned(),
+                "md5.New()".to_owned(),
+            )
         };
         format!(
             r#"package app
@@ -760,7 +790,11 @@ func hashWrite(h interface{{}}, s string) {{
         let (decl, use1, use2) = if racy {
             (format!("\t{var} := md5.New()\n"), var.clone(), var.clone())
         } else {
-            (String::new(), "md5.New()".to_owned(), "md5.New()".to_owned())
+            (
+                String::new(),
+                "md5.New()".to_owned(),
+                "md5.New()".to_owned(),
+            )
         };
         format!(
             r#"package app
@@ -843,7 +877,13 @@ func {test}(t *testing.T) {{
     };
     let file = ("rows.go".to_owned(), make(true));
     let fix = vec![("rows.go".to_owned(), make(false))];
-    case(idx, RaceCategory::LoopVarCapture, vec![file], test, Some(fix))
+    case(
+        idx,
+        RaceCategory::LoopVarCapture,
+        vec![file],
+        test,
+        Some(fix),
+    )
 }
 
 /// Concurrent writes to a local built-in map.
@@ -913,7 +953,13 @@ func {test}(t *testing.T) {{
     };
     let file = ("shards.go".to_owned(), make(true));
     let fix = vec![("shards.go".to_owned(), make(false))];
-    case(idx, RaceCategory::ConcurrentMap, vec![file], test, Some(fix))
+    case(
+        idx,
+        RaceCategory::ConcurrentMap,
+        vec![file],
+        test,
+        Some(fix),
+    )
 }
 
 /// Listing 8 shape: a struct-field map mutated by concurrent methods.
@@ -1016,7 +1062,13 @@ func {test}(t *testing.T) {{
     };
     let file = ("scanner.go".to_owned(), make(true));
     let fix = vec![("scanner.go".to_owned(), make(false))];
-    case(idx, RaceCategory::ConcurrentMap, vec![file], test, Some(fix))
+    case(
+        idx,
+        RaceCategory::ConcurrentMap,
+        vec![file],
+        test,
+        Some(fix),
+    )
 }
 
 /// Listing 9 shape: append racing with indexing.
@@ -1077,7 +1129,13 @@ func {test}(t *testing.T) {{
     };
     let file = ("channels.go".to_owned(), make(true));
     let fix = vec![("channels.go".to_owned(), make(false))];
-    case(idx, RaceCategory::ConcurrentSlice, vec![file], test, Some(fix))
+    case(
+        idx,
+        RaceCategory::ConcurrentSlice,
+        vec![file],
+        test,
+        Some(fix),
+    )
 }
 
 /// Listing 12: a shared global rand.Source.
@@ -1094,10 +1152,7 @@ fn rand_source(rng: &mut StdRng, idx: usize) -> RaceCase {
                 "rand.New(responseSource)".to_owned(),
             )
         } else {
-            (
-                String::new(),
-                format!("rand.New(rand.NewSource({seed}))"),
-            )
+            (String::new(), format!("rand.New(rand.NewSource({seed}))"))
         };
         format!(
             r#"package app
@@ -1309,9 +1364,7 @@ fn ordering_sensitive_inner(rng: &mut StdRng, cat: RaceCategory, idx: usize) -> 
 
     let make = |racy: bool| {
         let tail = if racy {
-            format!(
-                "\tselect {{\n\tcase <-{ready}:\n{sync_op}\tdefault:\n{racy_op}\t}}\n"
-            )
+            format!("\tselect {{\n\tcase <-{ready}:\n{sync_op}\tdefault:\n{racy_op}\t}}\n")
         } else {
             // Human fix: block on the worker's signal — the receive is
             // the missing happens-before edge.
@@ -1378,9 +1431,7 @@ fn third_file_global(rng: &mut StdRng, idx: usize, hcat: HardCategory) -> RaceCa
     let var = n.var();
     let (f1, f2) = (n.func(), n.func());
     let writer = |fname: &str, delta: i64| {
-        format!(
-            "package app\n\n// racy: {var}\nfunc {fname}() {{\n\t{var} = {var} + {delta}\n}}\n"
-        )
+        format!("package app\n\n// racy: {var}\nfunc {fname}() {{\n\t{var} = {var} + {delta}\n}}\n")
     };
     let state = format!("package app\n\nvar {var} = 0\n");
     let driver = format!(

@@ -43,8 +43,8 @@ fn racy_cases_race_and_fixes_are_clean() {
         );
 
         if let Some(fix) = &case.human_fix {
-            let prog = compile(fix)
-                .unwrap_or_else(|e| panic!("{} fix failed to build: {e}", case.id));
+            let prog =
+                compile(fix).unwrap_or_else(|e| panic!("{} fix failed to build: {e}", case.id));
             let clean_cfg = TestConfig {
                 runs: 24,
                 seed: 7,
@@ -84,7 +84,9 @@ fn race_reports_name_the_planted_variable() {
     let mut named = 0;
     let mut total = 0;
     for case in &cases {
-        let Ok(prog) = compile(&case.files) else { continue };
+        let Ok(prog) = compile(&case.files) else {
+            continue;
+        };
         let out = govm::run_test_many(&prog, &case.test, &cfg);
         if let Some(r) = out.races.first() {
             total += 1;
@@ -93,7 +95,11 @@ fn race_reports_name_the_planted_variable() {
                 .files
                 .iter()
                 .flat_map(|(_, s)| s.lines())
-                .find_map(|l| l.trim().strip_prefix("// racy:").map(|v| v.trim().to_owned()));
+                .find_map(|l| {
+                    l.trim()
+                        .strip_prefix("// racy:")
+                        .map(|v| v.trim().to_owned())
+                });
             if let Some(v) = planted {
                 if r.var_name == v || r.var_name.contains(&v) || v.contains(&r.var_name) {
                     named += 1;

@@ -196,7 +196,10 @@ mod tests {
             "func RefreshFleetTelemetry() { fleetHealth := pollVehicleGateway(); go func() { fleetHealth = aggregateSensorWindows(fleetHealth) }(); fleetHealth = applyDriverOverrides() }",
         );
         let raw_sim = cosine(&raw1, &raw2);
-        assert!(raw_sim < 0.9, "raw noise should keep sources apart, got {raw_sim}");
+        assert!(
+            raw_sim < 0.9,
+            "raw noise should keep sources apart, got {raw_sim}"
+        );
     }
 
     #[test]

@@ -197,7 +197,9 @@ impl<'src> Lexer<'src> {
                 while self.peek().is_ascii_digit() || self.peek() == b'_' {
                     self.pos += 1;
                 }
-            } else if self.peek() == b'.' && !matches!(self.peek2(), b'a'..=b'z' | b'A'..=b'Z' | b'_' | b'.') {
+            } else if self.peek() == b'.'
+                && !matches!(self.peek2(), b'a'..=b'z' | b'A'..=b'Z' | b'_' | b'.')
+            {
                 // `1.` style float (but not `1..` or `1.method`).
                 is_float = true;
                 self.pos += 1;
@@ -500,10 +502,7 @@ mod tests {
     fn distinguishes_define_and_colon() {
         use TokenKind::*;
         assert_eq!(kinds("x := 1"), vec![Ident, Define, Int, Semi, Eof]);
-        assert_eq!(
-            kinds("case 1:"),
-            vec![Case, Int, Colon, Eof]
-        );
+        assert_eq!(kinds("case 1:"), vec![Case, Int, Colon, Eof]);
     }
 
     #[test]
@@ -526,14 +525,20 @@ mod tests {
     #[test]
     fn lexes_numbers() {
         use TokenKind::*;
-        assert_eq!(kinds("1 2.5 1e3 0xff"), vec![Int, Float, Float, Int, Semi, Eof]);
+        assert_eq!(
+            kinds("1 2.5 1e3 0xff"),
+            vec![Int, Float, Float, Int, Semi, Eof]
+        );
     }
 
     #[test]
     fn float_dot_method_not_confused() {
         use TokenKind::*;
         // `1e3` float, but `x.Add` keeps Dot.
-        assert_eq!(kinds("x.Add(1)"), vec![Ident, Dot, Ident, LParen, Int, RParen, Semi, Eof]);
+        assert_eq!(
+            kinds("x.Add(1)"),
+            vec![Ident, Dot, Ident, LParen, Int, RParen, Semi, Eof]
+        );
     }
 
     #[test]
@@ -547,7 +552,17 @@ mod tests {
         use TokenKind::*;
         assert_eq!(
             kinds("x += 1; y -= 2"),
-            vec![Ident, PlusAssign, Int, Semi, Ident, MinusAssign, Int, Semi, Eof]
+            vec![
+                Ident,
+                PlusAssign,
+                Int,
+                Semi,
+                Ident,
+                MinusAssign,
+                Int,
+                Semi,
+                Eof
+            ]
         );
     }
 
@@ -575,6 +590,9 @@ mod tests {
     #[test]
     fn shift_operators() {
         use TokenKind::*;
-        assert_eq!(kinds("a << 2 >> 1"), vec![Ident, Shl, Int, Shr, Int, Semi, Eof]);
+        assert_eq!(
+            kinds("a << 2 >> 1"),
+            vec![Ident, Shl, Int, Shr, Int, Semi, Eof]
+        );
     }
 }

@@ -835,10 +835,7 @@ impl<'src> Parser<'src> {
         } else {
             None
         };
-        let end = else_
-            .as_ref()
-            .map(|s| s.span())
-            .unwrap_or(then.span);
+        let end = else_.as_ref().map(|s| s.span()).unwrap_or(then.span);
         Ok(IfStmt {
             init,
             cond,
@@ -1292,10 +1289,7 @@ impl<'src> Parser<'src> {
                                     span,
                                 }
                             } else {
-                                Expr::New {
-                                    ty: result.0,
-                                    span,
-                                }
+                                Expr::New { ty: result.0, span }
                             };
                             continue;
                         }
@@ -1387,9 +1381,8 @@ impl<'src> Parser<'src> {
             TokenKind::Int => {
                 self.bump();
                 let text = self.text(t.span).replace('_', "");
-                let value = if let Some(hex) = text
-                    .strip_prefix("0x")
-                    .or_else(|| text.strip_prefix("0X"))
+                let value = if let Some(hex) =
+                    text.strip_prefix("0x").or_else(|| text.strip_prefix("0X"))
                 {
                     i64::from_str_radix(hex, 16)
                         .map_err(|_| Diag::new("integer literal out of range", t.span))?
@@ -1574,10 +1567,7 @@ fn single(mut exprs: Vec<Expr>) -> Result<Expr> {
     if exprs.len() == 1 {
         Ok(exprs.pop().expect("one expression"))
     } else {
-        let span = exprs
-            .first()
-            .map(|e| e.span())
-            .unwrap_or(Span::DUMMY);
+        let span = exprs.first().map(|e| e.span()).unwrap_or(Span::DUMMY);
         Err(Diag::new("expected a single expression", span))
     }
 }
@@ -1596,10 +1586,7 @@ fn idents_of(exprs: &[Expr]) -> Result<Vec<String>> {
 fn expr_of(stmt: Stmt) -> Result<Expr> {
     match stmt {
         Stmt::Expr(e) => Ok(e),
-        other => Err(Diag::new(
-            "expected a condition expression",
-            other.span(),
-        )),
+        other => Err(Diag::new("expected a condition expression", other.span())),
     }
 }
 
@@ -1644,8 +1631,8 @@ mod tests {
 
     #[test]
     fn parses_package_and_imports() {
-        let f = parse_file("package main\nimport \"sync\"\nimport (\n\tfoo \"bar/foo\"\n)\n")
-            .unwrap();
+        let f =
+            parse_file("package main\nimport \"sync\"\nimport (\n\tfoo \"bar/foo\"\n)\n").unwrap();
         assert_eq!(f.package, "main");
         assert_eq!(f.imports.len(), 2);
         assert_eq!(f.imports[0].path, "sync");
@@ -1778,7 +1765,10 @@ func f(ch chan int, done chan struct{}) {
         match &body.stmts[0] {
             Stmt::Select(s) => {
                 assert_eq!(s.cases.len(), 4);
-                assert!(matches!(s.cases[0].comm, CommClause::Recv { define: true, .. }));
+                assert!(matches!(
+                    s.cases[0].comm,
+                    CommClause::Recv { define: true, .. }
+                ));
                 assert!(matches!(s.cases[1].comm, CommClause::Send { .. }));
                 assert!(matches!(
                     s.cases[2].comm,
@@ -1889,7 +1879,13 @@ Loop:
         assert_eq!(stmts.len(), 4);
         assert!(matches!(&stmts[0], Stmt::Assign { lhs, .. } if lhs.len() == 2));
         assert!(matches!(stmts[1], Stmt::IncDec { inc: true, .. }));
-        assert!(matches!(stmts[3], Stmt::Assign { op: AssignOp::Add, .. }));
+        assert!(matches!(
+            stmts[3],
+            Stmt::Assign {
+                op: AssignOp::Add,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1954,13 +1950,23 @@ func TestUploadReaderRead(t *testing.T) {
     fn precedence_shapes_tree() {
         let e = parse_expr("1 + 2*3").unwrap();
         match e {
-            Expr::Binary { op: BinOp::Add, rhs, .. } => {
+            Expr::Binary {
+                op: BinOp::Add,
+                rhs,
+                ..
+            } => {
                 assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("expected add at root, got {other:?}"),
         }
         let e = parse_expr("a == b && c != d").unwrap();
-        assert!(matches!(e, Expr::Binary { op: BinOp::AndAnd, .. }));
+        assert!(matches!(
+            e,
+            Expr::Binary {
+                op: BinOp::AndAnd,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -545,9 +545,9 @@ impl Printer {
                 }
                 self.out.push('{');
                 let multiline = elems.len() > 2
-                    || elems
-                        .iter()
-                        .any(|el| matches!(el.value, Expr::CompositeLit { .. } | Expr::FuncLit { .. }));
+                    || elems.iter().any(|el| {
+                        matches!(el.value, Expr::CompositeLit { .. } | Expr::FuncLit { .. })
+                    });
                 if multiline {
                     self.indent += 1;
                     for el in elems {
@@ -688,8 +688,8 @@ mod tests {
     fn roundtrip_file(src: &str) {
         let f1 = parse_file(src).unwrap();
         let printed = print_file(&f1);
-        let f2 = parse_file(&printed)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{printed}"));
+        let f2 =
+            parse_file(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{printed}"));
         assert_eq!(strip_file(&f1), strip_file(&f2), "printed:\n{printed}");
     }
 

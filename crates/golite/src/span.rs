@@ -123,11 +123,7 @@ impl LineMap {
     pub fn line_span(&self, line: u32) -> Option<Span> {
         let idx = line.checked_sub(1)? as usize;
         let lo = *self.line_starts.get(idx)?;
-        let hi = self
-            .line_starts
-            .get(idx + 1)
-            .copied()
-            .unwrap_or(self.len);
+        let hi = self.line_starts.get(idx + 1).copied().unwrap_or(self.len);
         Some(Span::new(lo, hi))
     }
 }

@@ -47,48 +47,48 @@ pub enum TokenKind {
     Goto,
 
     // Operators and delimiters.
-    Plus,       // +
-    Minus,      // -
-    Star,       // *
-    Slash,      // /
-    Percent,    // %
-    Amp,        // &
-    Pipe,       // |
-    Caret,      // ^
-    Shl,        // <<
-    Shr,        // >>
-    AndAnd,     // &&
-    OrOr,       // ||
-    Arrow,      // <-
-    PlusPlus,   // ++
-    MinusMinus, // --
-    EqEq,       // ==
-    Lt,         // <
-    Gt,         // >
-    Assign,     // =
-    Not,        // !
-    NotEq,      // !=
-    LtEq,       // <=
-    GtEq,       // >=
-    Define,     // :=
-    Ellipsis,   // ...
-    LParen,     // (
-    LBracket,   // [
-    LBrace,     // {
-    Comma,      // ,
-    Dot,        // .
-    RParen,     // )
-    RBracket,   // ]
-    RBrace,     // }
-    Semi,       // ; (explicit or auto-inserted)
-    Colon,      // :
-    PlusAssign, // +=
-    MinusAssign,// -=
-    StarAssign, // *=
-    SlashAssign,// /=
+    Plus,          // +
+    Minus,         // -
+    Star,          // *
+    Slash,         // /
+    Percent,       // %
+    Amp,           // &
+    Pipe,          // |
+    Caret,         // ^
+    Shl,           // <<
+    Shr,           // >>
+    AndAnd,        // &&
+    OrOr,          // ||
+    Arrow,         // <-
+    PlusPlus,      // ++
+    MinusMinus,    // --
+    EqEq,          // ==
+    Lt,            // <
+    Gt,            // >
+    Assign,        // =
+    Not,           // !
+    NotEq,         // !=
+    LtEq,          // <=
+    GtEq,          // >=
+    Define,        // :=
+    Ellipsis,      // ...
+    LParen,        // (
+    LBracket,      // [
+    LBrace,        // {
+    Comma,         // ,
+    Dot,           // .
+    RParen,        // )
+    RBracket,      // ]
+    RBrace,        // }
+    Semi,          // ; (explicit or auto-inserted)
+    Colon,         // :
+    PlusAssign,    // +=
+    MinusAssign,   // -=
+    StarAssign,    // *=
+    SlashAssign,   // /=
     PercentAssign, // %=
-    AmpAssign,  // &=
-    PipeAssign, // |=
+    AmpAssign,     // &=
+    PipeAssign,    // |=
 
     /// End of file.
     Eof,

@@ -66,8 +66,7 @@ fn walk_stmt(s: &Stmt, f: &mut impl FnMut(&Stmt)) {
             // Function-literal bodies inside go/defer are visited too.
             walk_expr_stmts(call, f);
         }
-        Stmt::Expr(e)
-        | Stmt::IncDec { expr: e, .. } => walk_expr_stmts(e, f),
+        Stmt::Expr(e) | Stmt::IncDec { expr: e, .. } => walk_expr_stmts(e, f),
         Stmt::Assign { lhs, rhs, .. } => {
             for e in lhs.iter().chain(rhs) {
                 walk_expr_stmts(e, f);

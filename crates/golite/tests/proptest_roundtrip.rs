@@ -5,7 +5,24 @@ use proptest::prelude::*;
 fn ident() -> impl Strategy<Value = String> {
     "[a-z][a-zA-Z0-9]{0,6}".prop_filter("not a keyword", |s| {
         golite::token::TokenKind::keyword(s).is_none()
-            && !matches!(s.as_str(), "true" | "false" | "nil" | "make" | "new" | "len" | "append" | "delete" | "close" | "panic" | "copy" | "cap" | "int" | "string" | "bool")
+            && !matches!(
+                s.as_str(),
+                "true"
+                    | "false"
+                    | "nil"
+                    | "make"
+                    | "new"
+                    | "len"
+                    | "append"
+                    | "delete"
+                    | "close"
+                    | "panic"
+                    | "copy"
+                    | "cap"
+                    | "int"
+                    | "string"
+                    | "bool"
+            )
     })
 }
 

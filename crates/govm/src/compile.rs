@@ -257,10 +257,7 @@ impl<'o> Compiler<'o> {
                                     _ => String::new(),
                                 };
                                 if fname.is_empty() {
-                                    return Err(Diag::new(
-                                        "unsupported embedded field",
-                                        f.span,
-                                    ));
+                                    return Err(Diag::new("unsupported embedded field", f.span));
                                 }
                                 ast_fields.push((fname, f.ty.clone()));
                             } else {
@@ -276,9 +273,7 @@ impl<'o> Compiler<'o> {
                             defs.push((fid, hid));
                         }
                         let name_id = self.pool(&t.name);
-                        if let Some(def) =
-                            self.prog.types.iter_mut().find(|d| d.name == name_id)
-                        {
+                        if let Some(def) = self.prog.types.iter_mut().find(|d| d.name == name_id) {
                             def.fields = defs;
                         }
                         self.struct_ast.insert(t.name.clone(), ast_fields);
@@ -293,11 +288,10 @@ impl<'o> Compiler<'o> {
                 match d {
                     ast::Decl::Var(v) | ast::Decl::Const(v) => {
                         for n in &v.names {
-                            let hint = v
-                                .ty
-                                .as_ref()
-                                .map(|t| self.hint_of(t))
-                                .unwrap_or(TypeHint::Unknown);
+                            let hint =
+                                v.ty.as_ref()
+                                    .map(|t| self.hint_of(t))
+                                    .unwrap_or(TypeHint::Unknown);
                             let hid = self.hint_id(hint);
                             let nid = self.pool(n);
                             let idx = self.prog.globals.len() as u16;
@@ -369,10 +363,7 @@ impl<'o> Compiler<'o> {
                                 self.emit(Op::StoreGlobal(g));
                             }
                         } else {
-                            return Err(Diag::new(
-                                "mismatched global initialiser arity",
-                                v.span,
-                            ));
+                            return Err(Diag::new("mismatched global initialiser arity", v.span));
                         }
                     }
                 }
@@ -611,12 +602,7 @@ impl<'o> Compiler<'o> {
             Some(Resolved::Local(s)) => self.emit(Op::StoreLocal(s)),
             Some(Resolved::Upval(u)) => self.emit(Op::StoreUpval(u)),
             Some(Resolved::Global(g)) => self.emit(Op::StoreGlobal(g)),
-            _ => {
-                return Err(Diag::new(
-                    format!("cannot assign to `{name}`"),
-                    span,
-                ))
-            }
+            _ => return Err(Diag::new(format!("cannot assign to `{name}`"), span)),
         }
         Ok(())
     }
@@ -626,12 +612,7 @@ impl<'o> Compiler<'o> {
             Some(Resolved::Local(s)) => self.emit(Op::RefLocal(s)),
             Some(Resolved::Upval(u)) => self.emit(Op::RefUpval(u)),
             Some(Resolved::Global(g)) => self.emit(Op::RefGlobal(g)),
-            _ => {
-                return Err(Diag::new(
-                    format!("cannot take address of `{name}`"),
-                    span,
-                ))
-            }
+            _ => return Err(Diag::new(format!("cannot take address of `{name}`"), span)),
         }
         Ok(())
     }
@@ -657,10 +638,8 @@ impl<'o> Compiler<'o> {
             ast::Type::Named { path, .. } => {
                 let joined = path.join(".");
                 match joined.as_str() {
-                    "int" | "int8" | "int16" | "int32" | "int64" | "uint" | "uint8"
-                    | "uint16" | "uint32" | "uint64" | "byte" | "rune" | "uintptr" => {
-                        TypeHint::Int
-                    }
+                    "int" | "int8" | "int16" | "int32" | "int64" | "uint" | "uint8" | "uint16"
+                    | "uint32" | "uint64" | "byte" | "rune" | "uintptr" => TypeHint::Int,
                     "float32" | "float64" => TypeHint::Float,
                     "bool" => TypeHint::Bool,
                     "string" => TypeHint::Str,
@@ -786,10 +765,7 @@ impl<'o> Compiler<'o> {
                         .map(|(n, _)| n.clone())
                         .collect();
                     if names.len() != expected as usize {
-                        return Err(Diag::new(
-                            "bare return requires named results",
-                            *span,
-                        ));
+                        return Err(Diag::new("bare return requires named results", *span));
                     }
                     for n in &names {
                         self.load_ident(n, *span)?;
@@ -860,11 +836,10 @@ impl<'o> Compiler<'o> {
     fn local_decl(&mut self, v: &ast::VarDecl) -> Result<()> {
         if v.values.is_empty() {
             for n in &v.names {
-                let hint = v
-                    .ty
-                    .as_ref()
-                    .map(|t| self.hint_of(t))
-                    .unwrap_or(TypeHint::Unknown);
+                let hint =
+                    v.ty.as_ref()
+                        .map(|t| self.hint_of(t))
+                        .unwrap_or(TypeHint::Unknown);
                 let hid = self.hint_id(hint);
                 self.emit(Op::MakeZero(hid));
                 self.alloc_named(n);
@@ -1013,9 +988,7 @@ impl<'o> Compiler<'o> {
                 self.ref_lvalue(l, span)?;
             }
             self.expr(&rhs[0])?;
-            self.emit(Op::Expand {
-                n: lhs.len() as u8,
-            });
+            self.emit(Op::Expand { n: lhs.len() as u8 });
             self.emit(Op::StoreMulti(lhs.len() as u8));
             return Ok(());
         }
@@ -1037,12 +1010,7 @@ impl<'o> Compiler<'o> {
         for l in lhs.iter().rev() {
             match l.as_ident() {
                 Some(n) => self.store_ident(n, span)?,
-                None => {
-                    return Err(Diag::new(
-                        "comma-ok target must be an identifier",
-                        l.span(),
-                    ))
-                }
+                None => return Err(Diag::new("comma-ok target must be an identifier", l.span())),
             }
         }
         Ok(())
@@ -1205,10 +1173,7 @@ impl<'o> Compiler<'o> {
                             self.emit(Op::ConstBuiltin(b));
                             return Ok(());
                         }
-                        return Err(Diag::new(
-                            format!("unknown builtin `{q}`"),
-                            span,
-                        ));
+                        return Err(Diag::new(format!("unknown builtin `{q}`"), span));
                     }
                 }
                 self.expr(expr)?;
@@ -1293,7 +1258,11 @@ impl<'o> Compiler<'o> {
             name: it_nid,
         });
 
-        let key_name = st.key.as_ref().and_then(|e| e.as_ident()).map(str::to_owned);
+        let key_name = st
+            .key
+            .as_ref()
+            .and_then(|e| e.as_ident())
+            .map(str::to_owned);
         let val_name = st
             .value
             .as_ref()
@@ -2019,9 +1988,7 @@ impl<'o> Compiler<'o> {
         let ty = match (ty, expected) {
             (Some(t), _) => t.clone(),
             (None, Some(t)) => t.clone(),
-            (None, None) => {
-                return Err(Diag::new("cannot infer composite literal type", span))
-            }
+            (None, None) => return Err(Diag::new("cannot infer composite literal type", span)),
         };
         // Resolve typedefs and pointers.
         let ty = match &ty {
@@ -2096,11 +2063,10 @@ impl<'o> Compiler<'o> {
                 let keyed = elems.iter().all(|e| e.key.is_some());
                 if keyed {
                     for el in elems {
-                        let k = el
-                            .key
-                            .as_ref()
-                            .and_then(|k| k.as_ident())
-                            .ok_or_else(|| Diag::new("struct keys must be field names", span))?;
+                        let k =
+                            el.key.as_ref().and_then(|k| k.as_ident()).ok_or_else(|| {
+                                Diag::new("struct keys must be field names", span)
+                            })?;
                         given.insert(k.to_owned(), &el.value);
                     }
                 } else {
@@ -2109,10 +2075,7 @@ impl<'o> Compiler<'o> {
                     }
                     for (el, (fname, _)) in elems.iter().zip(&decl_fields) {
                         if el.key.is_some() {
-                            return Err(Diag::new(
-                                "mixed positional and keyed fields",
-                                span,
-                            ));
+                            return Err(Diag::new("mixed positional and keyed fields", span));
                         }
                         given.insert(fname.clone(), &el.value);
                     }

@@ -37,4 +37,4 @@ pub use compile::{compile_package, compile_sources, CompileOptions};
 pub use sched::{Decision, SchedulePolicy, Scheduler, SeedStream};
 pub use testrun::{run_test, run_test_many, run_test_with, TestConfig, TestOutcome};
 pub use value::Value;
-pub use vm::{RunError, RunResult, Vm, VmOptions};
+pub use vm::{ProgContext, RunCounters, RunError, RunResult, Vm, VmOptions};

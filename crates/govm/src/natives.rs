@@ -85,7 +85,10 @@ pub const INT_CONVERSIONS: &[&str] = &[
 
 /// Returns the builtin id for a qualified name.
 pub fn builtin_id(name: &str) -> Option<u16> {
-    BUILTIN_NAMES.iter().position(|n| *n == name).map(|i| i as u16)
+    BUILTIN_NAMES
+        .iter()
+        .position(|n| *n == name)
+        .map(|i| i as u16)
 }
 
 /// Returns the name of a builtin id.
@@ -113,10 +116,7 @@ pub const INT_CONSTS: &[(&str, i64)] = &[
 
 /// Returns a folded constant for a qualified name.
 pub fn const_value(name: &str) -> Option<i64> {
-    INT_CONSTS
-        .iter()
-        .find(|(n, _)| *n == name)
-        .map(|(_, v)| *v)
+    INT_CONSTS.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
 }
 
 /// Import paths the compiler recognises; the last path segment (or the
@@ -140,7 +140,6 @@ pub const KNOWN_PACKAGES: &[&str] = &[
     "hash",
     "github.com/stretchr/testify/assert",
 ];
-
 
 // ===========================================================================
 // Implementations
@@ -247,8 +246,8 @@ fn format_go(vm: &Vm, fmt: &str, args: &[Value]) -> String {
         }
         match chars.next() {
             Some('%') => out.push('%'),
-            Some('v') | Some('s') | Some('d') | Some('q') | Some('w') | Some('t')
-            | Some('f') | Some('x') => {
+            Some('v') | Some('s') | Some('d') | Some('q') | Some('w') | Some('t') | Some('f')
+            | Some('x') => {
                 if let Some(a) = args.get(ai) {
                     out.push_str(&a.render(&vm.heap));
                     ai += 1;
@@ -302,35 +301,24 @@ pub(crate) fn call_builtin(vm: &mut Vm, gid: Gid, id: u16, args: Vec<Value>) -> 
             O::Value(Value::Nil)
         }
         "fmt.Printf" => {
-            let fmt = args
-                .first()
-                .map(|v| v.render(&vm.heap))
-                .unwrap_or_default();
+            let fmt = args.first().map(|v| v.render(&vm.heap)).unwrap_or_default();
             let line = format_go(vm, &fmt, &args[1..]);
             vm.output.push_str(&line);
             O::Value(Value::Nil)
         }
         "fmt.Sprintf" => {
-            let fmt = args
-                .first()
-                .map(|v| v.render(&vm.heap))
-                .unwrap_or_default();
+            let fmt = args.first().map(|v| v.render(&vm.heap)).unwrap_or_default();
             O::Value(Value::str(format_go(vm, &fmt, &args[1..])))
         }
         "fmt.Sprint" => O::Value(Value::str(render_all(vm, &args, ""))),
         "fmt.Errorf" => {
-            let fmt = args
-                .first()
-                .map(|v| v.render(&vm.heap))
-                .unwrap_or_default();
+            let fmt = args.first().map(|v| v.render(&vm.heap)).unwrap_or_default();
             O::Value(Value::error(format_go(vm, &fmt, &args[1..])))
         }
         "errors.New" => O::Value(Value::error(
             args.first().map(|v| v.render(&vm.heap)).unwrap_or_default(),
         )),
-        "errors.Is" => O::Value(Value::Bool(
-            args.len() == 2 && args[0].go_eq(&args[1]),
-        )),
+        "errors.Is" => O::Value(Value::Bool(args.len() == 2 && args[0].go_eq(&args[1]))),
         "time.Sleep" => {
             let d = args.first().and_then(|v| v.as_int()).unwrap_or(0).max(0) as u64;
             O::Sleep(vm.steps + d.max(1), Value::Nil)
@@ -349,9 +337,11 @@ pub(crate) fn call_builtin(vm: &mut Vm, gid: Gid, id: u16, args: Vec<Value>) -> 
             }
             O::Value(ch)
         }
-        "context.Background" | "context.TODO" => {
-            O::Value(make_struct(vm, "context.Context", vec![("done", Value::Nil)]))
-        }
+        "context.Background" | "context.TODO" => O::Value(make_struct(
+            vm,
+            "context.Context",
+            vec![("done", Value::Nil)],
+        )),
         "context.WithTimeout" => {
             let ch = vm.heap.alloc_chan(1);
             if let Value::Chan(r) = ch {
@@ -381,7 +371,11 @@ pub(crate) fn call_builtin(vm: &mut Vm, gid: Gid, id: u16, args: Vec<Value>) -> 
         }
         "rand.NewSource" => {
             let seed = args.first().and_then(|v| v.as_int()).unwrap_or(1);
-            O::Value(make_struct(vm, "rand.Source", vec![("state", Value::Int(seed))]))
+            O::Value(make_struct(
+                vm,
+                "rand.Source",
+                vec![("state", Value::Int(seed))],
+            ))
         }
         "rand.New" => {
             let src = args.into_iter().next().unwrap_or(Value::Nil);
@@ -400,9 +394,7 @@ pub(crate) fn call_builtin(vm: &mut Vm, gid: Gid, id: u16, args: Vec<Value>) -> 
                     let n = args.first().and_then(|v| v.as_int()).unwrap_or(1).max(1);
                     O::Value(Value::Int(raw % n))
                 }
-                "rand.Float64" => O::Value(Value::Float(
-                    (raw % 1_000_000) as f64 / 1_000_000.0,
-                )),
+                "rand.Float64" => O::Value(Value::Float((raw % 1_000_000) as f64 / 1_000_000.0)),
                 _ => O::Value(Value::Int(raw)),
             }
         }
@@ -466,16 +458,15 @@ pub(crate) fn call_builtin(vm: &mut Vm, gid: Gid, id: u16, args: Vec<Value>) -> 
                     if let Some(r) = struct_ref(dst) {
                         if let Some(a) = vm.heap.structs[r].field("state") {
                             let cur = vm.read_cell(gid, a).as_int().unwrap_or(0);
-                            vm.write_cell(
-                                gid,
-                                a,
-                                Value::Int(cur.wrapping_mul(31).wrapping_add(n)),
-                            );
+                            vm.write_cell(gid, a, Value::Int(cur.wrapping_mul(31).wrapping_add(n)));
                         }
                     }
                 }
             }
-            O::Value(Value::Tuple(std::rc::Rc::new(vec![Value::Int(n), Value::Nil])))
+            O::Value(Value::Tuple(std::rc::Rc::new(vec![
+                Value::Int(n),
+                Value::Nil,
+            ])))
         }
         "strconv.Itoa" => {
             let n = args.first().and_then(|v| v.as_int()).unwrap_or(0);
@@ -549,9 +540,7 @@ pub(crate) fn call_builtin(vm: &mut Vm, gid: Gid, id: u16, args: Vec<Value>) -> 
             vm.test_failures.push(format!("assert.Fail: {msg}"));
             O::Value(Value::Bool(true))
         }
-        "assert.Len" => {
-            O::Value(Value::Bool(true))
-        }
+        "assert.Len" => O::Value(Value::Bool(true)),
         "atomic.AddInt32" | "atomic.AddInt64" => match args.first() {
             Some(Value::Ptr(a)) => {
                 vm.det.atomic_op(gid, SYNC_ATOMIC | *a);
@@ -1115,7 +1104,9 @@ fn testing_method(
 /// Wakes the parent blocked in `t.Run` (used by `t.Parallel` and subtest
 /// exit), with a happens-before edge from the child.
 fn signal_parent(vm: &mut Vm, child_gid: Gid, t: ObjRef) {
-    let parent = sfield(vm, t, "$parent").and_then(|v| v.as_int()).unwrap_or(-1);
+    let parent = sfield(vm, t, "$parent")
+        .and_then(|v| v.as_int())
+        .unwrap_or(-1);
     let signaled = sfield(vm, t, "$signaled")
         .and_then(|v| v.as_bool())
         .unwrap_or(true);
@@ -1167,8 +1158,7 @@ pub(crate) fn run_nested_call(
             }
             return Ok(vm.gos[gid].stack.pop().unwrap_or(Value::Nil));
         }
-        if vm
-            .gos[gid]
+        if vm.gos[gid]
             .frames
             .last()
             .map(|f| f.returning.is_some())
@@ -1180,13 +1170,13 @@ pub(crate) fn run_nested_call(
         let Some((fid, pc)) = vm.gos[gid].frames.last().map(|f| (f.func, f.pc)) else {
             return Err("nested call lost its frame".into());
         };
-        let code = &vm.prog.funcs[fid as usize].code;
+        let prog = vm.prog;
+        let code = &prog.funcs[fid as usize].code;
         if pc >= code.len() {
             vm.start_return_public(gid, Value::Nil);
             continue;
         }
-        let op = code[pc].clone();
-        match crate::ops::exec(vm, gid, op) {
+        match crate::ops::exec(vm, gid, &code[pc]) {
             crate::vm::Flow::Next => {
                 if let Some(f) = vm.gos[gid].frames.last_mut() {
                     f.pc += 1;

@@ -17,23 +17,23 @@ use crate::vm::{Flow, ParkedCase, ParkedSelect, Status, Vm, WakeAction};
 use rand::Rng;
 use std::rc::Rc;
 
-pub(crate) fn exec(vm: &mut Vm, gid: Gid, op: Op) -> Flow {
+pub(crate) fn exec(vm: &mut Vm, gid: Gid, op: &Op) -> Flow {
     match op {
         Op::ConstInt(v) => {
-            push(vm, gid, Value::Int(v));
+            push(vm, gid, Value::Int(*v));
             Flow::Next
         }
         Op::ConstFloat(v) => {
-            push(vm, gid, Value::Float(v));
+            push(vm, gid, Value::Float(*v));
             Flow::Next
         }
         Op::ConstStr(id) => {
-            let s = vm.prog.str(id).to_owned();
-            push(vm, gid, Value::str(s));
+            let s = vm.const_str(*id);
+            push(vm, gid, Value::Str(s));
             Flow::Next
         }
         Op::ConstBool(b) => {
-            push(vm, gid, Value::Bool(b));
+            push(vm, gid, Value::Bool(*b));
             Flow::Next
         }
         Op::ConstNil => {
@@ -41,11 +41,11 @@ pub(crate) fn exec(vm: &mut Vm, gid: Gid, op: Op) -> Flow {
             Flow::Next
         }
         Op::ConstFunc(f) => {
-            push(vm, gid, Value::Func(f));
+            push(vm, gid, Value::Func(*f));
             Flow::Next
         }
         Op::ConstBuiltin(b) => {
-            push(vm, gid, Value::Builtin(b));
+            push(vm, gid, Value::Builtin(*b));
             Flow::Next
         }
         Op::Pop => {
@@ -67,14 +67,13 @@ pub(crate) fn exec(vm: &mut Vm, gid: Gid, op: Op) -> Flow {
 
         Op::AllocLocal { slot, name } => {
             let v = pop(vm, gid);
-            let addr = vm.heap.alloc_cell(v, name);
+            let addr = vm.heap.alloc_cell(v, *name);
             // The initialisation counts as a write by the allocator.
-            let stack = vm.stack_snapshot(gid);
-            vm.det.write(gid, addr, name, &stack);
-            frame_mut(vm, gid).locals[slot as usize] = addr;
+            vm.track_write(gid, addr);
+            frame_mut(vm, gid).locals[*slot as usize] = addr;
             Flow::Next
         }
-        Op::LoadLocal(slot) => match local_addr(vm, gid, slot) {
+        Op::LoadLocal(slot) => match local_addr(vm, gid, *slot) {
             Some(a) => {
                 let v = vm.read_cell(gid, a);
                 push(vm, gid, v);
@@ -82,7 +81,7 @@ pub(crate) fn exec(vm: &mut Vm, gid: Gid, op: Op) -> Flow {
             }
             None => Flow::Panic("use of unbound local".into()),
         },
-        Op::StoreLocal(slot) => match local_addr(vm, gid, slot) {
+        Op::StoreLocal(slot) => match local_addr(vm, gid, *slot) {
             Some(a) => {
                 let v = pop(vm, gid);
                 vm.write_cell(gid, a, v);
@@ -90,7 +89,7 @@ pub(crate) fn exec(vm: &mut Vm, gid: Gid, op: Op) -> Flow {
             }
             None => Flow::Panic("store to unbound local".into()),
         },
-        Op::RefLocal(slot) => match local_addr(vm, gid, slot) {
+        Op::RefLocal(slot) => match local_addr(vm, gid, *slot) {
             Some(a) => {
                 push(vm, gid, Value::Ptr(a));
                 Flow::Next
@@ -98,36 +97,36 @@ pub(crate) fn exec(vm: &mut Vm, gid: Gid, op: Op) -> Flow {
             None => Flow::Panic("address of unbound local".into()),
         },
         Op::LoadUpval(i) => {
-            let a = frame_mut(vm, gid).upvals[i as usize];
+            let a = frame_mut(vm, gid).upvals[*i as usize];
             let v = vm.read_cell(gid, a);
             push(vm, gid, v);
             Flow::Next
         }
         Op::StoreUpval(i) => {
-            let a = frame_mut(vm, gid).upvals[i as usize];
+            let a = frame_mut(vm, gid).upvals[*i as usize];
             let v = pop(vm, gid);
             vm.write_cell(gid, a, v);
             Flow::Next
         }
         Op::RefUpval(i) => {
-            let a = frame_mut(vm, gid).upvals[i as usize];
+            let a = frame_mut(vm, gid).upvals[*i as usize];
             push(vm, gid, Value::Ptr(a));
             Flow::Next
         }
         Op::LoadGlobal(i) => {
-            let a = vm.globals[i as usize];
+            let a = vm.globals[*i as usize];
             let v = vm.read_cell(gid, a);
             push(vm, gid, v);
             Flow::Next
         }
         Op::StoreGlobal(i) => {
-            let a = vm.globals[i as usize];
+            let a = vm.globals[*i as usize];
             let v = pop(vm, gid);
             vm.write_cell(gid, a, v);
             Flow::Next
         }
         Op::RefGlobal(i) => {
-            let a = vm.globals[i as usize];
+            let a = vm.globals[*i as usize];
             push(vm, gid, Value::Ptr(a));
             Flow::Next
         }
@@ -167,18 +166,19 @@ pub(crate) fn exec(vm: &mut Vm, gid: Gid, op: Op) -> Flow {
         }
 
         Op::MakeSliceLit { n, name } => {
-            let mut elems = Vec::with_capacity(n as usize);
-            for _ in 0..n {
+            let mut elems = Vec::with_capacity(*n as usize);
+            for _ in 0..*n {
                 elems.push(pop(vm, gid));
             }
             elems.reverse();
-            let v = vm.heap.alloc_slice(elems, name);
+            let v = vm.heap.alloc_slice(elems, *name);
             push(vm, gid, v);
             Flow::Next
         }
         Op::MakeMapLit { n, name } => {
-            let mut pairs = Vec::with_capacity(n as usize);
-            for _ in 0..n {
+            let name = *name;
+            let mut pairs = Vec::with_capacity(*n as usize);
+            for _ in 0..*n {
                 let v = pop(vm, gid);
                 let k = pop(vm, gid);
                 pairs.push((k, v));
@@ -198,7 +198,7 @@ pub(crate) fn exec(vm: &mut Vm, gid: Gid, op: Op) -> Flow {
             Flow::Next
         }
         Op::MakeStructLit(spec) => {
-            let spec = vm.prog.struct_lits[spec as usize].clone();
+            let spec = vm.prog.struct_lits[*spec as usize].clone();
             let mut values = Vec::with_capacity(spec.fields.len());
             for _ in 0..spec.fields.len() {
                 values.push(pop(vm, gid));
@@ -216,7 +216,7 @@ pub(crate) fn exec(vm: &mut Vm, gid: Gid, op: Op) -> Flow {
             Flow::Next
         }
         Op::MakeZero(h) => {
-            let hint = vm.prog.hints[h as usize];
+            let hint = vm.prog.hints[*h as usize];
             let v = vm.zero_value(hint);
             push(vm, gid, v);
             Flow::Next
@@ -226,7 +226,7 @@ pub(crate) fn exec(vm: &mut Vm, gid: Gid, op: Op) -> Flow {
                 Value::Int(n) if n >= 0 => n as usize,
                 _ => return Flow::Panic("make: invalid length".into()),
             };
-            let hint = vm.prog.hints[h as usize];
+            let hint = vm.prog.hints[*h as usize];
             let mut elems = Vec::with_capacity(n);
             for _ in 0..n {
                 let z = vm.zero_value(hint);
@@ -238,7 +238,7 @@ pub(crate) fn exec(vm: &mut Vm, gid: Gid, op: Op) -> Flow {
             Flow::Next
         }
         Op::NewPtr(h) => {
-            let hint = vm.prog.hints[h as usize];
+            let hint = vm.prog.hints[*h as usize];
             let zero = vm.zero_value(hint);
             let name = vm.intern("new");
             let a = vm.heap.alloc_cell(zero, name);
@@ -246,7 +246,7 @@ pub(crate) fn exec(vm: &mut Vm, gid: Gid, op: Op) -> Flow {
             Flow::Next
         }
         Op::MakeChan { has_cap } => {
-            let cap = if has_cap {
+            let cap = if *has_cap {
                 match pop(vm, gid) {
                     Value::Int(c) if c >= 0 => c as usize,
                     _ => return Flow::Panic("make: invalid channel capacity".into()),
@@ -259,7 +259,7 @@ pub(crate) fn exec(vm: &mut Vm, gid: Gid, op: Op) -> Flow {
             Flow::Next
         }
         Op::MakeClosure(spec) => {
-            let spec = vm.prog.closures[spec as usize].clone();
+            let spec = vm.prog.closures[*spec as usize].clone();
             let frame = frame_mut(vm, gid);
             let upvals: Vec<Addr> = spec
                 .captures
@@ -276,7 +276,7 @@ pub(crate) fn exec(vm: &mut Vm, gid: Gid, op: Op) -> Flow {
 
         Op::GetField(name) => {
             let obj = pop(vm, gid);
-            match field_addr(vm, gid, &obj, name, false) {
+            match field_addr(vm, gid, &obj, *name, false) {
                 Ok(a) => {
                     let v = vm.read_cell(gid, a);
                     push(vm, gid, v);
@@ -288,7 +288,7 @@ pub(crate) fn exec(vm: &mut Vm, gid: Gid, op: Op) -> Flow {
         Op::SetField(name) => {
             let v = pop(vm, gid);
             let obj = pop(vm, gid);
-            match field_addr(vm, gid, &obj, name, true) {
+            match field_addr(vm, gid, &obj, *name, true) {
                 Ok(a) => {
                     vm.write_cell(gid, a, v);
                     Flow::Next
@@ -298,7 +298,7 @@ pub(crate) fn exec(vm: &mut Vm, gid: Gid, op: Op) -> Flow {
         }
         Op::RefField(name) => {
             let obj = pop(vm, gid);
-            match field_addr(vm, gid, &obj, name, true) {
+            match field_addr(vm, gid, &obj, *name, true) {
                 Ok(a) => {
                     push(vm, gid, Value::Ptr(a));
                     Flow::Next
@@ -313,7 +313,7 @@ pub(crate) fn exec(vm: &mut Vm, gid: Gid, op: Op) -> Flow {
                 gid,
                 Value::Method {
                     recv: Box::new(recv),
-                    name,
+                    name: *name,
                 },
             );
             Flow::Next
@@ -322,7 +322,7 @@ pub(crate) fn exec(vm: &mut Vm, gid: Gid, op: Op) -> Flow {
         Op::Index { comma_ok } => {
             let idx = pop(vm, gid);
             let cont = pop(vm, gid);
-            index_get(vm, gid, cont, idx, comma_ok)
+            index_get(vm, gid, cont, idx, *comma_ok)
         }
         Op::SetIndex => {
             let v = pop(vm, gid);
@@ -342,8 +342,8 @@ pub(crate) fn exec(vm: &mut Vm, gid: Gid, op: Op) -> Flow {
             }
         }
         Op::SliceOp { has_lo, has_hi } => {
-            let hi = if has_hi { Some(pop(vm, gid)) } else { None };
-            let lo = if has_lo { Some(pop(vm, gid)) } else { None };
+            let hi = if *has_hi { Some(pop(vm, gid)) } else { None };
+            let lo = if *has_lo { Some(pop(vm, gid)) } else { None };
             let cont = pop(vm, gid);
             match cont {
                 Value::Slice(r) => {
@@ -384,8 +384,8 @@ pub(crate) fn exec(vm: &mut Vm, gid: Gid, op: Op) -> Flow {
             }
         }
         Op::Append { n } => {
-            let mut vals = Vec::with_capacity(n as usize);
-            for _ in 0..n {
+            let mut vals = Vec::with_capacity(*n as usize);
+            for _ in 0..*n {
                 vals.push(pop(vm, gid));
             }
             vals.reverse();
@@ -400,23 +400,15 @@ pub(crate) fn exec(vm: &mut Vm, gid: Gid, op: Op) -> Flow {
                     let header = vm.heap.slices[r].header;
                     let _ = vm.read_cell(gid, header);
                     let addrs = vm.heap.slices[r].elems.clone();
-                    addrs
-                        .into_iter()
-                        .map(|a| vm.read_cell(gid, a))
-                        .collect()
+                    addrs.into_iter().map(|a| vm.read_cell(gid, a)).collect()
                 }
                 Value::Nil => Vec::new(),
-                other => {
-                    return Flow::Panic(format!(
-                        "append spread of {}",
-                        other.type_name()
-                    ))
-                }
+                other => return Flow::Panic(format!("append spread of {}", other.type_name())),
             };
             append_values(vm, gid, dst, vals)
         }
         Op::StoreMulti(n) => {
-            let n = n as usize;
+            let n = *n as usize;
             let mut vals = Vec::with_capacity(n);
             for _ in 0..n {
                 vals.push(pop(vm, gid));
@@ -431,10 +423,7 @@ pub(crate) fn exec(vm: &mut Vm, gid: Gid, op: Op) -> Flow {
                 match p {
                     Value::Ptr(a) => vm.write_cell(gid, a, v),
                     other => {
-                        return Flow::Panic(format!(
-                            "cannot assign through {}",
-                            other.type_name()
-                        ))
+                        return Flow::Panic(format!("cannot assign through {}", other.type_name()))
                     }
                 }
             }
@@ -479,9 +468,7 @@ pub(crate) fn exec(vm: &mut Vm, gid: Gid, op: Op) -> Flow {
                 Value::Map(r) => {
                     let header = vm.heap.maps[r].header;
                     // Structural mutation: a write on the header.
-                    let name = vm.heap.cell_name(header);
-                    let stack = vm.stack_snapshot(gid);
-                    vm.det.write(gid, header, name, &stack);
+                    vm.track_write(gid, header);
                     if let Some(key) = MapKey::from_value(&k) {
                         vm.heap.maps[r].entries.remove(&key);
                     }
@@ -493,7 +480,7 @@ pub(crate) fn exec(vm: &mut Vm, gid: Gid, op: Op) -> Flow {
         }
 
         Op::Send => exec_send(vm, gid),
-        Op::Recv { comma_ok } => exec_recv(vm, gid, comma_ok),
+        Op::Recv { comma_ok } => exec_recv(vm, gid, *comma_ok),
         Op::CloseChan => {
             let c = pop(vm, gid);
             match c {
@@ -512,10 +499,10 @@ pub(crate) fn exec(vm: &mut Vm, gid: Gid, op: Op) -> Flow {
             }
         }
 
-        Op::Call { argc } => exec_call(vm, gid, argc),
+        Op::Call { argc } => exec_call(vm, gid, *argc),
         Op::Go { argc } => {
-            let mut args = Vec::with_capacity(argc as usize);
-            for _ in 0..argc {
+            let mut args = Vec::with_capacity(*argc as usize);
+            for _ in 0..*argc {
                 args.push(pop(vm, gid));
             }
             args.reverse();
@@ -526,8 +513,8 @@ pub(crate) fn exec(vm: &mut Vm, gid: Gid, op: Op) -> Flow {
             }
         }
         Op::DeferCall { argc } => {
-            let mut args = Vec::with_capacity(argc as usize);
-            for _ in 0..argc {
+            let mut args = Vec::with_capacity(*argc as usize);
+            for _ in 0..*argc {
                 args.push(pop(vm, gid));
             }
             args.reverse();
@@ -536,7 +523,7 @@ pub(crate) fn exec(vm: &mut Vm, gid: Gid, op: Op) -> Flow {
             Flow::Next
         }
         Op::Return { n } => {
-            let v = match n {
+            let v = match *n {
                 0 => Value::Nil,
                 1 => pop(vm, gid),
                 n => {
@@ -551,6 +538,7 @@ pub(crate) fn exec(vm: &mut Vm, gid: Gid, op: Op) -> Flow {
             Flow::Returned(v)
         }
         Op::Expand { n } => {
+            let n = *n;
             let v = pop(vm, gid);
             if n == 1 {
                 push(vm, gid, v);
@@ -563,22 +551,18 @@ pub(crate) fn exec(vm: &mut Vm, gid: Gid, op: Op) -> Flow {
                     }
                     Flow::Next
                 }
-                other => Flow::Panic(format!(
-                    "expected {} values, got {}",
-                    n,
-                    other.type_name()
-                )),
+                other => Flow::Panic(format!("expected {} values, got {}", n, other.type_name())),
             }
         }
 
-        Op::Jump(t) => Flow::Jump(t as usize),
+        Op::Jump(t) => Flow::Jump(*t as usize),
         Op::JumpIfFalse(t) => match pop(vm, gid) {
-            Value::Bool(false) => Flow::Jump(t as usize),
+            Value::Bool(false) => Flow::Jump(*t as usize),
             Value::Bool(true) => Flow::Next,
             other => Flow::Panic(format!("non-bool condition: {}", other.type_name())),
         },
         Op::JumpIfTrue(t) => match pop(vm, gid) {
-            Value::Bool(true) => Flow::Jump(t as usize),
+            Value::Bool(true) => Flow::Jump(*t as usize),
             Value::Bool(false) => Flow::Next,
             other => Flow::Panic(format!("non-bool condition: {}", other.type_name())),
         },
@@ -623,7 +607,7 @@ pub(crate) fn exec(vm: &mut Vm, gid: Gid, op: Op) -> Flow {
         | Op::Shr => {
             let b = pop(vm, gid);
             let a = pop(vm, gid);
-            match arith(&op, a, b) {
+            match arith(op, a, b) {
                 Ok(v) => {
                     push(vm, gid, v);
                     Flow::Next
@@ -690,15 +674,14 @@ pub(crate) fn exec(vm: &mut Vm, gid: Gid, op: Op) -> Flow {
                     len: 0,
                     idx: 0,
                 },
-                other => {
-                    return Flow::Panic(format!("cannot range over {}", other.type_name()))
-                }
+                other => return Flow::Panic(format!("cannot range over {}", other.type_name())),
             };
             let v = vm.heap.alloc_iter(it);
             push(vm, gid, v);
             Flow::Next
         }
         Op::IterNext(done) => {
+            let done = *done;
             let itv = pop(vm, gid);
             let Value::Iter(ir) = itv else {
                 return Flow::Panic("range over non-iterator".into());
@@ -749,7 +732,7 @@ pub(crate) fn exec(vm: &mut Vm, gid: Gid, op: Op) -> Flow {
             }
         }
 
-        Op::Select(spec) => exec_select(vm, gid, spec),
+        Op::Select(spec) => exec_select(vm, gid, *spec),
 
         Op::Panic => {
             let msg = pop(vm, gid);
@@ -790,13 +773,7 @@ fn local_addr(vm: &mut Vm, gid: Gid, slot: u16) -> Option<Addr> {
 
 /// Resolves a field cell on a struct (or pointer to struct); `create`
 /// adds missing fields (used by `RefField` on loosely-typed externals).
-fn field_addr(
-    vm: &mut Vm,
-    gid: Gid,
-    obj: &Value,
-    name: u32,
-    create: bool,
-) -> Result<Addr, Flow> {
+fn field_addr(vm: &mut Vm, gid: Gid, obj: &Value, name: u32, create: bool) -> Result<Addr, Flow> {
     let sref = match obj {
         Value::Struct(r) => *r,
         Value::Ptr(a) => match &vm.heap.cells[*a as usize] {
@@ -817,13 +794,13 @@ fn field_addr(
             )))
         }
     };
-    let fname = vm.names[name as usize].clone();
+    let fname = vm.name(name).clone();
     if let Some(a) = vm.heap.structs[sref].field(&fname) {
         return Ok(a);
     }
     if create {
         let a = vm.heap.alloc_cell(Value::Nil, name);
-        vm.heap.structs[sref].fields.push((fname, a));
+        vm.heap.structs[sref].fields.push((fname.to_string(), a));
         let _ = gid;
         return Ok(a);
     }
@@ -833,13 +810,7 @@ fn field_addr(
     )))
 }
 
-fn elem_addr(
-    vm: &mut Vm,
-    gid: Gid,
-    cont: &Value,
-    idx: &Value,
-    create: bool,
-) -> Result<Addr, Flow> {
+fn elem_addr(vm: &mut Vm, gid: Gid, cont: &Value, idx: &Value, create: bool) -> Result<Addr, Flow> {
     match cont {
         Value::Slice(r) => {
             let header = vm.heap.slices[r.to_owned()].header;
@@ -866,8 +837,7 @@ fn elem_addr(
             }
             if create {
                 let name = vm.heap.cell_name(header);
-                let stack = vm.stack_snapshot(gid);
-                vm.det.write(gid, header, name, &stack);
+                vm.track_write(gid, header);
                 let a = vm.heap.alloc_cell(Value::Nil, name);
                 vm.heap.maps[*r].entries.insert(key, a);
                 return Ok(a);
@@ -976,8 +946,7 @@ fn append_values(vm: &mut Vm, gid: Gid, slice: Value, vals: Vec<Value>) -> Flow 
     // Growth mutates the slice header.
     let header = vm.heap.slices[r].header;
     let name = vm.heap.cell_name(header);
-    let stack = vm.stack_snapshot(gid);
-    vm.det.write(gid, header, name, &stack);
+    vm.track_write(gid, header);
     let new_len = vm.heap.slices[r].elems.len() + vals.len();
     vm.heap.cells[header as usize] = Value::Int(new_len as i64);
     for v in vals {
@@ -1105,7 +1074,7 @@ fn exec_call(vm: &mut Vm, gid: Gid, argc: u8) -> Flow {
                 let args: Vec<Value> = (0..argc as usize)
                     .map(|i| peek(vm, gid, argc as usize - 1 - i).clone())
                     .collect();
-                let method = vm.names[name as usize].clone();
+                let method = vm.name(name).clone();
                 match natives::dispatch_method(vm, gid, (*recv).clone(), &method, args) {
                     natives::MethodOutcome::Done(v) => {
                         for _ in 0..=argc {
@@ -1142,7 +1111,9 @@ fn exec_call(vm: &mut Vm, gid: Gid, argc: u8) -> Flow {
                 Err(e) => Flow::Panic(e),
             }
         }
-        Value::Nil => Flow::Panic("invalid memory address or nil pointer dereference (nil function call)".into()),
+        Value::Nil => Flow::Panic(
+            "invalid memory address or nil pointer dereference (nil function call)".into(),
+        ),
         other => Flow::Panic(format!("cannot call {}", other.type_name())),
     }
 }
@@ -1200,7 +1171,7 @@ fn exec_recv(vm: &mut Vm, gid: Gid, comma_ok: bool) -> Flow {
     // Unbuffered hand-off from a parked sender.
     if let Some((sgid, v)) = take_send_waiter(vm, r) {
         pop(vm, gid); // chan
-        // Sender's release edge → receiver.
+                      // Sender's release edge → receiver.
         let sclock = vm.det.release_snapshot(sgid);
         vm.det.acquire_clock(gid, &sclock);
         // Receiver's release edge → sender ("receive happens before the
@@ -1380,9 +1351,7 @@ fn exec_select(vm: &mut Vm, gid: Gid, spec_id: u32) -> Flow {
                 let r = match chan {
                     Value::Chan(r) => r,
                     Value::Nil => usize::MAX,
-                    other => {
-                        return Flow::Panic(format!("select send on {}", other.type_name()))
-                    }
+                    other => return Flow::Panic(format!("select send on {}", other.type_name())),
                 };
                 cases.push(ParkedCase::Send {
                     chan: r,
@@ -1400,10 +1369,7 @@ fn exec_select(vm: &mut Vm, gid: Gid, spec_id: u32) -> Flow {
                     Value::Chan(r) => r,
                     Value::Nil => usize::MAX,
                     other => {
-                        return Flow::Panic(format!(
-                            "select receive on {}",
-                            other.type_name()
-                        ))
+                        return Flow::Panic(format!("select receive on {}", other.type_name()))
                     }
                 };
                 cases.push(ParkedCase::Recv {
@@ -1502,14 +1468,12 @@ fn park_select(vm: &mut Vm, gid: Gid, cases: Vec<ParkedCase>) {
     for c in &cases {
         match c {
             ParkedCase::Recv { chan, .. }
-                if *chan != usize::MAX
-                    && !vm.heap.chans[*chan].recv_waiters.contains(&gid) =>
+                if *chan != usize::MAX && !vm.heap.chans[*chan].recv_waiters.contains(&gid) =>
             {
                 vm.heap.chans[*chan].recv_waiters.push(gid);
             }
             ParkedCase::Send { chan, .. }
-                if *chan != usize::MAX
-                    && !vm.heap.chans[*chan].send_waiters.contains(&gid) =>
+                if *chan != usize::MAX && !vm.heap.chans[*chan].send_waiters.contains(&gid) =>
             {
                 vm.heap.chans[*chan].send_waiters.push(gid);
             }

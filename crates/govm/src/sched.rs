@@ -273,9 +273,8 @@ impl PctScheduler {
     fn new(seed: u64, depth: u32, budget: u64) -> Self {
         let mut prio_rng = StdRng::seed_from_u64(splitmix64(seed ^ 0x9C7_5EED));
         let budget = budget.max(1);
-        let mut change_points: Vec<u64> = (0..depth)
-            .map(|_| prio_rng.gen_range(1..=budget))
-            .collect();
+        let mut change_points: Vec<u64> =
+            (0..depth).map(|_| prio_rng.gen_range(1..=budget)).collect();
         change_points.sort_unstable();
         PctScheduler {
             depth,
@@ -292,17 +291,15 @@ impl PctScheduler {
         if gid >= self.priorities.len() {
             self.priorities.resize(gid + 1, None);
         }
-        *self.priorities[gid].get_or_insert_with(|| {
-            PCT_HIGH_BAND + self.prio_rng.gen_range(0..PCT_HIGH_BAND)
-        })
+        *self.priorities[gid]
+            .get_or_insert_with(|| PCT_HIGH_BAND + self.prio_rng.gen_range(0..PCT_HIGH_BAND))
     }
 }
 
 impl Scheduler for PctScheduler {
     fn pick(&mut self, _rng: &mut StdRng, runnable: &[Gid], steps: u64) -> Decision {
         // Crossed change points demote whoever was running across them.
-        while self.next_cp < self.change_points.len() && steps >= self.change_points[self.next_cp]
-        {
+        while self.next_cp < self.change_points.len() && steps >= self.change_points[self.next_cp] {
             if let Some(last) = self.last {
                 if last >= self.priorities.len() {
                     self.priorities.resize(last + 1, None);
@@ -356,7 +353,10 @@ mod tests {
 
     #[test]
     fn parse_round_trips() {
-        assert_eq!(SchedulePolicy::parse("random"), Some(SchedulePolicy::Random));
+        assert_eq!(
+            SchedulePolicy::parse("random"),
+            Some(SchedulePolicy::Random)
+        );
         assert_eq!(SchedulePolicy::parse("SWEEP"), Some(SchedulePolicy::Sweep));
         assert_eq!(
             SchedulePolicy::parse("pct"),
@@ -367,7 +367,10 @@ mod tests {
         );
         assert_eq!(
             SchedulePolicy::parse("pct:7:512"),
-            Some(SchedulePolicy::Pct { depth: 7, budget: 512 })
+            Some(SchedulePolicy::Pct {
+                depth: 7,
+                budget: 512
+            })
         );
         assert_eq!(SchedulePolicy::parse("pct:seven"), None);
         assert_eq!(SchedulePolicy::parse("fifo"), None);
@@ -377,8 +380,12 @@ mod tests {
     #[test]
     fn seed_streams_differ_in_collision_behaviour() {
         // Sequential: base 0 and base 1 share all but one seed over 8 runs.
-        let a: Vec<u64> = (0..8).map(|i| SeedStream::Sequential.derive(0, i)).collect();
-        let b: Vec<u64> = (0..8).map(|i| SeedStream::Sequential.derive(1, i)).collect();
+        let a: Vec<u64> = (0..8)
+            .map(|i| SeedStream::Sequential.derive(0, i))
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map(|i| SeedStream::Sequential.derive(1, i))
+            .collect();
         let shared = a.iter().filter(|s| b.contains(s)).count();
         assert_eq!(shared, 7, "sequential streams overlap");
         // Split: no overlap at all.
@@ -390,7 +397,10 @@ mod tests {
     #[test]
     fn pct_runs_highest_priority_and_demotes_at_change_points() {
         let mut rng = StdRng::seed_from_u64(0);
-        let policy = SchedulePolicy::Pct { depth: 2, budget: 100 };
+        let policy = SchedulePolicy::Pct {
+            depth: 2,
+            budget: 100,
+        };
         let mut eng = policy.build(42, 24);
         let first = eng.pick(&mut rng, &[0, 1, 2], 0);
         // Before any change point the same goroutine keeps winning.
@@ -422,6 +432,9 @@ mod tests {
         let a = fold_signature(fold_signature(SIGNATURE_SEED, 0, 5), 1, 9);
         let b = fold_signature(fold_signature(SIGNATURE_SEED, 1, 5), 0, 9);
         assert_ne!(a, b);
-        assert_eq!(a, fold_signature(fold_signature(SIGNATURE_SEED, 0, 5), 1, 9));
+        assert_eq!(
+            a,
+            fold_signature(fold_signature(SIGNATURE_SEED, 0, 5), 1, 9)
+        );
     }
 }

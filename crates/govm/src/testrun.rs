@@ -10,9 +10,10 @@
 use crate::compile::{compile_sources, CompileOptions};
 use crate::sched::{SchedulePolicy, SeedStream};
 use crate::value::Value;
-use crate::vm::{RunError, RunResult, Vm, VmOptions};
+use crate::vm::{ProgContext, RunCounters, RunError, RunResult, Vm, VmOptions};
 use crate::Program;
 use racedet::RaceReport;
+use std::rc::Rc;
 
 /// Configuration for a test campaign.
 ///
@@ -98,6 +99,8 @@ pub struct TestOutcome {
     pub distinct_schedules: u32,
     /// Runs whose schedule signature had already been explored.
     pub duplicate_schedules: u32,
+    /// Deterministic hot-path counters summed over the executed runs.
+    pub counters: RunCounters,
 }
 
 impl TestOutcome {
@@ -149,6 +152,10 @@ pub fn run_test_many(prog: &Program, test: &str, cfg: &TestConfig) -> TestOutcom
     let mut distinct = 0u32;
     let mut duplicates = 0u32;
     let mut dup_streak = 0u32;
+    let mut counters = RunCounters::default();
+    // One shared name-table context for the whole campaign: the per-run
+    // VMs skip the pool re-interning that dominates short runs.
+    let ctx = Rc::new(ProgContext::new(prog));
     for i in 0..cfg.runs {
         // The budget never cancels the first run: a campaign that
         // executes zero schedules would report vacuously clean, which a
@@ -161,11 +168,12 @@ pub fn run_test_many(prog: &Program, test: &str, cfg: &TestConfig) -> TestOutcom
         let mut vmo = cfg.vm.clone();
         vmo.seed = cfg.seed_stream.derive(cfg.seed, i as u64);
         vmo.policy = cfg.policy.clone();
-        let mut vm = Vm::new(prog, vmo);
+        let mut vm = Vm::with_context(prog, vmo, ctx.clone());
         let t = make_t(&mut vm, test);
         let r = vm.run(test, vec![t]);
         executed += 1;
         steps += r.steps;
+        counters.accumulate(&r.counters);
         if sigs.insert(r.schedule_sig) {
             distinct += 1;
             dup_streak = 0;
@@ -203,6 +211,7 @@ pub fn run_test_many(prog: &Program, test: &str, cfg: &TestConfig) -> TestOutcom
         steps,
         distinct_schedules: distinct,
         duplicate_schedules: duplicates,
+        counters,
     }
 }
 
@@ -230,7 +239,11 @@ fn make_t(vm: &mut Vm, test: &str) -> Value {
     let fields = vec![
         ("name".to_owned(), Value::str(test), vm.intern("name")),
         ("$parent".to_owned(), Value::Int(-1), vm.intern("$parent")),
-        ("$signaled".to_owned(), Value::Bool(true), vm.intern("$signaled")),
+        (
+            "$signaled".to_owned(),
+            Value::Bool(true),
+            vm.intern("$signaled"),
+        ),
     ];
     vm.heap.alloc_struct_named("testing.T", fields)
 }

@@ -114,9 +114,7 @@ impl Value {
             (Value::Bool(a), Value::Bool(b)) => a == b,
             (Value::Int(a), Value::Int(b)) => a == b,
             (Value::Float(a), Value::Float(b)) => a == b,
-            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
-                *a as f64 == *b
-            }
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => *a as f64 == *b,
             (Value::Str(a), Value::Str(b)) => a == b,
             (Value::Error(a), Value::Error(b)) => a == b,
             (Value::Ptr(a), Value::Ptr(b)) => a == b,
@@ -289,10 +287,7 @@ pub struct StructObj {
 impl StructObj {
     /// Looks up a field cell by name.
     pub fn field(&self, name: &str) -> Option<Addr> {
-        self.fields
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, a)| *a)
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, a)| *a)
     }
 }
 

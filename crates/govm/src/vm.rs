@@ -10,10 +10,12 @@ use crate::bytecode::{Program, TypeHint};
 use crate::natives;
 use crate::sched::{self, SchedulePolicy, Scheduler};
 use crate::value::*;
-use racedet::{Detector, Frame as RFrame, GoroutineInfo, RaceReport, VectorClock};
+use racedet::{DetStats, Detector, Frame as RFrame, GoroutineInfo, RaceReport, VectorClock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::rc::Rc;
 
 /// VM configuration.
 #[derive(Debug, Clone)]
@@ -60,11 +62,49 @@ impl std::fmt::Display for RunError {
         match self {
             RunError::Panic(m) => write!(f, "panic: {m}"),
             RunError::Deadlock(m) => {
-                write!(f, "fatal error: all goroutines are asleep - deadlock! ({m})")
+                write!(
+                    f,
+                    "fatal error: all goroutines are asleep - deadlock! ({m})"
+                )
             }
             RunError::StepLimit => write!(f, "step limit exceeded (possible livelock)"),
             RunError::Internal(m) => write!(f, "internal error: {m}"),
         }
+    }
+}
+
+/// Deterministic hot-path cost counters for one run.
+///
+/// Every field is an exact function of the executed schedule — nothing
+/// here depends on wall-clock, addresses or hashing seeds — so a seed
+/// replays to bit-identical counters on any machine. The perf CI gate
+/// (`make perf-smoke`) diffs these against a checked-in baseline, which
+/// is what makes hot-path regressions detectable without flaky
+/// wall-clock thresholds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunCounters {
+    /// Instructions executed.
+    pub vm_steps: u64,
+    /// Scheduling decisions made.
+    pub sched_points: u64,
+    /// Stack snapshots materialised (detector slow path + goroutine
+    /// creation stacks).
+    pub stack_snapshots: u64,
+    /// Memory accesses answered without a stack snapshot (the detector's
+    /// same-epoch fast path).
+    pub snapshots_avoided: u64,
+    /// Detector-side counters (events, fast hits, clock joins/allocs).
+    pub det: DetStats,
+}
+
+impl RunCounters {
+    /// Accumulates `other` into `self` (campaign-level aggregation).
+    pub fn accumulate(&mut self, other: &RunCounters) {
+        self.vm_steps += other.vm_steps;
+        self.sched_points += other.sched_points;
+        self.stack_snapshots += other.stack_snapshots;
+        self.snapshots_avoided += other.snapshots_avoided;
+        self.det.accumulate(&other.det);
     }
 }
 
@@ -87,6 +127,8 @@ pub struct RunResult {
     pub schedule_sig: u64,
     /// Scheduling decisions made during the run.
     pub sched_points: u64,
+    /// Deterministic hot-path cost counters (see [`RunCounters`]).
+    pub counters: RunCounters,
 }
 
 impl RunResult {
@@ -183,6 +225,34 @@ pub(crate) struct Goroutine {
 
 const UNBOUND: Addr = Addr::MAX;
 
+/// Immutable per-program runtime tables: the interned string pool and
+/// its reverse map.
+///
+/// Building these is a large share of a short run's total cost (every
+/// pool name used to be re-allocated and re-hashed per `Vm`). A
+/// campaign builds one `ProgContext` and shares it across all of its
+/// runs via [`Vm::with_context`]; runtime-interned names layer on top
+/// per VM, with ids continuing past the pool, so sharing is invisible
+/// to program semantics.
+#[derive(Debug)]
+pub struct ProgContext {
+    names: Vec<Rc<str>>,
+    name_map: HashMap<Rc<str>, u32>,
+}
+
+impl ProgContext {
+    /// Interns `prog`'s string pool.
+    pub fn new(prog: &Program) -> Self {
+        let names: Vec<Rc<str>> = prog.pool.iter().map(|s| Rc::from(s.as_str())).collect();
+        let name_map = names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), i as u32))
+            .collect();
+        ProgContext { names, name_map }
+    }
+}
+
 /// The virtual machine.
 pub struct Vm<'p> {
     pub(crate) prog: &'p Program,
@@ -193,10 +263,20 @@ pub struct Vm<'p> {
     pub(crate) steps: u64,
     pub(crate) opts: VmOptions,
     pub(crate) globals: Vec<Addr>,
-    pub(crate) names: Vec<String>,
-    pub(crate) name_map: HashMap<String, u32>,
+    /// Shared per-program tables (interned pool names); one campaign
+    /// builds this once and every run's VM reuses it.
+    ctx: Rc<ProgContext>,
+    /// Names interned at runtime, ids continuing past `ctx.names`.
+    extra_names: Vec<Rc<str>>,
+    extra_name_map: HashMap<Rc<str>, u32>,
     frame_table: Vec<(u32, u32)>,
     frame_map: HashMap<(u32, u32), u32>,
+    /// Reusable stack-snapshot buffer (detector slow path).
+    snap_scratch: Vec<u32>,
+    /// Reusable runnable-set buffer for the scheduler loop.
+    runnable_buf: Vec<Gid>,
+    /// Stack snapshots materialised so far.
+    snapshots_taken: u64,
     pub(crate) output: String,
     pub(crate) test_failures: Vec<String>,
     /// `(fire step, channel)` timers (context deadlines, `time.After`).
@@ -243,17 +323,32 @@ impl<'p> Vm<'p> {
     /// Creates a VM driven by a caller-supplied scheduling engine —
     /// the extension point for exploration strategies beyond the
     /// built-in [`SchedulePolicy`] variants.
-    pub fn with_scheduler(
+    pub fn with_scheduler(prog: &'p Program, opts: VmOptions, sched: Box<dyn Scheduler>) -> Self {
+        Self::with_parts(prog, opts, sched, Rc::new(ProgContext::new(prog)))
+    }
+
+    /// Creates a VM from a pre-built per-program context.
+    ///
+    /// Campaigns ([`crate::run_test_many`]) build the [`ProgContext`]
+    /// once and hand a clone to every run, so the per-run constructor
+    /// does no name interning at all — a large share of a short run's
+    /// cost at campaign scale.
+    pub fn with_context(prog: &'p Program, opts: VmOptions, ctx: Rc<ProgContext>) -> Self {
+        let engine = opts.policy.build(opts.seed, opts.preempt_max);
+        Self::with_parts(prog, opts, engine, ctx)
+    }
+
+    fn with_parts(
         prog: &'p Program,
         opts: VmOptions,
         sched: Box<dyn Scheduler>,
+        ctx: Rc<ProgContext>,
     ) -> Self {
-        let names: Vec<String> = prog.pool.clone();
-        let name_map = names
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (s.clone(), i as u32))
-            .collect();
+        debug_assert_eq!(
+            ctx.names.len(),
+            prog.pool.len(),
+            "context built for another program"
+        );
         let mut vm = Vm {
             prog,
             heap: Heap::new(),
@@ -263,10 +358,14 @@ impl<'p> Vm<'p> {
             steps: 0,
             opts,
             globals: Vec::new(),
-            names,
-            name_map,
+            ctx,
+            extra_names: Vec::new(),
+            extra_name_map: HashMap::new(),
             frame_table: Vec::new(),
             frame_map: HashMap::new(),
+            snap_scratch: Vec::new(),
+            runnable_buf: Vec::new(),
+            snapshots_taken: 0,
             output: String::new(),
             test_failures: Vec::new(),
             timers: Vec::new(),
@@ -288,13 +387,46 @@ impl<'p> Vm<'p> {
 
     /// Interns a runtime string into the name table.
     pub(crate) fn intern(&mut self, s: &str) -> u32 {
-        if let Some(&id) = self.name_map.get(s) {
+        if let Some(id) = self.lookup_name(s) {
             return id;
         }
-        let id = self.names.len() as u32;
-        self.names.push(s.to_owned());
-        self.name_map.insert(s.to_owned(), id);
+        let id = (self.ctx.names.len() + self.extra_names.len()) as u32;
+        let rc: Rc<str> = Rc::from(s);
+        self.extra_names.push(rc.clone());
+        self.extra_name_map.insert(rc, id);
         id
+    }
+
+    /// Resolves an interned name id (pool names first, then runtime
+    /// interns).
+    pub(crate) fn name(&self, id: u32) -> &Rc<str> {
+        self.name_opt(id).expect("dangling name id")
+    }
+
+    /// [`Vm::name`], tolerating out-of-range ids.
+    pub(crate) fn name_opt(&self, id: u32) -> Option<&Rc<str>> {
+        let id = id as usize;
+        let base = self.ctx.names.len();
+        if id < base {
+            self.ctx.names.get(id)
+        } else {
+            self.extra_names.get(id - base)
+        }
+    }
+
+    /// Looks up an interned id by name (pool first, then runtime).
+    pub(crate) fn lookup_name(&self, s: &str) -> Option<u32> {
+        self.ctx
+            .name_map
+            .get(s)
+            .copied()
+            .or_else(|| self.extra_name_map.get(s).copied())
+    }
+
+    /// The interned `Rc<str>` for string-pool id `id` — a refcount bump,
+    /// no allocation.
+    pub(crate) fn const_str(&mut self, id: u32) -> Rc<str> {
+        self.ctx.names[id as usize].clone()
     }
 
     pub(crate) fn zero_value(&mut self, hint: TypeHint) -> Value {
@@ -315,16 +447,16 @@ impl<'p> Vm<'p> {
             TypeHint::WaitGroup => self.heap.alloc_waitgroup(),
             TypeHint::SyncMap => self.heap.alloc_syncmap(),
             TypeHint::Struct(name) => {
-                let def = self.prog.struct_type(name).cloned();
-                match def {
+                let prog = self.prog;
+                match prog.struct_type(name) {
                     Some(def) => {
-                        let mut fields = Vec::new();
-                        for (fname, fhint) in def.fields {
-                            let v = self.zero_value(self.prog.hints[fhint as usize]);
-                            fields.push((self.prog.str(fname).to_owned(), v, fname));
+                        let mut fields = Vec::with_capacity(def.fields.len());
+                        for &(fname, fhint) in &def.fields {
+                            let v = self.zero_value(prog.hints[fhint as usize]);
+                            fields.push((prog.str(fname).to_owned(), v, fname));
                         }
                         self.heap
-                            .alloc_struct_named(self.prog.str(name).to_owned(), fields)
+                            .alloc_struct_named(prog.str(name).to_owned(), fields)
                     }
                     None => Value::Nil,
                 }
@@ -344,20 +476,31 @@ impl<'p> Vm<'p> {
         id
     }
 
+    /// Fills `out` with `gid`'s stack as interned frame ids, innermost
+    /// first. Single pass, no intermediate allocation; `out` is cleared
+    /// first so a scratch buffer can be reused across calls.
+    pub(crate) fn fill_stack_snapshot(&mut self, gid: Gid, out: &mut Vec<u32>) {
+        out.clear();
+        self.snapshots_taken += 1;
+        let prog = self.prog;
+        for idx in (0..self.gos[gid].frames.len()).rev() {
+            let (fid, pc) = {
+                let f = &self.gos[gid].frames[idx];
+                (f.func, f.pc)
+            };
+            let func = &prog.funcs[fid as usize];
+            let pc = pc.min(func.lines.len().saturating_sub(1));
+            let line = func.lines.get(pc).copied().unwrap_or(0);
+            let id = self.frame_id(fid, line);
+            out.push(id);
+        }
+    }
+
     /// Snapshot of `gid`'s stack as interned frame ids, innermost first.
     pub(crate) fn stack_snapshot(&mut self, gid: Gid) -> Vec<u32> {
-        let raw: Vec<(u32, u32)> = self.gos[gid]
-            .frames
-            .iter()
-            .rev()
-            .map(|f| {
-                let func = &self.prog.funcs[f.func as usize];
-                let pc = f.pc.min(func.lines.len().saturating_sub(1));
-                let line = func.lines.get(pc).copied().unwrap_or(0);
-                (f.func, line)
-            })
-            .collect();
-        raw.into_iter().map(|(f, l)| self.frame_id(f, l)).collect()
+        let mut out = Vec::with_capacity(self.gos[gid].frames.len());
+        self.fill_stack_snapshot(gid, &mut out);
+        out
     }
 
     fn resolve_frame(&self, id: u32) -> RFrame {
@@ -371,20 +514,59 @@ impl<'p> Vm<'p> {
     }
 
     // ------------------------------------------------------- tracked cells
+    //
+    // Every access first asks the detector's same-epoch fast path; only
+    // a miss materialises a stack snapshot (into a reusable scratch
+    // buffer) and runs the full FastTrack transfer function. On the
+    // loop-heavy exposure corpus the fast path answers the large
+    // majority of accesses, which is where the hot-path speedup comes
+    // from — see DESIGN.md "Hot-path architecture".
+
+    /// Detector slow path for a read: snapshot the stack, run the full
+    /// transfer function.
+    #[cold]
+    fn det_read_slow(&mut self, gid: Gid, addr: Addr) {
+        let mut buf = std::mem::take(&mut self.snap_scratch);
+        self.fill_stack_snapshot(gid, &mut buf);
+        let name = self.heap.cell_name(addr);
+        self.det.read_slow(gid, addr, name, &buf);
+        self.snap_scratch = buf;
+    }
+
+    /// Detector slow path for a write.
+    #[cold]
+    fn det_write_slow(&mut self, gid: Gid, addr: Addr) {
+        let mut buf = std::mem::take(&mut self.snap_scratch);
+        self.fill_stack_snapshot(gid, &mut buf);
+        let name = self.heap.cell_name(addr);
+        self.det.write_slow(gid, addr, name, &buf);
+        self.snap_scratch = buf;
+    }
+
+    /// Race-tracks a read of `addr` without touching the value.
+    pub(crate) fn track_read(&mut self, gid: Gid, addr: Addr) {
+        if !self.det.read_fast(gid, addr) {
+            self.det_read_slow(gid, addr);
+        }
+    }
+
+    /// Race-tracks a write to `addr` without touching the value
+    /// (structural mutations: slice/map headers, cell initialisation).
+    pub(crate) fn track_write(&mut self, gid: Gid, addr: Addr) {
+        if !self.det.write_fast(gid, addr) {
+            self.det_write_slow(gid, addr);
+        }
+    }
 
     /// Race-tracked cell read by `gid`.
     pub(crate) fn read_cell(&mut self, gid: Gid, addr: Addr) -> Value {
-        let stack = self.stack_snapshot(gid);
-        let name = self.heap.cell_name(addr);
-        self.det.read(gid, addr, name, &stack);
+        self.track_read(gid, addr);
         self.heap.cells[addr as usize].clone()
     }
 
     /// Race-tracked cell write by `gid`.
     pub(crate) fn write_cell(&mut self, gid: Gid, addr: Addr, v: Value) {
-        let stack = self.stack_snapshot(gid);
-        let name = self.heap.cell_name(addr);
-        self.det.write(gid, addr, name, &stack);
+        self.track_write(gid, addr);
         self.heap.cells[addr as usize] = v;
     }
 
@@ -423,7 +605,8 @@ impl<'p> Vm<'p> {
             block_reason: "",
             on_exit: None,
         });
-        self.push_call(gid, callee, args).map_err(|e| format!("go: {e}"))?;
+        self.push_call(gid, callee, args)
+            .map_err(|e| format!("go: {e}"))?;
         Ok(gid)
     }
 
@@ -449,7 +632,7 @@ impl<'p> Vm<'p> {
                 } else {
                     Err(format!(
                         "unknown method `{}` on {}",
-                        self.names[name as usize],
+                        self.name(name),
                         all[0].type_name()
                     ))
                 }
@@ -460,15 +643,15 @@ impl<'p> Vm<'p> {
 
     /// Resolves a declared (non-native) method for a receiver value.
     pub(crate) fn method_func(&self, recv: &Value, name: u32) -> Option<u32> {
-        let tname = match recv {
-            Value::Struct(r) => Some(self.heap.structs[*r].type_name.clone()),
+        let tname: &str = match recv {
+            Value::Struct(r) => &self.heap.structs[*r].type_name,
             Value::Ptr(a) => match &self.heap.cells[*a as usize] {
-                Value::Struct(r) => Some(self.heap.structs[*r].type_name.clone()),
-                _ => None,
+                Value::Struct(r) => &self.heap.structs[*r].type_name,
+                _ => return None,
             },
-            _ => None,
-        }?;
-        let tid = *self.name_map.get(&tname)?;
+            _ => return None,
+        };
+        let tid = self.lookup_name(tname)?;
         self.prog.method_of(tid, name)
     }
 
@@ -527,11 +710,7 @@ impl<'p> Vm<'p> {
         }
         let entry_id = match self.prog.find_func(entry) {
             Some(f) => f,
-            None => {
-                return self.finish(Some(RunError::Internal(format!(
-                    "no function `{entry}`"
-                ))))
-            }
+            None => return self.finish(Some(RunError::Internal(format!("no function `{entry}`")))),
         };
         let parent = if self.gos.is_empty() { None } else { Some(0) };
         let root = match self.spawn(parent, Value::Func(entry_id), args) {
@@ -575,14 +754,14 @@ impl<'p> Vm<'p> {
                 RaceReport {
                     accesses: [mk(&raw.cur, self), mk(&raw.prev, self)],
                     var_name: self
-                        .names
-                        .get(raw.var as usize)
-                        .cloned()
+                        .name_opt(raw.var)
+                        .map(|n| n.to_string())
                         .unwrap_or_default(),
                     addr: raw.addr,
                 }
             })
             .collect();
+        let det = *self.det.stats();
         RunResult {
             races,
             error,
@@ -591,6 +770,13 @@ impl<'p> Vm<'p> {
             test_failures: std::mem::take(&mut self.test_failures),
             schedule_sig: self.sched_sig,
             sched_points: self.sched_points,
+            counters: RunCounters {
+                vm_steps: self.steps,
+                sched_points: self.sched_points,
+                stack_snapshots: self.snapshots_taken,
+                snapshots_avoided: det.fast_hits(),
+                det,
+            },
         }
     }
 
@@ -611,10 +797,13 @@ impl<'p> Vm<'p> {
                 return;
             }
             self.fire_timers();
-            let runnable: Vec<Gid> = (0..self.gos.len())
-                .filter(|&g| self.gos[g].status == Status::Runnable)
-                .collect();
-            if runnable.is_empty() {
+            self.runnable_buf.clear();
+            for g in 0..self.gos.len() {
+                if self.gos[g].status == Status::Runnable {
+                    self.runnable_buf.push(g);
+                }
+            }
+            if self.runnable_buf.is_empty() {
                 let any_blocked = self.gos.iter().any(|g| g.status == Status::Blocked);
                 if !any_blocked {
                     return;
@@ -633,9 +822,11 @@ impl<'p> Vm<'p> {
                 }
                 return;
             }
-            let decision = self.sched.pick(&mut self.rng, &runnable, self.steps);
+            let decision = self
+                .sched
+                .pick(&mut self.rng, &self.runnable_buf, self.steps);
             debug_assert!(
-                runnable.contains(&decision.gid),
+                self.runnable_buf.contains(&decision.gid),
                 "scheduler picked a non-runnable goroutine"
             );
             // The signature records *context switches* only: re-picking
@@ -644,8 +835,7 @@ impl<'p> Vm<'p> {
             // folding those decisions would make semantically identical
             // schedules hash differently and defeat campaign dedup.
             if self.last_running != Some(decision.gid) {
-                self.sched_sig =
-                    sched::fold_signature(self.sched_sig, decision.gid, self.steps);
+                self.sched_sig = sched::fold_signature(self.sched_sig, decision.gid, self.steps);
                 self.last_running = Some(decision.gid);
             }
             self.sched_points += 1;
@@ -749,8 +939,7 @@ impl<'p> Vm<'p> {
             self.steps += 1;
 
             // Unwinding frames (defers) take priority over fetch.
-            if self
-                .gos[gid]
+            if self.gos[gid]
                 .frames
                 .last()
                 .map(|f| f.returning.is_some())
@@ -764,15 +953,17 @@ impl<'p> Vm<'p> {
                 self.gos[gid].status = Status::Done;
                 return;
             };
-            let code = &self.prog.funcs[fid as usize].code;
+            // `prog` outlives the `&mut self` borrow below, so the
+            // fetched instruction is executed by reference — no
+            // per-instruction `Op` clone.
+            let code: &'p [crate::bytecode::Op] = &self.prog.funcs[fid as usize].code;
             if pc >= code.len() {
                 // Fallthrough: return nil (compiler normally emits an
                 // explicit return, so this is a safety net).
                 self.start_return(gid, Value::Nil);
                 continue;
             }
-            let op = code[pc].clone();
-            match crate::ops::exec(self, gid, op) {
+            match crate::ops::exec(self, gid, &code[pc]) {
                 Flow::Next => {
                     if let Some(f) = self.gos[gid].frames.last_mut() {
                         f.pc += 1;
@@ -824,14 +1015,8 @@ impl<'p> Vm<'p> {
                 Value::Method { recv, name } => {
                     // Native defers (wg.Done, mu.Unlock) run eagerly.
                     if self.method_func(recv, *name).is_none() {
-                        let method = self.names[*name as usize].clone();
-                        match natives::dispatch_method(
-                            self,
-                            gid,
-                            (**recv).clone(),
-                            &method,
-                            args,
-                        ) {
+                        let method = self.name(*name).clone();
+                        match natives::dispatch_method(self, gid, (**recv).clone(), &method, args) {
                             natives::MethodOutcome::Done(_) => {}
                             natives::MethodOutcome::Error(e) => {
                                 self.do_panic(gid, e);
@@ -890,14 +1075,9 @@ impl<'p> Vm<'p> {
             for (callee, args) in frame.defers.into_iter().rev() {
                 if let Value::Method { recv, name } = &callee {
                     if self.method_func(recv, *name).is_none() {
-                        let method = self.names[*name as usize].clone();
-                        let _ = natives::dispatch_method(
-                            self,
-                            gid,
-                            (**recv).clone(),
-                            &method,
-                            args,
-                        );
+                        let method = self.name(*name).clone();
+                        let _ =
+                            natives::dispatch_method(self, gid, (**recv).clone(), &method, args);
                     }
                 }
             }

@@ -210,7 +210,10 @@ fn policies() -> Vec<SchedulePolicy> {
     vec![
         SchedulePolicy::Random,
         SchedulePolicy::pct(),
-        SchedulePolicy::Pct { depth: 8, budget: 256 },
+        SchedulePolicy::Pct {
+            depth: 8,
+            budget: 256,
+        },
         SchedulePolicy::Sweep,
     ]
 }
@@ -266,7 +269,10 @@ fn schedule_signature_identifies_interleavings() {
     let mut distinct = std::collections::HashSet::new();
     for seed in 0..64u64 {
         let r = run_test(&prog, "TestWork", seed);
-        assert_ne!(r.schedule_sig, SIGNATURE_SEED, "signature must fold decisions");
+        assert_ne!(
+            r.schedule_sig, SIGNATURE_SEED,
+            "signature must fold decisions"
+        );
         assert!(r.sched_points > 0);
         if let Some(prev) = by_sig.insert(r.schedule_sig, r.steps) {
             assert_eq!(prev, r.steps, "same signature, different step count");
@@ -287,7 +293,11 @@ fn bug_hash_is_stable_across_schedules_and_policies() {
             let r = run_test_with(
                 &prog,
                 "TestWork",
-                VmOptions { seed, policy: policy.clone(), ..VmOptions::default() },
+                VmOptions {
+                    seed,
+                    policy: policy.clone(),
+                    ..VmOptions::default()
+                },
             );
             for race in &r.races {
                 hashes.insert(race.bug_hash());
@@ -310,13 +320,21 @@ fn bug_hash_is_stable_across_schedules_and_policies() {
 #[test]
 fn nearby_base_seeds_no_longer_share_schedules() {
     let runs = 16u64;
-    let seq_a: Vec<u64> = (0..runs).map(|i| SeedStream::Sequential.derive(100, i)).collect();
-    let seq_b: Vec<u64> = (0..runs).map(|i| SeedStream::Sequential.derive(101, i)).collect();
+    let seq_a: Vec<u64> = (0..runs)
+        .map(|i| SeedStream::Sequential.derive(100, i))
+        .collect();
+    let seq_b: Vec<u64> = (0..runs)
+        .map(|i| SeedStream::Sequential.derive(101, i))
+        .collect();
     let overlap = seq_a.iter().filter(|s| seq_b.contains(s)).count();
     assert_eq!(overlap as u64, runs - 1, "the bug: all but one seed shared");
 
-    let split_a: Vec<u64> = (0..runs).map(|i| SeedStream::Split.derive(100, i)).collect();
-    let split_b: Vec<u64> = (0..runs).map(|i| SeedStream::Split.derive(101, i)).collect();
+    let split_a: Vec<u64> = (0..runs)
+        .map(|i| SeedStream::Split.derive(100, i))
+        .collect();
+    let split_b: Vec<u64> = (0..runs)
+        .map(|i| SeedStream::Split.derive(101, i))
+        .collect();
     assert!(
         split_a.iter().all(|s| !split_b.contains(s)),
         "split streams must be disjoint"
@@ -352,7 +370,10 @@ func TestSum(t *testing.T) {
     let unbounded = run_test_many(
         &prog,
         "TestSum",
-        &TestConfig { runs: 50, ..TestConfig::default() },
+        &TestConfig {
+            runs: 50,
+            ..TestConfig::default()
+        },
     );
     assert_eq!(unbounded.runs, 50);
     assert_eq!(unbounded.distinct_schedules, 1);
@@ -361,7 +382,11 @@ func TestSum(t *testing.T) {
     let bounded = run_test_many(
         &prog,
         "TestSum",
-        &TestConfig { runs: 50, dedup_streak: Some(3), ..TestConfig::default() },
+        &TestConfig {
+            runs: 50,
+            dedup_streak: Some(3),
+            ..TestConfig::default()
+        },
     );
     assert_eq!(bounded.runs, 4, "1 fresh + 3 duplicate runs, then exit");
     assert!(bounded.is_clean());
@@ -380,7 +405,10 @@ fn step_budget_bounds_campaign_cost() {
     let full = run_test_many(
         &prog,
         "TestGuarded",
-        &TestConfig { runs: 32, ..TestConfig::default() },
+        &TestConfig {
+            runs: 32,
+            ..TestConfig::default()
+        },
     );
     assert_eq!(full.runs, 32);
     let per_run = full.steps / full.runs as u64;
@@ -388,12 +416,20 @@ fn step_budget_bounds_campaign_cost() {
     let capped = run_test_many(
         &prog,
         "TestGuarded",
-        &TestConfig { runs: 32, max_total_steps: Some(budget), ..TestConfig::default() },
+        &TestConfig {
+            runs: 32,
+            max_total_steps: Some(budget),
+            ..TestConfig::default()
+        },
     );
     assert!(capped.runs < full.runs, "budget must stop early");
     // The budget check runs between schedules, so the overshoot is at
     // most one run.
-    assert!(capped.steps <= budget + 2 * per_run, "{} vs {budget}", capped.steps);
+    assert!(
+        capped.steps <= budget + 2 * per_run,
+        "{} vs {budget}",
+        capped.steps
+    );
 }
 
 /// PCT and sweep explore at least as many distinct interleavings as the
@@ -405,7 +441,11 @@ fn exploration_policies_produce_distinct_schedules() {
         let out = run_test_many(
             &prog,
             "TestPipe",
-            &TestConfig { runs: 16, policy: policy.clone(), ..TestConfig::default() },
+            &TestConfig {
+                runs: 16,
+                policy: policy.clone(),
+                ..TestConfig::default()
+            },
         );
         assert!(
             out.distinct_schedules >= 2,

@@ -842,11 +842,18 @@ func TestRead(t *testing.T) {
         ..TestConfig::default()
     };
     let out = govm::run_test_many(&prog, "TestRead", &cfg);
-    assert!(!out.races.is_empty(), "shared hash must race across subtests");
+    assert!(
+        !out.races.is_empty(),
+        "shared hash must race across subtests"
+    );
 
     let prog2 = compile(fixed);
     let out2 = govm::run_test_many(&prog2, "TestRead", &cfg);
-    assert!(out2.races.is_empty(), "per-case hash is clean: {:?}", out2.races.first().map(|r| r.render()));
+    assert!(
+        out2.races.is_empty(),
+        "per-case hash is clean: {:?}",
+        out2.races.first().map(|r| r.render())
+    );
     assert!(out2.error.is_none(), "{:?}", out2.error);
 }
 

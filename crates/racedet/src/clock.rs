@@ -41,6 +41,14 @@ impl VectorClock {
         v
     }
 
+    /// Overwrites `self` with `other`'s contents, reusing `self`'s
+    /// buffer. The reuse is what lets sync objects be re-released on
+    /// every lock handoff without a fresh clock allocation.
+    pub fn copy_from(&mut self, other: &VectorClock) {
+        self.entries.clear();
+        self.entries.extend_from_slice(&other.entries);
+    }
+
     /// Joins `other` into `self` (pointwise maximum).
     pub fn join(&mut self, other: &VectorClock) {
         if self.entries.len() < other.entries.len() {

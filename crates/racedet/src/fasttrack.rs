@@ -8,11 +8,37 @@
 //! per-message channel synchronisation). Races are recorded — never
 //! thrown — so a run reports every distinct race it observes, matching
 //! the Go race detector's behaviour.
+//!
+//! # Hot path
+//!
+//! FastTrack's defining observation is that the overwhelming majority of
+//! accesses repeat within the owning thread's current epoch and need no
+//! vector-clock work at all. The detector therefore exposes a two-phase
+//! API so the *host* can skip its own per-access bookkeeping too:
+//!
+//! 1. [`Detector::read_fast`] / [`Detector::write_fast`] perform the
+//!    same-epoch check without needing a call stack — when they return
+//!    `true` the event is fully processed and the host never has to
+//!    materialise a stack snapshot;
+//! 2. on a miss, the host builds the stack and calls
+//!    [`Detector::read_slow`] / [`Detector::write_slow`], which run the
+//!    full FastTrack transfer function.
+//!
+//! [`Detector::read`] / [`Detector::write`] remain as the combined
+//! single-call form. Variable states live in a dense array indexed by
+//! address (the host allocates cells densely), sync/dedup maps use a
+//! fast deterministic hasher, and every clock operation either joins in
+//! place or reuses an existing buffer — [`Detector::stats`] counts the
+//! events, fast-path hits, joins, clock allocations and the allocations
+//! those reuses avoided, and the counters are exactly reproducible for
+//! a given event sequence (the CI perf gate diffs them against a
+//! checked-in baseline).
 
 use crate::clock::{Epoch, ThreadId, VectorClock};
 use crate::report::{AccessKind, Fnv1a};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// Abstract address of a monitored memory cell.
 pub type Addr = u64;
@@ -22,6 +48,89 @@ pub type NameId = u32;
 
 /// Interned id of a stack frame (resolved by the host VM).
 pub type FrameId = u32;
+
+/// Addresses below this bound get dense (array-indexed) variable state;
+/// anything above falls back to a hash map. Hosts that allocate cells
+/// densely from zero — `govm` does — never touch the map.
+const DENSE_LIMIT: usize = 1 << 22;
+
+/// A fast, deterministic multiply-xor hasher (FxHash-style) for the
+/// detector's interior maps. With the default SipHash, keying the sync
+/// and dedup tables dominates per-event cost; none of these tables is
+/// ever iterated, so hash quality only has to be good enough to spread
+/// dense ids.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FastHasher(u64);
+
+const FAST_HASH_K: u64 = 0x517c_c1b7_2722_0a95;
+
+impl Hasher for FastHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0.rotate_left(5) ^ u64::from(b)).wrapping_mul(FAST_HASH_K);
+        }
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        self.0 = (self.0.rotate_left(5) ^ i).wrapping_mul(FAST_HASH_K);
+    }
+
+    fn write_u32(&mut self, i: u32) {
+        self.write_u64(u64::from(i));
+    }
+
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`].
+pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
+
+/// Deterministic hot-path cost counters for one detector instance.
+///
+/// Every field is an exact function of the event sequence (no clocks,
+/// no addresses-of-allocations), so two runs of the same schedule
+/// produce bit-identical counters on any machine — which is what lets
+/// the perf CI gate compare them against a checked-in baseline without
+/// wall-clock flakiness.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetStats {
+    /// Read/write events processed.
+    pub events: u64,
+    /// Reads fully answered by the same-epoch fast path.
+    pub read_fast_hits: u64,
+    /// Writes fully answered by the same-epoch fast path.
+    pub write_fast_hits: u64,
+    /// Full vector-clock joins performed.
+    pub clock_joins: u64,
+    /// Vector clocks freshly allocated (clones and promotions).
+    pub clock_allocs: u64,
+    /// Clock allocations avoided by joining in place or reusing an
+    /// existing sync-object buffer.
+    pub clock_allocs_avoided: u64,
+}
+
+impl DetStats {
+    /// Accumulates `other` into `self` (campaign-level aggregation).
+    pub fn accumulate(&mut self, other: &DetStats) {
+        self.events += other.events;
+        self.read_fast_hits += other.read_fast_hits;
+        self.write_fast_hits += other.write_fast_hits;
+        self.clock_joins += other.clock_joins;
+        self.clock_allocs += other.clock_allocs;
+        self.clock_allocs_avoided += other.clock_allocs_avoided;
+    }
+
+    /// Fast-path hits across reads and writes.
+    pub fn fast_hits(&self) -> u64 {
+        self.read_fast_hits + self.write_fast_hits
+    }
+}
 
 /// A compact access record: kind, interned stack (innermost first), and
 /// the acting thread.
@@ -77,12 +186,14 @@ impl Default for VarState {
 #[derive(Debug, Default)]
 pub struct Detector {
     clocks: Vec<VectorClock>,
-    vars: HashMap<Addr, VarState>,
-    syncs: HashMap<u64, VectorClock>,
+    /// Dense per-address variable state (addresses below [`DENSE_LIMIT`]).
+    vars: Vec<VarState>,
+    /// Overflow variable state for sparse high addresses.
+    vars_sparse: HashMap<Addr, VarState, FastBuildHasher>,
+    syncs: HashMap<u64, VectorClock, FastBuildHasher>,
     races: Vec<RawRace>,
-    dedup: HashSet<u64>,
-    /// Total read/write events processed (for instrumentation benches).
-    pub events: u64,
+    dedup: HashSet<u64, FastBuildHasher>,
+    stats: DetStats,
 }
 
 impl Detector {
@@ -100,6 +211,27 @@ impl Detector {
         self.clocks.len()
     }
 
+    /// The deterministic cost counters accumulated so far.
+    pub fn stats(&self) -> &DetStats {
+        &self.stats
+    }
+
+    fn var_mut<'a>(
+        dense: &'a mut Vec<VarState>,
+        sparse: &'a mut HashMap<Addr, VarState, FastBuildHasher>,
+        addr: Addr,
+    ) -> &'a mut VarState {
+        let i = addr as usize;
+        if addr < DENSE_LIMIT as Addr {
+            if i >= dense.len() {
+                dense.resize_with(i + 1, VarState::default);
+            }
+            &mut dense[i]
+        } else {
+            sparse.entry(addr).or_default()
+        }
+    }
+
     /// Registers a new thread forked by `parent`, returning its id.
     ///
     /// Establishes the happens-before edge from the `go` statement to the
@@ -107,6 +239,7 @@ impl Detector {
     pub fn fork(&mut self, parent: ThreadId) -> ThreadId {
         let child = self.clocks.len();
         let mut cc = self.clocks[parent].clone();
+        self.stats.clock_allocs += 1;
         cc.tick(child);
         self.clocks.push(cc);
         self.clocks[parent].tick(parent);
@@ -115,18 +248,49 @@ impl Detector {
 
     /// Establishes `child` happens-before `parent` (a join edge).
     pub fn join_thread(&mut self, parent: ThreadId, child: ThreadId) {
-        let cc = self.clocks[child].clone();
-        self.clocks[parent].join(&cc);
+        if parent == child {
+            return;
+        }
+        let (dst, src) = if parent < child {
+            let (lo, hi) = self.clocks.split_at_mut(child);
+            (&mut lo[parent], &hi[0])
+        } else {
+            let (lo, hi) = self.clocks.split_at_mut(parent);
+            (&mut hi[0], &lo[child])
+        };
+        dst.join(src);
+        self.stats.clock_joins += 1;
+        self.stats.clock_allocs_avoided += 1;
     }
 
-    /// Processes a read of `addr` by `t`.
-    pub fn read(&mut self, t: ThreadId, addr: Addr, var: NameId, stack: &[FrameId]) {
-        self.events += 1;
+    /// Same-epoch read check — phase one of a read event.
+    ///
+    /// Returns `true` when the read repeats within `t`'s current epoch
+    /// and is therefore fully processed: no race is possible, no state
+    /// changes, and the host does not need a stack snapshot. On `false`
+    /// the host must follow up with [`Detector::read_slow`].
+    #[inline]
+    pub fn read_fast(&mut self, t: ThreadId, addr: Addr) -> bool {
+        self.stats.events += 1;
+        let e = Epoch::new(t, self.clocks[t].get(t));
+        let vs = Self::var_mut(&mut self.vars, &mut self.vars_sparse, addr);
+        let hit = matches!(&vs.r, ReadState::Epoch(re, _) if *re == e);
+        if hit {
+            self.stats.read_fast_hits += 1;
+        }
+        hit
+    }
+
+    /// Full read transfer function — phase two, after a
+    /// [`Detector::read_fast`] miss supplied the stack.
+    pub fn read_slow(&mut self, t: ThreadId, addr: Addr, var: NameId, stack: &[FrameId]) {
         let ct = &self.clocks[t];
         let e = Epoch::new(t, ct.get(t));
-        let vs = self.vars.entry(addr).or_default();
+        let vs = Self::var_mut(&mut self.vars, &mut self.vars_sparse, addr);
 
-        // Same-epoch fast path.
+        // Same-epoch guard (no-op when correctly preceded by a
+        // `read_fast` miss; keeps direct calls semantically identical to
+        // the combined `read`).
         if let ReadState::Epoch(re, _) = &vs.r {
             if *re == e {
                 return;
@@ -156,7 +320,6 @@ impl Detector {
         }
 
         // Update read state.
-        let ct = &self.clocks[t];
         match &mut vs.r {
             ReadState::Epoch(re, acc) => {
                 if re.le(ct) {
@@ -166,6 +329,7 @@ impl Detector {
                     let mut vc = VectorClock::new();
                     vc.set(re.tid, re.clock);
                     vc.set(t, e.clock);
+                    self.stats.clock_allocs += 1;
                     let mut accs = HashMap::new();
                     if let Some(a) = acc.take() {
                         accs.insert(re.tid, a);
@@ -181,14 +345,39 @@ impl Detector {
         }
     }
 
-    /// Processes a write of `addr` by `t`.
-    pub fn write(&mut self, t: ThreadId, addr: Addr, var: NameId, stack: &[FrameId]) {
-        self.events += 1;
+    /// Processes a read of `addr` by `t` (combined fast + slow phases).
+    pub fn read(&mut self, t: ThreadId, addr: Addr, var: NameId, stack: &[FrameId]) {
+        if !self.read_fast(t, addr) {
+            self.read_slow(t, addr, var, stack);
+        }
+    }
+
+    /// Same-epoch write check — phase one of a write event.
+    ///
+    /// Returns `true` when the write repeats within `t`'s current epoch
+    /// (the variable's write epoch is exactly `t`'s current epoch): the
+    /// event is fully processed and no stack snapshot is needed. On
+    /// `false` the host must follow up with [`Detector::write_slow`].
+    #[inline]
+    pub fn write_fast(&mut self, t: ThreadId, addr: Addr) -> bool {
+        self.stats.events += 1;
+        let e = Epoch::new(t, self.clocks[t].get(t));
+        let vs = Self::var_mut(&mut self.vars, &mut self.vars_sparse, addr);
+        let hit = vs.w == e;
+        if hit {
+            self.stats.write_fast_hits += 1;
+        }
+        hit
+    }
+
+    /// Full write transfer function — phase two, after a
+    /// [`Detector::write_fast`] miss supplied the stack.
+    pub fn write_slow(&mut self, t: ThreadId, addr: Addr, var: NameId, stack: &[FrameId]) {
         let ct = &self.clocks[t];
         let e = Epoch::new(t, ct.get(t));
-        let vs = self.vars.entry(addr).or_default();
+        let vs = Self::var_mut(&mut self.vars, &mut self.vars_sparse, addr);
 
-        // Same-epoch fast path.
+        // Same-epoch guard (see `read_slow`).
         if vs.w == e {
             return;
         }
@@ -259,7 +448,18 @@ impl Detector {
         vs.r = ReadState::Epoch(Epoch::ZERO, None);
     }
 
-    fn push_race(races: &mut Vec<RawRace>, dedup: &mut HashSet<u64>, race: RawRace) {
+    /// Processes a write of `addr` by `t` (combined fast + slow phases).
+    pub fn write(&mut self, t: ThreadId, addr: Addr, var: NameId, stack: &[FrameId]) {
+        if !self.write_fast(t, addr) {
+            self.write_slow(t, addr, var, stack);
+        }
+    }
+
+    fn push_race(
+        races: &mut Vec<RawRace>,
+        dedup: &mut HashSet<u64, FastBuildHasher>,
+        race: RawRace,
+    ) {
         let mut h = Fnv1a::new();
         h.write(&race.var.to_le_bytes());
         // Symmetric over the two stacks: hash the sorted pair of leaves
@@ -286,35 +486,61 @@ impl Detector {
     /// Lock acquire: joins the sync object's release clock into `t`.
     pub fn acquire(&mut self, t: ThreadId, sync: u64) {
         if let Some(s) = self.syncs.get(&sync) {
-            let s = s.clone();
-            self.clocks[t].join(&s);
+            self.clocks[t].join(s);
+            self.stats.clock_joins += 1;
+            self.stats.clock_allocs_avoided += 1;
         }
     }
 
-    /// Lock release: stores `t`'s clock in the sync object and advances `t`.
+    /// Lock release: stores `t`'s clock in the sync object and advances
+    /// `t`. The sync object's existing buffer is reused when present.
     pub fn release(&mut self, t: ThreadId, sync: u64) {
-        let c = self.clocks[t].clone();
-        self.syncs.insert(sync, c);
+        match self.syncs.entry(sync) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.get_mut().copy_from(&self.clocks[t]);
+                self.stats.clock_allocs_avoided += 1;
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(self.clocks[t].clone());
+                self.stats.clock_allocs += 1;
+            }
+        }
         self.clocks[t].tick(t);
     }
 
     /// Merge-release (wait-group `Done`, RWMutex `RUnlock`): joins `t`'s
     /// clock into the sync object without overwriting other releasers.
     pub fn release_merge(&mut self, t: ThreadId, sync: u64) {
-        let c = self.clocks[t].clone();
-        self.syncs.entry(sync).or_default().join(&c);
+        match self.syncs.entry(sync) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.get_mut().join(&self.clocks[t]);
+                self.stats.clock_joins += 1;
+                self.stats.clock_allocs_avoided += 1;
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(self.clocks[t].clone());
+                self.stats.clock_allocs += 1;
+            }
+        }
         self.clocks[t].tick(t);
     }
 
     /// Sequentially-consistent atomic edge: total order between all
     /// atomic operations on `sync` (each op both acquires and releases).
     pub fn atomic_op(&mut self, t: ThreadId, sync: u64) {
-        if let Some(s) = self.syncs.get(&sync) {
-            let s = s.clone();
-            self.clocks[t].join(&s);
+        match self.syncs.entry(sync) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let s = e.get_mut();
+                self.clocks[t].join(&*s);
+                s.copy_from(&self.clocks[t]);
+                self.stats.clock_joins += 1;
+                self.stats.clock_allocs_avoided += 1;
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(self.clocks[t].clone());
+                self.stats.clock_allocs += 1;
+            }
         }
-        let c = self.clocks[t].clone();
-        self.syncs.insert(sync, c);
         self.clocks[t].tick(t);
     }
 
@@ -322,6 +548,7 @@ impl Detector {
     /// `t`. The returned clock travels with the message.
     pub fn release_snapshot(&mut self, t: ThreadId) -> VectorClock {
         let c = self.clocks[t].clone();
+        self.stats.clock_allocs += 1;
         self.clocks[t].tick(t);
         c
     }
@@ -329,11 +556,19 @@ impl Detector {
     /// Joins a message clock into `t` (acquire half of a message receive).
     pub fn acquire_clock(&mut self, t: ThreadId, vc: &VectorClock) {
         self.clocks[t].join(vc);
+        self.stats.clock_joins += 1;
     }
 
     /// Forgets a freed cell.
     pub fn forget(&mut self, addr: Addr) {
-        self.vars.remove(&addr);
+        let i = addr as usize;
+        if addr < DENSE_LIMIT as Addr {
+            if i < self.vars.len() {
+                self.vars[i] = VarState::default();
+            }
+        } else {
+            self.vars_sparse.remove(&addr);
+        }
     }
 
     /// Races recorded so far.
@@ -510,10 +745,84 @@ mod tests {
     fn same_epoch_fast_path_skips_duplicate_work() {
         let mut d = Detector::new();
         d.write(0, A, V, &stack(1));
-        let before = d.events;
+        let before = d.stats().events;
         d.write(0, A, V, &stack(1));
         d.write(0, A, V, &stack(1));
-        assert_eq!(d.events, before + 2);
+        assert_eq!(d.stats().events, before + 2);
+        assert_eq!(d.stats().write_fast_hits, 2);
         assert!(d.races().is_empty());
+    }
+
+    #[test]
+    fn two_phase_api_matches_combined_calls() {
+        // Drive the same event sequence through the combined and the
+        // two-phase APIs: identical races and identical counters.
+        let drive = |two_phase: bool| {
+            let mut d = Detector::new();
+            let t1 = d.fork(0);
+            let events: Vec<(ThreadId, AccessKind, Addr)> = vec![
+                (0, AccessKind::Write, A),
+                (0, AccessKind::Read, A),
+                (0, AccessKind::Read, A),
+                (t1, AccessKind::Read, A),
+                (t1, AccessKind::Write, A),
+                (0, AccessKind::Write, 300),
+                (t1, AccessKind::Read, 300),
+            ];
+            for (i, (t, kind, addr)) in events.into_iter().enumerate() {
+                let st = stack(i as FrameId);
+                match (kind, two_phase) {
+                    (AccessKind::Read, true) => {
+                        if !d.read_fast(t, addr) {
+                            d.read_slow(t, addr, V, &st);
+                        }
+                    }
+                    (AccessKind::Read, false) => d.read(t, addr, V, &st),
+                    (AccessKind::Write, true) => {
+                        if !d.write_fast(t, addr) {
+                            d.write_slow(t, addr, V, &st);
+                        }
+                    }
+                    (AccessKind::Write, false) => d.write(t, addr, V, &st),
+                }
+            }
+            (d.races().to_vec(), *d.stats())
+        };
+        let (races_combined, stats_combined) = drive(false);
+        let (races_split, stats_split) = drive(true);
+        assert_eq!(races_combined, races_split);
+        assert_eq!(stats_combined, stats_split);
+        assert!(stats_combined.fast_hits() > 0);
+    }
+
+    #[test]
+    fn sparse_addresses_fall_back_to_the_overflow_map() {
+        let mut d = Detector::new();
+        let t1 = d.fork(0);
+        let far = (DENSE_LIMIT as Addr) + 17;
+        d.write(0, far, V, &stack(1));
+        d.write(t1, far, V, &stack(2));
+        assert_eq!(d.races().len(), 1);
+        d.forget(far);
+        d.write(t1, far, V, &stack(3));
+        assert_eq!(d.races().len(), 1, "forget resets the cell state");
+    }
+
+    #[test]
+    fn lock_handoffs_reuse_sync_clock_buffers() {
+        let mut d = Detector::new();
+        let t1 = d.fork(0);
+        let m = 7;
+        for _ in 0..4 {
+            d.acquire(0, m);
+            d.release(0, m);
+            d.acquire(t1, m);
+            d.release(t1, m);
+        }
+        let s = d.stats();
+        // Only the very first release allocates; every later release
+        // reuses the buffer, and every acquire joins in place.
+        assert_eq!(s.clock_allocs, 2, "fork clone + first release");
+        assert!(s.clock_allocs_avoided >= 14, "{s:?}");
     }
 }

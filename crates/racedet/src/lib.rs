@@ -26,5 +26,7 @@ pub mod fasttrack;
 pub mod report;
 
 pub use clock::{Epoch, ThreadId, VectorClock};
-pub use fasttrack::{Addr, Detector, FrameId, NameId, RawAccess, RawRace};
+pub use fasttrack::{
+    Addr, DetStats, Detector, FastBuildHasher, FastHasher, FrameId, NameId, RawAccess, RawRace,
+};
 pub use report::{Access, AccessKind, Frame, GoroutineInfo, RaceReport};

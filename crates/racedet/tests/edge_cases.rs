@@ -98,7 +98,11 @@ fn shared_promotion_tracks_each_reader_separately() {
     d.join_thread(0, t1); // root now ⊒ t1's read, but not t2's
     d.write(0, A, V, &stack(3));
     assert_eq!(d.races().len(), 1, "{:?}", d.races());
-    assert_eq!(d.races()[0].prev.tid, t2, "must race with the unjoined reader only");
+    assert_eq!(
+        d.races()[0].prev.tid,
+        t2,
+        "must race with the unjoined reader only"
+    );
     assert_eq!(d.races()[0].prev.kind, AccessKind::Read);
 }
 
@@ -159,7 +163,10 @@ fn access(kind: AccessKind, tid: usize, frames: &[(&str, &str, u32)]) -> Access 
 #[test]
 fn bug_hash_survives_schedule_permutations() {
     let writer = [("app.Work.func1", "counter.go", 12)];
-    let reader = [("app.total", "counter.go", 20), ("app.TestWork", "counter.go", 31)];
+    let reader = [
+        ("app.total", "counter.go", 20),
+        ("app.TestWork", "counter.go", 31),
+    ];
     // Run 1: the read triggers detection (read seen second).
     let r1 = RaceReport {
         accesses: [
@@ -172,7 +179,10 @@ fn bug_hash_survives_schedule_permutations() {
     // Run 2 (another schedule): the write triggers detection, the
     // goroutine got a different id, and the fix moved lines around.
     let shifted_writer = [("app.Work.func1", "counter.go", 14)];
-    let shifted_reader = [("app.total", "counter.go", 25), ("app.TestWork", "counter.go", 40)];
+    let shifted_reader = [
+        ("app.total", "counter.go", 25),
+        ("app.TestWork", "counter.go", 40),
+    ];
     let r2 = RaceReport {
         accesses: [
             access(AccessKind::Write, 5, &shifted_writer),

@@ -245,7 +245,11 @@ func RefreshInventory() {
 "#;
         let sa = skeletonize(a, &[7, 9], &SkeletonOptions::default()).unwrap();
         let sb = skeletonize(b, &[7, 9], &SkeletonOptions::default()).unwrap();
-        assert_eq!(sa.text, sb.text, "\n--- a:\n{}\n--- b:\n{}", sa.text, sb.text);
+        assert_eq!(
+            sa.text, sb.text,
+            "\n--- a:\n{}\n--- b:\n{}",
+            sa.text, sb.text
+        );
     }
 
     #[test]
@@ -355,7 +359,8 @@ func f() {
 
     #[test]
     fn skeleton_is_deterministic() {
-        let src = "package p\n\nfunc f() {\n\tx := 0\n\tgo func() {\n\t\tx = 1\n\t}()\n\tx = 2\n}\n";
+        let src =
+            "package p\n\nfunc f() {\n\tx := 0\n\tgo func() {\n\t\tx = 1\n\t}()\n\tx = 2\n}\n";
         let a = skeletonize(src, &[6, 8], &SkeletonOptions::default()).unwrap();
         let b = skeletonize(src, &[6, 8], &SkeletonOptions::default()).unwrap();
         assert_eq!(a.text, b.text);

@@ -218,31 +218,27 @@ pub fn stmt_has_concurrency(s: &Stmt) -> bool {
 pub fn expr_has_concurrency(e: &Expr) -> bool {
     let mut found = false;
     visit::walk_expr(e, &mut |x| match x {
-        Expr::Unary {
-            op: UnOp::Recv, ..
-        } => found = true,
+        Expr::Unary { op: UnOp::Recv, .. } => found = true,
         Expr::Make {
             ty: Type::Chan { .. },
             ..
         } => found = true,
-        Expr::Call { fun, .. } => {
-            match fun.as_ref() {
-                Expr::Selector { name, expr, .. } => {
-                    if is_concurrency_call(name) {
-                        found = true;
-                    }
-                    if let Some(root) = expr.as_ident() {
-                        if CONCURRENCY_PACKAGES.contains(&root) {
-                            found = true;
-                        }
-                    }
-                }
-                Expr::Ident { name, .. } if name == "close" => {
+        Expr::Call { fun, .. } => match fun.as_ref() {
+            Expr::Selector { name, expr, .. } => {
+                if is_concurrency_call(name) {
                     found = true;
                 }
-                _ => {}
+                if let Some(root) = expr.as_ident() {
+                    if CONCURRENCY_PACKAGES.contains(&root) {
+                        found = true;
+                    }
+                }
             }
-        }
+            Expr::Ident { name, .. } if name == "close" => {
+                found = true;
+            }
+            _ => {}
+        },
         _ => {}
     });
     found

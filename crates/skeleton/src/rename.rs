@@ -9,9 +9,35 @@ use std::collections::HashMap;
 /// Names never renamed: keywords-adjacent builtins and the concurrency
 /// vocabulary.
 const PRESERVED: &[&str] = &[
-    "nil", "true", "false", "_", "make", "new", "len", "cap", "append", "delete", "close",
-    "panic", "copy", "int", "int32", "int64", "string", "bool", "float64", "error", "byte",
-    "any", "sync", "atomic", "context", "testing", "chan", "struct", "interface",
+    "nil",
+    "true",
+    "false",
+    "_",
+    "make",
+    "new",
+    "len",
+    "cap",
+    "append",
+    "delete",
+    "close",
+    "panic",
+    "copy",
+    "int",
+    "int32",
+    "int64",
+    "string",
+    "bool",
+    "float64",
+    "error",
+    "byte",
+    "any",
+    "sync",
+    "atomic",
+    "context",
+    "testing",
+    "chan",
+    "struct",
+    "interface",
 ];
 
 /// The renamer: shared across the functions of one skeleton so that the

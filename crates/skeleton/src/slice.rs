@@ -86,11 +86,7 @@ fn slice_stmt(s: &Stmt, vars: &[String]) -> Option<Stmt> {
             let mut cases = Vec::new();
             let mut any = false;
             for c in &st.cases {
-                let body: Vec<Stmt> = c
-                    .body
-                    .iter()
-                    .filter_map(|x| slice_stmt(x, vars))
-                    .collect();
+                let body: Vec<Stmt> = c.body.iter().filter_map(|x| slice_stmt(x, vars)).collect();
                 if !body.is_empty() {
                     any = true;
                 }

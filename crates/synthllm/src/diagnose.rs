@@ -125,9 +125,7 @@ pub fn diagnose(file: &File, racy_var: &str) -> Vec<Diagnosis> {
         }
 
         let closures = go_closures(body);
-        let assigned_in_closure = closures
-            .iter()
-            .any(|c| assigns_var(c, racy_var));
+        let assigned_in_closure = closures.iter().any(|c| assigns_var(c, racy_var));
         let read_in_closure = closures.iter().any(|c| reads_var(c, racy_var));
         let declared_here = declares_var(body, racy_var) || is_param(f, racy_var);
 
@@ -266,22 +264,11 @@ pub fn diagnose(file: &File, racy_var: &str) -> Vec<Diagnosis> {
                                 0.85,
                             ),
                             Type::Named { path, .. }
-                                if matches!(
-                                    path.join(".").as_str(),
-                                    "int" | "int32" | "int64"
-                                ) =>
+                                if matches!(path.join(".").as_str(), "int" | "int32" | "int64") =>
                             {
-                                (
-                                    RaceCategory::MissingSync,
-                                    StrategyKind::AtomicCounter,
-                                    0.7,
-                                )
+                                (RaceCategory::MissingSync, StrategyKind::AtomicCounter, 0.7)
                             }
-                            _ => (
-                                RaceCategory::MissingSync,
-                                StrategyKind::MutexGuard,
-                                0.66,
-                            ),
+                            _ => (RaceCategory::MissingSync, StrategyKind::MutexGuard, 0.66),
                         };
                         out.push(Diagnosis {
                             category: cat,
@@ -375,7 +362,9 @@ pub fn diagnose(file: &File, racy_var: &str) -> Vec<Diagnosis> {
     // racy (the LCA pattern): privatise by copying the aggregate.
     for d in &file.decls {
         let Decl::Type(t) = d else { continue };
-        let Type::Struct(fields) = &t.ty else { continue };
+        let Type::Struct(fields) = &t.ty else {
+            continue;
+        };
         if !fields.iter().any(|f| f.names.iter().any(|n| n == racy_var)) {
             continue;
         }
@@ -493,7 +482,11 @@ pub fn diagnose(file: &File, racy_var: &str) -> Vec<Diagnosis> {
             deduped.push(d);
         }
     }
-    deduped.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    deduped.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     deduped
 }
 
@@ -582,9 +575,7 @@ fn writes_var_outside_closures(body: &Block, var: &str) -> bool {
     fn scan(stmts: &[Stmt], var: &str, found: &mut bool) {
         for s in stmts {
             match s {
-                Stmt::Assign { lhs, .. }
-                    if lhs.iter().any(|e| e.as_ident() == Some(var)) =>
-                {
+                Stmt::Assign { lhs, .. } if lhs.iter().any(|e| e.as_ident() == Some(var)) => {
                     *found = true;
                 }
                 Stmt::IncDec { expr, .. } if expr.as_ident() == Some(var) => {
@@ -646,8 +637,13 @@ fn local_var_kind(body: &Block, var: &str) -> Option<VarKind> {
             return;
         };
         kind = Some(match v {
-            Expr::Make { ty: Type::Map { .. }, .. } => VarKind::Map,
-            Expr::Make { ty: Type::Slice(_), .. } => VarKind::Slice,
+            Expr::Make {
+                ty: Type::Map { .. },
+                ..
+            } => VarKind::Map,
+            Expr::Make {
+                ty: Type::Slice(_), ..
+            } => VarKind::Slice,
             Expr::CompositeLit {
                 ty: Some(Type::Map { .. }),
                 ..
@@ -854,16 +850,12 @@ fn field_write_on(block: &Block, var: &str) -> bool {
     found
 }
 
-
 /// Finds a `v := ctor(...)` whose `v` is used at least twice afterwards —
 /// the shared object of a table test.
 fn find_shared_ctor_var(body: &Block) -> Option<String> {
     for s in &body.stmts {
         if let Stmt::ShortVar { names, values, .. } = s {
-            if names.len() == 1
-                && values.len() == 1
-                && matches!(&values[0], Expr::Call { .. })
-            {
+            if names.len() == 1 && values.len() == 1 && matches!(&values[0], Expr::Call { .. }) {
                 let var = &names[0];
                 let mut uses = 0;
                 visit::walk_exprs(body, &mut |e| {

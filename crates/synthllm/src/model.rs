@@ -62,11 +62,7 @@ impl SynthLlm {
         }
 
         // Strategies that already failed (feedback loop, §4.4.2).
-        let failed: Vec<StrategyKind> = req
-            .feedback
-            .iter()
-            .filter_map(|f| f.strategy)
-            .collect();
+        let failed: Vec<StrategyKind> = req.feedback.iter().filter_map(|f| f.strategy).collect();
         candidates.retain(|d| !failed.contains(&d.strategy));
         if candidates.is_empty() {
             return FixResponse {
@@ -128,8 +124,8 @@ impl SynthLlm {
 
         // Per-race comprehension (§5.3): without a matching example some
         // races are simply misunderstood — every unguided attempt botches.
-        let comprehends = draw(self.seed, &[&req.case_key], "comprehend")
-            < self.cap.comprehension();
+        let comprehends =
+            draw(self.seed, &[&req.case_key], "comprehend") < self.cap.comprehension();
 
         // Try candidates in order; a strategy that structurally does not
         // apply (e.g. needs the type declaration, invisible at function
@@ -140,9 +136,8 @@ impl SynthLlm {
             // pattern *anchors* the model on an inapplicable fix instead
             // (this is why raw-text retrieval barely helps, Fig. 3).
             let guided = example_idiom == Some(diag.strategy) && diag.score >= 0.65;
-            let anchored = example_idiom.is_some()
-                && example_idiom != Some(diag.strategy)
-                && !comprehends;
+            let anchored =
+                example_idiom.is_some() && example_idiom != Some(diag.strategy) && !comprehends;
             let skill = if guided {
                 self.cap.effective_skill(diag.strategy, true)
             } else if comprehends {

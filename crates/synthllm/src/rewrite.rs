@@ -321,10 +321,8 @@ mod tests {
 
     #[test]
     fn map_stmt_lists_reaches_closures() {
-        let mut file = parse_file(
-            "package p\nfunc f() {\n\ta()\n\tgo func() {\n\t\tb()\n\t}()\n}\n",
-        )
-        .unwrap();
+        let mut file =
+            parse_file("package p\nfunc f() {\n\ta()\n\tgo func() {\n\t\tb()\n\t}()\n}\n").unwrap();
         let mut count = 0;
         let func = file.find_func_mut("f").unwrap();
         map_stmt_lists(func, &mut |stmts| {
@@ -342,7 +340,10 @@ mod tests {
         )
         .unwrap();
         let body = &file.find_func("f").unwrap().body.as_ref().unwrap().stmts;
-        assert!(!stmt_uses_var_directly(&body[0], "x"), "go stmt captures, not uses");
+        assert!(
+            !stmt_uses_var_directly(&body[0], "x"),
+            "go stmt captures, not uses"
+        );
         assert!(stmt_uses_var_directly(&body[1], "x"));
     }
 

@@ -109,12 +109,7 @@ impl StrategyKind {
 /// Returns a message when the strategy does not apply to this code (for
 /// example a field-level fix attempted at function scope where the type
 /// declaration is invisible).
-pub fn apply(
-    kind: StrategyKind,
-    file: &File,
-    target: &Target,
-    botch: u8,
-) -> Result<File, String> {
+pub fn apply(kind: StrategyKind, file: &File, target: &Target, botch: u8) -> Result<File, String> {
     let mut out = file.clone();
     match kind {
         StrategyKind::RedeclareInGoroutine => redeclare(&mut out, target, botch)?,
@@ -145,9 +140,7 @@ fn target_func<'a>(file: &'a mut File, target: &Target) -> Result<&'a mut FuncDe
 
 fn target_var(target: &Target) -> Result<&str, String> {
     match target {
-        Target::Local { var, .. } | Target::Pattern { var, .. } | Target::Global { var } => {
-            Ok(var)
-        }
+        Target::Local { var, .. } | Target::Pattern { var, .. } | Target::Global { var } => Ok(var),
         Target::Field { field, .. } => Ok(field),
     }
 }
@@ -476,11 +469,13 @@ fn map_to_syncmap(file: &mut File, target: &Target, botch: u8) -> Result<(), Str
                                 && values.len() == 1
                                 && matches!(
                                     values[0],
-                                    Expr::Make { ty: Type::Map { .. }, .. }
-                                        | Expr::CompositeLit {
-                                            ty: Some(Type::Map { .. }),
-                                            ..
-                                        }
+                                    Expr::Make {
+                                        ty: Type::Map { .. },
+                                        ..
+                                    } | Expr::CompositeLit {
+                                        ty: Some(Type::Map { .. }),
+                                        ..
+                                    }
                                 ) =>
                         {
                             declared = true;
@@ -667,7 +662,10 @@ fn strip_field_initialisers(file: &mut File, type_name: &str, field: &str) {
     }
     impl golite::visit::MutVisitor for Strip<'_> {
         fn visit_expr(&mut self, e: &mut Expr) {
-            if let Expr::CompositeLit { ty: Some(t), elems, .. } = e {
+            if let Expr::CompositeLit {
+                ty: Some(t), elems, ..
+            } = e
+            {
                 if t.is_named(self.type_name) {
                     elems.retain(|el| {
                         el.key
@@ -705,10 +703,7 @@ fn mutex_guard(file: &mut File, target: &Target, botch: u8, rw: bool) -> Result<
                     .find_type_mut(type_name)
                     .ok_or_else(|| format!("type `{type_name}` not in scope"))?;
                 if let Type::Struct(fields) = &mut td.ty {
-                    if !fields
-                        .iter()
-                        .any(|f| f.names.iter().any(|n| n == &mu_name))
-                    {
+                    if !fields.iter().any(|f| f.names.iter().any(|n| n == &mu_name)) {
                         fields.push(Field {
                             names: vec![mu_name.clone()],
                             ty: Type::named(mu_ty),
@@ -810,8 +805,7 @@ fn guard_in_func(f: &mut FuncDecl, var: &str, mu: &Expr, botch: u8, rw: bool) {
     map_stmt_lists(f, &mut |stmts| {
         let mut out = Vec::with_capacity(stmts.len());
         for s in stmts {
-            let uses = stmt_uses_var_directly(&s, &var)
-                || field_access_in_stmt(&s, &var);
+            let uses = stmt_uses_var_directly(&s, &var) || field_access_in_stmt(&s, &var);
             let declares = stmt_declares_var(&s, &var);
             let is_write = stmt_writes_var(&s, &var);
             if uses && !declares && !contains_return(&s) && !is_go_stmt(&s) {
@@ -980,14 +974,18 @@ fn atomics_in_func(f: &mut FuncDecl, var: &str, is_field: bool, botch: u8) -> bo
                     changed = true;
                     match (op, &rhs[0]) {
                         // v = v + k → atomic.AddInt64(&v, k)
-                        (AssignOp::Assign, Expr::Binary { op: BinOp::Add, lhs: bl, rhs: br, .. })
-                            if is_target(bl) =>
-                        {
-                            Stmt::Expr(Expr::call(
-                                Expr::path("atomic.AddInt64"),
-                                vec![addr_of(&lhs[0]), (**br).clone()],
-                            ))
-                        }
+                        (
+                            AssignOp::Assign,
+                            Expr::Binary {
+                                op: BinOp::Add,
+                                lhs: bl,
+                                rhs: br,
+                                ..
+                            },
+                        ) if is_target(bl) => Stmt::Expr(Expr::call(
+                            Expr::path("atomic.AddInt64"),
+                            vec![addr_of(&lhs[0]), (**br).clone()],
+                        )),
                         (AssignOp::Add, v) => Stmt::Expr(Expr::call(
                             Expr::path("atomic.AddInt64"),
                             vec![addr_of(&lhs[0]), v.clone()],
@@ -1235,9 +1233,7 @@ fn append_send_after_assign(block: &mut Block, var: &str, chan: &str) {
                 return;
             }
             let hits = match &stmts[i] {
-                Stmt::Assign { lhs, .. } => {
-                    lhs.iter().any(|e| e.as_ident() == Some(var))
-                }
+                Stmt::Assign { lhs, .. } => lhs.iter().any(|e| e.as_ident() == Some(var)),
                 Stmt::ShortVar { names, .. } => names.iter().any(|n| n == var),
                 _ => false,
             };
@@ -1266,10 +1262,8 @@ fn append_send_after_assign(block: &mut Block, var: &str, chan: &str) {
                         if h {
                             // Hoist: assignment out of the if-init so the
                             // send can follow it.
-                            let hoisted = std::mem::replace(
-                                init.as_mut(),
-                                Stmt::Empty { span: Span::DUMMY },
-                            );
+                            let hoisted =
+                                std::mem::replace(init.as_mut(), Stmt::Empty { span: Span::DUMMY });
                             st.init = None;
                             let if_stmt = stmts.remove(i);
                             stmts.insert(i, hoisted);

@@ -60,8 +60,14 @@ fn main() {
                 .or_default() += 1;
         }
     }
-    println!("mode={mode}  fixed {fixed}/{n} ({:.1}%)", 100.0 * fixed as f64 / n as f64);
-    println!("total LLM calls: {calls} (avg {:.1}/case)", calls as f64 / n as f64);
+    println!(
+        "mode={mode}  fixed {fixed}/{n} ({:.1}%)",
+        100.0 * fixed as f64 / n as f64
+    );
+    println!(
+        "total LLM calls: {calls} (avg {:.1}/case)",
+        calls as f64 / n as f64
+    );
     println!("fleet: {}", run.stats.summary());
     println!("\nwinning strategies:");
     for (s, k) in by_strategy {

@@ -59,7 +59,10 @@ fn main() {
     for (var, (count, _)) in &seen {
         println!("  race on `{var}` observed under {count}/24 seeds");
     }
-    assert!(seen.contains_key("total"), "the shared-total race must appear");
+    assert!(
+        seen.contains_key("total"),
+        "the shared-total race must appear"
+    );
 
     // A full report, TSan style.
     let (_, report) = &seen["total"];

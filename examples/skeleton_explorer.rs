@@ -39,12 +39,7 @@ func ProcessStoreData(req int) error {
 
 fn main() {
     // 1. Skeletonize the paper's Listing 3 (race on `err`, lines 16/21).
-    let sk = skeletonize(
-        LISTING3,
-        &[16, 21],
-        &SkeletonOptions::default(),
-    )
-    .expect("skeletonizes");
+    let sk = skeletonize(LISTING3, &[16, 21], &SkeletonOptions::default()).expect("skeletonizes");
     println!("--- Listing 3 → concurrency skeleton (paper's Listing 4) ---");
     println!("{}", sk.text);
     println!("racy vars discovered: {:?}", sk.racy_vars);
@@ -74,7 +69,10 @@ fn main() {
         seed: 99,
     });
     let db = ExampleDb::build(&pairs);
-    println!("\n--- retrieval comparison over a {}-pair database ---", db.len());
+    println!(
+        "\n--- retrieval comparison over a {}-pair database ---",
+        db.len()
+    );
     for mode in [RagMode::Raw, RagMode::Skeleton] {
         if let Some((ex, cat, score)) = db.retrieve(mode, LISTING3, "err", &[16, 21]) {
             let first_line = ex

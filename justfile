@@ -5,7 +5,7 @@
 default: verify
 
 # Full tier-1 gate: release build, tests, bench compilation, lints, docs.
-verify: build test bench-compile clippy doc
+verify: build test bench-compile clippy fmt-check doc
     @echo "verify: all gates green"
 
 build:
@@ -23,6 +23,14 @@ doc:
 clippy:
     cargo clippy --workspace --all-targets -- -D warnings
 
+# Formats the whole workspace in place.
+fmt:
+    cargo fmt --all
+
+# The CI `fmt` job: fails on any unformatted file.
+fmt-check:
+    cargo fmt --all -- --check
+
 # Fast experiment smoke: headline ablation at reduced scale.
 bench-smoke:
     DRFIX_CASES=24 DRFIX_VALIDATION_RUNS=4 cargo bench -q -p bench --bench fig3_rag_ablation
@@ -34,6 +42,15 @@ calibrate-smoke:
 # Exposure smoke: schedules_to_expose at small scale.
 exposure-smoke:
     DRFIX_STE_CASES=14 DRFIX_STE_MAX_SCHED=64 DRFIX_STE_VALIDATION_RUNS=64 cargo bench -q -p bench --bench schedules_to_expose
+
+# The CI `perf-gate` job: deterministic hot-path counter scan vs the
+# checked-in BENCH_hotpath.json baseline (>10% counter drift fails).
+perf-smoke:
+    cargo run --release -q -p bench --bin perfscan -- --check --out target/perfscan/BENCH_hotpath.json
+
+# Regenerates the checked-in perf baseline.
+perf-baseline:
+    cargo run --release -q -p bench --bin perfscan
 
 # Run every table/figure reproduction at reduced scale.
 bench-all:

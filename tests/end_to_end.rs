@@ -88,9 +88,7 @@ fn hard_unfixable_cases_stay_unfixed() {
         assert!(
             !o.fixed,
             "{} ({:?}) was designed to be unfixable but got fixed via {:?}",
-            case.id,
-            case.hard,
-            o.strategy
+            case.id, case.hard, o.strategy
         );
     }
 }

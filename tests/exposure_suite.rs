@@ -91,7 +91,10 @@ fn assert_fix_clean(case: &RaceCase) {
             case.id,
             case.category,
             policy.label(),
-            out.races.iter().map(|r| r.var_name.clone()).collect::<Vec<_>>(),
+            out.races
+                .iter()
+                .map(|r| r.var_name.clone())
+                .collect::<Vec<_>>(),
             out.error,
             out.test_failures
         );
@@ -146,5 +149,9 @@ fn pct_exposes_standard_corpus_and_fixes_stay_clean() {
         assert_pct_exposes(case);
         assert_fix_clean(case);
     }
-    assert_eq!(per_cat.len(), RaceCategory::all().len(), "all categories swept");
+    assert_eq!(
+        per_cat.len(),
+        RaceCategory::all().len(),
+        "all categories swept"
+    );
 }

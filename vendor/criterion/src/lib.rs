@@ -73,7 +73,9 @@ impl Criterion {
                 return self;
             }
         }
-        let mut b = Bencher { samples: Vec::new() };
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
         f(&mut b);
         if b.samples.is_empty() {
             println!("{id:32} (no samples)");

@@ -442,7 +442,11 @@ impl_int_key!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
 
 impl<K: MapKey + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
     fn to_content(&self) -> Content {
-        Content::Map(self.iter().map(|(k, v)| (k.to_key(), v.to_content())).collect())
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_content()))
+                .collect(),
+        )
     }
 }
 
@@ -461,7 +465,12 @@ impl<K: MapKey + Ord + std::hash::Hash, V: Serialize> Serialize for HashMap<K, V
         // Sort for deterministic output; HashMap iteration order is not.
         let mut entries: Vec<_> = self.iter().collect();
         entries.sort_by(|a, b| a.0.cmp(b.0));
-        Content::Map(entries.into_iter().map(|(k, v)| (k.to_key(), v.to_content())).collect())
+        Content::Map(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_key(), v.to_content()))
+                .collect(),
+        )
     }
 }
 

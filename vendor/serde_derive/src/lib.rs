@@ -97,7 +97,10 @@ struct Cursor {
 
 impl Cursor {
     fn new(stream: TokenStream) -> Self {
-        Cursor { toks: stream.into_iter().collect(), pos: 0 }
+        Cursor {
+            toks: stream.into_iter().collect(),
+            pos: 0,
+        }
     }
 
     fn peek(&self) -> Option<&TokenTree> {
@@ -157,7 +160,11 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
         return Err(format!("serde derive supports struct/enum, found `{kind}`"));
     }
     let name = c.expect_ident()?;
-    let type_params = if c.is_punct('<') { parse_generics(&mut c)? } else { Vec::new() };
+    let type_params = if c.is_punct('<') {
+        parse_generics(&mut c)?
+    } else {
+        Vec::new()
+    };
 
     if c.is_ident("where") {
         return Err("serde derive stub does not support where-clauses".to_owned());
@@ -183,7 +190,11 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
         }
     };
 
-    Ok(Item { name, type_params, body })
+    Ok(Item {
+        name,
+        type_params,
+        body,
+    })
 }
 
 /// Parses `<...>` after the type name. Cursor is on the opening `<`.
@@ -371,7 +382,10 @@ fn impl_header(item: &Item, trait_path: &str, extra_bound: &str) -> (String, Str
         .collect();
     let args: Vec<&str> = item.type_params.iter().map(|p| p.name.as_str()).collect();
     let _ = trait_path;
-    (format!("<{}>", params.join(", ")), format!("<{}>", args.join(", ")))
+    (
+        format!("<{}>", params.join(", ")),
+        format!("<{}>", args.join(", ")),
+    )
 }
 
 fn string_lit(s: &str) -> String {
@@ -395,9 +409,7 @@ fn gen_serialize(item: &Item) -> String {
                 .collect();
             format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "))
         }
-        Body::Struct(Fields::Tuple(1)) => {
-            "::serde::Serialize::to_content(&self.0)".to_owned()
-        }
+        Body::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_content(&self.0)".to_owned(),
         Body::Struct(Fields::Tuple(n)) => {
             let elems: Vec<String> = (0..*n)
                 .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
@@ -437,7 +449,10 @@ fn gen_serialize(item: &Item) -> String {
                             let entries: Vec<String> = fields
                                 .iter()
                                 .map(|f| {
-                                    format!("({}, ::serde::Serialize::to_content({f}))", string_lit(f))
+                                    format!(
+                                        "({}, ::serde::Serialize::to_content({f}))",
+                                        string_lit(f)
+                                    )
                                 })
                                 .collect();
                             format!(
@@ -482,17 +497,16 @@ fn gen_deserialize(item: &Item) -> String {
     let body = match &item.body {
         Body::Struct(Fields::Unit) => format!("::std::result::Result::Ok({name})"),
         Body::Struct(Fields::Named(fields)) => {
-            let inits: Vec<String> =
-                fields.iter().map(|f| named_field_init(f, "m")).collect();
+            let inits: Vec<String> = fields.iter().map(|f| named_field_init(f, "m")).collect();
             format!(
                 "let m = c.as_map().ok_or_else(|| ::serde::DeError::expected(\"struct {name}\", c))?; \
                  ::std::result::Result::Ok({name} {{ {} }})",
                 inits.join(", ")
             )
         }
-        Body::Struct(Fields::Tuple(1)) => format!(
-            "::std::result::Result::Ok({name}(::serde::Deserialize::from_content(c)?))"
-        ),
+        Body::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_content(c)?))")
+        }
         Body::Struct(Fields::Tuple(n)) => {
             let inits: Vec<String> = (0..*n).map(|i| seq_elem_init(i, "s")).collect();
             format!(

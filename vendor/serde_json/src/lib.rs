@@ -59,7 +59,10 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
 ///
 /// Returns an error on malformed JSON or a shape mismatch.
 pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let content = p.parse_value()?;
     p.skip_ws();
@@ -394,8 +397,7 @@ mod tests {
         let v = vec![1.5f64, -2.0, 3.25];
         let s = to_string(&v).unwrap();
         assert_eq!(from_str::<Vec<f64>>(&s).unwrap(), v);
-        let m: std::collections::BTreeMap<String, u32> =
-            from_str("{\"a\": 1, \"b\": 2}").unwrap();
+        let m: std::collections::BTreeMap<String, u32> = from_str("{\"a\": 1, \"b\": 2}").unwrap();
         assert_eq!(m["b"], 2);
     }
 
