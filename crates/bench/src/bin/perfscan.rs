@@ -16,8 +16,15 @@
 //!   as the run's artifact).
 //!
 //! Scale knobs: `DRFIX_PERF_CASES` (default 28), `DRFIX_PERF_RUNS`
-//! (default 24), `DRFIX_PERF_REPEAT` (default 5). The gate refuses to
-//! compare reports produced at different scales.
+//! (default 24), `DRFIX_PERF_REPEAT` (default 5),
+//! `DRFIX_PERF_HEAP_CASES` (default 3, the LargeHeap family). The gate
+//! refuses to compare reports produced at different scales.
+//! `DRFIX_PERF_NOCACHE=1` runs the identical workload with the
+//! lock-aware caches off — an A/B for timing work. The *logical*
+//! counters stay bit-identical, but the dedicated cache counters
+//! (`*_sync_hits`, `sync_epoch_hits`, `stack_cache_hits`) drop to
+//! zero, so never bake a NOCACHE run into the baseline
+//! (`make perf-baseline` clears the flag).
 
 use bench::hotpath::{self, HotpathScale, Report};
 use std::path::{Path, PathBuf};
@@ -88,6 +95,30 @@ fn main() -> ExitCode {
         report.total.counters.clock_allocs_avoided,
     );
     println!(
+        "lock-aware cache: owner hits {} (stack-free rate {:.1}%) | sync-epoch joins \
+         skipped {} | snapshot rebuilds reused {}",
+        report.total.counters.read_sync_hits + report.total.counters.write_sync_hits,
+        100.0 * report.total.counters.stackfree_hit_rate(),
+        report.total.counters.sync_epoch_hits,
+        report.total.counters.stack_cache_hits,
+    );
+    if let Some(sync) = report.categories.iter().find(|c| c.category == "SyncHeavy") {
+        println!(
+            "sync-heavy arms: {:.2}M instr/s vs PR 4 {:.2}M instr/s -> {:.2}x",
+            sync.ips / 1e6,
+            report.pr4.sync_heavy_ips / 1e6,
+            report.sync_heavy_speedup_vs_pr4,
+        );
+        if report.sync_heavy_nocache_ips > 0.0 {
+            println!(
+                "sync-heavy A/B (same process, caches off): {:.2}M instr/s -> {:.2}x from \
+                 the lock-aware caches alone",
+                report.sync_heavy_nocache_ips / 1e6,
+                report.sync_heavy_cache_speedup,
+            );
+        }
+    }
+    println!(
         "exposure corpus: {:.2}M instr/s vs pre-optimization {:.2}M instr/s -> {:.2}x",
         report.exposure.ips / 1e6,
         report.pre_optimization.exposure_ips / 1e6,
@@ -136,13 +167,14 @@ fn main() -> ExitCode {
         );
         ExitCode::SUCCESS
     } else {
-        eprintln!("perf-gate FAILED: {} violation(s)", violations.len());
-        for v in &violations {
-            eprintln!("  - {v}");
-        }
+        eprintln!(
+            "perf-gate FAILED: {} drifted counter(s) vs the checked-in baseline",
+            violations.len()
+        );
+        eprint!("{}", hotpath::render_violations(&violations));
         eprintln!(
             "if the drift is intentional, regenerate the baseline with \
-             `cargo run --release -p bench --bin perfscan` and commit BENCH_hotpath.json"
+             `make perf-baseline` and commit BENCH_hotpath.json"
         );
         ExitCode::FAILURE
     }

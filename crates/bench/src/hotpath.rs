@@ -36,7 +36,11 @@ pub const CORPUS_SEED: u64 = 0xD0F1;
 pub const WORKLOAD_SEED: u64 = 0xBEEF;
 
 /// Report schema version (bump when the JSON shape changes).
-pub const SCHEMA: u32 = 1;
+///
+/// v2: lock-aware-cache counters (`read_sync_hits`, `write_sync_hits`,
+/// `sync_epoch_hits`, `stack_cache_hits`), the LargeHeap workload
+/// family, and the PR 4 SyncHeavy wall-clock reference.
+pub const SCHEMA: u32 = 2;
 
 /// Tolerated relative drift for gated counters before the check fails.
 pub const GATE_TOLERANCE: f64 = 0.10;
@@ -51,6 +55,9 @@ pub struct HotpathScale {
     /// Timing repetitions (`DRFIX_PERF_REPEAT`, default 5); counters
     /// must replay bit-identically across all of them.
     pub repeat: usize,
+    /// Large-heap (map/slice-heavy) programs in the workload
+    /// (`DRFIX_PERF_HEAP_CASES`, default 3).
+    pub heap_cases: usize,
 }
 
 impl Default for HotpathScale {
@@ -59,6 +66,7 @@ impl Default for HotpathScale {
             cases: 28,
             runs: 24,
             repeat: 5,
+            heap_cases: 3,
         }
     }
 }
@@ -77,6 +85,7 @@ impl HotpathScale {
             cases: get("DRFIX_PERF_CASES", d.cases),
             runs: get("DRFIX_PERF_RUNS", d.runs as usize) as u32,
             repeat: get("DRFIX_PERF_REPEAT", d.repeat).max(1),
+            heap_cases: get("DRFIX_PERF_HEAP_CASES", d.heap_cases),
         }
     }
 }
@@ -207,6 +216,14 @@ pub struct CounterSet {
     pub clock_allocs: u64,
     /// Clock allocations avoided by in-place joins / buffer reuse.
     pub clock_allocs_avoided: u64,
+    /// Reads absorbed by the detector's lock-aware owner cache.
+    pub read_sync_hits: u64,
+    /// Writes absorbed by the detector's lock-aware owner cache.
+    pub write_sync_hits: u64,
+    /// Acquire joins short-circuited by the per-sync release epoch.
+    pub sync_epoch_hits: u64,
+    /// Snapshot rebuilds avoided by the host's interned-stack cache.
+    pub stack_cache_hits: u64,
     /// Distinct races observed (summed over campaigns).
     pub races: u64,
     /// Distinct schedule signatures (summed over campaigns).
@@ -225,6 +242,10 @@ impl CounterSet {
         self.clock_joins += c.det.clock_joins;
         self.clock_allocs += c.det.clock_allocs;
         self.clock_allocs_avoided += c.det.clock_allocs_avoided;
+        self.read_sync_hits += c.det.read_sync_hits;
+        self.write_sync_hits += c.det.write_sync_hits;
+        self.sync_epoch_hits += c.det.sync_epoch_hits;
+        self.stack_cache_hits += c.stack_cache_hits;
         self.races += races;
         self.distinct_schedules += distinct;
     }
@@ -240,6 +261,10 @@ impl CounterSet {
         self.clock_joins += other.clock_joins;
         self.clock_allocs += other.clock_allocs;
         self.clock_allocs_avoided += other.clock_allocs_avoided;
+        self.read_sync_hits += other.read_sync_hits;
+        self.write_sync_hits += other.write_sync_hits;
+        self.sync_epoch_hits += other.sync_epoch_hits;
+        self.stack_cache_hits += other.stack_cache_hits;
         self.races += other.races;
         self.distinct_schedules += other.distinct_schedules;
     }
@@ -250,6 +275,17 @@ impl CounterSet {
             return 0.0;
         }
         (self.read_fast_hits + self.write_fast_hits) as f64 / self.det_events as f64
+    }
+
+    /// Share of detector events absorbed stack-free by *either* cheap
+    /// path (same-epoch fast path or lock-aware owner cache).
+    pub fn stackfree_hit_rate(&self) -> f64 {
+        if self.det_events == 0 {
+            return 0.0;
+        }
+        (self.read_fast_hits + self.write_fast_hits + self.read_sync_hits + self.write_sync_hits)
+            as f64
+            / self.det_events as f64
     }
 
     /// `(name, value, direction)` triples for the gate; `direction` is
@@ -273,6 +309,14 @@ impl CounterSet {
             (
                 "clock_allocs_avoided",
                 self.clock_allocs_avoided,
+                Direction::Benefit,
+            ),
+            ("read_sync_hits", self.read_sync_hits, Direction::Benefit),
+            ("write_sync_hits", self.write_sync_hits, Direction::Benefit),
+            ("sync_epoch_hits", self.sync_epoch_hits, Direction::Benefit),
+            (
+                "stack_cache_hits",
+                self.stack_cache_hits,
                 Direction::Benefit,
             ),
             ("races", self.races, Direction::Exact),
@@ -349,6 +393,34 @@ pub fn pre_optimization_reference() -> PreOptimizationRef {
     }
 }
 
+/// The PR 4 reference for the SyncHeavy arms: the same two sync-heavy
+/// programs measured on the tree *before* the lock-aware sync-epoch
+/// cache (commit `d181f2f`, whose checked-in baseline this is taken
+/// from). Wall-clock, so indicative — the deterministic gate never
+/// compares against it; it backs the "SyncHeavy ≥1.5×" claim.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pr4Reference {
+    /// Where the reference numbers came from.
+    pub description: String,
+    /// SyncHeavy-category instructions/sec on the PR 4 tree.
+    pub sync_heavy_ips: f64,
+    /// SyncHeavy-category VM steps on the PR 4 tree (equal to the
+    /// current scan by construction — pinned as a cross-check).
+    pub sync_heavy_vm_steps: u64,
+}
+
+/// Default PR 4 SyncHeavy reference for the default workload scale.
+pub fn pr4_reference() -> Pr4Reference {
+    Pr4Reference {
+        description: "PR 4 tree d181f2f, DRFIX_PERF_CASES=28 DRFIX_PERF_RUNS=24, \
+                      SyncHeavy category of the checked-in BENCH_hotpath.json \
+                      (reference container, 1 core, fastest of 5 repetitions)"
+            .to_owned(),
+        sync_heavy_ips: 19_419_943.0,
+        sync_heavy_vm_steps: 505_874,
+    }
+}
+
 /// The workload parameters a report was produced with; the gate refuses
 /// to compare reports from different workloads.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -366,6 +438,8 @@ pub struct WorkloadSpec {
     pub include_fixes: bool,
     /// Number of synthetic sync-heavy programs in the workload.
     pub sync_heavy_cases: usize,
+    /// Number of large-heap (map/slice-heavy) programs in the workload.
+    pub large_heap_cases: usize,
 }
 
 /// The `BENCH_hotpath.json` document.
@@ -377,11 +451,26 @@ pub struct Report {
     pub workload: WorkloadSpec,
     /// Fixed pre-optimization reference (wall-clock, indicative).
     pub pre_optimization: PreOptimizationRef,
+    /// Fixed PR 4 SyncHeavy reference (wall-clock, indicative).
+    pub pr4: Pr4Reference,
     /// Exposure-corpus throughput vs the pre-optimization reference —
     /// the headline number (only meaningful at the default scale).
     pub exposure_speedup_vs_pre_optimization: f64,
-    /// Full-workload throughput vs the pre-optimization reference.
+    /// Full-workload throughput vs the pre-optimization reference
+    /// (0 when the workload differs — e.g. the LargeHeap arms added in
+    /// schema 2 — making the ratio meaningless).
     pub speedup_vs_pre_optimization: f64,
+    /// SyncHeavy-category throughput vs the PR 4 reference — the
+    /// lock-aware sync-epoch cache's headline number (only meaningful
+    /// at the default scale).
+    pub sync_heavy_speedup_vs_pr4: f64,
+    /// SyncHeavy throughput with the lock-aware caches *disabled*,
+    /// measured back-to-back in the same process (machine-controlled
+    /// A/B; instructions are bit-identical either way).
+    pub sync_heavy_nocache_ips: f64,
+    /// SyncHeavy cache-on over cache-off throughput — the
+    /// noise-immune measure of what the caches themselves buy.
+    pub sync_heavy_cache_speedup: f64,
     /// Exposure-corpus aggregate (racy + human-fix campaigns; excludes
     /// the sync-heavy add-on).
     pub exposure: CategoryReport,
@@ -445,6 +534,19 @@ fn workload_programs(scale: &HotpathScale) -> (Vec<RaceCase>, Vec<WorkloadProgra
             prog,
         });
     }
+    // The large-heap family: map/slice-heavy working sets of hundreds
+    // of tracked cells (dense detector state, read-shared promotion at
+    // scale, per-element RLock traffic).
+    for case in corpus::generate_large_heap_corpus(scale.heap_cases, CORPUS_SEED) {
+        let prog = compile_sources(&case.files, &CompileOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", case.id));
+        programs.push(WorkloadProgram {
+            category: "LargeHeap".to_owned(),
+            id: case.id.clone(),
+            test: case.test.clone(),
+            prog,
+        });
+    }
     (corpus, programs)
 }
 
@@ -455,6 +557,13 @@ fn workload_programs(scale: &HotpathScale) -> (Vec<RaceCase>, Vec<WorkloadProgra
 /// determinism is the foundation of the CI gate), and each category
 /// keeps its fastest timing.
 pub fn run_scan(scale: &HotpathScale) -> Report {
+    // A/B knob: `DRFIX_PERF_NOCACHE=1` runs the identical workload with
+    // the lock-aware caches off. The logical counters are bit-identical
+    // either way (the whole point), so the only difference is
+    // wall-clock — a machine-controlled before/after measurement.
+    let nocache = std::env::var("DRFIX_PERF_NOCACHE")
+        .map(|v| v == "1")
+        .unwrap_or(false);
     let (_corpus, programs) = workload_programs(scale);
     let policies = workload_policies();
 
@@ -472,6 +581,10 @@ pub fn run_scan(scale: &HotpathScale) -> Report {
                     seed: WORKLOAD_SEED,
                     stop_on_race: false,
                     policy: policy.clone(),
+                    vm: govm::VmOptions {
+                        sync_epoch_cache: !nocache,
+                        ..govm::VmOptions::default()
+                    },
                     ..TestConfig::default()
                 };
                 let t0 = Instant::now();
@@ -537,7 +650,7 @@ pub fn run_scan(scale: &HotpathScale) -> Report {
         total.cases += cases;
         total.counters.accumulate(set);
         total.elapsed_s += elapsed;
-        if cat != "SyncHeavy" {
+        if cat != "SyncHeavy" && cat != "LargeHeap" {
             exposure.cases += cases;
             exposure.counters.accumulate(set);
             exposure.elapsed_s += elapsed;
@@ -570,6 +683,67 @@ pub fn run_scan(scale: &HotpathScale) -> Report {
         } else {
             0.0
         };
+    let pr4 = pr4_reference();
+    // Same apples-to-apples guard as above: the SyncHeavy ratio is only
+    // reported when this scan executed exactly the instructions the
+    // PR 4 baseline measured.
+    let sync_heavy_cat = categories
+        .iter()
+        .find(|c| c.category == "SyncHeavy")
+        .cloned();
+    let sync_heavy_speedup = sync_heavy_cat
+        .as_ref()
+        .filter(|c| pr4.sync_heavy_ips > 0.0 && c.counters.vm_steps == pr4.sync_heavy_vm_steps)
+        .map(|c| c.ips / pr4.sync_heavy_ips)
+        .unwrap_or(0.0);
+
+    // Machine-controlled A/B: replay only the sync-heavy arms with the
+    // lock-aware caches off, back-to-back in this same process. The
+    // instruction stream is bit-identical (pinned by the lock-regime
+    // goldens), so the ratio isolates what the caches buy without any
+    // cross-run machine noise.
+    let (sync_heavy_nocache_ips, sync_heavy_cache_speedup) = if nocache {
+        (0.0, 0.0)
+    } else {
+        let mut best = f64::MAX;
+        let mut steps_off = 0u64;
+        for _ in 0..scale.repeat {
+            let mut elapsed = 0.0;
+            steps_off = 0;
+            for wp in programs.iter().filter(|wp| wp.category == "SyncHeavy") {
+                for policy in &policies {
+                    let cfg = TestConfig {
+                        runs: scale.runs,
+                        seed: WORKLOAD_SEED,
+                        stop_on_race: false,
+                        policy: policy.clone(),
+                        vm: govm::VmOptions {
+                            sync_epoch_cache: false,
+                            ..govm::VmOptions::default()
+                        },
+                        ..TestConfig::default()
+                    };
+                    let t0 = Instant::now();
+                    let out = run_test_many(&wp.prog, &wp.test, &cfg);
+                    elapsed += t0.elapsed().as_secs_f64();
+                    steps_off += out.counters.vm_steps;
+                }
+            }
+            if elapsed < best {
+                best = elapsed;
+            }
+        }
+        let off_ips = if best > 0.0 && best < f64::MAX {
+            steps_off as f64 / best
+        } else {
+            0.0
+        };
+        let ratio = match &sync_heavy_cat {
+            Some(c) if off_ips > 0.0 && steps_off == c.counters.vm_steps => c.ips / off_ips,
+            _ => 0.0,
+        };
+        (off_ips, ratio)
+    };
     Report {
         schema: SCHEMA,
         workload: WorkloadSpec {
@@ -579,23 +753,55 @@ pub fn run_scan(scale: &HotpathScale) -> Report {
             policies: policies.iter().map(|p| p.label()).collect(),
             include_fixes: true,
             sync_heavy_cases: sync_heavy_cases().len(),
+            large_heap_cases: scale.heap_cases,
         },
         pre_optimization: pre,
+        pr4,
         exposure_speedup_vs_pre_optimization: exposure_speedup,
         speedup_vs_pre_optimization: speedup,
+        sync_heavy_speedup_vs_pr4: sync_heavy_speedup,
+        sync_heavy_nocache_ips,
+        sync_heavy_cache_speedup,
         exposure,
         total,
         categories,
     }
 }
 
-/// One gate violation, human-readable.
+/// One gate violation: which counter drifted, where, and by how much —
+/// structured so `perfscan --check` can render a baseline-vs-current
+/// diff table instead of a bare boolean.
 #[derive(Debug, Clone, PartialEq)]
-pub struct Violation(pub String);
+pub struct Violation {
+    /// Aggregation scope (`total`, `exposure`, or a category name) —
+    /// empty for workload/schema-level mismatches.
+    pub scope: String,
+    /// Drifted counter name (empty for workload/schema mismatches).
+    pub counter: String,
+    /// Baseline value.
+    pub baseline: u64,
+    /// Current value.
+    pub current: u64,
+    /// Human-readable message (the whole story for non-counter
+    /// violations).
+    pub message: String,
+}
+
+impl Violation {
+    fn structural(message: String) -> Violation {
+        Violation {
+            scope: String::new(),
+            counter: String::new(),
+            baseline: 0,
+            current: 0,
+            message,
+        }
+    }
+}
 
 impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(&self.message)
     }
 }
 
@@ -612,16 +818,55 @@ fn check_set(scope: &str, base: &CounterSet, cur: &CounterSet, out: &mut Vec<Vio
                 Direction::Benefit => "fell",
                 Direction::Exact => "changed",
             };
-            out.push(Violation(format!(
+            let message = format!(
                 "{scope}: {name} {how} {b} -> {c} ({:+.1}%)",
                 if b == 0 {
                     f64::INFINITY
                 } else {
                     100.0 * (c as f64 - b as f64) / b as f64
                 }
-            )));
+            );
+            out.push(Violation {
+                scope: scope.to_owned(),
+                counter: name.to_owned(),
+                baseline: b,
+                current: c,
+                message,
+            });
         }
     }
+}
+
+/// Renders violations as a `diff`-style table (baseline vs current per
+/// drifted counter, grouped by scope) for the perf-gate failure output.
+pub fn render_violations(violations: &[Violation]) -> String {
+    let mut out = String::new();
+    let (counters, structural): (Vec<_>, Vec<_>) =
+        violations.iter().partition(|v| !v.counter.is_empty());
+    for v in structural {
+        out.push_str(&format!("! {}\n", v.message));
+    }
+    if !counters.is_empty() {
+        out.push_str(&format!(
+            "  {:<18} {:<22} {:>14} {:>14} {:>9}\n",
+            "scope", "counter", "baseline", "current", "drift"
+        ));
+        for v in counters {
+            let drift = if v.baseline == 0 {
+                "+inf".to_owned()
+            } else {
+                format!(
+                    "{:+.1}%",
+                    100.0 * (v.current as f64 - v.baseline as f64) / v.baseline as f64
+                )
+            };
+            out.push_str(&format!(
+                "- {:<18} {:<22} {:>14} {:>14} {:>9}\n",
+                v.scope, v.counter, v.baseline, v.current, drift
+            ));
+        }
+    }
+    out
 }
 
 /// Diffs `current` against `baseline`; an empty vector means the gate
@@ -629,14 +874,14 @@ fn check_set(scope: &str, base: &CounterSet, cur: &CounterSet, out: &mut Vec<Vio
 pub fn check(baseline: &Report, current: &Report) -> Vec<Violation> {
     let mut out = Vec::new();
     if baseline.schema != current.schema {
-        out.push(Violation(format!(
+        out.push(Violation::structural(format!(
             "schema mismatch: baseline {} vs current {}",
             baseline.schema, current.schema
         )));
         return out;
     }
     if baseline.workload != current.workload {
-        out.push(Violation(format!(
+        out.push(Violation::structural(format!(
             "workload mismatch: baseline {:?} vs current {:?} — regenerate the baseline \
              or unset DRFIX_PERF_*",
             baseline.workload, current.workload
@@ -668,7 +913,7 @@ pub fn check(baseline: &Report, current: &Report) -> Vec<Violation> {
                 &cur_cat.counters,
                 &mut out,
             ),
-            None => out.push(Violation(format!(
+            None => out.push(Violation::structural(format!(
                 "category `{}` missing from the current scan",
                 base_cat.category
             ))),
@@ -680,7 +925,7 @@ pub fn check(baseline: &Report, current: &Report) -> Vec<Violation> {
             .iter()
             .any(|b| b.category == cur_cat.category)
         {
-            out.push(Violation(format!(
+            out.push(Violation::structural(format!(
                 "category `{}` absent from the baseline",
                 cur_cat.category
             )));
@@ -693,8 +938,8 @@ pub fn check(baseline: &Report, current: &Report) -> Vec<Violation> {
 pub fn render_table(report: &Report) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<22} {:>5} {:>12} {:>10} {:>9} {:>10} {:>10} {:>12}\n",
-        "category", "cases", "vm_steps", "events", "fast%", "snaps", "joins", "ips"
+        "{:<22} {:>5} {:>12} {:>10} {:>9} {:>9} {:>10} {:>10} {:>12}\n",
+        "category", "cases", "vm_steps", "events", "fast%", "cache%", "snaps", "joins", "ips"
     ));
     for cat in report
         .categories
@@ -703,12 +948,13 @@ pub fn render_table(report: &Report) -> String {
     {
         let c = &cat.counters;
         out.push_str(&format!(
-            "{:<22} {:>5} {:>12} {:>10} {:>8.1}% {:>10} {:>10} {:>12.0}\n",
+            "{:<22} {:>5} {:>12} {:>10} {:>8.1}% {:>8.1}% {:>10} {:>10} {:>12.0}\n",
             cat.category,
             cat.cases,
             c.vm_steps,
             c.det_events,
             100.0 * c.fast_hit_rate(),
+            100.0 * (c.stackfree_hit_rate() - c.fast_hit_rate()),
             c.stack_snapshots,
             c.clock_joins,
             cat.ips,
@@ -726,6 +972,7 @@ mod tests {
             cases: 7,
             runs: 4,
             repeat: 2,
+            heap_cases: 3,
         }
     }
 
@@ -734,7 +981,11 @@ mod tests {
         let a = run_scan(&tiny_scale());
         let b = run_scan(&tiny_scale());
         assert_eq!(a.total.counters, b.total.counters);
-        assert_eq!(a.categories.len(), 8, "Table 3 categories + SyncHeavy");
+        assert_eq!(
+            a.categories.len(),
+            9,
+            "Table 3 categories + SyncHeavy + LargeHeap"
+        );
         assert!(a.total.counters.vm_steps > 0);
         // The tiny test scale is dominated by the sync-heavy programs
         // (every lock release advances the epoch, so few same-epoch
@@ -745,6 +996,27 @@ mod tests {
             "same-epoch fast path vanished: {:?}",
             a.total.counters
         );
+        // The lock-aware cache must be carrying the sync-heavy arms…
+        let sync_cat = a
+            .categories
+            .iter()
+            .find(|c| c.category == "SyncHeavy")
+            .expect("SyncHeavy category");
+        assert!(
+            sync_cat.counters.read_sync_hits + sync_cat.counters.write_sync_hits > 0,
+            "owner cache never engaged: {:?}",
+            sync_cat.counters
+        );
+        assert!(sync_cat.counters.sync_epoch_hits > 0);
+        // …and the large-heap arms are clean, busy, and cache-assisted.
+        let heap = a
+            .categories
+            .iter()
+            .find(|c| c.category == "LargeHeap")
+            .expect("LargeHeap category");
+        assert_eq!(heap.counters.races, 0, "large-heap arms must be clean");
+        assert!(heap.counters.det_events > 0);
+        assert!(heap.counters.stack_cache_hits > 0);
         assert!(check(&a, &b).is_empty());
     }
 
@@ -758,12 +1030,15 @@ mod tests {
         let violations = check(&base, &cur);
         let text = violations
             .iter()
-            .map(|v| v.0.clone())
+            .map(|v| v.message.clone())
             .collect::<Vec<_>>()
             .join("\n");
         assert!(text.contains("vm_steps rose"), "{text}");
         assert!(text.contains("read_fast_hits fell"), "{text}");
         assert!(text.contains("races changed"), "{text}");
+        let table = render_violations(&violations);
+        assert!(table.contains("vm_steps"), "{table}");
+        assert!(table.contains("baseline"), "{table}");
         // Within-tolerance drift passes.
         let mut small = base.clone();
         small.total.counters.vm_steps += base.total.counters.vm_steps / 20;
@@ -777,6 +1052,10 @@ mod tests {
         cur.workload.runs += 1;
         let v = check(&base, &cur);
         assert_eq!(v.len(), 1);
-        assert!(v[0].0.contains("workload mismatch"));
+        assert!(v[0].message.contains("workload mismatch"));
+        assert!(
+            render_violations(&v).contains("workload mismatch"),
+            "structural violations must survive the diff rendering"
+        );
     }
 }

@@ -171,6 +171,23 @@ impl Default for CorpusConfig {
     }
 }
 
+/// A clean performance-workload program: no planted race, just a
+/// deterministic source tree with a named test entry point.
+///
+/// The perf gate's LargeHeap arms are these — map/slice-heavy programs
+/// with working sets of hundreds of tracked cells, generated by
+/// [`generate_large_heap_corpus`] — campaigned exactly like race cases
+/// but expected to come back clean.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerfCase {
+    /// Stable id, e.g. `heap-slice-00`.
+    pub id: String,
+    /// Source files `(name, content)`.
+    pub files: Vec<(String, String)>,
+    /// The test function driving the workload.
+    pub test: String,
+}
+
 /// A curated example-database pair (§4.1): the racy code and its
 /// accepted fix, labelled with its category for bookkeeping.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -269,6 +286,22 @@ pub fn generate_exposure_corpus(cfg: &CorpusConfig) -> Vec<RaceCase> {
         cases.push(case);
     }
     cases
+}
+
+/// Builds the large-heap perf family: `n` clean map/slice-heavy
+/// programs cycling the three [`templates::large_heap_case`] shapes
+/// (slice scan, map churn, mixed registry under an RWMutex), with
+/// per-case deterministic size variation.
+///
+/// This is the perf-gate workload half the hot-path roadmap called for
+/// once map/slice-heavy scenarios became the next bottleneck: working
+/// sets of hundreds of tracked cells (dense detector state), full-slice
+/// read sharing, and per-element RLock/RUnlock merge-release traffic.
+pub fn generate_large_heap_corpus(n: usize, seed: u64) -> Vec<PerfCase> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4EAF);
+    (0..n)
+        .map(|idx| templates::large_heap_case(&mut rng, idx))
+        .collect()
 }
 
 /// Builds the curated example database (Table 3's VectorDB column:
@@ -444,6 +477,30 @@ mod tests {
             assert!(a.iter().any(|c| c.category == *cat), "missing {cat:?}");
         }
         let b = generate_exposure_corpus(&cfg);
+        assert_eq!(
+            a.iter().map(|c| &c.files).collect::<Vec<_>>(),
+            b.iter().map(|c| &c.files).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn large_heap_corpus_parses_cycles_shapes_and_is_deterministic() {
+        let a = generate_large_heap_corpus(6, 5);
+        assert_eq!(a.len(), 6);
+        for c in &a {
+            for (name, src) in &c.files {
+                golite::parse_file(src).unwrap_or_else(|e| panic!("{} {name}: {e}\n{src}", c.id));
+            }
+            assert!(c.test.starts_with("Test"), "{}", c.id);
+        }
+        // All three shapes appear.
+        for shape in ["heap-slice", "heap-map", "heap-mixed"] {
+            assert!(a.iter().any(|c| c.id.starts_with(shape)), "missing {shape}");
+        }
+        // Sizes vary across instances of the same shape (the literals
+        // differ even though the shape is shared).
+        assert_ne!(a[0].files[0].1, a[3].files[0].1);
+        let b = generate_large_heap_corpus(6, 5);
         assert_eq!(
             a.iter().map(|c| &c.files).collect::<Vec<_>>(),
             b.iter().map(|c| &c.files).collect::<Vec<_>>()

@@ -1588,6 +1588,203 @@ fn hard_channel_result(rng: &mut StdRng, idx: usize) -> RaceCase {
     c
 }
 
+// ---------------------------------------------------------- large heap
+//
+// The perf-gate's LargeHeap family: clean (race-free) map/slice-heavy
+// programs whose working sets are hundreds of tracked cells, not the
+// handful the Table 3 templates touch. They stress the detector's dense
+// variable-state array, read-shared promotion at scale, and per-element
+// RLock/RUnlock merge-release traffic — the map/slice bottleneck the
+// hot-path roadmap called out. Generated deterministically; sizes vary
+// per case so campaigns don't all hash alike.
+
+/// Generates one clean large-heap perf program. `idx` cycles the three
+/// shapes: slice scan, map churn, mixed slice+map under an RWMutex.
+pub fn large_heap_case(rng: &mut StdRng, idx: usize) -> crate::PerfCase {
+    match idx % 3 {
+        0 => heap_slice_scan(rng, idx),
+        1 => heap_map_churn(rng, idx),
+        _ => heap_mixed_registry(rng, idx),
+    }
+}
+
+/// A slice of `n` rows built up front, then scanned in full by every
+/// worker (read-shared state across hundreds of cells), with the
+/// aggregate guarded by a mutex.
+fn heap_slice_scan(rng: &mut StdRng, idx: usize) -> crate::PerfCase {
+    let mut g = NameGen::new(rng);
+    let func = g.func();
+    let test = g.test();
+    let rows = g.var();
+    let n = 120 + (idx / 3) * 24 + g.small(0, 3) as usize * 8;
+    let workers = 2 + idx % 2;
+    let expected = workers * (n * (n - 1) / 2);
+    let src = format!(
+        r#"package perf
+
+import (
+	"sync"
+	"testing"
+)
+
+func {func}() int {{
+	{rows} := []int{{}}
+	for i := 0; i < {n}; i++ {{
+		{rows} = append({rows}, i)
+	}}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	total := 0
+	for w := 0; w < {workers}; w++ {{
+		wg.Add(1)
+		go func() {{
+			defer wg.Done()
+			sum := 0
+			for i := 0; i < len({rows}); i++ {{
+				sum = sum + {rows}[i]
+			}}
+			mu.Lock()
+			total = total + sum
+			mu.Unlock()
+		}}()
+	}}
+	wg.Wait()
+	return total
+}}
+
+func {test}(t *testing.T) {{
+	if {func}() != {expected} {{
+		t.Errorf("bad scan total")
+	}}
+}}
+"#
+    );
+    crate::PerfCase {
+        id: format!("heap-slice-{idx:02}"),
+        files: vec![("scan.go".to_owned(), src)],
+        test,
+    }
+}
+
+/// Workers populate disjoint key ranges of one map under a mutex, then
+/// the main goroutine ranges over every entry.
+fn heap_map_churn(rng: &mut StdRng, idx: usize) -> crate::PerfCase {
+    let mut g = NameGen::new(rng);
+    let func = g.func();
+    let test = g.test();
+    let shard = g.var();
+    let keys = 48 + (idx / 3) * 12 + g.small(0, 2) as usize * 6;
+    let workers = 2 + idx % 2;
+    let expected = workers * keys;
+    let src = format!(
+        r#"package perf
+
+import (
+	"sync"
+	"testing"
+)
+
+func {func}() int {{
+	{shard} := make(map[int]int)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < {workers}; w++ {{
+		wg.Add(1)
+		go func(base int) {{
+			defer wg.Done()
+			for i := 0; i < {keys}; i++ {{
+				mu.Lock()
+				{shard}[base*{keys}+i] = i
+				mu.Unlock()
+			}}
+		}}(w)
+	}}
+	wg.Wait()
+	n := 0
+	for k := range {shard} {{
+		if {shard}[k] >= 0 {{
+			n = n + 1
+		}}
+	}}
+	return n
+}}
+
+func {test}(t *testing.T) {{
+	if {func}() != {expected} {{
+		t.Errorf("lost map entries")
+	}}
+}}
+"#
+    );
+    crate::PerfCase {
+        id: format!("heap-map-{idx:02}"),
+        files: vec![("churn.go".to_owned(), src)],
+        test,
+    }
+}
+
+/// A map and a slice read element-by-element under `RLock` (per-element
+/// merge-release traffic) with the aggregate under the write lock.
+fn heap_mixed_registry(rng: &mut StdRng, idx: usize) -> crate::PerfCase {
+    let mut g = NameGen::new(rng);
+    let func = g.func();
+    let test = g.test();
+    let index = g.var();
+    let log = g.var();
+    let keys = 40 + (idx / 3) * 10 + g.small(0, 2) as usize * 5;
+    let workers = 2 + idx % 2;
+    let expected = workers * keys * (keys - 1);
+    let src = format!(
+        r#"package perf
+
+import (
+	"sync"
+	"testing"
+)
+
+func {func}() int {{
+	{index} := make(map[int]int)
+	{log} := []int{{}}
+	for i := 0; i < {keys}; i++ {{
+		{index}[i] = i
+		{log} = append({log}, i)
+	}}
+	var mu sync.RWMutex
+	var wg sync.WaitGroup
+	seen := 0
+	for w := 0; w < {workers}; w++ {{
+		wg.Add(1)
+		go func() {{
+			defer wg.Done()
+			local := 0
+			for i := 0; i < len({log}); i++ {{
+				mu.RLock()
+				local = local + {log}[i] + {index}[i]
+				mu.RUnlock()
+			}}
+			mu.Lock()
+			seen = seen + local
+			mu.Unlock()
+		}}()
+	}}
+	wg.Wait()
+	return seen
+}}
+
+func {test}(t *testing.T) {{
+	if {func}() != {expected} {{
+		t.Errorf("bad registry sweep")
+	}}
+}}
+"#
+    );
+    crate::PerfCase {
+        id: format!("heap-mixed-{idx:02}"),
+        files: vec![("registry.go".to_owned(), src)],
+        test,
+    }
+}
+
 fn capitalize(s: &str) -> String {
     let mut c = s.chars();
     match c.next() {

@@ -35,6 +35,6 @@ pub mod vm;
 pub use bytecode::{Op, Program, TypeHint};
 pub use compile::{compile_package, compile_sources, CompileOptions};
 pub use sched::{Decision, SchedulePolicy, Scheduler, SeedStream};
-pub use testrun::{run_test, run_test_many, run_test_with, TestConfig, TestOutcome};
+pub use testrun::{run_test, run_test_many, run_test_with, StopReason, TestConfig, TestOutcome};
 pub use value::Value;
 pub use vm::{ProgContext, RunCounters, RunError, RunResult, Vm, VmOptions};

@@ -308,11 +308,22 @@ pub(crate) fn exec(vm: &mut Vm, gid: Gid, op: &Op) -> Flow {
         }
         Op::BindMethod(name) => {
             let recv = pop(vm, gid);
+            // Reuse a recycled receiver box when one is available: a
+            // lock-heavy loop binds (and immediately consumes) two
+            // method values per iteration, and the malloc/free pair per
+            // bind showed up in sync-heavy profiles.
+            let boxed = match vm.method_box_pool.pop() {
+                Some(mut b) => {
+                    *b = recv;
+                    b
+                }
+                None => Box::new(recv),
+            };
             push(
                 vm,
                 gid,
                 Value::Method {
-                    recv: Box::new(recv),
+                    recv: boxed,
                     name: *name,
                 },
             );
@@ -1027,10 +1038,32 @@ fn compare(a: &Value, b: &Value) -> Option<std::cmp::Ordering> {
 
 // ------------------------------------------------------------------- calls
 
+/// The call shapes `exec_call` dispatches on, extracted from a
+/// *borrowed* peek of the callee: cloning the callee value outright
+/// would box-clone the receiver of every native method call (two heap
+/// round-trips per `mu.Lock()`/`mu.Unlock()` pair in a lock-heavy
+/// loop).
+enum CallShape {
+    Builtin(u16),
+    /// Receiver (unboxed) and method name.
+    Method(Value, u32),
+    /// Plain function or closure value (cheap to copy).
+    Callable(Value),
+    Nil,
+    Other(&'static str),
+}
+
 fn exec_call(vm: &mut Vm, gid: Gid, argc: u8) -> Flow {
-    let callee = peek(vm, gid, argc as usize).clone();
-    match callee {
-        Value::Builtin(b) => {
+    let shape = match peek(vm, gid, argc as usize) {
+        Value::Builtin(b) => CallShape::Builtin(*b),
+        Value::Method { recv, name } => CallShape::Method((**recv).clone(), *name),
+        Value::Func(f) => CallShape::Callable(Value::Func(*f)),
+        Value::Closure(c) => CallShape::Callable(Value::Closure(*c)),
+        Value::Nil => CallShape::Nil,
+        other => CallShape::Other(other.type_name()),
+    };
+    match shape {
+        CallShape::Builtin(b) => {
             let mut args = Vec::with_capacity(argc as usize);
             for _ in 0..argc {
                 args.push(pop(vm, gid));
@@ -1044,6 +1077,7 @@ fn exec_call(vm: &mut Vm, gid: Gid, argc: u8) -> Flow {
                 }
                 natives::BuiltinOutcome::Sleep(until, v) => {
                     vm.gos[gid].sleep_until = Some(until);
+                    vm.sleepers += 1;
                     vm.gos[gid].wake = Some(WakeAction {
                         pops: 0,
                         push: vec![v],
@@ -1055,7 +1089,7 @@ fn exec_call(vm: &mut Vm, gid: Gid, argc: u8) -> Flow {
                 natives::BuiltinOutcome::Error(e) => Flow::Panic(e),
             }
         }
-        Value::Method { recv, name } => {
+        CallShape::Method(recv, name) => {
             // User-declared methods first.
             if vm.method_func(&recv, name).is_some() {
                 let mut args = Vec::with_capacity(argc as usize + 1);
@@ -1064,7 +1098,14 @@ fn exec_call(vm: &mut Vm, gid: Gid, argc: u8) -> Flow {
                 }
                 args.reverse();
                 pop(vm, gid); // callee
-                match vm.push_call(gid, Value::Method { recv, name }, args) {
+                match vm.push_call(
+                    gid,
+                    Value::Method {
+                        recv: Box::new(recv),
+                        name,
+                    },
+                    args,
+                ) {
                     Ok(()) => Flow::Stay,
                     Err(e) => Flow::Panic(e),
                 }
@@ -1075,10 +1116,19 @@ fn exec_call(vm: &mut Vm, gid: Gid, argc: u8) -> Flow {
                     .map(|i| peek(vm, gid, argc as usize - 1 - i).clone())
                     .collect();
                 let method = vm.name(name).clone();
-                match natives::dispatch_method(vm, gid, (*recv).clone(), &method, args) {
+                let recv_ty = recv.type_name();
+                match natives::dispatch_method(vm, gid, recv, &method, args) {
                     natives::MethodOutcome::Done(v) => {
-                        for _ in 0..=argc {
+                        for _ in 0..argc {
                             pop(vm, gid);
+                        }
+                        // The deepest operand is the consumed method
+                        // value: recycle its receiver box.
+                        if let Value::Method { mut recv, .. } = pop(vm, gid) {
+                            if vm.method_box_pool.len() < 16 {
+                                *recv = Value::Nil;
+                                vm.method_box_pool.push(recv);
+                            }
                         }
                         push(vm, gid, v);
                         Flow::Next
@@ -1090,31 +1140,29 @@ fn exec_call(vm: &mut Vm, gid: Gid, argc: u8) -> Flow {
                         // relative to a known layout.
                         Flow::Park(reason)
                     }
-                    natives::MethodOutcome::NotNative => Flow::Panic(format!(
-                        "unknown method `{}` on {}",
-                        method,
-                        recv.type_name()
-                    )),
+                    natives::MethodOutcome::NotNative => {
+                        Flow::Panic(format!("unknown method `{method}` on {recv_ty}"))
+                    }
                     natives::MethodOutcome::Error(e) => Flow::Panic(e),
                 }
             }
         }
-        Value::Func(_) | Value::Closure(_) => {
+        CallShape::Callable(callee) => {
             let mut args = Vec::with_capacity(argc as usize);
             for _ in 0..argc {
                 args.push(pop(vm, gid));
             }
             args.reverse();
-            let callee = pop(vm, gid);
+            pop(vm, gid); // callee (already extracted from the peek)
             match vm.push_call(gid, callee, args) {
                 Ok(()) => Flow::Stay,
                 Err(e) => Flow::Panic(e),
             }
         }
-        Value::Nil => Flow::Panic(
+        CallShape::Nil => Flow::Panic(
             "invalid memory address or nil pointer dereference (nil function call)".into(),
         ),
-        other => Flow::Panic(format!("cannot call {}", other.type_name())),
+        CallShape::Other(ty) => Flow::Panic(format!("cannot call {ty}")),
     }
 }
 

@@ -82,6 +82,28 @@ impl TestConfig {
     }
 }
 
+/// Why a campaign stopped executing schedules.
+///
+/// Validation-policy decisions hinge on the distinction: a
+/// [`StopReason::DedupSaturated`] exit means the schedule space was
+/// exhausted (replaying more duplicates could not surface anything
+/// new), while [`StopReason::BudgetExhausted`] means the campaign ran
+/// out of instructions with schedules still unexplored — a weaker
+/// "clean" verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum StopReason {
+    /// Every configured run executed.
+    Completed,
+    /// `stop_on_race` was set and a race surfaced.
+    RaceExposed,
+    /// `dedup_streak` consecutive runs replayed already-explored
+    /// schedule signatures.
+    DedupSaturated,
+    /// The campaign-wide `max_total_steps` instruction budget ran out
+    /// before the configured runs finished.
+    BudgetExhausted,
+}
+
 /// Aggregate outcome of running one test under many schedules.
 #[derive(Debug, Clone)]
 pub struct TestOutcome {
@@ -99,6 +121,9 @@ pub struct TestOutcome {
     pub distinct_schedules: u32,
     /// Runs whose schedule signature had already been explored.
     pub duplicate_schedules: u32,
+    /// Why the campaign stopped (early exits are distinguishable from
+    /// completing all runs and from each other).
+    pub stop: StopReason,
     /// Deterministic hot-path counters summed over the executed runs.
     pub counters: RunCounters,
 }
@@ -152,6 +177,7 @@ pub fn run_test_many(prog: &Program, test: &str, cfg: &TestConfig) -> TestOutcom
     let mut distinct = 0u32;
     let mut duplicates = 0u32;
     let mut dup_streak = 0u32;
+    let mut stop = StopReason::Completed;
     let mut counters = RunCounters::default();
     // One shared name-table context for the whole campaign: the per-run
     // VMs skip the pool re-interning that dominates short runs.
@@ -162,6 +188,7 @@ pub fn run_test_many(prog: &Program, test: &str, cfg: &TestConfig) -> TestOutcom
         // validator would misread as "race gone".
         if let Some(budget) = cfg.max_total_steps {
             if executed > 0 && steps >= budget {
+                stop = StopReason::BudgetExhausted;
                 break;
             }
         }
@@ -174,6 +201,10 @@ pub fn run_test_many(prog: &Program, test: &str, cfg: &TestConfig) -> TestOutcom
         executed += 1;
         steps += r.steps;
         counters.accumulate(&r.counters);
+        // The saturation streak counts *consecutive* replays: any novel
+        // signature resets it to zero, so a campaign only exits early
+        // after `dedup_streak` duplicates in a row with nothing new in
+        // between.
         if sigs.insert(r.schedule_sig) {
             distinct += 1;
             dup_streak = 0;
@@ -195,10 +226,12 @@ pub fn run_test_many(prog: &Program, test: &str, cfg: &TestConfig) -> TestOutcom
             error = r.error;
         }
         if cfg.stop_on_race && !races.is_empty() {
+            stop = StopReason::RaceExposed;
             break;
         }
         if let Some(k) = cfg.dedup_streak {
             if k > 0 && dup_streak >= k {
+                stop = StopReason::DedupSaturated;
                 break;
             }
         }
@@ -211,6 +244,7 @@ pub fn run_test_many(prog: &Program, test: &str, cfg: &TestConfig) -> TestOutcom
         steps,
         distinct_schedules: distinct,
         duplicate_schedules: duplicates,
+        stop,
         counters,
     }
 }

@@ -10,7 +10,9 @@ use crate::bytecode::{Program, TypeHint};
 use crate::natives;
 use crate::sched::{self, SchedulePolicy, Scheduler};
 use crate::value::*;
-use racedet::{DetStats, Detector, Frame as RFrame, GoroutineInfo, RaceReport, VectorClock};
+use racedet::{
+    DetStats, Detector, FastPath, Frame as RFrame, GoroutineInfo, RaceReport, StackGen, VectorClock,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -30,6 +32,12 @@ pub struct VmOptions {
     pub drain_steps: u64,
     /// Schedule-exploration policy (see [`crate::sched`]).
     pub policy: SchedulePolicy,
+    /// Lock-aware detector caching + batched stack interning (on by
+    /// default). Turning it off never changes observable behaviour —
+    /// races, schedule signatures and the logical counters are
+    /// bit-identical either way (pinned by tests); it exists for
+    /// differential testing and A/B timing.
+    pub sync_epoch_cache: bool,
 }
 
 impl Default for VmOptions {
@@ -40,6 +48,7 @@ impl Default for VmOptions {
             preempt_max: 24,
             drain_steps: 100_000,
             policy: SchedulePolicy::Random,
+            sync_epoch_cache: true,
         }
     }
 }
@@ -87,12 +96,21 @@ pub struct RunCounters {
     pub vm_steps: u64,
     /// Scheduling decisions made.
     pub sched_points: u64,
-    /// Stack snapshots materialised (detector slow path + goroutine
-    /// creation stacks).
+    /// Stack identities the detector slow path (or goroutine creation)
+    /// required. This is a *logical* count — one per slow event whether
+    /// the snapshot was freshly built, served from the per-goroutine
+    /// cache, or absorbed entirely by the detector's lock-aware owner
+    /// cache — so it is independent of the caches and baselines never
+    /// drift when caching improves. Physical rebuilds are
+    /// `stack_snapshots - stack_cache_hits - det.sync_hits()`.
     pub stack_snapshots: u64,
-    /// Memory accesses answered without a stack snapshot (the detector's
-    /// same-epoch fast path).
+    /// Memory accesses answered without a stack snapshot by the
+    /// detector's same-epoch fast path (lock-aware cache hits are
+    /// counted in `det.read_sync_hits`/`det.write_sync_hits` instead).
     pub snapshots_avoided: u64,
+    /// Snapshot rebuilds avoided by the per-goroutine `(frame
+    /// generation, pc)` interning cache on actual slow-path calls.
+    pub stack_cache_hits: u64,
     /// Detector-side counters (events, fast hits, clock joins/allocs).
     pub det: DetStats,
 }
@@ -104,6 +122,7 @@ impl RunCounters {
         self.sched_points += other.sched_points;
         self.stack_snapshots += other.stack_snapshots;
         self.snapshots_avoided += other.snapshots_avoided;
+        self.stack_cache_hits += other.stack_cache_hits;
         self.det.accumulate(&other.det);
     }
 }
@@ -221,6 +240,23 @@ pub(crate) struct Goroutine {
     pub block_reason: &'static str,
     /// Callback target when this goroutine finishes (subtests).
     pub on_exit: Option<natives::OnExit>,
+    /// Frame push/pop generation: bumped on every call, return and
+    /// unwind, so `(depth_gen, top pc)` uniquely identifies this
+    /// goroutine's exact call stack — the [`StackGen`] handed to the
+    /// detector and the key of the interned snapshots below.
+    pub depth_gen: u32,
+    /// Interned snapshot: the materialised stack (frame ids, innermost
+    /// first) of the most recent slow-path access. Within one
+    /// `depth_gen` only element 0 (the top frame) can differ between
+    /// stack generations, so a loop body that touches many source
+    /// lines still reuses the whole outer stack and patches one id.
+    pub snap: Vec<u32>,
+    /// Exact generation `snap` is current for ([`StackGen::NONE`] =
+    /// invalid).
+    pub snap_gen: StackGen,
+    /// `depth_gen` the outer part of `snap` was built at — top-patching
+    /// is valid while this matches (u32::MAX = never built).
+    pub snap_depth_gen: u32,
 }
 
 const UNBOUND: Addr = Addr::MAX;
@@ -238,10 +274,18 @@ const UNBOUND: Addr = Addr::MAX;
 pub struct ProgContext {
     names: Vec<Rc<str>>,
     name_map: HashMap<Rc<str>, u32>,
+    /// Interned stack frames: id → `(func, line)`. Frame identity is a
+    /// static property of the program (every `(func, line)` pair is
+    /// known from the line tables), so the whole table is built once
+    /// per program and shared read-only by every run — snapshot
+    /// resolution and [`StackGen`] derivation are pure array loads.
+    frame_table: Vec<(u32, u32)>,
+    /// Per-function `pc → frame id` tables.
+    func_frames: Vec<Vec<u32>>,
 }
 
 impl ProgContext {
-    /// Interns `prog`'s string pool.
+    /// Interns `prog`'s string pool and stack-frame tables.
     pub fn new(prog: &Program) -> Self {
         let names: Vec<Rc<str>> = prog.pool.iter().map(|s| Rc::from(s.as_str())).collect();
         let name_map = names
@@ -249,7 +293,44 @@ impl ProgContext {
             .enumerate()
             .map(|(i, s)| (s.clone(), i as u32))
             .collect();
-        ProgContext { names, name_map }
+        // Enumerate every function's line table in pc order, interning
+        // each distinct `(func, line)` pair on first encounter — the
+        // same first-touch discipline the per-VM map used, made static.
+        let mut frame_table: Vec<(u32, u32)> = Vec::new();
+        let mut frame_map: HashMap<(u32, u32), u32, racedet::FastBuildHasher> = HashMap::default();
+        let mut func_frames: Vec<Vec<u32>> = Vec::with_capacity(prog.funcs.len());
+        for (fid, func) in prog.funcs.iter().enumerate() {
+            let mut intern = |line: u32| -> u32 {
+                *frame_map.entry((fid as u32, line)).or_insert_with(|| {
+                    let id = frame_table.len() as u32;
+                    frame_table.push((fid as u32, line));
+                    id
+                })
+            };
+            let mut tbl = Vec::with_capacity(func.lines.len().max(1));
+            for &line in &func.lines {
+                tbl.push(intern(line));
+            }
+            if tbl.is_empty() {
+                // Line-table-less function: one synthetic line-0 frame.
+                tbl.push(intern(0));
+            }
+            func_frames.push(tbl);
+        }
+        ProgContext {
+            names,
+            name_map,
+            frame_table,
+            func_frames,
+        }
+    }
+
+    /// Interned frame id for `(fid, pc)` (pc clamped into the line
+    /// table, matching snapshot semantics).
+    #[inline]
+    fn frame_id_at(&self, fid: u32, pc: usize) -> u32 {
+        let tbl = &self.func_frames[fid as usize];
+        tbl[pc.min(tbl.len() - 1)]
     }
 }
 
@@ -269,18 +350,27 @@ pub struct Vm<'p> {
     /// Names interned at runtime, ids continuing past `ctx.names`.
     extra_names: Vec<Rc<str>>,
     extra_name_map: HashMap<Rc<str>, u32>,
-    frame_table: Vec<(u32, u32)>,
-    frame_map: HashMap<(u32, u32), u32>,
-    /// Reusable stack-snapshot buffer (detector slow path).
-    snap_scratch: Vec<u32>,
     /// Reusable runnable-set buffer for the scheduler loop.
     runnable_buf: Vec<Gid>,
-    /// Stack snapshots materialised so far.
+    /// Recycled method-value receiver boxes (see `Op::BindMethod`).
+    /// The boxes themselves are the point: `Value::Method` stores its
+    /// receiver boxed, and the pool exists to reuse those heap cells.
+    #[allow(clippy::vec_box)]
+    pub(crate) method_box_pool: Vec<Box<Value>>,
+    /// Stack identities required so far (logical; see
+    /// [`RunCounters::stack_snapshots`]).
     snapshots_taken: u64,
+    /// Snapshot rebuilds avoided by the per-goroutine interning cache.
+    stack_cache_hits: u64,
     pub(crate) output: String,
     pub(crate) test_failures: Vec<String>,
     /// `(fire step, channel)` timers (context deadlines, `time.After`).
     pub(crate) timers: Vec<(u64, ObjRef)>,
+    /// Goroutines currently carrying a `sleep_until` deadline. Purely
+    /// an upper bound (a goroutine killed mid-sleep is never
+    /// decremented) — it exists so the per-decision timer sweep can
+    /// skip the all-goroutine scan in the common no-timers case.
+    pub(crate) sleepers: u64,
     /// Lazily allocated never-ready channel for background `ctx.Done()`.
     pub(crate) never_chan: Option<ObjRef>,
     /// Lazily allocated global rand source.
@@ -349,10 +439,12 @@ impl<'p> Vm<'p> {
             prog.pool.len(),
             "context built for another program"
         );
+        let mut det = Detector::new();
+        det.set_sync_cache(opts.sync_epoch_cache);
         let mut vm = Vm {
             prog,
             heap: Heap::new(),
-            det: Detector::new(),
+            det,
             gos: Vec::new(),
             rng: StdRng::seed_from_u64(opts.seed),
             steps: 0,
@@ -361,14 +453,14 @@ impl<'p> Vm<'p> {
             ctx,
             extra_names: Vec::new(),
             extra_name_map: HashMap::new(),
-            frame_table: Vec::new(),
-            frame_map: HashMap::new(),
-            snap_scratch: Vec::new(),
             runnable_buf: Vec::new(),
+            method_box_pool: Vec::new(),
             snapshots_taken: 0,
+            stack_cache_hits: 0,
             output: String::new(),
             test_failures: Vec::new(),
             timers: Vec::new(),
+            sleepers: 0,
             never_chan: None,
             global_rand: None,
             fatal: None,
@@ -466,14 +558,71 @@ impl<'p> Vm<'p> {
 
     // -------------------------------------------------------------- stacks
 
-    fn frame_id(&mut self, func: u32, line: u32) -> u32 {
-        if let Some(&id) = self.frame_map.get(&(func, line)) {
-            return id;
+    /// The current [`StackGen`] of `gid`: `(frame push/pop generation,
+    /// interned top-frame id)`, the token under which stack snapshots
+    /// are interned and the detector's owner cache is validated. Keyed
+    /// on the top frame's *line* (via its frame id), not its pc, so
+    /// every instruction of one source statement shares a token — a
+    /// `n = n + 1` reads and writes under the same generation. Returns
+    /// [`StackGen::NONE`] with no frames or with the cache disabled.
+    #[inline]
+    fn stack_gen(&self, gid: Gid) -> StackGen {
+        Self::derive_stack_gen(&self.gos, &self.ctx, &self.opts, gid)
+    }
+
+    /// [`Vm::stack_gen`] over disjoint field borrows, so the detector's
+    /// lazy-token fast path can derive it while the detector itself is
+    /// mutably borrowed.
+    #[inline]
+    fn derive_stack_gen(
+        gos: &[Goroutine],
+        ctx: &ProgContext,
+        opts: &VmOptions,
+        gid: Gid,
+    ) -> StackGen {
+        if !opts.sync_epoch_cache {
+            return StackGen::NONE;
         }
-        let id = self.frame_table.len() as u32;
-        self.frame_table.push((func, line));
-        self.frame_map.insert((func, line), id);
-        id
+        let g = &gos[gid];
+        let (fid, pc, depth_gen) = match g.frames.last() {
+            Some(f) => (f.func, f.pc, g.depth_gen),
+            None => return StackGen::NONE,
+        };
+        StackGen::from_parts(depth_gen, ctx.frame_id_at(fid, pc))
+    }
+
+    /// Ensures `gid`'s interned snapshot (`snap`) is current for `gen`.
+    /// Three tiers: exact generation match (free), same `depth_gen`
+    /// with a moved pc (patch the top frame id — one interning lookup),
+    /// or a full rebuild after a call/return changed the stack shape.
+    /// Counts one logical snapshot either way; full rebuilds avoided
+    /// land in `stack_cache_hits`.
+    fn refresh_snapshot(&mut self, gid: Gid, gen: StackGen) {
+        self.snapshots_taken += 1;
+        let g = &self.gos[gid];
+        if gen.is_some() {
+            if g.snap_gen == gen {
+                self.stack_cache_hits += 1;
+                return;
+            }
+            if g.snap_depth_gen == g.depth_gen && !g.snap.is_empty() {
+                // Same call stack, different source line: everything
+                // below the top frame is unchanged.
+                let f = g.frames.last().expect("depth_gen matched a live stack");
+                let id = self.ctx.frame_id_at(f.func, f.pc);
+                let g = &mut self.gos[gid];
+                g.snap[0] = id;
+                g.snap_gen = gen;
+                self.stack_cache_hits += 1;
+                return;
+            }
+        }
+        let mut buf = std::mem::take(&mut self.gos[gid].snap);
+        self.fill_stack_snapshot(gid, &mut buf);
+        let g = &mut self.gos[gid];
+        g.snap = buf;
+        g.snap_gen = gen;
+        g.snap_depth_gen = if gen.is_some() { g.depth_gen } else { u32::MAX };
     }
 
     /// Fills `out` with `gid`'s stack as interned frame ids, innermost
@@ -481,30 +630,21 @@ impl<'p> Vm<'p> {
     /// first so a scratch buffer can be reused across calls.
     pub(crate) fn fill_stack_snapshot(&mut self, gid: Gid, out: &mut Vec<u32>) {
         out.clear();
-        self.snapshots_taken += 1;
-        let prog = self.prog;
-        for idx in (0..self.gos[gid].frames.len()).rev() {
-            let (fid, pc) = {
-                let f = &self.gos[gid].frames[idx];
-                (f.func, f.pc)
-            };
-            let func = &prog.funcs[fid as usize];
-            let pc = pc.min(func.lines.len().saturating_sub(1));
-            let line = func.lines.get(pc).copied().unwrap_or(0);
-            let id = self.frame_id(fid, line);
-            out.push(id);
+        for f in self.gos[gid].frames.iter().rev() {
+            out.push(self.ctx.frame_id_at(f.func, f.pc));
         }
     }
 
-    /// Snapshot of `gid`'s stack as interned frame ids, innermost first.
+    /// Snapshot of `gid`'s stack as interned frame ids, innermost first
+    /// (served from the interned snapshot when current).
     pub(crate) fn stack_snapshot(&mut self, gid: Gid) -> Vec<u32> {
-        let mut out = Vec::with_capacity(self.gos[gid].frames.len());
-        self.fill_stack_snapshot(gid, &mut out);
-        out
+        let gen = self.stack_gen(gid);
+        self.refresh_snapshot(gid, gen);
+        self.gos[gid].snap.clone()
     }
 
     fn resolve_frame(&self, id: u32) -> RFrame {
-        let (func, line) = self.frame_table[id as usize];
+        let (func, line) = self.ctx.frame_table[id as usize];
         let f = &self.prog.funcs[func as usize];
         RFrame::new(
             f.name.clone(),
@@ -515,46 +655,77 @@ impl<'p> Vm<'p> {
 
     // ------------------------------------------------------- tracked cells
     //
-    // Every access first asks the detector's same-epoch fast path; only
-    // a miss materialises a stack snapshot (into a reusable scratch
-    // buffer) and runs the full FastTrack transfer function. On the
-    // loop-heavy exposure corpus the fast path answers the large
-    // majority of accesses, which is where the hot-path speedup comes
-    // from — see DESIGN.md "Hot-path architecture".
+    // Every access first asks the detector's same-epoch fast path, then
+    // its lock-aware owner cache (both stack-free); only a full miss
+    // materialises a stack snapshot — served from the goroutine's
+    // interned `(depth_gen, pc)` snapshot when the stack is unchanged,
+    // which is every repeat of the same source line — and runs the full
+    // FastTrack transfer function. On the loop-heavy exposure corpus
+    // the same-epoch path answers the large majority of accesses; on
+    // sync-heavy programs (every release advances the epoch) the owner
+    // cache and the interned snapshots carry the load — see DESIGN.md
+    // "Hot-path architecture".
 
-    /// Detector slow path for a read: snapshot the stack, run the full
-    /// transfer function.
+    /// Detector slow path for a read: resolve the (possibly interned)
+    /// stack, run the full transfer function.
     #[cold]
-    fn det_read_slow(&mut self, gid: Gid, addr: Addr) {
-        let mut buf = std::mem::take(&mut self.snap_scratch);
-        self.fill_stack_snapshot(gid, &mut buf);
+    fn det_read_slow(&mut self, gid: Gid, addr: Addr, gen: StackGen) {
+        self.refresh_snapshot(gid, gen);
         let name = self.heap.cell_name(addr);
-        self.det.read_slow(gid, addr, name, &buf);
-        self.snap_scratch = buf;
+        let buf = std::mem::take(&mut self.gos[gid].snap);
+        self.det.read_slow(gid, addr, name, &buf, gen);
+        self.gos[gid].snap = buf;
     }
 
     /// Detector slow path for a write.
     #[cold]
-    fn det_write_slow(&mut self, gid: Gid, addr: Addr) {
-        let mut buf = std::mem::take(&mut self.snap_scratch);
-        self.fill_stack_snapshot(gid, &mut buf);
+    fn det_write_slow(&mut self, gid: Gid, addr: Addr, gen: StackGen) {
+        self.refresh_snapshot(gid, gen);
         let name = self.heap.cell_name(addr);
-        self.det.write_slow(gid, addr, name, &buf);
-        self.snap_scratch = buf;
+        let buf = std::mem::take(&mut self.gos[gid].snap);
+        self.det.write_slow(gid, addr, name, &buf, gen);
+        self.gos[gid].snap = buf;
     }
 
-    /// Race-tracks a read of `addr` without touching the value.
+    /// Race-tracks a read of `addr` without touching the value. The
+    /// stack token is derived lazily — the dominant same-epoch case
+    /// never pays for it (disjoint-field borrows let the detector call
+    /// back into the goroutine/frame tables mid-check).
     pub(crate) fn track_read(&mut self, gid: Gid, addr: Addr) {
-        if !self.det.read_fast(gid, addr) {
-            self.det_read_slow(gid, addr);
+        let Vm {
+            det,
+            gos,
+            ctx,
+            opts,
+            ..
+        } = self;
+        let (hit, gen) =
+            det.read_fast_with(gid, addr, || Self::derive_stack_gen(gos, ctx, opts, gid));
+        match hit {
+            FastPath::EpochHit => {}
+            // The absorbed transfer still *needed* a stack identity;
+            // counted logically so counter baselines are cache-blind.
+            FastPath::CacheHit => self.snapshots_taken += 1,
+            FastPath::Miss => self.det_read_slow(gid, addr, gen),
         }
     }
 
     /// Race-tracks a write to `addr` without touching the value
     /// (structural mutations: slice/map headers, cell initialisation).
     pub(crate) fn track_write(&mut self, gid: Gid, addr: Addr) {
-        if !self.det.write_fast(gid, addr) {
-            self.det_write_slow(gid, addr);
+        let Vm {
+            det,
+            gos,
+            ctx,
+            opts,
+            ..
+        } = self;
+        let (hit, gen) =
+            det.write_fast_with(gid, addr, || Self::derive_stack_gen(gos, ctx, opts, gid));
+        match hit {
+            FastPath::EpochHit => {}
+            FastPath::CacheHit => self.snapshots_taken += 1,
+            FastPath::Miss => self.det_write_slow(gid, addr, gen),
         }
     }
 
@@ -593,8 +764,11 @@ impl<'p> Vm<'p> {
         }
         debug_assert_eq!(gid, self.gos.len(), "goroutine ids stay dense");
         self.gos.push(Goroutine {
-            frames: Vec::new(),
-            stack: Vec::new(),
+            // Pre-sized: a fresh goroutine pushes a frame and operands
+            // within its first instructions, and the early `Vec` growth
+            // steps showed up in sync-heavy profiles.
+            frames: Vec::with_capacity(4),
+            stack: Vec::with_capacity(16),
             status: Status::Runnable,
             creation,
             wake: None,
@@ -604,6 +778,10 @@ impl<'p> Vm<'p> {
             parked_recv_comma_ok: false,
             block_reason: "",
             on_exit: None,
+            depth_gen: 0,
+            snap: Vec::new(),
+            snap_gen: StackGen::NONE,
+            snap_depth_gen: u32::MAX,
         });
         self.push_call(gid, callee, args)
             .map_err(|e| format!("go: {e}"))?;
@@ -689,6 +867,10 @@ impl<'p> Vm<'p> {
             stack_base,
             returning: None,
         });
+        // The call stack changed shape: retire this goroutine's stack
+        // generation so interned snapshots and owner-cache records from
+        // the previous shape can never be mistaken for the new one.
+        self.gos[gid].depth_gen = self.gos[gid].depth_gen.wrapping_add(1);
         Ok(())
     }
 
@@ -775,6 +957,7 @@ impl<'p> Vm<'p> {
                 sched_points: self.sched_points,
                 stack_snapshots: self.snapshots_taken,
                 snapshots_avoided: det.fast_hits(),
+                stack_cache_hits: self.stack_cache_hits,
                 det,
             },
         }
@@ -844,6 +1027,11 @@ impl<'p> Vm<'p> {
     }
 
     fn fire_timers(&mut self) {
+        // Called on every scheduling decision; with no timers armed and
+        // no sleeping goroutines there is provably nothing to fire.
+        if self.timers.is_empty() && self.sleepers == 0 {
+            return;
+        }
         let now = self.steps;
         let mut fired = Vec::new();
         self.timers.retain(|&(at, ch)| {
@@ -861,6 +1049,7 @@ impl<'p> Vm<'p> {
             if let Some(t) = g.sleep_until {
                 if t <= now && g.status == Status::Blocked {
                     g.sleep_until = None;
+                    self.sleepers = self.sleepers.saturating_sub(1);
                     g.status = Status::Runnable;
                 }
             }
@@ -929,30 +1118,34 @@ impl<'p> Vm<'p> {
                 }
             }
         }
-        for _ in 0..quantum {
-            if self.steps >= budget || self.fatal.is_some() {
-                return;
-            }
-            if self.gos[gid].status != Status::Runnable {
-                return;
-            }
+        // The quantum loop runs with the per-step budget, fatal and
+        // runnable checks hoisted out: the step allowance is clamped to
+        // the remaining budget up front, and `fatal`/`status` can only
+        // change on paths that return (park, panic) or that re-check
+        // explicitly below (frame returns, which may finish or panic
+        // the goroutine through deferred natives).
+        let allowance = quantum.min(budget.saturating_sub(self.steps));
+        for _ in 0..allowance {
             self.steps += 1;
 
-            // Unwinding frames (defers) take priority over fetch.
-            if self.gos[gid]
+            // One bounds-checked frame access per step: fetch the
+            // function, pc and unwinding flag together.
+            let Some((fid, pc, returning)) = self.gos[gid]
                 .frames
                 .last()
-                .map(|f| f.returning.is_some())
-                .unwrap_or(false)
-            {
-                self.proceed_return(gid);
-                continue;
-            }
-
-            let Some((fid, pc)) = self.gos[gid].frames.last().map(|f| (f.func, f.pc)) else {
+                .map(|f| (f.func, f.pc, f.returning.is_some()))
+            else {
                 self.gos[gid].status = Status::Done;
                 return;
             };
+            // Unwinding frames (defers) take priority over fetch.
+            if returning {
+                self.proceed_return(gid);
+                if self.fatal.is_some() || self.gos[gid].status != Status::Runnable {
+                    return;
+                }
+                continue;
+            }
             // `prog` outlives the `&mut self` borrow below, so the
             // fetched instruction is executed by reference — no
             // per-instruction `Op` clone.
@@ -961,6 +1154,9 @@ impl<'p> Vm<'p> {
                 // Fallthrough: return nil (compiler normally emits an
                 // explicit return, so this is a safety net).
                 self.start_return(gid, Value::Nil);
+                if self.fatal.is_some() || self.gos[gid].status != Status::Runnable {
+                    return;
+                }
                 continue;
             }
             match crate::ops::exec(self, gid, &code[pc]) {
@@ -983,6 +1179,9 @@ impl<'p> Vm<'p> {
                 }
                 Flow::Returned(v) => {
                     self.start_return(gid, v);
+                    if self.fatal.is_some() || self.gos[gid].status != Status::Runnable {
+                        return;
+                    }
                 }
                 Flow::Panic(msg) => {
                     self.do_panic(gid, msg);
@@ -1044,6 +1243,7 @@ impl<'p> Vm<'p> {
         }
         // No defers left: actually pop the frame.
         let frame = self.gos[gid].frames.pop().expect("returning frame");
+        self.gos[gid].depth_gen = self.gos[gid].depth_gen.wrapping_add(1);
         self.gos[gid].stack.truncate(frame.stack_base);
         if self.gos[gid].frames.is_empty() {
             self.gos[gid].status = Status::Done;
@@ -1071,6 +1271,7 @@ impl<'p> Vm<'p> {
     fn do_panic(&mut self, gid: Gid, msg: String) {
         // Release held synchronisation via native defers, then abort.
         let frames = std::mem::take(&mut self.gos[gid].frames);
+        self.gos[gid].depth_gen = self.gos[gid].depth_gen.wrapping_add(1);
         for frame in frames.into_iter().rev() {
             for (callee, args) in frame.defers.into_iter().rev() {
                 if let Value::Method { recv, name } = &callee {

@@ -14,7 +14,7 @@
 use govm::sched::{SeedStream, SIGNATURE_SEED};
 use govm::{
     compile_sources, run_test, run_test_many, run_test_with, CompileOptions, Program,
-    SchedulePolicy, TestConfig, VmOptions,
+    SchedulePolicy, StopReason, TestConfig, VmOptions,
 };
 use proptest::prelude::*;
 
@@ -396,6 +396,220 @@ func TestSum(t *testing.T) {
         bounded.steps,
         unbounded.steps
     );
+    // The exit reasons are distinguishable.
+    assert_eq!(unbounded.stop, StopReason::Completed);
+    assert_eq!(bounded.stop, StopReason::DedupSaturated);
+}
+
+/// Golden pinning of the two early-exit reasons (satellite of the
+/// lock-aware-cache PR): the same multi-schedule program stopped by
+/// schedule saturation vs by the instruction budget must report
+/// different [`StopReason`]s with exactly reproducible run/step
+/// bookkeeping.
+#[test]
+fn early_exit_reasons_are_distinguishable_goldens() {
+    // Multi-goroutine: many distinct schedules, so only an explicit
+    // limit stops it early.
+    let src = r#"package app
+
+import (
+	"sync"
+	"testing"
+)
+
+func Spin() int {
+	n := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 6; j++ {
+				mu.Lock()
+				n = n + 1
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return n
+}
+
+func TestSpin(t *testing.T) {
+	if Spin() != 12 {
+		t.Errorf("lost updates")
+	}
+}
+"#;
+    let prog = compile(src);
+
+    // Budget exit: the campaign must stop as soon as the summed steps
+    // cross the budget, after at least one run.
+    let budget = run_test_many(
+        &prog,
+        "TestSpin",
+        &TestConfig {
+            runs: 64,
+            seed: 7,
+            max_total_steps: Some(1),
+            ..TestConfig::default()
+        },
+    );
+    assert_eq!(budget.stop, StopReason::BudgetExhausted);
+    assert_eq!(budget.runs, 1, "a 1-step budget still runs one schedule");
+    assert!(budget.steps > 0);
+    assert!(budget.is_clean());
+
+    // With no limits at all, the same program completes every run —
+    // pinning that `Completed` is reserved for full campaigns.
+    let complete = run_test_many(
+        &prog,
+        "TestSpin",
+        &TestConfig {
+            runs: 8,
+            seed: 7,
+            ..TestConfig::default()
+        },
+    );
+    assert_eq!(complete.stop, StopReason::Completed);
+    assert_eq!(complete.runs, 8);
+
+    // And the race-exposure exit stays distinguishable from both.
+    let racy = compile(RACY);
+    let exposed = run_test_many(
+        &racy,
+        "TestWork",
+        &TestConfig {
+            runs: 64,
+            seed: 0,
+            stop_on_race: true,
+            ..TestConfig::default()
+        },
+    );
+    assert_eq!(exposed.stop, StopReason::RaceExposed);
+    assert!(!exposed.races.is_empty());
+    assert!(exposed.runs < 64);
+
+    // Exit reasons, like every other campaign observable, replay
+    // bit-identically.
+    let budget2 = run_test_many(
+        &prog,
+        "TestSpin",
+        &TestConfig {
+            runs: 64,
+            seed: 7,
+            max_total_steps: Some(1),
+            ..TestConfig::default()
+        },
+    );
+    assert_eq!(budget.runs, budget2.runs);
+    assert_eq!(budget.steps, budget2.steps);
+    assert_eq!(budget.stop, budget2.stop);
+}
+
+/// The saturation streak resets on *any* novel signature: duplicates
+/// separated by fresh schedules never accumulate into an exit.
+#[test]
+fn dedup_streak_resets_on_novel_signatures() {
+    // Two goroutines: a handful of distinct schedules that the random
+    // policy revisits with duplicates interleaved between novelties.
+    let src = r#"package app
+
+import (
+	"sync"
+	"testing"
+)
+
+func Pair() int {
+	n := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			n = n + 1
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return n
+}
+
+func TestPair(t *testing.T) {
+	if Pair() != 2 {
+		t.Errorf("lost updates")
+	}
+}
+"#;
+    let prog = compile(src);
+    let unbounded = run_test_many(
+        &prog,
+        "TestPair",
+        &TestConfig {
+            runs: 48,
+            seed: 3,
+            ..TestConfig::default()
+        },
+    );
+    // Replay the same campaign with a streak limit. Reconstruct, run by
+    // run, what the streak-with-reset semantics must do, and check the
+    // campaign agrees exactly.
+    let k = 4u32;
+    let bounded = run_test_many(
+        &prog,
+        "TestPair",
+        &TestConfig {
+            runs: 48,
+            seed: 3,
+            dedup_streak: Some(k),
+            ..TestConfig::default()
+        },
+    );
+    // Derive the expected exit point from the unbounded campaign's
+    // per-run signatures (recomputed via single runs on the same seed
+    // stream).
+    let mut seen = std::collections::HashSet::new();
+    let mut streak = 0u32;
+    let mut expected_runs = 0u32;
+    let mut saturated = false;
+    for i in 0..48u64 {
+        let seed = govm::SeedStream::Split.derive(3, i);
+        let r = run_test_with(
+            &prog,
+            "TestPair",
+            VmOptions {
+                seed,
+                ..VmOptions::default()
+            },
+        );
+        expected_runs += 1;
+        if seen.insert(r.schedule_sig) {
+            streak = 0; // novel schedule: the streak resets
+        } else {
+            streak += 1;
+        }
+        if streak >= k {
+            saturated = true;
+            break;
+        }
+    }
+    assert_eq!(bounded.runs, expected_runs, "streak must reset on novelty");
+    if saturated {
+        assert_eq!(bounded.stop, StopReason::DedupSaturated);
+        assert!(
+            bounded.distinct_schedules > 1,
+            "novel schedules appeared before saturation: {bounded:?}"
+        );
+    } else {
+        assert_eq!(bounded.stop, StopReason::Completed);
+    }
+    // Sanity: the unbounded campaign saw duplicates *and* novelties, so
+    // the reset semantics were actually exercised.
+    assert!(unbounded.duplicate_schedules > 0);
+    assert!(unbounded.distinct_schedules > 1);
 }
 
 /// The campaign-wide instruction budget stops a campaign mid-flight.

@@ -18,14 +18,51 @@
 //!
 //! 1. [`Detector::read_fast`] / [`Detector::write_fast`] perform the
 //!    same-epoch check without needing a call stack — when they return
-//!    `true` the event is fully processed and the host never has to
-//!    materialise a stack snapshot;
+//!    [`FastPath::EpochHit`] the event is fully processed and the host
+//!    never has to materialise a stack snapshot;
 //! 2. on a miss, the host builds the stack and calls
 //!    [`Detector::read_slow`] / [`Detector::write_slow`], which run the
 //!    full FastTrack transfer function.
 //!
+//! # Lock-aware sync-epoch cache
+//!
+//! Sync-heavy programs defeat the same-epoch check by construction:
+//! every lock release advances the owner's epoch, so a counter loop
+//! (`mu.Lock(); n++; mu.Unlock()`) misses on every iteration even
+//! though nothing about the variable's ownership changed. Two O(1)
+//! caches close that gap without changing any observable behaviour:
+//!
+//! - **Per-variable owner cache** (the fast functions' *second
+//!   chance*): each access record remembers the [`StackGen`] — an
+//!   opaque host token identifying the acting thread's exact call
+//!   stack — under which the last slow-path transfer stored it. When
+//!   the same thread re-accesses a variable it exclusively owns (write
+//!   epoch and read state both its own) at an unchanged stack
+//!   generation, the full transfer function provably reduces to
+//!   bumping the stored epoch: no race is reachable, and the stored
+//!   access record (stack, thread, kind) is already byte-identical to
+//!   what the slow path would write. The fast functions apply that
+//!   reduced update in place and return [`FastPath::CacheHit`] — the
+//!   host skips the snapshot *and* the detector skips the transfer.
+//! - **Per-sync release epoch** (FastTrack's O(1) acquire):
+//!   [`Detector::release`] stores, next to the released clock, the
+//!   epoch `c@t` of the releasing thread. A later
+//!   [`Detector::acquire`] whose thread already knows `c@t` (one
+//!   component compare) must already contain the whole stored clock,
+//!   so the O(width) join is skipped. Merge-releases invalidate the
+//!   epoch (several releasers — no single epoch summarises the join).
+//!
+//! Both caches are *physical* optimisations: the [`DetStats`] counters
+//! keep their logical meaning (a short-circuited acquire still counts
+//! its `clock_joins`), so counter baselines stay bit-identical across
+//! cache on/off — the savings surface in the dedicated
+//! `read_sync_hits` / `write_sync_hits` / `sync_epoch_hits` counters
+//! and in wall-clock. [`Detector::set_sync_cache`] turns the caches
+//! off for differential testing.
+//!
 //! [`Detector::read`] / [`Detector::write`] remain as the combined
-//! single-call form. Variable states live in a dense array indexed by
+//! single-call form (they pass [`StackGen::NONE`], which never
+//! cache-hits). Variable states live in a dense array indexed by
 //! address (the host allocates cells densely), sync/dedup maps use a
 //! fast deterministic hasher, and every clock operation either joins in
 //! place or reuses an existing buffer — [`Detector::stats`] counts the
@@ -52,7 +89,60 @@ pub type FrameId = u32;
 /// Addresses below this bound get dense (array-indexed) variable state;
 /// anything above falls back to a hash map. Hosts that allocate cells
 /// densely from zero — `govm` does — never touch the map.
-const DENSE_LIMIT: usize = 1 << 22;
+/// [`Detector::with_dense_limit`] overrides the bound (tests exercise
+/// the crossover without growing a multi-million-entry array).
+pub const DENSE_LIMIT: usize = 1 << 22;
+
+/// Opaque host token identifying the exact call stack of one thread at
+/// one moment: equal tokens from the same thread guarantee the stack
+/// snapshot the host *would* materialise is byte-identical.
+///
+/// `govm` derives it from `(goroutine frame-push/pop generation,
+/// interned top-frame id)` — line-granular, so one source statement's
+/// reads and writes share a token; any host scheme works as long as a
+/// token is never reused by the same thread for a different stack.
+/// [`StackGen::NONE`] opts an event out of the owner cache (the
+/// combined [`Detector::read`] / [`Detector::write`] forms always pass
+/// it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StackGen(u64);
+
+impl StackGen {
+    /// The "no token" sentinel: never equal to a cacheable generation.
+    pub const NONE: StackGen = StackGen(u64::MAX);
+
+    /// Builds a token from a host generation counter and a program
+    /// counter (the `govm` scheme).
+    pub fn from_parts(depth_gen: u32, pc: u32) -> StackGen {
+        StackGen((u64::from(depth_gen) << 32) | u64::from(pc))
+    }
+
+    /// `true` unless this is [`StackGen::NONE`].
+    pub fn is_some(self) -> bool {
+        self != StackGen::NONE
+    }
+}
+
+/// Outcome of a phase-one ([`Detector::read_fast`] /
+/// [`Detector::write_fast`]) check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FastPath {
+    /// The access repeats within the thread's current epoch: fully
+    /// processed, no state change, no stack needed.
+    EpochHit,
+    /// The lock-aware owner cache absorbed the access: the reduced
+    /// transfer function has been applied in place, no stack needed.
+    CacheHit,
+    /// The host must materialise a stack and call the slow phase.
+    Miss,
+}
+
+impl FastPath {
+    /// `true` when the event is fully processed (no slow phase needed).
+    pub fn is_hit(self) -> bool {
+        !matches!(self, FastPath::Miss)
+    }
+}
 
 /// A fast, deterministic multiply-xor hasher (FxHash-style) for the
 /// detector's interior maps. With the default SipHash, keying the sync
@@ -113,6 +203,13 @@ pub struct DetStats {
     /// Clock allocations avoided by joining in place or reusing an
     /// existing sync-object buffer.
     pub clock_allocs_avoided: u64,
+    /// Reads absorbed by the lock-aware owner cache (second chance).
+    pub read_sync_hits: u64,
+    /// Writes absorbed by the lock-aware owner cache (second chance).
+    pub write_sync_hits: u64,
+    /// Acquire joins short-circuited by the per-sync release epoch
+    /// (counted *in addition to* the logical `clock_joins` increment).
+    pub sync_epoch_hits: u64,
 }
 
 impl DetStats {
@@ -124,11 +221,19 @@ impl DetStats {
         self.clock_joins += other.clock_joins;
         self.clock_allocs += other.clock_allocs;
         self.clock_allocs_avoided += other.clock_allocs_avoided;
+        self.read_sync_hits += other.read_sync_hits;
+        self.write_sync_hits += other.write_sync_hits;
+        self.sync_epoch_hits += other.sync_epoch_hits;
     }
 
-    /// Fast-path hits across reads and writes.
+    /// Same-epoch fast-path hits across reads and writes.
     pub fn fast_hits(&self) -> u64 {
         self.read_fast_hits + self.write_fast_hits
+    }
+
+    /// Lock-aware owner-cache hits across reads and writes.
+    pub fn sync_hits(&self) -> u64 {
+        self.read_sync_hits + self.write_sync_hits
     }
 }
 
@@ -161,15 +266,25 @@ pub struct RawRace {
 enum ReadState {
     /// Reads by at most one thread since the last write.
     Epoch(Epoch, Option<RawAccess>),
-    /// Read-shared: full clock plus per-thread access info.
-    Shared(VectorClock, HashMap<ThreadId, RawAccess>),
+    /// Read-shared: full clock plus per-thread access info, each record
+    /// tagged with the [`StackGen`] it was captured under (the owner
+    /// cache's freshness witness, per reader).
+    Shared(
+        VectorClock,
+        HashMap<ThreadId, (RawAccess, StackGen), FastBuildHasher>,
+    ),
 }
 
 #[derive(Debug, Clone)]
 struct VarState {
     w: Epoch,
     w_access: Option<RawAccess>,
+    /// Host stack token under which `w_access` was stored (the owner
+    /// cache's freshness witness); [`StackGen::NONE`] when unknown.
+    w_gen: StackGen,
     r: ReadState,
+    /// Host stack token for the epoch-read access record.
+    r_gen: StackGen,
 }
 
 impl Default for VarState {
@@ -177,23 +292,59 @@ impl Default for VarState {
         VarState {
             w: Epoch::ZERO,
             w_access: None,
+            w_gen: StackGen::NONE,
             r: ReadState::Epoch(Epoch::ZERO, None),
+            r_gen: StackGen::NONE,
         }
     }
 }
 
+/// One sync object: its release clock plus the lock-aware sync-epoch
+/// cache — the epoch of the (sole) last releaser, which lets a later
+/// acquire prove `clock ≤ acquirer` with one component compare.
+#[derive(Debug, Clone)]
+struct SyncState {
+    clock: VectorClock,
+    /// `Some(c@t)`: the stored clock is exactly thread `t`'s clock at
+    /// its local time `c` (set by plain release / atomic ops). `None`
+    /// after a merge-release — several releasers, no single epoch
+    /// summarises the joined clock.
+    release_epoch: Option<Epoch>,
+}
+
 /// The FastTrack detector for one program run.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Detector {
     clocks: Vec<VectorClock>,
-    /// Dense per-address variable state (addresses below [`DENSE_LIMIT`]).
+    /// Dense per-address variable state (addresses below `dense_limit`).
     vars: Vec<VarState>,
     /// Overflow variable state for sparse high addresses.
     vars_sparse: HashMap<Addr, VarState, FastBuildHasher>,
-    syncs: HashMap<u64, VectorClock, FastBuildHasher>,
+    syncs: HashMap<u64, SyncState, FastBuildHasher>,
     races: Vec<RawRace>,
     dedup: HashSet<u64, FastBuildHasher>,
     stats: DetStats,
+    /// Dense/sparse crossover ([`DENSE_LIMIT`] unless overridden).
+    dense_limit: Addr,
+    /// Lock-aware caching (owner second chance + sync release epochs);
+    /// on by default, off for differential testing.
+    sync_cache: bool,
+}
+
+impl Default for Detector {
+    fn default() -> Self {
+        Detector {
+            clocks: Vec::new(),
+            vars: Vec::new(),
+            vars_sparse: HashMap::default(),
+            syncs: HashMap::default(),
+            races: Vec::new(),
+            dedup: HashSet::default(),
+            stats: DetStats::default(),
+            dense_limit: DENSE_LIMIT as Addr,
+            sync_cache: true,
+        }
+    }
 }
 
 impl Detector {
@@ -204,6 +355,23 @@ impl Detector {
         c.tick(0);
         d.clocks.push(c);
         d
+    }
+
+    /// [`Detector::new`] with a custom dense/sparse address crossover
+    /// (tests exercise the exact boundary without a 4M-entry array).
+    pub fn with_dense_limit(limit: usize) -> Self {
+        let mut d = Detector::new();
+        d.dense_limit = limit as Addr;
+        d
+    }
+
+    /// Enables or disables the lock-aware caches (owner second chance
+    /// and per-sync release epochs). Disabling never changes observable
+    /// behaviour — races, clocks and the logical counters are
+    /// bit-identical either way; only the `*_sync_hits` /
+    /// `sync_epoch_hits` counters stop moving.
+    pub fn set_sync_cache(&mut self, enabled: bool) {
+        self.sync_cache = enabled;
     }
 
     /// Number of threads registered so far.
@@ -219,10 +387,11 @@ impl Detector {
     fn var_mut<'a>(
         dense: &'a mut Vec<VarState>,
         sparse: &'a mut HashMap<Addr, VarState, FastBuildHasher>,
+        dense_limit: Addr,
         addr: Addr,
     ) -> &'a mut VarState {
         let i = addr as usize;
-        if addr < DENSE_LIMIT as Addr {
+        if addr < dense_limit {
             if i >= dense.len() {
                 dense.resize_with(i + 1, VarState::default);
             }
@@ -265,28 +434,141 @@ impl Detector {
 
     /// Same-epoch read check — phase one of a read event.
     ///
-    /// Returns `true` when the read repeats within `t`'s current epoch
-    /// and is therefore fully processed: no race is possible, no state
-    /// changes, and the host does not need a stack snapshot. On `false`
-    /// the host must follow up with [`Detector::read_slow`].
+    /// [`FastPath::EpochHit`]: the read repeats within `t`'s current
+    /// epoch; fully processed, no state change, no stack needed.
+    /// [`FastPath::CacheHit`]: `t` exclusively owns the read state and
+    /// `gen` proves its stored access record is still current, so the
+    /// full transfer function reduces to bumping the read epoch —
+    /// applied here, in place. [`FastPath::Miss`]: the host must follow
+    /// up with [`Detector::read_slow`], passing the same `gen`.
     #[inline]
-    pub fn read_fast(&mut self, t: ThreadId, addr: Addr) -> bool {
+    pub fn read_fast(&mut self, t: ThreadId, addr: Addr, gen: StackGen) -> FastPath {
+        self.read_fast_with(t, addr, || gen).0
+    }
+
+    /// [`Detector::read_fast`] with a *lazily derived* stack token: the
+    /// epoch check needs no token, so `gen_fn` only runs on an epoch
+    /// miss — on hosts where deriving the token costs a few loads, the
+    /// dominant same-epoch case stays token-free. Returns the outcome
+    /// plus the token (needed for the slow phase on a miss;
+    /// [`StackGen::NONE`] after an epoch hit).
+    #[inline]
+    pub fn read_fast_with<F: FnOnce() -> StackGen>(
+        &mut self,
+        t: ThreadId,
+        addr: Addr,
+        gen_fn: F,
+    ) -> (FastPath, StackGen) {
         self.stats.events += 1;
         let e = Epoch::new(t, self.clocks[t].get(t));
-        let vs = Self::var_mut(&mut self.vars, &mut self.vars_sparse, addr);
-        let hit = matches!(&vs.r, ReadState::Epoch(re, _) if *re == e);
-        if hit {
-            self.stats.read_fast_hits += 1;
+        let vs = Self::var_mut(
+            &mut self.vars,
+            &mut self.vars_sparse,
+            self.dense_limit,
+            addr,
+        );
+        let VarState {
+            w,
+            w_access,
+            w_gen,
+            r,
+            r_gen,
+        } = vs;
+        match r {
+            ReadState::Epoch(re, acc) => {
+                if *re == e {
+                    self.stats.read_fast_hits += 1;
+                    return (FastPath::EpochHit, StackGen::NONE);
+                }
+                let gen = gen_fn();
+                if self.sync_cache && gen.is_some() {
+                    // Lock-aware second chance: `t` already owns the read
+                    // epoch and its stack is unchanged since the record was
+                    // stored. The slow path would find `re.le(ct)` (own
+                    // component) and `vs.w.le(ct)` either true or a
+                    // dedup-identical replay of an already-recorded race,
+                    // then store an access record byte-identical to the
+                    // current one — so the whole transfer collapses to
+                    // `*re = e`.
+                    if !re.is_zero() && re.tid == t && *r_gen == gen {
+                        *re = e;
+                        self.stats.read_sync_hits += 1;
+                        return (FastPath::CacheHit, gen);
+                    }
+                    // Post-write re-read: the read state was collapsed by
+                    // `t`'s own write at this very stack generation (the
+                    // `n = n + 1` pattern reads and writes one source
+                    // line). The write record's stack *is* the current
+                    // stack, so the read record the slow path would build
+                    // can be copied from it — no host snapshot needed.
+                    if re.is_zero() && !w.is_zero() && w.tid == t && *w_gen == gen {
+                        if let Some(wa) = w_access {
+                            match acc {
+                                Some(a) => {
+                                    a.kind = AccessKind::Read;
+                                    a.tid = t;
+                                    a.stack.clone_from(&wa.stack);
+                                }
+                                None => {
+                                    *acc = Some(RawAccess {
+                                        kind: AccessKind::Read,
+                                        stack: wa.stack.clone(),
+                                        tid: t,
+                                    })
+                                }
+                            }
+                            *re = e;
+                            *r_gen = gen;
+                            self.stats.read_sync_hits += 1;
+                            return (FastPath::CacheHit, gen);
+                        }
+                    }
+                }
+                (FastPath::Miss, gen)
+            }
+            // Read-shared second chance: `t` re-reads a variable it is
+            // already a recorded reader of, at an unchanged stack
+            // generation. No write can have intervened (a write
+            // collapses the shared state), so the slow path would
+            // re-run an already dedup-identical write-read check and
+            // overwrite `t`'s record with byte-identical content — all
+            // that remains is `t`'s component of the read clock.
+            ReadState::Shared(vc, accs) => {
+                let gen = gen_fn();
+                if self.sync_cache && gen.is_some() {
+                    if let Some((_, g)) = accs.get(&t) {
+                        if *g == gen {
+                            vc.set(t, e.clock);
+                            self.stats.read_sync_hits += 1;
+                            return (FastPath::CacheHit, gen);
+                        }
+                    }
+                }
+                (FastPath::Miss, gen)
+            }
         }
-        hit
     }
 
     /// Full read transfer function — phase two, after a
-    /// [`Detector::read_fast`] miss supplied the stack.
-    pub fn read_slow(&mut self, t: ThreadId, addr: Addr, var: NameId, stack: &[FrameId]) {
+    /// [`Detector::read_fast`] miss supplied the stack. `gen` must be
+    /// the token passed to the matching fast call ([`StackGen::NONE`]
+    /// when the host does not track stack generations).
+    pub fn read_slow(
+        &mut self,
+        t: ThreadId,
+        addr: Addr,
+        var: NameId,
+        stack: &[FrameId],
+        gen: StackGen,
+    ) {
         let ct = &self.clocks[t];
         let e = Epoch::new(t, ct.get(t));
-        let vs = Self::var_mut(&mut self.vars, &mut self.vars_sparse, addr);
+        let vs = Self::var_mut(
+            &mut self.vars,
+            &mut self.vars_sparse,
+            self.dense_limit,
+            addr,
+        );
 
         // Same-epoch guard (no-op when correctly preceded by a
         // `read_fast` miss; keeps direct calls semantically identical to
@@ -297,12 +579,6 @@ impl Detector {
             }
         }
 
-        let cur = RawAccess {
-            kind: AccessKind::Read,
-            stack: stack.to_vec(),
-            tid: t,
-        };
-
         // Write-read check.
         if !vs.w.le(ct) {
             let prev = vs.w_access.clone().unwrap_or_else(|| RawAccess {
@@ -312,77 +588,188 @@ impl Detector {
             });
             let race = RawRace {
                 prev,
-                cur: cur.clone(),
+                cur: RawAccess {
+                    kind: AccessKind::Read,
+                    stack: stack.to_vec(),
+                    tid: t,
+                },
                 addr,
                 var,
             };
             Self::push_race(&mut self.races, &mut self.dedup, race);
         }
 
-        // Update read state.
+        // Update read state. The epoch-exclusive branch reuses the
+        // existing record's stack buffer — steady-state slow reads are
+        // allocation-free.
         match &mut vs.r {
             ReadState::Epoch(re, acc) => {
                 if re.le(ct) {
                     *re = e;
-                    *acc = Some(cur);
+                    match acc {
+                        Some(a) => {
+                            a.kind = AccessKind::Read;
+                            a.tid = t;
+                            a.stack.clear();
+                            a.stack.extend_from_slice(stack);
+                        }
+                        None => {
+                            *acc = Some(RawAccess {
+                                kind: AccessKind::Read,
+                                stack: stack.to_vec(),
+                                tid: t,
+                            })
+                        }
+                    }
+                    vs.r_gen = gen;
                 } else {
                     let mut vc = VectorClock::new();
                     vc.set(re.tid, re.clock);
                     vc.set(t, e.clock);
                     self.stats.clock_allocs += 1;
-                    let mut accs = HashMap::new();
+                    let mut accs = HashMap::default();
+                    let prev_gen = vs.r_gen;
                     if let Some(a) = acc.take() {
-                        accs.insert(re.tid, a);
+                        accs.insert(re.tid, (a, prev_gen));
                     }
-                    accs.insert(t, cur);
+                    accs.insert(
+                        t,
+                        (
+                            RawAccess {
+                                kind: AccessKind::Read,
+                                stack: stack.to_vec(),
+                                tid: t,
+                            },
+                            gen,
+                        ),
+                    );
                     vs.r = ReadState::Shared(vc, accs);
+                    vs.r_gen = StackGen::NONE;
                 }
             }
             ReadState::Shared(vc, accs) => {
                 vc.set(t, e.clock);
-                accs.insert(t, cur);
+                // Reuse the thread's existing record buffer: repeated
+                // shared reads are allocation-free.
+                match accs.entry(t) {
+                    std::collections::hash_map::Entry::Occupied(mut o) => {
+                        let (a, g) = o.get_mut();
+                        a.kind = AccessKind::Read;
+                        a.tid = t;
+                        a.stack.clear();
+                        a.stack.extend_from_slice(stack);
+                        *g = gen;
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert((
+                            RawAccess {
+                                kind: AccessKind::Read,
+                                stack: stack.to_vec(),
+                                tid: t,
+                            },
+                            gen,
+                        ));
+                    }
+                }
+                vs.r_gen = StackGen::NONE;
             }
         }
     }
 
     /// Processes a read of `addr` by `t` (combined fast + slow phases).
     pub fn read(&mut self, t: ThreadId, addr: Addr, var: NameId, stack: &[FrameId]) {
-        if !self.read_fast(t, addr) {
-            self.read_slow(t, addr, var, stack);
+        if self.read_fast(t, addr, StackGen::NONE) == FastPath::Miss {
+            self.read_slow(t, addr, var, stack, StackGen::NONE);
         }
     }
 
     /// Same-epoch write check — phase one of a write event.
     ///
-    /// Returns `true` when the write repeats within `t`'s current epoch
-    /// (the variable's write epoch is exactly `t`'s current epoch): the
-    /// event is fully processed and no stack snapshot is needed. On
-    /// `false` the host must follow up with [`Detector::write_slow`].
+    /// [`FastPath::EpochHit`]: the write repeats within `t`'s current
+    /// epoch. [`FastPath::CacheHit`]: `t` exclusively owns the variable
+    /// (write epoch and read state both its own) and `gen` proves the
+    /// stored write record is still current — the transfer function
+    /// reduces to bumping the write epoch and collapsing the read
+    /// state, applied here in place. [`FastPath::Miss`]: the host must
+    /// follow up with [`Detector::write_slow`], passing the same `gen`.
     #[inline]
-    pub fn write_fast(&mut self, t: ThreadId, addr: Addr) -> bool {
+    pub fn write_fast(&mut self, t: ThreadId, addr: Addr, gen: StackGen) -> FastPath {
+        self.write_fast_with(t, addr, || gen).0
+    }
+
+    /// [`Detector::write_fast`] with a lazily derived stack token (see
+    /// [`Detector::read_fast_with`]).
+    #[inline]
+    pub fn write_fast_with<F: FnOnce() -> StackGen>(
+        &mut self,
+        t: ThreadId,
+        addr: Addr,
+        gen_fn: F,
+    ) -> (FastPath, StackGen) {
         self.stats.events += 1;
         let e = Epoch::new(t, self.clocks[t].get(t));
-        let vs = Self::var_mut(&mut self.vars, &mut self.vars_sparse, addr);
-        let hit = vs.w == e;
-        if hit {
+        let vs = Self::var_mut(
+            &mut self.vars,
+            &mut self.vars_sparse,
+            self.dense_limit,
+            addr,
+        );
+        if vs.w == e {
             self.stats.write_fast_hits += 1;
+            return (FastPath::EpochHit, StackGen::NONE);
         }
-        hit
+        let gen = gen_fn();
+        // Lock-aware second chance: `t` owns the write epoch (its own
+        // component only ever grows, so `vs.w.le(ct)` holds), the read
+        // state is absent or also `t`'s (same argument), and the stored
+        // write record's stack is unchanged — the slow path would
+        // record no new race (any replay dedups to an already-recorded
+        // one) and write back exactly this state with `w = e`.
+        if self.sync_cache && gen.is_some() && !vs.w.is_zero() && vs.w.tid == t && vs.w_gen == gen {
+            if let ReadState::Epoch(re, _) = &mut vs.r {
+                if re.is_zero() || re.tid == t {
+                    vs.w = e;
+                    // FastTrack WriteShared collapse, as the slow path
+                    // does after its checks (the dead record's buffer
+                    // is kept for the next slow read to reuse — a zero
+                    // epoch never exposes it).
+                    *re = Epoch::ZERO;
+                    vs.r_gen = StackGen::NONE;
+                    self.stats.write_sync_hits += 1;
+                    return (FastPath::CacheHit, gen);
+                }
+            }
+        }
+        (FastPath::Miss, gen)
     }
 
     /// Full write transfer function — phase two, after a
-    /// [`Detector::write_fast`] miss supplied the stack.
-    pub fn write_slow(&mut self, t: ThreadId, addr: Addr, var: NameId, stack: &[FrameId]) {
+    /// [`Detector::write_fast`] miss supplied the stack. `gen` must be
+    /// the token passed to the matching fast call ([`StackGen::NONE`]
+    /// when the host does not track stack generations).
+    pub fn write_slow(
+        &mut self,
+        t: ThreadId,
+        addr: Addr,
+        var: NameId,
+        stack: &[FrameId],
+        gen: StackGen,
+    ) {
         let ct = &self.clocks[t];
         let e = Epoch::new(t, ct.get(t));
-        let vs = Self::var_mut(&mut self.vars, &mut self.vars_sparse, addr);
+        let vs = Self::var_mut(
+            &mut self.vars,
+            &mut self.vars_sparse,
+            self.dense_limit,
+            addr,
+        );
 
         // Same-epoch guard (see `read_slow`).
         if vs.w == e {
             return;
         }
 
-        let cur = RawAccess {
+        let mk_cur = || RawAccess {
             kind: AccessKind::Write,
             stack: stack.to_vec(),
             tid: t,
@@ -397,7 +784,7 @@ impl Detector {
             });
             let race = RawRace {
                 prev,
-                cur: cur.clone(),
+                cur: mk_cur(),
                 addr,
                 var,
             };
@@ -415,7 +802,7 @@ impl Detector {
                     });
                     let race = RawRace {
                         prev,
-                        cur: cur.clone(),
+                        cur: mk_cur(),
                         addr,
                         var,
                     };
@@ -425,14 +812,17 @@ impl Detector {
             ReadState::Shared(vc, accs) => {
                 for (tid, val) in vc.iter() {
                     if val > ct.get(tid) {
-                        let prev = accs.get(&tid).cloned().unwrap_or_else(|| RawAccess {
-                            kind: AccessKind::Read,
-                            stack: Vec::new(),
-                            tid,
-                        });
+                        let prev =
+                            accs.get(&tid)
+                                .map(|(a, _)| a.clone())
+                                .unwrap_or_else(|| RawAccess {
+                                    kind: AccessKind::Read,
+                                    stack: Vec::new(),
+                                    tid,
+                                });
                         let race = RawRace {
                             prev,
-                            cur: cur.clone(),
+                            cur: mk_cur(),
                             addr,
                             var,
                         };
@@ -443,15 +833,33 @@ impl Detector {
         }
 
         vs.w = e;
-        vs.w_access = Some(cur);
+        // Reuse the previous record's stack buffer — steady-state slow
+        // writes are allocation-free.
+        match &mut vs.w_access {
+            Some(a) => {
+                a.kind = AccessKind::Write;
+                a.tid = t;
+                a.stack.clear();
+                a.stack.extend_from_slice(stack);
+            }
+            None => vs.w_access = Some(mk_cur()),
+        }
+        vs.w_gen = gen;
         // FastTrack WriteShared: collapse the read state after checking.
-        vs.r = ReadState::Epoch(Epoch::ZERO, None);
+        // An epoch-state collapse keeps the dead record's stack buffer —
+        // the zero epoch guards every use of it, and the next slow read
+        // refills it in place instead of allocating.
+        match &mut vs.r {
+            ReadState::Epoch(re, _) => *re = Epoch::ZERO,
+            ReadState::Shared(..) => vs.r = ReadState::Epoch(Epoch::ZERO, None),
+        }
+        vs.r_gen = StackGen::NONE;
     }
 
     /// Processes a write of `addr` by `t` (combined fast + slow phases).
     pub fn write(&mut self, t: ThreadId, addr: Addr, var: NameId, stack: &[FrameId]) {
-        if !self.write_fast(t, addr) {
-            self.write_slow(t, addr, var, stack);
+        if self.write_fast(t, addr, StackGen::NONE) == FastPath::Miss {
+            self.write_slow(t, addr, var, stack, StackGen::NONE);
         }
     }
 
@@ -484,24 +892,49 @@ impl Detector {
     }
 
     /// Lock acquire: joins the sync object's release clock into `t`.
+    ///
+    /// The join is skipped (same result, `sync_epoch_hits` counted)
+    /// when the sync-epoch cache proves `t` already contains the stored
+    /// clock: the last release was a plain release by thread `u` at
+    /// epoch `c@u`, and `t`'s clock already has `u ≥ c` — then the
+    /// stored clock (exactly `u`'s clock at `c`) is pointwise ≤ `t`'s.
+    /// The logical `clock_joins` / `clock_allocs_avoided` counters are
+    /// incremented either way, so counter baselines do not depend on
+    /// the cache.
     pub fn acquire(&mut self, t: ThreadId, sync: u64) {
         if let Some(s) = self.syncs.get(&sync) {
-            self.clocks[t].join(s);
             self.stats.clock_joins += 1;
             self.stats.clock_allocs_avoided += 1;
+            if self.sync_cache {
+                if let Some(re) = s.release_epoch {
+                    if re.le(&self.clocks[t]) {
+                        self.stats.sync_epoch_hits += 1;
+                        return;
+                    }
+                }
+            }
+            self.clocks[t].join(&s.clock);
         }
     }
 
     /// Lock release: stores `t`'s clock in the sync object and advances
-    /// `t`. The sync object's existing buffer is reused when present.
+    /// `t`. The sync object's existing buffer is reused when present,
+    /// and the sync-epoch cache is refreshed — the stored clock is
+    /// exactly `t`'s, so the epoch `c@t` summarises it.
     pub fn release(&mut self, t: ThreadId, sync: u64) {
+        let epoch = Some(Epoch::new(t, self.clocks[t].get(t)));
         match self.syncs.entry(sync) {
             std::collections::hash_map::Entry::Occupied(mut e) => {
-                e.get_mut().copy_from(&self.clocks[t]);
+                let s = e.get_mut();
+                s.clock.copy_from(&self.clocks[t]);
+                s.release_epoch = epoch;
                 self.stats.clock_allocs_avoided += 1;
             }
             std::collections::hash_map::Entry::Vacant(v) => {
-                v.insert(self.clocks[t].clone());
+                v.insert(SyncState {
+                    clock: self.clocks[t].clone(),
+                    release_epoch: epoch,
+                });
                 self.stats.clock_allocs += 1;
             }
         }
@@ -510,15 +943,22 @@ impl Detector {
 
     /// Merge-release (wait-group `Done`, RWMutex `RUnlock`): joins `t`'s
     /// clock into the sync object without overwriting other releasers.
+    /// Invalidates the sync-epoch cache — no single releaser's epoch
+    /// summarises the joined clock.
     pub fn release_merge(&mut self, t: ThreadId, sync: u64) {
         match self.syncs.entry(sync) {
             std::collections::hash_map::Entry::Occupied(mut e) => {
-                e.get_mut().join(&self.clocks[t]);
+                let s = e.get_mut();
+                s.clock.join(&self.clocks[t]);
+                s.release_epoch = None;
                 self.stats.clock_joins += 1;
                 self.stats.clock_allocs_avoided += 1;
             }
             std::collections::hash_map::Entry::Vacant(v) => {
-                v.insert(self.clocks[t].clone());
+                v.insert(SyncState {
+                    clock: self.clocks[t].clone(),
+                    release_epoch: Some(Epoch::new(t, self.clocks[t].get(t))),
+                });
                 self.stats.clock_allocs += 1;
             }
         }
@@ -531,13 +971,18 @@ impl Detector {
         match self.syncs.entry(sync) {
             std::collections::hash_map::Entry::Occupied(mut e) => {
                 let s = e.get_mut();
-                self.clocks[t].join(&*s);
-                s.copy_from(&self.clocks[t]);
+                self.clocks[t].join(&s.clock);
+                s.clock.copy_from(&self.clocks[t]);
+                // Post-join the stored clock is exactly `t`'s again.
+                s.release_epoch = Some(Epoch::new(t, self.clocks[t].get(t)));
                 self.stats.clock_joins += 1;
                 self.stats.clock_allocs_avoided += 1;
             }
             std::collections::hash_map::Entry::Vacant(v) => {
-                v.insert(self.clocks[t].clone());
+                v.insert(SyncState {
+                    clock: self.clocks[t].clone(),
+                    release_epoch: Some(Epoch::new(t, self.clocks[t].get(t))),
+                });
                 self.stats.clock_allocs += 1;
             }
         }
@@ -559,10 +1004,12 @@ impl Detector {
         self.stats.clock_joins += 1;
     }
 
-    /// Forgets a freed cell.
+    /// Forgets a freed cell. Forgetting an address that was never
+    /// accessed — including a dense slot the state array never grew to
+    /// cover — is a no-op, and `forget` never moves [`Detector::stats`].
     pub fn forget(&mut self, addr: Addr) {
         let i = addr as usize;
-        if addr < DENSE_LIMIT as Addr {
+        if addr < self.dense_limit {
             if i < self.vars.len() {
                 self.vars[i] = VarState::default();
             }
@@ -773,14 +1220,14 @@ mod tests {
                 let st = stack(i as FrameId);
                 match (kind, two_phase) {
                     (AccessKind::Read, true) => {
-                        if !d.read_fast(t, addr) {
-                            d.read_slow(t, addr, V, &st);
+                        if d.read_fast(t, addr, StackGen::NONE) == FastPath::Miss {
+                            d.read_slow(t, addr, V, &st, StackGen::NONE);
                         }
                     }
                     (AccessKind::Read, false) => d.read(t, addr, V, &st),
                     (AccessKind::Write, true) => {
-                        if !d.write_fast(t, addr) {
-                            d.write_slow(t, addr, V, &st);
+                        if d.write_fast(t, addr, StackGen::NONE) == FastPath::Miss {
+                            d.write_slow(t, addr, V, &st, StackGen::NONE);
                         }
                     }
                     (AccessKind::Write, false) => d.write(t, addr, V, &st),
@@ -806,6 +1253,311 @@ mod tests {
         d.forget(far);
         d.write(t1, far, V, &stack(3));
         assert_eq!(d.races().len(), 1, "forget resets the cell state");
+    }
+
+    /// A miniature host: replays a shared trace through any of the
+    /// three API shapes, with an honest stack-generation scheme (the
+    /// stack is a pure function of the gen, like a real host's frame
+    /// stack). `sync` events are lock acquire+release pairs so epochs
+    /// advance the way sync-heavy programs advance them.
+    #[derive(Clone, Copy)]
+    enum Ev {
+        R(ThreadId, Addr, u64),
+        W(ThreadId, Addr, u64),
+        /// acquire+release of lock `sync` by the thread.
+        Cs(ThreadId, u64),
+    }
+
+    fn drive_trace(events: &[Ev], mode: u8, cache: bool) -> (Vec<RawRace>, DetStats) {
+        // mode 0: combined; 1: two-phase without gens; 2: two-phase
+        // with real gens.
+        let mut d = Detector::new();
+        d.set_sync_cache(cache);
+        let t1 = d.fork(0);
+        let t2 = d.fork(0);
+        assert_eq!((t1, t2), (1, 2));
+        for ev in events {
+            match *ev {
+                Ev::Cs(t, s) => {
+                    d.acquire(t, s);
+                    d.release(t, s);
+                }
+                Ev::R(t, addr, g) => {
+                    let st = vec![g as FrameId];
+                    let gen = if mode == 2 {
+                        StackGen::from_parts(0, g as u32)
+                    } else {
+                        StackGen::NONE
+                    };
+                    match mode {
+                        0 => d.read(t, addr, V, &st),
+                        _ => {
+                            if d.read_fast(t, addr, gen) == FastPath::Miss {
+                                d.read_slow(t, addr, V, &st, gen);
+                            }
+                        }
+                    }
+                }
+                Ev::W(t, addr, g) => {
+                    let st = vec![g as FrameId];
+                    let gen = if mode == 2 {
+                        StackGen::from_parts(0, g as u32)
+                    } else {
+                        StackGen::NONE
+                    };
+                    match mode {
+                        0 => d.write(t, addr, V, &st),
+                        _ => {
+                            if d.write_fast(t, addr, gen) == FastPath::Miss {
+                                d.write_slow(t, addr, V, &st, gen);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (d.races().to_vec(), *d.stats())
+    }
+
+    /// A sync-heavy trace with same-thread streaks (owner-cache hits),
+    /// cross-thread handoffs (true slow paths), a read-shared phase and
+    /// a genuine race.
+    fn mixed_trace() -> Vec<Ev> {
+        use Ev::*;
+        let mut t = Vec::new();
+        // t1 and t2 increment A under the lock, in streaks.
+        for round in 0..4 {
+            let owner = 1 + (round % 2);
+            for _ in 0..3 {
+                t.push(Cs(owner, 7));
+                t.push(R(owner, A, 10));
+                t.push(W(owner, A, 11));
+            }
+        }
+        // Read-shared phase on another cell, then a racy write.
+        t.push(R(1, 300, 20));
+        t.push(R(2, 300, 21));
+        t.push(W(0, 300, 22));
+        // Unsynchronised same-line loop (same-epoch fast path).
+        t.push(W(0, 400, 30));
+        t.push(W(0, 400, 30));
+        t.push(R(0, 400, 31));
+        t
+    }
+
+    /// Satellite: every access counts `events` exactly once, in every
+    /// API shape — combined, two-phase, and two-phase with the
+    /// lock-aware cache engaged — and races plus every *logical*
+    /// counter are bit-identical across all of them.
+    #[test]
+    fn counter_exactness_across_api_shapes() {
+        let trace = mixed_trace();
+        let n_accesses = trace
+            .iter()
+            .filter(|e| matches!(e, Ev::R(..) | Ev::W(..)))
+            .count() as u64;
+        let (races0, stats0) = drive_trace(&trace, 0, true);
+        let (races1, stats1) = drive_trace(&trace, 1, true);
+        let (races2, stats2) = drive_trace(&trace, 2, true);
+        let (races3, stats3) = drive_trace(&trace, 2, false);
+
+        assert_eq!(stats0.events, n_accesses, "each access counts once");
+        assert_eq!(races0, races1);
+        assert_eq!(races0, races2, "owner cache must not change races");
+        assert_eq!(races0, races3);
+        assert_eq!(stats0, stats1, "two-phase ≡ combined, counter-exact");
+
+        // With real gens the cache absorbs slow transfers, but every
+        // logical counter stays bit-identical; only the new sync-hit
+        // counters move.
+        let logical = |s: &DetStats| {
+            (
+                s.events,
+                s.read_fast_hits,
+                s.write_fast_hits,
+                s.clock_joins,
+                s.clock_allocs,
+                s.clock_allocs_avoided,
+            )
+        };
+        assert_eq!(logical(&stats0), logical(&stats2));
+        assert_eq!(logical(&stats0), logical(&stats3));
+        assert!(stats2.sync_hits() > 0, "{stats2:?}");
+        assert!(stats2.sync_epoch_hits > 0, "{stats2:?}");
+        assert_eq!(stats3.sync_hits(), 0, "cache off never second-chances");
+        assert_eq!(stats3.sync_epoch_hits, 0);
+        // A cache hit replaces a slow transfer, never a fast hit.
+        assert_eq!(stats2.fast_hits(), stats0.fast_hits());
+    }
+
+    /// The owner cache must drop out as soon as another thread touches
+    /// the variable or the owner's stack generation changes.
+    #[test]
+    fn owner_cache_invalidates_on_ownership_or_stack_change() {
+        let mut d = Detector::new();
+        let t1 = d.fork(0);
+        let g = StackGen::from_parts(0, 5);
+        let m = 7;
+        d.acquire(0, m);
+        assert_eq!(d.write_fast(0, A, g), FastPath::Miss);
+        d.write_slow(0, A, V, &stack(5), g);
+        d.release(0, m);
+        // Same thread, same stack gen, epoch advanced by the release:
+        // second chance.
+        d.acquire(0, m);
+        assert_eq!(d.write_fast(0, A, g), FastPath::CacheHit);
+        d.release(0, m);
+        // Same thread but a different stack gen: full slow path.
+        d.acquire(0, m);
+        let g2 = StackGen::from_parts(1, 5);
+        assert_eq!(d.write_fast(0, A, g2), FastPath::Miss);
+        d.write_slow(0, A, V, &stack(6), g2);
+        d.release(0, m);
+        // Another thread under the same lock: miss (ownership moved),
+        // and after it the original owner misses too.
+        d.acquire(t1, m);
+        let gt = StackGen::from_parts(0, 9);
+        assert_eq!(d.write_fast(t1, A, gt), FastPath::Miss);
+        d.write_slow(t1, A, V, &stack(9), gt);
+        d.release(t1, m);
+        d.acquire(0, m);
+        assert_eq!(d.write_fast(0, A, g2), FastPath::Miss);
+        assert!(d.races().is_empty(), "properly locked: no races");
+    }
+
+    /// `StackGen::NONE` never matches a stored generation — hosts that
+    /// do not track stacks can never get a stale record reused.
+    #[test]
+    fn none_gen_never_cache_hits() {
+        let mut d = Detector::new();
+        let m = 7;
+        for i in 0..3 {
+            d.acquire(0, m);
+            assert_eq!(d.write_fast(0, A, StackGen::NONE), FastPath::Miss);
+            d.write_slow(0, A, V, &stack(i), StackGen::NONE);
+            d.release(0, m);
+        }
+        assert_eq!(d.stats().sync_hits(), 0);
+    }
+
+    /// The per-sync release epoch short-circuits self-reacquires but
+    /// never a handoff that carries new information.
+    #[test]
+    fn sync_epoch_cache_skips_only_provable_joins() {
+        let mut d = Detector::new();
+        let t1 = d.fork(0);
+        let m = 7;
+        d.acquire(0, m); // no sync state yet: no join at all
+        d.release(0, m);
+        let before = d.stats().sync_epoch_hits;
+        d.acquire(0, m); // self-reacquire: skippable
+        assert_eq!(d.stats().sync_epoch_hits, before + 1);
+        d.write(0, A, V, &stack(1));
+        d.release(0, m);
+        // Handoff to t1: t1 has never seen 0's release epoch, so the
+        // join must happen — and it is what orders the write.
+        d.acquire(t1, m);
+        d.write(t1, A, V, &stack(2));
+        assert!(d.races().is_empty(), "handoff join must not be skipped");
+        // After the join, t1 knows 0's epoch: re-acquire is skippable.
+        d.release(t1, m);
+        let before = d.stats().sync_epoch_hits;
+        d.acquire(t1, m);
+        assert_eq!(d.stats().sync_epoch_hits, before + 1);
+    }
+
+    /// Merge-releases invalidate the sync epoch: a `Wait`-style acquire
+    /// after two `Done`s must always join.
+    #[test]
+    fn merge_release_invalidates_sync_epoch() {
+        let mut d = Detector::new();
+        let wg = 9;
+        let t1 = d.fork(0);
+        let t2 = d.fork(0);
+        d.write(t1, A, V, &stack(1));
+        d.release(t1, wg);
+        d.write(t2, 200, V, &stack(2));
+        d.release_merge(t2, wg); // merge: epoch invalidated
+        d.acquire(0, wg);
+        d.read(0, A, V, &stack(3));
+        d.read(0, 200, V, &stack(4));
+        assert!(d.races().is_empty(), "merge clock must be fully joined");
+    }
+
+    /// Satellite: accesses and forgets at, below and above the
+    /// dense/sparse crossover behave identically, and `forget` of a
+    /// never-grown dense slot is a no-op with no stats drift.
+    #[test]
+    fn dense_sparse_crossover_is_seamless() {
+        const LIMIT: usize = 8;
+        let limit = LIMIT as Addr;
+        // The same two-thread racy trace at the boundary addresses must
+        // produce identical races and identical counters per address.
+        let run_at = |addr: Addr| {
+            let mut d = Detector::with_dense_limit(LIMIT);
+            let t1 = d.fork(0);
+            d.write(0, addr, V, &stack(1));
+            d.write(t1, addr, V, &stack(2));
+            d.read(0, addr, V, &stack(3));
+            (d.races().len(), *d.stats())
+        };
+        let (below, s_below) = run_at(limit - 1);
+        let (at, s_at) = run_at(limit);
+        let (above, s_above) = run_at(limit + 1);
+        assert_eq!(below, 2, "write-write + write-read");
+        assert_eq!((below, s_below), (at, s_at));
+        assert_eq!((below, s_below), (above, s_above));
+
+        // forget resets each side of the boundary identically…
+        let forget_roundtrip = |addr: Addr| {
+            let mut d = Detector::with_dense_limit(LIMIT);
+            let t1 = d.fork(0);
+            d.write(0, addr, V, &stack(1));
+            d.forget(addr);
+            let stats_after_forget = *d.stats();
+            d.write(t1, addr, V, &stack(2));
+            (d.races().len(), stats_after_forget)
+        };
+        for addr in [limit - 1, limit, limit + 1] {
+            let (races, _) = forget_roundtrip(addr);
+            assert_eq!(races, 0, "forget at {addr} must reset the cell");
+        }
+
+        // …and forget never moves the stats.
+        let mut d = Detector::with_dense_limit(LIMIT);
+        d.write(0, 2, V, &stack(1));
+        let before = *d.stats();
+        d.forget(2);
+        d.forget(limit - 1); // dense slot the array never grew to cover
+        d.forget(limit); // sparse, never touched
+        d.forget(limit + 100);
+        assert_eq!(*d.stats(), before, "forget must not drift stats");
+        // The never-grown dense slot stayed ungrown.
+        assert!(d.vars.len() <= 3, "forget must not grow the dense array");
+        // And forgetting the never-grown slot was a true no-op: a fresh
+        // access there behaves like a first access.
+        let t1 = d.fork(0);
+        d.write(t1, limit - 1, V, &stack(2));
+        assert!(d.races().is_empty());
+    }
+
+    /// The owner cache may never cache-hit across a read-shared state.
+    #[test]
+    fn shared_read_state_disables_second_chance() {
+        let mut d = Detector::new();
+        let t1 = d.fork(0);
+        let g = StackGen::from_parts(0, 1);
+        // Build a shared read state.
+        d.read(0, A, V, &stack(1));
+        d.read(t1, A, V, &stack(2));
+        // Writer with a matching gen story must still take the slow
+        // path (the shared clock has to be checked reader by reader).
+        let m = 7;
+        d.acquire(0, m);
+        assert_eq!(d.write_fast(0, A, g), FastPath::Miss);
+        d.write_slow(0, A, V, &stack(3), g);
+        d.release(0, m);
+        assert_eq!(d.races().len(), 1, "t1's read races with 0's write");
     }
 
     #[test]

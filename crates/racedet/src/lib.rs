@@ -27,6 +27,7 @@ pub mod report;
 
 pub use clock::{Epoch, ThreadId, VectorClock};
 pub use fasttrack::{
-    Addr, DetStats, Detector, FastBuildHasher, FastHasher, FrameId, NameId, RawAccess, RawRace,
+    Addr, DetStats, Detector, FastBuildHasher, FastHasher, FastPath, FrameId, NameId, RawAccess,
+    RawRace, StackGen, DENSE_LIMIT,
 };
 pub use report::{Access, AccessKind, Frame, GoroutineInfo, RaceReport};

@@ -48,9 +48,12 @@ exposure-smoke:
 perf-smoke:
     cargo run --release -q -p bench --bin perfscan -- --check --out target/perfscan/BENCH_hotpath.json
 
-# Regenerates the checked-in perf baseline.
+# Regenerates the checked-in perf baseline (always at the default
+# workload scale — stray DRFIX_PERF_* overrides are cleared; timing is
+# the fastest of 10 repetitions).
 perf-baseline:
-    cargo run --release -q -p bench --bin perfscan
+    env -u DRFIX_PERF_CASES -u DRFIX_PERF_RUNS -u DRFIX_PERF_HEAP_CASES -u DRFIX_PERF_NOCACHE \
+    DRFIX_PERF_REPEAT=10 cargo run --release -q -p bench --bin perfscan
 
 # Run every table/figure reproduction at reduced scale.
 bench-all:
