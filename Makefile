@@ -4,7 +4,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test bench-compile doc clippy fmt fmt-check bench-smoke calibrate-smoke exposure-smoke perf-smoke perf-baseline clean
+.PHONY: verify build test bench-compile doc clippy fmt fmt-check bench-smoke calibrate-smoke exposure-smoke perf-smoke perf-baseline soak-smoke clean
 
 ## Full tier-1 gate: release build, tests, bench compilation, lints, docs.
 verify: build test bench-compile clippy fmt-check doc
@@ -64,8 +64,17 @@ perf-smoke:
 ## reflect the machine, not a noisy-neighbour window.
 perf-baseline:
 	env -u DRFIX_PERF_CASES -u DRFIX_PERF_RUNS -u DRFIX_PERF_HEAP_CASES \
-	-u DRFIX_PERF_NOCACHE DRFIX_PERF_REPEAT=10 \
+	-u DRFIX_PERF_CHURN_CASES -u DRFIX_PERF_NOCACHE -u DRFIX_PERF_NOGC \
+	DRFIX_PERF_REPEAT=10 \
 	$(CARGO) run --release -q -p bench --bin perfscan
+
+## The CI `soak-smoke` job: the streaming-soak test at reduced scale —
+## shadow GC + clock reclamation must keep a churning workload's
+## detector footprint bounded (and the GC-off control unbounded) with
+## every logical observable bit-identical between the two runs. The
+## full ≥1M-step soak runs in the tier-1 `test` target (default scale).
+soak-smoke:
+	DRFIX_SOAK_GENS=120 $(CARGO) test --release -q --test streaming_soak
 
 clean:
 	$(CARGO) clean

@@ -35,6 +35,7 @@ fn main() {
         runs: 8,
         repeat: 3,
         heap_cases: 3,
+        churn_cases: 2,
     };
 
     bench::header(

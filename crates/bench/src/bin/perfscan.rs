@@ -17,14 +17,19 @@
 //!
 //! Scale knobs: `DRFIX_PERF_CASES` (default 28), `DRFIX_PERF_RUNS`
 //! (default 24), `DRFIX_PERF_REPEAT` (default 5),
-//! `DRFIX_PERF_HEAP_CASES` (default 3, the LargeHeap family). The gate
+//! `DRFIX_PERF_HEAP_CASES` (default 3, the LargeHeap family),
+//! `DRFIX_PERF_CHURN_CASES` (default 3, the Churn family). The gate
 //! refuses to compare reports produced at different scales.
 //! `DRFIX_PERF_NOCACHE=1` runs the identical workload with the
 //! lock-aware caches off — an A/B for timing work. The *logical*
 //! counters stay bit-identical, but the dedicated cache counters
 //! (`*_sync_hits`, `sync_epoch_hits`, `stack_cache_hits`) drop to
 //! zero, so never bake a NOCACHE run into the baseline
-//! (`make perf-baseline` clears the flag).
+//! (`make perf-baseline` clears the flag). `DRFIX_PERF_NOGC=1` is the
+//! analogous A/B for the shadow-state lifecycle: logical counters stay
+//! bit-identical, but the lifecycle gauges (`states_collected`,
+//! `clock_slots_reclaimed`, the peak gauges) collapse — equally unfit
+//! for a baseline.
 
 use bench::hotpath::{self, HotpathScale, Report};
 use std::path::{Path, PathBuf};
@@ -117,6 +122,21 @@ fn main() -> ExitCode {
                 report.sync_heavy_cache_speedup,
             );
         }
+    }
+    println!(
+        "shadow lifecycle: {} states collected | {} clock slots reclaimed | peak width {}",
+        report.total.counters.states_collected,
+        report.total.counters.clock_slots_reclaimed,
+        report.total.counters.peak_clock_width,
+    );
+    for s in &report.sampling {
+        println!(
+            "sampling recall: mod {:>2} -> {}/{} racy cases exposed ({:.0}%)",
+            s.sample_mod,
+            s.exposed,
+            s.total,
+            100.0 * s.recall,
+        );
     }
     println!(
         "exposure corpus: {:.2}M instr/s vs pre-optimization {:.2}M instr/s -> {:.2}x",

@@ -40,7 +40,17 @@ pub const WORKLOAD_SEED: u64 = 0xBEEF;
 /// v2: lock-aware-cache counters (`read_sync_hits`, `write_sync_hits`,
 /// `sync_epoch_hits`, `stack_cache_hits`), the LargeHeap workload
 /// family, and the PR 4 SyncHeavy wall-clock reference.
-pub const SCHEMA: u32 = 2;
+///
+/// v3: shadow-state lifecycle counters (`states_collected`,
+/// `clock_slots_reclaimed`, `peak_shadow_bytes`, `peak_clock_width`),
+/// the Churn workload family (generational goroutine turnover — the
+/// family the lifecycle exists for), and the sampling-recall section.
+pub const SCHEMA: u32 = 3;
+
+/// Sampling granularities measured into the report's recall section.
+/// `1` tracks every address (recall must be total); the coarser mods
+/// keep 1/2 and 1/8 of addresses.
+pub const SAMPLING_MODS: [u32; 3] = [1, 2, 8];
 
 /// Tolerated relative drift for gated counters before the check fails.
 pub const GATE_TOLERANCE: f64 = 0.10;
@@ -58,6 +68,9 @@ pub struct HotpathScale {
     /// Large-heap (map/slice-heavy) programs in the workload
     /// (`DRFIX_PERF_HEAP_CASES`, default 3).
     pub heap_cases: usize,
+    /// Churn (generational goroutine-turnover) programs in the
+    /// workload (`DRFIX_PERF_CHURN_CASES`, default 3).
+    pub churn_cases: usize,
 }
 
 impl Default for HotpathScale {
@@ -67,6 +80,7 @@ impl Default for HotpathScale {
             runs: 24,
             repeat: 5,
             heap_cases: 3,
+            churn_cases: 3,
         }
     }
 }
@@ -86,6 +100,7 @@ impl HotpathScale {
             runs: get("DRFIX_PERF_RUNS", d.runs as usize) as u32,
             repeat: get("DRFIX_PERF_REPEAT", d.repeat).max(1),
             heap_cases: get("DRFIX_PERF_HEAP_CASES", d.heap_cases),
+            churn_cases: get("DRFIX_PERF_CHURN_CASES", d.churn_cases),
         }
     }
 }
@@ -224,6 +239,16 @@ pub struct CounterSet {
     pub sync_epoch_hits: u64,
     /// Snapshot rebuilds avoided by the host's interned-stack cache.
     pub stack_cache_hits: u64,
+    /// Shadow states retired by `Detector::collect` sweeps.
+    pub states_collected: u64,
+    /// Vector-clock slots reused after goroutine exit.
+    pub clock_slots_reclaimed: u64,
+    /// Per-campaign peak shadow footprints, summed (bytes). A gauge of
+    /// resident detector memory, deterministic like every counter here.
+    pub peak_shadow_bytes: u64,
+    /// Per-campaign peak vector-clock widths, summed. With the
+    /// lifecycle on this tracks live goroutines, not spawned ones.
+    pub peak_clock_width: u64,
     /// Distinct races observed (summed over campaigns).
     pub races: u64,
     /// Distinct schedule signatures (summed over campaigns).
@@ -246,6 +271,10 @@ impl CounterSet {
         self.write_sync_hits += c.det.write_sync_hits;
         self.sync_epoch_hits += c.det.sync_epoch_hits;
         self.stack_cache_hits += c.stack_cache_hits;
+        self.states_collected += c.states_collected;
+        self.clock_slots_reclaimed += c.clock_slots_reclaimed;
+        self.peak_shadow_bytes += c.peak_shadow_bytes;
+        self.peak_clock_width += c.peak_clock_width;
         self.races += races;
         self.distinct_schedules += distinct;
     }
@@ -265,6 +294,10 @@ impl CounterSet {
         self.write_sync_hits += other.write_sync_hits;
         self.sync_epoch_hits += other.sync_epoch_hits;
         self.stack_cache_hits += other.stack_cache_hits;
+        self.states_collected += other.states_collected;
+        self.clock_slots_reclaimed += other.clock_slots_reclaimed;
+        self.peak_shadow_bytes += other.peak_shadow_bytes;
+        self.peak_clock_width += other.peak_clock_width;
         self.races += other.races;
         self.distinct_schedules += other.distinct_schedules;
     }
@@ -319,6 +352,18 @@ impl CounterSet {
                 self.stack_cache_hits,
                 Direction::Benefit,
             ),
+            (
+                "states_collected",
+                self.states_collected,
+                Direction::Benefit,
+            ),
+            (
+                "clock_slots_reclaimed",
+                self.clock_slots_reclaimed,
+                Direction::Benefit,
+            ),
+            ("peak_shadow_bytes", self.peak_shadow_bytes, Direction::Cost),
+            ("peak_clock_width", self.peak_clock_width, Direction::Cost),
             ("races", self.races, Direction::Exact),
             (
                 "distinct_schedules",
@@ -440,6 +485,23 @@ pub struct WorkloadSpec {
     pub sync_heavy_cases: usize,
     /// Number of large-heap (map/slice-heavy) programs in the workload.
     pub large_heap_cases: usize,
+    /// Number of churn (goroutine-turnover) programs in the workload.
+    pub churn_cases: usize,
+}
+
+/// Detection recall at one sampling granularity, measured by running
+/// the racy exposure programs under PCT with `sample_mod` set and
+/// counting the cases that still expose their planted race.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SamplingRecall {
+    /// The `VmOptions::sample_mod` the campaigns ran with.
+    pub sample_mod: u32,
+    /// Racy cases whose planted race was still reported.
+    pub exposed: usize,
+    /// Racy cases campaigned.
+    pub total: usize,
+    /// `exposed / total`; 1.0 by construction at `sample_mod == 1`.
+    pub recall: f64,
 }
 
 /// The `BENCH_hotpath.json` document.
@@ -471,6 +533,11 @@ pub struct Report {
     /// SyncHeavy cache-on over cache-off throughput — the
     /// noise-immune measure of what the caches themselves buy.
     pub sync_heavy_cache_speedup: f64,
+    /// Detection recall per sampling granularity (`SAMPLING_MODS`),
+    /// measured on the racy exposure programs. Deterministic, but not
+    /// part of the counter gate — the `sample_mod == 1` entry's total
+    /// recall is asserted by the test suite instead.
+    pub sampling: Vec<SamplingRecall>,
     /// Exposure-corpus aggregate (racy + human-fix campaigns; excludes
     /// the sync-heavy add-on).
     pub exposure: CategoryReport,
@@ -547,7 +614,73 @@ fn workload_programs(scale: &HotpathScale) -> (Vec<RaceCase>, Vec<WorkloadProgra
             prog,
         });
     }
+    // The churn family: generations of short-lived goroutines over
+    // fresh buffers — the workload whose shadow/clock footprint the
+    // lifecycle (shadow GC + clock-slot reclamation) keeps bounded.
+    for case in corpus::generate_churn_corpus(scale.churn_cases, CORPUS_SEED) {
+        let prog = compile_sources(&case.files, &CompileOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", case.id));
+        programs.push(WorkloadProgram {
+            category: "Churn".to_owned(),
+            id: case.id.clone(),
+            test: case.test.clone(),
+            prog,
+        });
+    }
     (corpus, programs)
+}
+
+/// Measures detection recall per sampling granularity: every racy
+/// exposure program is campaigned under PCT (the proven exposer —
+/// median 1 schedule at `sample_mod == 1`) with each mod in
+/// [`SAMPLING_MODS`], and a case counts as exposed if any schedule in
+/// the budget reports a race. Fully deterministic.
+pub fn measure_sampling_recall(scale: &HotpathScale) -> Vec<SamplingRecall> {
+    let corpus = corpus::generate_exposure_corpus(&CorpusConfig {
+        eval_cases: scale.cases,
+        db_pairs: 0,
+        seed: CORPUS_SEED,
+    });
+    let progs: Vec<(String, govm::Program)> = corpus
+        .iter()
+        .map(|case| {
+            let prog = compile_sources(&case.files, &CompileOptions::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", case.id));
+            (case.test.clone(), prog)
+        })
+        .collect();
+    SAMPLING_MODS
+        .iter()
+        .map(|&sample_mod| {
+            let exposed = progs
+                .iter()
+                .filter(|(test, prog)| {
+                    let cfg = TestConfig {
+                        runs: scale.runs,
+                        seed: WORKLOAD_SEED,
+                        stop_on_race: true,
+                        policy: SchedulePolicy::pct(),
+                        vm: govm::VmOptions {
+                            sample_mod,
+                            ..govm::VmOptions::default()
+                        },
+                        ..TestConfig::default()
+                    };
+                    !run_test_many(prog, test, &cfg).races.is_empty()
+                })
+                .count();
+            SamplingRecall {
+                sample_mod,
+                exposed,
+                total: progs.len(),
+                recall: if progs.is_empty() {
+                    0.0
+                } else {
+                    exposed as f64 / progs.len() as f64
+                },
+            }
+        })
+        .collect()
 }
 
 /// Runs the deterministic scan and returns the report.
@@ -562,6 +695,14 @@ pub fn run_scan(scale: &HotpathScale) -> Report {
     // either way (the whole point), so the only difference is
     // wall-clock — a machine-controlled before/after measurement.
     let nocache = std::env::var("DRFIX_PERF_NOCACHE")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    // Same idea for the shadow-state lifecycle: `DRFIX_PERF_NOGC=1`
+    // disables GC + clock reclamation. Logical counters stay
+    // bit-identical (pinned by the shadow-GC golden); the lifecycle
+    // gauges collapse (reclaimed to zero, peaks up), so never bake a
+    // NOGC run into the baseline.
+    let nogc = std::env::var("DRFIX_PERF_NOGC")
         .map(|v| v == "1")
         .unwrap_or(false);
     let (_corpus, programs) = workload_programs(scale);
@@ -583,6 +724,7 @@ pub fn run_scan(scale: &HotpathScale) -> Report {
                     policy: policy.clone(),
                     vm: govm::VmOptions {
                         sync_epoch_cache: !nocache,
+                        shadow_gc: !nogc,
                         ..govm::VmOptions::default()
                     },
                     ..TestConfig::default()
@@ -650,7 +792,7 @@ pub fn run_scan(scale: &HotpathScale) -> Report {
         total.cases += cases;
         total.counters.accumulate(set);
         total.elapsed_s += elapsed;
-        if cat != "SyncHeavy" && cat != "LargeHeap" {
+        if cat != "SyncHeavy" && cat != "LargeHeap" && cat != "Churn" {
             exposure.cases += cases;
             exposure.counters.accumulate(set);
             exposure.elapsed_s += elapsed;
@@ -744,6 +886,7 @@ pub fn run_scan(scale: &HotpathScale) -> Report {
         };
         (off_ips, ratio)
     };
+    let sampling = measure_sampling_recall(scale);
     Report {
         schema: SCHEMA,
         workload: WorkloadSpec {
@@ -754,6 +897,7 @@ pub fn run_scan(scale: &HotpathScale) -> Report {
             include_fixes: true,
             sync_heavy_cases: sync_heavy_cases().len(),
             large_heap_cases: scale.heap_cases,
+            churn_cases: scale.churn_cases,
         },
         pre_optimization: pre,
         pr4,
@@ -762,6 +906,7 @@ pub fn run_scan(scale: &HotpathScale) -> Report {
         sync_heavy_speedup_vs_pr4: sync_heavy_speedup,
         sync_heavy_nocache_ips,
         sync_heavy_cache_speedup,
+        sampling,
         exposure,
         total,
         categories,
@@ -973,6 +1118,7 @@ mod tests {
             runs: 4,
             repeat: 2,
             heap_cases: 3,
+            churn_cases: 2,
         }
     }
 
@@ -983,8 +1129,8 @@ mod tests {
         assert_eq!(a.total.counters, b.total.counters);
         assert_eq!(
             a.categories.len(),
-            9,
-            "Table 3 categories + SyncHeavy + LargeHeap"
+            10,
+            "Table 3 categories + SyncHeavy + LargeHeap + Churn"
         );
         assert!(a.total.counters.vm_steps > 0);
         // The tiny test scale is dominated by the sync-heavy programs
@@ -1017,6 +1163,40 @@ mod tests {
         assert_eq!(heap.counters.races, 0, "large-heap arms must be clean");
         assert!(heap.counters.det_events > 0);
         assert!(heap.counters.stack_cache_hits > 0);
+        // …and the churn arms are clean with the lifecycle engaged:
+        // exited workers' clock slots get reused generation after
+        // generation, so width stays O(live), far below O(spawned).
+        let churn = a
+            .categories
+            .iter()
+            .find(|c| c.category == "Churn")
+            .expect("Churn category");
+        assert_eq!(churn.counters.races, 0, "churn arms must be clean");
+        assert!(
+            churn.counters.clock_slots_reclaimed > 0,
+            "goroutine exit never recycled a clock slot: {:?}",
+            churn.counters
+        );
+        assert!(churn.counters.peak_shadow_bytes > 0);
+        assert!(
+            churn.counters.peak_clock_width < churn.counters.clock_slots_reclaimed,
+            "clock width should stay far below goroutine turnover: {:?}",
+            churn.counters
+        );
+        // Sampling recall: deterministic, total at sample_mod == 1,
+        // and a fraction of the corpus at every granularity.
+        assert_eq!(a.sampling, b.sampling);
+        assert_eq!(a.sampling.len(), SAMPLING_MODS.len());
+        assert_eq!(a.sampling[0].sample_mod, 1);
+        assert!(
+            (a.sampling[0].recall - 1.0).abs() < f64::EPSILON,
+            "full tracking must expose every planted race: {:?}",
+            a.sampling
+        );
+        for s in &a.sampling {
+            assert_eq!(s.total, tiny_scale().cases);
+            assert!((0.0..=1.0).contains(&s.recall), "{:?}", s);
+        }
         assert!(check(&a, &b).is_empty());
     }
 

@@ -304,6 +304,27 @@ pub fn generate_large_heap_corpus(n: usize, seed: u64) -> Vec<PerfCase> {
         .collect()
 }
 
+/// Builds the churn perf family: `n` clean long-lived programs whose
+/// goroutines and heap cells die and are replaced continuously —
+/// wait-grouped worker generations over fresh buffers, and sequential
+/// short-lived sessions over fresh private maps (see
+/// [`templates::churn_case`]).
+///
+/// This is the streaming-detection workload: on the LargeHeap family
+/// shadow state legitimately stays live, but here almost everything is
+/// dead a generation later, so the shadow GC and clock-slot
+/// reclamation have something real to do. The soak test runs the
+/// scalable shape ([`churn_soak_case`]) for ≥1M steps and asserts the
+/// memory bound.
+pub fn generate_churn_corpus(n: usize, seed: u64) -> Vec<PerfCase> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC4E2);
+    (0..n)
+        .map(|idx| templates::churn_case(&mut rng, idx))
+        .collect()
+}
+
+pub use templates::churn_soak_case;
+
 /// Builds the curated example database (Table 3's VectorDB column:
 /// capture-by-reference 37.5%, missing-sync 14.7%, parallel-test 11.8%,
 /// loop-var 2.6%, map 5.2%, slice 2.6%, others 25.7%).

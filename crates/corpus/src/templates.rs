@@ -9,7 +9,7 @@
 use crate::noise::NameGen;
 use crate::{HardCategory, RaceCase, RaceCategory};
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
 /// Generates one fixable case of `cat`, then buries it in unique
 /// business-logic noise ("industrial codebases are dense with
@@ -1781,6 +1781,162 @@ func {test}(t *testing.T) {{
     crate::PerfCase {
         id: format!("heap-mixed-{idx:02}"),
         files: vec![("registry.go".to_owned(), src)],
+        test,
+    }
+}
+
+// --------------------------------------------------------------- churn
+// Long-lived-program workloads for the shadow-state lifecycle: the
+// LargeHeap family grows one working set and keeps it; these programs
+// *churn* — goroutines and heap cells die and are replaced continuously,
+// generation after generation, so a streaming detector has something
+// real to collect. Every program is clean (no planted race): the point
+// is bounded shadow memory, proven by the soak test, with GC-on/off
+// bit-identity pinned by the golden layer.
+
+/// Generates one clean churn perf program. `idx` alternates the two
+/// shapes: wait-grouped worker generations over fresh buffers, and
+/// sequential short-lived sessions over fresh private maps.
+pub fn churn_case(rng: &mut StdRng, idx: usize) -> crate::PerfCase {
+    match idx % 2 {
+        0 => churn_generations(
+            rng,
+            format!("churn-gen-{idx:02}"),
+            6 + (idx / 2) * 2,
+            2 + idx % 2,
+            8,
+        ),
+        _ => churn_sessions(rng, format!("churn-sess-{idx:02}"), 8 + (idx / 2) * 2, 10),
+    }
+}
+
+/// The scalable generation shape behind the streaming soak test:
+/// `gens` generations, each allocating a fresh `workers * seg` buffer,
+/// doubling it in `workers` wait-grouped goroutines and folding the
+/// checksum under a mutex. Worker exits are ordered before the next
+/// spawn wave (via `wg.Wait`), so with the lifecycle on, clock slots
+/// recycle and dead buffers collect; off, both grow with `gens`.
+pub fn churn_soak_case(gens: usize, workers: usize, seg: usize) -> crate::PerfCase {
+    let mut rng = StdRng::seed_from_u64(0xC0AC ^ gens as u64);
+    churn_generations(&mut rng, format!("churn-soak-{gens}"), gens, workers, seg)
+}
+
+fn churn_generations(
+    rng: &mut StdRng,
+    id: String,
+    gens: usize,
+    workers: usize,
+    seg: usize,
+) -> crate::PerfCase {
+    let mut g = NameGen::new(rng);
+    let func = g.func();
+    let test = g.test();
+    let buf = g.var();
+    let cells = workers * seg;
+    // Each generation doubles buf[i] = g+i and sums: per-gen checksum
+    // is 2*(cells*g + cells*(cells-1)/2).
+    let expected: usize = (0..gens)
+        .map(|gen| 2 * (cells * gen + cells * (cells - 1) / 2))
+        .sum();
+    let src = format!(
+        r#"package perf
+
+import (
+	"sync"
+	"testing"
+)
+
+func {func}() int {{
+	total := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < {gens}; g++ {{
+		{buf} := []int{{}}
+		for i := 0; i < {cells}; i++ {{
+			{buf} = append({buf}, g+i)
+		}}
+		for w := 0; w < {workers}; w++ {{
+			wg.Add(1)
+			go func(base int) {{
+				defer wg.Done()
+				sum := 0
+				for i := base * {seg}; i < base*{seg}+{seg}; i++ {{
+					{buf}[i] = {buf}[i] * 2
+					sum = sum + {buf}[i]
+				}}
+				mu.Lock()
+				total = total + sum
+				mu.Unlock()
+			}}(w)
+		}}
+		wg.Wait()
+	}}
+	return total
+}}
+
+func {test}(t *testing.T) {{
+	if {func}() != {expected} {{
+		t.Errorf("bad churn total")
+	}}
+}}
+"#
+    );
+    crate::PerfCase {
+        id,
+        files: vec![("churn_gen.go".to_owned(), src)],
+        test,
+    }
+}
+
+/// Sequential short-lived sessions: each goroutine builds a private
+/// map (fresh heap cells every session), folds it, and hands the sum
+/// back over a channel before exiting. The receive orders each exit
+/// before the next spawn, so one clock slot serves every session.
+fn churn_sessions(rng: &mut StdRng, id: String, sessions: usize, keys: usize) -> crate::PerfCase {
+    let mut g = NameGen::new(rng);
+    let func = g.func();
+    let test = g.test();
+    let out = g.var();
+    let expected: usize = (0..sessions)
+        .map(|s| keys * s + keys * (keys - 1) / 2)
+        .sum();
+    let src = format!(
+        r#"package perf
+
+import (
+	"testing"
+)
+
+func {func}() int {{
+	{out} := make(chan int, 1)
+	total := 0
+	for s := 0; s < {sessions}; s++ {{
+		go func(id int) {{
+			m := make(map[int]int)
+			for i := 0; i < {keys}; i++ {{
+				m[i] = id + i
+			}}
+			sum := 0
+			for k := range m {{
+				sum = sum + m[k]
+			}}
+			{out} <- sum
+		}}(s)
+		total = total + <-{out}
+	}}
+	return total
+}}
+
+func {test}(t *testing.T) {{
+	if {func}() != {expected} {{
+		t.Errorf("lost session results")
+	}}
+}}
+"#
+    );
+    crate::PerfCase {
+        id,
+        files: vec![("churn_sess.go".to_owned(), src)],
         test,
     }
 }

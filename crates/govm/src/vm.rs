@@ -38,6 +38,23 @@ pub struct VmOptions {
     /// bit-identical either way (pinned by tests); it exists for
     /// differential testing and A/B timing.
     pub sync_epoch_cache: bool,
+    /// Shadow-state lifecycle management (on by default): exited
+    /// goroutines retire their detector clock slot, and every few
+    /// exits the VM sweeps dead shadow state at the live frontier.
+    /// Purely physical, exactly like `sync_epoch_cache` — races, bug
+    /// hashes, schedule signatures and logical counters are
+    /// bit-identical with it off (pinned by tests); only memory and
+    /// the `ShadowStats` bookkeeping move.
+    pub shadow_gc: bool,
+    /// Detector address-sampling modulus (1 = monitor everything, the
+    /// default). A coarser modulus deterministically skips shadow
+    /// tracking for all but a hash-spread `1/sample_mod` fraction of
+    /// addresses, trading recall for memory/time. The monitored subset
+    /// is salted with the run seed, so a multi-run campaign rotates
+    /// coverage instead of missing the same addresses forever; the
+    /// bench harness measures the recall it costs instead of letting
+    /// it pass silently.
+    pub sample_mod: u32,
 }
 
 impl Default for VmOptions {
@@ -49,6 +66,8 @@ impl Default for VmOptions {
             drain_steps: 100_000,
             policy: SchedulePolicy::Random,
             sync_epoch_cache: true,
+            shadow_gc: true,
+            sample_mod: 1,
         }
     }
 }
@@ -111,6 +130,22 @@ pub struct RunCounters {
     /// Snapshot rebuilds avoided by the per-goroutine `(frame
     /// generation, pc)` interning cache on actual slow-path calls.
     pub stack_cache_hits: u64,
+    /// Shadow states retired by the lifecycle GC (physical; zero with
+    /// `shadow_gc` off).
+    pub states_collected: u64,
+    /// Detector clock slots handed from exited goroutines to later
+    /// spawns (physical; zero with `shadow_gc` off).
+    pub clock_slots_reclaimed: u64,
+    /// High-water mark of the detector's estimated resident shadow
+    /// bytes, sampled at every lifecycle checkpoint (goroutine exits
+    /// and end of run). Campaign aggregation takes the max, not the
+    /// sum — it is a gauge, not a counter.
+    pub peak_shadow_bytes: u64,
+    /// Vector-clock width at end of run (clock slots allocated; the
+    /// width never shrinks, so end-of-run *is* the peak). With
+    /// `shadow_gc` on this tracks peak *live* goroutines; off, total
+    /// spawned. A gauge: campaigns aggregate by max.
+    pub peak_clock_width: u64,
     /// Detector-side counters (events, fast hits, clock joins/allocs).
     pub det: DetStats,
 }
@@ -123,6 +158,10 @@ impl RunCounters {
         self.stack_snapshots += other.stack_snapshots;
         self.snapshots_avoided += other.snapshots_avoided;
         self.stack_cache_hits += other.stack_cache_hits;
+        self.states_collected += other.states_collected;
+        self.clock_slots_reclaimed += other.clock_slots_reclaimed;
+        self.peak_shadow_bytes = self.peak_shadow_bytes.max(other.peak_shadow_bytes);
+        self.peak_clock_width = self.peak_clock_width.max(other.peak_clock_width);
         self.det.accumulate(&other.det);
     }
 }
@@ -362,6 +401,12 @@ pub struct Vm<'p> {
     snapshots_taken: u64,
     /// Snapshot rebuilds avoided by the per-goroutine interning cache.
     stack_cache_hits: u64,
+    /// Goroutine exits delivered to the detector (drives the periodic
+    /// shadow-GC trigger; physical bookkeeping only).
+    exits_seen: u64,
+    /// High-water mark of the detector's estimated shadow bytes,
+    /// sampled at lifecycle checkpoints.
+    peak_shadow_bytes: u64,
     pub(crate) output: String,
     pub(crate) test_failures: Vec<String>,
     /// `(fire step, channel)` timers (context deadlines, `time.After`).
@@ -441,6 +486,8 @@ impl<'p> Vm<'p> {
         );
         let mut det = Detector::new();
         det.set_sync_cache(opts.sync_epoch_cache);
+        det.set_sample_mod(opts.sample_mod);
+        det.set_sample_salt(opts.seed);
         let mut vm = Vm {
             prog,
             heap: Heap::new(),
@@ -457,6 +504,8 @@ impl<'p> Vm<'p> {
             method_box_pool: Vec::new(),
             snapshots_taken: 0,
             stack_cache_hits: 0,
+            exits_seen: 0,
+            peak_shadow_bytes: 0,
             output: String::new(),
             test_failures: Vec::new(),
             timers: Vec::new(),
@@ -944,6 +993,10 @@ impl<'p> Vm<'p> {
             })
             .collect();
         let det = *self.det.stats();
+        // End-of-run lifecycle checkpoint: the gauge must cover runs
+        // that never hit an exit checkpoint (or none at all).
+        self.peak_shadow_bytes = self.peak_shadow_bytes.max(self.det.shadow_bytes());
+        let shadow = *self.det.shadow_stats();
         RunResult {
             races,
             error,
@@ -958,6 +1011,10 @@ impl<'p> Vm<'p> {
                 stack_snapshots: self.snapshots_taken,
                 snapshots_avoided: det.fast_hits(),
                 stack_cache_hits: self.stack_cache_hits,
+                states_collected: shadow.states_collected,
+                clock_slots_reclaimed: shadow.clock_slots_reclaimed,
+                peak_shadow_bytes: self.peak_shadow_bytes,
+                peak_clock_width: self.det.clock_width() as u64,
                 det,
             },
         }
@@ -1248,6 +1305,7 @@ impl<'p> Vm<'p> {
         if self.gos[gid].frames.is_empty() {
             self.gos[gid].status = Status::Done;
             natives::on_goroutine_exit(self, gid);
+            self.lifecycle_exit(gid);
         } else {
             self.gos[gid].stack.push(v);
             if let Some(f) = self.gos[gid].frames.last_mut() {
@@ -1286,7 +1344,31 @@ impl<'p> Vm<'p> {
         self.gos[gid].status = Status::Done;
         self.gos[gid].stack.clear();
         natives::on_goroutine_exit(self, gid);
+        self.lifecycle_exit(gid);
         self.fatal = Some(RunError::Panic(msg));
+    }
+
+    /// Lifecycle checkpoint at a goroutine exit: retires the exiting
+    /// goroutine's detector clock slot and, every few exits, sweeps
+    /// dead shadow state at the live frontier. Must run *after*
+    /// [`natives::on_goroutine_exit`] so the exit's own happens-before
+    /// publications (subtest parent signalling) are already recorded.
+    /// The root goroutine is never retired — the VM attributes
+    /// post-run bookkeeping (channel closes at teardown) to it.
+    fn lifecycle_exit(&mut self, gid: Gid) {
+        if !self.opts.shadow_gc || gid == 0 {
+            return;
+        }
+        self.det.thread_exit(gid);
+        self.exits_seen += 1;
+        // Deterministic GC cadence: a sweep every 16 exits keeps churny
+        // programs bounded without rescanning the shadow per exit.
+        if self.exits_seen % 16 == 0 {
+            if let Some(f) = self.det.live_frontier() {
+                self.det.collect(&f);
+            }
+        }
+        self.peak_shadow_bytes = self.peak_shadow_bytes.max(self.det.shadow_bytes());
     }
 
     // ------------------------------------------------------------ channels

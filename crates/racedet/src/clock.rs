@@ -61,6 +61,21 @@ impl VectorClock {
         }
     }
 
+    /// Meets `other` into `self` (pointwise minimum). Components absent
+    /// on either side are implicitly zero, so the result never grows:
+    /// trailing entries beyond `other`'s width drop to zero. This is
+    /// the retirement-frontier combinator — the meet of every live
+    /// thread's clock is the largest clock guaranteed to happen-before
+    /// every future event.
+    pub fn meet(&mut self, other: &VectorClock) {
+        for (i, v) in self.entries.iter_mut().enumerate() {
+            let o = other.get(i);
+            if o < *v {
+                *v = o;
+            }
+        }
+    }
+
     /// Returns `true` if `self` happens-before-or-equals `other`
     /// (pointwise `<=`).
     pub fn le(&self, other: &VectorClock) -> bool {
@@ -168,6 +183,26 @@ mod tests {
         c.set(1, 9);
         assert!(!c.le(&b));
         assert!(!b.le(&c));
+    }
+
+    #[test]
+    fn meet_is_pointwise_min_and_never_grows() {
+        let mut a = VectorClock::new();
+        a.set(0, 3);
+        a.set(2, 5);
+        let mut b = VectorClock::new();
+        b.set(0, 1);
+        b.set(1, 9);
+        a.meet(&b);
+        assert_eq!(a.get(0), 1);
+        assert_eq!(a.get(1), 0, "absent on one side means zero");
+        assert_eq!(a.get(2), 0);
+        assert!(a.width() <= 3, "meet must not grow the clock");
+        // The meet happens-before both operands.
+        let mut c = VectorClock::new();
+        c.set(0, 1);
+        assert!(a.le(&c));
+        assert!(a.le(&b));
     }
 
     #[test]

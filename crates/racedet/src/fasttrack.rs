@@ -70,6 +70,43 @@
 //! those reuses avoided, and the counters are exactly reproducible for
 //! a given event sequence (the CI perf gate diffs them against a
 //! checked-in baseline).
+//!
+//! # Shadow-state lifecycle (streaming detection)
+//!
+//! Long-lived programs would grow the shadow state without bound:
+//! variable states accumulate per address and the vector-clock width
+//! grows per goroutine ever spawned. Three mechanisms bound it, the
+//! first two *physical* — turning them on or off never changes race
+//! reports or any logical [`DetStats`] counter (the same transparency
+//! discipline as the sync caches; the savings land in
+//! [`ShadowStats`]):
+//!
+//! - **Epoch-based GC** ([`Detector::collect`]): the host supplies a
+//!   retirement frontier — a clock ≤ every live thread's clock, so ≤
+//!   every future event's clock (use [`Detector::live_frontier`]).
+//!   Every variable state *strictly* below the frontier is provably
+//!   unable to ever race again *or* to produce a same-epoch fast hit,
+//!   so it is reset in place and its buffers are freed. Read-shared
+//!   states are cleared but keep their `Shared` shape (an epoch-shaped
+//!   resurrection would re-enable the same-epoch fast path and drift
+//!   the counters). Dense states live in fixed-size pages that are
+//!   freed when fully vacant, so shadow memory tracks *live* states,
+//!   not the highest address ever touched.
+//! - **Clock-width reclamation** ([`Detector::thread_exit`]): an
+//!   exiting thread's final clock is joined into a retired-clock
+//!   accumulator and its clock *slot* is freed. A later
+//!   [`Detector::fork`] reuses the slot only when the exited final
+//!   clock ≤ the parent's clock — i.e. the exit happens-before the new
+//!   thread's start — which keeps every stale epoch `c@slot` correct:
+//!   any thread that appears to know `c` via the slot's new occupant
+//!   provably synchronised through the fork point, hence after the
+//!   exit. External [`ThreadId`]s stay dense and are never reused; the
+//!   slot indirection is invisible to hosts.
+//! - **Sampling** ([`DetectorOptions::sample_mod`]): skip shadow
+//!   updates for a deterministic subset of addresses. Unlike GC and
+//!   slot reuse this *does* trade recall for cost, so it is off by
+//!   default and its misses are measured, never silent (the bench
+//!   harness reports recall on the exposure corpus).
 
 use crate::clock::{Epoch, ThreadId, VectorClock};
 use crate::report::{AccessKind, Fnv1a};
@@ -86,12 +123,90 @@ pub type NameId = u32;
 /// Interned id of a stack frame (resolved by the host VM).
 pub type FrameId = u32;
 
-/// Addresses below this bound get dense (array-indexed) variable state;
+/// Addresses below this bound get dense (page-indexed) variable state;
 /// anything above falls back to a hash map. Hosts that allocate cells
 /// densely from zero — `govm` does — never touch the map.
 /// [`Detector::with_dense_limit`] overrides the bound (tests exercise
 /// the crossover without growing a multi-million-entry array).
 pub const DENSE_LIMIT: usize = 1 << 22;
+
+/// Dense variable states per page (pages are allocated on first touch
+/// and freed by [`Detector::collect`] when fully vacant, so dense
+/// shadow memory tracks live states, not the highest address).
+pub const PAGE_SIZE: usize = 1 << PAGE_BITS;
+/// Sized so that first-touch of a page (allocate + default-init) stays
+/// in the noise for short corpus runs — a `VarState` is >100 bytes, so
+/// 4096-entry pages cost ~0.5 MB of zeroing per touch, which dominated
+/// small-program campaigns (measured ~4× on the exposure corpus).
+/// 64 entries keeps a page under 10 KB — first-touch beats even the
+/// pre-paging flat array's grow-to-max-address resize — and makes
+/// page-level GC granularity finer for the churn regime.
+const PAGE_BITS: usize = 6;
+
+/// Construction-time detector configuration.
+///
+/// Everything here is also adjustable after construction; the struct
+/// exists so hosts can thread one value through their own option
+/// plumbing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectorOptions {
+    /// Address-sampling modulus. `0` or `1` monitors every address
+    /// (full recall). A value `m > 1` monitors a deterministic
+    /// pseudo-random `1/m` fraction of the address space (a fixed
+    /// multiplicative hash of the address, mod `m` — plain residues
+    /// would alias with allocator alignment): shadow updates for the
+    /// rest are skipped entirely (counted in
+    /// [`ShadowStats::sampled_skips`]), trading a deterministic,
+    /// measurable recall loss for per-event cost.
+    pub sample_mod: u32,
+}
+
+impl Default for DetectorOptions {
+    fn default() -> Self {
+        DetectorOptions { sample_mod: 1 }
+    }
+}
+
+/// Physical shadow-state lifecycle counters.
+///
+/// Deliberately separate from [`DetStats`]: these move when GC, slot
+/// reclamation or sampling engage, while every `DetStats` field keeps
+/// its logical meaning and stays bit-identical across lifecycle on/off
+/// (sampling excepted — skipped events process nothing, which is the
+/// point). Deterministic for a given event sequence, like everything
+/// the perf gate compares.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShadowStats {
+    /// Variable states retired by [`Detector::collect`] (epoch-shaped
+    /// resets plus shared-state clears).
+    pub states_collected: u64,
+    /// Read-shared states cleared in place (subset of
+    /// `states_collected`; they keep their shape, see module docs).
+    pub shared_states_cleared: u64,
+    /// Dense pages freed after a sweep left them fully vacant.
+    pub pages_freed: u64,
+    /// [`Detector::collect`] passes run.
+    pub collect_passes: u64,
+    /// Threads retired via [`Detector::thread_exit`].
+    pub threads_exited: u64,
+    /// Clock slots of exited threads reused by a later fork.
+    pub clock_slots_reclaimed: u64,
+    /// Shadow updates skipped by address sampling.
+    pub sampled_skips: u64,
+}
+
+impl ShadowStats {
+    /// Accumulates `other` into `self` (campaign-level aggregation).
+    pub fn accumulate(&mut self, other: &ShadowStats) {
+        self.states_collected += other.states_collected;
+        self.shared_states_cleared += other.shared_states_cleared;
+        self.pages_freed += other.pages_freed;
+        self.collect_passes += other.collect_passes;
+        self.threads_exited += other.threads_exited;
+        self.clock_slots_reclaimed += other.clock_slots_reclaimed;
+        self.sampled_skips += other.sampled_skips;
+    }
+}
 
 /// Opaque host token identifying the exact call stack of one thread at
 /// one moment: equal tokens from the same thread guarantee the stack
@@ -312,37 +427,91 @@ struct SyncState {
     release_epoch: Option<Epoch>,
 }
 
+/// One page of dense variable states (see [`PAGE_SIZE`]).
+type VarPage = Box<[VarState]>;
+
 /// The FastTrack detector for one program run.
+///
+/// Thread identity is two-layered: the *external* [`ThreadId`]s handed
+/// out by [`Detector::fork`] are dense and never reused (hosts index
+/// their own tables with them), while internally each live thread owns
+/// a clock *slot* — the index actually stored in epochs and clock
+/// components. [`Detector::thread_exit`] frees a slot for reuse, which
+/// is what lets vector-clock width track live threads. All event APIs
+/// take external ids.
 #[derive(Debug)]
 pub struct Detector {
+    /// Per-slot clocks (slot-indexed; width = live-ish thread count).
     clocks: Vec<VectorClock>,
-    /// Dense per-address variable state (addresses below `dense_limit`).
-    vars: Vec<VarState>,
+    /// External thread id → clock slot.
+    slot_of: Vec<usize>,
+    /// Clock slot → external id of its *current* owner (only used for
+    /// defensive report fallbacks; records carry external ids).
+    slot_owner: Vec<ThreadId>,
+    /// Whether the slot's owner is still live.
+    slot_live: Vec<bool>,
+    /// External thread ids retired by [`Detector::thread_exit`]
+    /// (debug-assert guard against post-exit events).
+    exited: Vec<bool>,
+    /// Per-slot high-water mark of the *published* own-clock value —
+    /// the highest own component ever stored into shadow state, a sync
+    /// clock or another thread's clock. A release ticks the releaser
+    /// *after* snapshotting, so an exiting thread's final clock usually
+    /// ends one past everything it published; reuse eligibility must
+    /// compare against the published value or it would never fire for
+    /// the canonical `wg.Done`/send-then-exit shape. Monotone across
+    /// slot occupants (never reset on reuse), which is what keeps
+    /// epochs of *earlier* occupants covered too.
+    published: Vec<u32>,
+    /// Freed slots awaiting reuse, FIFO, each with the exiting thread's
+    /// final clock and published own value (the reuse-eligibility
+    /// witness).
+    free_slots: Vec<(usize, VectorClock, u32)>,
+    /// Join of every exited thread's final clock.
+    retired: VectorClock,
+    /// Dense per-address variable state (addresses below `dense_limit`),
+    /// in lazily allocated fixed-size pages.
+    vars: Vec<Option<VarPage>>,
     /// Overflow variable state for sparse high addresses.
     vars_sparse: HashMap<Addr, VarState, FastBuildHasher>,
     syncs: HashMap<u64, SyncState, FastBuildHasher>,
     races: Vec<RawRace>,
     dedup: HashSet<u64, FastBuildHasher>,
     stats: DetStats,
+    shadow: ShadowStats,
     /// Dense/sparse crossover ([`DENSE_LIMIT`] unless overridden).
     dense_limit: Addr,
     /// Lock-aware caching (owner second chance + sync release epochs);
     /// on by default, off for differential testing.
     sync_cache: bool,
+    /// Address-sampling modulus (≤ 1 = monitor everything).
+    sample_mod: u32,
+    /// Sampling rotation salt (see [`Detector::set_sample_salt`]).
+    sample_salt: u64,
 }
 
 impl Default for Detector {
     fn default() -> Self {
         Detector {
             clocks: Vec::new(),
+            slot_of: Vec::new(),
+            slot_owner: Vec::new(),
+            slot_live: Vec::new(),
+            exited: Vec::new(),
+            published: Vec::new(),
+            free_slots: Vec::new(),
+            retired: VectorClock::new(),
             vars: Vec::new(),
             vars_sparse: HashMap::default(),
             syncs: HashMap::default(),
             races: Vec::new(),
             dedup: HashSet::default(),
             stats: DetStats::default(),
+            shadow: ShadowStats::default(),
             dense_limit: DENSE_LIMIT as Addr,
             sync_cache: true,
+            sample_mod: 1,
+            sample_salt: 0,
         }
     }
 }
@@ -354,6 +523,18 @@ impl Detector {
         let mut c = VectorClock::new();
         c.tick(0);
         d.clocks.push(c);
+        d.slot_of.push(0);
+        d.slot_owner.push(0);
+        d.slot_live.push(true);
+        d.exited.push(false);
+        d.published.push(0);
+        d
+    }
+
+    /// [`Detector::new`] configured from [`DetectorOptions`].
+    pub fn with_options(opts: DetectorOptions) -> Self {
+        let mut d = Detector::new();
+        d.sample_mod = opts.sample_mod;
         d
     }
 
@@ -365,6 +546,43 @@ impl Detector {
         d
     }
 
+    /// Sets the address-sampling modulus (see
+    /// [`DetectorOptions::sample_mod`]). Changing it mid-run is legal:
+    /// already-recorded shadow state stays valid, only future events
+    /// are filtered.
+    pub fn set_sample_mod(&mut self, sample_mod: u32) {
+        self.sample_mod = sample_mod;
+    }
+
+    /// Sets the sampling rotation salt. The monitored `1/sample_mod`
+    /// address subset is a function of the salt, so a host that feeds
+    /// each run's schedule seed here rotates coverage across a
+    /// campaign (HardRace's production-sampler design): a single run
+    /// monitors `1/m` of the space, but `n` runs miss an address with
+    /// probability only `(1 - 1/m)^n` — campaign recall degrades
+    /// gracefully instead of cliffing on whatever subset one fixed
+    /// hash picked. Deterministic per (salt, address); no effect when
+    /// sampling is off.
+    pub fn set_sample_salt(&mut self, salt: u64) {
+        self.sample_salt = salt;
+    }
+
+    /// `true` when address sampling elides shadow updates for `addr`.
+    ///
+    /// The address is spread with a fixed multiplicative hash before
+    /// the modulus so the monitored set is a pseudo-random (but fully
+    /// deterministic) `1/sample_mod` fraction of the address space — a
+    /// plain `addr % m` would alias with allocator alignment (hosts
+    /// hand out word-aligned cells, making recall all-or-nothing
+    /// instead of proportional).
+    #[inline]
+    fn sampled_out(&self, addr: Addr) -> bool {
+        self.sample_mod > 1
+            && ((addr ^ self.sample_salt).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33)
+                % u64::from(self.sample_mod)
+                != 0
+    }
+
     /// Enables or disables the lock-aware caches (owner second chance
     /// and per-sync release epochs). Disabling never changes observable
     /// behaviour — races, clocks and the logical counters are
@@ -374,8 +592,16 @@ impl Detector {
         self.sync_cache = enabled;
     }
 
-    /// Number of threads registered so far.
+    /// Number of threads ever registered (external ids stay dense and
+    /// are never reused, so this is also the next id `fork` hands out).
     pub fn thread_count(&self) -> usize {
+        self.slot_of.len()
+    }
+
+    /// Current vector-clock width: clock slots allocated, which tracks
+    /// live threads (plus freed slots awaiting an eligible reuse), not
+    /// the total ever spawned.
+    pub fn clock_width(&self) -> usize {
         self.clocks.len()
     }
 
@@ -384,18 +610,33 @@ impl Detector {
         &self.stats
     }
 
+    /// The physical shadow-lifecycle counters accumulated so far.
+    pub fn shadow_stats(&self) -> &ShadowStats {
+        &self.shadow
+    }
+
+    /// Clock slot of live external thread `t`.
+    #[inline]
+    fn slot(&self, t: ThreadId) -> usize {
+        debug_assert!(!self.exited[t], "event for exited thread {t}");
+        self.slot_of[t]
+    }
+
     fn var_mut<'a>(
-        dense: &'a mut Vec<VarState>,
+        dense: &'a mut Vec<Option<VarPage>>,
         sparse: &'a mut HashMap<Addr, VarState, FastBuildHasher>,
         dense_limit: Addr,
         addr: Addr,
     ) -> &'a mut VarState {
         let i = addr as usize;
         if addr < dense_limit {
-            if i >= dense.len() {
-                dense.resize_with(i + 1, VarState::default);
+            let p = i >> PAGE_BITS;
+            if p >= dense.len() {
+                dense.resize_with(p + 1, || None);
             }
-            &mut dense[i]
+            let page = dense[p]
+                .get_or_insert_with(|| vec![VarState::default(); PAGE_SIZE].into_boxed_slice());
+            &mut page[i & (PAGE_SIZE - 1)]
         } else {
             sparse.entry(addr).or_default()
         }
@@ -403,16 +644,65 @@ impl Detector {
 
     /// Registers a new thread forked by `parent`, returning its id.
     ///
-    /// Establishes the happens-before edge from the `go` statement to the
-    /// start of the child.
+    /// Establishes the happens-before edge from the `go` statement to
+    /// the start of the child. The child's external id is always fresh
+    /// (dense, never reused); its clock *slot* reuses a freed slot when
+    /// some exited thread's final clock ≤ `parent`'s clock — the exit
+    /// happens-before the child's start, so stale epochs at that slot
+    /// keep exactly their happens-before meaning (module docs). The
+    /// logical `clock_allocs` counter moves identically either way.
     pub fn fork(&mut self, parent: ThreadId) -> ThreadId {
-        let child = self.clocks.len();
-        let mut cc = self.clocks[parent].clone();
+        let child = self.slot_of.len();
+        let pslot = self.slot(parent);
         self.stats.clock_allocs += 1;
-        cc.tick(child);
-        self.clocks.push(cc);
-        self.clocks[parent].tick(parent);
+        // First freed slot whose every *published* epoch is ordered
+        // before this fork, in retirement order (deterministic). The
+        // own component is compared via the published mark, not the
+        // final clock — the trailing release tick published nothing.
+        let reuse = self.free_slots.iter().position(|(slot, fin, pub_own)| {
+            let pc = &self.clocks[pslot];
+            *pub_own <= pc.get(*slot) && fin.iter().all(|(k, v)| k == *slot || v <= pc.get(k))
+        });
+        let cslot = match reuse {
+            Some(idx) => {
+                let (slot, fin, _) = self.free_slots.remove(idx);
+                // Reuse the final clock's buffer for the child's clock.
+                let mut cc = fin;
+                cc.copy_from(&self.clocks[pslot]);
+                cc.tick(slot);
+                self.clocks[slot] = cc;
+                self.slot_owner[slot] = child;
+                self.slot_live[slot] = true;
+                self.shadow.clock_slots_reclaimed += 1;
+                slot
+            }
+            None => {
+                let slot = self.clocks.len();
+                let mut cc = self.clocks[pslot].clone();
+                cc.tick(slot);
+                self.clocks.push(cc);
+                self.slot_owner.push(child);
+                self.slot_live.push(true);
+                self.published.push(0);
+                slot
+            }
+        };
+        self.slot_of.push(cslot);
+        self.exited.push(false);
+        // The child's clock carries the parent's current own value —
+        // that is a publication, and the post-publication tick follows.
+        self.publish(pslot);
+        self.clocks[pslot].tick(pslot);
         child
+    }
+
+    /// Records that `slot`'s current own-clock value is now visible
+    /// outside its own clock (shadow state, a sync clock, or another
+    /// thread's clock). Clocks are monotone, so plain assignment is a
+    /// running maximum.
+    #[inline]
+    fn publish(&mut self, slot: usize) {
+        self.published[slot] = self.clocks[slot].get(slot);
     }
 
     /// Establishes `child` happens-before `parent` (a join edge).
@@ -420,16 +710,46 @@ impl Detector {
         if parent == child {
             return;
         }
-        let (dst, src) = if parent < child {
-            let (lo, hi) = self.clocks.split_at_mut(child);
-            (&mut lo[parent], &hi[0])
+        let (pslot, cslot) = (self.slot(parent), self.slot(child));
+        let (dst, src) = if pslot < cslot {
+            let (lo, hi) = self.clocks.split_at_mut(cslot);
+            (&mut lo[pslot], &hi[0])
         } else {
-            let (lo, hi) = self.clocks.split_at_mut(parent);
-            (&mut hi[0], &lo[child])
+            let (lo, hi) = self.clocks.split_at_mut(pslot);
+            (&mut hi[0], &lo[cslot])
         };
         dst.join(src);
         self.stats.clock_joins += 1;
         self.stats.clock_allocs_avoided += 1;
+        // The child's whole clock — trailing ticks included — is now
+        // visible in the parent.
+        self.publish(cslot);
+    }
+
+    /// Retires an exited thread: joins its final clock into the
+    /// retired-clock accumulator (preserving every happens-before edge
+    /// it ever published for races detected later) and frees its clock
+    /// slot for reuse by an eligible future [`Detector::fork`].
+    ///
+    /// Purely physical — no logical counter moves, and no observable
+    /// behaviour changes whether or not a host ever calls this. The
+    /// caller must deliver no further events for `t`.
+    pub fn thread_exit(&mut self, t: ThreadId) {
+        let slot = self.slot(t);
+        debug_assert!(self.slot_live[slot], "double thread_exit for {t}");
+        self.exited[t] = true;
+        self.slot_live[slot] = false;
+        let fin = std::mem::take(&mut self.clocks[slot]);
+        self.retired.join(&fin);
+        let pub_own = self.published[slot];
+        self.free_slots.push((slot, fin, pub_own));
+        self.shadow.threads_exited += 1;
+    }
+
+    /// Join of every exited thread's final clock — everything the dead
+    /// ever published. For tests and host diagnostics.
+    pub fn retired_clock(&self) -> &VectorClock {
+        &self.retired
     }
 
     /// Same-epoch read check — phase one of a read event.
@@ -460,7 +780,12 @@ impl Detector {
         gen_fn: F,
     ) -> (FastPath, StackGen) {
         self.stats.events += 1;
-        let e = Epoch::new(t, self.clocks[t].get(t));
+        if self.sampled_out(addr) {
+            self.shadow.sampled_skips += 1;
+            return (FastPath::EpochHit, StackGen::NONE);
+        }
+        let s = self.slot(t);
+        let e = Epoch::new(s, self.clocks[s].get(s));
         let vs = Self::var_mut(
             &mut self.vars,
             &mut self.vars_sparse,
@@ -490,8 +815,9 @@ impl Detector {
                     // then store an access record byte-identical to the
                     // current one — so the whole transfer collapses to
                     // `*re = e`.
-                    if !re.is_zero() && re.tid == t && *r_gen == gen {
+                    if !re.is_zero() && re.tid == s && *r_gen == gen {
                         *re = e;
+                        self.published[s] = e.clock;
                         self.stats.read_sync_hits += 1;
                         return (FastPath::CacheHit, gen);
                     }
@@ -501,7 +827,7 @@ impl Detector {
                     // line). The write record's stack *is* the current
                     // stack, so the read record the slow path would build
                     // can be copied from it — no host snapshot needed.
-                    if re.is_zero() && !w.is_zero() && w.tid == t && *w_gen == gen {
+                    if re.is_zero() && !w.is_zero() && w.tid == s && *w_gen == gen {
                         if let Some(wa) = w_access {
                             match acc {
                                 Some(a) => {
@@ -519,6 +845,7 @@ impl Detector {
                             }
                             *re = e;
                             *r_gen = gen;
+                            self.published[s] = e.clock;
                             self.stats.read_sync_hits += 1;
                             return (FastPath::CacheHit, gen);
                         }
@@ -536,9 +863,10 @@ impl Detector {
             ReadState::Shared(vc, accs) => {
                 let gen = gen_fn();
                 if self.sync_cache && gen.is_some() {
-                    if let Some((_, g)) = accs.get(&t) {
+                    if let Some((_, g)) = accs.get(&s) {
                         if *g == gen {
-                            vc.set(t, e.clock);
+                            vc.set(s, e.clock);
+                            self.published[s] = e.clock;
                             self.stats.read_sync_hits += 1;
                             return (FastPath::CacheHit, gen);
                         }
@@ -561,8 +889,15 @@ impl Detector {
         stack: &[FrameId],
         gen: StackGen,
     ) {
-        let ct = &self.clocks[t];
-        let e = Epoch::new(t, ct.get(t));
+        if self.sampled_out(addr) {
+            return;
+        }
+        let s = self.slot(t);
+        let ct = &self.clocks[s];
+        let e = Epoch::new(s, ct.get(s));
+        // The state record below stores the current epoch.
+        self.published[s] = e.clock;
+        let slot_owner = &self.slot_owner;
         let vs = Self::var_mut(
             &mut self.vars,
             &mut self.vars_sparse,
@@ -584,7 +919,9 @@ impl Detector {
             let prev = vs.w_access.clone().unwrap_or_else(|| RawAccess {
                 kind: AccessKind::Write,
                 stack: Vec::new(),
-                tid: vs.w.tid,
+                // Defensive only (a non-zero epoch always has a record):
+                // resolve the slot to its current external owner.
+                tid: slot_owner.get(vs.w.tid).copied().unwrap_or(vs.w.tid),
             });
             let race = RawRace {
                 prev,
@@ -625,7 +962,7 @@ impl Detector {
                 } else {
                     let mut vc = VectorClock::new();
                     vc.set(re.tid, re.clock);
-                    vc.set(t, e.clock);
+                    vc.set(s, e.clock);
                     self.stats.clock_allocs += 1;
                     let mut accs = HashMap::default();
                     let prev_gen = vs.r_gen;
@@ -633,7 +970,7 @@ impl Detector {
                         accs.insert(re.tid, (a, prev_gen));
                     }
                     accs.insert(
-                        t,
+                        s,
                         (
                             RawAccess {
                                 kind: AccessKind::Read,
@@ -648,10 +985,10 @@ impl Detector {
                 }
             }
             ReadState::Shared(vc, accs) => {
-                vc.set(t, e.clock);
+                vc.set(s, e.clock);
                 // Reuse the thread's existing record buffer: repeated
                 // shared reads are allocation-free.
-                match accs.entry(t) {
+                match accs.entry(s) {
                     std::collections::hash_map::Entry::Occupied(mut o) => {
                         let (a, g) = o.get_mut();
                         a.kind = AccessKind::Read;
@@ -707,7 +1044,12 @@ impl Detector {
         gen_fn: F,
     ) -> (FastPath, StackGen) {
         self.stats.events += 1;
-        let e = Epoch::new(t, self.clocks[t].get(t));
+        if self.sampled_out(addr) {
+            self.shadow.sampled_skips += 1;
+            return (FastPath::EpochHit, StackGen::NONE);
+        }
+        let s = self.slot(t);
+        let e = Epoch::new(s, self.clocks[s].get(s));
         let vs = Self::var_mut(
             &mut self.vars,
             &mut self.vars_sparse,
@@ -725,9 +1067,9 @@ impl Detector {
         // write record's stack is unchanged — the slow path would
         // record no new race (any replay dedups to an already-recorded
         // one) and write back exactly this state with `w = e`.
-        if self.sync_cache && gen.is_some() && !vs.w.is_zero() && vs.w.tid == t && vs.w_gen == gen {
+        if self.sync_cache && gen.is_some() && !vs.w.is_zero() && vs.w.tid == s && vs.w_gen == gen {
             if let ReadState::Epoch(re, _) = &mut vs.r {
-                if re.is_zero() || re.tid == t {
+                if re.is_zero() || re.tid == s {
                     vs.w = e;
                     // FastTrack WriteShared collapse, as the slow path
                     // does after its checks (the dead record's buffer
@@ -735,6 +1077,7 @@ impl Detector {
                     // epoch never exposes it).
                     *re = Epoch::ZERO;
                     vs.r_gen = StackGen::NONE;
+                    self.published[s] = e.clock;
                     self.stats.write_sync_hits += 1;
                     return (FastPath::CacheHit, gen);
                 }
@@ -755,8 +1098,15 @@ impl Detector {
         stack: &[FrameId],
         gen: StackGen,
     ) {
-        let ct = &self.clocks[t];
-        let e = Epoch::new(t, ct.get(t));
+        if self.sampled_out(addr) {
+            return;
+        }
+        let s = self.slot(t);
+        let ct = &self.clocks[s];
+        let e = Epoch::new(s, ct.get(s));
+        // The state record below stores the current epoch.
+        self.published[s] = e.clock;
+        let slot_owner = &self.slot_owner;
         let vs = Self::var_mut(
             &mut self.vars,
             &mut self.vars_sparse,
@@ -780,7 +1130,8 @@ impl Detector {
             let prev = vs.w_access.clone().unwrap_or_else(|| RawAccess {
                 kind: AccessKind::Write,
                 stack: Vec::new(),
-                tid: vs.w.tid,
+                // Defensive only — see `read_slow`.
+                tid: slot_owner.get(vs.w.tid).copied().unwrap_or(vs.w.tid),
             });
             let race = RawRace {
                 prev,
@@ -798,7 +1149,7 @@ impl Detector {
                     let prev = racc.clone().unwrap_or_else(|| RawAccess {
                         kind: AccessKind::Read,
                         stack: Vec::new(),
-                        tid: re.tid,
+                        tid: slot_owner.get(re.tid).copied().unwrap_or(re.tid),
                     });
                     let race = RawRace {
                         prev,
@@ -818,7 +1169,7 @@ impl Detector {
                                 .unwrap_or_else(|| RawAccess {
                                     kind: AccessKind::Read,
                                     stack: Vec::new(),
-                                    tid,
+                                    tid: slot_owner.get(tid).copied().unwrap_or(tid),
                                 });
                         let race = RawRace {
                             prev,
@@ -902,18 +1253,19 @@ impl Detector {
     /// incremented either way, so counter baselines do not depend on
     /// the cache.
     pub fn acquire(&mut self, t: ThreadId, sync: u64) {
+        let slot = self.slot(t);
         if let Some(s) = self.syncs.get(&sync) {
             self.stats.clock_joins += 1;
             self.stats.clock_allocs_avoided += 1;
             if self.sync_cache {
                 if let Some(re) = s.release_epoch {
-                    if re.le(&self.clocks[t]) {
+                    if re.le(&self.clocks[slot]) {
                         self.stats.sync_epoch_hits += 1;
                         return;
                     }
                 }
             }
-            self.clocks[t].join(&s.clock);
+            self.clocks[slot].join(&s.clock);
         }
     }
 
@@ -922,23 +1274,25 @@ impl Detector {
     /// and the sync-epoch cache is refreshed — the stored clock is
     /// exactly `t`'s, so the epoch `c@t` summarises it.
     pub fn release(&mut self, t: ThreadId, sync: u64) {
-        let epoch = Some(Epoch::new(t, self.clocks[t].get(t)));
+        let slot = self.slot(t);
+        let epoch = Some(Epoch::new(slot, self.clocks[slot].get(slot)));
         match self.syncs.entry(sync) {
             std::collections::hash_map::Entry::Occupied(mut e) => {
                 let s = e.get_mut();
-                s.clock.copy_from(&self.clocks[t]);
+                s.clock.copy_from(&self.clocks[slot]);
                 s.release_epoch = epoch;
                 self.stats.clock_allocs_avoided += 1;
             }
             std::collections::hash_map::Entry::Vacant(v) => {
                 v.insert(SyncState {
-                    clock: self.clocks[t].clone(),
+                    clock: self.clocks[slot].clone(),
                     release_epoch: epoch,
                 });
                 self.stats.clock_allocs += 1;
             }
         }
-        self.clocks[t].tick(t);
+        self.publish(slot);
+        self.clocks[slot].tick(slot);
     }
 
     /// Merge-release (wait-group `Done`, RWMutex `RUnlock`): joins `t`'s
@@ -946,76 +1300,240 @@ impl Detector {
     /// Invalidates the sync-epoch cache — no single releaser's epoch
     /// summarises the joined clock.
     pub fn release_merge(&mut self, t: ThreadId, sync: u64) {
+        let slot = self.slot(t);
         match self.syncs.entry(sync) {
             std::collections::hash_map::Entry::Occupied(mut e) => {
                 let s = e.get_mut();
-                s.clock.join(&self.clocks[t]);
+                s.clock.join(&self.clocks[slot]);
                 s.release_epoch = None;
                 self.stats.clock_joins += 1;
                 self.stats.clock_allocs_avoided += 1;
             }
             std::collections::hash_map::Entry::Vacant(v) => {
                 v.insert(SyncState {
-                    clock: self.clocks[t].clone(),
-                    release_epoch: Some(Epoch::new(t, self.clocks[t].get(t))),
+                    clock: self.clocks[slot].clone(),
+                    release_epoch: Some(Epoch::new(slot, self.clocks[slot].get(slot))),
                 });
                 self.stats.clock_allocs += 1;
             }
         }
-        self.clocks[t].tick(t);
+        self.publish(slot);
+        self.clocks[slot].tick(slot);
     }
 
     /// Sequentially-consistent atomic edge: total order between all
     /// atomic operations on `sync` (each op both acquires and releases).
     pub fn atomic_op(&mut self, t: ThreadId, sync: u64) {
+        let slot = self.slot(t);
         match self.syncs.entry(sync) {
             std::collections::hash_map::Entry::Occupied(mut e) => {
                 let s = e.get_mut();
-                self.clocks[t].join(&s.clock);
-                s.clock.copy_from(&self.clocks[t]);
+                self.clocks[slot].join(&s.clock);
+                s.clock.copy_from(&self.clocks[slot]);
                 // Post-join the stored clock is exactly `t`'s again.
-                s.release_epoch = Some(Epoch::new(t, self.clocks[t].get(t)));
+                s.release_epoch = Some(Epoch::new(slot, self.clocks[slot].get(slot)));
                 self.stats.clock_joins += 1;
                 self.stats.clock_allocs_avoided += 1;
             }
             std::collections::hash_map::Entry::Vacant(v) => {
                 v.insert(SyncState {
-                    clock: self.clocks[t].clone(),
-                    release_epoch: Some(Epoch::new(t, self.clocks[t].get(t))),
+                    clock: self.clocks[slot].clone(),
+                    release_epoch: Some(Epoch::new(slot, self.clocks[slot].get(slot))),
                 });
                 self.stats.clock_allocs += 1;
             }
         }
-        self.clocks[t].tick(t);
+        self.publish(slot);
+        self.clocks[slot].tick(slot);
     }
 
     /// Snapshots `t`'s clock (release half of a message send) and advances
     /// `t`. The returned clock travels with the message.
     pub fn release_snapshot(&mut self, t: ThreadId) -> VectorClock {
-        let c = self.clocks[t].clone();
+        let slot = self.slot(t);
+        let c = self.clocks[slot].clone();
         self.stats.clock_allocs += 1;
-        self.clocks[t].tick(t);
+        self.publish(slot);
+        self.clocks[slot].tick(slot);
         c
     }
 
     /// Joins a message clock into `t` (acquire half of a message receive).
     pub fn acquire_clock(&mut self, t: ThreadId, vc: &VectorClock) {
-        self.clocks[t].join(vc);
+        let slot = self.slot(t);
+        self.clocks[slot].join(vc);
         self.stats.clock_joins += 1;
     }
 
     /// Forgets a freed cell. Forgetting an address that was never
-    /// accessed — including a dense slot the state array never grew to
-    /// cover — is a no-op, and `forget` never moves [`Detector::stats`].
+    /// accessed — including a dense slot no page ever grew to cover —
+    /// is a no-op, and `forget` never moves [`Detector::stats`].
     pub fn forget(&mut self, addr: Addr) {
         let i = addr as usize;
         if addr < self.dense_limit {
-            if i < self.vars.len() {
-                self.vars[i] = VarState::default();
+            if let Some(Some(page)) = self.vars.get_mut(i >> PAGE_BITS) {
+                page[i & (PAGE_SIZE - 1)] = VarState::default();
             }
         } else {
             self.vars_sparse.remove(&addr);
         }
+    }
+
+    /// The largest retirement frontier valid right now: the pointwise
+    /// minimum of every live thread's clock. Clocks only grow and every
+    /// future thread inherits a live parent's clock at fork, so this
+    /// frontier happens-before every future event — exactly the
+    /// precondition [`Detector::collect`] needs. Returns `None` when no
+    /// thread is live (nothing more can happen; collecting is moot).
+    pub fn live_frontier(&self) -> Option<VectorClock> {
+        let mut live = self
+            .clocks
+            .iter()
+            .zip(&self.slot_live)
+            .filter(|&(_, &l)| l)
+            .map(|(c, _)| c);
+        let mut f = live.next()?.clone();
+        for c in live {
+            f.meet(c);
+        }
+        Some(f)
+    }
+
+    /// `true` when every access recorded in `vs` sits strictly below
+    /// the frontier: no future access can race with it *and* no live
+    /// thread's current epoch equals a stored epoch (which is what
+    /// keeps the same-epoch fast-hit stream, hence every logical
+    /// counter, bit-identical after retirement).
+    fn state_dead(vs: &VarState, f: &VectorClock) -> bool {
+        let w_dead = vs.w.is_zero() || vs.w.clock < f.get(vs.w.tid);
+        if !w_dead {
+            return false;
+        }
+        match &vs.r {
+            ReadState::Epoch(re, _) => re.is_zero() || re.clock < f.get(re.tid),
+            // Shared states have no same-epoch path, so plain
+            // happens-before suffices per component.
+            ReadState::Shared(vc, _) => vc.iter().all(|(s, v)| v <= f.get(s)),
+        }
+    }
+
+    /// `true` when `vs` holds no shadow content (default, or a cleared
+    /// shared husk).
+    fn state_is_empty(vs: &VarState) -> bool {
+        vs.w.is_zero()
+            && vs.w_access.is_none()
+            && match &vs.r {
+                ReadState::Epoch(re, acc) => re.is_zero() && acc.is_none(),
+                ReadState::Shared(vc, accs) => vc.iter().next().is_none() && accs.is_empty(),
+            }
+    }
+
+    /// `true` when `vs` is byte-equivalent to a never-touched state
+    /// (epoch-shaped default — the page-free eligibility test).
+    fn state_is_pristine(vs: &VarState) -> bool {
+        vs.w.is_zero()
+            && vs.w_access.is_none()
+            && matches!(&vs.r, ReadState::Epoch(re, acc) if re.is_zero() && acc.is_none())
+    }
+
+    /// Retires one dead state in place, freeing its buffers. Epoch
+    /// states reset to the pristine default; read-shared states are
+    /// cleared but keep their `Shared` shape (module docs). Returns
+    /// `true` if the slot is now pristine.
+    fn retire_state(vs: &mut VarState, shadow: &mut ShadowStats) -> bool {
+        shadow.states_collected += 1;
+        match &vs.r {
+            ReadState::Shared(..) => {
+                vs.w = Epoch::ZERO;
+                vs.w_access = None;
+                vs.w_gen = StackGen::NONE;
+                vs.r = ReadState::Shared(VectorClock::new(), HashMap::default());
+                vs.r_gen = StackGen::NONE;
+                shadow.shared_states_cleared += 1;
+                false
+            }
+            ReadState::Epoch(..) => {
+                *vs = VarState::default();
+                true
+            }
+        }
+    }
+
+    /// Epoch-based shadow GC: sweeps the dense pages and the sparse
+    /// map, retiring every variable state strictly below `frontier` —
+    /// a clock the host guarantees happens-before every future event
+    /// ([`Detector::live_frontier`] computes the largest such clock).
+    /// Fully vacated dense pages are freed. Returns the number of
+    /// states retired by this pass.
+    ///
+    /// Purely physical: races, bug hashes and every logical
+    /// [`DetStats`] counter are bit-identical whether or not a host
+    /// ever collects — only [`ShadowStats`] and memory move. `collect`
+    /// generalises [`Detector::forget`] (one address, host asserts
+    /// deadness) to a whole-shadow sweep with a proof obligation the
+    /// detector checks per state.
+    pub fn collect(&mut self, frontier: &VectorClock) -> u64 {
+        let before = self.shadow.states_collected;
+        let shadow = &mut self.shadow;
+        for slot in self.vars.iter_mut() {
+            let Some(page) = slot else { continue };
+            let mut pristine = true;
+            for vs in page.iter_mut() {
+                if !Self::state_is_empty(vs) && Self::state_dead(vs, frontier) {
+                    Self::retire_state(vs, shadow);
+                }
+                pristine &= Self::state_is_pristine(vs);
+            }
+            if pristine {
+                *slot = None;
+                shadow.pages_freed += 1;
+            }
+        }
+        self.vars_sparse.retain(|_, vs| {
+            if Self::state_is_empty(vs) || !Self::state_dead(vs, frontier) {
+                // Keep live states and shared husks; drop a pristine
+                // entry (it behaves exactly like an absent one).
+                return !Self::state_is_pristine(vs);
+            }
+            !Self::retire_state(vs, shadow)
+        });
+        shadow.collect_passes += 1;
+        shadow.states_collected - before
+    }
+
+    /// Number of variable states currently holding shadow content
+    /// (the streaming-memory bound the soak tests assert on).
+    pub fn live_states(&self) -> u64 {
+        let dense: usize = self
+            .vars
+            .iter()
+            .flatten()
+            .map(|p| p.iter().filter(|vs| !Self::state_is_empty(vs)).count())
+            .sum();
+        let sparse = self
+            .vars_sparse
+            .values()
+            .filter(|vs| !Self::state_is_empty(vs))
+            .count();
+        (dense + sparse) as u64
+    }
+
+    /// Deterministic estimate of resident shadow memory: allocated
+    /// dense pages, sparse entries and clock storage. Not an exact
+    /// allocator measurement (record stacks and shared maps are
+    /// excluded), but an exact function of the event sequence, so the
+    /// perf gate can track it without wall-clock noise.
+    pub fn shadow_bytes(&self) -> u64 {
+        let state = std::mem::size_of::<VarState>() as u64;
+        let pages = self.vars.iter().flatten().count() as u64 * PAGE_SIZE as u64 * state;
+        let sparse = self.vars_sparse.len() as u64 * state;
+        let clocks: u64 = self
+            .clocks
+            .iter()
+            .map(|c| 4 * c.width() as u64)
+            .sum::<u64>()
+            + 4 * self.retired.width() as u64;
+        pages + sparse + clocks
     }
 
     /// Races recorded so far.
@@ -1028,9 +1546,9 @@ impl Detector {
         self.races
     }
 
-    /// Current clock of thread `t` (for tests and debugging).
+    /// Current clock of live thread `t` (for tests and debugging).
     pub fn clock(&self, t: ThreadId) -> &VectorClock {
-        &self.clocks[t]
+        &self.clocks[self.slot_of[t]]
     }
 }
 
@@ -1532,8 +2050,14 @@ mod tests {
         d.forget(limit); // sparse, never touched
         d.forget(limit + 100);
         assert_eq!(*d.stats(), before, "forget must not drift stats");
-        // The never-grown dense slot stayed ungrown.
-        assert!(d.vars.len() <= 3, "forget must not grow the dense array");
+        // The never-grown dense slots stayed ungrown: everything here
+        // lives on page 0, and forget must not allocate pages.
+        assert!(d.vars.len() <= 1, "forget must not grow the page table");
+        assert_eq!(
+            d.vars.iter().flatten().count(),
+            1,
+            "forget must not allocate fresh pages"
+        );
         // And forgetting the never-grown slot was a true no-op: a fresh
         // access there behaves like a first access.
         let t1 = d.fork(0);
@@ -1576,5 +2100,263 @@ mod tests {
         // reuses the buffer, and every acquire joins in place.
         assert_eq!(s.clock_allocs, 2, "fork clone + first release");
         assert!(s.clock_allocs_avoided >= 14, "{s:?}");
+    }
+
+    /// Satellite: a race is still detected (with the right thread id
+    /// and stack) after the racing goroutine exited — the stored
+    /// access record plus the retired-clock accumulator preserve the
+    /// unhappened-before edge past the clock slot's death.
+    #[test]
+    fn race_detected_after_racing_thread_exited() {
+        let mut d = Detector::new();
+        let t1 = d.fork(0);
+        d.write(t1, A, V, &stack(1));
+        d.thread_exit(t1); // no join: the write stays unordered
+        assert!(d.races().is_empty());
+        d.write(0, A, V, &stack(2));
+        assert_eq!(d.races().len(), 1);
+        assert_eq!(d.races()[0].prev.tid, t1, "report names the dead thread");
+        assert_eq!(d.races()[0].prev.stack, stack(1));
+        // The accumulator kept everything the dead ever published.
+        assert!(d.retired_clock().get(1) > 0);
+    }
+
+    /// Satellite: exit-then-spawn reuses the dead thread's clock slot
+    /// when (and only when) the exit is ordered before the fork, so
+    /// clock width tracks live threads while external ids stay dense.
+    #[test]
+    fn exit_then_spawn_reuses_clock_slot() {
+        let mut d = Detector::new();
+        let t1 = d.fork(0);
+        d.write(t1, A, V, &stack(1));
+        d.join_thread(0, t1); // exit ordered before everything later
+        d.thread_exit(t1);
+        assert_eq!(d.clock_width(), 2);
+        let t2 = d.fork(0);
+        assert_eq!(t2, 2, "external thread ids are never reused");
+        assert_eq!(d.clock_width(), 2, "t2 reuses t1's clock slot");
+        assert_eq!(d.shadow_stats().clock_slots_reclaimed, 1);
+        // The join edge survives the slot handoff: t2's write to A is
+        // ordered after t1's, and t1-vs-t2 stays two distinct threads
+        // in every report-facing API.
+        d.write(t2, A, V, &stack(2));
+        assert!(d.races().is_empty(), "join edge must survive slot reuse");
+    }
+
+    /// The canonical VM exit shape: the worker's last event is a
+    /// release (`wg.Done`, channel send), which ticks its clock *after*
+    /// snapshotting — so the final clock is strictly above everything
+    /// the waiter can ever learn. Eligibility keys on the *published*
+    /// own-epoch instead, and must fire here.
+    #[test]
+    fn release_then_exit_is_reusable_after_acquire() {
+        let wg = 5;
+        let mut d = Detector::new();
+        let t1 = d.fork(0);
+        d.write(t1, A, V, &stack(1));
+        d.release_merge(t1, wg); // wg.Done — ticks t1 past the snapshot
+        d.thread_exit(t1);
+        // Before the waiter synchronises, the slot is not reusable.
+        let t2 = d.fork(0);
+        assert_eq!(d.clock_width(), 3, "pre-Wait fork must not reuse");
+        // After wg.Wait, everything t1 published is covered.
+        d.acquire(0, wg);
+        let t3 = d.fork(0);
+        assert_eq!(d.clock_width(), 3, "post-Wait fork reuses t1's slot");
+        assert_eq!(d.shadow_stats().clock_slots_reclaimed, 1);
+        // HB edges stay exact: t3 is ordered after t1's write (via the
+        // wait-group), t2 is not.
+        d.write(t3, A, V, &stack(3));
+        assert!(d.races().is_empty(), "wg edge must survive slot reuse");
+        d.write(t2, A, V, &stack(2));
+        assert_eq!(d.races().len(), 1, "t2 still races with t3's write");
+    }
+
+    /// An *unsynchronised* exit is not eligible for reuse — handing the
+    /// slot to a concurrent sibling would manufacture a false
+    /// happens-before edge, so the width grows instead.
+    #[test]
+    fn unsynchronised_exit_is_not_reused() {
+        let mut d = Detector::new();
+        let t1 = d.fork(0);
+        d.write(t1, A, V, &stack(1));
+        d.thread_exit(t1); // no join
+        let t2 = d.fork(0);
+        assert_eq!(d.clock_width(), 3, "concurrent sibling gets a fresh slot");
+        assert_eq!(d.shadow_stats().clock_slots_reclaimed, 0);
+        d.write(t2, A, V, &stack(2));
+        assert_eq!(d.races().len(), 1, "t1 and t2 are concurrent");
+        assert_eq!(d.races()[0].prev.tid, t1);
+    }
+
+    /// Satellite: on a single address, `collect` with a valid frontier
+    /// is equivalent to the host asserting deadness via `forget` — same
+    /// post-state, same (zero) logical stats movement, and a later
+    /// access behaves like a first access in both.
+    #[test]
+    fn forget_and_collect_agree_on_a_single_address() {
+        let run = |use_collect: bool| {
+            let mut d = Detector::new();
+            let t1 = d.fork(0);
+            d.write(t1, A, V, &stack(1));
+            // Tick past the access and order the exit before main's
+            // future, making the state provably dead.
+            d.acquire(t1, 7);
+            d.release(t1, 7);
+            d.join_thread(0, t1);
+            d.thread_exit(t1);
+            let logical = *d.stats();
+            if use_collect {
+                let f = d.live_frontier().expect("main is live");
+                assert_eq!(d.collect(&f), 1, "exactly the one state dies");
+            } else {
+                d.forget(A);
+            }
+            assert_eq!(*d.stats(), logical, "lifecycle must not move stats");
+            assert_eq!(d.live_states(), 0);
+            // Fresh access: first-access behaviour, no race against the
+            // discarded write.
+            let t2 = d.fork(0);
+            d.write(t2, A, V, &stack(2));
+            (d.races().to_vec(), *d.stats())
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    /// A state at a *live* thread's current epoch must survive any
+    /// collect — retiring it would break the same-epoch hit stream and
+    /// drift the logical counters.
+    #[test]
+    fn collect_spares_live_frontier_states() {
+        let mut d = Detector::new();
+        let t1 = d.fork(0);
+        d.write(t1, A, V, &stack(1));
+        let f = d.live_frontier().expect("live threads exist");
+        assert_eq!(d.collect(&f), 0, "current-epoch state is not dead");
+        assert_eq!(d.live_states(), 1);
+        // The epoch fast path still hits.
+        d.write(t1, A, V, &stack(1));
+        assert_eq!(d.stats().write_fast_hits, 1);
+    }
+
+    /// Dense pages whose every state died are freed, and the byte
+    /// estimator shrinks accordingly.
+    #[test]
+    fn collect_frees_dead_pages() {
+        let n = 2 * PAGE_SIZE as Addr;
+        let mut d = Detector::new();
+        let t1 = d.fork(0);
+        for a in 0..n {
+            d.write(t1, a, V, &stack(1));
+        }
+        assert_eq!(d.live_states(), n);
+        let bytes_full = d.shadow_bytes();
+        d.acquire(t1, 7);
+        d.release(t1, 7); // tick past the writes
+        d.join_thread(0, t1);
+        d.thread_exit(t1);
+        let f = d.live_frontier().expect("main is live");
+        assert_eq!(d.collect(&f), n);
+        assert_eq!(d.live_states(), 0);
+        assert_eq!(d.shadow_stats().pages_freed, 2);
+        assert!(
+            d.shadow_bytes() < bytes_full / 4,
+            "freed pages must shrink the footprint ({} vs {})",
+            d.shadow_bytes(),
+            bytes_full
+        );
+    }
+
+    /// Collecting mid-trace with the live frontier is logically
+    /// invisible: identical races and identical `DetStats` against an
+    /// uncollected reference replay, in both API shapes.
+    #[test]
+    fn collect_is_logically_invisible_on_traces() {
+        let trace = mixed_trace();
+        for mode in [0u8, 2] {
+            let (races_ref, stats_ref) = drive_trace(&trace, mode, true);
+            let mut d = Detector::new();
+            d.set_sync_cache(true);
+            let t1 = d.fork(0);
+            let t2 = d.fork(0);
+            assert_eq!((t1, t2), (1, 2));
+            for (i, ev) in trace.iter().enumerate() {
+                match *ev {
+                    Ev::Cs(t, s) => {
+                        d.acquire(t, s);
+                        d.release(t, s);
+                    }
+                    Ev::R(t, addr, g) => {
+                        let gen = if mode == 2 {
+                            StackGen::from_parts(0, g as u32)
+                        } else {
+                            StackGen::NONE
+                        };
+                        match mode {
+                            0 => d.read(t, addr, V, &[g as FrameId]),
+                            _ => {
+                                if d.read_fast(t, addr, gen) == FastPath::Miss {
+                                    d.read_slow(t, addr, V, &[g as FrameId], gen);
+                                }
+                            }
+                        }
+                    }
+                    Ev::W(t, addr, g) => {
+                        let gen = if mode == 2 {
+                            StackGen::from_parts(0, g as u32)
+                        } else {
+                            StackGen::NONE
+                        };
+                        match mode {
+                            0 => d.write(t, addr, V, &[g as FrameId]),
+                            _ => {
+                                if d.write_fast(t, addr, gen) == FastPath::Miss {
+                                    d.write_slow(t, addr, V, &[g as FrameId], gen);
+                                }
+                            }
+                        }
+                    }
+                }
+                if i % 3 == 2 {
+                    let f = d.live_frontier().expect("all threads live");
+                    d.collect(&f);
+                }
+            }
+            assert_eq!(d.races().to_vec(), races_ref, "mode {mode}");
+            assert_eq!(*d.stats(), stats_ref, "mode {mode}");
+            assert!(d.shadow_stats().collect_passes > 0);
+        }
+    }
+
+    /// Satellite: `sample_mod = 1` monitors everything; a coarser mod
+    /// deterministically skips the off-residue addresses (no state, no
+    /// race) while fully tracking the rest, and only the physical skip
+    /// counter reveals the difference.
+    #[test]
+    fn sampling_is_deterministic_by_address() {
+        let racy = |d: &mut Detector, addr: Addr| {
+            let t1 = d.fork(0);
+            d.write(0, addr, V, &stack(1));
+            d.write(t1, addr, V, &stack(2));
+        };
+        let mut full = Detector::with_options(DetectorOptions::default());
+        racy(&mut full, 4);
+        assert_eq!(full.races().len(), 1, "sample_mod=1 finds every race");
+        assert_eq!(full.shadow_stats().sampled_skips, 0);
+
+        let opts = DetectorOptions { sample_mod: 4 };
+        let mut hit = Detector::with_options(opts);
+        racy(&mut hit, 6); // hash(6) % 4 == 0: monitored
+        assert_eq!(hit.races().len(), 1);
+
+        let mut miss = Detector::with_options(opts);
+        racy(&mut miss, 7); // hash(7) % 4 != 0: skipped
+        assert!(miss.races().is_empty(), "sampled-out race goes unseen");
+        assert_eq!(miss.live_states(), 0, "no shadow state materialises");
+        assert_eq!(miss.shadow_stats().sampled_skips, 2);
+        // Events still count — sampling is a physical knob, but the
+        // event stream length is part of the physical story the bench
+        // report uses to compute recall honestly.
+        assert_eq!(miss.stats().events, full.stats().events);
     }
 }

@@ -27,7 +27,7 @@ pub mod report;
 
 pub use clock::{Epoch, ThreadId, VectorClock};
 pub use fasttrack::{
-    Addr, DetStats, Detector, FastBuildHasher, FastHasher, FastPath, FrameId, NameId, RawAccess,
-    RawRace, StackGen, DENSE_LIMIT,
+    Addr, DetStats, Detector, DetectorOptions, FastBuildHasher, FastHasher, FastPath, FrameId,
+    NameId, RawAccess, RawRace, ShadowStats, StackGen, DENSE_LIMIT, PAGE_SIZE,
 };
 pub use report::{Access, AccessKind, Frame, GoroutineInfo, RaceReport};

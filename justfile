@@ -52,8 +52,15 @@ perf-smoke:
 # workload scale — stray DRFIX_PERF_* overrides are cleared; timing is
 # the fastest of 10 repetitions).
 perf-baseline:
-    env -u DRFIX_PERF_CASES -u DRFIX_PERF_RUNS -u DRFIX_PERF_HEAP_CASES -u DRFIX_PERF_NOCACHE \
+    env -u DRFIX_PERF_CASES -u DRFIX_PERF_RUNS -u DRFIX_PERF_HEAP_CASES -u DRFIX_PERF_CHURN_CASES \
+    -u DRFIX_PERF_NOCACHE -u DRFIX_PERF_NOGC \
     DRFIX_PERF_REPEAT=10 cargo run --release -q -p bench --bin perfscan
+
+# The CI `soak-smoke` job: the streaming-soak test at reduced scale —
+# bounded detector footprint under goroutine churn with GC on, vs the
+# unbounded GC-off control (full ≥1M-step soak runs in `test`).
+soak-smoke:
+    DRFIX_SOAK_GENS=120 cargo test --release -q --test streaming_soak
 
 # Run every table/figure reproduction at reduced scale.
 bench-all:
