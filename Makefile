@@ -4,7 +4,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test bench-compile doc clippy fmt fmt-check bench-smoke calibrate-smoke exposure-smoke perf-smoke perf-baseline soak-smoke clean
+.PHONY: verify build test bench-compile doc clippy fmt fmt-check bench-smoke calibrate-smoke exposure-smoke lint-corpus perf-smoke perf-baseline soak-smoke clean
 
 ## Full tier-1 gate: release build, tests, bench compilation, lints, docs.
 verify: build test bench-compile clippy fmt-check doc
@@ -47,6 +47,14 @@ calibrate-smoke:
 ## non-zero here.
 exposure-smoke:
 	DRFIX_STE_CASES=14 DRFIX_STE_MAX_SCHED=64 DRFIX_STE_VALIDATION_RUNS=64 $(CARGO) bench -q -p bench --bench schedules_to_expose
+
+## Static-analyzer false-positive sweep: statcheck over every program
+## family the pipeline treats as correct (human fixes, clean control,
+## perf families) must stay silent, the racy originals must stay free
+## of error-tier findings, and the misuse fixtures must keep firing.
+## Exits non-zero on any violation — the gate must never veto a fix.
+lint-corpus:
+	$(CARGO) run --release -q -p bench --bin lintcorpus
 
 ## The CI `perf-gate` job: replay the deterministic hot-path counter
 ## scan and fail if any counter regresses >10% against the checked-in

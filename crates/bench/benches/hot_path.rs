@@ -36,6 +36,7 @@ fn main() {
         repeat: 3,
         heap_cases: 3,
         churn_cases: 2,
+        gate_cases: 4,
     };
 
     bench::header(

@@ -18,8 +18,10 @@
 //! Scale knobs: `DRFIX_PERF_CASES` (default 28), `DRFIX_PERF_RUNS`
 //! (default 24), `DRFIX_PERF_REPEAT` (default 5),
 //! `DRFIX_PERF_HEAP_CASES` (default 3, the LargeHeap family),
-//! `DRFIX_PERF_CHURN_CASES` (default 3, the Churn family). The gate
-//! refuses to compare reports produced at different scales.
+//! `DRFIX_PERF_CHURN_CASES` (default 3, the Churn family),
+//! `DRFIX_PERF_GATE_CASES` (default 6, the static-gate candidate
+//! workload). The gate refuses to compare reports produced at
+//! different scales.
 //! `DRFIX_PERF_NOCACHE=1` runs the identical workload with the
 //! lock-aware caches off — an A/B for timing work. The *logical*
 //! counters stay bit-identical, but the dedicated cache counters
@@ -138,6 +140,17 @@ fn main() -> ExitCode {
             100.0 * s.recall,
         );
     }
+    let g = &report.static_gate;
+    println!(
+        "static gate: candidates_rejected_static {}/{} | validation_instrs_saved {} \
+         ({} gated vs {} ungated VM steps, {} verdict mismatches)",
+        g.candidates_rejected_static,
+        g.candidates,
+        g.validation_instrs_saved,
+        g.validation_vm_steps_gated,
+        g.validation_vm_steps_ungated,
+        g.verdict_mismatches,
+    );
     println!(
         "exposure corpus: {:.2}M instr/s vs pre-optimization {:.2}M instr/s -> {:.2}x",
         report.exposure.ips / 1e6,

@@ -45,7 +45,12 @@ pub const WORKLOAD_SEED: u64 = 0xBEEF;
 /// `clock_slots_reclaimed`, `peak_shadow_bytes`, `peak_clock_width`),
 /// the Churn workload family (generational goroutine turnover — the
 /// family the lifecycle exists for), and the sampling-recall section.
-pub const SCHEMA: u32 = 3;
+///
+/// v4: the static-gate section (`candidates_rejected_static`,
+/// `validation_instrs_saved`, verdict-mismatch cross-check) measuring
+/// what the `statcheck` pre-validation gate saves on a candidate
+/// workload derived from the eval corpus.
+pub const SCHEMA: u32 = 4;
 
 /// Sampling granularities measured into the report's recall section.
 /// `1` tracks every address (recall must be total); the coarser mods
@@ -71,6 +76,9 @@ pub struct HotpathScale {
     /// Churn (generational goroutine-turnover) programs in the
     /// workload (`DRFIX_PERF_CHURN_CASES`, default 3).
     pub churn_cases: usize,
+    /// Eval-corpus cases feeding the static-gate candidate workload
+    /// (`DRFIX_PERF_GATE_CASES`, default 6).
+    pub gate_cases: usize,
 }
 
 impl Default for HotpathScale {
@@ -81,6 +89,7 @@ impl Default for HotpathScale {
             repeat: 5,
             heap_cases: 3,
             churn_cases: 3,
+            gate_cases: 6,
         }
     }
 }
@@ -101,6 +110,7 @@ impl HotpathScale {
             repeat: get("DRFIX_PERF_REPEAT", d.repeat).max(1),
             heap_cases: get("DRFIX_PERF_HEAP_CASES", d.heap_cases),
             churn_cases: get("DRFIX_PERF_CHURN_CASES", d.churn_cases),
+            gate_cases: get("DRFIX_PERF_GATE_CASES", d.gate_cases),
         }
     }
 }
@@ -487,6 +497,8 @@ pub struct WorkloadSpec {
     pub large_heap_cases: usize,
     /// Number of churn (goroutine-turnover) programs in the workload.
     pub churn_cases: usize,
+    /// Eval-corpus cases feeding the static-gate candidate workload.
+    pub gate_cases: usize,
 }
 
 /// Detection recall at one sampling granularity, measured by running
@@ -502,6 +514,148 @@ pub struct SamplingRecall {
     pub total: usize,
     /// `exposed / total`; 1.0 by construction at `sample_mod == 1`.
     pub recall: f64,
+}
+
+/// What the `statcheck` pre-validation gate buys, measured on a
+/// candidate workload derived from the eval corpus: every diagnosed
+/// repair strategy applied both cleanly and botched, each candidate
+/// validated twice — gate on and gate off — with identical seeds.
+/// Fully deterministic (seeded schedules, no wall-clock), so every
+/// field is gated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StaticGateReport {
+    /// Candidate patches produced and validated (both arms).
+    pub candidates: u64,
+    /// Candidates the gate rejected before any schedule ran.
+    pub candidates_rejected_static: u64,
+    /// Candidates that passed the gate yet validated differently with
+    /// the gate off — must stay 0 (the gate is invisible to survivors).
+    pub verdict_mismatches: u64,
+    /// VM instructions spent by dynamic validation with the gate on.
+    pub validation_vm_steps_gated: u64,
+    /// VM instructions spent by dynamic validation with the gate off.
+    pub validation_vm_steps_ungated: u64,
+    /// Instructions the gate saved (`ungated - gated`).
+    pub validation_instrs_saved: u64,
+}
+
+impl StaticGateReport {
+    /// `(name, value, direction)` triples for the gate, mirroring
+    /// [`CounterSet::gauges`]. Candidate/rejection counts and the
+    /// mismatch cross-check are exact fingerprints; the instruction
+    /// columns get the usual cost/benefit tolerance.
+    pub fn gauges(&self) -> Vec<(&'static str, u64, Direction)> {
+        vec![
+            ("candidates", self.candidates, Direction::Exact),
+            (
+                "candidates_rejected_static",
+                self.candidates_rejected_static,
+                Direction::Exact,
+            ),
+            (
+                "verdict_mismatches",
+                self.verdict_mismatches,
+                Direction::Exact,
+            ),
+            (
+                "validation_vm_steps_gated",
+                self.validation_vm_steps_gated,
+                Direction::Cost,
+            ),
+            (
+                "validation_instrs_saved",
+                self.validation_instrs_saved,
+                Direction::Benefit,
+            ),
+        ]
+    }
+}
+
+/// Measures [`StaticGateReport`]: for each racy eval-corpus case, the
+/// diagnosed repair strategies are applied cleanly (`botch 0`) and
+/// botched (`botch 1`) — the same candidate distribution the synthetic
+/// model emits — and every candidate is validated twice with identical
+/// seeds, static gate on and off. Deterministic by construction.
+pub fn measure_static_gate(scale: &HotpathScale) -> StaticGateReport {
+    let corpus = corpus::generate_eval_corpus(&CorpusConfig {
+        eval_cases: scale.gate_cases,
+        db_pairs: 0,
+        seed: CORPUS_SEED,
+    });
+    let mut rep = StaticGateReport::default();
+    for case in corpus.iter().filter(|c| c.fixable && c.hard.is_none()) {
+        let Ok(prog) = compile_sources(&case.files, &CompileOptions::default()) else {
+            continue;
+        };
+        let detect = run_test_many(
+            &prog,
+            &case.test,
+            &TestConfig {
+                runs: 8,
+                seed: WORKLOAD_SEED,
+                stop_on_race: true,
+                ..TestConfig::default()
+            },
+        );
+        let Some(race) = detect.races.first() else {
+            continue;
+        };
+        let bug_hash = race.bug_hash();
+        for (idx, (_, src)) in case.files.iter().enumerate() {
+            let Ok(file) = golite::parse_file(src) else {
+                continue;
+            };
+            let mut targets: Vec<_> = synthllm::diagnose::diagnose(&file, &race.var_name)
+                .into_iter()
+                .map(|d| (d.strategy, d.target))
+                .collect();
+            targets.dedup();
+            targets.truncate(3);
+            for (strategy, target) in &targets {
+                for botch in 0u8..=1 {
+                    let Ok(patched_file) =
+                        synthllm::strategy::apply(*strategy, &file, target, botch)
+                    else {
+                        continue;
+                    };
+                    let mut patched = case.files.clone();
+                    patched[idx].1 = golite::print_file(&patched_file);
+                    let vcfg = TestConfig {
+                        runs: scale.runs.min(8),
+                        seed: WORKLOAD_SEED,
+                        stop_on_race: false,
+                        ..TestConfig::default()
+                    };
+                    let gated = drfix::validate_patch_report(
+                        &patched,
+                        &case.test,
+                        &bug_hash,
+                        &vcfg,
+                        &drfix::ValidationOptions { static_gate: true },
+                    );
+                    let ungated = drfix::validate_patch_report(
+                        &patched,
+                        &case.test,
+                        &bug_hash,
+                        &vcfg,
+                        &drfix::ValidationOptions { static_gate: false },
+                    );
+                    rep.candidates += 1;
+                    rep.validation_vm_steps_gated += gated.vm_steps;
+                    rep.validation_vm_steps_ungated += ungated.vm_steps;
+                    if gated.rejected_static {
+                        rep.candidates_rejected_static += 1;
+                    } else if gated.verdict.is_ok() != ungated.verdict.is_ok() {
+                        rep.verdict_mismatches += 1;
+                    }
+                }
+            }
+        }
+    }
+    rep.validation_instrs_saved = rep
+        .validation_vm_steps_ungated
+        .saturating_sub(rep.validation_vm_steps_gated);
+    rep
 }
 
 /// The `BENCH_hotpath.json` document.
@@ -538,6 +692,9 @@ pub struct Report {
     /// part of the counter gate — the `sample_mod == 1` entry's total
     /// recall is asserted by the test suite instead.
     pub sampling: Vec<SamplingRecall>,
+    /// What the `statcheck` pre-validation gate saves on the candidate
+    /// workload (deterministic; every field gated).
+    pub static_gate: StaticGateReport,
     /// Exposure-corpus aggregate (racy + human-fix campaigns; excludes
     /// the sync-heavy add-on).
     pub exposure: CategoryReport,
@@ -887,6 +1044,7 @@ pub fn run_scan(scale: &HotpathScale) -> Report {
         (off_ips, ratio)
     };
     let sampling = measure_sampling_recall(scale);
+    let static_gate = measure_static_gate(scale);
     Report {
         schema: SCHEMA,
         workload: WorkloadSpec {
@@ -898,6 +1056,7 @@ pub fn run_scan(scale: &HotpathScale) -> Report {
             sync_heavy_cases: sync_heavy_cases().len(),
             large_heap_cases: scale.heap_cases,
             churn_cases: scale.churn_cases,
+            gate_cases: scale.gate_cases,
         },
         pre_optimization: pre,
         pr4,
@@ -907,6 +1066,7 @@ pub fn run_scan(scale: &HotpathScale) -> Report {
         sync_heavy_nocache_ips,
         sync_heavy_cache_speedup,
         sampling,
+        static_gate,
         exposure,
         total,
         categories,
@@ -950,8 +1110,13 @@ impl std::fmt::Display for Violation {
     }
 }
 
-fn check_set(scope: &str, base: &CounterSet, cur: &CounterSet, out: &mut Vec<Violation>) {
-    for ((name, b, dir), (_, c, _)) in base.gauges().into_iter().zip(cur.gauges()) {
+fn check_gauges(
+    scope: &str,
+    base: &[(&'static str, u64, Direction)],
+    cur: &[(&'static str, u64, Direction)],
+    out: &mut Vec<Violation>,
+) {
+    for ((name, b, dir), (_, c, _)) in base.iter().copied().zip(cur.iter().copied()) {
         let bad = match dir {
             Direction::Cost => c as f64 > b as f64 * (1.0 + GATE_TOLERANCE),
             Direction::Benefit => (c as f64) < b as f64 * (1.0 - GATE_TOLERANCE),
@@ -980,6 +1145,10 @@ fn check_set(scope: &str, base: &CounterSet, cur: &CounterSet, out: &mut Vec<Vio
             });
         }
     }
+}
+
+fn check_set(scope: &str, base: &CounterSet, cur: &CounterSet, out: &mut Vec<Violation>) {
+    check_gauges(scope, &base.gauges(), &cur.gauges(), out);
 }
 
 /// Renders violations as a `diff`-style table (baseline vs current per
@@ -1043,6 +1212,12 @@ pub fn check(baseline: &Report, current: &Report) -> Vec<Violation> {
         "exposure",
         &baseline.exposure.counters,
         &current.exposure.counters,
+        &mut out,
+    );
+    check_gauges(
+        "static-gate",
+        &baseline.static_gate.gauges(),
+        &current.static_gate.gauges(),
         &mut out,
     );
     let cur_by_cat: BTreeMap<&str, &CategoryReport> = current
@@ -1119,6 +1294,7 @@ mod tests {
             repeat: 2,
             heap_cases: 3,
             churn_cases: 2,
+            gate_cases: 4,
         }
     }
 
@@ -1197,6 +1373,32 @@ mod tests {
             assert_eq!(s.total, tiny_scale().cases);
             assert!((0.0..=1.0).contains(&s.recall), "{:?}", s);
         }
+        // Static gate: deterministic, rejecting at least one botched
+        // candidate without ever flipping a survivor's verdict, and the
+        // instruction ledger must balance.
+        assert_eq!(a.static_gate, b.static_gate);
+        assert!(a.static_gate.candidates > 0, "{:?}", a.static_gate);
+        assert!(
+            a.static_gate.candidates_rejected_static > 0,
+            "gate never fired on the botched candidates: {:?}",
+            a.static_gate
+        );
+        assert_eq!(
+            a.static_gate.verdict_mismatches, 0,
+            "gate changed a surviving candidate's verdict: {:?}",
+            a.static_gate
+        );
+        assert_eq!(
+            a.static_gate.validation_vm_steps_gated + a.static_gate.validation_instrs_saved,
+            a.static_gate.validation_vm_steps_ungated,
+            "{:?}",
+            a.static_gate
+        );
+        assert!(
+            a.static_gate.validation_instrs_saved > 0,
+            "rejections must translate into schedules not run: {:?}",
+            a.static_gate
+        );
         assert!(check(&a, &b).is_empty());
     }
 
@@ -1207,6 +1409,7 @@ mod tests {
         cur.total.counters.vm_steps = base.total.counters.vm_steps * 2;
         cur.total.counters.read_fast_hits = 0;
         cur.total.counters.races += 1;
+        cur.static_gate.candidates_rejected_static += 1;
         let violations = check(&base, &cur);
         let text = violations
             .iter()
@@ -1216,6 +1419,10 @@ mod tests {
         assert!(text.contains("vm_steps rose"), "{text}");
         assert!(text.contains("read_fast_hits fell"), "{text}");
         assert!(text.contains("races changed"), "{text}");
+        assert!(
+            text.contains("candidates_rejected_static changed"),
+            "{text}"
+        );
         let table = render_violations(&violations);
         assert!(table.contains("vm_steps"), "{table}");
         assert!(table.contains("baseline"), "{table}");

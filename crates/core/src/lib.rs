@@ -76,4 +76,7 @@ pub use govm::{SchedulePolicy, SeedStream};
 pub use pipeline::{DrFix, FailureKind, FixOutcome, PipelineConfig};
 pub use raceinfo::{extract, FixLocation, LocationKind, RaceInfo};
 pub use review::{review_fix, survey, ReviewOutcome};
-pub use validate::{validate_patch, validate_patch_with, Verdict};
+pub use validate::{
+    validate_patch, validate_patch_report, validate_patch_with, ValidationOptions,
+    ValidationOutcome, Verdict,
+};

@@ -7,7 +7,7 @@
 
 use crate::database::{ExampleDb, RagMode};
 use crate::raceinfo::{self, FixLocation, LocationKind};
-use crate::validate::{validate_patch_with, Verdict};
+use crate::validate::{validate_patch_report, ValidationOptions, Verdict};
 use golite::ast::Decl;
 use govm::{compile_sources, CompileOptions, SchedulePolicy, TestConfig};
 use serde::{Deserialize, Serialize};
@@ -49,6 +49,13 @@ pub struct PipelineConfig {
     /// Validation early-exit after this many consecutive replayed
     /// schedule signatures (off by default).
     pub validation_dedup_streak: Option<u32>,
+    /// Run the `statcheck` static gate before each dynamic validation,
+    /// rejecting candidates whose synchronization is statically
+    /// guaranteed broken without spending any schedules on them. The
+    /// gate's error tier is sound for rejection, so toggling it never
+    /// changes which fixes are found — only how much validation work
+    /// broken candidates burn.
+    pub static_gate: bool,
 }
 
 impl Default for PipelineConfig {
@@ -67,6 +74,7 @@ impl Default for PipelineConfig {
             validate_policy: SchedulePolicy::Random,
             validation_step_budget: None,
             validation_dedup_streak: None,
+            static_gate: true,
         }
     }
 }
@@ -101,6 +109,10 @@ pub struct FixOutcome {
     pub llm_calls: u32,
     /// Validation campaigns run.
     pub validations: u32,
+    /// Candidates rejected by the static gate (subset of `validations`).
+    pub rejected_static: u32,
+    /// VM instructions executed across all dynamic validation campaigns.
+    pub validation_vm_steps: u64,
     /// Synthetic wall-clock minutes (calibrated to §5.2's 6–29 range).
     pub duration_minutes: f64,
     /// Changed-line count of the accepted patch.
@@ -143,6 +155,8 @@ impl<'db> DrFix<'db> {
             example_category: None,
             llm_calls: 0,
             validations: 0,
+            rejected_static: 0,
+            validation_vm_steps: 0,
             duration_minutes: 0.0,
             patch_loc: None,
             failure: None,
@@ -241,7 +255,20 @@ impl<'db> DrFix<'db> {
                                 dedup_streak: self.cfg.validation_dedup_streak,
                                 ..TestConfig::default()
                             };
-                            match validate_patch_with(&patched, test, &info.bug_hash, &vcfg) {
+                            let report = validate_patch_report(
+                                &patched,
+                                test,
+                                &info.bug_hash,
+                                &vcfg,
+                                &ValidationOptions {
+                                    static_gate: self.cfg.static_gate,
+                                },
+                            );
+                            out.validation_vm_steps += report.vm_steps;
+                            if report.rejected_static {
+                                out.rejected_static += 1;
+                            }
+                            match report.verdict {
                                 Verdict::Ok => {
                                     out.fixed = true;
                                     out.patch_loc = Some(patch_loc(files, &patched));

@@ -191,6 +191,8 @@ mod tests {
             example_category: None,
             llm_calls: 2,
             validations: 1,
+            rejected_static: 0,
+            validation_vm_steps: 0,
             duration_minutes: 8.0,
             patch_loc: Some(loc),
             failure: None,

@@ -1,11 +1,20 @@
-//! Fix validation (§4.4.1): build the patched package, run the test
-//! under many schedules, and confirm the reported race is gone.
+//! Fix validation (§4.4.1): build the patched package, statically check
+//! its synchronization, run the test under many schedules, and confirm
+//! the reported race is gone.
 //!
 //! The schedule set a campaign explores is controlled by the
 //! [`govm::sched::SchedulePolicy`] carried in the [`TestConfig`]:
 //! [`validate_patch_with`] accepts the full campaign configuration
 //! (policy, per-run seed stream, dedup early-exit, instruction budget),
 //! while [`validate_patch`] keeps the simple runs-plus-seed entry point.
+//!
+//! Between compilation and dynamic validation sits the **static gate**:
+//! `statcheck` analyzes the patched sources and rejects candidates whose
+//! synchronization is statically guaranteed broken (double-locks,
+//! unbalanced unlocks, `WaitGroup` counters that never drain, …) before
+//! any schedule is spent on them. Only error-tier diagnostics reject —
+//! warning-tier findings are surfaced in [`ValidationOutcome`] but never
+//! downgrade a dynamically-clean verdict.
 
 use govm::{compile_sources, CompileOptions, TestConfig};
 
@@ -33,6 +42,36 @@ impl Verdict {
     }
 }
 
+/// Options controlling how [`validate_patch_report`] validates.
+#[derive(Debug, Clone)]
+pub struct ValidationOptions {
+    /// Run the `statcheck` static gate between compile and dynamic
+    /// validation, rejecting candidates with error-tier findings.
+    pub static_gate: bool,
+}
+
+impl Default for ValidationOptions {
+    fn default() -> Self {
+        ValidationOptions { static_gate: true }
+    }
+}
+
+/// Full report of one validation attempt.
+#[derive(Debug, Clone)]
+pub struct ValidationOutcome {
+    /// The verdict (what [`validate_patch_with`] returns).
+    pub verdict: Verdict,
+    /// Whether the static gate rejected the candidate (no schedules ran).
+    pub rejected_static: bool,
+    /// Error-tier static diagnostics found.
+    pub static_errors: usize,
+    /// Warning-tier static diagnostics found (never reject).
+    pub static_warnings: usize,
+    /// VM instructions executed by dynamic validation (0 when the gate
+    /// rejected or the build failed).
+    pub vm_steps: u64,
+}
+
 /// Validates a patched codebase against the targeted bug hash.
 ///
 /// Mirrors §4.4.1: build, then run the package tests `runs` times; the
@@ -57,45 +96,119 @@ pub fn validate_patch(
 
 /// [`validate_patch`] with an explicit campaign configuration: the
 /// schedule policy, per-run seed stream, saturation early-exit and
-/// instruction budget all come from `cfg`.
+/// instruction budget all come from `cfg`. Runs with the static gate
+/// enabled (the default pipeline configuration).
 pub fn validate_patch_with(
     files: &[(String, String)],
     test: &str,
     bug_hash: &str,
     cfg: &TestConfig,
 ) -> Verdict {
+    validate_patch_report(files, test, bug_hash, cfg, &ValidationOptions::default()).verdict
+}
+
+/// Renders a build failure with the failing file and line when the
+/// failure is attributable to a single source file.
+fn build_failure_message(files: &[(String, String)], diag: &golite::Diag) -> String {
+    for (name, src) in files {
+        if let Err(d) = golite::parse_file(src) {
+            return format!("build failed: {}", d.render(name, src));
+        }
+    }
+    format!("build failed: {diag}")
+}
+
+/// The full validation pipeline with an explicit [`ValidationOptions`]:
+/// compile, static gate, then the dynamic schedule campaign. Returns the
+/// verdict plus gate statistics and the dynamic instruction count.
+pub fn validate_patch_report(
+    files: &[(String, String)],
+    test: &str,
+    bug_hash: &str,
+    cfg: &TestConfig,
+    opts: &ValidationOptions,
+) -> ValidationOutcome {
+    let mut outcome = ValidationOutcome {
+        verdict: Verdict::Ok,
+        rejected_static: false,
+        static_errors: 0,
+        static_warnings: 0,
+        vm_steps: 0,
+    };
     let prog = match compile_sources(files, &CompileOptions::default()) {
         Ok(p) => p,
-        Err(e) => return Verdict::Fail(format!("build failed: {e}")),
+        Err(e) => {
+            outcome.verdict = Verdict::Fail(build_failure_message(files, &e));
+            return outcome;
+        }
     };
     if prog.find_func(test).is_none() {
-        return Verdict::Fail(format!("build failed: test `{test}` disappeared"));
+        outcome.verdict = Verdict::Fail(format!("build failed: test `{test}` disappeared"));
+        return outcome;
+    }
+    if opts.static_gate {
+        match statcheck::check_sources(files) {
+            Ok(reports) => {
+                outcome.static_errors =
+                    statcheck::count_severity(&reports, statcheck::Severity::Error);
+                outcome.static_warnings =
+                    statcheck::count_severity(&reports, statcheck::Severity::Warning);
+                if let Some((file, diag)) = statcheck::first_error(&reports) {
+                    let src = files
+                        .iter()
+                        .find(|(n, _)| n == file)
+                        .map(|(_, s)| s.as_str())
+                        .unwrap_or("");
+                    outcome.rejected_static = true;
+                    outcome.verdict =
+                        Verdict::Fail(format!("static check failed: {}", diag.render(file, src)));
+                    return outcome;
+                }
+            }
+            Err((file, d)) => {
+                // Unreachable after a successful compile, but stay safe.
+                let src = files
+                    .iter()
+                    .find(|(n, _)| n == &file)
+                    .map(|(_, s)| s.as_str())
+                    .unwrap_or("");
+                outcome.verdict = Verdict::Fail(format!("build failed: {}", d.render(&file, src)));
+                return outcome;
+            }
+        }
     }
     let out = govm::run_test_many(&prog, test, cfg);
+    outcome.vm_steps = out.steps;
     // A campaign that executed no schedules is vacuously clean — never
     // let that pass as a validated fix (e.g. `runs: 0` misconfiguration).
     if out.runs == 0 {
-        return Verdict::Fail("validation failed: no schedules executed".into());
+        outcome.verdict = Verdict::Fail("validation failed: no schedules executed".into());
+        return outcome;
     }
     if out.has_bug(bug_hash) {
-        return Verdict::Fail("validation failed: the reported data race is still detected".into());
+        outcome.verdict =
+            Verdict::Fail("validation failed: the reported data race is still detected".into());
+        return outcome;
     }
     if let Some(r) = out.races.first() {
-        return Verdict::Fail(format!(
+        outcome.verdict = Verdict::Fail(format!(
             "validation failed: a data race is still detected on `{}`",
             r.var_name
         ));
+        return outcome;
     }
     if let Some(e) = out.error {
-        return Verdict::Fail(format!("test run failed: {e}"));
+        outcome.verdict = Verdict::Fail(format!("test run failed: {e}"));
+        return outcome;
     }
     if !out.test_failures.is_empty() {
-        return Verdict::Fail(format!(
+        outcome.verdict = Verdict::Fail(format!(
             "test assertions failed: {}",
             out.test_failures.join("; ")
         ));
+        return outcome;
     }
-    Verdict::Ok
+    outcome
 }
 
 #[cfg(test)]
@@ -221,6 +334,135 @@ func TestWork(t *testing.T) {
         };
         let v = validate_patch_with(&[("a.go".into(), CLEAN.into())], "TestWork", "x", &cfg);
         assert!(v.is_ok(), "{:?}", v.message());
+    }
+
+    #[test]
+    fn static_gate_rejects_guaranteed_deadlock_before_running() {
+        // A compiling candidate whose goroutine double-locks: the gate
+        // must reject it with a span-bearing message and zero VM steps.
+        let src = r#"package app
+
+import (
+	"sync"
+	"testing"
+)
+
+var mu sync.Mutex
+var n int
+
+func Work() int {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		mu.Lock()
+		mu.Lock()
+		n++
+		mu.Unlock()
+		mu.Unlock()
+	}()
+	wg.Wait()
+	return n
+}
+
+func TestWork(t *testing.T) {
+	Work()
+}
+"#;
+        let out = validate_patch_report(
+            &[("a.go".into(), src.into())],
+            "TestWork",
+            "x",
+            &TestConfig::default(),
+            &ValidationOptions::default(),
+        );
+        assert!(out.rejected_static);
+        assert_eq!(out.vm_steps, 0);
+        assert!(out.static_errors >= 1);
+        let msg = out.verdict.message().unwrap();
+        assert!(msg.starts_with("static check failed: a.go:"), "{msg}");
+        assert!(msg.contains("double-lock"), "{msg}");
+        // With the gate off, dynamic validation catches the deadlock too.
+        let out = validate_patch_report(
+            &[("a.go".into(), src.into())],
+            "TestWork",
+            "x",
+            &TestConfig::default(),
+            &ValidationOptions { static_gate: false },
+        );
+        assert!(!out.rejected_static);
+        assert!(out.vm_steps > 0);
+        assert!(!out.verdict.is_ok());
+    }
+
+    #[test]
+    fn warnings_never_downgrade_a_clean_verdict() {
+        // `wg.Wait` orders the final read, yet a heuristic rule could be
+        // tempted to flag the unguarded parent access: the verdict must
+        // stay Ok no matter what the warning tier reports.
+        let fixed = r#"package app
+
+import (
+	"sync"
+	"testing"
+)
+
+func Work() int {
+	n := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		mu.Lock()
+		n = n + 1
+		mu.Unlock()
+	}()
+	go func() {
+		defer wg.Done()
+		mu.Lock()
+		n = n + 2
+		mu.Unlock()
+	}()
+	wg.Wait()
+	return n
+}
+
+func TestWork(t *testing.T) {
+	if Work() != 3 {
+		t.Errorf("bad")
+	}
+}
+"#;
+        let out = validate_patch_report(
+            &[("a.go".into(), fixed.into())],
+            "TestWork",
+            "x",
+            &TestConfig {
+                runs: 12,
+                ..TestConfig::default()
+            },
+            &ValidationOptions::default(),
+        );
+        assert!(out.verdict.is_ok(), "{:?}", out.verdict.message());
+        assert!(!out.rejected_static);
+        assert_eq!(out.static_errors, 0);
+    }
+
+    #[test]
+    fn build_failures_carry_file_and_line() {
+        let v = validate_patch(
+            &[
+                ("ok.go".into(), CLEAN.into()),
+                ("bad.go".into(), "package app\n\nfunc Broken( {\n".into()),
+            ],
+            "TestWork",
+            "x",
+            4,
+            0,
+        );
+        let msg = v.message().unwrap();
+        assert!(msg.starts_with("build failed: bad.go:3:"), "{msg}");
     }
 
     #[test]

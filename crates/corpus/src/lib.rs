@@ -325,6 +325,60 @@ pub fn generate_churn_corpus(n: usize, seed: u64) -> Vec<PerfCase> {
 
 pub use templates::churn_soak_case;
 
+/// One fixed-source lint shape: a small program with a known static
+/// diagnosis, used to pin `statcheck`'s output in golden tests.
+#[derive(Debug, Clone)]
+pub struct LintShape {
+    /// Stable shape id (also the golden-test key).
+    pub id: &'static str,
+    /// File name the source is checked under.
+    pub file: &'static str,
+    /// The program.
+    pub source: &'static str,
+    /// Rule ids the analyzer must report, in source order. Empty means
+    /// the shape must be diagnostic-free.
+    pub expected_rules: &'static [&'static str],
+}
+
+/// The LintShapes family: canonical synchronization-misuse shapes (and
+/// one clean control) with their expected `statcheck` rules. Unlike the
+/// generated corpora these are fixed sources — the golden test pins the
+/// analyzer's exact output on them.
+pub fn lint_shapes() -> Vec<LintShape> {
+    vec![
+        LintShape {
+            id: "clean",
+            file: "clean.go",
+            source: "package main\n\nimport (\n\t\"fmt\"\n\t\"sync\"\n)\n\nvar mu sync.Mutex\nvar n int\n\nfunc Add(d int) {\n\tmu.Lock()\n\tdefer mu.Unlock()\n\tn = n + d\n}\n\nfunc main() {\n\tvar wg sync.WaitGroup\n\twg.Add(2)\n\tgo func() {\n\t\tdefer wg.Done()\n\t\tAdd(1)\n\t}()\n\tgo func() {\n\t\tdefer wg.Done()\n\t\tAdd(2)\n\t}()\n\twg.Wait()\n\tfmt.Println(n)\n}\n",
+            expected_rules: &[],
+        },
+        LintShape {
+            id: "double-lock",
+            file: "double_lock.go",
+            source: "package main\n\nimport (\n\t\"fmt\"\n\t\"sync\"\n)\n\nvar mu sync.Mutex\nvar n int\n\nfunc main() {\n\tmu.Lock()\n\tmu.Lock()\n\tn++\n\tmu.Unlock()\n\tmu.Unlock()\n\tfmt.Println(n)\n}\n",
+            expected_rules: &["double-lock"],
+        },
+        LintShape {
+            id: "leaked-lock-early-return",
+            file: "leaked_lock.go",
+            source: "package main\n\nimport (\n\t\"fmt\"\n\t\"sync\"\n)\n\nvar mu sync.Mutex\nvar n int\n\nfunc Bump(limit int) int {\n\tmu.Lock()\n\tif n >= limit {\n\t\treturn n\n\t}\n\tn++\n\tmu.Unlock()\n\treturn n\n}\n\nfunc main() {\n\tfmt.Println(Bump(3))\n}\n",
+            expected_rules: &["missing-unlock"],
+        },
+        LintShape {
+            id: "lock-order-inversion",
+            file: "lock_order.go",
+            source: "package main\n\nimport \"sync\"\n\nvar muA sync.Mutex\nvar muB sync.Mutex\nvar a int\nvar b int\n\nfunc MoveAB() {\n\tmuA.Lock()\n\tmuB.Lock()\n\ta--\n\tb++\n\tmuB.Unlock()\n\tmuA.Unlock()\n}\n\nfunc MoveBA() {\n\tmuB.Lock()\n\tmuA.Lock()\n\tb--\n\ta++\n\tmuA.Unlock()\n\tmuB.Unlock()\n}\n\nfunc main() {\n\tvar wg sync.WaitGroup\n\twg.Add(2)\n\tgo func() {\n\t\tdefer wg.Done()\n\t\tMoveAB()\n\t}()\n\tgo func() {\n\t\tdefer wg.Done()\n\t\tMoveBA()\n\t}()\n\twg.Wait()\n}\n",
+            expected_rules: &["lock-order-cycle"],
+        },
+        LintShape {
+            id: "mutex-by-value",
+            file: "mutex_by_value.go",
+            source: "package main\n\nimport (\n\t\"fmt\"\n\t\"sync\"\n)\n\ntype Counter struct {\n\tmu sync.Mutex\n\tn int\n}\n\nfunc bump(c Counter) int {\n\tc.mu.Lock()\n\tc.n++\n\tc.mu.Unlock()\n\treturn c.n\n}\n\nfunc main() {\n\tc := Counter{}\n\tfmt.Println(bump(c))\n}\n",
+            expected_rules: &["copylocks"],
+        },
+    ]
+}
+
 /// Builds the curated example database (Table 3's VectorDB column:
 /// capture-by-reference 37.5%, missing-sync 14.7%, parallel-test 11.8%,
 /// loop-var 2.6%, map 5.2%, slice 2.6%, others 25.7%).

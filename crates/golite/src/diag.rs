@@ -40,6 +40,93 @@ impl std::error::Error for Diag {}
 /// Convenience alias used throughout the frontend.
 pub type Result<T> = std::result::Result<T, Diag>;
 
+/// Severity tier of a static-analysis [`Diagnostic`].
+///
+/// The split is a soundness contract, not a style choice: `Error` rules
+/// are precise enough that a flagged program is guaranteed to fail at
+/// runtime (so a patch gate may reject on them), while `Warning` rules
+/// are heuristic and must never override a dynamically-clean verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Heuristic finding: reported, never rejects.
+    Warning,
+    /// Precise finding: the program is statically guaranteed broken.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// A structured static-analysis diagnostic: a stable rule id, a severity
+/// tier, a human-readable message and the source span it points at.
+///
+/// Unlike [`Diag`] (which reports frontend failures — the code could not
+/// even be parsed), a `Diagnostic` is a finding *about* well-formed
+/// code. Messages carry no line/column text: positions live only in
+/// `span`, so diagnostics stay stable under re-formatting (the
+/// printer→parser round-trip preserves rule + message verbatim).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity tier.
+    pub severity: Severity,
+    /// Stable kebab-case rule id (e.g. `double-lock`).
+    pub rule: String,
+    /// Human-readable message (lowercase, no trailing punctuation, no
+    /// embedded positions).
+    pub message: String,
+    /// Location the diagnostic points at.
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// Creates an error-tier diagnostic.
+    pub fn error(rule: impl Into<String>, message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            rule: rule.into(),
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Creates a warning-tier diagnostic.
+    pub fn warning(rule: impl Into<String>, message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            rule: rule.into(),
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Renders the diagnostic with line/column resolved against `src`,
+    /// e.g. `main.go:4:2: error[double-lock]: second Lock of `mu``.
+    pub fn render(&self, file: &str, src: &str) -> String {
+        let lm = LineMap::new(src);
+        let lc = lm.line_col(self.span.lo);
+        format!(
+            "{file}:{lc}: {}[{}]: {}",
+            self.severity, self.rule, self.message
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] at {}: {}",
+            self.severity, self.rule, self.span, self.message
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -36,7 +36,7 @@ pub mod token;
 pub mod visit;
 
 pub use ast::{Block, Decl, Expr, File, FuncDecl, Stmt, Type};
-pub use diag::{Diag, Result};
+pub use diag::{Diag, Diagnostic, Result, Severity};
 pub use parser::{parse_expr, parse_file, parse_stmts};
 pub use printer::{print_expr, print_file, print_func, print_stmt};
 pub use span::{LineCol, LineMap, Span};

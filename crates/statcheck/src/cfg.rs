@@ -1,0 +1,1180 @@
+//! Per-function control-flow graphs over `golite` ASTs.
+//!
+//! Every function body — and every function literal inside one — becomes
+//! its own [`Context`] with a small basic-block CFG. Statements are
+//! lowered to the flat [`Op`] alphabet the lockset analysis consumes:
+//! lock operations (with `defer` tracked at registration point),
+//! variable accesses, direct calls, and function exits.
+//!
+//! Closure bodies are *not* inlined into their parent's CFG: a `go`
+//! literal runs on another goroutine and an escaping closure runs at an
+//! unknown time, so each gets an independent context whose entry lockset
+//! is empty.
+
+use golite::ast::{
+    Block, CommClause, Decl, Expr, File, FuncDecl, FuncSig, Stmt, Type, UnOp, VarDecl,
+};
+use golite::Span;
+use std::collections::BTreeSet;
+
+/// Sentinel for "control flow diverged" (after `return`/`break`/…).
+const NO_BLOCK: usize = usize::MAX;
+
+/// The four mutex methods the lockset tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMethod {
+    /// `mu.Lock()`.
+    Lock,
+    /// `mu.Unlock()`.
+    Unlock,
+    /// `mu.RLock()`.
+    RLock,
+    /// `mu.RUnlock()`.
+    RUnlock,
+}
+
+impl LockMethod {
+    /// Maps a method name to a lock method.
+    pub fn from_name(name: &str) -> Option<LockMethod> {
+        match name {
+            "Lock" => Some(LockMethod::Lock),
+            "Unlock" => Some(LockMethod::Unlock),
+            "RLock" => Some(LockMethod::RLock),
+            "RUnlock" => Some(LockMethod::RUnlock),
+            _ => None,
+        }
+    }
+
+    /// `true` for `Lock`/`RLock`.
+    pub fn is_acquire(self) -> bool {
+        matches!(self, LockMethod::Lock | LockMethod::RLock)
+    }
+}
+
+/// One lowered operation.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// A lock operation on the lock named `lock` (qualified id).
+    Sync {
+        /// Qualified lock id: package-level locks keep their bare path,
+        /// method-receiver locks rewrite to `Type.path`, and locals are
+        /// scoped as `func::path`.
+        lock: String,
+        /// Which mutex method.
+        method: LockMethod,
+        /// `true` when registered via `defer` (runs at function exit).
+        deferred: bool,
+        /// Source span of the call.
+        span: Span,
+    },
+    /// A read or write of a variable path.
+    Access {
+        /// Qualified variable path.
+        path: String,
+        /// `true` for writes (assignment targets, `++`/`--`).
+        write: bool,
+        /// Source span.
+        span: Span,
+    },
+    /// A direct call to a file-local function or method.
+    Call {
+        /// Callee name (receiver-type-agnostic for methods).
+        callee: String,
+        /// Source span.
+        span: Span,
+    },
+    /// A function exit point (`return` or fall-off-the-end).
+    Exit {
+        /// Source span of the exit.
+        span: Span,
+    },
+    /// A `go` statement: from here on, a spawned goroutine may run
+    /// concurrently with this context.
+    Spawn,
+}
+
+/// A basic block: straight-line ops plus successor edges.
+#[derive(Debug, Default)]
+pub struct BasicBlock {
+    /// Ops in execution order.
+    pub ops: Vec<Op>,
+    /// Successor block indices.
+    pub succs: Vec<usize>,
+}
+
+/// A control-flow graph; block 0 is the entry.
+#[derive(Debug)]
+pub struct Cfg {
+    /// Basic blocks.
+    pub blocks: Vec<BasicBlock>,
+    /// The synthetic exit block (no ops, no successors).
+    pub exit: usize,
+}
+
+/// What kind of execution context a CFG models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContextKind {
+    /// A top-level function or method body.
+    Function,
+    /// A function literal spawned with `go` (its own goroutine).
+    Goroutine,
+    /// Any other function literal (callback, deferred closure, …).
+    Closure,
+}
+
+/// One analyzed execution context: a function body or closure body.
+#[derive(Debug)]
+pub struct Context {
+    /// Name of the owning top-level function (closures inherit it).
+    pub func: String,
+    /// Context kind.
+    pub kind: ContextKind,
+    /// Control-flow graph.
+    pub cfg: Cfg,
+    /// Names declared inside this context (params, `:=`, `var`, range
+    /// bindings) — accesses to these are context-private.
+    pub declared: BTreeSet<String>,
+    /// Span of the context's body.
+    pub span: Span,
+}
+
+/// File-level naming facts shared by every context of one file.
+#[derive(Debug, Default)]
+pub struct FileEnv {
+    /// Imported package names (aliases resolved).
+    pub packages: BTreeSet<String>,
+    /// Top-level function and method names.
+    pub funcs: BTreeSet<String>,
+    /// Declared type names.
+    pub types: BTreeSet<String>,
+    /// Package-level variable names.
+    pub globals: BTreeSet<String>,
+}
+
+impl FileEnv {
+    /// Collects the naming facts of `file`.
+    pub fn new(file: &File) -> FileEnv {
+        FileEnv::for_program(std::iter::once(file))
+    }
+
+    /// Collects naming facts across every file of a program, so that a
+    /// package-level variable declared in one file qualifies the same
+    /// way when used from another.
+    pub fn for_program<'a>(files: impl IntoIterator<Item = &'a File>) -> FileEnv {
+        let mut env = FileEnv::default();
+        for file in files {
+            env.add_file(file);
+        }
+        env
+    }
+
+    fn add_file(&mut self, file: &File) {
+        let env = self;
+        for imp in &file.imports {
+            let name = imp
+                .alias
+                .clone()
+                .unwrap_or_else(|| imp.path.rsplit('/').next().unwrap_or(&imp.path).to_owned());
+            env.packages.insert(name);
+        }
+        for d in &file.decls {
+            match d {
+                Decl::Func(f) => {
+                    env.funcs.insert(f.name.clone());
+                }
+                Decl::Type(t) => {
+                    env.types.insert(t.name.clone());
+                }
+                Decl::Var(v) | Decl::Const(v) => {
+                    env.globals.extend(v.names.iter().cloned());
+                }
+            }
+        }
+    }
+}
+
+/// Names that are never variable accesses.
+fn is_builtin(name: &str) -> bool {
+    matches!(
+        name,
+        "_" | "true"
+            | "false"
+            | "nil"
+            | "iota"
+            | "len"
+            | "cap"
+            | "append"
+            | "copy"
+            | "delete"
+            | "close"
+            | "panic"
+            | "print"
+            | "println"
+            | "recover"
+            | "min"
+            | "max"
+            | "int"
+            | "int8"
+            | "int16"
+            | "int32"
+            | "int64"
+            | "uint"
+            | "uint8"
+            | "uint16"
+            | "uint32"
+            | "uint64"
+            | "float32"
+            | "float64"
+            | "complex64"
+            | "complex128"
+            | "bool"
+            | "string"
+            | "byte"
+            | "rune"
+            | "error"
+            | "any"
+            | "uintptr"
+    )
+}
+
+/// Renders a pure lvalue chain (`a`, `a.b`, `a.b[i].c`, `(*p).f`) as a
+/// dotted path, dropping index expressions: `m[k]` renders as `m`.
+pub fn path_of(e: &Expr) -> Option<String> {
+    match e {
+        Expr::Ident { name, .. } => Some(name.clone()),
+        Expr::Selector { expr, name, .. } => Some(format!("{}.{name}", path_of(expr)?)),
+        Expr::Index { expr, .. } | Expr::SliceExpr { expr, .. } => path_of(expr),
+        Expr::Paren { expr, .. } | Expr::TypeAssert { expr, .. } => path_of(expr),
+        Expr::Unary {
+            op: UnOp::Deref | UnOp::Addr,
+            expr,
+            ..
+        } => path_of(expr),
+        _ => None,
+    }
+}
+
+/// The builder turning one body into a [`Cfg`].
+struct Builder<'a> {
+    blocks: Vec<BasicBlock>,
+    exit: usize,
+    /// `(break_target, continue_target)` stack; `continue_target` is
+    /// `NO_BLOCK` for switch/select scopes.
+    scopes: Vec<(usize, usize)>,
+    declared: BTreeSet<String>,
+    env: &'a FileEnv,
+    /// Substitution applied to path roots: method receivers rewrite to
+    /// their type name so `s.mu` means the same lock in every method.
+    recv: Option<(String, String)>,
+}
+
+impl<'a> Builder<'a> {
+    fn new(env: &'a FileEnv, recv: Option<(String, String)>) -> Self {
+        Builder {
+            blocks: vec![BasicBlock::default()],
+            exit: 0,
+            scopes: Vec::new(),
+            declared: BTreeSet::new(),
+            env,
+            recv,
+        }
+    }
+
+    fn new_block(&mut self) -> usize {
+        self.blocks.push(BasicBlock::default());
+        self.blocks.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        if from != NO_BLOCK && !self.blocks[from].succs.contains(&to) {
+            self.blocks[from].succs.push(to);
+        }
+    }
+
+    fn push(&mut self, block: usize, op: Op) {
+        if block != NO_BLOCK {
+            self.blocks[block].ops.push(op);
+        }
+    }
+
+    /// Qualifies a raw lvalue path into a stable id: package-level names
+    /// stay bare, method-receiver roots rewrite to the receiver type,
+    /// and everything else is scoped to the owning function.
+    fn qualify(&self, raw: &str, owner: &str) -> String {
+        let root = raw.split('.').next().unwrap_or(raw);
+        if let Some((recv_name, type_name)) = &self.recv {
+            if root == recv_name {
+                return format!("{type_name}{}", &raw[root.len()..]);
+            }
+        }
+        if self.env.globals.contains(root) {
+            return raw.to_owned();
+        }
+        format!("{owner}::{raw}")
+    }
+
+    // ---- expression lowering -------------------------------------------------
+
+    /// Emits read accesses (and nested sync/call ops) for `e`.
+    fn reads(&mut self, block: usize, e: &Expr, owner: &str) {
+        if let Some(p) = path_of(e) {
+            self.access(block, &p, false, e.span(), owner);
+            // Index expressions inside the chain still execute.
+            self.index_reads(block, e, owner);
+            return;
+        }
+        match e {
+            Expr::Call { .. } => self.call(block, e, owner),
+            Expr::FuncLit { .. } => {} // separate context
+            Expr::CompositeLit { elems, .. } => {
+                for el in elems {
+                    if let Some(k) = &el.key {
+                        if k.as_ident().is_none() {
+                            self.reads(block, k, owner);
+                        }
+                    }
+                    self.reads(block, &el.value, owner);
+                }
+            }
+            Expr::Make { args, .. } => {
+                for a in args {
+                    self.reads(block, a, owner);
+                }
+            }
+            Expr::New { .. } => {}
+            Expr::Unary { expr, .. } | Expr::Paren { expr, .. } => self.reads(block, expr, owner),
+            Expr::Binary { lhs, rhs, .. } => {
+                self.reads(block, lhs, owner);
+                self.reads(block, rhs, owner);
+            }
+            Expr::Selector { expr, .. }
+            | Expr::Index { expr, .. }
+            | Expr::SliceExpr { expr, .. }
+            | Expr::TypeAssert { expr, .. } => {
+                self.reads(block, expr, owner);
+                self.index_reads(block, e, owner);
+            }
+            _ => {}
+        }
+    }
+
+    /// Emits reads for index/slice-bound expressions nested in a chain.
+    fn index_reads(&mut self, block: usize, e: &Expr, owner: &str) {
+        match e {
+            Expr::Index { expr, index, .. } => {
+                self.index_reads(block, expr, owner);
+                self.reads(block, index, owner);
+            }
+            Expr::SliceExpr { expr, lo, hi, .. } => {
+                self.index_reads(block, expr, owner);
+                if let Some(lo) = lo {
+                    self.reads(block, lo, owner);
+                }
+                if let Some(hi) = hi {
+                    self.reads(block, hi, owner);
+                }
+            }
+            Expr::Selector { expr, .. }
+            | Expr::Paren { expr, .. }
+            | Expr::TypeAssert { expr, .. }
+            | Expr::Unary { expr, .. } => self.index_reads(block, expr, owner),
+            _ => {}
+        }
+    }
+
+    /// Emits an access op unless the path is a non-variable name.
+    fn access(&mut self, block: usize, raw: &str, write: bool, span: Span, owner: &str) {
+        let root = raw.split('.').next().unwrap_or(raw);
+        if is_builtin(root)
+            || self.env.packages.contains(root)
+            || self.env.types.contains(root)
+            || (self.env.funcs.contains(root) && raw == root)
+        {
+            return;
+        }
+        let path = self.qualify(raw, owner);
+        self.push(block, Op::Access { path, write, span });
+    }
+
+    /// Lowers a call expression: sync ops for mutex methods, call ops
+    /// for file-local callees, plus argument reads.
+    fn call(&mut self, block: usize, e: &Expr, owner: &str) {
+        let Expr::Call {
+            fun, args, span, ..
+        } = e
+        else {
+            return;
+        };
+        match fun.as_ref() {
+            Expr::Selector {
+                expr: recv, name, ..
+            } => {
+                let recv_path = path_of(recv);
+                let is_pkg = recv
+                    .as_ident()
+                    .map(|r| self.env.packages.contains(r))
+                    .unwrap_or(false);
+                if !is_pkg {
+                    if let (Some(m), Some(p), true) = (
+                        LockMethod::from_name(name),
+                        recv_path.as_deref(),
+                        args.is_empty(),
+                    ) {
+                        let lock = self.qualify(p, owner);
+                        self.push(
+                            block,
+                            Op::Sync {
+                                lock,
+                                method: m,
+                                deferred: false,
+                                span: *span,
+                            },
+                        );
+                        return;
+                    }
+                    if let Some(p) = &recv_path {
+                        self.access(block, p, false, recv.span(), owner);
+                        if self.env.funcs.contains(name.as_str()) {
+                            self.push(
+                                block,
+                                Op::Call {
+                                    callee: name.clone(),
+                                    span: *span,
+                                },
+                            );
+                        }
+                    } else {
+                        self.reads(block, recv, owner);
+                    }
+                }
+            }
+            Expr::Ident { name, .. } => {
+                if self.env.funcs.contains(name.as_str()) {
+                    self.push(
+                        block,
+                        Op::Call {
+                            callee: name.clone(),
+                            span: *span,
+                        },
+                    );
+                } else if !is_builtin(name) {
+                    // Calling through a function-typed variable.
+                    self.access(block, name, false, fun.span(), owner);
+                }
+            }
+            Expr::FuncLit { .. } => {} // IIFE body is its own context
+            other => self.reads(block, other, owner),
+        }
+        for a in args {
+            self.reads(block, a, owner);
+        }
+    }
+
+    /// Emits a write access for an assignment target.
+    fn write_target(&mut self, block: usize, e: &Expr, owner: &str) {
+        if let Some(p) = path_of(e) {
+            self.access(block, &p, true, e.span(), owner);
+            self.index_reads(block, e, owner);
+        } else {
+            self.reads(block, e, owner);
+        }
+    }
+
+    // ---- statement lowering --------------------------------------------------
+
+    fn stmts(&mut self, mut cur: usize, list: &[Stmt], owner: &str) -> usize {
+        for s in list {
+            if cur == NO_BLOCK {
+                break; // unreachable code after return/break/continue
+            }
+            cur = self.stmt(cur, s, owner);
+        }
+        cur
+    }
+
+    fn var_decl(&mut self, cur: usize, d: &VarDecl, owner: &str) {
+        self.declared.extend(d.names.iter().cloned());
+        for v in &d.values {
+            self.reads(cur, v, owner);
+        }
+    }
+
+    fn stmt(&mut self, cur: usize, s: &Stmt, owner: &str) -> usize {
+        match s {
+            Stmt::Decl(d) => {
+                self.var_decl(cur, d, owner);
+                cur
+            }
+            Stmt::ShortVar { names, values, .. } => {
+                for v in values {
+                    self.reads(cur, v, owner);
+                }
+                self.declared.extend(names.iter().cloned());
+                cur
+            }
+            Stmt::Assign { lhs, rhs, .. } => {
+                for v in rhs {
+                    self.reads(cur, v, owner);
+                }
+                for t in lhs {
+                    self.write_target(cur, t, owner);
+                }
+                cur
+            }
+            Stmt::IncDec { expr, .. } => {
+                self.write_target(cur, expr, owner);
+                cur
+            }
+            Stmt::Expr(e) => {
+                self.reads(cur, e, owner);
+                cur
+            }
+            Stmt::Send { chan, value, .. } => {
+                self.reads(cur, chan, owner);
+                self.reads(cur, value, owner);
+                cur
+            }
+            Stmt::Go { call, .. } => {
+                // Arguments are evaluated on the spawning goroutine; the
+                // callee body (if a literal) is a separate context.
+                if let Expr::Call { args, fun, .. } = call {
+                    if !matches!(fun.as_ref(), Expr::FuncLit { .. }) {
+                        if let Some(p) = path_of(fun) {
+                            self.access(cur, &p, false, fun.span(), owner);
+                        }
+                    }
+                    for a in args {
+                        self.reads(cur, a, owner);
+                    }
+                }
+                self.push(cur, Op::Spawn);
+                cur
+            }
+            Stmt::Defer { call, span } => {
+                self.defer_call(cur, call, *span, owner);
+                cur
+            }
+            Stmt::Return { values, span } => {
+                for v in values {
+                    self.reads(cur, v, owner);
+                }
+                self.push(cur, Op::Exit { span: *span });
+                self.edge(cur, self.exit);
+                NO_BLOCK
+            }
+            Stmt::If(ifs) => {
+                let mut cur = cur;
+                if let Some(init) = &ifs.init {
+                    cur = self.stmt(cur, init, owner);
+                }
+                self.reads(cur, &ifs.cond, owner);
+                let then_b = self.new_block();
+                self.edge(cur, then_b);
+                let t_end = self.stmts(then_b, &ifs.then.stmts, owner);
+                let join = self.new_block();
+                let mut reachable = false;
+                if t_end != NO_BLOCK {
+                    self.edge(t_end, join);
+                    reachable = true;
+                }
+                match &ifs.else_ {
+                    Some(e) => {
+                        let else_b = self.new_block();
+                        self.edge(cur, else_b);
+                        let e_end = match e.as_ref() {
+                            Stmt::Block(b) => self.stmts(else_b, &b.stmts, owner),
+                            other => self.stmt(else_b, other, owner),
+                        };
+                        if e_end != NO_BLOCK {
+                            self.edge(e_end, join);
+                            reachable = true;
+                        }
+                    }
+                    None => {
+                        self.edge(cur, join);
+                        reachable = true;
+                    }
+                }
+                if reachable {
+                    join
+                } else {
+                    NO_BLOCK
+                }
+            }
+            Stmt::For(f) => {
+                let mut cur = cur;
+                if let Some(init) = &f.init {
+                    cur = self.stmt(cur, init, owner);
+                }
+                let head = self.new_block();
+                self.edge(cur, head);
+                if let Some(c) = &f.cond {
+                    self.reads(head, c, owner);
+                }
+                let body_b = self.new_block();
+                let exit_b = self.new_block();
+                self.edge(head, body_b);
+                if f.cond.is_some() {
+                    self.edge(head, exit_b);
+                }
+                // `continue` runs the post statement before re-testing.
+                let post_b = if f.post.is_some() {
+                    self.new_block()
+                } else {
+                    head
+                };
+                self.scopes.push((exit_b, post_b));
+                let b_end = self.stmts(body_b, &f.body.stmts, owner);
+                self.scopes.pop();
+                if b_end != NO_BLOCK {
+                    self.edge(b_end, post_b);
+                }
+                if let Some(post) = &f.post {
+                    let p_end = self.stmt(post_b, post, owner);
+                    if p_end != NO_BLOCK {
+                        self.edge(p_end, head);
+                    }
+                }
+                exit_b
+            }
+            Stmt::Range(r) => {
+                self.reads(cur, &r.expr, owner);
+                let head = self.new_block();
+                self.edge(cur, head);
+                let body_b = self.new_block();
+                let exit_b = self.new_block();
+                self.edge(head, body_b);
+                self.edge(head, exit_b);
+                for bind in [&r.key, &r.value].into_iter().flatten() {
+                    if r.define {
+                        if let Some(n) = bind.as_ident() {
+                            self.declared.insert(n.to_owned());
+                        }
+                    } else {
+                        self.write_target(body_b, bind, owner);
+                    }
+                }
+                self.scopes.push((exit_b, head));
+                let b_end = self.stmts(body_b, &r.body.stmts, owner);
+                self.scopes.pop();
+                if b_end != NO_BLOCK {
+                    self.edge(b_end, head);
+                }
+                exit_b
+            }
+            Stmt::Switch(sw) => {
+                let mut cur = cur;
+                if let Some(init) = &sw.init {
+                    cur = self.stmt(cur, init, owner);
+                }
+                if let Some(tag) = &sw.tag {
+                    self.reads(cur, tag, owner);
+                }
+                let join = self.new_block();
+                let mut has_default = false;
+                for case in &sw.cases {
+                    has_default |= case.exprs.is_empty();
+                    let cb = self.new_block();
+                    self.edge(cur, cb);
+                    for e in &case.exprs {
+                        self.reads(cb, e, owner);
+                    }
+                    self.scopes.push((join, NO_BLOCK));
+                    let end = self.stmts(cb, &case.body, owner);
+                    self.scopes.pop();
+                    if end != NO_BLOCK {
+                        self.edge(end, join);
+                    }
+                }
+                if !has_default {
+                    self.edge(cur, join);
+                }
+                join
+            }
+            Stmt::Select(sel) => {
+                let join = self.new_block();
+                for case in &sel.cases {
+                    let cb = self.new_block();
+                    self.edge(cur, cb);
+                    match &case.comm {
+                        CommClause::Send { chan, value } => {
+                            self.reads(cb, chan, owner);
+                            self.reads(cb, value, owner);
+                        }
+                        CommClause::Recv { lhs, define, chan } => {
+                            self.reads(cb, chan, owner);
+                            for t in lhs {
+                                if *define {
+                                    if let Some(n) = t.as_ident() {
+                                        self.declared.insert(n.to_owned());
+                                    }
+                                } else {
+                                    self.write_target(cb, t, owner);
+                                }
+                            }
+                        }
+                        CommClause::Default => {}
+                    }
+                    self.scopes.push((join, NO_BLOCK));
+                    let end = self.stmts(cb, &case.body, owner);
+                    self.scopes.pop();
+                    if end != NO_BLOCK {
+                        self.edge(end, join);
+                    }
+                }
+                if sel.cases.is_empty() {
+                    self.edge(cur, join);
+                }
+                join
+            }
+            Stmt::Block(b) => self.stmts(cur, &b.stmts, owner),
+            Stmt::Break { .. } => {
+                if let Some(&(target, _)) = self.scopes.last() {
+                    self.edge(cur, target);
+                }
+                NO_BLOCK
+            }
+            Stmt::Continue { .. } => {
+                // Innermost scope with a continue target (loops only).
+                if let Some(&(_, target)) = self.scopes.iter().rev().find(|(_, c)| *c != NO_BLOCK) {
+                    self.edge(cur, target);
+                }
+                NO_BLOCK
+            }
+            Stmt::Labeled { stmt, .. } => self.stmt(cur, stmt, owner),
+            Stmt::Empty { .. } => cur,
+        }
+    }
+
+    /// Lowers `defer call`: deferred lock ops are recorded at the
+    /// registration point; a deferred closure is scanned (shallowly) for
+    /// the lock calls it will run.
+    fn defer_call(&mut self, cur: usize, call: &Expr, span: Span, owner: &str) {
+        if let Expr::Call { fun, args, .. } = call {
+            if let Expr::Selector {
+                expr: recv, name, ..
+            } = fun.as_ref()
+            {
+                if let (Some(m), Some(p), true) =
+                    (LockMethod::from_name(name), path_of(recv), args.is_empty())
+                {
+                    let lock = self.qualify(&p, owner);
+                    self.push(
+                        cur,
+                        Op::Sync {
+                            lock,
+                            method: m,
+                            deferred: true,
+                            span,
+                        },
+                    );
+                    return;
+                }
+            }
+            if let Expr::FuncLit { body, .. } = fun.as_ref() {
+                for s in &body.stmts {
+                    if let Stmt::Expr(Expr::Call {
+                        fun, args, span, ..
+                    }) = s
+                    {
+                        if let Expr::Selector {
+                            expr: recv, name, ..
+                        } = fun.as_ref()
+                        {
+                            if let (Some(m), Some(p), true) =
+                                (LockMethod::from_name(name), path_of(recv), args.is_empty())
+                            {
+                                let lock = self.qualify(&p, owner);
+                                self.push(
+                                    cur,
+                                    Op::Sync {
+                                        lock,
+                                        method: m,
+                                        deferred: true,
+                                        span: *span,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+                for a in args {
+                    self.reads(cur, a, owner);
+                }
+                return;
+            }
+            // Other deferred calls: arguments evaluate now; the receiver
+            // is an ordinary access.
+            self.reads(cur, call, owner);
+        }
+    }
+}
+
+/// Builds the CFG for one body.
+fn build_cfg(
+    env: &FileEnv,
+    recv: Option<(String, String)>,
+    params: &FuncSig,
+    extra_declared: &[String],
+    body: &Block,
+    owner: &str,
+) -> (Cfg, BTreeSet<String>) {
+    let mut b = Builder::new(env, recv);
+    b.exit = b.new_block();
+    for (name, _) in params.param_names() {
+        b.declared.insert(name.to_owned());
+    }
+    for n in extra_declared {
+        b.declared.insert(n.clone());
+    }
+    let end = b.stmts(0, &body.stmts, owner);
+    if end != NO_BLOCK {
+        let span = Span::new(body.span.hi.saturating_sub(1), body.span.hi);
+        b.push(end, Op::Exit { span });
+        let exit = b.exit;
+        b.edge(end, exit);
+    }
+    let exit = b.exit;
+    (
+        Cfg {
+            blocks: b.blocks,
+            exit,
+        },
+        b.declared,
+    )
+}
+
+/// Collects function literals inside a body, tagging `go`-spawned ones.
+fn collect_lits<'a>(body: &'a Block, out: &mut Vec<(&'a Expr, ContextKind)>) {
+    fn expr<'a>(e: &'a Expr, kind: ContextKind, out: &mut Vec<(&'a Expr, ContextKind)>) {
+        match e {
+            Expr::FuncLit { body, .. } => {
+                out.push((e, kind));
+                block(body, out);
+            }
+            Expr::Call { fun, args, .. } => {
+                expr(fun, kind, out);
+                for a in args {
+                    expr(a, ContextKind::Closure, out);
+                }
+            }
+            Expr::CompositeLit { elems, .. } => {
+                for el in elems {
+                    if let Some(k) = &el.key {
+                        expr(k, ContextKind::Closure, out);
+                    }
+                    expr(&el.value, ContextKind::Closure, out);
+                }
+            }
+            Expr::Make { args, .. } => {
+                for a in args {
+                    expr(a, ContextKind::Closure, out);
+                }
+            }
+            Expr::Selector { expr: e, .. }
+            | Expr::Paren { expr: e, .. }
+            | Expr::TypeAssert { expr: e, .. }
+            | Expr::Unary { expr: e, .. } => expr(e, kind, out),
+            Expr::Index { expr: e, index, .. } => {
+                expr(e, kind, out);
+                expr(index, ContextKind::Closure, out);
+            }
+            Expr::SliceExpr {
+                expr: e, lo, hi, ..
+            } => {
+                expr(e, kind, out);
+                for b in [lo, hi].into_iter().flatten() {
+                    expr(b, ContextKind::Closure, out);
+                }
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                expr(lhs, ContextKind::Closure, out);
+                expr(rhs, ContextKind::Closure, out);
+            }
+            _ => {}
+        }
+    }
+    fn stmt<'a>(s: &'a Stmt, out: &mut Vec<(&'a Expr, ContextKind)>) {
+        match s {
+            Stmt::Decl(d) => {
+                for v in &d.values {
+                    expr(v, ContextKind::Closure, out);
+                }
+            }
+            Stmt::ShortVar { values, .. } => {
+                for v in values {
+                    expr(v, ContextKind::Closure, out);
+                }
+            }
+            Stmt::Assign { lhs, rhs, .. } => {
+                for e in lhs.iter().chain(rhs) {
+                    expr(e, ContextKind::Closure, out);
+                }
+            }
+            Stmt::IncDec { expr: e, .. } => expr(e, ContextKind::Closure, out),
+            Stmt::Expr(e) => expr(e, ContextKind::Closure, out),
+            Stmt::Send { chan, value, .. } => {
+                expr(chan, ContextKind::Closure, out);
+                expr(value, ContextKind::Closure, out);
+            }
+            Stmt::Go { call, .. } => {
+                if let Expr::Call { fun, args, .. } = call {
+                    if let Expr::FuncLit { body, .. } = fun.as_ref() {
+                        out.push((fun, ContextKind::Goroutine));
+                        block(body, out);
+                    } else {
+                        expr(fun, ContextKind::Closure, out);
+                    }
+                    for a in args {
+                        expr(a, ContextKind::Closure, out);
+                    }
+                } else {
+                    expr(call, ContextKind::Closure, out);
+                }
+            }
+            Stmt::Defer { call, .. } => {
+                // A deferred closure's lock calls are modelled by the
+                // parent context (as deferred ops); giving its body a
+                // context of its own would double-report them, so only
+                // literals nested *inside* it are collected.
+                if let Expr::Call { fun, args, .. } = call {
+                    if let Expr::FuncLit { body, .. } = fun.as_ref() {
+                        block(body, out);
+                    } else {
+                        expr(fun, ContextKind::Closure, out);
+                    }
+                    for a in args {
+                        expr(a, ContextKind::Closure, out);
+                    }
+                } else {
+                    expr(call, ContextKind::Closure, out);
+                }
+            }
+            Stmt::Return { values, .. } => {
+                for v in values {
+                    expr(v, ContextKind::Closure, out);
+                }
+            }
+            Stmt::If(ifs) => {
+                if let Some(init) = &ifs.init {
+                    stmt(init, out);
+                }
+                expr(&ifs.cond, ContextKind::Closure, out);
+                block(&ifs.then, out);
+                if let Some(e) = &ifs.else_ {
+                    stmt(e, out);
+                }
+            }
+            Stmt::For(f) => {
+                if let Some(init) = &f.init {
+                    stmt(init, out);
+                }
+                if let Some(c) = &f.cond {
+                    expr(c, ContextKind::Closure, out);
+                }
+                if let Some(p) = &f.post {
+                    stmt(p, out);
+                }
+                block(&f.body, out);
+            }
+            Stmt::Range(r) => {
+                expr(&r.expr, ContextKind::Closure, out);
+                block(&r.body, out);
+            }
+            Stmt::Switch(sw) => {
+                if let Some(init) = &sw.init {
+                    stmt(init, out);
+                }
+                if let Some(tag) = &sw.tag {
+                    expr(tag, ContextKind::Closure, out);
+                }
+                for c in &sw.cases {
+                    for e in &c.exprs {
+                        expr(e, ContextKind::Closure, out);
+                    }
+                    for s in &c.body {
+                        stmt(s, out);
+                    }
+                }
+            }
+            Stmt::Select(sel) => {
+                for c in &sel.cases {
+                    match &c.comm {
+                        CommClause::Send { chan, value } => {
+                            expr(chan, ContextKind::Closure, out);
+                            expr(value, ContextKind::Closure, out);
+                        }
+                        CommClause::Recv { lhs, chan, .. } => {
+                            for t in lhs {
+                                expr(t, ContextKind::Closure, out);
+                            }
+                            expr(chan, ContextKind::Closure, out);
+                        }
+                        CommClause::Default => {}
+                    }
+                    for s in &c.body {
+                        stmt(s, out);
+                    }
+                }
+            }
+            Stmt::Block(b) => block(b, out),
+            Stmt::Labeled { stmt: s, .. } => stmt(s, out),
+            _ => {}
+        }
+    }
+    fn block<'a>(b: &'a Block, out: &mut Vec<(&'a Expr, ContextKind)>) {
+        for s in &b.stmts {
+            stmt(s, out);
+        }
+    }
+    // Only direct children: nested literals are found when their parent
+    // literal's body is scanned (`block` recurses already). To keep one
+    // flat list, `block` pushes every literal it meets — the top-level
+    // call below therefore covers all depths.
+    block(body, out);
+}
+
+/// The receiver qualification for a method: `(binding name, type name)`.
+fn receiver_of(f: &FuncDecl) -> Option<(String, String)> {
+    let r = f.receiver.as_ref()?;
+    let ty = match &r.ty {
+        Type::Pointer(inner) => inner.as_named_path(),
+        other => other.as_named_path(),
+    }?;
+    Some((r.name.clone(), ty))
+}
+
+/// Builds every analysis context of `file` (single-file program).
+pub fn contexts(file: &File) -> Vec<Context> {
+    contexts_with(file, &FileEnv::new(file))
+}
+
+/// Builds every analysis context of `file` against a (possibly
+/// program-wide) naming environment.
+pub fn contexts_with(file: &File, env: &FileEnv) -> Vec<Context> {
+    let mut out = Vec::new();
+    for d in &file.decls {
+        let Decl::Func(f) = d else { continue };
+        let Some(body) = &f.body else { continue };
+        let recv = receiver_of(f);
+        let extra: Vec<String> = recv.iter().map(|(n, _)| n.clone()).collect();
+        let (cfg, declared) = build_cfg(env, recv.clone(), &f.sig, &extra, body, &f.name);
+        out.push(Context {
+            func: f.name.clone(),
+            kind: ContextKind::Function,
+            cfg,
+            declared,
+            span: body.span,
+        });
+        let mut lits = Vec::new();
+        collect_lits(body, &mut lits);
+        // `collect_lits` pushes nested literals too; dedup by span.
+        let mut seen = BTreeSet::new();
+        for (lit, kind) in lits {
+            let Expr::FuncLit {
+                sig,
+                body: lb,
+                span,
+                ..
+            } = lit
+            else {
+                continue;
+            };
+            if !seen.insert((span.lo, span.hi)) {
+                continue;
+            }
+            let (cfg, declared) = build_cfg(env, recv.clone(), sig, &[], lb, &f.name);
+            out.push(Context {
+                func: f.name.clone(),
+                kind,
+                cfg,
+                declared,
+                span: *span,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> File {
+        golite::parse_file(src).expect("test source parses")
+    }
+
+    #[test]
+    fn builds_contexts_for_funcs_and_goroutines() {
+        let file = parse(
+            "package p\n\nimport \"sync\"\n\nfunc F() {\n\tvar mu sync.Mutex\n\tgo func() {\n\t\tmu.Lock()\n\t\tmu.Unlock()\n\t}()\n\tf2 := func() {}\n\tf2()\n}\n",
+        );
+        let ctxs = contexts(&file);
+        assert_eq!(ctxs.len(), 3);
+        assert_eq!(ctxs[0].kind, ContextKind::Function);
+        assert!(ctxs
+            .iter()
+            .any(|c| c.kind == ContextKind::Goroutine && c.func == "F"));
+        assert!(ctxs.iter().any(|c| c.kind == ContextKind::Closure));
+    }
+
+    #[test]
+    fn lock_ops_are_qualified_per_function() {
+        let file = parse(
+            "package p\n\nimport \"sync\"\n\nvar g sync.Mutex\n\nfunc F() {\n\tvar mu sync.Mutex\n\tmu.Lock()\n\tg.Lock()\n\tg.Unlock()\n\tmu.Unlock()\n}\n",
+        );
+        let ctxs = contexts(&file);
+        let locks: Vec<String> = ctxs[0]
+            .cfg
+            .blocks
+            .iter()
+            .flat_map(|b| &b.ops)
+            .filter_map(|op| match op {
+                Op::Sync { lock, .. } => Some(lock.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(locks, vec!["F::mu", "g", "g", "F::mu"]);
+    }
+
+    #[test]
+    fn receiver_locks_unify_across_methods() {
+        let file = parse(
+            "package p\n\nimport \"sync\"\n\ntype S struct {\n\tmu sync.Mutex\n\tn int\n}\n\nfunc (s *S) A() {\n\ts.mu.Lock()\n\ts.mu.Unlock()\n}\n\nfunc (t *S) B() {\n\tt.mu.Lock()\n\tt.mu.Unlock()\n}\n",
+        );
+        let ctxs = contexts(&file);
+        let lock_of = |i: usize| {
+            ctxs[i]
+                .cfg
+                .blocks
+                .iter()
+                .flat_map(|b| &b.ops)
+                .find_map(|op| match op {
+                    Op::Sync { lock, .. } => Some(lock.clone()),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert_eq!(lock_of(0), "S.mu");
+        assert_eq!(lock_of(0), lock_of(1));
+    }
+
+    #[test]
+    fn branch_and_loop_edges_exist() {
+        let file = parse(
+            "package p\n\nfunc F(xs []int) int {\n\tn := 0\n\tfor _, x := range xs {\n\t\tif x > 0 {\n\t\t\tn = n + x\n\t\t\tcontinue\n\t\t}\n\t\tbreak\n\t}\n\treturn n\n}\n",
+        );
+        let ctxs = contexts(&file);
+        let cfg = &ctxs[0].cfg;
+        assert!(cfg.blocks.len() >= 5);
+        let exits = cfg
+            .blocks
+            .iter()
+            .flat_map(|b| &b.ops)
+            .filter(|op| matches!(op, Op::Exit { .. }))
+            .count();
+        assert_eq!(exits, 1);
+        // Every non-exit block eventually reaches the exit block.
+        assert!(cfg.blocks[cfg.exit].succs.is_empty());
+    }
+}

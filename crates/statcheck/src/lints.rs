@@ -1,0 +1,837 @@
+//! AST-level lints that need no dataflow: call-arity mismatches,
+//! `sync.Map` misuse, `WaitGroup` double-adds, mixed atomic/plain
+//! access, and mutex-by-value copies.
+//!
+//! Error-tier rules here (`arity-mismatch`, `syncmap-range`,
+//! `waitgroup-double-add`) flag shapes that fail on every execution;
+//! the rest are heuristics and stay on the warning tier.
+
+use crate::cfg::path_of;
+use golite::ast::{Decl, Expr, File, FuncSig, Stmt, Type, UnOp, VarDecl};
+use golite::{Diagnostic, Span};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Runs every AST lint over `file`.
+pub fn ast_lints(file: &File) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    arity_lint(file, &mut diags);
+    syncmap_lint(file, &mut diags);
+    waitgroup_lint(file, &mut diags);
+    mixed_atomic_lint(file, &mut diags);
+    copylocks_lint(file, &mut diags);
+    diags.sort_by_key(|d| (d.span.lo, d.span.hi, d.rule.clone()));
+    diags.dedup();
+    diags
+}
+
+// ---- generic walker ---------------------------------------------------------
+
+/// Walks every statement list, statement and expression (pre-order),
+/// descending into function-literal bodies.
+fn walk_lists(
+    list: &[Stmt],
+    on_list: &mut dyn FnMut(&[Stmt]),
+    on_stmt: &mut dyn FnMut(&Stmt),
+    on_expr: &mut dyn FnMut(&Expr),
+) {
+    on_list(list);
+    for s in list {
+        walk_stmt(s, on_list, on_stmt, on_expr);
+    }
+}
+
+fn walk_stmt(
+    s: &Stmt,
+    on_list: &mut dyn FnMut(&[Stmt]),
+    on_stmt: &mut dyn FnMut(&Stmt),
+    on_expr: &mut dyn FnMut(&Expr),
+) {
+    on_stmt(s);
+    let mut expr = |e: &Expr| walk_expr(e, on_list, on_stmt, on_expr);
+    match s {
+        Stmt::Decl(d) => d.values.iter().for_each(&mut expr),
+        Stmt::ShortVar { values, .. } => values.iter().for_each(&mut expr),
+        Stmt::Assign { lhs, rhs, .. } => lhs.iter().chain(rhs).for_each(&mut expr),
+        Stmt::IncDec { expr: e, .. } => expr(e),
+        Stmt::Expr(e) => expr(e),
+        Stmt::Send { chan, value, .. } => {
+            expr(chan);
+            expr(value);
+        }
+        Stmt::Go { call, .. } | Stmt::Defer { call, .. } => expr(call),
+        Stmt::Return { values, .. } => values.iter().for_each(&mut expr),
+        Stmt::If(ifs) => {
+            if let Some(init) = &ifs.init {
+                walk_stmt(init, on_list, on_stmt, on_expr);
+            }
+            walk_expr(&ifs.cond, on_list, on_stmt, on_expr);
+            walk_lists(&ifs.then.stmts, on_list, on_stmt, on_expr);
+            if let Some(e) = &ifs.else_ {
+                walk_stmt(e, on_list, on_stmt, on_expr);
+            }
+        }
+        Stmt::For(f) => {
+            if let Some(init) = &f.init {
+                walk_stmt(init, on_list, on_stmt, on_expr);
+            }
+            if let Some(c) = &f.cond {
+                walk_expr(c, on_list, on_stmt, on_expr);
+            }
+            if let Some(p) = &f.post {
+                walk_stmt(p, on_list, on_stmt, on_expr);
+            }
+            walk_lists(&f.body.stmts, on_list, on_stmt, on_expr);
+        }
+        Stmt::Range(r) => {
+            walk_expr(&r.expr, on_list, on_stmt, on_expr);
+            walk_lists(&r.body.stmts, on_list, on_stmt, on_expr);
+        }
+        Stmt::Switch(sw) => {
+            if let Some(init) = &sw.init {
+                walk_stmt(init, on_list, on_stmt, on_expr);
+            }
+            if let Some(tag) = &sw.tag {
+                walk_expr(tag, on_list, on_stmt, on_expr);
+            }
+            for c in &sw.cases {
+                for e in &c.exprs {
+                    walk_expr(e, on_list, on_stmt, on_expr);
+                }
+                walk_lists(&c.body, on_list, on_stmt, on_expr);
+            }
+        }
+        Stmt::Select(sel) => {
+            for c in &sel.cases {
+                walk_lists(&c.body, on_list, on_stmt, on_expr);
+            }
+        }
+        Stmt::Block(b) => walk_lists(&b.stmts, on_list, on_stmt, on_expr),
+        Stmt::Labeled { stmt, .. } => walk_stmt(stmt, on_list, on_stmt, on_expr),
+        _ => {}
+    }
+}
+
+fn walk_expr(
+    e: &Expr,
+    on_list: &mut dyn FnMut(&[Stmt]),
+    on_stmt: &mut dyn FnMut(&Stmt),
+    on_expr: &mut dyn FnMut(&Expr),
+) {
+    on_expr(e);
+    let mut expr = |e: &Expr| walk_expr(e, on_list, on_stmt, on_expr);
+    match e {
+        Expr::FuncLit { body, .. } => walk_lists(&body.stmts, on_list, on_stmt, on_expr),
+        Expr::Call { fun, args, .. } => {
+            expr(fun);
+            args.iter().for_each(&mut expr);
+        }
+        Expr::CompositeLit { elems, .. } => {
+            for el in elems {
+                if let Some(k) = &el.key {
+                    expr(k);
+                }
+                expr(&el.value);
+            }
+        }
+        Expr::Make { args, .. } => args.iter().for_each(&mut expr),
+        Expr::Selector { expr: inner, .. }
+        | Expr::Paren { expr: inner, .. }
+        | Expr::TypeAssert { expr: inner, .. }
+        | Expr::Unary { expr: inner, .. } => expr(inner),
+        Expr::Index {
+            expr: inner, index, ..
+        } => {
+            expr(inner);
+            expr(index);
+        }
+        Expr::SliceExpr {
+            expr: inner,
+            lo,
+            hi,
+            ..
+        } => {
+            expr(inner);
+            for b in [lo, hi].into_iter().flatten() {
+                expr(b);
+            }
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            expr(lhs);
+            expr(rhs);
+        }
+        _ => {}
+    }
+}
+
+fn walk_file(
+    file: &File,
+    on_list: &mut dyn FnMut(&[Stmt]),
+    on_stmt: &mut dyn FnMut(&Stmt),
+    on_expr: &mut dyn FnMut(&Expr),
+) {
+    for d in &file.decls {
+        match d {
+            Decl::Func(f) => {
+                if let Some(body) = &f.body {
+                    walk_lists(&body.stmts, on_list, on_stmt, on_expr);
+                }
+            }
+            Decl::Var(v) | Decl::Const(v) => {
+                for e in &v.values {
+                    walk_expr(e, on_list, on_stmt, on_expr);
+                }
+            }
+            Decl::Type(_) => {}
+        }
+    }
+}
+
+// ---- arity-mismatch (error) -------------------------------------------------
+
+fn flat_param_count(sig: &FuncSig) -> usize {
+    sig.param_names().count()
+}
+
+fn arity_lint(file: &File, diags: &mut Vec<Diagnostic>) {
+    walk_file(file, &mut |_| {}, &mut |_| {}, &mut |e| {
+        let Expr::Call {
+            fun, args, span, ..
+        } = e
+        else {
+            return;
+        };
+        let Expr::FuncLit { sig, .. } = fun.as_ref() else {
+            return;
+        };
+        if sig.params.iter().any(|p| p.variadic) {
+            return;
+        }
+        let want = flat_param_count(sig);
+        if args.len() != want {
+            diags.push(Diagnostic::error(
+                "arity-mismatch",
+                format!(
+                    "function literal takes {want} argument{} but is called with {}",
+                    if want == 1 { "" } else { "s" },
+                    args.len()
+                ),
+                *span,
+            ));
+        }
+    });
+}
+
+// ---- syncmap-range (error) --------------------------------------------------
+
+fn is_sync_map(ty: &Type) -> bool {
+    ty.is_named("sync.Map")
+}
+
+fn syncmap_lint(file: &File, diags: &mut Vec<Diagnostic>) {
+    let mut globals: BTreeSet<String> = BTreeSet::new();
+    let mut fields: BTreeSet<String> = BTreeSet::new();
+    for d in &file.decls {
+        match d {
+            Decl::Var(v) if v.ty.as_ref().is_some_and(is_sync_map) => {
+                globals.extend(v.names.iter().cloned());
+            }
+            Decl::Type(t) => {
+                if let Type::Struct(fs) = &t.ty {
+                    for f in fs {
+                        if is_sync_map(&f.ty) {
+                            fields.extend(f.names.iter().cloned());
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    // Locals declare before use, so one ordered walk sees declarations
+    // ahead of the ranges that use them.
+    let mut locals: BTreeSet<String> = BTreeSet::new();
+    walk_file(
+        file,
+        &mut |_| {},
+        &mut |s| {
+            let range = match s {
+                Stmt::Decl(VarDecl {
+                    names, ty: Some(t), ..
+                }) if is_sync_map(t) => {
+                    locals.extend(names.iter().cloned());
+                    return;
+                }
+                Stmt::ShortVar { names, values, .. } => {
+                    if values.len() == 1 {
+                        if let Expr::CompositeLit { ty: Some(t), .. } = &values[0] {
+                            if is_sync_map(t) {
+                                locals.extend(names.iter().cloned());
+                            }
+                        }
+                    }
+                    return;
+                }
+                Stmt::Range(r) => r,
+                _ => return,
+            };
+            let hit = match &range.expr {
+                Expr::Ident { name, .. } => globals.contains(name) || locals.contains(name),
+                Expr::Selector { name, .. } => fields.contains(name),
+                _ => false,
+            };
+            if hit {
+                let name = path_of(&range.expr).unwrap_or_else(|| "sync.Map".to_owned());
+                diags.push(Diagnostic::error(
+                    "syncmap-range",
+                    format!("cannot range over `{name}` of type sync.Map; use its Range method"),
+                    range.expr.span(),
+                ));
+            }
+        },
+        &mut |_| {},
+    );
+}
+
+// ---- waitgroup-double-add (error) -------------------------------------------
+
+/// Matches `p.Add(...)` and returns the receiver path.
+fn add_receiver(e: &Expr) -> Option<(String, Span)> {
+    let Expr::Call { fun, span, .. } = e else {
+        return None;
+    };
+    let Expr::Selector { expr, name, .. } = fun.as_ref() else {
+        return None;
+    };
+    if name != "Add" {
+        return None;
+    }
+    Some((path_of(expr)?, *span))
+}
+
+fn find_add_in(stmts: &[Stmt], path: &str) -> Option<Span> {
+    let mut found = None;
+    walk_lists(stmts, &mut |_| {}, &mut |_| {}, &mut |e| {
+        if found.is_none() {
+            if let Some((p, span)) = add_receiver(e) {
+                if p == path {
+                    found = Some(span);
+                }
+            }
+        }
+    });
+    found
+}
+
+fn waitgroup_lint(file: &File, diags: &mut Vec<Diagnostic>) {
+    walk_file(
+        file,
+        &mut |list| {
+            for w in list.windows(2) {
+                let Stmt::Expr(e) = &w[0] else { continue };
+                let Some((path, _)) = add_receiver(e) else {
+                    continue;
+                };
+                let Stmt::Go { call, .. } = &w[1] else {
+                    continue;
+                };
+                let Expr::Call { fun, .. } = call else {
+                    continue;
+                };
+                let Expr::FuncLit { body, .. } = fun.as_ref() else {
+                    continue;
+                };
+                if let Some(span) = find_add_in(&body.stmts, &path) {
+                    diags.push(Diagnostic::error(
+                        "waitgroup-double-add",
+                        format!(
+                            "`{path}.Add` is called both before `go` and inside the goroutine: the counter never drains and Wait deadlocks"
+                        ),
+                        span,
+                    ));
+                }
+            }
+        },
+        &mut |_| {},
+        &mut |_| {},
+    );
+}
+
+// ---- mixed-atomic (warning) -------------------------------------------------
+
+/// Matches `atomic.Op(&x, ...)` and returns the path of `x`.
+fn atomic_target(e: &Expr) -> Option<String> {
+    let Expr::Call { fun, args, .. } = e else {
+        return None;
+    };
+    let Expr::Selector { expr, .. } = fun.as_ref() else {
+        return None;
+    };
+    if expr.as_ident() != Some("atomic") {
+        return None;
+    }
+    let first = args.first()?;
+    let Expr::Unary {
+        op: UnOp::Addr,
+        expr: inner,
+        ..
+    } = first
+    else {
+        return None;
+    };
+    path_of(inner)
+}
+
+fn mixed_atomic_lint(file: &File, diags: &mut Vec<Diagnostic>) {
+    let mut atomic_paths: BTreeSet<String> = BTreeSet::new();
+    walk_file(file, &mut |_| {}, &mut |_| {}, &mut |e| {
+        if let Some(p) = atomic_target(e) {
+            atomic_paths.insert(p);
+        }
+    });
+    if atomic_paths.is_empty() {
+        return;
+    }
+    // Plain accesses count only inside goroutine bodies: a plain read
+    // after `wg.Wait()` in the parent is ordered and idiomatic.
+    let mut plain: BTreeMap<String, Span> = BTreeMap::new();
+    fn scan_expr(
+        e: &Expr,
+        in_go: bool,
+        atomics: &BTreeSet<String>,
+        plain: &mut BTreeMap<String, Span>,
+    ) {
+        if atomic_target(e).is_some() {
+            return; // the atomic call itself is fine
+        }
+        if in_go {
+            if let Some(p) = path_of(e) {
+                if atomics.contains(&p) {
+                    plain.entry(p).or_insert_with(|| e.span());
+                    return;
+                }
+            }
+        }
+        match e {
+            Expr::FuncLit { body, .. } => scan_stmts(&body.stmts, in_go, atomics, plain),
+            Expr::Call { fun, args, .. } => {
+                scan_expr(fun, in_go, atomics, plain);
+                for a in args {
+                    scan_expr(a, in_go, atomics, plain);
+                }
+            }
+            Expr::CompositeLit { elems, .. } => {
+                for el in elems {
+                    scan_expr(&el.value, in_go, atomics, plain);
+                }
+            }
+            Expr::Make { args, .. } => {
+                for a in args {
+                    scan_expr(a, in_go, atomics, plain);
+                }
+            }
+            Expr::Selector { expr, .. }
+            | Expr::Paren { expr, .. }
+            | Expr::TypeAssert { expr, .. }
+            | Expr::Unary { expr, .. } => scan_expr(expr, in_go, atomics, plain),
+            Expr::Index { expr, index, .. } => {
+                scan_expr(expr, in_go, atomics, plain);
+                scan_expr(index, in_go, atomics, plain);
+            }
+            Expr::SliceExpr { expr, lo, hi, .. } => {
+                scan_expr(expr, in_go, atomics, plain);
+                for b in [lo, hi].into_iter().flatten() {
+                    scan_expr(b, in_go, atomics, plain);
+                }
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                scan_expr(lhs, in_go, atomics, plain);
+                scan_expr(rhs, in_go, atomics, plain);
+            }
+            _ => {}
+        }
+    }
+    fn scan_stmts(
+        list: &[Stmt],
+        in_go: bool,
+        atomics: &BTreeSet<String>,
+        plain: &mut BTreeMap<String, Span>,
+    ) {
+        for s in list {
+            match s {
+                Stmt::Go {
+                    call: Expr::Call { fun, args, .. },
+                    ..
+                } => {
+                    if let Expr::FuncLit { body, .. } = fun.as_ref() {
+                        scan_stmts(&body.stmts, true, atomics, plain);
+                    }
+                    for a in args {
+                        scan_expr(a, in_go, atomics, plain);
+                    }
+                }
+                Stmt::Decl(d) => {
+                    for v in &d.values {
+                        scan_expr(v, in_go, atomics, plain);
+                    }
+                }
+                Stmt::ShortVar { values, .. } => {
+                    for v in values {
+                        scan_expr(v, in_go, atomics, plain);
+                    }
+                }
+                Stmt::Assign { lhs, rhs, .. } => {
+                    for e in lhs.iter().chain(rhs) {
+                        scan_expr(e, in_go, atomics, plain);
+                    }
+                }
+                Stmt::IncDec { expr, .. } => scan_expr(expr, in_go, atomics, plain),
+                Stmt::Expr(e) => scan_expr(e, in_go, atomics, plain),
+                Stmt::Send { chan, value, .. } => {
+                    scan_expr(chan, in_go, atomics, plain);
+                    scan_expr(value, in_go, atomics, plain);
+                }
+                Stmt::Defer { call, .. } => scan_expr(call, in_go, atomics, plain),
+                Stmt::Return { values, .. } => {
+                    for v in values {
+                        scan_expr(v, in_go, atomics, plain);
+                    }
+                }
+                Stmt::If(ifs) => {
+                    if let Some(init) = &ifs.init {
+                        scan_stmts(std::slice::from_ref(init), in_go, atomics, plain);
+                    }
+                    scan_expr(&ifs.cond, in_go, atomics, plain);
+                    scan_stmts(&ifs.then.stmts, in_go, atomics, plain);
+                    if let Some(e) = &ifs.else_ {
+                        scan_stmts(std::slice::from_ref(e), in_go, atomics, plain);
+                    }
+                }
+                Stmt::For(f) => {
+                    if let Some(init) = &f.init {
+                        scan_stmts(std::slice::from_ref(init), in_go, atomics, plain);
+                    }
+                    if let Some(c) = &f.cond {
+                        scan_expr(c, in_go, atomics, plain);
+                    }
+                    if let Some(p) = &f.post {
+                        scan_stmts(std::slice::from_ref(p), in_go, atomics, plain);
+                    }
+                    scan_stmts(&f.body.stmts, in_go, atomics, plain);
+                }
+                Stmt::Range(r) => {
+                    scan_expr(&r.expr, in_go, atomics, plain);
+                    scan_stmts(&r.body.stmts, in_go, atomics, plain);
+                }
+                Stmt::Switch(sw) => {
+                    if let Some(tag) = &sw.tag {
+                        scan_expr(tag, in_go, atomics, plain);
+                    }
+                    for c in &sw.cases {
+                        scan_stmts(&c.body, in_go, atomics, plain);
+                    }
+                }
+                Stmt::Select(sel) => {
+                    for c in &sel.cases {
+                        scan_stmts(&c.body, in_go, atomics, plain);
+                    }
+                }
+                Stmt::Block(b) => scan_stmts(&b.stmts, in_go, atomics, plain),
+                Stmt::Labeled { stmt, .. } => {
+                    scan_stmts(std::slice::from_ref(stmt), in_go, atomics, plain)
+                }
+                _ => {}
+            }
+        }
+    }
+    for d in &file.decls {
+        if let Decl::Func(f) = d {
+            if let Some(body) = &f.body {
+                scan_stmts(&body.stmts, false, &atomic_paths, &mut plain);
+            }
+        }
+    }
+    for (path, span) in plain {
+        diags.push(Diagnostic::warning(
+            "mixed-atomic",
+            format!(
+                "`{path}` is updated atomically elsewhere but accessed with a plain operation here"
+            ),
+            span,
+        ));
+    }
+}
+
+// ---- copylocks (warning) ----------------------------------------------------
+
+/// Type names whose values embed a lock (directly or transitively).
+fn lock_bearing_types(file: &File) -> BTreeSet<String> {
+    let mut bearing: BTreeSet<String> = BTreeSet::new();
+    loop {
+        let mut changed = false;
+        for d in &file.decls {
+            let Decl::Type(t) = d else { continue };
+            if bearing.contains(&t.name) {
+                continue;
+            }
+            let Type::Struct(fields) = &t.ty else {
+                continue;
+            };
+            let has_lock = fields.iter().any(|f| {
+                if let Type::Named { .. } = &f.ty {
+                    let p = f.ty.as_named_path().unwrap_or_default();
+                    p == "sync.Mutex" || p == "sync.RWMutex" || bearing.contains(&p)
+                } else {
+                    false
+                }
+            });
+            if has_lock {
+                bearing.insert(t.name.clone());
+                changed = true;
+            }
+        }
+        if !changed {
+            return bearing;
+        }
+    }
+}
+
+/// `(type name, is pointer)` of a value-producing expression, given a
+/// shallow local type environment.
+fn value_type(e: &Expr, env: &BTreeMap<String, (String, bool)>) -> Option<(String, bool)> {
+    match e {
+        Expr::Ident { name, .. } => env.get(name).cloned(),
+        Expr::CompositeLit { ty: Some(t), .. } => Some((t.as_named_path()?, false)),
+        Expr::Unary {
+            op: UnOp::Addr,
+            expr,
+            ..
+        } => {
+            let (t, _) = value_type(expr, env)?;
+            Some((t, true))
+        }
+        Expr::Unary {
+            op: UnOp::Deref,
+            expr,
+            ..
+        } => {
+            let (t, ptr) = value_type(expr, env)?;
+            ptr.then_some((t, false))
+        }
+        Expr::New { ty, .. } => Some((ty.as_named_path()?, true)),
+        Expr::Paren { expr, .. } => value_type(expr, env),
+        _ => None,
+    }
+}
+
+fn named_of(ty: &Type) -> Option<(String, bool)> {
+    match ty {
+        Type::Pointer(inner) => Some((inner.as_named_path()?, true)),
+        other => Some((other.as_named_path()?, false)),
+    }
+}
+
+fn check_copy(
+    env: &mut BTreeMap<String, (String, bool)>,
+    bearing: &BTreeSet<String>,
+    diags: &mut Vec<Diagnostic>,
+    names: &[String],
+    values: &[Expr],
+    span: Span,
+) {
+    for (i, name) in names.iter().enumerate() {
+        if name == "_" {
+            continue; // `_ = x` discards the value; nothing retains the copy
+        }
+        let Some(v) = values.get(i) else { continue };
+        let Some((t, ptr)) = value_type(v, env) else {
+            continue;
+        };
+        let copies = !ptr && bearing.contains(&t) && !matches!(v, Expr::CompositeLit { .. });
+        if copies {
+            diags.push(Diagnostic::warning(
+                "copylocks",
+                format!("assignment copies `{t}`, which contains a mutex"),
+                span,
+            ));
+        }
+        env.insert(name.clone(), (t, ptr));
+    }
+}
+
+fn copylocks_lint(file: &File, diags: &mut Vec<Diagnostic>) {
+    let bearing = lock_bearing_types(file);
+    if bearing.is_empty() {
+        return;
+    }
+    for d in &file.decls {
+        let Decl::Func(f) = d else { continue };
+        let mut env: BTreeMap<String, (String, bool)> = BTreeMap::new();
+        if let Some(r) = &f.receiver {
+            if let Some((t, ptr)) = named_of(&r.ty) {
+                if !ptr && bearing.contains(&t) {
+                    diags.push(Diagnostic::warning(
+                        "copylocks",
+                        format!(
+                            "method receiver `{}` passes `{t}` by value, copying its mutex",
+                            r.name
+                        ),
+                        r.span,
+                    ));
+                }
+                env.insert(r.name.clone(), (t, ptr));
+            }
+        }
+        for p in &f.sig.params {
+            if let Some((t, ptr)) = named_of(&p.ty) {
+                if !ptr && bearing.contains(&t) {
+                    for name in &p.names {
+                        diags.push(Diagnostic::warning(
+                            "copylocks",
+                            format!("parameter `{name}` passes `{t}` by value, copying its mutex"),
+                            p.span,
+                        ));
+                    }
+                }
+                for name in &p.names {
+                    env.insert(name.clone(), (t.clone(), ptr));
+                }
+            }
+        }
+        let Some(body) = &f.body else { continue };
+        // Ordered walk: declarations precede uses in Go, so a single
+        // pass keeps the env accurate enough for this shallow check.
+        walk_lists(
+            &body.stmts,
+            &mut |_| {},
+            &mut |s| match s {
+                Stmt::ShortVar {
+                    names,
+                    values,
+                    span,
+                    ..
+                } => check_copy(&mut env, &bearing, diags, names, values, *span),
+                Stmt::Decl(d) => {
+                    if let Some(t) = &d.ty {
+                        if let Some((t, ptr)) = named_of(t) {
+                            for name in &d.names {
+                                env.insert(name.clone(), (t.clone(), ptr));
+                            }
+                        }
+                    } else {
+                        check_copy(&mut env, &bearing, diags, &d.names, &d.values, d.span);
+                    }
+                }
+                Stmt::Assign { lhs, rhs, span, .. } => {
+                    let names: Vec<String> = lhs
+                        .iter()
+                        .map(|e| e.as_ident().unwrap_or("").to_owned())
+                        .collect();
+                    if names.iter().all(|n| !n.is_empty()) {
+                        check_copy(&mut env, &bearing, diags, &names, rhs, *span);
+                    }
+                }
+                _ => {}
+            },
+            &mut |_| {},
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        ast_lints(&golite::parse_file(src).expect("test source parses"))
+    }
+
+    fn rules(src: &str) -> Vec<String> {
+        lint(src).into_iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn arity_mismatch_is_flagged() {
+        let r = rules("package p\n\nfunc F() {\n\tgo func(x int) {\n\t\t_ = x\n\t}()\n}\n");
+        assert_eq!(r, vec!["arity-mismatch"]);
+    }
+
+    #[test]
+    fn matching_arity_is_clean() {
+        let r = rules("package p\n\nfunc F() {\n\tgo func(x int) {\n\t\t_ = x\n\t}(1)\n}\n");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn range_over_sync_map_is_flagged() {
+        let r = rules(
+            "package p\n\nimport \"sync\"\n\nvar m sync.Map\n\nfunc F() {\n\tfor range m {\n\t}\n}\n",
+        );
+        assert_eq!(r, vec!["syncmap-range"]);
+    }
+
+    #[test]
+    fn range_over_plain_map_is_clean() {
+        let r = rules(
+            "package p\n\nfunc F(m map[string]int) {\n\tfor k := range m {\n\t\t_ = k\n\t}\n}\n",
+        );
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn waitgroup_double_add_is_flagged() {
+        let r = rules(
+            "package p\n\nimport \"sync\"\n\nfunc F() {\n\tvar wg sync.WaitGroup\n\twg.Add(1)\n\tgo func() {\n\t\twg.Add(1)\n\t\tdefer wg.Done()\n\t}()\n\twg.Wait()\n}\n",
+        );
+        assert_eq!(r, vec!["waitgroup-double-add"]);
+    }
+
+    #[test]
+    fn single_add_is_clean() {
+        let r = rules(
+            "package p\n\nimport \"sync\"\n\nfunc F() {\n\tvar wg sync.WaitGroup\n\twg.Add(1)\n\tgo func() {\n\t\tdefer wg.Done()\n\t}()\n\twg.Wait()\n}\n",
+        );
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn mixed_atomic_in_goroutine_warns() {
+        let d = lint(
+            "package p\n\nimport (\n\t\"sync\"\n\t\"sync/atomic\"\n)\n\nfunc F() {\n\tvar n int64\n\tvar wg sync.WaitGroup\n\twg.Add(2)\n\tgo func() {\n\t\tdefer wg.Done()\n\t\tatomic.AddInt64(&n, 1)\n\t}()\n\tgo func() {\n\t\tdefer wg.Done()\n\t\tn = n + 1\n\t}()\n\twg.Wait()\n}\n",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "mixed-atomic");
+        assert_eq!(d[0].severity, golite::Severity::Warning);
+    }
+
+    #[test]
+    fn plain_read_after_wait_is_clean() {
+        let r = rules(
+            "package p\n\nimport (\n\t\"sync\"\n\t\"sync/atomic\"\n)\n\nfunc F() int64 {\n\tvar n int64\n\tvar wg sync.WaitGroup\n\twg.Add(1)\n\tgo func() {\n\t\tdefer wg.Done()\n\t\tatomic.AddInt64(&n, 1)\n\t}()\n\twg.Wait()\n\treturn n\n}\n",
+        );
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn mutex_by_value_param_warns() {
+        let r = rules(
+            "package p\n\nimport \"sync\"\n\ntype Counter struct {\n\tmu sync.Mutex\n\tn int\n}\n\nfunc use(c Counter) int {\n\treturn c.n\n}\n",
+        );
+        assert_eq!(r, vec!["copylocks"]);
+    }
+
+    #[test]
+    fn mutex_by_pointer_is_clean() {
+        let r = rules(
+            "package p\n\nimport \"sync\"\n\ntype Counter struct {\n\tmu sync.Mutex\n\tn int\n}\n\nfunc use(c *Counter) int {\n\treturn c.n\n}\n",
+        );
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn value_copy_of_lock_bearing_struct_warns() {
+        let r = rules(
+            "package p\n\nimport \"sync\"\n\ntype Counter struct {\n\tmu sync.Mutex\n\tn int\n}\n\nfunc F(c *Counter) {\n\tlocal := *c\n\t_ = local\n}\n",
+        );
+        assert_eq!(r, vec!["copylocks"]);
+    }
+}

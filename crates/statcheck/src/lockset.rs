@@ -1,0 +1,497 @@
+//! Lockset dataflow over one [`Context`]'s CFG.
+//!
+//! The abstract state per lock is the *set of possible hold counts*, a
+//! pair `(write, read)` per path that reached this point. Tracking a
+//! set of pairs (instead of one interval) keeps the must/may distinction
+//! exact enough for the error tier: a rule fires as an error only when
+//! **every** possible count satisfies its predicate, so a report on the
+//! error tier means the misuse happens on all paths — the contract that
+//! lets the patch gate reject without risking a sound candidate.
+//!
+//! Counts saturate at [`MAX_COUNT`]; a pair-set wider than `MAX_PAIRS`
+//! widens to "unknown", which silences every rule for that lock.
+
+use crate::cfg::{Context, ContextKind, LockMethod, Op};
+use golite::{Diagnostic, Span};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Hold counts saturate here; 3 distinguishes 0/1/re-entry.
+pub const MAX_COUNT: u8 = 3;
+/// Pair-sets wider than this widen to unknown.
+const MAX_PAIRS: usize = 4;
+
+/// Possible `(write, read)` hold counts of one lock; `None` = unknown.
+type PairSet = Option<Vec<(u8, u8)>>;
+
+/// Dataflow fact at a program point.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Flow {
+    /// Per-lock possible hold counts; a missing key means `{(0, 0)}`.
+    locks: BTreeMap<String, PairSet>,
+    /// Per-lock `(Unlock, RUnlock)` counts registered via `defer`
+    /// (must-counts: merged with `min`).
+    deferred: BTreeMap<String, (u8, u8)>,
+    /// Whether a `go` statement may have executed before this point:
+    /// accesses in the sequential prefix of a function cannot race.
+    spawned: bool,
+}
+
+fn canon(pairs: &mut Vec<(u8, u8)>) {
+    pairs.sort_unstable();
+    pairs.dedup();
+}
+
+fn join_pairs(a: &PairSet, b: &PairSet) -> PairSet {
+    match (a, b) {
+        (Some(x), Some(y)) => {
+            let mut u = x.clone();
+            u.extend(y.iter().copied());
+            canon(&mut u);
+            if u.len() > MAX_PAIRS {
+                None
+            } else {
+                Some(u)
+            }
+        }
+        _ => None,
+    }
+}
+
+impl Flow {
+    fn pairs(&self, lock: &str) -> PairSet {
+        self.locks
+            .get(lock)
+            .cloned()
+            .unwrap_or_else(|| Some(vec![(0, 0)]))
+    }
+
+    fn normalize(&mut self) {
+        self.locks
+            .retain(|_, v| !matches!(v, Some(p) if p.as_slice() == [(0, 0)]));
+        self.deferred.retain(|_, v| *v != (0, 0));
+    }
+
+    fn join_from(&mut self, other: &Flow) {
+        let keys: BTreeSet<&String> = self.locks.keys().chain(other.locks.keys()).collect();
+        let mut joined = BTreeMap::new();
+        for k in keys {
+            joined.insert(k.clone(), join_pairs(&self.pairs(k), &other.pairs(k)));
+        }
+        self.locks = joined;
+        let keys: Vec<String> = self.deferred.keys().cloned().collect();
+        for k in keys {
+            let o = other.deferred.get(&k).copied().unwrap_or((0, 0));
+            let e = self.deferred.get_mut(&k).expect("key from self");
+            e.0 = e.0.min(o.0);
+            e.1 = e.1.min(o.1);
+        }
+        // Keys only in `other` merge with our implicit (0, 0): they stay 0.
+        self.spawned |= other.spawned;
+        self.normalize();
+    }
+
+    /// Locks whose write count is ≥ 1 on every path.
+    fn must_write_held(&self) -> BTreeSet<String> {
+        self.locks
+            .iter()
+            .filter_map(|(k, v)| match v {
+                Some(p) if p.iter().all(|(w, _)| *w >= 1) => Some(k.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Locks whose read count is ≥ 1 on every path.
+    fn must_read_held(&self) -> BTreeSet<String> {
+        self.locks
+            .iter()
+            .filter_map(|(k, v)| match v {
+                Some(p) if p.iter().all(|(_, r)| *r >= 1) => Some(k.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Locks held in *some* mode on every path.
+    fn must_held_any(&self) -> BTreeSet<String> {
+        self.locks
+            .iter()
+            .filter_map(|(k, v)| match v {
+                Some(p) if p.iter().all(|(w, r)| *w + *r >= 1) => Some(k.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// One variable access with the locks that must be held around it.
+#[derive(Debug, Clone)]
+pub struct AccessFact {
+    /// Qualified variable path.
+    pub path: String,
+    /// `true` for writes.
+    pub write: bool,
+    /// Source span.
+    pub span: Span,
+    /// Locks write-held on every path to this access.
+    pub held_write: BTreeSet<String>,
+    /// Locks read-held on every path to this access.
+    pub held_read: BTreeSet<String>,
+    /// Whether the accessed variable is declared inside its context.
+    pub declared_local: bool,
+    /// The context kind the access runs in.
+    pub kind: ContextKind,
+    /// Whether this access can overlap another goroutine: it runs in a
+    /// spawned context, or in a function body after a `go` statement.
+    /// Accesses in the sequential prefix of a function are `false`.
+    pub concurrent: bool,
+}
+
+/// `held → acquired` ordering observation at a lock acquisition.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    /// The lock already held.
+    pub held: String,
+    /// The lock being acquired.
+    pub acquired: String,
+    /// Span of the acquisition.
+    pub span: Span,
+}
+
+/// A direct call with the lock context it runs under.
+#[derive(Debug, Clone)]
+pub struct CallFact {
+    /// Callee function name.
+    pub callee: String,
+    /// Locks held (any mode, must) at the call site.
+    pub held: BTreeSet<String>,
+    /// Span of the call.
+    pub span: Span,
+}
+
+/// Everything the lockset analysis learned about one context.
+#[derive(Debug, Default)]
+pub struct ContextResult {
+    /// Diagnostics found in this context.
+    pub diags: Vec<Diagnostic>,
+    /// Per-access lock facts, for the cross-context lints.
+    pub accesses: Vec<AccessFact>,
+    /// Lock-order observations for the deadlock graph.
+    pub lock_edges: Vec<LockEdge>,
+    /// Calls with held locks, for call-mediated ordering edges.
+    pub calls: Vec<CallFact>,
+    /// Locks this context acquires directly (non-deferred).
+    pub acquires: BTreeSet<String>,
+}
+
+/// Strips the `owner::` qualifier for display in messages.
+pub fn display_path(id: &str) -> &str {
+    id.rsplit_once("::").map(|(_, p)| p).unwrap_or(id)
+}
+
+/// Applies `op` to `flow`; when `out` is given, also reports.
+fn transfer(flow: &mut Flow, op: &Op, ctx: &Context, out: Option<&mut ContextResult>) {
+    match op {
+        Op::Sync {
+            lock,
+            method,
+            deferred: true,
+            ..
+        } => match method {
+            LockMethod::Unlock => {
+                let e = flow.deferred.entry(lock.clone()).or_insert((0, 0));
+                e.0 = (e.0 + 1).min(MAX_COUNT);
+            }
+            LockMethod::RUnlock => {
+                let e = flow.deferred.entry(lock.clone()).or_insert((0, 0));
+                e.1 = (e.1 + 1).min(MAX_COUNT);
+            }
+            // A deferred acquire runs at an unknowable point: give up on
+            // this lock rather than risk a wrong error.
+            LockMethod::Lock | LockMethod::RLock => {
+                flow.locks.insert(lock.clone(), None);
+            }
+        },
+        Op::Sync {
+            lock,
+            method,
+            deferred: false,
+            span,
+        } => {
+            let pairs = flow.pairs(lock);
+            if let (Some(out), Some(p)) = (out, &pairs) {
+                let name = display_path(lock);
+                match method {
+                    LockMethod::Lock if p.iter().all(|(w, r)| *w + *r >= 1) => {
+                        let msg = if p.iter().all(|(w, _)| *w >= 1) {
+                            format!(
+                                "second Lock of `{name}` deadlocks: the write lock is already held"
+                            )
+                        } else if p.iter().all(|(_, r)| *r >= 1) {
+                            format!("Lock of `{name}` deadlocks: the read lock is already held (no upgrade)")
+                        } else {
+                            format!("Lock of `{name}` deadlocks: the lock is already held")
+                        };
+                        out.diags.push(Diagnostic::error("double-lock", msg, *span));
+                    }
+                    LockMethod::RLock if p.iter().all(|(w, _)| *w >= 1) => {
+                        out.diags.push(Diagnostic::error(
+                            "double-lock",
+                            format!("RLock of `{name}` deadlocks: the write lock is already held"),
+                            *span,
+                        ));
+                    }
+                    LockMethod::Unlock if p.iter().all(|(w, _)| *w == 0) => {
+                        out.diags.push(Diagnostic::error(
+                            "unlock-without-lock",
+                            format!("Unlock of `{name}` without holding the write lock"),
+                            *span,
+                        ));
+                    }
+                    LockMethod::RUnlock if p.iter().all(|(_, r)| *r == 0) => {
+                        out.diags.push(Diagnostic::error(
+                            "runlock-without-rlock",
+                            format!("RUnlock of `{name}` without holding the read lock"),
+                            *span,
+                        ));
+                    }
+                    _ => {}
+                }
+                if method.is_acquire() {
+                    for held in flow.must_held_any() {
+                        if held != *lock {
+                            out.lock_edges.push(LockEdge {
+                                held,
+                                acquired: lock.clone(),
+                                span: *span,
+                            });
+                        }
+                    }
+                    out.acquires.insert(lock.clone());
+                }
+            }
+            let next = pairs.map(|p| {
+                let mut p: Vec<(u8, u8)> = p
+                    .into_iter()
+                    .map(|(w, r)| match method {
+                        LockMethod::Lock => ((w + 1).min(MAX_COUNT), r),
+                        LockMethod::RLock => (w, (r + 1).min(MAX_COUNT)),
+                        LockMethod::Unlock => (w.saturating_sub(1), r),
+                        LockMethod::RUnlock => (w, r.saturating_sub(1)),
+                    })
+                    .collect();
+                canon(&mut p);
+                p
+            });
+            flow.locks.insert(lock.clone(), next);
+        }
+        Op::Access { path, write, span } => {
+            if let Some(out) = out {
+                let raw = display_path(path);
+                let root = raw.split('.').next().unwrap_or(raw);
+                out.accesses.push(AccessFact {
+                    path: path.clone(),
+                    write: *write,
+                    span: *span,
+                    held_write: flow.must_write_held(),
+                    held_read: flow.must_read_held(),
+                    declared_local: ctx.declared.contains(root),
+                    kind: ctx.kind,
+                    concurrent: ctx.kind != ContextKind::Function || flow.spawned,
+                });
+            }
+        }
+        Op::Spawn => flow.spawned = true,
+        Op::Call { callee, span } => {
+            if let Some(out) = out {
+                out.calls.push(CallFact {
+                    callee: callee.clone(),
+                    held: flow.must_held_any(),
+                    span: *span,
+                });
+            }
+        }
+        Op::Exit { span } => {
+            if let Some(out) = out {
+                for (lock, state) in &flow.locks {
+                    let Some(pairs) = state else { continue };
+                    let (du, dr) = flow.deferred.get(lock).copied().unwrap_or((0, 0));
+                    let leaked = pairs
+                        .iter()
+                        .all(|(w, r)| w.saturating_sub(du) + r.saturating_sub(dr) >= 1);
+                    if leaked {
+                        out.diags.push(Diagnostic::warning(
+                            "missing-unlock",
+                            format!("lock `{}` is still held at this return", display_path(lock)),
+                            *span,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs the lockset analysis over one context.
+pub fn solve(ctx: &Context) -> ContextResult {
+    let blocks = &ctx.cfg.blocks;
+    let mut in_states: Vec<Option<Flow>> = vec![None; blocks.len()];
+    in_states[0] = Some(Flow::default());
+    let mut work = vec![0usize];
+    while let Some(b) = work.pop() {
+        let Some(mut flow) = in_states[b].clone() else {
+            continue;
+        };
+        for op in &blocks[b].ops {
+            transfer(&mut flow, op, ctx, None);
+        }
+        flow.normalize();
+        for &s in &blocks[b].succs {
+            let changed = match &mut in_states[s] {
+                Some(existing) => {
+                    let before = existing.clone();
+                    existing.join_from(&flow);
+                    *existing != before
+                }
+                slot @ None => {
+                    *slot = Some(flow.clone());
+                    true
+                }
+            };
+            if changed {
+                work.push(s);
+            }
+        }
+    }
+    // Report pass: one deterministic sweep over reachable blocks with
+    // their fixpoint in-states.
+    let mut out = ContextResult::default();
+    for (b, state) in in_states.iter().enumerate() {
+        let Some(state) = state else { continue };
+        let mut flow = state.clone();
+        for op in &blocks[b].ops {
+            transfer(&mut flow, op, ctx, Some(&mut out));
+        }
+    }
+    out.diags
+        .sort_by(|a, b| (a.span.lo, a.span.hi, &a.rule).cmp(&(b.span.lo, b.span.hi, &b.rule)));
+    out.diags.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::contexts;
+
+    fn solve_src(src: &str) -> Vec<ContextResult> {
+        let file = golite::parse_file(src).expect("test source parses");
+        contexts(&file).iter().map(solve).collect()
+    }
+
+    fn rules(results: &[ContextResult]) -> Vec<String> {
+        results
+            .iter()
+            .flat_map(|r| r.diags.iter().map(|d| d.rule.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn balanced_lock_is_clean() {
+        let r = solve_src(
+            "package p\n\nimport \"sync\"\n\nvar mu sync.Mutex\nvar n int\n\nfunc F() {\n\tmu.Lock()\n\tn++\n\tmu.Unlock()\n}\n",
+        );
+        assert!(rules(&r).is_empty());
+    }
+
+    #[test]
+    fn defer_unlock_is_clean() {
+        let r = solve_src(
+            "package p\n\nimport \"sync\"\n\nvar mu sync.Mutex\nvar n int\n\nfunc F() int {\n\tmu.Lock()\n\tdefer mu.Unlock()\n\tn++\n\treturn n\n}\n",
+        );
+        assert!(rules(&r).is_empty());
+    }
+
+    #[test]
+    fn double_lock_fires_error() {
+        let r = solve_src(
+            "package p\n\nimport \"sync\"\n\nvar mu sync.Mutex\n\nfunc F() {\n\tmu.Lock()\n\tmu.Lock()\n\tmu.Unlock()\n\tmu.Unlock()\n}\n",
+        );
+        assert_eq!(rules(&r), vec!["double-lock"]);
+        assert_eq!(r[0].diags[0].severity, golite::Severity::Error);
+    }
+
+    #[test]
+    fn conditional_lock_pair_is_not_double_lock() {
+        let r = solve_src(
+            "package p\n\nimport \"sync\"\n\nvar mu sync.Mutex\n\nfunc F(c bool) {\n\tif c {\n\t\tmu.Lock()\n\t}\n\tif c {\n\t\tmu.Unlock()\n\t}\n}\n",
+        );
+        assert!(rules(&r)
+            .iter()
+            .all(|r| r != "double-lock" && r != "unlock-without-lock"));
+    }
+
+    #[test]
+    fn unlock_without_lock_fires_error() {
+        let r = solve_src(
+            "package p\n\nimport \"sync\"\n\nvar mu sync.Mutex\n\nfunc F() {\n\tmu.Unlock()\n}\n",
+        );
+        assert_eq!(rules(&r), vec!["unlock-without-lock"]);
+    }
+
+    #[test]
+    fn early_return_leak_warns_missing_unlock() {
+        let r = solve_src(
+            "package p\n\nimport \"sync\"\n\nvar mu sync.Mutex\nvar n int\n\nfunc F(c bool) int {\n\tmu.Lock()\n\tif c {\n\t\treturn 0\n\t}\n\tn++\n\tmu.Unlock()\n\treturn n\n}\n",
+        );
+        assert_eq!(rules(&r), vec!["missing-unlock"]);
+        assert_eq!(r[0].diags[0].severity, golite::Severity::Warning);
+    }
+
+    #[test]
+    fn rlock_then_lock_is_upgrade_deadlock() {
+        let r = solve_src(
+            "package p\n\nimport \"sync\"\n\nvar mu sync.RWMutex\n\nfunc F() {\n\tmu.RLock()\n\tmu.Lock()\n\tmu.Unlock()\n\tmu.RUnlock()\n}\n",
+        );
+        assert_eq!(rules(&r), vec!["double-lock"]);
+        assert!(r[0].diags[0].message.contains("read lock"));
+    }
+
+    #[test]
+    fn rlock_pairs_are_reentrant() {
+        let r = solve_src(
+            "package p\n\nimport \"sync\"\n\nvar mu sync.RWMutex\nvar n int\n\nfunc F() int {\n\tmu.RLock()\n\tmu.RLock()\n\tm := n\n\tmu.RUnlock()\n\tmu.RUnlock()\n\treturn m\n}\n",
+        );
+        assert!(rules(&r).is_empty());
+    }
+
+    #[test]
+    fn lock_order_edges_are_collected() {
+        let r = solve_src(
+            "package p\n\nimport \"sync\"\n\nvar a sync.Mutex\nvar b sync.Mutex\n\nfunc F() {\n\ta.Lock()\n\tb.Lock()\n\tb.Unlock()\n\ta.Unlock()\n}\n",
+        );
+        let edges: Vec<(String, String)> = r[0]
+            .lock_edges
+            .iter()
+            .map(|e| (e.held.clone(), e.acquired.clone()))
+            .collect();
+        assert_eq!(edges, vec![("a".to_owned(), "b".to_owned())]);
+    }
+
+    #[test]
+    fn access_facts_carry_held_locks() {
+        let r = solve_src(
+            "package p\n\nimport \"sync\"\n\nvar mu sync.Mutex\nvar n int\n\nfunc F() {\n\tgo func() {\n\t\tmu.Lock()\n\t\tn++\n\t\tmu.Unlock()\n\t}()\n}\n",
+        );
+        let goroutine = &r[1];
+        let fact = goroutine
+            .accesses
+            .iter()
+            .find(|a| a.path == "n")
+            .expect("access to n");
+        assert!(fact.write);
+        assert!(fact.held_write.contains("mu"));
+        assert_eq!(fact.kind, ContextKind::Goroutine);
+        assert!(!fact.declared_local);
+    }
+}

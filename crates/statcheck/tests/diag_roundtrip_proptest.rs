@@ -1,0 +1,102 @@
+//! Proptest: re-formatting a program through the golite printer→parser
+//! round-trip must not change what `statcheck` reports.
+//!
+//! Diagnostics carry positions only in their spans — rule ids and
+//! messages embed no line/column text — so a pure re-format (parse, then
+//! pretty-print, then re-analyze) must preserve the multiset of
+//! `(file, severity, rule, message)` tuples exactly. The corpus
+//! generators provide the program distribution: racy eval cases, their
+//! human fixes, and the fixed LintShapes family.
+
+use corpus::{generate_eval_corpus, lint_shapes, CorpusConfig};
+use proptest::prelude::*;
+use statcheck::FileReport;
+
+/// One program under test: named sources.
+fn programs() -> Vec<Vec<(String, String)>> {
+    let mut out = Vec::new();
+    for case in generate_eval_corpus(&CorpusConfig {
+        eval_cases: 24,
+        db_pairs: 0,
+        seed: 0x51AB,
+    }) {
+        out.push(case.files.clone());
+        if let Some(fix) = &case.human_fix {
+            let mut fixed = case.files.clone();
+            for (name, src) in fix {
+                if let Some(slot) = fixed.iter_mut().find(|(n, _)| n == name) {
+                    slot.1 = src.clone();
+                }
+            }
+            out.push(fixed);
+        }
+    }
+    for shape in lint_shapes() {
+        out.push(vec![(shape.file.to_string(), shape.source.to_string())]);
+    }
+    out
+}
+
+/// The re-format-stable fingerprint of a report set.
+fn signature(reports: &[FileReport]) -> Vec<(String, String, String, String)> {
+    let mut sig: Vec<_> = reports
+        .iter()
+        .flat_map(|r| {
+            r.diagnostics.iter().map(|d| {
+                (
+                    r.file.clone(),
+                    d.severity.to_string(),
+                    d.rule.clone(),
+                    d.message.clone(),
+                )
+            })
+        })
+        .collect();
+    sig.sort();
+    sig
+}
+
+/// Pretty-prints every file back from its parsed AST.
+fn reformat(files: &[(String, String)]) -> Vec<(String, String)> {
+    files
+        .iter()
+        .map(|(name, src)| {
+            let ast = golite::parse_file(src)
+                .unwrap_or_else(|d| panic!("corpus file {name} does not parse: {d}"));
+            (name.clone(), golite::print_file(&ast))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reformatting_preserves_diagnostics(idx in 0usize..1000) {
+        let programs = programs();
+        let files = &programs[idx % programs.len()];
+
+        let before = statcheck::check_sources(files)
+            .unwrap_or_else(|(f, d)| panic!("{f} does not parse: {d}"));
+        let reformatted = reformat(files);
+        let after = statcheck::check_sources(&reformatted)
+            .unwrap_or_else(|(f, d)| panic!("reformatted {f} does not parse: {d}"));
+
+        prop_assert_eq!(signature(&before), signature(&after));
+    }
+
+    #[test]
+    fn reformatting_is_idempotent_for_the_analyzer(idx in 0usize..1000) {
+        // A second round-trip adds nothing: the printer is a fixpoint
+        // for the analyzer's view of the program.
+        let programs = programs();
+        let files = &programs[idx % programs.len()];
+        let once = reformat(files);
+        let twice = reformat(&once);
+        let a = statcheck::check_sources(&once)
+            .unwrap_or_else(|(f, d)| panic!("{f} does not parse: {d}"));
+        let b = statcheck::check_sources(&twice)
+            .unwrap_or_else(|(f, d)| panic!("{f} does not parse: {d}"));
+        prop_assert_eq!(signature(&a), signature(&b));
+    }
+}

@@ -43,6 +43,11 @@ calibrate-smoke:
 exposure-smoke:
     DRFIX_STE_CASES=14 DRFIX_STE_MAX_SCHED=64 DRFIX_STE_VALIDATION_RUNS=64 cargo bench -q -p bench --bench schedules_to_expose
 
+# Static-analyzer false-positive sweep: statcheck must stay silent on
+# every correct program family while the misuse fixtures keep firing.
+lint-corpus:
+    cargo run --release -q -p bench --bin lintcorpus
+
 # The CI `perf-gate` job: deterministic hot-path counter scan vs the
 # checked-in BENCH_hotpath.json baseline (>10% counter drift fails).
 perf-smoke:

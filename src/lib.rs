@@ -9,6 +9,8 @@
 //!   concurrency slicing, embeddings, and the vector store;
 //! - [`synthllm`] — the deterministic model substitute;
 //! - [`corpus`] — the synthetic racy-Go workload generator;
+//! - [`statcheck`] — the lockset/lock-order static analyzer gating
+//!   candidate patches before dynamic validation;
 //! - [`drfix`] — the paper's pipeline tying it all together.
 //!
 //! See the workspace `README.md` (repository root) for the
@@ -23,5 +25,6 @@ pub use golite;
 pub use govm;
 pub use racedet;
 pub use skeleton;
+pub use statcheck;
 pub use synthllm;
 pub use vecdb;
