@@ -4,7 +4,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test bench-compile doc clippy fmt fmt-check bench-smoke calibrate-smoke exposure-smoke lint-corpus perf-smoke perf-baseline soak-smoke clean
+.PHONY: verify build test bench-compile doc clippy fmt fmt-check bench-smoke calibrate-smoke exposure-smoke tournament-smoke lint-corpus perf-smoke perf-baseline soak-smoke clean
 
 ## Full tier-1 gate: release build, tests, bench compilation, lints, docs.
 verify: build test bench-compile clippy fmt-check doc
@@ -48,6 +48,14 @@ calibrate-smoke:
 exposure-smoke:
 	DRFIX_STE_CASES=14 DRFIX_STE_MAX_SCHED=64 DRFIX_STE_VALIDATION_RUNS=64 $(CARGO) bench -q -p bench --bench schedules_to_expose
 
+## Tournament smoke: the multi-candidate tournament arm's acceptance
+## suite on a 2-worker fleet — strict fix superset over the single-path
+## loop, zero VM steps on lint-rejected rosters, and bit-identical
+## outcomes across thread counts and re-runs. Exits non-zero on any
+## regression.
+tournament-smoke:
+	DRFIX_THREADS=2 $(CARGO) test --release -q --test tournament_ab
+
 ## Static-analyzer false-positive sweep: statcheck over every program
 ## family the pipeline treats as correct (human fixes, clean control,
 ## perf families) must stay silent, the racy originals must stay free
@@ -72,7 +80,8 @@ perf-smoke:
 ## reflect the machine, not a noisy-neighbour window.
 perf-baseline:
 	env -u DRFIX_PERF_CASES -u DRFIX_PERF_RUNS -u DRFIX_PERF_HEAP_CASES \
-	-u DRFIX_PERF_CHURN_CASES -u DRFIX_PERF_NOCACHE -u DRFIX_PERF_NOGC \
+	-u DRFIX_PERF_CHURN_CASES -u DRFIX_PERF_GATE_CASES -u DRFIX_PERF_TOURNAMENT_CASES \
+	-u DRFIX_PERF_NOCACHE -u DRFIX_PERF_NOGC \
 	DRFIX_PERF_REPEAT=10 \
 	$(CARGO) run --release -q -p bench --bin perfscan
 

@@ -37,6 +37,7 @@ fn main() {
         heap_cases: 3,
         churn_cases: 2,
         gate_cases: 4,
+        tournament_cases: 6,
     };
 
     bench::header(

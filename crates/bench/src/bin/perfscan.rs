@@ -20,8 +20,9 @@
 //! `DRFIX_PERF_HEAP_CASES` (default 3, the LargeHeap family),
 //! `DRFIX_PERF_CHURN_CASES` (default 3, the Churn family),
 //! `DRFIX_PERF_GATE_CASES` (default 6, the static-gate candidate
-//! workload). The gate refuses to compare reports produced at
-//! different scales.
+//! workload), `DRFIX_PERF_TOURNAMENT_CASES` (default 8, the tournament
+//! arm). The gate refuses to compare reports produced at different
+//! scales.
 //! `DRFIX_PERF_NOCACHE=1` runs the identical workload with the
 //! lock-aware caches off — an A/B for timing work. The *logical*
 //! counters stay bit-identical, but the dedicated cache counters
@@ -150,6 +151,19 @@ fn main() -> ExitCode {
         g.validation_vm_steps_gated,
         g.validation_vm_steps_ungated,
         g.verdict_mismatches,
+    );
+    let t = &report.tournament;
+    println!(
+        "tournament: fixed {}/{} (single-path {}) | {} candidates, {} rejected static, \
+         {} repair iters | {} VM steps/fix ({} static-only, must be 0)",
+        t.cases_fixed,
+        t.cases,
+        t.cases_fixed_single_path,
+        t.candidates,
+        t.candidates_rejected_static,
+        t.repair_iters,
+        t.validation_steps_per_fix,
+        t.static_only_vm_steps,
     );
     println!(
         "exposure corpus: {:.2}M instr/s vs pre-optimization {:.2}M instr/s -> {:.2}x",

@@ -22,6 +22,8 @@
 //! `perf-gate` entry point.
 
 use corpus::{CorpusConfig, RaceCase};
+use drfix::fleet::FleetConfig;
+use drfix::PipelineConfig;
 use govm::{
     compile_sources, run_test_many, CompileOptions, RunCounters, SchedulePolicy, TestConfig,
 };
@@ -50,7 +52,13 @@ pub const WORKLOAD_SEED: u64 = 0xBEEF;
 /// `validation_instrs_saved`, verdict-mismatch cross-check) measuring
 /// what the `statcheck` pre-validation gate saves on a candidate
 /// workload derived from the eval corpus.
-pub const SCHEMA: u32 = 4;
+///
+/// v5: the tournament section (`candidates`, `repair_iters`,
+/// `validation_steps_per_fix`, static-only VM-step cross-check) gating
+/// the multi-candidate tournament arm's candidate counts and dynamic
+/// validation budget per fixed case on the statically-interesting
+/// tournament corpus families.
+pub const SCHEMA: u32 = 5;
 
 /// Sampling granularities measured into the report's recall section.
 /// `1` tracks every address (recall must be total); the coarser mods
@@ -79,6 +87,9 @@ pub struct HotpathScale {
     /// Eval-corpus cases feeding the static-gate candidate workload
     /// (`DRFIX_PERF_GATE_CASES`, default 6).
     pub gate_cases: usize,
+    /// Tournament-corpus cases feeding the tournament arm
+    /// (`DRFIX_PERF_TOURNAMENT_CASES`, default 8).
+    pub tournament_cases: usize,
 }
 
 impl Default for HotpathScale {
@@ -90,6 +101,7 @@ impl Default for HotpathScale {
             heap_cases: 3,
             churn_cases: 3,
             gate_cases: 6,
+            tournament_cases: 8,
         }
     }
 }
@@ -111,6 +123,7 @@ impl HotpathScale {
             heap_cases: get("DRFIX_PERF_HEAP_CASES", d.heap_cases),
             churn_cases: get("DRFIX_PERF_CHURN_CASES", d.churn_cases),
             gate_cases: get("DRFIX_PERF_GATE_CASES", d.gate_cases),
+            tournament_cases: get("DRFIX_PERF_TOURNAMENT_CASES", d.tournament_cases),
         }
     }
 }
@@ -499,6 +512,8 @@ pub struct WorkloadSpec {
     pub churn_cases: usize,
     /// Eval-corpus cases feeding the static-gate candidate workload.
     pub gate_cases: usize,
+    /// Tournament-corpus cases feeding the tournament arm.
+    pub tournament_cases: usize,
 }
 
 /// Detection recall at one sampling granularity, measured by running
@@ -658,6 +673,144 @@ pub fn measure_static_gate(scale: &HotpathScale) -> StaticGateReport {
     rep
 }
 
+/// What the multi-candidate tournament arm costs and buys, measured on
+/// the statically-interesting tournament corpus families (RWMutex
+/// upgrades, double-checked locking, channel selects, racy returns)
+/// against the single-path loop on identical per-case seeds. Fully
+/// deterministic (seeded model draws, seeded schedules), so every
+/// field is gated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TournamentBenchReport {
+    /// Tournament-corpus cases campaigned (both arms).
+    pub cases: u64,
+    /// Cases the tournament arm fixed.
+    pub cases_fixed: u64,
+    /// Cases the single-path reference loop fixed — the superset
+    /// invariant keeps this ≤ `cases_fixed`.
+    pub cases_fixed_single_path: u64,
+    /// Candidates the tournament enumerated across all cases.
+    pub candidates: u64,
+    /// Candidates rejected by the static gate, at zero schedule cost.
+    pub candidates_rejected_static: u64,
+    /// Repair-loop iterations run against `statcheck` diagnostics.
+    pub repair_iters: u64,
+    /// Static lint probes taken by the repair loop.
+    pub lint_probes: u64,
+    /// Dynamic validation campaigns launched.
+    pub validations: u64,
+    /// VM instructions spent by dynamic validation.
+    pub validation_vm_steps: u64,
+    /// `validation_vm_steps / cases_fixed` — the dynamic budget one
+    /// landed fix costs. The headline ratio the gate watches.
+    pub validation_steps_per_fix: u64,
+    /// VM instructions spent on cases whose *entire* roster died at the
+    /// static gate — must stay 0 (the repair loop and the gate burn no
+    /// schedules).
+    pub static_only_vm_steps: u64,
+}
+
+impl TournamentBenchReport {
+    /// `(name, value, direction)` triples, mirroring
+    /// [`StaticGateReport::gauges`]. Case, candidate, and repair counts
+    /// are exact fingerprints of the seeded tournament; the VM-step
+    /// columns get the usual cost tolerance; the static-only column is
+    /// exact (and zero) by the repair loop's no-schedules invariant.
+    pub fn gauges(&self) -> Vec<(&'static str, u64, Direction)> {
+        vec![
+            ("cases", self.cases, Direction::Exact),
+            ("cases_fixed", self.cases_fixed, Direction::Exact),
+            (
+                "cases_fixed_single_path",
+                self.cases_fixed_single_path,
+                Direction::Exact,
+            ),
+            ("candidates", self.candidates, Direction::Exact),
+            (
+                "candidates_rejected_static",
+                self.candidates_rejected_static,
+                Direction::Exact,
+            ),
+            ("repair_iters", self.repair_iters, Direction::Exact),
+            ("lint_probes", self.lint_probes, Direction::Exact),
+            ("validations", self.validations, Direction::Exact),
+            (
+                "validation_vm_steps",
+                self.validation_vm_steps,
+                Direction::Cost,
+            ),
+            (
+                "validation_steps_per_fix",
+                self.validation_steps_per_fix,
+                Direction::Cost,
+            ),
+            (
+                "static_only_vm_steps",
+                self.static_only_vm_steps,
+                Direction::Exact,
+            ),
+        ]
+    }
+}
+
+/// Measures [`TournamentBenchReport`]: the tournament corpus is run
+/// through the single-path loop and the tournament arm on identical
+/// per-case seeds (serial fleet — the outcomes are bit-identical at
+/// any thread count, so the cheapest shard plan is fine for counters).
+pub fn measure_tournament(scale: &HotpathScale) -> TournamentBenchReport {
+    let cases = corpus::generate_tournament_corpus(&CorpusConfig {
+        eval_cases: scale.tournament_cases,
+        db_pairs: 0,
+        seed: CORPUS_SEED,
+    });
+    let cfg = PipelineConfig {
+        tier: synthllm::ModelTier::Gpt4Turbo,
+        rag: drfix::RagMode::None,
+        validation_runs: scale.runs.min(8),
+        detect_runs: 24,
+        seed: WORKLOAD_SEED,
+        ..PipelineConfig::default()
+    };
+    let fleet = FleetConfig::serial();
+    let single = crate::run_arm_with("single-path", cfg.clone(), &fleet, &cases, None);
+    let tourn = crate::run_arm_with(
+        "tournament",
+        PipelineConfig {
+            tournament: Some(drfix::TournamentConfig::default()),
+            ..cfg
+        },
+        &fleet,
+        &cases,
+        None,
+    );
+    let mut rep = TournamentBenchReport {
+        cases: cases.len() as u64,
+        cases_fixed_single_path: single.fixed() as u64,
+        ..TournamentBenchReport::default()
+    };
+    for out in &tourn.outcomes {
+        rep.cases_fixed += out.fixed as u64;
+        rep.candidates_rejected_static += u64::from(out.rejected_static);
+        rep.validations += u64::from(out.validations);
+        rep.validation_vm_steps += out.validation_vm_steps;
+        let Some(t) = &out.tournament else { continue };
+        rep.candidates += t.candidates.len() as u64;
+        rep.repair_iters += u64::from(t.repair_iters);
+        rep.lint_probes += u64::from(t.lint_probes);
+        let all_static = !t.candidates.is_empty()
+            && t.candidates
+                .iter()
+                .all(|c| matches!(c.outcome, drfix::CandidateOutcome::RejectedStatic { .. }));
+        if all_static {
+            rep.static_only_vm_steps += out.validation_vm_steps;
+        }
+    }
+    rep.validation_steps_per_fix = rep
+        .validation_vm_steps
+        .checked_div(rep.cases_fixed)
+        .unwrap_or(0);
+    rep
+}
+
 /// The `BENCH_hotpath.json` document.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Report {
@@ -695,6 +848,9 @@ pub struct Report {
     /// What the `statcheck` pre-validation gate saves on the candidate
     /// workload (deterministic; every field gated).
     pub static_gate: StaticGateReport,
+    /// What the multi-candidate tournament arm costs and buys vs the
+    /// single-path loop (deterministic; every field gated).
+    pub tournament: TournamentBenchReport,
     /// Exposure-corpus aggregate (racy + human-fix campaigns; excludes
     /// the sync-heavy add-on).
     pub exposure: CategoryReport,
@@ -1045,6 +1201,7 @@ pub fn run_scan(scale: &HotpathScale) -> Report {
     };
     let sampling = measure_sampling_recall(scale);
     let static_gate = measure_static_gate(scale);
+    let tournament = measure_tournament(scale);
     Report {
         schema: SCHEMA,
         workload: WorkloadSpec {
@@ -1057,6 +1214,7 @@ pub fn run_scan(scale: &HotpathScale) -> Report {
             large_heap_cases: scale.heap_cases,
             churn_cases: scale.churn_cases,
             gate_cases: scale.gate_cases,
+            tournament_cases: scale.tournament_cases,
         },
         pre_optimization: pre,
         pr4,
@@ -1067,6 +1225,7 @@ pub fn run_scan(scale: &HotpathScale) -> Report {
         sync_heavy_cache_speedup,
         sampling,
         static_gate,
+        tournament,
         exposure,
         total,
         categories,
@@ -1220,6 +1379,12 @@ pub fn check(baseline: &Report, current: &Report) -> Vec<Violation> {
         &current.static_gate.gauges(),
         &mut out,
     );
+    check_gauges(
+        "tournament",
+        &baseline.tournament.gauges(),
+        &current.tournament.gauges(),
+        &mut out,
+    );
     let cur_by_cat: BTreeMap<&str, &CategoryReport> = current
         .categories
         .iter()
@@ -1295,6 +1460,7 @@ mod tests {
             heap_cases: 3,
             churn_cases: 2,
             gate_cases: 4,
+            tournament_cases: 6,
         }
     }
 
@@ -1399,6 +1565,26 @@ mod tests {
             "rejections must translate into schedules not run: {:?}",
             a.static_gate
         );
+        // Tournament: deterministic, fixing at least what single-path
+        // fixes, with the repair loop engaged and never a schedule run
+        // on an all-statically-rejected roster.
+        assert_eq!(a.tournament, b.tournament);
+        assert!(a.tournament.candidates > 0, "{:?}", a.tournament);
+        assert!(
+            a.tournament.cases_fixed >= a.tournament.cases_fixed_single_path,
+            "superset invariant broken: {:?}",
+            a.tournament
+        );
+        assert!(
+            a.tournament.repair_iters > 0,
+            "repair loop never engaged: {:?}",
+            a.tournament
+        );
+        assert_eq!(
+            a.tournament.static_only_vm_steps, 0,
+            "lint-rejected rosters burned VM steps: {:?}",
+            a.tournament
+        );
         assert!(check(&a, &b).is_empty());
     }
 
@@ -1410,6 +1596,7 @@ mod tests {
         cur.total.counters.read_fast_hits = 0;
         cur.total.counters.races += 1;
         cur.static_gate.candidates_rejected_static += 1;
+        cur.tournament.cases_fixed += 1;
         let violations = check(&base, &cur);
         let text = violations
             .iter()
@@ -1423,6 +1610,7 @@ mod tests {
             text.contains("candidates_rejected_static changed"),
             "{text}"
         );
+        assert!(text.contains("cases_fixed changed"), "{text}");
         let table = render_violations(&violations);
         assert!(table.contains("vm_steps"), "{table}");
         assert!(table.contains("baseline"), "{table}");

@@ -68,6 +68,7 @@ pub mod fleet;
 pub mod pipeline;
 pub mod raceinfo;
 pub mod review;
+pub mod tournament;
 pub mod validate;
 
 pub use database::{ExampleDb, RagMode};
@@ -76,7 +77,11 @@ pub use govm::{SchedulePolicy, SeedStream};
 pub use pipeline::{DrFix, FailureKind, FixOutcome, PipelineConfig};
 pub use raceinfo::{extract, FixLocation, LocationKind, RaceInfo};
 pub use review::{review_fix, survey, ReviewOutcome};
+pub use tournament::{
+    candidate_rank, CandidateOutcome, CandidateReport, CandidateSelection, TournamentConfig,
+    TournamentReport,
+};
 pub use validate::{
-    validate_patch, validate_patch_report, validate_patch_with, ValidationOptions,
-    ValidationOutcome, Verdict,
+    static_probe, validate_patch, validate_patch_report, validate_patch_with, StaticProbe,
+    ValidationOptions, ValidationOutcome, Verdict,
 };

@@ -9,6 +9,7 @@ use crate::database::{ExampleDb, RagMode};
 use crate::raceinfo::{self, FixLocation, LocationKind};
 use crate::validate::{validate_patch_report, ValidationOptions, Verdict};
 use golite::ast::Decl;
+use golite::visit::RenamePkg;
 use govm::{compile_sources, CompileOptions, SchedulePolicy, TestConfig};
 use serde::{Deserialize, Serialize};
 use synthllm::{Feedback, FixRequest, ModelTier, Scope, SynthLlm};
@@ -56,6 +57,11 @@ pub struct PipelineConfig {
     /// changes which fixes are found — only how much validation work
     /// broken candidates burn.
     pub static_gate: bool,
+    /// When set, cases run through the tournament arm
+    /// ([`crate::tournament`]) instead of this module's single-path
+    /// loop: multiple candidates per prompt, a statcheck-driven repair
+    /// loop, and confidence-ranked winner selection.
+    pub tournament: Option<crate::tournament::TournamentConfig>,
 }
 
 impl Default for PipelineConfig {
@@ -75,6 +81,7 @@ impl Default for PipelineConfig {
             validation_step_budget: None,
             validation_dedup_streak: None,
             static_gate: true,
+            tournament: None,
         }
     }
 }
@@ -123,12 +130,15 @@ pub struct FixOutcome {
     pub bug_hash: Option<String>,
     /// The racy variable from the report.
     pub racy_var: Option<String>,
+    /// Tournament trace when the tournament arm ran (`None` on the
+    /// single-path loop).
+    pub tournament: Option<crate::tournament::TournamentReport>,
 }
 
 /// The Dr.Fix system: configuration plus the example database.
 pub struct DrFix<'db> {
-    cfg: PipelineConfig,
-    db: Option<&'db ExampleDb>,
+    pub(crate) cfg: PipelineConfig,
+    pub(crate) db: Option<&'db ExampleDb>,
 }
 
 impl<'db> DrFix<'db> {
@@ -145,6 +155,9 @@ impl<'db> DrFix<'db> {
     /// Runs the full loop on one case: `files` is the codebase, `test`
     /// the test that exercises the race.
     pub fn fix_case(&self, files: &[(String, String)], test: &str) -> FixOutcome {
+        if let Some(tcfg) = self.cfg.tournament.clone() {
+            return self.fix_case_tournament(files, test, &tcfg);
+        }
         let mut out = FixOutcome {
             fixed: false,
             patch: None,
@@ -162,6 +175,7 @@ impl<'db> DrFix<'db> {
             failure: None,
             bug_hash: None,
             racy_var: None,
+            tournament: None,
         };
 
         // Step 1: reproduce and extract the race report.
@@ -300,7 +314,11 @@ impl<'db> DrFix<'db> {
     }
 
     /// Reproduces the race, returning the first report.
-    fn reproduce(&self, files: &[(String, String)], test: &str) -> Option<racedet::RaceReport> {
+    pub(crate) fn reproduce(
+        &self,
+        files: &[(String, String)],
+        test: &str,
+    ) -> Option<racedet::RaceReport> {
         let prog = compile_sources(files, &CompileOptions::default()).ok()?;
         let cfg = TestConfig {
             runs: self.cfg.detect_runs,
@@ -314,7 +332,7 @@ impl<'db> DrFix<'db> {
     }
 
     /// Extracts the prompt code for a `(location, scope)` pair.
-    fn scope_code(
+    pub(crate) fn scope_code(
         &self,
         files: &[(String, String)],
         loc: &FixLocation,
@@ -333,7 +351,7 @@ impl<'db> DrFix<'db> {
     }
 
     /// Splices the model's output back into the codebase.
-    fn integrate(
+    pub(crate) fn integrate(
         &self,
         files: &[(String, String)],
         loc: &FixLocation,
@@ -392,7 +410,39 @@ pub fn integrate_func_patch(
     func_name: &str,
 ) -> Result<String, String> {
     let mut orig = golite::parse_file(original).map_err(|e| e.to_string())?;
-    let patch = golite::parse_file(wrapper).map_err(|e| e.to_string())?;
+    let mut patch = golite::parse_file(wrapper).map_err(|e| e.to_string())?;
+
+    // Merge imports. Paths are compared, but the *binding* is the local
+    // name (alias, or the path's last segment): when both files import
+    // the same path under different locals, the wrapper's declarations
+    // must be rewritten to the original's qualifier — otherwise an
+    // unaliased `import "sync"` merged into a file holding `sy "sync"`
+    // leaves the spliced body referencing an unbound `sync.`.
+    let local_name = |alias: &Option<String>, path: &str| -> String {
+        alias
+            .clone()
+            .unwrap_or_else(|| path.rsplit('/').next().unwrap_or(path).to_owned())
+    };
+    let mut renames: Vec<(String, String)> = Vec::new();
+    for imp in &patch.imports {
+        let incoming = local_name(&imp.alias, &imp.path);
+        match orig.imports.iter().find(|i| i.path == imp.path) {
+            None => orig.imports.push(imp.clone()),
+            Some(existing) => {
+                let bound = local_name(&existing.alias, &existing.path);
+                if bound != incoming {
+                    renames.push((incoming, bound));
+                }
+            }
+        }
+    }
+    for (from, to) in &renames {
+        let mut r = RenamePkg { from, to };
+        for d in &mut patch.decls {
+            r.rename_decl(d);
+        }
+    }
+
     let new_func = patch
         .find_func(func_name)
         .ok_or_else(|| format!("patch lost function `{func_name}`"))?
@@ -410,12 +460,6 @@ pub fn integrate_func_patch(
     }
     if !replaced {
         return Err(format!("original lost function `{func_name}`"));
-    }
-    // Merge imports.
-    for imp in &patch.imports {
-        if !orig.imports.iter().any(|i| i.path == imp.path) {
-            orig.imports.push(imp.clone());
-        }
     }
     // Carry over new top-level declarations (mutex globals, helper
     // types) as one block in wrapper order: inserting them one-by-one at
@@ -457,7 +501,7 @@ pub fn patch_loc(before: &[(String, String)], after: &[(String, String)]) -> usi
 
 /// Synthetic fix duration, calibrated so successful fixes land in the
 /// paper's 6/13/14/29 min (min/avg/median/max) envelope (§5.2).
-fn duration_minutes(llm_calls: u32, validations: u32) -> f64 {
+pub(crate) fn duration_minutes(llm_calls: u32, validations: u32) -> f64 {
     4.0 + 0.9 * llm_calls as f64 + 0.55 * validations as f64
 }
 
@@ -525,6 +569,49 @@ mod tests {
         );
         // The wrapper must itself parse, with the alias bound.
         golite::parse_file(&wrapper).unwrap();
+    }
+
+    #[test]
+    fn merged_imports_respect_original_alias() {
+        // The original binds the sync path under `sy`; the wrapper's
+        // unaliased `import "sync"` must not smuggle an unbound `sync.`
+        // qualifier into the merged file.
+        let orig = concat!(
+            "package app\n\n",
+            "import sy \"sync\"\n\n",
+            "var seen sy.Map\n\n",
+            "func Work() {\n\tx := 1\n\t_ = x\n}\n",
+        );
+        let wrapper = concat!(
+            "package p\n\n",
+            "import \"sync\"\n\n",
+            "var mu sync.Mutex\n\n",
+            "func Work() {\n\tmu.Lock()\n\tx := 1\n\t_ = x\n\tmu.Unlock()\n\tvar g sync.WaitGroup\n\t_ = g\n}\n",
+        );
+        let merged = integrate_func_patch(orig, wrapper, "Work").unwrap();
+        assert!(!merged.contains("sync."), "unbound qualifier:\n{merged}");
+        assert!(!merged.contains("import \"sync\""), "{merged}");
+        assert_eq!(merged.matches("\"sync\"").count(), 1, "{merged}");
+        assert!(merged.contains("var mu sy.Mutex"), "{merged}");
+        assert!(merged.contains("var g sy.WaitGroup"), "{merged}");
+        golite::parse_file(&merged).unwrap();
+    }
+
+    #[test]
+    fn merged_imports_keep_wrapper_alias_for_new_paths() {
+        // A path the original does not import keeps the wrapper's own
+        // binding untouched.
+        let orig = "package app\n\nfunc Work() {\n}\n";
+        let wrapper = concat!(
+            "package p\n\n",
+            "import at \"sync/atomic\"\n\n",
+            "var n int64\n\n",
+            "func Work() {\n\tat.AddInt64(&n, 1)\n}\n",
+        );
+        let merged = integrate_func_patch(orig, wrapper, "Work").unwrap();
+        assert!(merged.contains("at \"sync/atomic\""), "{merged}");
+        assert!(merged.contains("at.AddInt64(&n, 1)"), "{merged}");
+        golite::parse_file(&merged).unwrap();
     }
 
     #[test]

@@ -198,6 +198,7 @@ mod tests {
             failure: None,
             bug_hash: Some("h".into()),
             racy_var: Some("x".into()),
+            tournament: None,
         }
     }
 

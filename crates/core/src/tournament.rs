@@ -1,0 +1,521 @@
+//! The tournament arm of the pipeline: multi-candidate generation with
+//! an iterated static-repair loop.
+//!
+//! The single-path loop in [`crate::pipeline`] is the paper's Listing 13
+//! and stays the golden reference: one candidate per `(location, scope,
+//! example, retry)` combination, first validated patch wins. The
+//! tournament arm instead *enumerates* a pool of candidates per
+//! combination (Snippet-1 style `Best`/`ById`/`All` selection over
+//! per-candidate confidence scores), iterates each candidate against
+//! `statcheck` diagnostics until lint-clean or the repair budget runs
+//! out (Snippet-2's `repair_max_iters` shape) — spending **zero**
+//! dynamic schedules on that loop — and only then validates survivors
+//! under schedule-diverse campaigns, picking the winner by
+//! `(validation-clean, confidence, patch-LoC)` with a deterministic
+//! id tie-break so outcomes are bit-identical at any `DRFIX_THREADS`.
+//!
+//! Two invariants matter:
+//!
+//! - **Superset of single-path.** The pool always contains every
+//!   candidate the single-path loop would have validated: enumeration
+//!   reuses the same capability dice (race-keyed, so attempt and arm
+//!   don't change the roll), and repair outputs are *appended* as new
+//!   candidates rather than replacing their parent — a repair can never
+//!   evict a patch single-path would have accepted.
+//! - **Zero schedules on lint.** The repair loop consults only
+//!   [`crate::validate::static_probe`]; candidates whose final probe
+//!   still carries error-tier findings are rejected without running a
+//!   single VM instruction. Warning-tier findings trigger repair but
+//!   never rejection (they are heuristic, and must not override a
+//!   dynamically-clean patch).
+
+use crate::pipeline::{patch_loc, DrFix, FailureKind, FixOutcome};
+use crate::raceinfo::{self, FixLocation, LocationKind};
+use crate::validate::{
+    static_probe, validate_patch_report, StaticProbe, ValidationOptions, Verdict,
+};
+use govm::TestConfig;
+use synthllm::{Candidate, Feedback, FixRequest, RaceCategory, Scope, StrategyKind, SynthLlm};
+
+/// Configuration of the tournament arm. `None` on
+/// [`crate::PipelineConfig::tournament`] keeps the single-path loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TournamentConfig {
+    /// Candidates enumerated per `(location, scope, example)` request.
+    /// Must stay ≥ 5 for the superset guarantee: feedback exclusions can
+    /// shift single-path's top-4 ranking window by one.
+    pub max_candidates: usize,
+    /// Repair iterations per candidate lineage before lint findings are
+    /// final (error tier → rejected, warning tier → proceed anyway).
+    pub repair_max_iters: u32,
+    /// Which survivors get a validation campaign.
+    pub selection: CandidateSelection,
+    /// Retain every candidate's patched sources in the report (tests use
+    /// this to re-validate losers; costs memory, off by default).
+    pub keep_candidates: bool,
+}
+
+impl Default for TournamentConfig {
+    fn default() -> Self {
+        TournamentConfig {
+            max_candidates: 8,
+            repair_max_iters: 2,
+            selection: CandidateSelection::Best,
+            keep_candidates: false,
+        }
+    }
+}
+
+/// Snippet-1 style winner selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CandidateSelection {
+    /// Validate in rank order, stop at the first clean candidate.
+    Best,
+    /// Validate only the candidate with this enumeration id.
+    ById(usize),
+    /// Validate every static-clean survivor (the winner is still the
+    /// best-ranked clean one); used for gate-accounting studies.
+    All,
+}
+
+/// What happened to one candidate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CandidateOutcome {
+    /// Won the tournament: validation-clean and best-ranked.
+    Won,
+    /// Rejected by the static gate's error tier — zero VM steps spent.
+    RejectedStatic {
+        /// The lint rule that condemned it.
+        rule: String,
+    },
+    /// Validated and failed dynamically.
+    FailedValidation {
+        /// The validator's failure message.
+        reason: String,
+    },
+    /// Validated clean under an [`CandidateSelection::All`] sweep but
+    /// ranked after the winner.
+    Outranked,
+    /// Never validated (ranked after the winner, or outside `ById`).
+    NotValidated,
+}
+
+/// Per-candidate accounting in the tournament report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateReport {
+    /// Enumeration id (position in discovery order; the tie-break key).
+    pub id: usize,
+    /// Strategy the candidate applied.
+    pub strategy: StrategyKind,
+    /// Fix-location kind that hosted it.
+    pub location: LocationKind,
+    /// Prompt scope it was generated under.
+    pub scope: Scope,
+    /// Whether a retrieved example guided it.
+    pub example_used: bool,
+    /// Model-reported confidence in `(0, 1]`.
+    pub confidence: f64,
+    /// Changed-line count of its patch.
+    pub patch_loc: usize,
+    /// Repair iterations in this candidate's lineage (0 = original).
+    pub repair_iters: u32,
+    /// Whether the capability model degraded the application.
+    pub degraded: bool,
+    /// Final disposition.
+    pub outcome: CandidateOutcome,
+    /// The candidate's patched sources, when
+    /// [`TournamentConfig::keep_candidates`] is set.
+    pub patch: Option<Vec<(String, String)>>,
+}
+
+/// The full tournament trace attached to [`FixOutcome`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TournamentReport {
+    /// Every distinct candidate, in discovery order (id = index).
+    pub candidates: Vec<CandidateReport>,
+    /// Id of the winning candidate, if any.
+    pub winner: Option<usize>,
+    /// Total repair iterations spent across all lineages.
+    pub repair_iters: u32,
+    /// Static probes run (the whole repair loop's cost — all zero-VM).
+    pub lint_probes: u32,
+}
+
+/// The tournament ranking: confidence (desc), then patch LoC (asc),
+/// then enumeration id (asc). The id tie-break is what pins ties
+/// deterministically — ids follow discovery order, which depends only
+/// on the seed and the case, never on thread count.
+pub fn candidate_rank(a: (f64, usize, usize), b: (f64, usize, usize)) -> std::cmp::Ordering {
+    b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2))
+}
+
+/// One candidate plus everything needed to repair and validate it.
+struct PoolEntry {
+    cand: Candidate,
+    req: FixRequest,
+    kind: LocationKind,
+    loc: FixLocation,
+    scope: Scope,
+    example_used: bool,
+    example_category: Option<RaceCategory>,
+    patched: Vec<(String, String)>,
+    ploc: usize,
+    repair_iters: u32,
+    probe: StaticProbe,
+}
+
+/// Dedup key over a patched codebase: the exact bytes, file by file.
+fn pool_key(patched: &[(String, String)]) -> String {
+    let mut key = String::new();
+    for (name, src) in patched {
+        key.push_str(name);
+        key.push('\0');
+        key.push_str(src);
+        key.push('\0');
+    }
+    key
+}
+
+impl DrFix<'_> {
+    /// Runs one case through the tournament arm.
+    pub(crate) fn fix_case_tournament(
+        &self,
+        files: &[(String, String)],
+        test: &str,
+        tcfg: &TournamentConfig,
+    ) -> FixOutcome {
+        let mut out = FixOutcome {
+            fixed: false,
+            patch: None,
+            strategy: None,
+            location: None,
+            scope: None,
+            example_used: false,
+            example_category: None,
+            llm_calls: 0,
+            validations: 0,
+            rejected_static: 0,
+            validation_vm_steps: 0,
+            duration_minutes: 0.0,
+            patch_loc: None,
+            failure: None,
+            bug_hash: None,
+            racy_var: None,
+            tournament: None,
+        };
+
+        let Some(report) = self.reproduce(files, test) else {
+            out.failure = Some(FailureKind::NotReproduced);
+            out.duration_minutes = 4.0;
+            return out;
+        };
+        let info = raceinfo::extract(&report, files);
+        out.bug_hash = Some(info.bug_hash.clone());
+        out.racy_var = Some(info.racy_var.clone());
+
+        let llm = SynthLlm::new(self.cfg.tier, self.cfg.seed);
+        let visible = |name: &str| !name.starts_with("vendor_");
+
+        // ── Phase 1: enumerate the candidate pool ────────────────────
+        //
+        // Same (location, scope, example) sweep as single-path, but each
+        // request enumerates up to `max_candidates` ranked candidates
+        // instead of committing to the top one. A second pass per arm
+        // replays the request under synthetic attempt-1 feedback: the
+        // capability dice key mislocalisation on the attempt ordinal, so
+        // this is exactly the extra chance single-path's feedback retry
+        // gets — without it the pool could miss a retry-only win.
+        let mut pool: Vec<PoolEntry> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        let passes: u32 = if self.cfg.feedback {
+            self.cfg.retries + 1
+        } else {
+            1
+        };
+        for kind in &self.cfg.locations {
+            let locations: Vec<&FixLocation> = info
+                .locations
+                .iter()
+                .filter(|l| l.kind == *kind && visible(&l.file))
+                .collect();
+            for loc in locations {
+                for &scope in &self.cfg.scopes {
+                    let Some((code, context_funcs)) = self.scope_code(files, loc, scope) else {
+                        continue;
+                    };
+                    let mut example_arms = vec![None];
+                    if self.cfg.rag != crate::database::RagMode::None {
+                        if let Some(db) = self.db {
+                            if let Some((ex, cat, _score)) =
+                                db.retrieve(self.cfg.rag, &code, &info.racy_var, &loc.lines)
+                            {
+                                example_arms.push(Some((ex, cat)));
+                            }
+                        }
+                    }
+                    for arm in &example_arms {
+                        for pass in 0..passes {
+                            // Synthetic feedback reproduces the attempt
+                            // ordinal without naming a failed strategy:
+                            // exclusions only shrink the ranking, and
+                            // the pool already holds the whole window.
+                            let feedback: Vec<Feedback> = (0..pass)
+                                .map(|_| Feedback {
+                                    strategy: None,
+                                    message: "prior candidate failed validation".into(),
+                                })
+                                .collect();
+                            let req = FixRequest {
+                                code: code.clone(),
+                                scope,
+                                racy_var: info.racy_var.clone(),
+                                racy_lines: loc.lines.clone(),
+                                example: arm.as_ref().map(|(e, _)| e.clone()),
+                                feedback,
+                                context_funcs,
+                                focus_func: Some(loc.function.clone()),
+                                case_key: info.bug_hash.clone(),
+                            };
+                            out.llm_calls += 1;
+                            let cands = llm.enumerate(&req, tcfg.max_candidates);
+                            for cand in cands {
+                                let Ok(patched) = self.integrate(files, loc, scope, &cand.code)
+                                else {
+                                    continue;
+                                };
+                                if !seen.insert(pool_key(&patched)) {
+                                    continue;
+                                }
+                                let ploc = patch_loc(files, &patched);
+                                pool.push(PoolEntry {
+                                    cand,
+                                    req: req.clone(),
+                                    kind: *kind,
+                                    loc: loc.clone(),
+                                    scope,
+                                    example_used: arm.is_some(),
+                                    example_category: arm.as_ref().map(|(_, c)| *c),
+                                    patched,
+                                    ploc,
+                                    repair_iters: 0,
+                                    probe: StaticProbe {
+                                        errors: 0,
+                                        warnings: 0,
+                                        first_rule: None,
+                                        broken: false,
+                                    },
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // ── Phase 2: iterated repair against statcheck ───────────────
+        //
+        // Every candidate is probed; findings (errors *or* warnings)
+        // trigger a bounded repair chain. Repaired code joins the pool
+        // as a fresh candidate — the parent stays, preserving the
+        // superset invariant — and the chain continues from the newest
+        // link. Not one VM instruction is spent here.
+        let mut lint_probes = 0u32;
+        let mut total_repairs = 0u32;
+        let base_len = pool.len();
+        for i in 0..base_len {
+            pool[i].probe = static_probe(&pool[i].patched);
+            lint_probes += 1;
+            let mut current = i;
+            let mut iter = 0u32;
+            while iter < tcfg.repair_max_iters {
+                let probe = &pool[current].probe;
+                if probe.clean() || probe.broken {
+                    break;
+                }
+                let rule = probe.first_rule.clone().unwrap_or_else(|| "unknown".into());
+                out.llm_calls += 1;
+                let Some(rep) = llm.repair(&pool[current].req, &pool[current].cand, &rule, iter)
+                else {
+                    break;
+                };
+                iter += 1;
+                total_repairs += 1;
+                if rep.code == pool[current].cand.code {
+                    break; // the model reproduced itself: converged
+                }
+                let Ok(patched) =
+                    self.integrate(files, &pool[current].loc, pool[current].scope, &rep.code)
+                else {
+                    break;
+                };
+                if !seen.insert(pool_key(&patched)) {
+                    break; // converged onto an already-known candidate
+                }
+                let ploc = patch_loc(files, &patched);
+                let probe = static_probe(&patched);
+                lint_probes += 1;
+                pool.push(PoolEntry {
+                    cand: rep,
+                    req: pool[current].req.clone(),
+                    kind: pool[current].kind,
+                    loc: pool[current].loc.clone(),
+                    scope: pool[current].scope,
+                    example_used: pool[current].example_used,
+                    example_category: pool[current].example_category,
+                    patched,
+                    ploc,
+                    repair_iters: iter,
+                    probe,
+                });
+                current = pool.len() - 1;
+            }
+        }
+
+        // ── Phase 3: rank, validate survivors, crown the winner ──────
+        let mut order: Vec<usize> = (0..pool.len()).collect();
+        order.sort_by(|&a, &b| {
+            candidate_rank(
+                (pool[a].cand.confidence, pool[a].ploc, a),
+                (pool[b].cand.confidence, pool[b].ploc, b),
+            )
+        });
+        if let CandidateSelection::ById(id) = tcfg.selection {
+            order.retain(|&i| i == id);
+        }
+
+        let mut outcomes: Vec<CandidateOutcome> = vec![CandidateOutcome::NotValidated; pool.len()];
+        let mut winner: Option<usize> = None;
+        for &i in &order {
+            if winner.is_some() && tcfg.selection != CandidateSelection::All {
+                break;
+            }
+            let entry = &pool[i];
+            // The error tier is sound for rejection: condemned
+            // candidates burn zero schedules (this is the per-candidate
+            // gate accounting the single-path gate does per attempt).
+            if entry.probe.broken || entry.probe.errors > 0 {
+                out.validations += 1;
+                out.rejected_static += 1;
+                outcomes[i] = CandidateOutcome::RejectedStatic {
+                    rule: entry
+                        .probe
+                        .first_rule
+                        .clone()
+                        .unwrap_or_else(|| "unparseable".into()),
+                };
+                continue;
+            }
+            out.validations += 1;
+            let validation_seed = crate::fleet::derive_validation_seed(
+                self.cfg.seed,
+                &info.bug_hash,
+                // Key the campaign on the candidate id, not the sweep
+                // position: the schedule set a candidate faces must not
+                // depend on which others entered or left the pool.
+                i as u32 + 1,
+            );
+            let vcfg = TestConfig {
+                runs: self.cfg.validation_runs,
+                seed: validation_seed,
+                stop_on_race: false,
+                policy: self.cfg.validate_policy.clone(),
+                max_total_steps: self.cfg.validation_step_budget,
+                dedup_streak: self.cfg.validation_dedup_streak,
+                ..TestConfig::default()
+            };
+            let vreport = validate_patch_report(
+                &entry.patched,
+                test,
+                &info.bug_hash,
+                &vcfg,
+                &ValidationOptions {
+                    static_gate: self.cfg.static_gate,
+                },
+            );
+            out.validation_vm_steps += vreport.vm_steps;
+            if vreport.rejected_static {
+                out.rejected_static += 1;
+            }
+            match vreport.verdict {
+                Verdict::Ok => {
+                    if winner.is_none() {
+                        winner = Some(i);
+                        outcomes[i] = CandidateOutcome::Won;
+                    } else {
+                        // An `All` sweep: clean but outranked.
+                        outcomes[i] = CandidateOutcome::Outranked;
+                    }
+                }
+                Verdict::Fail(msg) => {
+                    outcomes[i] = CandidateOutcome::FailedValidation { reason: msg };
+                }
+            }
+        }
+
+        let candidates: Vec<CandidateReport> = pool
+            .iter()
+            .enumerate()
+            .map(|(i, e)| CandidateReport {
+                id: i,
+                strategy: e.cand.strategy,
+                location: e.kind,
+                scope: e.scope,
+                example_used: e.example_used,
+                confidence: e.cand.confidence,
+                patch_loc: e.ploc,
+                repair_iters: e.repair_iters,
+                degraded: e.cand.degraded,
+                outcome: outcomes[i].clone(),
+                patch: tcfg.keep_candidates.then(|| e.patched.clone()),
+            })
+            .collect();
+
+        if let Some(w) = winner {
+            let e = &pool[w];
+            out.fixed = true;
+            out.patch_loc = Some(e.ploc);
+            out.patch = Some(e.patched.clone());
+            out.strategy = Some(e.cand.strategy);
+            out.location = Some(e.kind);
+            out.scope = Some(e.scope);
+            out.example_used = e.example_used;
+            out.example_category = e.example_category;
+        } else {
+            out.failure = Some(FailureKind::Unfixed);
+        }
+        out.duration_minutes = crate::pipeline::duration_minutes(out.llm_calls, out.validations);
+        out.tournament = Some(TournamentReport {
+            candidates,
+            winner,
+            repair_iters: total_repairs,
+            lint_probes,
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_prefers_confidence_then_loc_then_id() {
+        use std::cmp::Ordering;
+        // Higher confidence wins regardless of LoC.
+        assert_eq!(candidate_rank((0.9, 50, 3), (0.5, 2, 0)), Ordering::Less);
+        // Equal confidence: smaller patch wins.
+        assert_eq!(candidate_rank((0.7, 3, 5), (0.7, 9, 1)), Ordering::Less);
+        // Full tie: earlier enumeration id wins (the determinism pin).
+        assert_eq!(candidate_rank((0.7, 3, 2), (0.7, 3, 4)), Ordering::Less);
+        assert_eq!(candidate_rank((0.7, 3, 4), (0.7, 3, 2)), Ordering::Greater);
+        assert_eq!(candidate_rank((0.7, 3, 2), (0.7, 3, 2)), Ordering::Equal);
+    }
+
+    #[test]
+    fn rank_sorts_a_roster_deterministically() {
+        let mut order: Vec<usize> = (0..4).collect();
+        let rows = [(0.5, 4, 0), (0.9, 9, 1), (0.9, 2, 2), (0.5, 4, 3)];
+        order.sort_by(|&a, &b| candidate_rank(rows[a], rows[b]));
+        assert_eq!(order, vec![2, 1, 0, 3]);
+    }
+}

@@ -118,6 +118,61 @@ fn build_failure_message(files: &[(String, String)], diag: &golite::Diag) -> Str
     format!("build failed: {diag}")
 }
 
+/// One zero-cost lint probe of a candidate patch: `statcheck` only — no
+/// compilation, no schedules, no VM instructions. The tournament's
+/// repair loop iterates against this before any dynamic validation is
+/// spent (per-candidate gate accounting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticProbe {
+    /// Error-tier findings (sound for rejection).
+    pub errors: usize,
+    /// Warning-tier findings (heuristic; trigger repair, never reject).
+    pub warnings: usize,
+    /// Rule of the most severe first finding, if any.
+    pub first_rule: Option<String>,
+    /// The sources no longer parse (a broken candidate).
+    pub broken: bool,
+}
+
+impl StaticProbe {
+    /// Whether the probe found anything to repair against.
+    pub fn clean(&self) -> bool {
+        !self.broken && self.errors == 0 && self.warnings == 0
+    }
+}
+
+/// Runs `statcheck` over a candidate codebase without spending any
+/// dynamic validation work. See [`StaticProbe`].
+pub fn static_probe(files: &[(String, String)]) -> StaticProbe {
+    match statcheck::check_sources(files) {
+        Ok(reports) => {
+            let errors = statcheck::count_severity(&reports, statcheck::Severity::Error);
+            let warnings = statcheck::count_severity(&reports, statcheck::Severity::Warning);
+            let first_rule = statcheck::first_error(&reports)
+                .map(|(_, d)| d.rule.clone())
+                .or_else(|| {
+                    reports
+                        .iter()
+                        .flat_map(|r| r.diagnostics.iter())
+                        .next()
+                        .map(|d| d.rule.clone())
+                });
+            StaticProbe {
+                errors,
+                warnings,
+                first_rule,
+                broken: false,
+            }
+        }
+        Err(_) => StaticProbe {
+            errors: 0,
+            warnings: 0,
+            first_rule: None,
+            broken: true,
+        },
+    }
+}
+
 /// The full validation pipeline with an explicit [`ValidationOptions`]:
 /// compile, static gate, then the dynamic schedule campaign. Returns the
 /// verdict plus gate statistics and the dynamic instruction count.

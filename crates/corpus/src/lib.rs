@@ -288,6 +288,28 @@ pub fn generate_exposure_corpus(cfg: &CorpusConfig) -> Vec<RaceCase> {
     cases
 }
 
+/// Builds the tournament corpus: `eval_cases` races cycling the four
+/// statically-interesting families of [`templates::tournament_case`]
+/// (RWMutex-upgrade, double-checked locking, channel-select, and
+/// racy-read-in-`return`).
+///
+/// These are the shapes where a single generated candidate is often
+/// wrong in a *statically visible* way — the natural mutex patch draws
+/// an `inconsistent-lock` warning or a structural `double-lock` error —
+/// so the tournament arm's lint-driven repair loop and per-candidate
+/// gate accounting have real work to do, while the single-path loop
+/// burns validation campaigns on the same defects.
+pub fn generate_tournament_corpus(cfg: &CorpusConfig) -> Vec<RaceCase> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7042);
+    let mut cases = Vec::with_capacity(cfg.eval_cases);
+    for idx in 0..cfg.eval_cases {
+        let mut case = templates::tournament_case(&mut rng, idx);
+        case.id = format!("tourn-{idx:04}");
+        cases.push(case);
+    }
+    cases
+}
+
 /// Builds the large-heap perf family: `n` clean map/slice-heavy
 /// programs cycling the three [`templates::large_heap_case`] shapes
 /// (slice scan, map churn, mixed registry under an RWMutex), with
@@ -552,6 +574,42 @@ mod tests {
             assert!(a.iter().any(|c| c.category == *cat), "missing {cat:?}");
         }
         let b = generate_exposure_corpus(&cfg);
+        assert_eq!(
+            a.iter().map(|c| &c.files).collect::<Vec<_>>(),
+            b.iter().map(|c| &c.files).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn tournament_corpus_parses_cycles_families_and_is_deterministic() {
+        let cfg = CorpusConfig {
+            eval_cases: 8,
+            db_pairs: 0,
+            seed: 6,
+        };
+        let a = generate_tournament_corpus(&cfg);
+        assert_eq!(a.len(), 8);
+        for c in &a {
+            assert!(c.fixable, "{}", c.id);
+            for (name, src) in &c.files {
+                golite::parse_file(src).unwrap_or_else(|e| panic!("{} {name}: {e}\n{src}", c.id));
+            }
+            let fix = c
+                .human_fix
+                .as_ref()
+                .unwrap_or_else(|| panic!("{} lacks fix", c.id));
+            for (name, src) in fix {
+                golite::parse_file(src)
+                    .unwrap_or_else(|e| panic!("{} {name} fix: {e}\n{src}", c.id));
+            }
+            assert!(c.human_fix_loc().unwrap() > 0, "{}", c.id);
+        }
+        // The four families cycle by index.
+        assert!(a[0].files[0].1.contains("RLock"), "{}", a[0].id);
+        assert!(a[1].files[0].1.contains("cache == nil"), "{}", a[1].id);
+        assert!(a[2].files[0].1.contains("select"), "{}", a[2].id);
+        assert!(a[3].files[0].1.contains("return len"), "{}", a[3].id);
+        let b = generate_tournament_corpus(&cfg);
         assert_eq!(
             a.iter().map(|c| &c.files).collect::<Vec<_>>(),
             b.iter().map(|c| &c.files).collect::<Vec<_>>()

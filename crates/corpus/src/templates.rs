@@ -1399,6 +1399,306 @@ func {test}(t *testing.T) {{
 }
 
 // ===================================================================
+// Tournament templates: the statically-interesting families
+// ===================================================================
+
+/// Generates one tournament-corpus case: the four families cycle by
+/// index. These shapes are picked to exercise the tournament arm's
+/// repair loop and gate accounting — RWMutex upgrades whose natural
+/// mutex patch draws an `inconsistent-lock` warning, double-checked
+/// locking whose mutex patch is a structural `double-lock` error,
+/// channel-select races over a captured local, and a racy read sitting
+/// in a `return` statement (the guard-hoist shape).
+pub fn tournament_case(rng: &mut StdRng, idx: usize) -> RaceCase {
+    let mut case = match idx % 4 {
+        0 => rwmutex_upgrade(rng, idx),
+        1 => double_checked(rng, idx),
+        2 => channel_select(rng, idx),
+        _ => return_read(rng, idx),
+    };
+    let noise = business_noise(rng);
+    for (_, src) in &mut case.files {
+        src.push_str(&noise);
+    }
+    if let Some(fix) = &mut case.human_fix {
+        for (_, src) in fix {
+            src.push_str(&noise);
+        }
+    }
+    case
+}
+
+/// RWMutex-upgrade race: a writer takes only the *read* lock, so two
+/// recorders race with each other (read locks exclude writers under
+/// `Lock`, not each other). The human fix upgrades the writer to the
+/// write lock.
+fn rwmutex_upgrade(rng: &mut StdRng, idx: usize) -> RaceCase {
+    let mut n = NameGen::new(rng);
+    let ty = n.ty();
+    let test = n.test();
+    let make = |racy: bool| {
+        let (wl, wu) = if racy {
+            ("RLock", "RUnlock")
+        } else {
+            ("Lock", "Unlock")
+        };
+        format!(
+            r#"package app
+
+import (
+	"sync"
+	"testing"
+)
+
+// racy: hits
+type {ty} struct {{
+	hits int
+	mu   sync.RWMutex
+}}
+
+func (s *{ty}) record(wg *sync.WaitGroup) {{
+	wg.Add(1)
+	go func() {{
+		defer wg.Done()
+		s.mu.{wl}()
+		s.hits = s.hits + 1
+		s.mu.{wu}()
+	}}()
+}}
+
+func (s *{ty}) poll(wg *sync.WaitGroup) {{
+	wg.Add(1)
+	go func() {{
+		defer wg.Done()
+		s.mu.RLock()
+		v := s.hits
+		_ = v
+		s.mu.RUnlock()
+	}}()
+}}
+
+func {test}(t *testing.T) {{
+	s := &{ty}{{}}
+	var wg sync.WaitGroup
+	s.record(&wg)
+	s.record(&wg)
+	s.poll(&wg)
+	wg.Wait()
+	if s.hits < 0 {{
+		t.Errorf("impossible count")
+	}}
+}}
+"#
+        )
+    };
+    let file = ("recorder.go".to_owned(), make(true));
+    let fix = vec![("recorder.go".to_owned(), make(false))];
+    case(idx, RaceCategory::MissingSync, vec![file], test, Some(fix))
+}
+
+/// Double-checked locking over a lazily-built map: the fast-path nil
+/// check is outside the mutex, racing the guarded publication in a
+/// sibling goroutine. The natural `sync.Map` conversion is statically
+/// hazardous here (a botch leaves the `range` reader on the converted
+/// field — an error-tier `syncmap-range`), which is exactly the shape
+/// the tournament's gate accounting needs. The human fix drops the
+/// unguarded fast path.
+fn double_checked(rng: &mut StdRng, idx: usize) -> RaceCase {
+    let mut n = NameGen::new(rng);
+    let ty = n.ty();
+    let test = n.test();
+    let val = n.small(2, 40);
+    let make = |racy: bool| {
+        let body = if racy {
+            format!(
+                "\t\tif b.cache == nil {{\n\t\t\tb.mu.Lock()\n\t\t\tif b.cache == nil {{\n\t\t\t\tm := make(map[int]int)\n\t\t\t\tm[0] = {val}\n\t\t\t\tb.cache = m\n\t\t\t}}\n\t\t\tb.mu.Unlock()\n\t\t}}\n"
+            )
+        } else {
+            format!(
+                "\t\tb.mu.Lock()\n\t\tif b.cache == nil {{\n\t\t\tm := make(map[int]int)\n\t\t\tm[0] = {val}\n\t\t\tb.cache = m\n\t\t}}\n\t\tb.mu.Unlock()\n"
+            )
+        };
+        format!(
+            r#"package app
+
+import (
+	"sync"
+	"testing"
+)
+
+// racy: cache
+type {ty} struct {{
+	cache map[int]int
+	mu    sync.Mutex
+}}
+
+func (b *{ty}) warm(wg *sync.WaitGroup) {{
+	wg.Add(1)
+	go func() {{
+		defer wg.Done()
+{body}	}}()
+}}
+
+func (b *{ty}) sum() int {{
+	total := 0
+	for _, v := range b.cache {{
+		total = total + v
+	}}
+	return total
+}}
+
+func {test}(t *testing.T) {{
+	b := &{ty}{{}}
+	var wg sync.WaitGroup
+	b.warm(&wg)
+	b.warm(&wg)
+	wg.Wait()
+	if b.sum() < 0 {{
+		t.Errorf("impossible sum")
+	}}
+}}
+"#
+        )
+    };
+    let file = ("warmer.go".to_owned(), make(true));
+    let fix = vec![("warmer.go".to_owned(), make(false))];
+    case(
+        idx,
+        RaceCategory::ConcurrentMap,
+        vec![file],
+        test,
+        Some(fix),
+    )
+}
+
+/// Channel-select race: a worker goroutine writes a captured local and
+/// signals on one channel, but the selecting reader may wake on the
+/// *other* arm and read the local with no happens-before edge. The
+/// human fix waits for the writer's channel unconditionally.
+fn channel_select(rng: &mut StdRng, idx: usize) -> RaceCase {
+    let mut n = NameGen::new(rng);
+    let func = n.func();
+    let test = n.test();
+    let v = n.var();
+    let k = n.small(2, 50);
+    let make = |racy: bool| {
+        let wait = if racy {
+            "\tselect {\n\tcase <-done:\n\tcase <-tick:\n\t}\n"
+        } else {
+            "\t<-done\n\t<-tick\n"
+        };
+        format!(
+            r#"package app
+
+import "testing"
+
+// racy: {v}
+func {func}() int {{
+	{v} := 0
+	done := make(chan bool, 1)
+	tick := make(chan bool, 1)
+	go func() {{
+		{v} = {k}
+		done <- true
+	}}()
+	go func() {{
+		tick <- true
+	}}()
+{wait}	return {v}
+}}
+
+func {test}(t *testing.T) {{
+	if {func}() < 0 {{
+		t.Errorf("impossible result")
+	}}
+}}
+"#
+        )
+    };
+    let file = ("selector.go".to_owned(), make(true));
+    let fix = vec![("selector.go".to_owned(), make(false))];
+    case(
+        idx,
+        RaceCategory::CaptureByReference,
+        vec![file],
+        test,
+        Some(fix),
+    )
+}
+
+/// The racy read sits in a `return` statement: appender goroutines
+/// mutate a slice field while the accessor returns its length before
+/// the waitgroup settles. Only a strategy that hoists the returned
+/// expression into a guarded temporary can cover the read.
+fn return_read(rng: &mut StdRng, idx: usize) -> RaceCase {
+    let mut n = NameGen::new(rng);
+    let ty = n.ty();
+    let test = n.test();
+    let a = n.small(1, 30);
+    let b = n.small(1, 30);
+    let make = |racy: bool| {
+        let (fields, add, last) = if racy {
+            (
+                "\tsamples []int".to_owned(),
+                "\t\tm.samples = append(m.samples, v)\n".to_owned(),
+                "\treturn len(m.samples)\n".to_owned(),
+            )
+        } else {
+            (
+                "\tsamples []int\n\tmu      sync.Mutex".to_owned(),
+                "\t\tm.mu.Lock()\n\t\tm.samples = append(m.samples, v)\n\t\tm.mu.Unlock()\n"
+                    .to_owned(),
+                "\tm.mu.Lock()\n\tn := len(m.samples)\n\tm.mu.Unlock()\n\treturn n\n".to_owned(),
+            )
+        };
+        format!(
+            r#"package app
+
+import (
+	"sync"
+	"testing"
+)
+
+// racy: samples
+type {ty} struct {{
+{fields}
+}}
+
+func (m *{ty}) add(v int, wg *sync.WaitGroup) {{
+	wg.Add(1)
+	go func() {{
+		defer wg.Done()
+{add}	}}()
+}}
+
+func (m *{ty}) last() int {{
+{last}}}
+
+func {test}(t *testing.T) {{
+	m := &{ty}{{}}
+	var wg sync.WaitGroup
+	m.add({a}, &wg)
+	m.add({b}, &wg)
+	if m.last() < 0 {{
+		t.Errorf("impossible length")
+	}}
+	wg.Wait()
+}}
+"#
+        )
+    };
+    let file = ("sampler.go".to_owned(), make(true));
+    let fix = vec![("sampler.go".to_owned(), make(false))];
+    case(
+        idx,
+        RaceCategory::ConcurrentSlice,
+        vec![file],
+        test,
+        Some(fix),
+    )
+}
+
+// ===================================================================
 // Hard (Table 5) templates
 // ===================================================================
 

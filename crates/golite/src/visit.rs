@@ -471,6 +471,107 @@ impl MutVisitor for RenameIdent<'_> {
     }
 }
 
+/// Renames a package qualifier: selector bases (`from.X` → `to.X`) and
+/// named-type prefixes (`from.T` → `to.T`), including types buried in
+/// `make`/`new`/composite literals/type assertions/function signatures.
+/// Used when merging two files whose imports bind the same import path
+/// under different local names.
+pub struct RenamePkg<'a> {
+    /// Package qualifier to replace.
+    pub from: &'a str,
+    /// Replacement qualifier.
+    pub to: &'a str,
+}
+
+impl RenamePkg<'_> {
+    fn rename_type(&self, ty: &mut Type) {
+        match ty {
+            Type::Named { path, args } => {
+                if path.len() > 1 && path[0] == self.from {
+                    path[0] = self.to.to_owned();
+                }
+                for a in args {
+                    self.rename_type(a);
+                }
+            }
+            Type::Pointer(t) | Type::Slice(t) => self.rename_type(t),
+            Type::Array { elem, .. } => self.rename_type(elem),
+            Type::Map { key, value } => {
+                self.rename_type(key);
+                self.rename_type(value);
+            }
+            Type::Chan { elem, .. } => self.rename_type(elem),
+            Type::Func(sig) => self.rename_sig(sig),
+            Type::Struct(fields) => {
+                for f in fields {
+                    self.rename_type(&mut f.ty);
+                }
+            }
+            Type::Interface(_) => {}
+        }
+    }
+
+    fn rename_sig(&self, sig: &mut FuncSig) {
+        for p in sig.params.iter_mut().chain(sig.results.iter_mut()) {
+            self.rename_type(&mut p.ty);
+        }
+    }
+
+    /// Rewrites qualifiers throughout one top-level declaration.
+    pub fn rename_decl(&mut self, d: &mut Decl) {
+        match d {
+            Decl::Func(f) => {
+                if let Some(recv) = &mut f.receiver {
+                    self.rename_type(&mut recv.ty);
+                }
+                self.rename_sig(&mut f.sig);
+                if let Some(body) = &mut f.body {
+                    self.visit_block(body);
+                }
+            }
+            Decl::Type(t) => self.rename_type(&mut t.ty),
+            Decl::Var(v) | Decl::Const(v) => {
+                if let Some(ty) = &mut v.ty {
+                    self.rename_type(ty);
+                }
+                for e in &mut v.values {
+                    self.visit_expr(e);
+                }
+            }
+        }
+    }
+}
+
+impl MutVisitor for RenamePkg<'_> {
+    fn visit_expr(&mut self, e: &mut Expr) {
+        match e {
+            Expr::Selector { expr, .. } => {
+                if let Expr::Ident { name, .. } = expr.as_mut() {
+                    if name == self.from {
+                        *name = self.to.to_owned();
+                    }
+                }
+            }
+            Expr::Make { ty, .. } | Expr::New { ty, .. } | Expr::TypeAssert { ty, .. } => {
+                self.rename_type(ty)
+            }
+            Expr::CompositeLit { ty: Some(ty), .. } => self.rename_type(ty),
+            Expr::FuncLit { sig, .. } => self.rename_sig(sig),
+            _ => {}
+        }
+        self.walk_expr(e);
+    }
+
+    fn visit_stmt(&mut self, s: &mut Stmt) {
+        if let Stmt::Decl(v) = s {
+            if let Some(ty) = &mut v.ty {
+                self.rename_type(ty);
+            }
+        }
+        self.walk_stmt(s);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -505,6 +606,45 @@ mod tests {
             }
         });
         assert_eq!(exprs, vec!["inner"]);
+    }
+
+    #[test]
+    fn rename_pkg_rewrites_selectors_and_types() {
+        let src = concat!(
+            "package p\n\n",
+            "var mu sync.Mutex\n\n",
+            "func f(w *sync.WaitGroup) sync.Locker {\n",
+            "\tvar local sync.RWMutex\n",
+            "\tch := make(chan sync.Mutex, 1)\n",
+            "\t_ = ch\n",
+            "\tg := sync.Mutex{}\n",
+            "\t_ = g\n",
+            "\t_ = local\n",
+            "\tsync.OnceFunc(func() {})\n",
+            "\treturn &mu\n",
+            "}\n",
+        );
+        let mut f = parse_file(src).unwrap();
+        let mut r = RenamePkg {
+            from: "sync",
+            to: "sy",
+        };
+        for d in &mut f.decls {
+            r.rename_decl(d);
+        }
+        let printed = print_file(&f);
+        assert!(!printed.contains("sync."), "qualifier survived:\n{printed}");
+        for needle in [
+            "var mu sy.Mutex",
+            "w *sy.WaitGroup",
+            ") sy.Locker",
+            "var local sy.RWMutex",
+            "make(chan sy.Mutex, 1)",
+            "sy.Mutex{}",
+            "sy.OnceFunc(",
+        ] {
+            assert!(printed.contains(needle), "missing `{needle}`:\n{printed}");
+        }
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod strategy;
 
 pub use capability::{CapabilityModel, ModelTier};
 pub use diagnose::{diagnose, Diagnosis};
-pub use model::SynthLlm;
+pub use model::{Candidate, SynthLlm};
 pub use strategy::StrategyKind;
 
 use serde::{Deserialize, Serialize};

@@ -9,9 +9,35 @@
 //! and botching, and (5) applies a *real* AST rewrite.
 
 use crate::capability::{draw, CapabilityModel, ModelTier};
-use crate::diagnose::{diagnose, Diagnosis};
+use crate::diagnose::{diagnose, Diagnosis, Target};
 use crate::strategy::{self, StrategyKind};
 use crate::{FixRequest, FixResponse, RaceCategory, Scope};
+
+/// One enumerated candidate patch (tournament mode, §4.4 generalized):
+/// a complete revised source plus the model's self-reported confidence.
+///
+/// Confidence is a *prior* — structural fit times tier skill, scaled to
+/// the best-ranked candidate — and deliberately ignores the botch dice:
+/// a model does not know when it has botched.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Full revised code.
+    pub code: String,
+    /// The strategy applied.
+    pub strategy: StrategyKind,
+    /// The diagnosis target the strategy was applied to (needed to
+    /// re-apply the same strategy during repair).
+    pub target: Target,
+    /// Whether the application was degraded by the capability model.
+    pub degraded: bool,
+    /// Self-reported confidence in `(0, 1]`.
+    pub confidence: f64,
+    /// Enumeration rank within this request (0 = the strategy
+    /// `generate` would pick first).
+    pub rank: usize,
+    /// Free-text note.
+    pub note: String,
+}
 
 /// The synthetic LLM.
 #[derive(Debug, Clone)]
@@ -19,6 +45,9 @@ pub struct SynthLlm {
     cap: CapabilityModel,
     seed: u64,
 }
+
+/// Score-ranked diagnoses plus the strategy excluded by feedback.
+type RankedDiagnoses = (Vec<(f64, Diagnosis)>, Option<StrategyKind>);
 
 impl SynthLlm {
     /// Creates a model of the given tier with a sampling seed.
@@ -45,56 +74,17 @@ impl SynthLlm {
             };
         };
 
-        let mut candidates = diagnose(&file, &req.racy_var);
-        // The prompt points at one function (leaf/test/LCA location):
-        // function-level diagnoses elsewhere are out of focus. Type- and
-        // global-level repairs stay visible from any location.
-        if let Some(focus) = &req.focus_func {
-            candidates.retain(|d| d.target.func().map(|f| f == focus).unwrap_or(true));
-        }
-        if candidates.is_empty() {
-            return FixResponse {
-                code: None,
-                strategy: None,
-                degraded: false,
-                note: "no plausible repair found".into(),
-            };
-        }
-
-        // Strategies that already failed (feedback loop, §4.4.2).
-        let failed: Vec<StrategyKind> = req.feedback.iter().filter_map(|f| f.strategy).collect();
-        candidates.retain(|d| !failed.contains(&d.strategy));
-        if candidates.is_empty() {
-            return FixResponse {
-                code: None,
-                strategy: None,
-                degraded: false,
-                note: "all known repairs already failed".into(),
-            };
-        }
-
-        // Infer the example's idiom from its own before/after diff.
-        let example_idiom = req
-            .example
-            .as_ref()
-            .and_then(|e| classify_example(&e.buggy, &e.fixed));
-
-        // Rank.
-        let mut ranked: Vec<(f64, Diagnosis)> = candidates
-            .into_iter()
-            .map(|d| {
-                let mut score = d.score * (0.4 + 0.6 * self.cap.skill(d.strategy));
-                if let Some(idiom) = example_idiom {
-                    if idiom == d.strategy {
-                        score += 1.0;
-                    } else if category_of(idiom) == d.category {
-                        score += 0.25;
-                    }
+        let (ranked, example_idiom) = match self.rank_diagnoses(req, &file) {
+            Ok(r) => r,
+            Err(note) => {
+                return FixResponse {
+                    code: None,
+                    strategy: None,
+                    degraded: false,
+                    note: note.into(),
                 }
-                (score, d)
-            })
-            .collect();
-        ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+            }
+        };
 
         let attempt_tag = format!("attempt{}", req.feedback.len());
 
@@ -131,37 +121,7 @@ impl SynthLlm {
         // apply (e.g. needs the type declaration, invisible at function
         // scope) is skipped, like an LLM revising its plan.
         for (i, (_, diag)) in ranked.iter().take(4).enumerate() {
-            // The example guides only when its idiom matches a
-            // structurally plausible candidate; an example from the wrong
-            // pattern *anchors* the model on an inapplicable fix instead
-            // (this is why raw-text retrieval barely helps, Fig. 3).
-            let guided = example_idiom == Some(diag.strategy) && diag.score >= 0.65;
-            let anchored =
-                example_idiom.is_some() && example_idiom != Some(diag.strategy) && !comprehends;
-            let skill = if guided {
-                self.cap.effective_skill(diag.strategy, true)
-            } else if comprehends {
-                let s = self.cap.effective_skill(diag.strategy, false);
-                if example_idiom.is_some() && example_idiom != Some(diag.strategy) {
-                    s * 0.75 // mild distraction
-                } else {
-                    s
-                }
-            } else if anchored {
-                0.0
-            } else {
-                // Misunderstood race: the patch looks plausible but
-                // misses the point.
-                0.0
-            };
-            // Keyed on the race, not the attempt: the model repeats its
-            // own mistake if asked to try the same strategy again.
-            let botch_roll = draw(
-                self.seed,
-                &[&req.case_key, &req.racy_var, diag.strategy.display()],
-                "botch",
-            );
-            let botch = if botch_roll < skill { 0 } else { 1 };
+            let (botch, guided) = self.roll_botch(req, diag, example_idiom, comprehends);
             match strategy::apply(diag.strategy, &file, &diag.target, botch) {
                 Ok(new_file) => {
                     return FixResponse {
@@ -193,6 +153,194 @@ impl SynthLlm {
             degraded: false,
             note: "no applicable strategy".into(),
         }
+    }
+
+    /// Enumerates up to `max` candidate patches for one request — the
+    /// tournament generalization of [`SynthLlm::generate`]. The same
+    /// deterministic dice are rolled per strategy, so the candidate
+    /// `generate` would return is always in the list (when it returns
+    /// one at all); the list simply keeps going past the first success.
+    pub fn enumerate(&self, req: &FixRequest, max: usize) -> Vec<Candidate> {
+        let Ok(file) = golite::parse_file(&req.code) else {
+            return Vec::new();
+        };
+        let Ok((ranked, example_idiom)) = self.rank_diagnoses(req, &file) else {
+            return Vec::new();
+        };
+        let attempt_tag = format!("attempt{}", req.feedback.len());
+        let misloc_p = self.cap.mislocalisation(
+            req.scope == Scope::File,
+            req.context_funcs,
+            req.example.is_some(),
+            !req.feedback.is_empty(),
+        );
+        let misloc_roll = draw(
+            self.seed,
+            &[&req.case_key, &req.racy_var, &attempt_tag],
+            "misloc",
+        );
+        let top_score = ranked.first().map(|(s, _)| *s).unwrap_or(1.0).max(1e-9);
+        if misloc_roll < misloc_p {
+            // Same degraded no-op response `generate` produces: one
+            // candidate, so the tournament sees what single-path saw.
+            let (_, top) = &ranked[0];
+            return vec![Candidate {
+                code: golite::print_file(&file),
+                strategy: top.strategy,
+                target: top.target.clone(),
+                degraded: true,
+                confidence: 0.05,
+                rank: 0,
+                note: "long-context attention slipped to the wrong site".into(),
+            }];
+        }
+        let comprehends =
+            draw(self.seed, &[&req.case_key], "comprehend") < self.cap.comprehension();
+
+        let mut out = Vec::new();
+        for (score, diag) in ranked.iter().take(max) {
+            let (botch, guided) = self.roll_botch(req, diag, example_idiom, comprehends);
+            if let Ok(new_file) = strategy::apply(diag.strategy, &file, &diag.target, botch) {
+                out.push(Candidate {
+                    code: golite::print_file(&new_file),
+                    strategy: diag.strategy,
+                    target: diag.target.clone(),
+                    degraded: botch != 0,
+                    confidence: 0.2 + 0.8 * (score / top_score),
+                    rank: out.len(),
+                    note: format!(
+                        "applied {} ({}){}",
+                        diag.strategy.display(),
+                        diag.category.display(),
+                        if guided { " guided by example" } else { "" }
+                    ),
+                });
+            }
+        }
+        out
+    }
+
+    /// Revises an earlier candidate against a static-analyzer finding
+    /// (the tournament's bounded repair loop). The lint rule pinpoints
+    /// the defect, so the retry rolls *guided* dice — unlike a bare
+    /// retry, which would deterministically repeat the same mistake —
+    /// but a repair can still botch. Returns `None` when the strategy no
+    /// longer applies to the request code.
+    pub fn repair(
+        &self,
+        req: &FixRequest,
+        cand: &Candidate,
+        rule: &str,
+        iter: u32,
+    ) -> Option<Candidate> {
+        let file = golite::parse_file(&req.code).ok()?;
+        let skill = self.cap.effective_skill(cand.strategy, true);
+        let tag = format!("repair{iter}");
+        let roll = draw(
+            self.seed,
+            &[&req.case_key, &req.racy_var, cand.strategy.display(), rule],
+            &tag,
+        );
+        let botch = if roll < skill { 0 } else { 1 };
+        let new_file = strategy::apply(cand.strategy, &file, &cand.target, botch).ok()?;
+        Some(Candidate {
+            code: golite::print_file(&new_file),
+            degraded: botch != 0,
+            note: format!("revised {} after `{rule}`", cand.strategy.display()),
+            ..cand.clone()
+        })
+    }
+
+    /// Shared diagnosis + ranking of [`SynthLlm::generate`] and
+    /// [`SynthLlm::enumerate`]; `Err` carries the decline note.
+    fn rank_diagnoses(
+        &self,
+        req: &FixRequest,
+        file: &golite::ast::File,
+    ) -> Result<RankedDiagnoses, &'static str> {
+        let mut candidates = diagnose(file, &req.racy_var);
+        // The prompt points at one function (leaf/test/LCA location):
+        // function-level diagnoses elsewhere are out of focus. Type- and
+        // global-level repairs stay visible from any location.
+        if let Some(focus) = &req.focus_func {
+            candidates.retain(|d| d.target.func().map(|f| f == focus).unwrap_or(true));
+        }
+        if candidates.is_empty() {
+            return Err("no plausible repair found");
+        }
+
+        // Strategies that already failed (feedback loop, §4.4.2).
+        let failed: Vec<StrategyKind> = req.feedback.iter().filter_map(|f| f.strategy).collect();
+        candidates.retain(|d| !failed.contains(&d.strategy));
+        if candidates.is_empty() {
+            return Err("all known repairs already failed");
+        }
+
+        // Infer the example's idiom from its own before/after diff.
+        let example_idiom = req
+            .example
+            .as_ref()
+            .and_then(|e| classify_example(&e.buggy, &e.fixed));
+
+        // Rank.
+        let mut ranked: Vec<(f64, Diagnosis)> = candidates
+            .into_iter()
+            .map(|d| {
+                let mut score = d.score * (0.4 + 0.6 * self.cap.skill(d.strategy));
+                if let Some(idiom) = example_idiom {
+                    if idiom == d.strategy {
+                        score += 1.0;
+                    } else if category_of(idiom) == d.category {
+                        score += 0.25;
+                    }
+                }
+                (score, d)
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        Ok((ranked, example_idiom))
+    }
+
+    /// The guided/anchored skill model plus the race-keyed botch roll
+    /// for one ranked diagnosis. Returns `(botch, guided)`.
+    fn roll_botch(
+        &self,
+        req: &FixRequest,
+        diag: &Diagnosis,
+        example_idiom: Option<StrategyKind>,
+        comprehends: bool,
+    ) -> (u8, bool) {
+        // The example guides only when its idiom matches a structurally
+        // plausible candidate; an example from the wrong pattern
+        // *anchors* the model on an inapplicable fix instead (this is
+        // why raw-text retrieval barely helps, Fig. 3).
+        let guided = example_idiom == Some(diag.strategy) && diag.score >= 0.65;
+        let anchored =
+            example_idiom.is_some() && example_idiom != Some(diag.strategy) && !comprehends;
+        let skill = if guided {
+            self.cap.effective_skill(diag.strategy, true)
+        } else if comprehends {
+            let s = self.cap.effective_skill(diag.strategy, false);
+            if example_idiom.is_some() && example_idiom != Some(diag.strategy) {
+                s * 0.75 // mild distraction
+            } else {
+                s
+            }
+        } else if anchored {
+            0.0
+        } else {
+            // Misunderstood race: the patch looks plausible but misses
+            // the point.
+            0.0
+        };
+        // Keyed on the race, not the attempt: the model repeats its own
+        // mistake if asked to try the same strategy again.
+        let botch_roll = draw(
+            self.seed,
+            &[&req.case_key, &req.racy_var, diag.strategy.display()],
+            "botch",
+        );
+        (if botch_roll < skill { 0 } else { 1 }, guided)
     }
 }
 
@@ -417,6 +565,65 @@ func note()        {}
             Some(StrategyKind::MoveWgAddBeforeGo)
         );
         assert_eq!(classify_example("x := 1", "x := 1"), None);
+    }
+
+    #[test]
+    fn enumerate_first_candidate_matches_generate() {
+        // The tournament's candidate list must contain exactly what the
+        // single-path pipeline would have been given, in front.
+        for seed in 0..25u64 {
+            for tier in [ModelTier::Gpt4Turbo, ModelTier::Gpt4o, ModelTier::O1Preview] {
+                let llm = SynthLlm::new(tier, seed);
+                let r = req(ERR_RACE, "err");
+                let gen = llm.generate(&r);
+                let cands = llm.enumerate(&r, 4);
+                match gen.code {
+                    Some(code) => {
+                        let first = cands.first().expect("generate produced, enumerate empty");
+                        assert_eq!(first.code, code, "seed {seed} tier {tier:?}");
+                        assert_eq!(Some(first.strategy), gen.strategy);
+                        assert_eq!(first.degraded, gen.degraded);
+                    }
+                    None => assert!(cands.is_empty(), "seed {seed} tier {tier:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn enumerate_goes_past_the_first_success() {
+        let llm = SynthLlm::new(ModelTier::O1Preview, 3);
+        let cands = llm.enumerate(&req(ERR_RACE, "err"), 8);
+        assert!(cands.len() > 1, "only {} candidates", cands.len());
+        // Confidence is ordered with rank and stays in (0, 1].
+        for w in cands.windows(2) {
+            assert!(w[0].confidence >= w[1].confidence - 1e-9);
+        }
+        for c in &cands {
+            assert!(c.confidence > 0.0 && c.confidence <= 1.0 + 1e-9);
+            golite::parse_file(&c.code).expect("candidate code parses");
+        }
+        // Ranks are the enumeration order.
+        for (i, c) in cands.iter().enumerate() {
+            assert_eq!(c.rank, i);
+        }
+    }
+
+    #[test]
+    fn repair_is_deterministic_and_reapplies_the_strategy() {
+        let llm = SynthLlm::new(ModelTier::Gpt4Turbo, 9);
+        let r = req(ERR_RACE, "err");
+        let cands = llm.enumerate(&r, 4);
+        let cand = cands.first().expect("candidate");
+        let a = llm.repair(&r, cand, "inconsistent-lock", 0);
+        let b = llm.repair(&r, cand, "inconsistent-lock", 0);
+        let (a, b) = (a.expect("repair applies"), b.expect("repair applies"));
+        assert_eq!(a.code, b.code);
+        assert_eq!(a.strategy, cand.strategy);
+        // A different iteration ordinal rolls fresh dice (possibly the
+        // same outcome, but the draw is keyed differently).
+        let c = llm.repair(&r, cand, "inconsistent-lock", 1).unwrap();
+        assert_eq!(c.strategy, cand.strategy);
     }
 
     #[test]

@@ -274,14 +274,7 @@ fn privatize_loop_var(file: &mut File, target: &Target, botch: u8) -> Result<(),
 /// Listing 5: add `localVar := var` at closure start and rename uses.
 fn local_copy(file: &mut File, target: &Target, botch: u8) -> Result<(), String> {
     let var = target_var(target)?.to_owned();
-    let local = format!(
-        "local{}{}",
-        var.chars()
-            .next()
-            .map(|c| c.to_uppercase().to_string())
-            .unwrap_or_default(),
-        &var[1.min(var.len())..]
-    );
+    let local = format!("local{}", capitalize(&var));
     let f = target_func(file, target)?;
     let mut touched = 0usize;
     if let Some(body) = &mut f.body {
@@ -799,36 +792,67 @@ fn mutex_guard(file: &mut File, target: &Target, botch: u8, rw: bool) -> Result<
 
 /// Wraps every statement in `f` that directly uses `var` with
 /// `mu.Lock(); S; mu.Unlock()` (RLock for read-only statements when `rw`).
+/// Racy reads inside `return` expressions are hoisted into a guarded
+/// temporary, since the statement itself cannot be wrapped.
 fn guard_in_func(f: &mut FuncDecl, var: &str, mu: &Expr, botch: u8, rw: bool) {
     let var = var.to_owned();
     let mu = mu.clone();
+    let mut hoisted = 0usize;
     map_stmt_lists(f, &mut |stmts| {
         let mut out = Vec::with_capacity(stmts.len());
         for s in stmts {
             let uses = stmt_uses_var_directly(&s, &var) || field_access_in_stmt(&s, &var);
             let declares = stmt_declares_var(&s, &var);
             let is_write = stmt_writes_var(&s, &var);
-            if uses && !declares && !contains_return(&s) && !is_go_stmt(&s) {
-                // Botch 1: guard writes only — reads stay racy.
-                if botch == 1 && !is_write {
-                    out.push(s);
-                    continue;
-                }
-                // Botch 2 (rw): RLock everywhere, including writes.
-                let (lock, unlock) = if rw {
-                    if is_write && botch != 2 {
-                        ("Lock", "Unlock")
-                    } else {
-                        ("RLock", "RUnlock")
-                    }
-                } else {
+            if !uses || declares || is_go_stmt(&s) {
+                out.push(s);
+                continue;
+            }
+            // Botch 1: guard writes only — reads stay racy.
+            if botch == 1 && !is_write {
+                out.push(s);
+                continue;
+            }
+            // Botch 2 (rw): RLock everywhere, including writes.
+            let (lock, unlock) = if rw {
+                if is_write && botch != 2 {
                     ("Lock", "Unlock")
-                };
-                out.push(method_stmt(mu.clone(), lock, vec![]));
-                out.push(s);
-                out.push(method_stmt(mu.clone(), unlock, vec![]));
+                } else {
+                    ("RLock", "RUnlock")
+                }
             } else {
-                out.push(s);
+                ("Lock", "Unlock")
+            };
+            match s {
+                // A `return` reading `var` cannot be wrapped (the lock
+                // would never release); hoist the returned values into
+                // guarded temporaries instead.
+                Stmt::Return { values, span } if !values.is_empty() => {
+                    let names: Vec<String> = (0..values.len())
+                        .map(|k| format!("guarded{}{}", capitalize(&var), hoisted + k))
+                        .collect();
+                    hoisted += values.len();
+                    out.push(method_stmt(mu.clone(), lock, vec![]));
+                    out.push(Stmt::ShortVar {
+                        names: names.clone(),
+                        values,
+                        span,
+                    });
+                    out.push(method_stmt(mu.clone(), unlock, vec![]));
+                    out.push(Stmt::Return {
+                        values: names.into_iter().map(Expr::ident).collect(),
+                        span,
+                    });
+                }
+                // Other return-bearing compound statements stay
+                // unwrapped — a wrap would leak the lock on return, and
+                // inner returns were already hoisted bottom-up.
+                s if contains_return(&s) => out.push(s),
+                s => {
+                    out.push(method_stmt(mu.clone(), lock, vec![]));
+                    out.push(s);
+                    out.push(method_stmt(mu.clone(), unlock, vec![]));
+                }
             }
         }
         out
@@ -876,7 +900,7 @@ fn field_access_in_stmt(s: &Stmt, field: &str) -> bool {
             }
         }
         Stmt::Expr(e) => scan_expr(e, field, &mut found),
-        Stmt::ShortVar { values, .. } => {
+        Stmt::ShortVar { values, .. } | Stmt::Return { values, .. } => {
             for e in values {
                 scan_expr(e, field, &mut found);
             }
@@ -1512,5 +1536,130 @@ fn capitalize(s: &str) -> String {
     match c.next() {
         Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
         None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StrategyKind;
+
+    #[test]
+    fn local_copy_handles_multibyte_variable_names() {
+        // `über` starts with a two-byte char: the old local-name code
+        // byte-sliced at index 1 and panicked before even checking use.
+        let src = "package p\n\nfunc f() {\n\tgo func() {\n\t\twork()\n\t}()\n}\n";
+        let file = golite::parse_file(src).unwrap();
+        let target = Target::Local {
+            func: "f".into(),
+            var: "über".into(),
+        };
+        let res = apply(StrategyKind::LocalCopyInGoroutine, &file, &target, 0);
+        assert!(res.is_err(), "unused var should decline, not panic");
+    }
+
+    #[test]
+    fn local_copy_renames_multibyte_variable_uses() {
+        // The lexer is ASCII-only, so build the multi-byte identifier by
+        // renaming a parsed AST — race reports carry names verbatim.
+        let src = "package p\n\nfunc f() {\n\tx := 1\n\tgo func() {\n\t\tuse(x)\n\t}()\n}\n";
+        let mut file = golite::parse_file(src).unwrap();
+        {
+            use golite::visit::MutVisitor as _;
+            let mut r = golite::visit::RenameIdent {
+                from: "x",
+                to: "über",
+            };
+            let body = file.find_func_mut("f").unwrap().body.as_mut().unwrap();
+            r.visit_block(body);
+        }
+        let target = Target::Local {
+            func: "f".into(),
+            var: "über".into(),
+        };
+        let patched = apply(StrategyKind::LocalCopyInGoroutine, &file, &target, 0).unwrap();
+        let printed = golite::print_file(&patched);
+        assert!(printed.contains("localÜber := über"), "{printed}");
+        assert!(printed.contains("use(localÜber)"), "{printed}");
+    }
+
+    #[test]
+    fn mutex_guard_hoists_racy_return_reads() {
+        let src = concat!(
+            "package p\n\n",
+            "func f() {\n",
+            "\tn := 0\n",
+            "\tgo func() {\n",
+            "\t\tn = n + 1\n",
+            "\t}()\n",
+            "\treturn n\n",
+            "}\n",
+        );
+        let file = golite::parse_file(src).unwrap();
+        let target = Target::Local {
+            func: "f".into(),
+            var: "n".into(),
+        };
+        let patched = apply(StrategyKind::MutexGuard, &file, &target, 0).unwrap();
+        let printed = golite::print_file(&patched);
+        let hoist = printed
+            .find("guardedN0 := n")
+            .expect("return value hoisted into a temporary");
+        let ret = printed.find("return guardedN0").expect("return rewritten");
+        assert!(hoist < ret, "{printed}");
+        // The hoist is guarded: Lock before, Unlock between hoist and return.
+        let lock = printed.rfind("muN.Lock()").expect("lock inserted");
+        let unlock = printed.rfind("muN.Unlock()").expect("unlock inserted");
+        assert!(lock < hoist && hoist < unlock && unlock < ret, "{printed}");
+    }
+
+    #[test]
+    fn mutex_guard_field_return_hoist_uses_field_scan() {
+        // The racy read sits inside `return len(m.samples)` — reachable
+        // only through the field-access scan of return values.
+        let src = concat!(
+            "package p\n\n",
+            "type M struct {\n\tsamples []int\n}\n\n",
+            "func (m *M) last() int {\n",
+            "\treturn len(m.samples)\n",
+            "}\n\n",
+            "func (m *M) add(v int) {\n",
+            "\tm.samples = append(m.samples, v)\n",
+            "}\n",
+        );
+        let file = golite::parse_file(src).unwrap();
+        let target = Target::Field {
+            type_name: "M".into(),
+            field: "samples".into(),
+        };
+        let patched = apply(StrategyKind::MutexGuard, &file, &target, 0).unwrap();
+        let printed = golite::print_file(&patched);
+        assert!(
+            printed.contains("guardedSamples0 := len(m.samples)"),
+            "{printed}"
+        );
+        assert!(printed.contains("return guardedSamples0"), "{printed}");
+        golite::parse_file(&printed).unwrap();
+    }
+
+    #[test]
+    fn mutex_guard_botch_writes_only_leaves_returns_racy() {
+        let src = concat!(
+            "package p\n\n",
+            "func f() {\n",
+            "\tn := 0\n",
+            "\tn = n + 1\n",
+            "\treturn n\n",
+            "}\n",
+        );
+        let file = golite::parse_file(src).unwrap();
+        let target = Target::Local {
+            func: "f".into(),
+            var: "n".into(),
+        };
+        let patched = apply(StrategyKind::MutexGuard, &file, &target, 1).unwrap();
+        let printed = golite::print_file(&patched);
+        assert!(printed.contains("return n"), "{printed}");
+        assert!(!printed.contains("guardedN0"), "{printed}");
     }
 }

@@ -43,6 +43,11 @@ calibrate-smoke:
 exposure-smoke:
     DRFIX_STE_CASES=14 DRFIX_STE_MAX_SCHED=64 DRFIX_STE_VALIDATION_RUNS=64 cargo bench -q -p bench --bench schedules_to_expose
 
+# Tournament smoke: the multi-candidate tournament arm's acceptance
+# suite on a 2-worker fleet (superset, zero lint VM steps, determinism).
+tournament-smoke:
+    DRFIX_THREADS=2 cargo test --release -q --test tournament_ab
+
 # Static-analyzer false-positive sweep: statcheck must stay silent on
 # every correct program family while the misuse fixtures keep firing.
 lint-corpus:
@@ -58,6 +63,7 @@ perf-smoke:
 # the fastest of 10 repetitions).
 perf-baseline:
     env -u DRFIX_PERF_CASES -u DRFIX_PERF_RUNS -u DRFIX_PERF_HEAP_CASES -u DRFIX_PERF_CHURN_CASES \
+    -u DRFIX_PERF_GATE_CASES -u DRFIX_PERF_TOURNAMENT_CASES \
     -u DRFIX_PERF_NOCACHE -u DRFIX_PERF_NOGC \
     DRFIX_PERF_REPEAT=10 cargo run --release -q -p bench --bin perfscan
 

@@ -21,13 +21,17 @@
 //!    deadlocking synchronization — are documented as dynamic-only
 //!    below and must stay *silent* at error tier.
 
-use corpus::{generate_eval_corpus, CorpusConfig};
-use drfix::{validate_patch_report, ValidationOptions};
+use corpus::{generate_eval_corpus, generate_tournament_corpus, CorpusConfig};
+use drfix::fleet::{derive_case_seed, derive_validation_seed, FleetConfig};
+use drfix::{
+    validate_patch_report, CandidateOutcome, CandidateSelection, PipelineConfig, RagMode,
+    TournamentConfig, ValidationOptions,
+};
 use govm::{compile_sources, run_test_many, CompileOptions, TestConfig};
 use std::collections::{BTreeMap, BTreeSet};
 use synthllm::diagnose::diagnose;
 use synthllm::strategy::apply;
-use synthllm::StrategyKind;
+use synthllm::{ModelTier, StrategyKind};
 
 /// Botch classes `statcheck` must catch at error tier, with the rule
 /// that catches them.
@@ -228,5 +232,125 @@ fn botch_matrix_static_flags_are_sound_and_cover_broken_sync() {
         blind_spot_hits < dynamic_checked,
         "every error-flagged candidate passed dynamic validation — the \
          cross-check lost its teeth ({blind_spot_hits}/{dynamic_checked})"
+    );
+}
+
+/// Tournament-loser extension of the matrix: every candidate the
+/// tournament rejects must be rejected **for the same reason** by the
+/// single-path validator. With `keep_candidates` on, each candidate's
+/// patched sources are retained, so the reference validator can be
+/// replayed on them under the exact per-candidate campaign seed the
+/// tournament used:
+///
+/// - `RejectedStatic { rule }` losers must come back `rejected_static`
+///   with the same rule in the failure message (and the gate's zero-VM
+///   claim holds — the replay burns steps only because we ask it to);
+/// - `FailedValidation { reason }` losers must fail with the identical
+///   message;
+/// - the winner must validate clean.
+#[test]
+fn tournament_losers_fail_the_reference_validator_for_the_same_reason() {
+    let base_seed = 0xFEED;
+    let cases = generate_tournament_corpus(&CorpusConfig {
+        eval_cases: 12,
+        db_pairs: 0,
+        seed: 0xD0F1,
+    });
+    let cfg = PipelineConfig {
+        tier: ModelTier::Gpt4Turbo,
+        rag: RagMode::None,
+        validation_runs: 8,
+        detect_runs: 24,
+        seed: base_seed,
+        tournament: Some(TournamentConfig {
+            selection: CandidateSelection::All,
+            keep_candidates: true,
+            ..TournamentConfig::default()
+        }),
+        ..PipelineConfig::default()
+    };
+    let run = drfix::fleet::run_cases(&cfg, &FleetConfig::from_env(), &cases, None);
+
+    let mut static_losers = 0usize;
+    let mut dynamic_losers = 0usize;
+    for (i, (case, out)) in cases.iter().zip(&run.results).enumerate() {
+        let Some(rep) = &out.tournament else {
+            continue; // not reproduced: no roster to audit
+        };
+        let bug_hash = out.bug_hash.as_ref().expect("reproduced case has a hash");
+        let case_seed = derive_case_seed(base_seed, i as u64);
+        for cand in &rep.candidates {
+            let patch = cand
+                .patch
+                .as_ref()
+                .unwrap_or_else(|| panic!("{}: keep_candidates dropped a patch", case.id));
+            let vcfg = TestConfig {
+                runs: cfg.validation_runs,
+                seed: derive_validation_seed(case_seed, bug_hash, cand.id as u32 + 1),
+                stop_on_race: false,
+                ..TestConfig::default()
+            };
+            let replay = validate_patch_report(
+                patch,
+                &case.test,
+                bug_hash,
+                &vcfg,
+                &ValidationOptions { static_gate: true },
+            );
+            match &cand.outcome {
+                CandidateOutcome::RejectedStatic { rule } => {
+                    static_losers += 1;
+                    assert!(
+                        replay.rejected_static,
+                        "{} cand {}: tournament rejected statically (`{rule}`) but the \
+                         reference validator let it through to dynamic validation",
+                        case.id, cand.id
+                    );
+                    let msg = match &replay.verdict {
+                        drfix::Verdict::Fail(m) => m.clone(),
+                        v => panic!(
+                            "{} cand {}: static rejection with verdict {v:?}",
+                            case.id, cand.id
+                        ),
+                    };
+                    assert!(
+                        msg.contains(rule.as_str()),
+                        "{} cand {}: rejection reasons diverge: tournament `{rule}`, \
+                         reference `{msg}`",
+                        case.id,
+                        cand.id
+                    );
+                }
+                CandidateOutcome::FailedValidation { reason } => {
+                    dynamic_losers += 1;
+                    match &replay.verdict {
+                        drfix::Verdict::Fail(msg) => assert_eq!(
+                            msg, reason,
+                            "{} cand {}: failure reasons diverge",
+                            case.id, cand.id
+                        ),
+                        drfix::Verdict::Ok => panic!(
+                            "{} cand {}: tournament loser (`{reason}`) validates clean \
+                             under the reference validator",
+                            case.id, cand.id
+                        ),
+                    }
+                }
+                CandidateOutcome::Won | CandidateOutcome::Outranked => {
+                    assert!(
+                        replay.verdict.is_ok(),
+                        "{} cand {}: clean candidate fails the reference validator",
+                        case.id,
+                        cand.id
+                    );
+                }
+                CandidateOutcome::NotValidated => {}
+            }
+        }
+    }
+    assert!(
+        static_losers > 0 && dynamic_losers > 0,
+        "the roster audit needs both loser kinds to have teeth \
+         ({static_losers} static, {dynamic_losers} dynamic)"
     );
 }
