@@ -4,7 +4,10 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test bench-compile doc clippy fmt fmt-check bench-smoke calibrate-smoke exposure-smoke tournament-smoke lint-corpus perf-smoke perf-baseline soak-smoke clean
+.PHONY: verify build test bench-compile doc clippy fmt fmt-check bench-smoke calibrate-smoke exposure-smoke tournament-smoke lint-corpus perf-smoke perf-baseline soak-smoke campaign-smoke campaign-scale clean
+
+# Reduced scale for the CI campaign-smoke kill/resume drill.
+DRFIX_CAMPAIGN_CASES ?= 200
 
 ## Full tier-1 gate: release build, tests, bench compilation, lints, docs.
 verify: build test bench-compile clippy fmt-check doc
@@ -84,6 +87,45 @@ perf-baseline:
 	-u DRFIX_PERF_NOCACHE -u DRFIX_PERF_NOGC \
 	DRFIX_PERF_REPEAT=10 \
 	$(CARGO) run --release -q -p bench --bin perfscan
+
+## The CI `campaign-smoke` job: the snapshot/resume drill at reduced
+## scale (DRFIX_CAMPAIGN_CASES, default 200; 2 shards). A serial
+## reference campaign runs uninterrupted; the same campaign runs
+## pipelined, is killed at its first checkpoint (exit 3), resumes from
+## the snapshot, and the resumed digest must equal the uninterrupted
+## reference bit-for-bit. Exits non-zero on any divergence.
+campaign-smoke:
+	rm -rf target/campaign-smoke && mkdir -p target/campaign-smoke
+	$(CARGO) build --release -q -p bench --bin campaignctl
+	target/release/campaignctl run --cases $(DRFIX_CAMPAIGN_CASES) --shards 2 --serial \
+	  --checkpoint-every 25 --snapshot target/campaign-smoke/ref.json \
+	  > target/campaign-smoke/ref.log
+	target/release/campaignctl status --snapshot target/campaign-smoke/ref.json \
+	  --assert-complete --digest > target/campaign-smoke/ref.digest
+	target/release/campaignctl run --cases $(DRFIX_CAMPAIGN_CASES) --shards 2 --workers 4 \
+	  --checkpoint-every 25 --halt-after-checkpoints 1 \
+	  --snapshot target/campaign-smoke/killed.json > target/campaign-smoke/killed.log; \
+	  st=$$?; [ $$st -eq 3 ] || { echo "expected halted campaign (exit 3), got $$st"; exit 1; }
+	target/release/campaignctl status --snapshot target/campaign-smoke/killed.json \
+	  --assert-incomplete > /dev/null
+	target/release/campaignctl resume --cases $(DRFIX_CAMPAIGN_CASES) --shards 2 --workers 4 \
+	  --checkpoint-every 25 --snapshot target/campaign-smoke/killed.json \
+	  > target/campaign-smoke/resumed.log
+	target/release/campaignctl status --snapshot target/campaign-smoke/killed.json \
+	  --assert-complete --digest > target/campaign-smoke/resumed.digest
+	cmp target/campaign-smoke/ref.digest target/campaign-smoke/resumed.digest
+	@echo "campaign-smoke: kill/resume digest bit-identical to the uninterrupted run"
+
+## Campaign at deployment scale: a 10k-case streamed detect campaign
+## through the pipelined orchestrator, asserting the resident
+## generated-case-bytes high-water stays under 256 KiB — the corpus is
+## synthesized on demand and never materializes, so memory is bounded
+## by the in-flight window, not the campaign length.
+campaign-scale:
+	$(CARGO) build --release -q -p bench --bin campaignctl
+	target/release/campaignctl run --cases 10000 --shards 8 --workers 4 \
+	  --checkpoint-every 256 --assert-resident-under 262144 \
+	  --report target/campaign-smoke/scale-report.json
 
 ## The CI `soak-smoke` job: the streaming-soak test at reduced scale —
 ## shadow GC + clock reclamation must keep a churning workload's

@@ -38,6 +38,7 @@ fn main() {
         churn_cases: 2,
         gate_cases: 4,
         tournament_cases: 6,
+        campaign_cases: 12,
     };
 
     bench::header(

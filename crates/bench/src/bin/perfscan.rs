@@ -21,8 +21,9 @@
 //! `DRFIX_PERF_CHURN_CASES` (default 3, the Churn family),
 //! `DRFIX_PERF_GATE_CASES` (default 6, the static-gate candidate
 //! workload), `DRFIX_PERF_TOURNAMENT_CASES` (default 8, the tournament
-//! arm). The gate refuses to compare reports produced at different
-//! scales.
+//! arm), `DRFIX_PERF_CAMPAIGN_CASES` (default 96, the campaign
+//! orchestration arm). The gate refuses to compare reports produced at
+//! different scales.
 //! `DRFIX_PERF_NOCACHE=1` runs the identical workload with the
 //! lock-aware caches off — an A/B for timing work. The *logical*
 //! counters stay bit-identical, but the dedicated cache counters
@@ -164,6 +165,29 @@ fn main() -> ExitCode {
         t.repair_iters,
         t.validation_steps_per_fix,
         t.static_only_vm_steps,
+    );
+    let c = &report.campaign;
+    println!(
+        "campaign: {} cases x {} shards | pops {} steals {} probes {} folds {} \
+         checkpoints {} | digest {:#018x} ({} pipelined mismatches, must be 0)",
+        c.cases,
+        c.shards,
+        c.queue_pops,
+        c.steals,
+        c.steal_probes,
+        c.folds,
+        c.checkpoints,
+        c.digest,
+        c.digest_mismatches,
+    );
+    println!(
+        "campaign memory: serial resident {}B | pipelined resident {}B, in-flight {} | \
+         wall serial {:.2}s pipelined {:.2}s (reported, never gated)",
+        c.peak_resident_case_bytes,
+        c.pipelined_peak_resident_case_bytes,
+        c.pipelined_peak_in_flight,
+        c.wall_seconds_serial,
+        c.wall_seconds_pipelined,
     );
     println!(
         "exposure corpus: {:.2}M instr/s vs pre-optimization {:.2}M instr/s -> {:.2}x",

@@ -58,7 +58,14 @@ pub const WORKLOAD_SEED: u64 = 0xBEEF;
 /// the multi-candidate tournament arm's candidate counts and dynamic
 /// validation budget per fixed case on the statically-interesting
 /// tournament corpus families.
-pub const SCHEMA: u32 = 5;
+///
+/// v6: the campaign section (`queue_pops`, `steals`, `steal_probes`,
+/// `folds`, `checkpoints`, in-flight/resident high-waters, and the
+/// campaign digest) gating the `drfix::campaign` orchestrator's
+/// bookkeeping overhead on the serial reference executor, plus the
+/// pipelined-vs-serial digest cross-check (`digest_mismatches`, must
+/// stay 0). Campaign wall-clock is reported, never gated.
+pub const SCHEMA: u32 = 6;
 
 /// Sampling granularities measured into the report's recall section.
 /// `1` tracks every address (recall must be total); the coarser mods
@@ -90,6 +97,9 @@ pub struct HotpathScale {
     /// Tournament-corpus cases feeding the tournament arm
     /// (`DRFIX_PERF_TOURNAMENT_CASES`, default 8).
     pub tournament_cases: usize,
+    /// Streamed cases in the campaign-orchestration arm
+    /// (`DRFIX_PERF_CAMPAIGN_CASES`, default 96).
+    pub campaign_cases: usize,
 }
 
 impl Default for HotpathScale {
@@ -102,6 +112,7 @@ impl Default for HotpathScale {
             churn_cases: 3,
             gate_cases: 6,
             tournament_cases: 8,
+            campaign_cases: 96,
         }
     }
 }
@@ -124,6 +135,7 @@ impl HotpathScale {
             churn_cases: get("DRFIX_PERF_CHURN_CASES", d.churn_cases),
             gate_cases: get("DRFIX_PERF_GATE_CASES", d.gate_cases),
             tournament_cases: get("DRFIX_PERF_TOURNAMENT_CASES", d.tournament_cases),
+            campaign_cases: get("DRFIX_PERF_CAMPAIGN_CASES", d.campaign_cases),
         }
     }
 }
@@ -514,6 +526,8 @@ pub struct WorkloadSpec {
     pub gate_cases: usize,
     /// Tournament-corpus cases feeding the tournament arm.
     pub tournament_cases: usize,
+    /// Streamed cases in the campaign-orchestration arm.
+    pub campaign_cases: usize,
 }
 
 /// Detection recall at one sampling granularity, measured by running
@@ -811,6 +825,149 @@ pub fn measure_tournament(scale: &HotpathScale) -> TournamentBenchReport {
     rep
 }
 
+/// What the `drfix::campaign` orchestrator's bookkeeping costs at
+/// campaign scale, measured on the serial reference executor (whose
+/// queue/steal/fold counters are exact functions of the configuration)
+/// with a pipelined run alongside as the determinism cross-check.
+/// Wall-clock fields are reported, never gated.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CampaignBenchReport {
+    /// Streamed cases in the campaign.
+    pub cases: u64,
+    /// Queue shards.
+    pub shards: u64,
+    /// Successful claims from the sharded queues (serial run).
+    pub queue_pops: u64,
+    /// Claims served off the home shard (serial run: the lone worker
+    /// drains shard 0 then walks the rest, so this is exact).
+    pub steals: u64,
+    /// Shard queues examined across all claims (serial run).
+    pub steal_probes: u64,
+    /// Result-collection instructions: outcomes folded into the
+    /// per-shard digests (serial run).
+    pub folds: u64,
+    /// Checkpoint snapshots written (serial run).
+    pub checkpoints: u64,
+    /// Cases whose detection exposed a race.
+    pub raced: u64,
+    /// VM instructions spent detecting.
+    pub detect_vm_steps: u64,
+    /// Resident generated-case-bytes high-water of the serial run — the
+    /// streaming invariant's floor (exactly one case resident).
+    pub peak_resident_case_bytes: u64,
+    /// Resident case-bytes high-water of the pipelined run — bounded by
+    /// the in-flight window, not the campaign length.
+    pub pipelined_peak_resident_case_bytes: u64,
+    /// In-flight high-water of the pipelined run (≤ the window).
+    pub pipelined_peak_in_flight: u64,
+    /// The campaign digest of the serial run (exact fingerprint of
+    /// every folded outcome).
+    pub digest: u64,
+    /// Pipelined runs whose digest differed from the serial reference —
+    /// must stay 0 (work-stealing changes placement, never outcomes).
+    pub digest_mismatches: u64,
+    /// Serial wall-clock seconds (reported, never gated).
+    pub wall_seconds_serial: f64,
+    /// Pipelined wall-clock seconds (reported, never gated).
+    pub wall_seconds_pipelined: f64,
+}
+
+impl CampaignBenchReport {
+    /// `(name, value, direction)` triples, mirroring
+    /// [`TournamentBenchReport::gauges`]. The orchestration counters
+    /// (queue ops, steals, folds, checkpoints) and the digest are exact
+    /// fingerprints of the serial reference; the VM-step and serial
+    /// resident-bytes columns get the usual cost tolerance. The
+    /// pipelined high-waters are *bounded* by configuration but land
+    /// wherever thread timing puts them, so — like wall-clock — they
+    /// are reported, never gated (the bound itself is asserted by
+    /// [`measure_campaign`] and the A/B test suite).
+    pub fn gauges(&self) -> Vec<(&'static str, u64, Direction)> {
+        vec![
+            ("cases", self.cases, Direction::Exact),
+            ("shards", self.shards, Direction::Exact),
+            ("queue_pops", self.queue_pops, Direction::Exact),
+            ("steals", self.steals, Direction::Exact),
+            ("steal_probes", self.steal_probes, Direction::Exact),
+            ("folds", self.folds, Direction::Exact),
+            ("checkpoints", self.checkpoints, Direction::Exact),
+            ("raced", self.raced, Direction::Exact),
+            ("detect_vm_steps", self.detect_vm_steps, Direction::Cost),
+            (
+                "peak_resident_case_bytes",
+                self.peak_resident_case_bytes,
+                Direction::Cost,
+            ),
+            ("digest", self.digest, Direction::Exact),
+            (
+                "digest_mismatches",
+                self.digest_mismatches,
+                Direction::Exact,
+            ),
+        ]
+    }
+}
+
+/// The campaign arm's fixed configuration (shared by the serial
+/// reference and the pipelined cross-check so their digests compare).
+fn campaign_bench_config(scale: &HotpathScale) -> drfix::CampaignConfig {
+    let mut cfg = drfix::CampaignConfig::new(
+        scale.campaign_cases,
+        4,
+        corpus::stream::StreamConfig {
+            family: corpus::stream::StreamFamily::Exposure,
+            seed: CORPUS_SEED,
+        },
+    );
+    cfg.pipeline = PipelineConfig {
+        seed: WORKLOAD_SEED,
+        detect_runs: 12,
+        ..PipelineConfig::default()
+    };
+    // Scales with the arm so checkpoints fire (≈2 per shard) at any
+    // DRFIX_PERF_CAMPAIGN_CASES — deterministic, hence gateable.
+    cfg.checkpoint_every = (scale.campaign_cases / (cfg.shards * 2)).max(1);
+    cfg
+}
+
+/// Measures [`CampaignBenchReport`]: one serial campaign for the exact
+/// orchestration counters, one pipelined campaign (4 workers) for the
+/// digest cross-check and the bounded-window high-waters.
+pub fn measure_campaign(scale: &HotpathScale) -> CampaignBenchReport {
+    let cfg = campaign_bench_config(scale);
+    let serial =
+        drfix::campaign::run_campaign(&cfg, None, None).expect("serial campaign bench run");
+    let mut pcfg = cfg.clone();
+    pcfg.workers = 4;
+    let pipelined =
+        drfix::campaign::run_campaign(&pcfg, None, None).expect("pipelined campaign bench run");
+    assert!(
+        pipelined.metrics.peak_in_flight <= pcfg.in_flight_limit() as u64,
+        "pipelined campaign exceeded its in-flight window: {} > {}",
+        pipelined.metrics.peak_in_flight,
+        pcfg.in_flight_limit(),
+    );
+    let sm = &serial.metrics;
+    CampaignBenchReport {
+        cases: scale.campaign_cases as u64,
+        shards: cfg.shards as u64,
+        queue_pops: sm.queue_pops,
+        steals: sm.steals,
+        steal_probes: sm.steal_probes,
+        folds: sm.folds,
+        checkpoints: sm.checkpoints,
+        raced: sm.tallies.raced,
+        detect_vm_steps: sm.tallies.detect_vm_steps,
+        peak_resident_case_bytes: sm.peak_resident_case_bytes,
+        pipelined_peak_resident_case_bytes: pipelined.metrics.peak_resident_case_bytes,
+        pipelined_peak_in_flight: pipelined.metrics.peak_in_flight,
+        digest: serial.snapshot.digest(),
+        digest_mismatches: u64::from(pipelined.snapshot.digest() != serial.snapshot.digest()),
+        wall_seconds_serial: sm.wall_seconds,
+        wall_seconds_pipelined: pipelined.metrics.wall_seconds,
+    }
+}
+
 /// The `BENCH_hotpath.json` document.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Report {
@@ -851,6 +1008,10 @@ pub struct Report {
     /// What the multi-candidate tournament arm costs and buys vs the
     /// single-path loop (deterministic; every field gated).
     pub tournament: TournamentBenchReport,
+    /// What the campaign orchestrator's bookkeeping costs at campaign
+    /// scale (serial counters exact-gated; pipelined digest cross-check;
+    /// wall-clock reported, never gated).
+    pub campaign: CampaignBenchReport,
     /// Exposure-corpus aggregate (racy + human-fix campaigns; excludes
     /// the sync-heavy add-on).
     pub exposure: CategoryReport,
@@ -1202,6 +1363,7 @@ pub fn run_scan(scale: &HotpathScale) -> Report {
     let sampling = measure_sampling_recall(scale);
     let static_gate = measure_static_gate(scale);
     let tournament = measure_tournament(scale);
+    let campaign = measure_campaign(scale);
     Report {
         schema: SCHEMA,
         workload: WorkloadSpec {
@@ -1215,6 +1377,7 @@ pub fn run_scan(scale: &HotpathScale) -> Report {
             churn_cases: scale.churn_cases,
             gate_cases: scale.gate_cases,
             tournament_cases: scale.tournament_cases,
+            campaign_cases: scale.campaign_cases,
         },
         pre_optimization: pre,
         pr4,
@@ -1226,6 +1389,7 @@ pub fn run_scan(scale: &HotpathScale) -> Report {
         sampling,
         static_gate,
         tournament,
+        campaign,
         exposure,
         total,
         categories,
@@ -1385,6 +1549,12 @@ pub fn check(baseline: &Report, current: &Report) -> Vec<Violation> {
         &current.tournament.gauges(),
         &mut out,
     );
+    check_gauges(
+        "campaign",
+        &baseline.campaign.gauges(),
+        &current.campaign.gauges(),
+        &mut out,
+    );
     let cur_by_cat: BTreeMap<&str, &CategoryReport> = current
         .categories
         .iter()
@@ -1461,6 +1631,7 @@ mod tests {
             churn_cases: 2,
             gate_cases: 4,
             tournament_cases: 6,
+            campaign_cases: 18,
         }
     }
 
@@ -1585,6 +1756,20 @@ mod tests {
             "lint-rejected rosters burned VM steps: {:?}",
             a.tournament
         );
+        // Campaign: the serial orchestration counters and digest replay
+        // bit-identically, the pipelined cross-check agrees, and the
+        // serial lone worker's shard walk is exactly accounted for.
+        assert_eq!(a.campaign.gauges(), b.campaign.gauges());
+        assert_eq!(a.campaign.folds, a.campaign.cases);
+        assert_eq!(a.campaign.queue_pops, a.campaign.cases);
+        assert_eq!(
+            a.campaign.digest_mismatches, 0,
+            "pipelined campaign diverged from the serial reference: {:?}",
+            a.campaign
+        );
+        assert!(a.campaign.raced > 0, "{:?}", a.campaign);
+        assert!(a.campaign.checkpoints > 0, "{:?}", a.campaign);
+        assert!(a.campaign.peak_resident_case_bytes > 0, "{:?}", a.campaign);
         assert!(check(&a, &b).is_empty());
     }
 
@@ -1597,6 +1782,7 @@ mod tests {
         cur.total.counters.races += 1;
         cur.static_gate.candidates_rejected_static += 1;
         cur.tournament.cases_fixed += 1;
+        cur.campaign.digest ^= 1;
         let violations = check(&base, &cur);
         let text = violations
             .iter()
@@ -1611,6 +1797,7 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("cases_fixed changed"), "{text}");
+        assert!(text.contains("digest changed"), "{text}");
         let table = render_violations(&violations);
         assert!(table.contains("vm_steps"), "{table}");
         assert!(table.contains("baseline"), "{table}");

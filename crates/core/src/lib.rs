@@ -63,6 +63,7 @@
 
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod database;
 pub mod fleet;
 pub mod pipeline;
@@ -71,6 +72,10 @@ pub mod review;
 pub mod tournament;
 pub mod validate;
 
+pub use campaign::{
+    run_campaign, CampaignConfig, CampaignMetrics, CampaignMode, CampaignRun, CaseOutcome,
+    ShardProgress, Snapshot, Tallies, CAMPAIGN_SCHEMA,
+};
 pub use database::{ExampleDb, RagMode};
 pub use fleet::{FleetConfig, FleetRun, FleetStats};
 pub use govm::{SchedulePolicy, SeedStream};

@@ -154,9 +154,52 @@ impl<'db> DrFix<'db> {
 
     /// Runs the full loop on one case: `files` is the codebase, `test`
     /// the test that exercises the race.
+    ///
+    /// Structured as detect (`DrFix::reproduce`) then fix
+    /// (`DrFix::fix_from_report`) so the campaign orchestrator can run
+    /// the two halves in different pipeline stages while sharing this
+    /// exact code path.
     pub fn fix_case(&self, files: &[(String, String)], test: &str) -> FixOutcome {
+        match self.reproduce(files, test) {
+            Some(report) => self.fix_from_report(files, test, &report),
+            None => Self::unreproduced_outcome(),
+        }
+    }
+
+    /// The outcome of a case whose race never reproduced under the
+    /// detection schedules — identical whichever arm would have run.
+    pub(crate) fn unreproduced_outcome() -> FixOutcome {
+        FixOutcome {
+            fixed: false,
+            patch: None,
+            strategy: None,
+            location: None,
+            scope: None,
+            example_used: false,
+            example_category: None,
+            llm_calls: 0,
+            validations: 0,
+            rejected_static: 0,
+            validation_vm_steps: 0,
+            duration_minutes: 4.0,
+            patch_loc: None,
+            failure: Some(FailureKind::NotReproduced),
+            bug_hash: None,
+            racy_var: None,
+            tournament: None,
+        }
+    }
+
+    /// Everything after detection: diagnose the reproduced race and run
+    /// the configured fix arm (single-path loop or tournament).
+    pub(crate) fn fix_from_report(
+        &self,
+        files: &[(String, String)],
+        test: &str,
+        report: &racedet::RaceReport,
+    ) -> FixOutcome {
         if let Some(tcfg) = self.cfg.tournament.clone() {
-            return self.fix_case_tournament(files, test, &tcfg);
+            return self.fix_from_report_tournament(files, test, report, &tcfg);
         }
         let mut out = FixOutcome {
             fixed: false,
@@ -177,14 +220,7 @@ impl<'db> DrFix<'db> {
             racy_var: None,
             tournament: None,
         };
-
-        // Step 1: reproduce and extract the race report.
-        let Some(report) = self.reproduce(files, test) else {
-            out.failure = Some(FailureKind::NotReproduced);
-            out.duration_minutes = 4.0;
-            return out;
-        };
-        let info = raceinfo::extract(&report, files);
+        let info = raceinfo::extract(report, files);
         out.bug_hash = Some(info.bug_hash.clone());
         out.racy_var = Some(info.racy_var.clone());
 
@@ -313,12 +349,16 @@ impl<'db> DrFix<'db> {
         out
     }
 
-    /// Reproduces the race, returning the first report.
-    pub(crate) fn reproduce(
+    /// Runs the detection campaign, returning the full [`govm`] test
+    /// outcome (stop reason, counters, any exposed races) — `None` when
+    /// the sources do not compile. [`DrFix::reproduce`] is the
+    /// race-or-nothing view; the campaign orchestrator keeps the whole
+    /// outcome for its per-stage metrics and stop-reason tallies.
+    pub(crate) fn detect_outcome(
         &self,
         files: &[(String, String)],
         test: &str,
-    ) -> Option<racedet::RaceReport> {
+    ) -> Option<govm::TestOutcome> {
         let prog = compile_sources(files, &CompileOptions::default()).ok()?;
         let cfg = TestConfig {
             runs: self.cfg.detect_runs,
@@ -327,8 +367,16 @@ impl<'db> DrFix<'db> {
             policy: self.cfg.detect_policy.clone(),
             ..TestConfig::default()
         };
-        let out = govm::run_test_many(&prog, test, &cfg);
-        out.races.into_iter().next()
+        Some(govm::run_test_many(&prog, test, &cfg))
+    }
+
+    /// Reproduces the race, returning the first report.
+    pub(crate) fn reproduce(
+        &self,
+        files: &[(String, String)],
+        test: &str,
+    ) -> Option<racedet::RaceReport> {
+        self.detect_outcome(files, test)?.races.into_iter().next()
     }
 
     /// Extracts the prompt code for a `(location, scope)` pair.

@@ -150,7 +150,7 @@ pub fn candidate_rank(a: (f64, usize, usize), b: (f64, usize, usize)) -> std::cm
 }
 
 /// One candidate plus everything needed to repair and validate it.
-struct PoolEntry {
+pub(crate) struct PoolEntry {
     cand: Candidate,
     req: FixRequest,
     kind: LocationKind,
@@ -176,43 +176,44 @@ fn pool_key(patched: &[(String, String)]) -> String {
     key
 }
 
+/// The output of the tournament's static half (phases 1–2): the
+/// candidate pool in discovery order plus the accounting accrued while
+/// building it. The campaign orchestrator carries this value from its
+/// fix stage (zero VM steps) to its validate stage; within one process
+/// the split is invisible — [`DrFix::fix_from_report_tournament`] is
+/// exactly `tournament_pool` then `tournament_decide`.
+pub(crate) struct PoolBuild {
+    pool: Vec<PoolEntry>,
+    llm_calls: u32,
+    lint_probes: u32,
+    total_repairs: u32,
+}
+
 impl DrFix<'_> {
-    /// Runs one case through the tournament arm.
-    pub(crate) fn fix_case_tournament(
+    /// Runs one reproduced case through the tournament arm.
+    pub(crate) fn fix_from_report_tournament(
         &self,
         files: &[(String, String)],
         test: &str,
+        report: &racedet::RaceReport,
         tcfg: &TournamentConfig,
     ) -> FixOutcome {
-        let mut out = FixOutcome {
-            fixed: false,
-            patch: None,
-            strategy: None,
-            location: None,
-            scope: None,
-            example_used: false,
-            example_category: None,
-            llm_calls: 0,
-            validations: 0,
-            rejected_static: 0,
-            validation_vm_steps: 0,
-            duration_minutes: 0.0,
-            patch_loc: None,
-            failure: None,
-            bug_hash: None,
-            racy_var: None,
-            tournament: None,
-        };
+        let info = raceinfo::extract(report, files);
+        let build = self.tournament_pool(files, &info, tcfg);
+        self.tournament_decide(test, &info, tcfg, build)
+    }
 
-        let Some(report) = self.reproduce(files, test) else {
-            out.failure = Some(FailureKind::NotReproduced);
-            out.duration_minutes = 4.0;
-            return out;
-        };
-        let info = raceinfo::extract(&report, files);
-        out.bug_hash = Some(info.bug_hash.clone());
-        out.racy_var = Some(info.racy_var.clone());
-
+    /// Phases 1–2: enumerate the candidate pool and run the iterated
+    /// static-repair loop. Consults only the synthetic model and
+    /// `statcheck` — **zero VM instructions** — so the campaign can run
+    /// it in a stage that never touches the scheduler.
+    pub(crate) fn tournament_pool(
+        &self,
+        files: &[(String, String)],
+        info: &raceinfo::RaceInfo,
+        tcfg: &TournamentConfig,
+    ) -> PoolBuild {
+        let mut llm_calls = 0u32;
         let llm = SynthLlm::new(self.cfg.tier, self.cfg.seed);
         let visible = |name: &str| !name.starts_with("vendor_");
 
@@ -276,7 +277,7 @@ impl DrFix<'_> {
                                 focus_func: Some(loc.function.clone()),
                                 case_key: info.bug_hash.clone(),
                             };
-                            out.llm_calls += 1;
+                            llm_calls += 1;
                             let cands = llm.enumerate(&req, tcfg.max_candidates);
                             for cand in cands {
                                 let Ok(patched) = self.integrate(files, loc, scope, &cand.code)
@@ -333,7 +334,7 @@ impl DrFix<'_> {
                     break;
                 }
                 let rule = probe.first_rule.clone().unwrap_or_else(|| "unknown".into());
-                out.llm_calls += 1;
+                llm_calls += 1;
                 let Some(rep) = llm.repair(&pool[current].req, &pool[current].cand, &rule, iter)
                 else {
                     break;
@@ -370,6 +371,49 @@ impl DrFix<'_> {
                 current = pool.len() - 1;
             }
         }
+        PoolBuild {
+            pool,
+            llm_calls,
+            lint_probes,
+            total_repairs,
+        }
+    }
+
+    /// Phase 3: rank the pool, validate survivors under schedule-diverse
+    /// campaigns, crown the winner, and assemble the [`FixOutcome`].
+    /// This is the tournament's only dynamic stage.
+    pub(crate) fn tournament_decide(
+        &self,
+        test: &str,
+        info: &raceinfo::RaceInfo,
+        tcfg: &TournamentConfig,
+        build: PoolBuild,
+    ) -> FixOutcome {
+        let PoolBuild {
+            pool,
+            llm_calls,
+            lint_probes,
+            total_repairs,
+        } = build;
+        let mut out = FixOutcome {
+            fixed: false,
+            patch: None,
+            strategy: None,
+            location: None,
+            scope: None,
+            example_used: false,
+            example_category: None,
+            llm_calls,
+            validations: 0,
+            rejected_static: 0,
+            validation_vm_steps: 0,
+            duration_minutes: 0.0,
+            patch_loc: None,
+            failure: None,
+            bug_hash: Some(info.bug_hash.clone()),
+            racy_var: Some(info.racy_var.clone()),
+            tournament: None,
+        };
 
         // ── Phase 3: rank, validate survivors, crown the winner ──────
         let mut order: Vec<usize> = (0..pool.len()).collect();

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod noise;
+pub mod stream;
 pub mod templates;
 
 use rand::rngs::StdRng;

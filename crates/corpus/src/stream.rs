@@ -1,0 +1,241 @@
+//! Streaming corpus generation for campaign-scale runs (10k+ cases).
+//!
+//! The batch generators in the crate root ([`crate::generate_eval_corpus`]
+//! and friends) thread **one** sequential `StdRng` through every case, so
+//! case `i` depends on every draw before it — fine for a 403-case table,
+//! unusable for a sharded campaign that wants to synthesize case 7 312
+//! without materializing the 7 311 cases before it.
+//!
+//! A [`CorpusStream`] is the random-access counterpart: every index gets
+//! its **own** freshly-seeded `StdRng`, derived as
+//! `splitmix64(seed ⊕ family_salt ⊕ splitmix64(index))` — the same
+//! SplitMix64 mixer the fleet uses for per-case pipeline seeds
+//! ([`govm::sched::splitmix64`]) — so
+//!
+//! * `stream.case(i)` is a pure function of `(family, seed, i)`: any
+//!   shard, thread, or resumed process synthesizes bit-identical sources;
+//! * generation is O(1) in campaign position: the corpus never exists as
+//!   a whole, only the in-flight window does.
+//!
+//! The stream is an *additional* corpus surface, not a re-encoding of the
+//! batch ones: `CorpusStream::case(i)` does **not** reproduce
+//! `generate_*()[i]` (the batch generators' RNG is sequential by design
+//! and stays the golden source for the paper tables).
+
+use crate::{templates, RaceCase};
+use govm::sched::splitmix64;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use synthllm::RaceCategory;
+
+/// Which template family a stream draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StreamFamily {
+    /// Round-robin over the fixable Table 3 categories
+    /// ([`templates::fixable_case`]): the bread-and-butter fix workload.
+    Fixable,
+    /// Ordering-sensitive races ([`templates::ordering_sensitive_case`]):
+    /// the schedule hard tail, the detection-heavy workload.
+    Exposure,
+    /// Statically-interesting shapes ([`templates::tournament_case`]):
+    /// the workload where the tournament arm's repair loop has real work.
+    Tournament,
+    /// Rotates the three families above by index — the deployment-shaped
+    /// mixed diet.
+    Mixed,
+}
+
+impl StreamFamily {
+    /// Every concrete family, in stable order.
+    pub fn all() -> &'static [StreamFamily] {
+        &[
+            StreamFamily::Fixable,
+            StreamFamily::Exposure,
+            StreamFamily::Tournament,
+            StreamFamily::Mixed,
+        ]
+    }
+
+    /// Stable lowercase name (CLI value and case-id prefix).
+    pub fn name(&self) -> &'static str {
+        match self {
+            StreamFamily::Fixable => "fixable",
+            StreamFamily::Exposure => "exposure",
+            StreamFamily::Tournament => "tournament",
+            StreamFamily::Mixed => "mixed",
+        }
+    }
+
+    /// Parses a CLI name produced by [`StreamFamily::name`].
+    pub fn parse(s: &str) -> Option<StreamFamily> {
+        StreamFamily::all().iter().copied().find(|f| f.name() == s)
+    }
+
+    /// Per-family seed-domain separation salt: two families on the same
+    /// base seed must never see correlated per-index RNG streams.
+    fn salt(&self) -> u64 {
+        match self {
+            StreamFamily::Fixable => 0xF1AB,
+            StreamFamily::Exposure => 0xE590,
+            StreamFamily::Tournament => 0x7042,
+            StreamFamily::Mixed => 0x313D,
+        }
+    }
+}
+
+/// Everything a stream needs to be reconstructed anywhere: campaign
+/// snapshots embed this so a resumed process regenerates identical cases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Template family.
+    pub family: StreamFamily,
+    /// Base seed; per-index seeds are derived, never consumed in order.
+    pub seed: u64,
+}
+
+/// A random-access, never-materialized corpus: see the module docs.
+#[derive(Debug, Clone)]
+pub struct CorpusStream {
+    cfg: StreamConfig,
+}
+
+impl CorpusStream {
+    /// Creates a stream over `cfg`'s family and seed.
+    pub fn new(cfg: StreamConfig) -> Self {
+        CorpusStream { cfg }
+    }
+
+    /// The stream's configuration (what a snapshot persists).
+    pub fn config(&self) -> StreamConfig {
+        self.cfg
+    }
+
+    /// Synthesizes case `index` — a pure function of
+    /// `(family, seed, index)`, independent of any other index.
+    pub fn case(&self, index: usize) -> RaceCase {
+        let (family, salt) = match self.cfg.family {
+            StreamFamily::Mixed => {
+                let concrete = [
+                    StreamFamily::Fixable,
+                    StreamFamily::Exposure,
+                    StreamFamily::Tournament,
+                ][index % 3];
+                // Mixed keeps its own salt: `mixed` case i must not
+                // collide with the underlying family's own case i.
+                (concrete, StreamFamily::Mixed.salt())
+            }
+            f => (f, f.salt()),
+        };
+        let mut rng =
+            StdRng::seed_from_u64(splitmix64(self.cfg.seed ^ salt ^ splitmix64(index as u64)));
+        let mut case = match family {
+            StreamFamily::Fixable => {
+                let cats = RaceCategory::all();
+                templates::fixable_case(&mut rng, cats[index % cats.len()], index)
+            }
+            StreamFamily::Exposure => {
+                let cats = RaceCategory::all();
+                templates::ordering_sensitive_case(&mut rng, cats[index % cats.len()], index)
+            }
+            StreamFamily::Tournament => templates::tournament_case(&mut rng, index),
+            StreamFamily::Mixed => unreachable!("mixed resolved above"),
+        };
+        case.id = format!("{}-{index:05}", self.cfg.family.name());
+        case
+    }
+
+    /// Iterates `range` lazily; nothing is retained between items.
+    pub fn iter(&self, range: std::ops::Range<usize>) -> impl Iterator<Item = RaceCase> + '_ {
+        range.map(move |i| self.case(i))
+    }
+
+    /// Total source bytes of one case — the unit the campaign's
+    /// peak-resident accounting charges per in-flight case.
+    pub fn case_bytes(case: &RaceCase) -> u64 {
+        case.files
+            .iter()
+            .map(|(n, s)| (n.len() + s.len()) as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(family: StreamFamily) -> CorpusStream {
+        CorpusStream::new(StreamConfig {
+            family,
+            seed: 0xD0F1,
+        })
+    }
+
+    #[test]
+    fn case_is_a_pure_function_of_index() {
+        for &family in StreamFamily::all() {
+            let s = stream(family);
+            // Access out of order, then in order: identical sources.
+            let late = s.case(37);
+            let early = s.case(2);
+            assert_eq!(s.case(2).files, early.files, "{family:?}");
+            assert_eq!(s.case(37).files, late.files, "{family:?}");
+            assert_eq!(s.case(37).test, late.test, "{family:?}");
+        }
+    }
+
+    #[test]
+    fn indices_and_families_decorrelate() {
+        let s = stream(StreamFamily::Exposure);
+        assert_ne!(s.case(0).files, s.case(1).files);
+        // Same index, different family salt → different sources.
+        let t = stream(StreamFamily::Tournament);
+        assert_ne!(s.case(4).files, t.case(4).files);
+        // Same family, different seed → different sources.
+        let other = CorpusStream::new(StreamConfig {
+            family: StreamFamily::Exposure,
+            seed: 0xBEEF,
+        });
+        assert_ne!(s.case(4).files, other.case(4).files);
+    }
+
+    #[test]
+    fn mixed_rotates_the_three_concrete_families() {
+        let s = stream(StreamFamily::Mixed);
+        // Index 1 resolves to Exposure templates, but under the mixed
+        // salt: it must differ from the exposure stream's own case 1.
+        let mixed = s.case(1);
+        let exposure = stream(StreamFamily::Exposure).case(1);
+        assert_ne!(mixed.files, exposure.files);
+        assert!(mixed.id.starts_with("mixed-00001"), "{}", mixed.id);
+    }
+
+    #[test]
+    fn iter_matches_random_access_and_stays_lazy() {
+        let s = stream(StreamFamily::Fixable);
+        let ids: Vec<String> = s.iter(3..6).map(|c| c.id).collect();
+        assert_eq!(ids, vec!["fixable-00003", "fixable-00004", "fixable-00005"]);
+        assert_eq!(s.case(4).id, "fixable-00004");
+    }
+
+    #[test]
+    fn family_names_round_trip() {
+        for &f in StreamFamily::all() {
+            assert_eq!(StreamFamily::parse(f.name()), Some(f));
+        }
+        assert_eq!(StreamFamily::parse("nope"), None);
+    }
+
+    #[test]
+    fn case_bytes_counts_all_files() {
+        let c = stream(StreamFamily::Fixable).case(0);
+        assert!(CorpusStream::case_bytes(&c) > 0);
+        assert_eq!(
+            CorpusStream::case_bytes(&c),
+            c.files
+                .iter()
+                .map(|(n, s)| (n.len() + s.len()) as u64)
+                .sum::<u64>()
+        );
+    }
+}

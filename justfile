@@ -67,6 +67,17 @@ perf-baseline:
     -u DRFIX_PERF_NOCACHE -u DRFIX_PERF_NOGC \
     DRFIX_PERF_REPEAT=10 cargo run --release -q -p bench --bin perfscan
 
+# The CI `campaign-smoke` job: kill a pipelined campaign at its first
+# checkpoint, resume it, and require the resumed digest to equal the
+# uninterrupted serial reference bit-for-bit (see the Makefile recipe).
+campaign-smoke:
+    make campaign-smoke
+
+# 10k-case streamed detect campaign with the bounded-resident-memory
+# assertion (the corpus never materializes).
+campaign-scale:
+    make campaign-scale
+
 # The CI `soak-smoke` job: the streaming-soak test at reduced scale —
 # bounded detector footprint under goroutine churn with GC on, vs the
 # unbounded GC-off control (full ≥1M-step soak runs in `test`).

@@ -1,0 +1,118 @@
+//! Property test over random kill points (ISSUE 9 satellite): a
+//! campaign halted at *any* checkpoint and resumed — possibly through a
+//! chain of further halts — must reproduce the uninterrupted run
+//! exactly: same per-shard digests, same [`StopReason`] tallies, same
+//! completed snapshot, at any worker count on either side of the kill.
+//!
+//! Snapshots cross the kill in memory here (the on-disk round trip has
+//! its own deterministic test in `campaign_ab.rs` and the CI
+//! `campaign-smoke` drill); the property space is the *kill point*:
+//! case count, shard plan, checkpoint cadence, halt position, and the
+//! worker counts before and after the kill are all drawn at random.
+//!
+//! [`StopReason`]: govm::StopReason
+
+use corpus::stream::{StreamConfig, StreamFamily};
+use drfix::campaign::{run_campaign, CampaignConfig, Snapshot};
+use drfix::PipelineConfig;
+use proptest::prelude::*;
+
+fn cfg(cases: usize, shards: usize, checkpoint_every: usize, seed: u64) -> CampaignConfig {
+    let mut cfg = CampaignConfig::new(
+        cases,
+        shards,
+        StreamConfig {
+            family: StreamFamily::Exposure,
+            seed,
+        },
+    );
+    cfg.pipeline = PipelineConfig {
+        seed: seed.rotate_left(17) ^ 0xFEED,
+        detect_runs: 4,
+        ..PipelineConfig::default()
+    };
+    cfg.checkpoint_every = checkpoint_every;
+    cfg
+}
+
+/// Drive `base` to completion through kills: halt after `halt_after`
+/// checkpoints, then keep resuming (alternating worker counts) until
+/// the snapshot completes. Returns the completed snapshot and the
+/// number of kills actually taken.
+fn run_with_kills(base: &CampaignConfig, halt_after: u64, workers: &[usize]) -> (Snapshot, usize) {
+    let mut kills = 0usize;
+    let mut snap: Option<Snapshot> = None;
+    for (leg, &w) in workers.iter().enumerate() {
+        let mut c = base.clone();
+        c.workers = w;
+        // Keep killing on every leg but the last, which runs to the end.
+        c.halt_after_checkpoints = (leg + 1 < workers.len()).then_some(halt_after);
+        let run = run_campaign(&c, snap.as_ref(), None).unwrap();
+        if run.interrupted {
+            kills += 1;
+        }
+        let done = run.snapshot.completed;
+        snap = Some(run.snapshot);
+        if done {
+            break;
+        }
+    }
+    (snap.unwrap(), kills)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // The core resume property: for any (cases, shards, cadence, kill
+    // point, worker plan), kill-then-resume ≡ uninterrupted.
+    #[test]
+    fn any_kill_point_resumes_to_the_uninterrupted_digest(
+        cases in 20usize..60,
+        shards in 1usize..5,
+        checkpoint_every in 3usize..10,
+        halt_after in 1u64..6,
+        kill_workers in 1usize..5,
+        resume_workers in 1usize..5,
+        seed in 0u64..1u64 << 32,
+    ) {
+        let base = cfg(cases, shards, checkpoint_every, seed);
+
+        // Uninterrupted serial reference.
+        let reference = run_campaign(&base, None, None).unwrap();
+        prop_assert!(reference.snapshot.completed);
+        prop_assert_eq!(reference.snapshot.done(), cases);
+
+        // Kill at the drawn checkpoint (twice, at different worker
+        // counts), then run the final leg uninterrupted.
+        let plan = [kill_workers, resume_workers, kill_workers.max(2)];
+        let (resumed, kills) = run_with_kills(&base, halt_after, &plan);
+        prop_assert!(resumed.completed);
+
+        // A halt that lands after the campaign already finished is a
+        // no-op; when the kill point falls inside the run, at least one
+        // kill must actually have been taken.
+        let per_shard = cases.div_ceil(shards);
+        if halt_after as usize * checkpoint_every < per_shard {
+            prop_assert!(kills >= 1, "kill point inside the run never fired");
+        }
+
+        // Bit-identical: per-shard digests, cursors, and tallies.
+        prop_assert_eq!(&resumed, &reference.snapshot);
+        prop_assert_eq!(resumed.digest(), reference.snapshot.digest());
+
+        // StopReason tallies agree exactly — and account for every case.
+        let t = resumed.tallies();
+        let r = reference.snapshot.tallies();
+        prop_assert_eq!(t.stop_completed, r.stop_completed);
+        prop_assert_eq!(t.stop_race_exposed, r.stop_race_exposed);
+        prop_assert_eq!(t.stop_dedup_saturated, r.stop_dedup_saturated);
+        prop_assert_eq!(t.stop_budget_exhausted, r.stop_budget_exhausted);
+        prop_assert_eq!(
+            t.stop_completed
+                + t.stop_race_exposed
+                + t.stop_dedup_saturated
+                + t.stop_budget_exhausted,
+            cases as u64,
+        );
+    }
+}
