@@ -34,6 +34,10 @@
 //! bit-identical, but the lifecycle gauges (`states_collected`,
 //! `clock_slots_reclaimed`, the peak gauges) collapse — equally unfit
 //! for a baseline.
+//! `DRFIX_TIER=reg` runs the *whole* scan on the register interpreter
+//! tier — every deterministic counter stays bit-identical (that is the
+//! tier contract, pinned by the report's tier section, whose own A/B
+//! always measures both tiers explicitly regardless of this knob).
 
 use bench::hotpath::{self, HotpathScale, Report};
 use std::path::{Path, PathBuf};
@@ -188,6 +192,17 @@ fn main() -> ExitCode {
         c.pipelined_peak_in_flight,
         c.wall_seconds_serial,
         c.wall_seconds_pipelined,
+    );
+    let tr = &report.tier;
+    println!(
+        "tier A/B (sync-heavy, same process): stack {:.2}M instr/s vs register {:.2}M \
+         instr/s -> {:.2}x | {} fused ops | {} campaign mismatches, must be 0 \
+         (wall-clock: reported, never gated)",
+        tr.stack_ips / 1e6,
+        tr.reg_ips / 1e6,
+        tr.reg_speedup,
+        tr.reg_fused_ops,
+        tr.tier_mismatches,
     );
     println!(
         "exposure corpus: {:.2}M instr/s vs pre-optimization {:.2}M instr/s -> {:.2}x",

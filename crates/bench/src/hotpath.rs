@@ -25,7 +25,7 @@ use corpus::{CorpusConfig, RaceCase};
 use drfix::fleet::FleetConfig;
 use drfix::PipelineConfig;
 use govm::{
-    compile_sources, run_test_many, CompileOptions, RunCounters, SchedulePolicy, TestConfig,
+    compile_sources, run_test_many, CompileOptions, RunCounters, SchedulePolicy, TestConfig, Tier,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -65,7 +65,15 @@ pub const WORKLOAD_SEED: u64 = 0xBEEF;
 /// bookkeeping overhead on the serial reference executor, plus the
 /// pipelined-vs-serial digest cross-check (`digest_mismatches`, must
 /// stay 0). Campaign wall-clock is reported, never gated.
-pub const SCHEMA: u32 = 6;
+///
+/// v7: the tier section (`tier_mismatches`, `reg_fused_ops`,
+/// `sync_heavy_vm_steps`) gating the register interpreter tier: the
+/// SyncHeavy arms replayed on both tiers back-to-back in-process, every
+/// campaign observable compared bit for bit (`tier_mismatches` must
+/// stay 0), with the fused-superinstruction count pinned exactly as the
+/// physical proof the register tier engaged. Both tiers' wall-clock
+/// throughput and their ratio are reported, never gated.
+pub const SCHEMA: u32 = 7;
 
 /// Sampling granularities measured into the report's recall section.
 /// `1` tracks every address (recall must be total); the coarser mods
@@ -968,6 +976,157 @@ pub fn measure_campaign(scale: &HotpathScale) -> CampaignBenchReport {
     }
 }
 
+/// The interpreter-tier section: the SyncHeavy arms replayed on the
+/// stack tier and the lowered register tier back-to-back in the same
+/// process. The deterministic halves (`tier_mismatches`,
+/// `reg_fused_ops`, `sync_heavy_vm_steps`) are gated; the wall-clock
+/// halves (`stack_ips`, `reg_ips`, `reg_speedup`) are reported, never
+/// gated.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TierBenchReport {
+    /// `(case, policy)` campaigns whose observables (counters, step
+    /// totals, schedule-dedup tallies, race reports, test failures)
+    /// differed between tiers — must stay 0: the register tier is
+    /// logically invisible.
+    pub tier_mismatches: u64,
+    /// Fused superinstructions the register tier executed across all
+    /// SyncHeavy campaigns. An exact function of the seeded schedules;
+    /// pinned so the register tier can never silently degrade to the
+    /// unfused loop (and the stack tier never fuses at all).
+    pub reg_fused_ops: u64,
+    /// SyncHeavy VM steps — identical on both tiers by construction,
+    /// pinned as the cross-check that both arms ran the same work.
+    pub sync_heavy_vm_steps: u64,
+    /// Stack-tier SyncHeavy throughput, instr/s (reported, never gated).
+    pub stack_ips: f64,
+    /// Register-tier SyncHeavy throughput, instr/s (reported, never
+    /// gated).
+    pub reg_ips: f64,
+    /// `reg_ips / stack_ips` (reported, never gated).
+    pub reg_speedup: f64,
+}
+
+impl TierBenchReport {
+    /// `(name, value, direction)` triples, mirroring
+    /// [`CampaignBenchReport::gauges`]. Every deterministic field is an
+    /// exact fingerprint; wall-clock never appears here.
+    pub fn gauges(&self) -> Vec<(&'static str, u64, Direction)> {
+        vec![
+            ("tier_mismatches", self.tier_mismatches, Direction::Exact),
+            ("reg_fused_ops", self.reg_fused_ops, Direction::Exact),
+            (
+                "sync_heavy_vm_steps",
+                self.sync_heavy_vm_steps,
+                Direction::Exact,
+            ),
+        ]
+    }
+}
+
+/// Measures [`TierBenchReport`]: every SyncHeavy `(case, policy)`
+/// campaign runs under both tiers with identical seeds,
+/// [`HotpathScale::repeat`] timing repetitions each (fastest kept,
+/// counters asserted to replay), and the per-campaign observables are
+/// compared bit for bit.
+pub fn measure_tiers(scale: &HotpathScale) -> TierBenchReport {
+    let arms: Vec<(String, govm::Program)> = sync_heavy_cases()
+        .into_iter()
+        .map(|(name, src, test)| {
+            let prog = compile_sources(
+                &[(format!("{name}.go"), src.to_owned())],
+                &CompileOptions::default(),
+            )
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+            (test.to_owned(), prog)
+        })
+        .collect();
+    let policies = workload_policies();
+    // Everything one campaign observed that the tiers must agree on.
+    type Summary = (RunCounters, u64, u32, u32, Vec<String>, Vec<String>);
+    let campaign = |tier: Tier| -> (Vec<Summary>, u64, f64) {
+        let mut summaries: Vec<Summary> = Vec::new();
+        let mut fused = 0u64;
+        let mut best = f64::MAX;
+        for rep in 0..scale.repeat {
+            let mut rep_summaries: Vec<Summary> = Vec::new();
+            let mut rep_fused = 0u64;
+            let mut elapsed = 0.0;
+            for (test, prog) in &arms {
+                for policy in &policies {
+                    let cfg = TestConfig {
+                        runs: scale.runs,
+                        seed: WORKLOAD_SEED,
+                        stop_on_race: false,
+                        policy: policy.clone(),
+                        vm: govm::VmOptions {
+                            tier,
+                            ..govm::VmOptions::default()
+                        },
+                        ..TestConfig::default()
+                    };
+                    let t0 = Instant::now();
+                    let out = run_test_many(prog, test, &cfg);
+                    elapsed += t0.elapsed().as_secs_f64();
+                    rep_fused += out.fused_ops;
+                    rep_summaries.push((
+                        out.counters,
+                        out.steps,
+                        out.distinct_schedules,
+                        out.duplicate_schedules,
+                        out.races.iter().map(|r| r.bug_hash()).collect(),
+                        out.test_failures,
+                    ));
+                }
+            }
+            if rep == 0 {
+                summaries = rep_summaries;
+                fused = rep_fused;
+            } else {
+                assert_eq!(
+                    summaries, rep_summaries,
+                    "tier campaigns must replay bit-identically across repetitions"
+                );
+                assert_eq!(fused, rep_fused);
+            }
+            if elapsed < best {
+                best = elapsed;
+            }
+        }
+        (summaries, fused, best)
+    };
+    let (stack_sums, stack_fused, stack_best) = campaign(Tier::Stack);
+    let (reg_sums, reg_fused, reg_best) = campaign(Tier::Reg);
+    assert_eq!(stack_fused, 0, "the stack tier must never fuse");
+    let tier_mismatches = stack_sums
+        .iter()
+        .zip(reg_sums.iter())
+        .filter(|(a, b)| a != b)
+        .count() as u64;
+    let vm_steps: u64 = stack_sums.iter().map(|s| s.0.vm_steps).sum();
+    let stack_ips = if stack_best > 0.0 && stack_best < f64::MAX {
+        vm_steps as f64 / stack_best
+    } else {
+        0.0
+    };
+    let reg_ips = if reg_best > 0.0 && reg_best < f64::MAX {
+        vm_steps as f64 / reg_best
+    } else {
+        0.0
+    };
+    TierBenchReport {
+        tier_mismatches,
+        reg_fused_ops: reg_fused,
+        sync_heavy_vm_steps: vm_steps,
+        stack_ips,
+        reg_ips,
+        reg_speedup: if stack_ips > 0.0 {
+            reg_ips / stack_ips
+        } else {
+            0.0
+        },
+    }
+}
+
 /// The `BENCH_hotpath.json` document.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Report {
@@ -1012,6 +1171,9 @@ pub struct Report {
     /// scale (serial counters exact-gated; pipelined digest cross-check;
     /// wall-clock reported, never gated).
     pub campaign: CampaignBenchReport,
+    /// The register-tier A/B on the SyncHeavy arms (mismatch and
+    /// fused-op counts exact-gated; wall-clock reported, never gated).
+    pub tier: TierBenchReport,
     /// Exposure-corpus aggregate (racy + human-fix campaigns; excludes
     /// the sync-heavy add-on).
     pub exposure: CategoryReport,
@@ -1364,6 +1526,7 @@ pub fn run_scan(scale: &HotpathScale) -> Report {
     let static_gate = measure_static_gate(scale);
     let tournament = measure_tournament(scale);
     let campaign = measure_campaign(scale);
+    let tier = measure_tiers(scale);
     Report {
         schema: SCHEMA,
         workload: WorkloadSpec {
@@ -1390,6 +1553,7 @@ pub fn run_scan(scale: &HotpathScale) -> Report {
         static_gate,
         tournament,
         campaign,
+        tier,
         exposure,
         total,
         categories,
@@ -1553,6 +1717,12 @@ pub fn check(baseline: &Report, current: &Report) -> Vec<Violation> {
         "campaign",
         &baseline.campaign.gauges(),
         &current.campaign.gauges(),
+        &mut out,
+    );
+    check_gauges(
+        "tier",
+        &baseline.tier.gauges(),
+        &current.tier.gauges(),
         &mut out,
     );
     let cur_by_cat: BTreeMap<&str, &CategoryReport> = current
@@ -1756,6 +1926,29 @@ mod tests {
             "lint-rejected rosters burned VM steps: {:?}",
             a.tournament
         );
+        // Tier: the register tier must be logically invisible (zero
+        // mismatching campaigns), physically engaged (fused ops), and
+        // running the exact same instruction stream as the stack tier.
+        assert_eq!(a.tier.gauges(), b.tier.gauges());
+        assert_eq!(
+            a.tier.tier_mismatches, 0,
+            "register tier diverged from the stack tier: {:?}",
+            a.tier
+        );
+        assert!(
+            a.tier.reg_fused_ops > 0,
+            "register tier executed no fused superinstructions: {:?}",
+            a.tier
+        );
+        let sync_heavy = a
+            .categories
+            .iter()
+            .find(|c| c.category == "SyncHeavy")
+            .expect("SyncHeavy category");
+        assert_eq!(
+            a.tier.sync_heavy_vm_steps, sync_heavy.counters.vm_steps,
+            "tier arm ran a different SyncHeavy workload than the scan"
+        );
         // Campaign: the serial orchestration counters and digest replay
         // bit-identically, the pipelined cross-check agrees, and the
         // serial lone worker's shard walk is exactly accounted for.
@@ -1783,6 +1976,8 @@ mod tests {
         cur.static_gate.candidates_rejected_static += 1;
         cur.tournament.cases_fixed += 1;
         cur.campaign.digest ^= 1;
+        cur.tier.tier_mismatches += 1;
+        cur.tier.reg_fused_ops = 0;
         let violations = check(&base, &cur);
         let text = violations
             .iter()
@@ -1798,6 +1993,8 @@ mod tests {
         );
         assert!(text.contains("cases_fixed changed"), "{text}");
         assert!(text.contains("digest changed"), "{text}");
+        assert!(text.contains("tier_mismatches changed"), "{text}");
+        assert!(text.contains("reg_fused_ops changed"), "{text}");
         let table = render_violations(&violations);
         assert!(table.contains("vm_steps"), "{table}");
         assert!(table.contains("baseline"), "{table}");

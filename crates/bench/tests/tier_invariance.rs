@@ -1,0 +1,111 @@
+//! Tier identity under the fleet: the register tier must produce the
+//! same campaign observables as the stack tier at every
+//! `DRFIX_THREADS` width.
+//!
+//! [`counter_invariance`] pins that sharding cannot touch the counters;
+//! this suite pins the other axis — that the interpreter *tier* cannot
+//! either, at fleet widths 1, 2 and 8. Each `(case, policy)` campaign
+//! is summarised by its counters, step total, schedule-dedup tallies
+//! and the stable bug hashes of every race it exposed; the summaries
+//! must be bit-identical between `Tier::Stack` and `Tier::Reg`, and
+//! across thread counts.
+
+use corpus::CorpusConfig;
+use drfix::fleet::{self, FleetConfig};
+use govm::{
+    compile_sources, run_test_many, CompileOptions, Program, RunCounters, SchedulePolicy,
+    TestConfig, Tier, VmOptions,
+};
+
+const CASES: usize = 5;
+const RUNS: u32 = 6;
+const SEED: u64 = 0x7E1E;
+
+fn compiled_corpus() -> Vec<(Program, String)> {
+    corpus::generate_exposure_corpus(&CorpusConfig {
+        eval_cases: CASES,
+        db_pairs: 0,
+        seed: 0xD0F1,
+    })
+    .iter()
+    .map(|case| {
+        let prog = compile_sources(&case.files, &CompileOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", case.id));
+        (prog, case.test.clone())
+    })
+    .collect()
+}
+
+fn policies() -> Vec<SchedulePolicy> {
+    vec![
+        SchedulePolicy::Random,
+        SchedulePolicy::pct(),
+        SchedulePolicy::Sweep,
+    ]
+}
+
+/// Everything a campaign observed that the tiers must agree on.
+#[derive(Debug, Clone, PartialEq)]
+struct CampaignSummary {
+    counters: RunCounters,
+    steps: u64,
+    distinct_schedules: u32,
+    duplicate_schedules: u32,
+    bug_hashes: Vec<String>,
+    test_failures: Vec<String>,
+}
+
+/// Campaign summaries for every `(case, policy)` job across a fleet of
+/// `threads` workers, with every VM on `tier`.
+fn fleet_summaries(
+    programs: &[(Program, String)],
+    threads: usize,
+    tier: Tier,
+) -> Vec<CampaignSummary> {
+    let policies = policies();
+    let jobs: Vec<(usize, usize)> = (0..programs.len())
+        .flat_map(|c| (0..policies.len()).map(move |p| (c, p)))
+        .collect();
+    let run = fleet::run_indexed(&FleetConfig::new(threads), jobs.len(), |i| {
+        let (c, p) = jobs[i];
+        let (prog, test) = &programs[c];
+        let cfg = TestConfig {
+            runs: RUNS,
+            seed: SEED,
+            stop_on_race: false,
+            policy: policies[p].clone(),
+            vm: VmOptions {
+                tier,
+                ..VmOptions::default()
+            },
+            ..TestConfig::default()
+        };
+        let out = run_test_many(prog, test, &cfg);
+        CampaignSummary {
+            counters: out.counters,
+            steps: out.steps,
+            distinct_schedules: out.distinct_schedules,
+            duplicate_schedules: out.duplicate_schedules,
+            bug_hashes: out.races.iter().map(|r| r.bug_hash()).collect(),
+            test_failures: out.test_failures,
+        }
+    });
+    run.results
+}
+
+#[test]
+fn register_tier_matches_stack_tier_at_every_fleet_width() {
+    let programs = compiled_corpus();
+    let stack = fleet_summaries(&programs, 1, Tier::Stack);
+    assert!(
+        stack.iter().any(|s| s.counters.det.events > 0),
+        "workload is empty"
+    );
+    for threads in [1, 2, 8] {
+        let reg = fleet_summaries(&programs, threads, Tier::Reg);
+        assert_eq!(
+            stack, reg,
+            "register tier diverged from stack tier at DRFIX_THREADS={threads}"
+        );
+    }
+}

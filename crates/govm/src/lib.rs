@@ -25,6 +25,7 @@
 
 pub mod bytecode;
 pub mod compile;
+pub mod lower;
 pub mod natives;
 mod ops;
 pub mod sched;
@@ -37,4 +38,4 @@ pub use compile::{compile_package, compile_sources, CompileOptions};
 pub use sched::{Decision, SchedulePolicy, Scheduler, SeedStream};
 pub use testrun::{run_test, run_test_many, run_test_with, StopReason, TestConfig, TestOutcome};
 pub use value::Value;
-pub use vm::{ProgContext, RunCounters, RunError, RunResult, Vm, VmOptions};
+pub use vm::{ProgContext, RunCounters, RunError, RunResult, Tier, Vm, VmOptions};

@@ -167,6 +167,162 @@ pub(crate) enum BuiltinOutcome {
     Error(String),
 }
 
+/// Every native method name, interned to a dense id.
+///
+/// Variants are keyed by *name*, not `(receiver, name)` — the receiver
+/// kind disambiguates at dispatch (`Done` serves both `wg.Done()` and
+/// `ctx.Done()`; `Lock` serves `Mutex` and `RWMutex`), exactly as the
+/// old string match did. [`crate::ProgContext`] resolves every
+/// string-pool name to `Option<NativeMethod>` once at build, so
+/// call-time dispatch is a table load plus an integer match — no `&str`
+/// comparison on the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // variants *are* the Go method names
+pub enum NativeMethod {
+    Lock,
+    TryLock,
+    Unlock,
+    RLock,
+    RUnlock,
+    Add,
+    Done,
+    Wait,
+    Load,
+    Store,
+    Delete,
+    LoadOrStore,
+    Range,
+    /// The synthetic `$cancel` method of context cancel funcs.
+    Cancel,
+    Err,
+    Value,
+    Intn,
+    Int63,
+    Float64,
+    Write,
+    Sum,
+    Reset,
+    Read,
+    Len,
+    Run,
+    Parallel,
+    Name,
+    Errorf,
+    Error,
+    Fatalf,
+    Fatal,
+    Fail,
+    FailNow,
+    Logf,
+    Log,
+    Helper,
+    Cleanup,
+    Skip,
+    SkipNow,
+    Skipf,
+    Setenv,
+}
+
+impl NativeMethod {
+    /// Resolves a method-name string to its interned id.
+    pub fn from_name(name: &str) -> Option<Self> {
+        use NativeMethod as N;
+        Some(match name {
+            "Lock" => N::Lock,
+            "TryLock" => N::TryLock,
+            "Unlock" => N::Unlock,
+            "RLock" => N::RLock,
+            "RUnlock" => N::RUnlock,
+            "Add" => N::Add,
+            "Done" => N::Done,
+            "Wait" => N::Wait,
+            "Load" => N::Load,
+            "Store" => N::Store,
+            "Delete" => N::Delete,
+            "LoadOrStore" => N::LoadOrStore,
+            "Range" => N::Range,
+            "$cancel" => N::Cancel,
+            "Err" => N::Err,
+            "Value" => N::Value,
+            "Intn" => N::Intn,
+            "Int63" => N::Int63,
+            "Float64" => N::Float64,
+            "Write" => N::Write,
+            "Sum" => N::Sum,
+            "Reset" => N::Reset,
+            "Read" => N::Read,
+            "Len" => N::Len,
+            "Run" => N::Run,
+            "Parallel" => N::Parallel,
+            "Name" => N::Name,
+            "Errorf" => N::Errorf,
+            "Error" => N::Error,
+            "Fatalf" => N::Fatalf,
+            "Fatal" => N::Fatal,
+            "Fail" => N::Fail,
+            "FailNow" => N::FailNow,
+            "Logf" => N::Logf,
+            "Log" => N::Log,
+            "Helper" => N::Helper,
+            "Cleanup" => N::Cleanup,
+            "Skip" => N::Skip,
+            "SkipNow" => N::SkipNow,
+            "Skipf" => N::Skipf,
+            "Setenv" => N::Setenv,
+            _ => return None,
+        })
+    }
+
+    /// The exact Go-visible method name (error messages, `t.Errorf`
+    /// failure prefixes).
+    pub fn as_str(self) -> &'static str {
+        use NativeMethod as N;
+        match self {
+            N::Lock => "Lock",
+            N::TryLock => "TryLock",
+            N::Unlock => "Unlock",
+            N::RLock => "RLock",
+            N::RUnlock => "RUnlock",
+            N::Add => "Add",
+            N::Done => "Done",
+            N::Wait => "Wait",
+            N::Load => "Load",
+            N::Store => "Store",
+            N::Delete => "Delete",
+            N::LoadOrStore => "LoadOrStore",
+            N::Range => "Range",
+            N::Cancel => "$cancel",
+            N::Err => "Err",
+            N::Value => "Value",
+            N::Intn => "Intn",
+            N::Int63 => "Int63",
+            N::Float64 => "Float64",
+            N::Write => "Write",
+            N::Sum => "Sum",
+            N::Reset => "Reset",
+            N::Read => "Read",
+            N::Len => "Len",
+            N::Run => "Run",
+            N::Parallel => "Parallel",
+            N::Name => "Name",
+            N::Errorf => "Errorf",
+            N::Error => "Error",
+            N::Fatalf => "Fatalf",
+            N::Fatal => "Fatal",
+            N::Fail => "Fail",
+            N::FailNow => "FailNow",
+            N::Logf => "Logf",
+            N::Log => "Log",
+            N::Helper => "Helper",
+            N::Cleanup => "Cleanup",
+            N::Skip => "Skip",
+            N::SkipNow => "SkipNow",
+            N::Skipf => "Skipf",
+            N::Setenv => "Setenv",
+        }
+    }
+}
+
 /// Result of a native method dispatch.
 pub(crate) enum MethodOutcome {
     /// Completed with a value (the VM pops operands and pushes it).
@@ -638,18 +794,19 @@ pub(crate) fn call_builtin(vm: &mut Vm, gid: Gid, id: u16, args: Vec<Value>) -> 
 pub(crate) fn dispatch_method(
     vm: &mut Vm,
     gid: Gid,
-    recv: Value,
-    method: &str,
+    recv: &Value,
+    method: NativeMethod,
     args: Vec<Value>,
 ) -> MethodOutcome {
     use MethodOutcome as M;
-    match &recv {
+    use NativeMethod as N;
+    match recv {
         Value::Mutex(r) => mutex_method(vm, gid, *r, method),
         Value::RwMutex(r) => rwmutex_method(vm, gid, *r, method),
         Value::WaitGroup(r) => waitgroup_method(vm, gid, *r, method, &args),
         Value::SyncMap(r) => syncmap_method(vm, gid, *r, method, args),
         Value::Chan(r) => {
-            if method == "$cancel" {
+            if method == N::Cancel {
                 vm.close_chan_internal(*r);
                 M::Done(Value::Nil)
             } else {
@@ -657,7 +814,11 @@ pub(crate) fn dispatch_method(
             }
         }
         Value::Ptr(a) => {
-            // Auto-deref pointer receivers for native methods.
+            // Auto-deref pointer receivers for native methods. The one
+            // clone on this path: the inner value is lifted out of the
+            // heap so the recursion can borrow it while the VM is
+            // mutably borrowed — cheap for the sync primitives this
+            // exists for (they are object refs).
             let inner = vm.heap.load_silent(*a).clone();
             if matches!(
                 inner,
@@ -667,7 +828,7 @@ pub(crate) fn dispatch_method(
                     | Value::WaitGroup(_)
                     | Value::SyncMap(_)
             ) {
-                dispatch_method(vm, gid, inner, method, args)
+                dispatch_method(vm, gid, &inner, method, args)
             } else {
                 M::NotNative
             }
@@ -676,7 +837,7 @@ pub(crate) fn dispatch_method(
             let ty = vm.heap.structs[*r].type_name.clone();
             match (ty.as_str(), method) {
                 ("testing.T", _) => testing_method(vm, gid, *r, method, args),
-                ("context.Context", "Done") => {
+                ("context.Context", N::Done) => {
                     let done = sfield(vm, *r, "done").unwrap_or(Value::Nil);
                     match done {
                         Value::Chan(_) => M::Done(done),
@@ -690,10 +851,10 @@ pub(crate) fn dispatch_method(
                         }
                     }
                 }
-                ("context.Context", "Err") => M::Done(Value::Nil),
-                ("context.Context", "Value") => M::Done(Value::Nil),
-                ("rand.Rand", "Intn") | ("rand.Source", "Intn") => {
-                    match rand_state_addr(vm, &recv) {
+                ("context.Context", N::Err) => M::Done(Value::Nil),
+                ("context.Context", N::Value) => M::Done(Value::Nil),
+                ("rand.Rand", N::Intn) | ("rand.Source", N::Intn) => {
+                    match rand_state_addr(vm, recv) {
                         Some(addr) => {
                             let raw = step_source(vm, gid, addr);
                             let n = args.first().and_then(|v| v.as_int()).unwrap_or(1).max(1);
@@ -702,20 +863,20 @@ pub(crate) fn dispatch_method(
                         None => M::Error("rand state missing".into()),
                     }
                 }
-                ("rand.Rand", "Int63") | ("rand.Source", "Int63") => {
-                    match rand_state_addr(vm, &recv) {
+                ("rand.Rand", N::Int63) | ("rand.Source", N::Int63) => {
+                    match rand_state_addr(vm, recv) {
                         Some(addr) => M::Done(Value::Int(step_source(vm, gid, addr))),
                         None => M::Error("rand state missing".into()),
                     }
                 }
-                ("rand.Rand", "Float64") => match rand_state_addr(vm, &recv) {
+                ("rand.Rand", N::Float64) => match rand_state_addr(vm, recv) {
                     Some(addr) => {
                         let raw = step_source(vm, gid, addr);
                         M::Done(Value::Float((raw % 1_000_000) as f64 / 1_000_000.0))
                     }
                     None => M::Error("rand state missing".into()),
                 },
-                ("md5.Hash", "Write") => {
+                ("md5.Hash", N::Write) => {
                     let a = vm.heap.structs[*r].field("state").expect("hash state");
                     let add = match args.first() {
                         Some(Value::Str(s)) => s.len() as i64 + 7,
@@ -729,17 +890,17 @@ pub(crate) fn dispatch_method(
                         Value::Nil,
                     ])))
                 }
-                ("md5.Hash", "Sum") => {
+                ("md5.Hash", N::Sum) => {
                     let a = vm.heap.structs[*r].field("state").expect("hash state");
                     let cur = vm.read_cell(gid, a).as_int().unwrap_or(0);
                     M::Done(Value::str(format!("{cur:016x}")))
                 }
-                ("md5.Hash", "Reset") => {
+                ("md5.Hash", N::Reset) => {
                     let a = vm.heap.structs[*r].field("state").expect("hash state");
                     vm.write_cell(gid, a, Value::Int(0));
                     M::Done(Value::Nil)
                 }
-                ("strings.Reader", "Read") => {
+                ("strings.Reader", N::Read) => {
                     let pos = vm.heap.structs[*r].field("pos").expect("reader pos");
                     let data = sfield(vm, *r, "data")
                         .map(|v| v.render(&vm.heap))
@@ -759,7 +920,7 @@ pub(crate) fn dispatch_method(
                         ])))
                     }
                 }
-                ("strings.Reader", "Len") => {
+                ("strings.Reader", N::Len) => {
                     let data = sfield(vm, *r, "data")
                         .map(|v| v.render(&vm.heap))
                         .unwrap_or_default();
@@ -777,18 +938,19 @@ pub(crate) fn dispatch_method(
 }
 
 /// Promotes `Lock`/`Unlock`/… through embedded sync primitives.
-fn promote_embedded(vm: &mut Vm, gid: Gid, s: ObjRef, method: &str) -> MethodOutcome {
+fn promote_embedded(vm: &mut Vm, gid: Gid, s: ObjRef, method: NativeMethod) -> MethodOutcome {
+    use NativeMethod as N;
     let fields: Vec<(String, u64)> = vm.heap.structs[s].fields.clone();
     for (_, addr) in fields {
         let v = vm.heap.load_silent(addr).clone();
         match (&v, method) {
-            (Value::Mutex(r), "Lock" | "Unlock" | "TryLock") => {
+            (Value::Mutex(r), N::Lock | N::Unlock | N::TryLock) => {
                 return mutex_method(vm, gid, *r, method)
             }
-            (Value::RwMutex(r), "Lock" | "Unlock" | "RLock" | "RUnlock") => {
+            (Value::RwMutex(r), N::Lock | N::Unlock | N::RLock | N::RUnlock) => {
                 return rwmutex_method(vm, gid, *r, method)
             }
-            (Value::WaitGroup(r), "Add" | "Done" | "Wait") => {
+            (Value::WaitGroup(r), N::Add | N::Done | N::Wait) => {
                 return waitgroup_method(vm, gid, *r, method, &[])
             }
             _ => {}
@@ -797,11 +959,12 @@ fn promote_embedded(vm: &mut Vm, gid: Gid, s: ObjRef, method: &str) -> MethodOut
     MethodOutcome::NotNative
 }
 
-fn mutex_method(vm: &mut Vm, gid: Gid, r: ObjRef, method: &str) -> MethodOutcome {
+fn mutex_method(vm: &mut Vm, gid: Gid, r: ObjRef, method: NativeMethod) -> MethodOutcome {
     use MethodOutcome as M;
+    use NativeMethod as N;
     let sid = SYNC_MUTEX | r as u64;
     match method {
-        "Lock" => {
+        N::Lock => {
             if vm.heap.mutexes[r].locked {
                 if !vm.heap.mutexes[r].waiters.contains(&gid) {
                     vm.heap.mutexes[r].waiters.push(gid);
@@ -813,7 +976,7 @@ fn mutex_method(vm: &mut Vm, gid: Gid, r: ObjRef, method: &str) -> MethodOutcome
                 M::Done(Value::Nil)
             }
         }
-        "TryLock" => {
+        N::TryLock => {
             if vm.heap.mutexes[r].locked {
                 M::Done(Value::Bool(false))
             } else {
@@ -822,30 +985,27 @@ fn mutex_method(vm: &mut Vm, gid: Gid, r: ObjRef, method: &str) -> MethodOutcome
                 M::Done(Value::Bool(true))
             }
         }
-        "Unlock" => {
+        N::Unlock => {
             if !vm.heap.mutexes[r].locked {
                 return M::Error("sync: unlock of unlocked mutex".into());
             }
             vm.det.release(gid, sid);
             vm.heap.mutexes[r].locked = false;
             let waiters = std::mem::take(&mut vm.heap.mutexes[r].waiters);
-            for w in waiters {
-                if vm.gos[w].status == Status::Blocked {
-                    vm.gos[w].status = Status::Runnable;
-                }
-            }
+            vm.heap.mutexes[r].waiters = wake_all(vm, waiters);
             M::Done(Value::Nil)
         }
         _ => M::NotNative,
     }
 }
 
-fn rwmutex_method(vm: &mut Vm, gid: Gid, r: ObjRef, method: &str) -> MethodOutcome {
+fn rwmutex_method(vm: &mut Vm, gid: Gid, r: ObjRef, method: NativeMethod) -> MethodOutcome {
     use MethodOutcome as M;
+    use NativeMethod as N;
     let wid = SYNC_RW_W | r as u64;
     let rid = SYNC_RW_R | r as u64;
     match method {
-        "Lock" => {
+        N::Lock => {
             let m = &vm.heap.rwmutexes[r];
             if m.write_locked || m.readers > 0 {
                 if !vm.heap.rwmutexes[r].write_waiters.contains(&gid) {
@@ -859,7 +1019,7 @@ fn rwmutex_method(vm: &mut Vm, gid: Gid, r: ObjRef, method: &str) -> MethodOutco
                 M::Done(Value::Nil)
             }
         }
-        "Unlock" => {
+        N::Unlock => {
             if !vm.heap.rwmutexes[r].write_locked {
                 return M::Error("sync: unlock of unlocked RWMutex".into());
             }
@@ -867,14 +1027,11 @@ fn rwmutex_method(vm: &mut Vm, gid: Gid, r: ObjRef, method: &str) -> MethodOutco
             vm.heap.rwmutexes[r].write_locked = false;
             let ws = std::mem::take(&mut vm.heap.rwmutexes[r].write_waiters);
             let rs = std::mem::take(&mut vm.heap.rwmutexes[r].read_waiters);
-            for w in ws.into_iter().chain(rs) {
-                if vm.gos[w].status == Status::Blocked {
-                    vm.gos[w].status = Status::Runnable;
-                }
-            }
+            vm.heap.rwmutexes[r].write_waiters = wake_all(vm, ws);
+            vm.heap.rwmutexes[r].read_waiters = wake_all(vm, rs);
             M::Done(Value::Nil)
         }
-        "RLock" => {
+        N::RLock => {
             if vm.heap.rwmutexes[r].write_locked {
                 if !vm.heap.rwmutexes[r].read_waiters.contains(&gid) {
                     vm.heap.rwmutexes[r].read_waiters.push(gid);
@@ -886,7 +1043,7 @@ fn rwmutex_method(vm: &mut Vm, gid: Gid, r: ObjRef, method: &str) -> MethodOutco
                 M::Done(Value::Nil)
             }
         }
-        "RUnlock" => {
+        N::RUnlock => {
             if vm.heap.rwmutexes[r].readers == 0 {
                 return M::Error("sync: RUnlock of unlocked RWMutex".into());
             }
@@ -894,11 +1051,7 @@ fn rwmutex_method(vm: &mut Vm, gid: Gid, r: ObjRef, method: &str) -> MethodOutco
             vm.heap.rwmutexes[r].readers -= 1;
             if vm.heap.rwmutexes[r].readers == 0 {
                 let ws = std::mem::take(&mut vm.heap.rwmutexes[r].write_waiters);
-                for w in ws {
-                    if vm.gos[w].status == Status::Blocked {
-                        vm.gos[w].status = Status::Runnable;
-                    }
-                }
+                vm.heap.rwmutexes[r].write_waiters = wake_all(vm, ws);
             }
             M::Done(Value::Nil)
         }
@@ -910,13 +1063,14 @@ fn waitgroup_method(
     vm: &mut Vm,
     gid: Gid,
     r: ObjRef,
-    method: &str,
+    method: NativeMethod,
     args: &[Value],
 ) -> MethodOutcome {
     use MethodOutcome as M;
+    use NativeMethod as N;
     let sid = SYNC_WG | r as u64;
     match method {
-        "Add" => {
+        N::Add => {
             let n = args.first().and_then(|v| v.as_int()).unwrap_or(1);
             vm.heap.waitgroups[r].counter += n;
             if vm.heap.waitgroups[r].counter < 0 {
@@ -927,7 +1081,7 @@ fn waitgroup_method(
             }
             M::Done(Value::Nil)
         }
-        "Done" => {
+        N::Done => {
             vm.det.release_merge(gid, sid);
             vm.heap.waitgroups[r].counter -= 1;
             if vm.heap.waitgroups[r].counter < 0 {
@@ -938,7 +1092,7 @@ fn waitgroup_method(
             }
             M::Done(Value::Nil)
         }
-        "Wait" => {
+        N::Wait => {
             if vm.heap.waitgroups[r].counter != 0 {
                 if !vm.heap.waitgroups[r].waiters.contains(&gid) {
                     vm.heap.waitgroups[r].waiters.push(gid);
@@ -955,25 +1109,36 @@ fn waitgroup_method(
 
 fn wake_wg_waiters(vm: &mut Vm, r: ObjRef) {
     let waiters = std::mem::take(&mut vm.heap.waitgroups[r].waiters);
-    for w in waiters {
+    vm.heap.waitgroups[r].waiters = wake_all(vm, waiters);
+}
+
+/// Wakes every blocked goroutine in `waiters` and hands the vector back
+/// *cleared but with its capacity intact* — waiter lists cycle through
+/// take/park constantly on contended locks, and re-allocating the
+/// buffer on every park showed up in sync-heavy profiles.
+fn wake_all(vm: &mut Vm, mut waiters: Vec<Gid>) -> Vec<Gid> {
+    for &w in &waiters {
         if vm.gos[w].status == Status::Blocked {
             vm.gos[w].status = Status::Runnable;
         }
     }
+    waiters.clear();
+    waiters
 }
 
 fn syncmap_method(
     vm: &mut Vm,
     gid: Gid,
     r: ObjRef,
-    method: &str,
+    method: NativeMethod,
     args: Vec<Value>,
 ) -> MethodOutcome {
     use MethodOutcome as M;
+    use NativeMethod as N;
     let sid = SYNC_SYNCMAP | r as u64;
     vm.det.atomic_op(gid, sid);
     match method {
-        "Load" => {
+        N::Load => {
             let Some(key) = args.first().and_then(MapKey::from_value) else {
                 return M::Error("invalid sync.Map key".into());
             };
@@ -988,7 +1153,7 @@ fn syncmap_method(
                 ]))),
             }
         }
-        "Store" => {
+        N::Store => {
             let Some(key) = args.first().and_then(MapKey::from_value) else {
                 return M::Error("invalid sync.Map key".into());
             };
@@ -996,14 +1161,14 @@ fn syncmap_method(
             vm.heap.syncmaps[r].entries.insert(key, v);
             M::Done(Value::Nil)
         }
-        "Delete" => {
+        N::Delete => {
             let Some(key) = args.first().and_then(MapKey::from_value) else {
                 return M::Error("invalid sync.Map key".into());
             };
             vm.heap.syncmaps[r].entries.remove(&key);
             M::Done(Value::Nil)
         }
-        "LoadOrStore" => {
+        N::LoadOrStore => {
             let Some(key) = args.first().and_then(MapKey::from_value) else {
                 return M::Error("invalid sync.Map key".into());
             };
@@ -1019,7 +1184,7 @@ fn syncmap_method(
                 }
             }
         }
-        "Range" => {
+        N::Range => {
             let f = args.into_iter().next().unwrap_or(Value::Nil);
             let entries: Vec<(MapKey, Value)> = vm.heap.syncmaps[r]
                 .entries
@@ -1043,12 +1208,13 @@ fn testing_method(
     vm: &mut Vm,
     gid: Gid,
     t: ObjRef,
-    method: &str,
+    method: NativeMethod,
     args: Vec<Value>,
 ) -> MethodOutcome {
     use MethodOutcome as M;
+    use NativeMethod as N;
     match method {
-        "Run" => {
+        N::Run => {
             let name = args.first().map(|v| v.render(&vm.heap)).unwrap_or_default();
             let f = args.get(1).cloned().unwrap_or(Value::Nil);
             let parent_name = sfield(vm, t, "name")
@@ -1078,25 +1244,25 @@ fn testing_method(
                 Err(e) => M::Error(e),
             }
         }
-        "Parallel" => {
+        N::Parallel => {
             signal_parent(vm, gid, t);
             M::Done(Value::Nil)
         }
-        "Name" => M::Done(sfield(vm, t, "name").unwrap_or(Value::str(""))),
-        "Errorf" | "Error" | "Fatalf" | "Fatal" | "Fail" | "FailNow" => {
+        N::Name => M::Done(sfield(vm, t, "name").unwrap_or(Value::str(""))),
+        N::Errorf | N::Error | N::Fatalf | N::Fatal | N::Fail | N::FailNow => {
             let fmt = args.first().map(|v| v.render(&vm.heap)).unwrap_or_default();
             let msg = format_go(vm, &fmt, args.get(1..).unwrap_or(&[]));
-            vm.test_failures.push(format!("{method}: {msg}"));
+            vm.test_failures.push(format!("{}: {msg}", method.as_str()));
             M::Done(Value::Nil)
         }
-        "Logf" | "Log" => {
+        N::Logf | N::Log => {
             let fmt = args.first().map(|v| v.render(&vm.heap)).unwrap_or_default();
             let msg = format_go(vm, &fmt, args.get(1..).unwrap_or(&[]));
             vm.output.push_str(&msg);
             vm.output.push('\n');
             M::Done(Value::Nil)
         }
-        "Helper" | "Cleanup" | "Skip" | "SkipNow" | "Skipf" | "Setenv" => M::Done(Value::Nil),
+        N::Helper | N::Cleanup | N::Skip | N::SkipNow | N::Skipf | N::Setenv => M::Done(Value::Nil),
         _ => M::NotNative,
     }
 }
@@ -1218,5 +1384,57 @@ mod tests {
     fn duration_constants_fold() {
         assert_eq!(const_value("time.Minute"), Some(60));
         assert_eq!(const_value("time.Fortnight"), None);
+    }
+
+    #[test]
+    fn native_method_names_round_trip() {
+        use NativeMethod as N;
+        for m in [
+            N::Lock,
+            N::TryLock,
+            N::Unlock,
+            N::RLock,
+            N::RUnlock,
+            N::Add,
+            N::Done,
+            N::Wait,
+            N::Load,
+            N::Store,
+            N::Delete,
+            N::LoadOrStore,
+            N::Range,
+            N::Cancel,
+            N::Err,
+            N::Value,
+            N::Intn,
+            N::Int63,
+            N::Float64,
+            N::Write,
+            N::Sum,
+            N::Reset,
+            N::Read,
+            N::Len,
+            N::Run,
+            N::Parallel,
+            N::Name,
+            N::Errorf,
+            N::Error,
+            N::Fatalf,
+            N::Fatal,
+            N::Fail,
+            N::FailNow,
+            N::Logf,
+            N::Log,
+            N::Helper,
+            N::Cleanup,
+            N::Skip,
+            N::SkipNow,
+            N::Skipf,
+            N::Setenv,
+        ] {
+            assert_eq!(NativeMethod::from_name(m.as_str()), Some(m));
+        }
+        assert_eq!(NativeMethod::from_name("NoSuchMethod"), None);
+        assert_eq!(NativeMethod::from_name(""), None);
     }
 }

@@ -11,9 +11,10 @@
 //!   hand-offs, `select`, subtests).
 
 use crate::bytecode::{Op, SelectCaseSpec};
+use crate::lower::{CmpOp, Fused, Src, FUSED_WIDTH};
 use crate::natives;
 use crate::value::*;
-use crate::vm::{Flow, ParkedCase, ParkedSelect, Status, Vm, WakeAction};
+use crate::vm::{Flow, ParkedCase, ParkedSelect, RunError, Status, Vm, WakeAction};
 use rand::Rng;
 use std::rc::Rc;
 
@@ -761,7 +762,24 @@ pub(crate) fn push(vm: &mut Vm, gid: Gid, v: Value) {
 }
 
 pub(crate) fn pop(vm: &mut Vm, gid: Gid) -> Value {
-    vm.gos[gid].stack.pop().unwrap_or(Value::Nil)
+    match vm.gos[gid].stack.pop() {
+        Some(v) => v,
+        None => underflow(vm, gid),
+    }
+}
+
+/// Operand-stack underflow is a compiler or VM bug, never a program
+/// bug: flag it as a fatal [`RunError::Internal`] instead of silently
+/// masking it as `Nil`. The quantum loops check `vm.fatal` per step, so
+/// execution stops before the corrupted stack is interpreted further.
+#[cold]
+fn underflow(vm: &mut Vm, gid: Gid) -> Value {
+    if vm.fatal.is_none() {
+        vm.fatal = Some(RunError::Internal(format!(
+            "operand stack underflow on goroutine {gid}"
+        )));
+    }
+    Value::Nil
 }
 
 pub(crate) fn peek<'a>(vm: &'a Vm<'_>, gid: Gid, depth: usize) -> &'a Value {
@@ -1045,8 +1063,9 @@ fn compare(a: &Value, b: &Value) -> Option<std::cmp::Ordering> {
 /// loop).
 enum CallShape {
     Builtin(u16),
-    /// Receiver (unboxed) and method name.
-    Method(Value, u32),
+    /// Method name only — the receiver stays in its stacked box and is
+    /// *taken* (not cloned) out of the callee slot at dispatch time.
+    Method(u32),
     /// Plain function or closure value (cheap to copy).
     Callable(Value),
     Nil,
@@ -1056,7 +1075,7 @@ enum CallShape {
 fn exec_call(vm: &mut Vm, gid: Gid, argc: u8) -> Flow {
     let shape = match peek(vm, gid, argc as usize) {
         Value::Builtin(b) => CallShape::Builtin(*b),
-        Value::Method { recv, name } => CallShape::Method((**recv).clone(), *name),
+        Value::Method { name, .. } => CallShape::Method(*name),
         Value::Func(f) => CallShape::Callable(Value::Func(*f)),
         Value::Closure(c) => CallShape::Callable(Value::Closure(*c)),
         Value::Nil => CallShape::Nil,
@@ -1089,7 +1108,17 @@ fn exec_call(vm: &mut Vm, gid: Gid, argc: u8) -> Flow {
                 natives::BuiltinOutcome::Error(e) => Flow::Panic(e),
             }
         }
-        CallShape::Method(recv, name) => {
+        CallShape::Method(name) => {
+            // Take the receiver box out of the stacked callee slot (the
+            // slot temporarily holds `Nil`) so dispatch borrows `&Value`
+            // without cloning the receiver. The box is restored on park
+            // (the retry protocol re-executes this Call) and recycled on
+            // completion.
+            let slot = vm.gos[gid].stack.len() - 1 - argc as usize;
+            let recv = match std::mem::replace(&mut vm.gos[gid].stack[slot], Value::Nil) {
+                Value::Method { recv, .. } => recv,
+                _ => unreachable!("peeked callee is a method"),
+            };
             // User-declared methods first.
             if vm.method_func(&recv, name).is_some() {
                 let mut args = Vec::with_capacity(argc as usize + 1);
@@ -1097,15 +1126,8 @@ fn exec_call(vm: &mut Vm, gid: Gid, argc: u8) -> Flow {
                     args.push(pop(vm, gid));
                 }
                 args.reverse();
-                pop(vm, gid); // callee
-                match vm.push_call(
-                    gid,
-                    Value::Method {
-                        recv: Box::new(recv),
-                        name,
-                    },
-                    args,
-                ) {
+                pop(vm, gid); // callee placeholder
+                match vm.push_call(gid, Value::Method { recv, name }, args) {
                     Ok(()) => Flow::Stay,
                     Err(e) => Flow::Panic(e),
                 }
@@ -1115,35 +1137,45 @@ fn exec_call(vm: &mut Vm, gid: Gid, argc: u8) -> Flow {
                 let args: Vec<Value> = (0..argc as usize)
                     .map(|i| peek(vm, gid, argc as usize - 1 - i).clone())
                     .collect();
-                let method = vm.name(name).clone();
-                let recv_ty = recv.type_name();
-                match natives::dispatch_method(vm, gid, recv, &method, args) {
+                let outcome = match vm.native_of(name) {
+                    Some(m) => natives::dispatch_method(vm, gid, &recv, m, args),
+                    None => natives::MethodOutcome::NotNative,
+                };
+                match outcome {
                     natives::MethodOutcome::Done(v) => {
                         for _ in 0..argc {
                             pop(vm, gid);
                         }
-                        // The deepest operand is the consumed method
-                        // value: recycle its receiver box.
-                        if let Value::Method { mut recv, .. } = pop(vm, gid) {
-                            if vm.method_box_pool.len() < 16 {
-                                *recv = Value::Nil;
-                                vm.method_box_pool.push(recv);
-                            }
+                        pop(vm, gid); // callee placeholder
+                        let mut recv = recv;
+                        if vm.method_box_pool.len() < 16 {
+                            *recv = Value::Nil;
+                            vm.method_box_pool.push(recv);
                         }
                         push(vm, gid, v);
                         Flow::Next
                     }
-                    natives::MethodOutcome::Park(reason) => Flow::Park(reason),
+                    natives::MethodOutcome::Park(reason) => {
+                        vm.gos[gid].stack[slot] = Value::Method { recv, name };
+                        Flow::Park(reason)
+                    }
                     natives::MethodOutcome::ParkArmed(reason) => {
-                        // Wake action pre-installed by the native; clean
-                        // the operands now so the action's pops are
-                        // relative to a known layout.
+                        // Wake action pre-installed by the native; its
+                        // pops are relative to the unchanged layout, so
+                        // restore the callee slot too.
+                        vm.gos[gid].stack[slot] = Value::Method { recv, name };
                         Flow::Park(reason)
                     }
                     natives::MethodOutcome::NotNative => {
-                        Flow::Panic(format!("unknown method `{method}` on {recv_ty}"))
+                        let msg =
+                            format!("unknown method `{}` on {}", vm.name(name), recv.type_name());
+                        vm.gos[gid].stack[slot] = Value::Method { recv, name };
+                        Flow::Panic(msg)
                     }
-                    natives::MethodOutcome::Error(e) => Flow::Panic(e),
+                    natives::MethodOutcome::Error(e) => {
+                        vm.gos[gid].stack[slot] = Value::Method { recv, name };
+                        Flow::Panic(e)
+                    }
                 }
             }
         }
@@ -1163,6 +1195,234 @@ fn exec_call(vm: &mut Vm, gid: Gid, argc: u8) -> Flow {
             "invalid memory address or nil pointer dereference (nil function call)".into(),
         ),
         CallShape::Other(ty) => Flow::Panic(format!("cannot call {ty}")),
+    }
+}
+
+// ------------------------------------------------- fused (register tier)
+
+/// Sets the current frame's pc to the *logical* sub-op position inside
+/// a fused window, so detector-visible work (tracked loads/stores,
+/// native dispatch) observes exactly the `(func, pc)` the stack tier
+/// would.
+fn set_pc(vm: &mut Vm, gid: Gid, pc: usize) {
+    if let Some(f) = vm.gos[gid].frames.last_mut() {
+        f.pc = pc;
+    }
+}
+
+/// Resolves and reads a fused operand cell (race-tracked), mirroring
+/// the corresponding `Load*` op including its panic message.
+fn fused_load(vm: &mut Vm, gid: Gid, s: Src) -> Result<Value, Flow> {
+    let a = match s {
+        Src::Local(slot) => match local_addr(vm, gid, slot) {
+            Some(a) => a,
+            None => return Err(Flow::Panic("use of unbound local".into())),
+        },
+        Src::Upval(i) => frame_mut(vm, gid).upvals[i as usize],
+        Src::Global(i) => vm.globals[i as usize],
+    };
+    Ok(vm.read_cell(gid, a))
+}
+
+/// Race-tracked store to a fused operand cell, mirroring `Store*`.
+fn fused_store(vm: &mut Vm, gid: Gid, s: Src, v: Value) -> Result<(), Flow> {
+    let a = match s {
+        Src::Local(slot) => match local_addr(vm, gid, slot) {
+            Some(a) => a,
+            None => return Err(Flow::Panic("store to unbound local".into())),
+        },
+        Src::Upval(i) => frame_mut(vm, gid).upvals[i as usize],
+        Src::Global(i) => vm.globals[i as usize],
+    };
+    vm.write_cell(gid, a, v);
+    Ok(())
+}
+
+/// Evaluates a fused comparison with the single-op tier's exact
+/// semantics: `Eq`/`Ne` via `go_eq` (total), the ordered forms via
+/// `compare` with the same incomparable-types panic message.
+fn fused_cmp(op: CmpOp, a: &Value, b: &Value) -> Result<bool, Flow> {
+    match op {
+        CmpOp::Eq => Ok(a.go_eq(b)),
+        CmpOp::Ne => Ok(!a.go_eq(b)),
+        _ => match compare(a, b) {
+            Some(ord) => Ok(match op {
+                CmpOp::Lt => ord.is_lt(),
+                CmpOp::Le => ord.is_le(),
+                CmpOp::Gt => ord.is_gt(),
+                CmpOp::Ge => ord.is_ge(),
+                CmpOp::Eq | CmpOp::Ne => unreachable!(),
+            }),
+            None => Err(Flow::Panic(format!(
+                "cannot compare {} and {}",
+                a.type_name(),
+                b.type_name()
+            ))),
+        },
+    }
+}
+
+/// Pushes a materialised method value (pooled receiver box), restoring
+/// the exact stack-tier state at the `Call` op of a fused native-call
+/// window — used when the window must bail out to single-op execution
+/// (user-declared method, or park-and-retry).
+fn materialize_method(vm: &mut Vm, gid: Gid, rv: Value, name: u32) {
+    let boxed = match vm.method_box_pool.pop() {
+        Some(mut b) => {
+            *b = rv;
+            b
+        }
+        None => Box::new(rv),
+    };
+    push(vm, gid, Value::Method { recv: boxed, name });
+}
+
+/// Executes the fused superinstruction at `pc`. The caller (the
+/// register quantum loop) has verified the whole window fits its
+/// remaining allowance and already charged the first sub-op's step.
+///
+/// Contract: returns `(extra, flow)` where `extra` counts the
+/// *additional* steps charged here for sub-ops 2.. (`vm.steps` is
+/// advanced before each sub-op, exactly like the quantum loop), and
+/// `flow` is interpreted like a single op's — `Jump` on completion or
+/// branch, `Stay`/`Park` after the handler has re-materialised the
+/// operand stack and set the frame pc to the sub-op where the stack
+/// tier would sit, so the bailed-to single op replays bit-identically.
+pub(crate) fn exec_fused(vm: &mut Vm, gid: Gid, pc: usize, fu: Fused) -> (u64, Flow) {
+    match fu {
+        Fused::NativeCallStmt { recv, name } => {
+            // Sub-op 1: the receiver load (tracked; pc is the window
+            // start already).
+            let rv = match fused_load(vm, gid, recv) {
+                Ok(v) => v,
+                Err(f) => return (0, f),
+            };
+            // Sub-op 2: BindMethod — pure operand traffic; the method
+            // value is only materialised if the window bails out.
+            vm.steps += 1;
+            if vm.method_func(&rv, name).is_some() {
+                // User-declared method: frame pushes don't fuse. Restore
+                // the stack-tier state at the Call op and let the single
+                // op run it.
+                materialize_method(vm, gid, rv, name);
+                set_pc(vm, gid, pc + 2);
+                return (1, Flow::Stay);
+            }
+            // Sub-op 3: Call{argc: 0} — native dispatch at the Call's pc.
+            vm.steps += 1;
+            set_pc(vm, gid, pc + 2);
+            let outcome = match vm.native_of(name) {
+                Some(m) => natives::dispatch_method(vm, gid, &rv, m, Vec::new()),
+                None => natives::MethodOutcome::NotNative,
+            };
+            match outcome {
+                natives::MethodOutcome::Done(_) => {
+                    // Sub-op 4: Pop of the discarded result — elided.
+                    vm.steps += 1;
+                    (3, Flow::Jump(pc + FUSED_WIDTH))
+                }
+                natives::MethodOutcome::Park(reason)
+                | natives::MethodOutcome::ParkArmed(reason) => {
+                    // Park at the Call with the method value stacked, so
+                    // the wake retries it as a single op bit-identically
+                    // (no fused window starts at a BindMethod+1 pc).
+                    materialize_method(vm, gid, rv, name);
+                    (2, Flow::Park(reason))
+                }
+                natives::MethodOutcome::NotNative => (
+                    2,
+                    Flow::Panic(format!(
+                        "unknown method `{}` on {}",
+                        vm.name(name),
+                        rv.type_name()
+                    )),
+                ),
+                natives::MethodOutcome::Error(e) => (2, Flow::Panic(e)),
+            }
+        }
+        Fused::AddConstStore { a, k, dst } => {
+            let av = match fused_load(vm, gid, a) {
+                Ok(v) => v,
+                Err(f) => return (0, f),
+            };
+            // Sub-ops 2-3: ConstInt + Add, register-only work.
+            vm.steps += 2;
+            let sum = match arith(&Op::Add, av, Value::Int(k)) {
+                Ok(v) => v,
+                Err(m) => return (2, Flow::Panic(m)),
+            };
+            // Sub-op 4: the tracked store at its own pc.
+            vm.steps += 1;
+            set_pc(vm, gid, pc + 3);
+            match fused_store(vm, gid, dst, sum) {
+                Ok(()) => (3, Flow::Jump(pc + FUSED_WIDTH)),
+                Err(f) => (3, f),
+            }
+        }
+        Fused::AddStore { a, b, dst } => {
+            let av = match fused_load(vm, gid, a) {
+                Ok(v) => v,
+                Err(f) => return (0, f),
+            };
+            // Sub-op 2: second tracked load at its own pc.
+            vm.steps += 1;
+            set_pc(vm, gid, pc + 1);
+            let bv = match fused_load(vm, gid, b) {
+                Ok(v) => v,
+                Err(f) => return (1, f),
+            };
+            vm.steps += 1; // sub-op 3: Add
+            let sum = match arith(&Op::Add, av, bv) {
+                Ok(v) => v,
+                Err(m) => return (2, Flow::Panic(m)),
+            };
+            vm.steps += 1; // sub-op 4: Store
+            set_pc(vm, gid, pc + 3);
+            match fused_store(vm, gid, dst, sum) {
+                Ok(()) => (3, Flow::Jump(pc + FUSED_WIDTH)),
+                Err(f) => (3, f),
+            }
+        }
+        Fused::CmpConstJump { a, k, op, target } => {
+            let av = match fused_load(vm, gid, a) {
+                Ok(v) => v,
+                Err(f) => return (0, f),
+            };
+            vm.steps += 2; // sub-ops 2-3: ConstInt + compare
+            let cond = match fused_cmp(op, &av, &Value::Int(k)) {
+                Ok(c) => c,
+                Err(f) => return (2, f),
+            };
+            vm.steps += 1; // sub-op 4: JumpIfFalse
+            if cond {
+                (3, Flow::Jump(pc + FUSED_WIDTH))
+            } else {
+                (3, Flow::Jump(target as usize))
+            }
+        }
+        Fused::CmpJump { a, b, op, target } => {
+            let av = match fused_load(vm, gid, a) {
+                Ok(v) => v,
+                Err(f) => return (0, f),
+            };
+            vm.steps += 1; // sub-op 2: second tracked load
+            set_pc(vm, gid, pc + 1);
+            let bv = match fused_load(vm, gid, b) {
+                Ok(v) => v,
+                Err(f) => return (1, f),
+            };
+            vm.steps += 1; // sub-op 3: compare
+            let cond = match fused_cmp(op, &av, &bv) {
+                Ok(c) => c,
+                Err(f) => return (2, f),
+            };
+            vm.steps += 1; // sub-op 4: JumpIfFalse
+            if cond {
+                (3, Flow::Jump(pc + FUSED_WIDTH))
+            } else {
+                (3, Flow::Jump(target as usize))
+            }
+        }
     }
 }
 

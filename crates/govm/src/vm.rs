@@ -7,7 +7,8 @@
 //! `go test -race -count=N` (§4.4.1 of the paper).
 
 use crate::bytecode::{Program, TypeHint};
-use crate::natives;
+use crate::lower::{self, Fused};
+use crate::natives::{self, NativeMethod};
 use crate::sched::{self, SchedulePolicy, Scheduler};
 use crate::value::*;
 use racedet::{
@@ -18,6 +19,50 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::rc::Rc;
+
+/// Which exec loop interprets the program.
+///
+/// Both tiers run the same compiled `Op` stream and are bit-identical
+/// on everything logical — races, bug hashes, schedule signatures,
+/// [`RunCounters`] — pinned by the golden suites and the cross-tier
+/// differential proptest. The register tier additionally consults the
+/// per-program fused-superinstruction tables (see [`crate::lower`]) to
+/// collapse the hottest four-op stack sequences into one dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Tier {
+    /// The original stack-machine loop — the golden reference.
+    #[default]
+    Stack,
+    /// The lowered register/superinstruction loop.
+    Reg,
+}
+
+impl Tier {
+    /// Parses a tier spec: `stack`, or `reg`/`register`.
+    pub fn parse(spec: &str) -> Option<Self> {
+        match spec.trim().to_ascii_lowercase().as_str() {
+            "stack" => Some(Tier::Stack),
+            "reg" | "register" => Some(Tier::Reg),
+            _ => None,
+        }
+    }
+
+    /// Reads `DRFIX_TIER` from the environment (default: `Stack`).
+    pub fn from_env() -> Self {
+        std::env::var("DRFIX_TIER")
+            .ok()
+            .and_then(|v| Self::parse(&v))
+            .unwrap_or_default()
+    }
+
+    /// Short display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Tier::Stack => "stack",
+            Tier::Reg => "reg",
+        }
+    }
+}
 
 /// VM configuration.
 #[derive(Debug, Clone)]
@@ -55,6 +100,12 @@ pub struct VmOptions {
     /// bench harness measures the recall it costs instead of letting
     /// it pass silently.
     pub sample_mod: u32,
+    /// Which exec loop to run (see [`Tier`]). Defaults to the
+    /// `DRFIX_TIER` environment knob, so an entire pipeline — testrun,
+    /// fleet, campaign, perfscan — switches tier without any config
+    /// plumbing; code that needs a fixed tier sets this field
+    /// explicitly.
+    pub tier: Tier,
 }
 
 impl Default for VmOptions {
@@ -68,6 +119,7 @@ impl Default for VmOptions {
             sync_epoch_cache: true,
             shadow_gc: true,
             sample_mod: 1,
+            tier: Tier::from_env(),
         }
     }
 }
@@ -185,6 +237,11 @@ pub struct RunResult {
     pub schedule_sig: u64,
     /// Scheduling decisions made during the run.
     pub sched_points: u64,
+    /// Fused superinstructions executed (register tier only; always 0
+    /// on the stack tier). Deliberately *not* part of [`RunCounters`]:
+    /// the logical counters are pinned bit-identical across tiers, and
+    /// this is the physical evidence the register tier engaged.
+    pub fused_ops: u64,
     /// Deterministic hot-path cost counters (see [`RunCounters`]).
     pub counters: RunCounters,
 }
@@ -321,6 +378,15 @@ pub struct ProgContext {
     frame_table: Vec<(u32, u32)>,
     /// Per-function `pc → frame id` tables.
     func_frames: Vec<Vec<u32>>,
+    /// Per-function fused-superinstruction tables (the register tier's
+    /// lowered form; see [`crate::lower`]). Built once per program and
+    /// shared by every run — the stack tier never consults them.
+    fused: Vec<Vec<Option<Fused>>>,
+    /// Pool name id → native method, the table behind id-indexed native
+    /// dispatch: every method name the program can utter is resolved to
+    /// a dense [`NativeMethod`] once, at context build, instead of by
+    /// `&str` match on every call.
+    pool_natives: Vec<Option<NativeMethod>>,
 }
 
 impl ProgContext {
@@ -356,11 +422,19 @@ impl ProgContext {
             }
             func_frames.push(tbl);
         }
+        let fused = prog.funcs.iter().map(lower::lower_func).collect();
+        let pool_natives = prog
+            .pool
+            .iter()
+            .map(|s| NativeMethod::from_name(s))
+            .collect();
         ProgContext {
             names,
             name_map,
             frame_table,
             func_frames,
+            fused,
+            pool_natives,
         }
     }
 
@@ -370,6 +444,12 @@ impl ProgContext {
     fn frame_id_at(&self, fid: u32, pc: usize) -> u32 {
         let tbl = &self.func_frames[fid as usize];
         tbl[pc.min(tbl.len() - 1)]
+    }
+
+    /// Fused superinstruction starting at `(fid, pc)`, if any.
+    #[inline]
+    fn fused_at(&self, fid: u32, pc: usize) -> Option<Fused> {
+        self.fused[fid as usize].get(pc).copied().flatten()
     }
 }
 
@@ -404,6 +484,8 @@ pub struct Vm<'p> {
     /// Goroutine exits delivered to the detector (drives the periodic
     /// shadow-GC trigger; physical bookkeeping only).
     exits_seen: u64,
+    /// Fused superinstructions executed (register tier only).
+    pub(crate) fused_ops: u64,
     /// High-water mark of the detector's estimated shadow bytes,
     /// sampled at lifecycle checkpoints.
     peak_shadow_bytes: u64,
@@ -505,6 +587,7 @@ impl<'p> Vm<'p> {
             snapshots_taken: 0,
             stack_cache_hits: 0,
             exits_seen: 0,
+            fused_ops: 0,
             peak_shadow_bytes: 0,
             output: String::new(),
             test_failures: Vec::new(),
@@ -568,6 +651,17 @@ impl<'p> Vm<'p> {
     /// no allocation.
     pub(crate) fn const_str(&mut self, id: u32) -> Rc<str> {
         self.ctx.names[id as usize].clone()
+    }
+
+    /// Native method for name id `id`: a table load for pool names (the
+    /// common case — every statically-written method name), a one-time
+    /// string match for runtime-interned ones.
+    #[inline]
+    pub(crate) fn native_of(&self, id: u32) -> Option<NativeMethod> {
+        match self.ctx.pool_natives.get(id as usize) {
+            Some(m) => *m,
+            None => self.name_opt(id).and_then(|s| NativeMethod::from_name(s)),
+        }
     }
 
     pub(crate) fn zero_value(&mut self, hint: TypeHint) -> Value {
@@ -1005,6 +1099,7 @@ impl<'p> Vm<'p> {
             test_failures: std::mem::take(&mut self.test_failures),
             schedule_sig: self.sched_sig,
             sched_points: self.sched_points,
+            fused_ops: self.fused_ops,
             counters: RunCounters {
                 vm_steps: self.steps,
                 sched_points: self.sched_points,
@@ -1079,7 +1174,10 @@ impl<'p> Vm<'p> {
                 self.last_running = Some(decision.gid);
             }
             self.sched_points += 1;
-            self.run_goroutine(decision.gid, decision.quantum.max(1), budget);
+            match self.opts.tier {
+                Tier::Stack => self.run_goroutine(decision.gid, decision.quantum.max(1), budget),
+                Tier::Reg => self.run_goroutine_reg(decision.gid, decision.quantum.max(1), budget),
+            }
         }
     }
 
@@ -1134,7 +1232,11 @@ impl<'p> Vm<'p> {
         true
     }
 
-    fn run_goroutine(&mut self, gid: Gid, quantum: u64, budget: u64) {
+    /// Resumption work shared by both exec tiers: applies a pending
+    /// completed-op wake action, then retries a parked select. Returns
+    /// `false` when the goroutine parked again or panicked — the
+    /// quantum is over before it began.
+    fn resume_preamble(&mut self, gid: Gid) -> bool {
         // Apply a pending completed-op wake action.
         if let Some(w) = self.gos[gid].wake.take() {
             for _ in 0..w.pops {
@@ -1164,25 +1266,37 @@ impl<'p> Vm<'p> {
                 }
                 Some(Flow::Panic(m)) => {
                     self.do_panic(gid, m);
-                    return;
+                    return false;
                 }
                 Some(_) => unreachable!("select resolves to jump or panic"),
                 None => {
                     crate::ops::repark_select(self, gid, sel);
                     self.gos[gid].status = Status::Blocked;
                     self.gos[gid].block_reason = "select";
-                    return;
+                    return false;
                 }
             }
         }
-        // The quantum loop runs with the per-step budget, fatal and
-        // runnable checks hoisted out: the step allowance is clamped to
-        // the remaining budget up front, and `fatal`/`status` can only
-        // change on paths that return (park, panic) or that re-check
-        // explicitly below (frame returns, which may finish or panic
-        // the goroutine through deferred natives).
+        true
+    }
+
+    fn run_goroutine(&mut self, gid: Gid, quantum: u64, budget: u64) {
+        if !self.resume_preamble(gid) {
+            return;
+        }
+        // The quantum loop runs with the per-step budget and runnable
+        // checks hoisted out: the step allowance is clamped to the
+        // remaining budget up front, and `status` can only change on
+        // paths that return (park, panic) or that re-check explicitly
+        // below (frame returns, which may finish or panic the goroutine
+        // through deferred natives). `fatal` is checked per step: a
+        // mid-quantum operand-stack underflow must stop execution
+        // before the corrupted stack is interpreted further.
         let allowance = quantum.min(budget.saturating_sub(self.steps));
         for _ in 0..allowance {
+            if self.fatal.is_some() {
+                return;
+            }
             self.steps += 1;
 
             // One bounds-checked frame access per step: fetch the
@@ -1248,6 +1362,124 @@ impl<'p> Vm<'p> {
         }
     }
 
+    /// The register-tier quantum loop ([`Tier::Reg`]): identical to
+    /// [`Vm::run_goroutine`] except that, at a pc carrying a fused
+    /// superinstruction whose whole window fits in the remaining
+    /// allowance, the window executes as one dispatch
+    /// ([`crate::ops::exec_fused`]). The fused handler charges steps
+    /// and updates the frame pc per covered sub-op, so preemption
+    /// points, detector events and every logical counter land exactly
+    /// where the stack tier puts them; any pc without a fitting entry
+    /// (including wake-ups parked mid-window) falls back to the shared
+    /// single-op path.
+    fn run_goroutine_reg(&mut self, gid: Gid, quantum: u64, budget: u64) {
+        if !self.resume_preamble(gid) {
+            return;
+        }
+        let allowance = quantum.min(budget.saturating_sub(self.steps));
+        let mut used: u64 = 0;
+        while used < allowance {
+            if self.fatal.is_some() {
+                return;
+            }
+            self.steps += 1;
+            used += 1;
+
+            let Some((fid, pc, returning)) = self.gos[gid]
+                .frames
+                .last()
+                .map(|f| (f.func, f.pc, f.returning.is_some()))
+            else {
+                self.gos[gid].status = Status::Done;
+                return;
+            };
+            if returning {
+                self.proceed_return(gid);
+                if self.fatal.is_some() || self.gos[gid].status != Status::Runnable {
+                    return;
+                }
+                continue;
+            }
+            let code: &'p [crate::bytecode::Op] = &self.prog.funcs[fid as usize].code;
+            if pc >= code.len() {
+                self.start_return(gid, Value::Nil);
+                if self.fatal.is_some() || self.gos[gid].status != Status::Runnable {
+                    return;
+                }
+                continue;
+            }
+            // Fused fast path — only when the remaining allowance covers
+            // the whole window, so the preemption boundary is the same
+            // one the stack tier would hit.
+            if allowance - used >= (lower::FUSED_WIDTH as u64) - 1 {
+                if let Some(fu) = self.ctx.fused_at(fid, pc) {
+                    self.fused_ops += 1;
+                    let (extra, flow) = crate::ops::exec_fused(self, gid, pc, fu);
+                    used += extra;
+                    match flow {
+                        Flow::Next => {
+                            if let Some(f) = self.gos[gid].frames.last_mut() {
+                                f.pc += 1;
+                            }
+                        }
+                        Flow::Jump(t) => {
+                            if let Some(f) = self.gos[gid].frames.last_mut() {
+                                f.pc = t;
+                            }
+                        }
+                        Flow::Stay => {}
+                        Flow::Park(reason) => {
+                            let g = &mut self.gos[gid];
+                            g.status = Status::Blocked;
+                            g.block_reason = reason;
+                            return;
+                        }
+                        Flow::Returned(v) => {
+                            self.start_return(gid, v);
+                            if self.fatal.is_some() || self.gos[gid].status != Status::Runnable {
+                                return;
+                            }
+                        }
+                        Flow::Panic(msg) => {
+                            self.do_panic(gid, msg);
+                            return;
+                        }
+                    }
+                    continue;
+                }
+            }
+            match crate::ops::exec(self, gid, &code[pc]) {
+                Flow::Next => {
+                    if let Some(f) = self.gos[gid].frames.last_mut() {
+                        f.pc += 1;
+                    }
+                }
+                Flow::Jump(t) => {
+                    if let Some(f) = self.gos[gid].frames.last_mut() {
+                        f.pc = t;
+                    }
+                }
+                Flow::Stay => {}
+                Flow::Park(reason) => {
+                    let g = &mut self.gos[gid];
+                    g.status = Status::Blocked;
+                    g.block_reason = reason;
+                    return;
+                }
+                Flow::Returned(v) => {
+                    self.start_return(gid, v);
+                    if self.fatal.is_some() || self.gos[gid].status != Status::Runnable {
+                        return;
+                    }
+                }
+                Flow::Panic(msg) => {
+                    self.do_panic(gid, msg);
+                    return;
+                }
+            }
+        }
+    }
+
     /// Marks the current frame as returning `v`; defers run first.
     fn start_return(&mut self, gid: Gid, v: Value) {
         if let Some(f) = self.gos[gid].frames.last_mut() {
@@ -1269,15 +1501,20 @@ impl<'p> Vm<'p> {
         if let Some((callee, args)) = frame.defers.pop() {
             match &callee {
                 Value::Method { recv, name } => {
-                    // Native defers (wg.Done, mu.Unlock) run eagerly.
+                    // Native defers (wg.Done, mu.Unlock) run eagerly,
+                    // dispatching on the boxed receiver by reference.
                     if self.method_func(recv, *name).is_none() {
-                        let method = self.name(*name).clone();
-                        match natives::dispatch_method(self, gid, (**recv).clone(), &method, args) {
+                        let outcome = match self.native_of(*name) {
+                            Some(m) => natives::dispatch_method(self, gid, recv, m, args),
+                            None => natives::MethodOutcome::NotNative,
+                        };
+                        match outcome {
                             natives::MethodOutcome::Done(_) => {}
                             natives::MethodOutcome::Error(e) => {
                                 self.do_panic(gid, e);
                             }
                             _ => {
+                                let method = self.name(*name).clone();
                                 self.do_panic(
                                     gid,
                                     format!("deferred native `{method}` would block"),
@@ -1334,9 +1571,9 @@ impl<'p> Vm<'p> {
             for (callee, args) in frame.defers.into_iter().rev() {
                 if let Value::Method { recv, name } = &callee {
                     if self.method_func(recv, *name).is_none() {
-                        let method = self.name(*name).clone();
-                        let _ =
-                            natives::dispatch_method(self, gid, (**recv).clone(), &method, args);
+                        if let Some(m) = self.native_of(*name) {
+                            let _ = natives::dispatch_method(self, gid, recv, m, args);
+                        }
                     }
                 }
             }
@@ -1385,13 +1622,21 @@ impl<'p> Vm<'p> {
     /// Wakes every goroutine parked on `ch`; they re-check their
     /// conditions when scheduled.
     pub(crate) fn wake_chan_waiters(&mut self, ch: ObjRef) {
-        let recv: Vec<Gid> = std::mem::take(&mut self.heap.chans[ch].recv_waiters);
-        let send: Vec<Gid> = std::mem::take(&mut self.heap.chans[ch].send_waiters);
-        for g in recv.into_iter().chain(send) {
+        // Waiter buffers are handed back cleared-but-allocated: parked
+        // channel peers cycle through these lists constantly, and
+        // re-growing a fresh `Vec` on every park costs an allocation
+        // per handoff.
+        let mut recv: Vec<Gid> = std::mem::take(&mut self.heap.chans[ch].recv_waiters);
+        let mut send: Vec<Gid> = std::mem::take(&mut self.heap.chans[ch].send_waiters);
+        for &g in recv.iter().chain(send.iter()) {
             if self.gos[g].status == Status::Blocked && self.gos[g].sleep_until.is_none() {
                 self.gos[g].status = Status::Runnable;
             }
         }
+        recv.clear();
+        send.clear();
+        self.heap.chans[ch].recv_waiters = recv;
+        self.heap.chans[ch].send_waiters = send;
     }
 
     /// Commits a buffered send (capacity known to be available).

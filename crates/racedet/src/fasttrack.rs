@@ -377,16 +377,94 @@ pub struct RawRace {
     pub var: NameId,
 }
 
+/// How many distinct `(record, gen)` pairs each reader keeps in the
+/// read-shared state. One is enough for a thread that always reads a
+/// variable from one site; a reader alternating between a few sites
+/// (the classic accumulate-then-publish loop) would thrash a
+/// single-record cache — every read flips the stored generation, so no
+/// read ever hits. A short MRU list makes all of the alternating sites
+/// hit at once.
+const READER_GENS: usize = 4;
+
+/// Per-reader access records for the read-shared state: up to
+/// [`READER_GENS`] `(record, gen)` pairs, most-recent-use first.
+///
+/// The front record is always byte-identical to the single record the
+/// cache-off run would hold for this thread: a cache hit on a non-front
+/// generation *promotes* it (the slow path it replaces would have
+/// re-stored exactly that record, making it the latest), and the slow
+/// path stores new records at the front.
+#[derive(Debug, Clone, Default)]
+struct ReaderRecords {
+    recs: Vec<(RawAccess, StackGen)>,
+}
+
+impl ReaderRecords {
+    fn with(rec: RawAccess, gen: StackGen) -> Self {
+        ReaderRecords {
+            recs: vec![(rec, gen)],
+        }
+    }
+
+    /// The record the cache-off run would currently hold (MRU front).
+    fn current(&self) -> Option<&RawAccess> {
+        self.recs.first().map(|(a, _)| a)
+    }
+
+    /// Cache probe: if any stored generation equals `gen`, promote that
+    /// record to the front and report a hit. Callers guarantee
+    /// `gen.is_some()`, so [`StackGen::NONE`] records never match.
+    fn promote(&mut self, gen: StackGen) -> bool {
+        match self.recs.iter().position(|(_, g)| *g == gen) {
+            Some(0) => true,
+            Some(i) => {
+                self.recs[..=i].rotate_right(1);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Slow-path store: front-inserts (or refreshes in place) the
+    /// record for `gen`, evicting the least-recently-used entry beyond
+    /// [`READER_GENS`]. The matching-front case reuses the existing
+    /// stack buffer — steady-state slow reads stay allocation-free.
+    fn store(&mut self, tid: ThreadId, stack: &[FrameId], gen: StackGen) {
+        if let Some(i) = self.recs.iter().position(|(_, g)| *g == gen) {
+            self.recs[..=i].rotate_right(1);
+            let (a, _) = &mut self.recs[0];
+            a.kind = AccessKind::Read;
+            a.tid = tid;
+            a.stack.clear();
+            a.stack.extend_from_slice(stack);
+            return;
+        }
+        self.recs.insert(
+            0,
+            (
+                RawAccess {
+                    kind: AccessKind::Read,
+                    stack: stack.to_vec(),
+                    tid,
+                },
+                gen,
+            ),
+        );
+        self.recs.truncate(READER_GENS);
+    }
+}
+
 #[derive(Debug, Clone)]
 enum ReadState {
     /// Reads by at most one thread since the last write.
     Epoch(Epoch, Option<RawAccess>),
-    /// Read-shared: full clock plus per-thread access info, each record
-    /// tagged with the [`StackGen`] it was captured under (the owner
-    /// cache's freshness witness, per reader).
+    /// Read-shared: full clock plus per-thread access info, each reader
+    /// holding a short MRU list of records tagged with the [`StackGen`]
+    /// they were captured under (the owner cache's freshness witness,
+    /// per reader and per read site).
     Shared(
         VectorClock,
-        HashMap<ThreadId, (RawAccess, StackGen), FastBuildHasher>,
+        HashMap<ThreadId, ReaderRecords, FastBuildHasher>,
     ),
 }
 
@@ -863,8 +941,8 @@ impl Detector {
             ReadState::Shared(vc, accs) => {
                 let gen = gen_fn();
                 if self.sync_cache && gen.is_some() {
-                    if let Some((_, g)) = accs.get(&s) {
-                        if *g == gen {
+                    if let Some(recs) = accs.get_mut(&s) {
+                        if recs.promote(gen) {
                             vc.set(s, e.clock);
                             self.published[s] = e.clock;
                             self.stats.read_sync_hits += 1;
@@ -964,14 +1042,15 @@ impl Detector {
                     vc.set(re.tid, re.clock);
                     vc.set(s, e.clock);
                     self.stats.clock_allocs += 1;
-                    let mut accs = HashMap::default();
+                    let mut accs: HashMap<ThreadId, ReaderRecords, FastBuildHasher> =
+                        HashMap::default();
                     let prev_gen = vs.r_gen;
                     if let Some(a) = acc.take() {
-                        accs.insert(re.tid, (a, prev_gen));
+                        accs.insert(re.tid, ReaderRecords::with(a, prev_gen));
                     }
                     accs.insert(
                         s,
-                        (
+                        ReaderRecords::with(
                             RawAccess {
                                 kind: AccessKind::Read,
                                 stack: stack.to_vec(),
@@ -986,28 +1065,10 @@ impl Detector {
             }
             ReadState::Shared(vc, accs) => {
                 vc.set(s, e.clock);
-                // Reuse the thread's existing record buffer: repeated
-                // shared reads are allocation-free.
-                match accs.entry(s) {
-                    std::collections::hash_map::Entry::Occupied(mut o) => {
-                        let (a, g) = o.get_mut();
-                        a.kind = AccessKind::Read;
-                        a.tid = t;
-                        a.stack.clear();
-                        a.stack.extend_from_slice(stack);
-                        *g = gen;
-                    }
-                    std::collections::hash_map::Entry::Vacant(v) => {
-                        v.insert((
-                            RawAccess {
-                                kind: AccessKind::Read,
-                                stack: stack.to_vec(),
-                                tid: t,
-                            },
-                            gen,
-                        ));
-                    }
-                }
+                // Front-store into the reader's MRU records (same-site
+                // refreshes reuse the existing stack buffer: repeated
+                // shared reads are allocation-free).
+                accs.entry(s).or_default().store(t, stack, gen);
                 vs.r_gen = StackGen::NONE;
             }
         }
@@ -1163,14 +1224,15 @@ impl Detector {
             ReadState::Shared(vc, accs) => {
                 for (tid, val) in vc.iter() {
                     if val > ct.get(tid) {
-                        let prev =
-                            accs.get(&tid)
-                                .map(|(a, _)| a.clone())
-                                .unwrap_or_else(|| RawAccess {
-                                    kind: AccessKind::Read,
-                                    stack: Vec::new(),
-                                    tid: slot_owner.get(tid).copied().unwrap_or(tid),
-                                });
+                        let prev = accs
+                            .get(&tid)
+                            .and_then(|r| r.current())
+                            .cloned()
+                            .unwrap_or_else(|| RawAccess {
+                                kind: AccessKind::Read,
+                                stack: Vec::new(),
+                                tid: slot_owner.get(tid).copied().unwrap_or(tid),
+                            });
                         let race = RawRace {
                             prev,
                             cur: mk_cur(),
